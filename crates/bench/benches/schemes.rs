@@ -1,0 +1,137 @@
+//! Criterion microbenchmarks of the checkpoint schemes' hot paths —
+//! the per-store hook (Table 3's backup column) and the rollback
+//! (Table 3's recovery column), plus an end-to-end request per scheme.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use indra_bench::{run, RunOptions};
+use indra_core::{
+    DeltaBackupEngine, DeltaConfig, Scheme, SchemeKind, UndoLog, VirtualCheckpoint,
+};
+use indra_mem::{FrameAllocator, PhysicalMemory};
+use indra_sim::{AddressSpace, Pte};
+use indra_workloads::{Attack, ServiceApp, UNMAPPED_ADDR};
+
+const ASID: u16 = 7;
+
+fn rig() -> (AddressSpace, PhysicalMemory) {
+    let mut space = AddressSpace::new(ASID);
+    for p in 0..16 {
+        space.map(0x10 + p, Pte { ppn: 0x50 + p, read: true, write: true, execute: false });
+    }
+    (space, PhysicalMemory::new())
+}
+
+/// One synthetic request: 64 pages-worth of scattered stores.
+fn write_burst(scheme: &mut dyn Scheme, space: &mut AddressSpace, phys: &mut PhysicalMemory) {
+    scheme.begin_request(ASID, space, phys);
+    for i in 0..512u32 {
+        let vaddr = (0x10000 + (i * 97 % (16 * 4096))) & !3;
+        let paddr = space.translate(vaddr, indra_sim::AccessKind::Write).unwrap();
+        scheme.before_write(ASID, vaddr, paddr, phys);
+        phys.write_u32(paddr, i);
+    }
+}
+
+fn bench_backup_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backup_hook_per_request");
+    group.sample_size(20);
+
+    group.bench_function("delta", |b| {
+        let (mut space, mut phys) = rig();
+        let mut s = DeltaBackupEngine::new(
+            DeltaConfig::default(),
+            FrameAllocator::new(0x1000, 0x4000),
+        );
+        s.register(ASID);
+        b.iter(|| write_burst(&mut s, &mut space, &mut phys));
+    });
+    group.bench_function("undo_log", |b| {
+        let (mut space, mut phys) = rig();
+        let mut s = UndoLog::new();
+        s.register(ASID);
+        b.iter(|| write_burst(&mut s, &mut space, &mut phys));
+    });
+    group.bench_function("virtual_checkpoint", |b| {
+        let (mut space, mut phys) = rig();
+        let mut s = VirtualCheckpoint::new(FrameAllocator::new(0x1000, 0x4000));
+        s.register(ASID);
+        b.iter(|| write_burst(&mut s, &mut space, &mut phys));
+    });
+    group.finish();
+}
+
+fn bench_rollback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollback_after_request");
+    group.sample_size(20);
+
+    group.bench_function("delta_lazy", |b| {
+        let (mut space, mut phys) = rig();
+        let mut s = DeltaBackupEngine::new(
+            DeltaConfig::default(),
+            FrameAllocator::new(0x1000, 0x4000),
+        );
+        s.register(ASID);
+        b.iter_batched(
+            || (),
+            |()| {
+                write_burst(&mut s, &mut space, &mut phys);
+                s.fail_and_rollback(ASID, &mut space, &mut phys);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("undo_log_walk", |b| {
+        let (mut space, mut phys) = rig();
+        let mut s = UndoLog::new();
+        s.register(ASID);
+        b.iter_batched(
+            || (),
+            |()| {
+                write_burst(&mut s, &mut space, &mut phys);
+                s.fail_and_rollback(ASID, &mut space, &mut phys);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("page_copy_back", |b| {
+        let (mut space, mut phys) = rig();
+        let mut s = VirtualCheckpoint::new(FrameAllocator::new(0x1000, 0x4000));
+        s.register(ASID);
+        b.iter_batched(
+            || (),
+            |()| {
+                write_burst(&mut s, &mut space, &mut phys);
+                s.fail_and_rollback(ASID, &mut space, &mut phys);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_bind");
+    group.sample_size(10);
+    for (name, scheme, attack) in [
+        ("delta_clean", SchemeKind::Delta, None),
+        ("delta_under_attack", SchemeKind::Delta, Some((Attack::WildWrite { addr: UNMAPPED_ADDR }, 2))),
+        ("virtual_ckpt_clean", SchemeKind::VirtualCheckpoint, None),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut o = RunOptions::quick(ServiceApp::Bind);
+                o.scale = 20;
+                o.requests = 4;
+                o.warmup = 1;
+                o.scheme = scheme;
+                o.attack = attack;
+                run(&o)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backup_hot_path, bench_rollback, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Prints the no-INDRA base response time per app (development aid).
+use indra_bench::{run, RunOptions};
+use indra_core::SchemeKind;
+use indra_workloads::ServiceApp;
+
+fn main() {
+    for app in ServiceApp::ALL {
+        let mut o = RunOptions::paper(app);
+        o.requests = 6;
+        o.warmup = 2;
+        o.monitoring = false;
+        o.scheme = SchemeKind::None;
+        let m = run(&o);
+        println!(
+            "{:<10} base_cycles={:>10.0} insns={:>9.0} CPI={:.2}",
+            app.name(),
+            m.mean_response_cycles,
+            m.insns_per_request,
+            m.mean_response_cycles / m.insns_per_request
+        );
+    }
+}

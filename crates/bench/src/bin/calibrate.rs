@@ -1,0 +1,56 @@
+//! Calibration dashboard: prints each app's measured profile next to the
+//! paper's targets so the workload specs can be tuned.
+//!
+//! ```text
+//! cargo run --release -p indra-bench --bin calibrate [scale]
+//! ```
+
+use indra_bench::{run, RunOptions};
+use indra_core::SchemeKind;
+use indra_workloads::ServiceApp;
+
+fn main() {
+    let scale: u32 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    println!("calibration at scale 1/{scale}");
+    println!(
+        "{:<10} {:>12} {:>8} {:>8} {:>9} {:>9} {:>10}",
+        "app", "insns/req", "IL1%", "tgtIL1%", "backup%", "tgtbk%", "mon ovh%"
+    );
+    let targets = [
+        (ServiceApp::Ftpd, 1.5, 15.0),
+        (ServiceApp::Httpd, 2.0, 20.0),
+        (ServiceApp::Bind, 4.5, 45.0),
+        (ServiceApp::Sendmail, 2.5, 20.0),
+        (ServiceApp::Imap, 1.2, 12.0),
+        (ServiceApp::Nfs, 1.8, 18.0),
+    ];
+    for (app, tgt_il1, tgt_bk) in targets {
+        let mut opts = RunOptions::paper(app);
+        opts.scale = scale;
+        opts.requests = 6;
+        opts.warmup = 2;
+        let m = run(&opts);
+
+        // Monitoring overhead (Fig. 11): same app, monitor off.
+        let mut base = opts.clone();
+        base.monitoring = false;
+        base.scheme = SchemeKind::None;
+        let mut mon_only = opts.clone();
+        mon_only.scheme = SchemeKind::None;
+        let with = run(&mon_only);
+        let without = run(&base);
+        let ovh = (with.cycles_per_benign / without.cycles_per_benign - 1.0) * 100.0;
+
+        println!(
+            "{:<10} {:>12.0} {:>8.2} {:>8.1} {:>9.1} {:>9.1} {:>10.2}",
+            app.name(),
+            m.insns_per_request,
+            m.il1.miss_rate() * 100.0,
+            tgt_il1,
+            m.scheme.backup_fraction() * 100.0,
+            tgt_bk,
+            ovh,
+        );
+    }
+}

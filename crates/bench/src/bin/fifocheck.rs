@@ -1,0 +1,42 @@
+//! Development aid: Fig. 10 (CAM) and Fig. 12 (FIFO sweep) behaviour.
+
+use indra_bench::{run, RunOptions};
+use indra_workloads::ServiceApp;
+
+fn main() {
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    println!("-- fig10: % of code-origin checks sent to monitor (CAM 32 / 64) --");
+    for app in ServiceApp::ALL {
+        let mut o = RunOptions::paper(app);
+        o.scale = scale;
+        o.requests = 6;
+        o.warmup = 2;
+        let m32 = run(&o);
+        o.cam_entries = 64;
+        let m64 = run(&o);
+        println!(
+            "{:<10} cam32 {:>6.1}%  cam64 {:>6.1}%   (lookups {})",
+            app.name(),
+            m32.cam.sent_fraction() * 100.0,
+            m64.cam.sent_fraction() * 100.0,
+            m32.cam.lookups
+        );
+    }
+    println!("-- fig12: normalized cycles/benign vs FIFO entries (httpd) --");
+    let mut o = RunOptions::paper(ServiceApp::Httpd);
+    o.scale = scale;
+    o.requests = 6;
+    o.warmup = 2;
+    o.fifo_entries = 64;
+    let base = run(&o).cycles_per_benign;
+    for entries in [8, 12, 16, 24, 32, 40, 48, 56, 64] {
+        o.fifo_entries = entries;
+        let m = run(&o);
+        println!(
+            "entries {:>3}: {:.3}  (full stalls {})",
+            entries,
+            m.cycles_per_benign / base,
+            m.fifo.full_stalls
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Development aid: monitor utilization accounting.
+use indra_bench::{run, RunOptions};
+use indra_workloads::ServiceApp;
+
+fn main() {
+    for app in [ServiceApp::Httpd, ServiceApp::Bind] {
+        let mut o = RunOptions::paper(app);
+        o.scale = 2;
+        o.requests = 6;
+        o.warmup = 2;
+        let m = run(&o);
+        let span = m.cycles_per_benign * 6.0;
+        println!(
+            "{:<8} events={} busy={} span={:.0} util={:.2} pushes={} stalls={} events/req={:.0}",
+            app.name(),
+            m.monitor.events,
+            m.monitor.busy_cycles,
+            span,
+            m.monitor.busy_cycles as f64 / span,
+            m.fifo.pushes,
+            m.fifo.full_stalls,
+            m.monitor.events as f64 / 6.0
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Quick shape verification for Figs. 12, 14 and 16 during development:
+//! prints the slowdown ratios the paper's bar charts report.
+
+use indra_bench::{run, RunOptions};
+use indra_core::SchemeKind;
+use indra_workloads::{Attack, ServiceApp, UNMAPPED_ADDR};
+
+fn main() {
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    println!("shape check at scale 1/{scale}  (fig14 = virtual ckpt slowdown; fig16 = delta M+B and M+B+R)");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>10}",
+        "app", "fig14", "f16 M+B", "f16 MBR", "undo-log"
+    );
+    for app in ServiceApp::ALL {
+        let mut base = RunOptions::paper(app);
+        base.scale = scale;
+        base.requests = 6;
+        base.warmup = 2;
+        base.monitoring = false;
+        base.scheme = SchemeKind::None;
+        let baseline = run(&base).cycles_per_benign;
+
+        let mut vc = base.clone();
+        vc.monitoring = true;
+        vc.scheme = SchemeKind::VirtualCheckpoint;
+        let fig14 = run(&vc).cycles_per_benign / baseline;
+
+        let mut mb = base.clone();
+        mb.monitoring = true;
+        mb.scheme = SchemeKind::Delta;
+        let fig16_mb = run(&mb).cycles_per_benign / baseline;
+
+        let mut mbr = mb.clone();
+        mbr.attack = Some((Attack::WildWrite { addr: UNMAPPED_ADDR }, 1)); // every other request
+        let fig16_mbr = run(&mbr).cycles_per_benign / baseline;
+
+        let mut ul = base.clone();
+        ul.monitoring = true;
+        ul.scheme = SchemeKind::UndoLog;
+        ul.attack = Some((Attack::WildWrite { addr: UNMAPPED_ADDR }, 1));
+        let undo = run(&ul).cycles_per_benign / baseline;
+
+        println!("{:<10} {:>8.2} {:>8.2} {:>8.2} {:>10.2}", app.name(), fig14, fig16_mb, fig16_mbr, undo);
+    }
+}

@@ -1,0 +1,175 @@
+//! Service-availability accounting.
+//!
+//! The paper's goal is *availability*: "the system, ideally, can quickly
+//! recover from the 'wounds' and continues to serve legitimate and
+//! well-behaved clients" (§2.2). This module turns a [`RunReport`] into
+//! the numbers that claim is judged by: what fraction of honest clients
+//! were served, how long recoveries took, and how much service time was
+//! lost to attacks.
+
+use crate::{RecoveryLevel, RunReport};
+
+/// Availability metrics derived from one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityReport {
+    /// Benign requests served.
+    pub benign_served: u64,
+    /// Benign requests sacrificed (consumed but never answered — dormant
+    /// victims and requests in flight at detection time).
+    pub benign_lost: u64,
+    /// Recovery episodes, total.
+    pub recoveries: u64,
+    /// Micro (per-request) recoveries among them.
+    pub micro_recoveries: u64,
+    /// Macro (application checkpoint) recoveries among them.
+    pub macro_recoveries: u64,
+    /// Mean resurrectee cycles from a detection to the next successful
+    /// benign response on the same core (the observable outage, "MTTR").
+    pub mean_cycles_to_next_service: f64,
+    /// Fraction of honest clients served, in `[0, 1]`.
+    pub benign_service_ratio: f64,
+}
+
+impl AvailabilityReport {
+    /// Derives availability metrics from a run report, given how many
+    /// benign requests the harness actually queued.
+    #[must_use]
+    pub fn from_run(report: &RunReport, benign_sent: u64) -> AvailabilityReport {
+        let benign_served = report.benign_served;
+        let benign_lost = benign_sent.saturating_sub(benign_served);
+
+        let micro = report
+            .detections
+            .iter()
+            .filter(|d| d.level == RecoveryLevel::Micro)
+            .count() as u64;
+        let macro_ = report.detections.len() as u64 - micro;
+
+        // For each detection, find the first benign sample on the same
+        // core whose completion lies after the detection; the gap is the
+        // client-visible outage.
+        let mut gaps = Vec::new();
+        for d in &report.detections {
+            let next = report
+                .samples
+                .iter()
+                .filter(|s| !s.malicious && s.core == d.core)
+                .map(|s| s.completed_at)
+                .filter(|&done| done > d.at_cycle)
+                .min();
+            if let Some(done) = next {
+                gaps.push((done - d.at_cycle) as f64);
+            }
+        }
+        let mean_gap =
+            if gaps.is_empty() { 0.0 } else { gaps.iter().sum::<f64>() / gaps.len() as f64 };
+
+        AvailabilityReport {
+            benign_served,
+            benign_lost,
+            recoveries: report.detections.len() as u64,
+            micro_recoveries: micro,
+            macro_recoveries: macro_,
+            mean_cycles_to_next_service: mean_gap,
+            benign_service_ratio: if benign_sent == 0 {
+                1.0
+            } else {
+                benign_served as f64 / benign_sent as f64
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for AvailabilityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "benign served {}/{} ({:.1}%)",
+            self.benign_served,
+            self.benign_served + self.benign_lost,
+            self.benign_service_ratio * 100.0
+        )?;
+        writeln!(
+            f,
+            "recoveries: {} ({} micro, {} macro)",
+            self.recoveries, self.micro_recoveries, self.macro_recoveries
+        )?;
+        write!(
+            f,
+            "mean cycles from detection to next served client: {:.0}",
+            self.mean_cycles_to_next_service
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Detection, FailureCause, RequestSample, ViolationKind};
+
+    fn sample(core: usize, completion: u64, malicious: bool) -> RequestSample {
+        RequestSample {
+            request_id: 0,
+            cycles: 100,
+            instructions: 1000,
+            malicious,
+            core,
+            completed_at: completion,
+        }
+    }
+
+    fn detection(core: usize, at: u64, level: RecoveryLevel) -> Detection {
+        Detection {
+            cause: FailureCause::Violation(ViolationKind::ReturnMismatch),
+            request_id: Some(1),
+            was_malicious: true,
+            level,
+            at_cycle: at,
+            core,
+        }
+    }
+
+    #[test]
+    fn ratios_and_counts() {
+        let report = RunReport {
+            served: 5,
+            benign_served: 4,
+            detections: vec![
+                detection(1, 1_000, RecoveryLevel::Micro),
+                detection(1, 9_000, RecoveryLevel::Macro),
+            ],
+            samples: vec![
+                sample(1, 500, false),
+                sample(1, 2_000, false),
+                sample(1, 3_000, true),
+                sample(1, 12_000, false),
+            ],
+        };
+        let a = AvailabilityReport::from_run(&report, 6);
+        assert_eq!(a.benign_served, 4);
+        assert_eq!(a.benign_lost, 2);
+        assert_eq!(a.recoveries, 2);
+        assert_eq!(a.micro_recoveries, 1);
+        assert_eq!(a.macro_recoveries, 1);
+        // gaps: detection@1000 -> next benign completion 2000 (1000);
+        //       detection@9000 -> 12000 (3000); mean 2000.
+        assert!((a.mean_cycles_to_next_service - 2000.0).abs() < 1e-9);
+        assert!((a.benign_service_ratio - 4.0 / 6.0).abs() < 1e-9);
+        assert!(!a.to_string().is_empty());
+    }
+
+    #[test]
+    fn clean_run_is_fully_available() {
+        let report = RunReport {
+            served: 3,
+            benign_served: 3,
+            detections: vec![],
+            samples: vec![sample(1, 100, false); 3],
+        };
+        let a = AvailabilityReport::from_run(&report, 3);
+        assert_eq!(a.benign_lost, 0);
+        assert_eq!(a.recoveries, 0);
+        assert!((a.benign_service_ratio - 1.0).abs() < 1e-12);
+        assert_eq!(a.mean_cycles_to_next_service, 0.0);
+    }
+}

@@ -1,0 +1,596 @@
+//! INDRA's delta-page backup engine (§3.3.1, Figs. 3–7).
+//!
+//! The paper's key memory-state idea: assign each virtual page a *backup
+//! page* on demand, but copy into it only the cache **lines** actually
+//! modified — and on rollback, copy nothing at all: just OR the dirty
+//! bitvector into the rollback bitvector and let subsequent reads and
+//! writes lazily pull original lines back in (Figs. 4 and 5). Both
+//! backup and recovery cost is thereby amortized into normal execution.
+//!
+//! Timestamps make the per-request reset free: a **Global TimeStamp**
+//! (GTS) per service is bumped at every request boundary; each page's
+//! **Local TimeStamp** (LTS) records the GTS it was last written under.
+//! `GTS > LTS` on a write means the page's dirty bits belong to an
+//! already-committed request and can be cleared wholesale.
+
+use std::collections::HashMap;
+
+use indra_mem::{FrameAllocator, PhysicalMemory, PAGE_SHIFT, PAGE_SIZE};
+use indra_sim::{AccessKind, AddressSpace, BackupHook};
+
+use crate::{Scheme, SchemeStats};
+
+/// Tuning knobs for the delta engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaConfig {
+    /// Backup granularity in bytes (the paper uses the L2 line, 64 B).
+    pub line_size: u32,
+    /// Cycles to copy one line into the backup page (buffered store,
+    /// mostly off the critical path — the engine is hardware).
+    pub backup_line_cycles: u32,
+    /// Cycles to lazily restore one line on access.
+    pub restore_line_cycles: u32,
+    /// Cycles for the backup-page-allocation exception.
+    pub alloc_page_cycles: u32,
+    /// Cycles per backup page to merge bitvectors at rollback time.
+    pub rollback_mark_cycles: u32,
+}
+
+impl Default for DeltaConfig {
+    fn default() -> Self {
+        DeltaConfig {
+            line_size: 64,
+            backup_line_cycles: 25,
+            restore_line_cycles: 28,
+            alloc_page_cycles: 400,
+            rollback_mark_cycles: 4,
+        }
+    }
+}
+
+/// Per-page backup record (Fig. 3): the backup frame, the LTS and the two
+/// bitvectors. In hardware this rides in the extended TLB entry; here it
+/// is the architectural model of that state.
+#[derive(Debug, Clone, Copy)]
+struct BackupRecord {
+    backup_ppn: u32,
+    lts: u64,
+    dirty: u128,
+    rollback: u128,
+}
+
+#[derive(Debug, Default)]
+struct ProcBackup {
+    gts: u64,
+    pages: HashMap<u32, BackupRecord>,
+    /// Pages with any rollback bit set (the RollbackVld quick check).
+    rollback_pending: u64,
+}
+
+/// The delta-page backup engine.
+#[derive(Debug)]
+pub struct DeltaBackupEngine {
+    cfg: DeltaConfig,
+    frames: FrameAllocator,
+    procs: HashMap<u16, ProcBackup>,
+    stats: SchemeStats,
+}
+
+impl DeltaBackupEngine {
+    /// Creates the engine with `frames` as its hidden backup-page pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `line_size` does not divide the page size or implies
+    /// more than 128 lines per page (the bitvector width).
+    #[must_use]
+    pub fn new(cfg: DeltaConfig, frames: FrameAllocator) -> DeltaBackupEngine {
+        assert!(
+            cfg.line_size.is_power_of_two() && PAGE_SIZE.is_multiple_of(cfg.line_size),
+            "line size must be a power of two dividing the page size"
+        );
+        assert!(PAGE_SIZE / cfg.line_size <= 128, "at most 128 lines per page");
+        DeltaBackupEngine { cfg, frames, procs: HashMap::new(), stats: SchemeStats::default() }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> DeltaConfig {
+        self.cfg
+    }
+
+    /// The current GTS of a registered service.
+    #[must_use]
+    pub fn gts(&self, asid: u16) -> Option<u64> {
+        self.procs.get(&asid).map(|p| p.gts)
+    }
+
+    /// Live backup frames (the Fig.-relevant space overhead; "INDRA
+    /// allocates delta backup pages on demand").
+    #[must_use]
+    pub fn backup_frames_live(&self) -> u32 {
+        self.frames.live_frames()
+    }
+
+    /// Number of pages with pending lazy rollback for `asid`.
+    #[must_use]
+    pub fn pages_pending_rollback(&self, asid: u16) -> u64 {
+        self.procs.get(&asid).map_or(0, |p| p.rollback_pending)
+    }
+
+}
+
+impl BackupHook for DeltaBackupEngine {
+    /// Fig. 5: a read of a line whose rollback bit is set first restores
+    /// the line from the backup page.
+    fn before_read(&mut self, asid: u16, vaddr: u32, paddr: u32, phys: &mut PhysicalMemory) -> u32 {
+        let Some(proc) = self.procs.get_mut(&asid) else { return 0 };
+        if proc.rollback_pending == 0 {
+            return 0; // RollbackVld fast path
+        }
+        let vpn = vaddr >> PAGE_SHIFT;
+        let Some(rec) = proc.pages.get_mut(&vpn) else { return 0 };
+        let line = (vaddr & (PAGE_SIZE - 1)) / self.cfg.line_size;
+        let bit = 1u128 << line;
+        if rec.rollback & bit == 0 {
+            return 0;
+        }
+        rec.rollback &= !bit;
+        let backup_base = rec.backup_ppn << PAGE_SHIFT;
+        let active_base = paddr & !(PAGE_SIZE - 1);
+        if rec.rollback == 0 {
+            proc.rollback_pending -= 1;
+        }
+        let off = line * self.cfg.line_size;
+        phys.copy(active_base + off, backup_base + off, self.cfg.line_size);
+        self.stats.lazy_restores += 1;
+        self.cfg.restore_line_cycles
+    }
+
+    /// Fig. 4: back up the original line on first write per request; a
+    /// write to a rollback-pending line restores it first (the backup
+    /// page already holds the boundary snapshot, so no re-copy).
+    fn before_write(&mut self, asid: u16, vaddr: u32, paddr: u32, phys: &mut PhysicalMemory) -> u32 {
+        let Some(proc) = self.procs.get_mut(&asid) else { return 0 };
+        self.stats.stores_observed += 1;
+        let vpn = vaddr >> PAGE_SHIFT;
+        let gts = proc.gts;
+        let mut cycles = 0;
+
+        let rec = match proc.pages.get_mut(&vpn) {
+            Some(r) => r,
+            None => {
+                let Some(ppn) = self.frames.alloc() else {
+                    // Pool exhausted: fail safe by skipping backup (the
+                    // hybrid macro checkpoint still covers recovery).
+                    return 0;
+                };
+                cycles += self.cfg.alloc_page_cycles;
+                proc.pages.insert(
+                    vpn,
+                    BackupRecord { backup_ppn: ppn, lts: gts, dirty: 0, rollback: 0 },
+                );
+                proc.pages.get_mut(&vpn).expect("just inserted")
+            }
+        };
+
+        if gts > rec.lts {
+            // New request interval: old dirty bits are obsolete (Fig. 7,
+            // action 2: "clears the old dirty bitvector ... updates LTS").
+            rec.dirty = 0;
+            rec.lts = gts;
+        }
+
+        let line = (vaddr & (PAGE_SIZE - 1)) / self.cfg.line_size;
+        let bit = 1u128 << line;
+        let active_base = paddr & !(PAGE_SIZE - 1);
+        let backup_base = rec.backup_ppn << PAGE_SHIFT;
+        let off = line * self.cfg.line_size;
+
+        if rec.rollback & bit != 0 {
+            // Fig. 7, action 7: pending-rollback line. The backup page
+            // already holds the boundary value; restore the active line
+            // (the incoming store may be narrower than a line), flip the
+            // bit from rollback to dirty, and skip the copy.
+            phys.copy(active_base + off, backup_base + off, self.cfg.line_size);
+            rec.rollback &= !bit;
+            rec.dirty |= bit;
+            if rec.rollback == 0 {
+                proc.rollback_pending -= 1;
+            }
+            self.stats.lazy_restores += 1;
+            cycles += self.cfg.restore_line_cycles;
+        } else if rec.dirty & bit == 0 {
+            phys.copy(backup_base + off, active_base + off, self.cfg.line_size);
+            rec.dirty |= bit;
+            self.stats.line_copies += 1;
+            cycles += self.cfg.backup_line_cycles;
+        }
+        cycles
+    }
+}
+
+impl Scheme for DeltaBackupEngine {
+    fn name(&self) -> &'static str {
+        "indra-delta"
+    }
+
+    fn register(&mut self, asid: u16) {
+        self.procs.entry(asid).or_default();
+    }
+
+    /// Fig. 6, success path: `GTS++`. No copying, no scanning — the
+    /// timestamp comparison invalidates every page's dirty bits lazily.
+    fn begin_request(&mut self, asid: u16, _: &mut AddressSpace, _: &mut PhysicalMemory) -> u64 {
+        if let Some(p) = self.procs.get_mut(&asid) {
+            p.gts += 1;
+        }
+        self.stats.boundary_cycles += 1;
+        1
+    }
+
+    /// Fig. 6, failure path: for every backup page,
+    /// `rollback |= dirty; dirty = 0` — no memory copying at all.
+    fn fail_and_rollback(&mut self, asid: u16, _: &mut AddressSpace, _: &mut PhysicalMemory) -> u64 {
+        let Some(proc) = self.procs.get_mut(&asid) else { return 0 };
+        let mut cycles = 0u64;
+        for rec in proc.pages.values_mut() {
+            // Only pages written under the *current* GTS hold state from
+            // the failed request; stale pages' dirty bits were already
+            // superseded.
+            if rec.lts == proc.gts && rec.dirty != 0 {
+                if rec.rollback == 0 {
+                    proc.rollback_pending += 1;
+                }
+                rec.rollback |= rec.dirty;
+                rec.dirty = 0;
+                cycles += u64::from(self.cfg.rollback_mark_cycles);
+            }
+        }
+        self.stats.rollbacks += 1;
+        self.stats.recovery_cycles += cycles;
+        cycles
+    }
+
+    /// Materializes pending lazy restores overlapping the range — the
+    /// synchronization INDRA applies before I/O leaves the core (§3.2.5).
+    fn ensure_clean(
+        &mut self,
+        asid: u16,
+        vaddr: u32,
+        len: u32,
+        space: &AddressSpace,
+        phys: &mut PhysicalMemory,
+    ) {
+        let Some(proc) = self.procs.get_mut(&asid) else { return };
+        if proc.rollback_pending == 0 || len == 0 {
+            return;
+        }
+        let first_vpn = vaddr >> PAGE_SHIFT;
+        let last_vpn = (vaddr + len - 1) >> PAGE_SHIFT;
+        for vpn in first_vpn..=last_vpn {
+            let Some(rec) = proc.pages.get_mut(&vpn) else { continue };
+            if rec.rollback == 0 {
+                continue;
+            }
+            let Ok(paddr) = space.translate(vpn << PAGE_SHIFT, AccessKind::Read) else {
+                continue;
+            };
+            let backup_base = rec.backup_ppn << PAGE_SHIFT;
+            let lines = PAGE_SIZE / self.cfg.line_size;
+            for line in 0..lines {
+                if rec.rollback & (1u128 << line) != 0 {
+                    let off = line * self.cfg.line_size;
+                    phys.copy(paddr + off, backup_base + off, self.cfg.line_size);
+                    self.stats.lazy_restores += 1;
+                }
+            }
+            rec.rollback = 0;
+            proc.rollback_pending -= 1;
+        }
+    }
+
+    fn forget(&mut self, asid: u16) {
+        if let Some(proc) = self.procs.get_mut(&asid) {
+            for (_, rec) in proc.pages.drain() {
+                self.frames.release(rec.backup_ppn);
+            }
+            proc.rollback_pending = 0;
+        }
+    }
+
+    fn live_backup_frames(&self) -> u32 {
+        self.backup_frames_live()
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = SchemeStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indra_sim::Pte;
+
+    const LINE: u32 = 64;
+
+    /// One mapped RW page at vaddr 0x10000 → paddr 0x5000, plus the engine.
+    fn rig() -> (DeltaBackupEngine, AddressSpace, PhysicalMemory) {
+        let mut engine = DeltaBackupEngine::new(
+            DeltaConfig::default(),
+            FrameAllocator::new(0x100, 0x200),
+        );
+        engine.register(7);
+        let mut space = AddressSpace::new(7);
+        space.map(0x10, Pte { ppn: 0x5, read: true, write: true, execute: false });
+        let phys = PhysicalMemory::new();
+        (engine, space, phys)
+    }
+
+    /// Simulate the core's store-word path: hook then write.
+    fn store(
+        e: &mut DeltaBackupEngine,
+        phys: &mut PhysicalMemory,
+        vaddr: u32,
+        paddr: u32,
+        value: u32,
+    ) {
+        e.before_write(7, vaddr, paddr, phys);
+        phys.write_u32(paddr, value);
+    }
+
+    fn load(e: &mut DeltaBackupEngine, phys: &mut PhysicalMemory, vaddr: u32, paddr: u32) -> u32 {
+        e.before_read(7, vaddr, paddr, phys);
+        phys.read_u32(paddr)
+    }
+
+    #[test]
+    fn write_then_rollback_then_read_restores() {
+        let (mut e, mut space, mut phys) = rig();
+        phys.write_u32(0x5000, 0xAAAA);
+        e.begin_request(7, &mut space, &mut phys);
+
+        store(&mut e, &mut phys, 0x10000, 0x5000, 0xBBBB);
+        assert_eq!(phys.read_u32(0x5000), 0xBBBB);
+
+        e.fail_and_rollback(7, &mut space, &mut phys);
+        // Active memory still corrupted (rollback is lazy)...
+        assert_eq!(phys.read_u32(0x5000), 0xBBBB);
+        // ...until the next read pulls the original line back.
+        assert_eq!(load(&mut e, &mut phys, 0x10000, 0x5000), 0xAAAA);
+        assert_eq!(e.stats().lazy_restores, 1);
+        assert_eq!(e.pages_pending_rollback(7), 0);
+    }
+
+    #[test]
+    fn committed_request_is_not_rolled_back() {
+        let (mut e, mut space, mut phys) = rig();
+        phys.write_u32(0x5000, 1);
+        e.begin_request(7, &mut space, &mut phys);
+        store(&mut e, &mut phys, 0x10000, 0x5000, 2);
+        // Request succeeds:
+        e.begin_request(7, &mut space, &mut phys);
+        store(&mut e, &mut phys, 0x10040, 0x5040, 3);
+        e.fail_and_rollback(7, &mut space, &mut phys);
+        // Line 0 (value 2) committed; only line 1 rolls back.
+        assert_eq!(load(&mut e, &mut phys, 0x10000, 0x5000), 2);
+        assert_eq!(load(&mut e, &mut phys, 0x10040, 0x5040), 0);
+    }
+
+    #[test]
+    fn only_first_write_per_request_copies() {
+        let (mut e, mut space, mut phys) = rig();
+        e.begin_request(7, &mut space, &mut phys);
+        store(&mut e, &mut phys, 0x10000, 0x5000, 1);
+        store(&mut e, &mut phys, 0x10004, 0x5004, 2); // same line
+        store(&mut e, &mut phys, 0x10000, 0x5000, 3); // same line again
+        assert_eq!(e.stats().line_copies, 1, "one copy per line per request");
+        assert_eq!(e.stats().stores_observed, 3);
+        store(&mut e, &mut phys, 0x10000 + LINE, 0x5000 + LINE, 4);
+        assert_eq!(e.stats().line_copies, 2);
+    }
+
+    #[test]
+    fn write_after_rollback_preserves_boundary_snapshot() {
+        // Fig. 7 action 7: a *write* to a pending-rollback line must not
+        // lose the rollback data.
+        let (mut e, mut space, mut phys) = rig();
+        phys.write_u32(0x5000, 0x11);
+        e.begin_request(7, &mut space, &mut phys); // GTS=1 boundary value 0x11
+        store(&mut e, &mut phys, 0x10000, 0x5000, 0x22); // malicious write
+        e.fail_and_rollback(7, &mut space, &mut phys);
+
+        // Next request writes the same line before reading it:
+        e.begin_request(7, &mut space, &mut phys);
+        e.before_write(7, 0x10004, 0x5004, &mut phys); // partial-line store
+        phys.write_u32(0x5004, 0x33);
+        // The untouched word of the line must show the boundary value, not
+        // the malicious one.
+        assert_eq!(phys.read_u32(0x5000), 0x11);
+        assert_eq!(phys.read_u32(0x5004), 0x33);
+
+        // And if THIS request also fails, rollback restores the boundary
+        // snapshot again.
+        e.fail_and_rollback(7, &mut space, &mut phys);
+        assert_eq!(load(&mut e, &mut phys, 0x10000, 0x5000), 0x11);
+        assert_eq!(load(&mut e, &mut phys, 0x10004, 0x5004), 0);
+    }
+
+    #[test]
+    fn double_failure_accumulates_rollback() {
+        // Fig. 7 actions 5–9: two consecutive malicious requests; damage
+        // from both must be revoked.
+        let (mut e, mut space, mut phys) = rig();
+        phys.write_u32(0x5000, 0xA);
+        phys.write_u32(0x5040, 0xB);
+        e.begin_request(7, &mut space, &mut phys);
+        store(&mut e, &mut phys, 0x10000, 0x5000, 0xDEAD);
+        e.fail_and_rollback(7, &mut space, &mut phys);
+
+        e.begin_request(7, &mut space, &mut phys);
+        store(&mut e, &mut phys, 0x10040, 0x5040, 0xBEEF); // different line
+        e.fail_and_rollback(7, &mut space, &mut phys);
+
+        assert_eq!(load(&mut e, &mut phys, 0x10000, 0x5000), 0xA);
+        assert_eq!(load(&mut e, &mut phys, 0x10040, 0x5040), 0xB);
+    }
+
+    #[test]
+    fn ensure_clean_materializes_for_io() {
+        let (mut e, mut space, mut phys) = rig();
+        phys.write_u32(0x5000, 0x77);
+        e.begin_request(7, &mut space, &mut phys);
+        store(&mut e, &mut phys, 0x10000, 0x5000, 0x99);
+        e.fail_and_rollback(7, &mut space, &mut phys);
+        // DMA wants to read the buffer without going through the core:
+        e.ensure_clean(7, 0x10000, 64, &space, &mut phys);
+        assert_eq!(phys.read_u32(0x5000), 0x77);
+        assert_eq!(e.pages_pending_rollback(7), 0);
+    }
+
+    #[test]
+    fn unregistered_asid_is_ignored() {
+        let (mut e, _space, mut phys) = rig();
+        phys.write_u32(0x9000, 5);
+        let c = e.before_write(99, 0x9000, 0x9000, &mut phys);
+        assert_eq!(c, 0);
+        assert_eq!(e.stats().stores_observed, 0);
+    }
+
+    #[test]
+    fn backup_frames_allocated_on_demand() {
+        let (mut e, mut space, mut phys) = rig();
+        assert_eq!(e.backup_frames_live(), 0);
+        e.begin_request(7, &mut space, &mut phys);
+        store(&mut e, &mut phys, 0x10000, 0x5000, 1);
+        assert_eq!(e.backup_frames_live(), 1);
+        // Same page in a later request reuses its backup frame.
+        e.begin_request(7, &mut space, &mut phys);
+        store(&mut e, &mut phys, 0x10080, 0x5080, 2);
+        assert_eq!(e.backup_frames_live(), 1);
+    }
+
+    #[test]
+    fn gts_advances_per_request() {
+        let (mut e, mut space, mut phys) = rig();
+        assert_eq!(e.gts(7), Some(0));
+        e.begin_request(7, &mut space, &mut phys);
+        e.begin_request(7, &mut space, &mut phys);
+        assert_eq!(e.gts(7), Some(2));
+        assert_eq!(e.gts(99), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "line size")]
+    fn bad_line_size_panics() {
+        let _ = DeltaBackupEngine::new(
+            DeltaConfig { line_size: 48, ..DeltaConfig::default() },
+            FrameAllocator::new(0, 1),
+        );
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::Scheme;
+    use indra_sim::{AddressSpace, Pte};
+
+    fn rig2() -> (DeltaBackupEngine, AddressSpace, PhysicalMemory) {
+        let mut engine =
+            DeltaBackupEngine::new(DeltaConfig::default(), FrameAllocator::new(0x100, 0x110));
+        engine.register(7);
+        let mut space = AddressSpace::new(7);
+        space.map(0x10, Pte { ppn: 0x5, read: true, write: true, execute: false });
+        space.map(0x11, Pte { ppn: 0x6, read: true, write: true, execute: false });
+        (engine, space, PhysicalMemory::new())
+    }
+
+    #[test]
+    fn last_line_of_page_rolls_back() {
+        let (mut e, mut space, mut phys) = rig2();
+        let vaddr = 0x10000 + 4096 - 4; // final word of the page
+        let paddr = 0x5000 + 4096 - 4;
+        phys.write_u32(paddr, 0x0BAD_CAFE);
+        e.begin_request(7, &mut space, &mut phys);
+        e.before_write(7, vaddr, paddr, &mut phys);
+        phys.write_u32(paddr, 1);
+        e.fail_and_rollback(7, &mut space, &mut phys);
+        e.before_read(7, vaddr, paddr, &mut phys);
+        assert_eq!(phys.read_u32(paddr), 0x0BAD_CAFE);
+    }
+
+    #[test]
+    fn ensure_clean_partial_range_leaves_other_pages_pending() {
+        let (mut e, mut space, mut phys) = rig2();
+        phys.write_u32(0x5000, 0xA);
+        phys.write_u32(0x6000, 0xB);
+        e.begin_request(7, &mut space, &mut phys);
+        for (v, p) in [(0x10000u32, 0x5000u32), (0x11000, 0x6000)] {
+            e.before_write(7, v, p, &mut phys);
+            phys.write_u32(p, 0xFF);
+        }
+        e.fail_and_rollback(7, &mut space, &mut phys);
+        assert_eq!(e.pages_pending_rollback(7), 2);
+        // Clean only the first page.
+        e.ensure_clean(7, 0x10000, 64, &space, &mut phys);
+        assert_eq!(e.pages_pending_rollback(7), 1);
+        assert_eq!(phys.read_u32(0x5000), 0xA, "cleaned page restored");
+        assert_eq!(phys.read_u32(0x6000), 0xFF, "other page still lazy");
+    }
+
+    #[test]
+    fn forget_releases_every_backup_frame() {
+        let (mut e, mut space, mut phys) = rig2();
+        e.begin_request(7, &mut space, &mut phys);
+        e.before_write(7, 0x10000, 0x5000, &mut phys);
+        e.before_write(7, 0x11000, 0x6000, &mut phys);
+        assert_eq!(e.live_backup_frames(), 2);
+        e.forget(7);
+        assert_eq!(e.live_backup_frames(), 0);
+        assert_eq!(e.pages_pending_rollback(7), 0);
+        // The engine keeps working after a forget.
+        e.begin_request(7, &mut space, &mut phys);
+        e.before_write(7, 0x10000, 0x5000, &mut phys);
+        assert_eq!(e.live_backup_frames(), 1);
+    }
+
+    #[test]
+    fn pool_exhaustion_degrades_gracefully() {
+        // A one-frame pool: the second page cannot be backed up, but the
+        // hook must not panic and the first page still rolls back.
+        let mut e =
+            DeltaBackupEngine::new(DeltaConfig::default(), FrameAllocator::new(0x100, 0x101));
+        e.register(7);
+        let mut space = AddressSpace::new(7);
+        space.map(0x10, Pte { ppn: 0x5, read: true, write: true, execute: false });
+        space.map(0x11, Pte { ppn: 0x6, read: true, write: true, execute: false });
+        let mut phys = PhysicalMemory::new();
+        phys.write_u32(0x5000, 0xAA);
+        e.begin_request(7, &mut space, &mut phys);
+        e.before_write(7, 0x10000, 0x5000, &mut phys);
+        phys.write_u32(0x5000, 1);
+        let cycles = e.before_write(7, 0x11000, 0x6000, &mut phys);
+        assert_eq!(cycles, 0, "unbackable write passes through");
+        phys.write_u32(0x6000, 2);
+        e.fail_and_rollback(7, &mut space, &mut phys);
+        e.ensure_clean(7, 0x10000, 8192, &space, &mut phys);
+        assert_eq!(phys.read_u32(0x5000), 0xAA, "backed page recovered");
+        assert_eq!(phys.read_u32(0x6000), 2, "unbackable page keeps its value");
+    }
+
+    #[test]
+    fn read_of_never_backed_page_is_free() {
+        let (mut e, mut space, mut phys) = rig2();
+        e.begin_request(7, &mut space, &mut phys);
+        e.before_write(7, 0x10000, 0x5000, &mut phys);
+        e.fail_and_rollback(7, &mut space, &mut phys);
+        // Reads on the *other* page pay nothing even with rollback pending.
+        assert_eq!(e.before_read(7, 0x11000, 0x6000, &mut phys), 0);
+    }
+}

@@ -1,0 +1,746 @@
+//! The resurrector's security monitor (§3.2, Table 2).
+//!
+//! Software running on the high-privilege core, consuming the hardware
+//! trace stream and performing three behavior-based inspections:
+//!
+//! 1. **Function call/return pairing** — every return must target the
+//!    instruction after its matching call (a shadow stack, with
+//!    setjmp/longjmp handled by unwinding to the saved frame). Catches
+//!    stack smashing.
+//! 2. **Code origin** — every line entering the IL1 must come from a page
+//!    the monitor recorded as executable when the binary was loaded (or a
+//!    declared dynamic-code region). Catches injected code, regardless of
+//!    what a compromised kernel did to PTE bits — the monitor's copy of
+//!    the attributes is in resurrector memory, unreachable from the
+//!    resurrectees.
+//! 3. **Control-transfer policy** — computed jumps and indirect calls
+//!    must land on targets the compiler declared (function entries,
+//!    jump-table cases, export lists). Catches function-pointer and
+//!    vtable overwrites.
+//!
+//! Because all three are *behavior*-based, a flagged event is a real
+//! anomaly: the paper argues INDRA "rarely has false positives" (§3.2.4).
+//! False negatives remain possible (e.g. pure data corruption), which is
+//! why the hybrid recovery scheme exists.
+//!
+//! The monitor also models its own **time**: each event costs resurrector
+//! cycles, and [`Monitor::clock`] advances as
+//! `max(clock, event.cycle) + cost` — the concurrency model that lets
+//! the evaluation compute FIFO backpressure (Fig. 12) and monitoring
+//! overhead (Fig. 11).
+
+use std::collections::{BTreeSet, HashMap};
+
+use indra_isa::Image;
+use indra_mem::{PAGE_SHIFT, PAGE_SIZE};
+use indra_sim::{StampedEvent, TraceEvent};
+
+/// Per-application metadata the resurrectee registers with the monitor
+/// when a service starts (§3.2.3: symbol tables, export/import lists,
+/// page attributes).
+#[derive(Debug, Clone, Default)]
+pub struct AppMetadata {
+    /// Virtual page numbers holding executable code.
+    pub executable_pages: BTreeSet<u32>,
+    /// Legitimate targets of indirect calls/jumps.
+    pub indirect_targets: BTreeSet<u32>,
+    /// Legitimate longjmp resumption points (instruction after a setjmp).
+    pub longjmp_targets: BTreeSet<u32>,
+    /// Declared dynamic-code regions `(base, size)`.
+    pub dynamic_regions: Vec<(u32, u32)>,
+}
+
+impl AppMetadata {
+    /// Derives the metadata from a linked image, exactly as the OS process
+    /// manager would when loading the binary (§3.2.2).
+    #[must_use]
+    pub fn from_image(image: &Image) -> AppMetadata {
+        let mut meta = AppMetadata::default();
+        for seg in image.segments.iter().filter(|s| s.perms.execute) {
+            let first = seg.vaddr >> PAGE_SHIFT;
+            let last = (seg.end() - 1) >> PAGE_SHIFT;
+            meta.executable_pages.extend(first..=last);
+        }
+        meta.indirect_targets = image.indirect_targets.clone();
+        meta.dynamic_regions = image.dynamic_code_regions.clone();
+        meta
+    }
+
+    fn in_dynamic_region(&self, addr: u32) -> bool {
+        self.dynamic_regions.iter().any(|&(base, size)| addr >= base && addr < base + size)
+    }
+}
+
+/// Per-event verification costs in resurrector cycles. The defaults model
+/// the tens-of-instructions software checks of §3.2.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorConfig {
+    /// Verify call/return pairing.
+    pub check_call_return: bool,
+    /// Verify code origin at IL1 fill.
+    pub check_code_origin: bool,
+    /// Verify indirect control-transfer targets.
+    pub check_control_transfer: bool,
+    /// Cost of processing a call event (push).
+    pub cost_call: u32,
+    /// Cost of processing a return event (pop + compare).
+    pub cost_return: u32,
+    /// Cost of a code-origin check (page-attribute lookup).
+    pub cost_code_origin: u32,
+    /// Cost of an indirect-target check (set lookup).
+    pub cost_indirect: u32,
+    /// Cost of a syscall synchronization event.
+    pub cost_sync: u32,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            check_call_return: true,
+            check_code_origin: true,
+            check_control_transfer: true,
+            cost_call: 18,
+            cost_return: 20,
+            cost_code_origin: 45,
+            cost_indirect: 50,
+            cost_sync: 12,
+        }
+    }
+}
+
+/// What the monitor concluded was wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// A return did not go back to the instruction after its call.
+    ReturnMismatch,
+    /// A return with an empty shadow stack.
+    ShadowStackUnderflow,
+    /// Code fetched from a page never recorded as executable.
+    CodeInjection,
+    /// An indirect call/jump to a target outside the declared sets.
+    InvalidIndirectTarget,
+    /// A site-defined [`InspectionPolicy`] fired (the paper's
+    /// upgradability story: the monitor is software, so new detection
+    /// techniques deploy without silicon changes, §3.2.4/§6).
+    Custom,
+}
+
+/// A site-pluggable inspection run by the resurrector after the built-in
+/// checks pass. The paper stresses that INDRA's monitoring "is
+/// implemented in software rather than in hardware logic, thereby
+/// providing better flexibility and upgradability" — this trait is that
+/// extension point.
+pub trait InspectionPolicy: Send {
+    /// Policy name (diagnostics).
+    fn name(&self) -> &str;
+
+    /// Resurrector cycles one invocation costs.
+    fn cost(&self) -> u32 {
+        15
+    }
+
+    /// Inspects one event against the app's metadata; `Some(addr)` raises
+    /// a [`ViolationKind::Custom`] violation anchored at that address.
+    fn inspect(&mut self, event: &StampedEvent, meta: &AppMetadata) -> Option<u32>;
+}
+
+/// A shipped example policy: system calls may only be issued from a
+/// declared set of call sites (real services enter the kernel through a
+/// handful of libc stubs; a syscall from anywhere else — e.g. injected
+/// code that slipped past other checks — is hostile).
+#[derive(Debug, Clone, Default)]
+pub struct SyscallSitePolicy {
+    allowed: std::collections::BTreeSet<u32>,
+}
+
+impl SyscallSitePolicy {
+    /// Creates the policy with its whitelist of syscall PCs.
+    #[must_use]
+    pub fn new(allowed: impl IntoIterator<Item = u32>) -> SyscallSitePolicy {
+        SyscallSitePolicy { allowed: allowed.into_iter().collect() }
+    }
+}
+
+impl InspectionPolicy for SyscallSitePolicy {
+    fn name(&self) -> &str {
+        "syscall-site"
+    }
+
+    fn inspect(&mut self, event: &StampedEvent, _meta: &AppMetadata) -> Option<u32> {
+        match event.event {
+            TraceEvent::SyscallSync { pc, .. } if !self.allowed.contains(&pc) => Some(pc),
+            _ => None,
+        }
+    }
+}
+
+/// A detected violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// Classification.
+    pub kind: ViolationKind,
+    /// Monitor-assigned sequence number.
+    pub seq: u64,
+    /// PC of the offending instruction (0 for code fills).
+    pub pc: u32,
+    /// The offending target/page address.
+    pub addr: u32,
+    /// The address space it occurred in.
+    pub asid: u16,
+}
+
+/// Monitor throughput statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Events consumed.
+    pub events: u64,
+    /// Call/return checks performed.
+    pub call_return_checks: u64,
+    /// Code-origin checks performed.
+    pub code_origin_checks: u64,
+    /// Indirect-target checks performed.
+    pub indirect_checks: u64,
+    /// Violations raised.
+    pub violations: u64,
+    /// Cycles the monitor spent verifying (busy time).
+    pub busy_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Frame {
+    return_addr: u32,
+    sp: u32,
+}
+
+#[derive(Debug, Default)]
+struct AppState {
+    meta: AppMetadata,
+    shadow: Vec<Frame>,
+    /// Shadow stack snapshot from the last request boundary.
+    saved_shadow: Vec<Frame>,
+}
+
+/// The monitor runtime.
+pub struct Monitor {
+    cfg: MonitorConfig,
+    apps: HashMap<u16, AppState>,
+    policies: Vec<Box<dyn InspectionPolicy>>,
+    clock: u64,
+    seq: u64,
+    stats: MonitorStats,
+    violations: Vec<Violation>,
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("apps", &self.apps.len())
+            .field("policies", &self.policies.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Monitor {
+    /// Creates a monitor with the given policy configuration.
+    #[must_use]
+    pub fn new(cfg: MonitorConfig) -> Monitor {
+        Monitor {
+            cfg,
+            apps: HashMap::new(),
+            policies: Vec::new(),
+            clock: 0,
+            seq: 0,
+            stats: MonitorStats::default(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> MonitorConfig {
+        self.cfg
+    }
+
+    /// Registers (or replaces) the metadata for a service address space.
+    pub fn register_app(&mut self, asid: u16, meta: AppMetadata) {
+        self.apps.insert(asid, AppState { meta, ..AppState::default() });
+    }
+
+    /// Installs a site-defined [`InspectionPolicy`], run (in installation
+    /// order) on every event of every monitored service after the
+    /// built-in inspections pass.
+    pub fn add_policy(&mut self, policy: Box<dyn InspectionPolicy>) {
+        self.policies.push(policy);
+    }
+
+    /// Records a dynamically declared executable page (JIT registration,
+    /// §3.2.2: "the code must be explicitly declared").
+    pub fn declare_dynamic_region(&mut self, asid: u16, base: u32, size: u32) {
+        if let Some(app) = self.apps.get_mut(&asid) {
+            app.meta.dynamic_regions.push((base, size));
+        }
+    }
+
+    /// Registers additional legitimate longjmp targets (the application
+    /// declares its setjmp sites when it starts, §3.2.1).
+    pub fn add_longjmp_targets(&mut self, asid: u16, targets: &[u32]) {
+        if let Some(app) = self.apps.get_mut(&asid) {
+            app.meta.longjmp_targets.extend(targets.iter().copied());
+        }
+    }
+
+    /// The resurrector's cycle clock.
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// All violations seen so far (the audit trail).
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Resets throughput statistics (not app state or the audit trail).
+    pub fn reset_stats(&mut self) {
+        self.stats = MonitorStats::default();
+    }
+
+    /// Snapshot the shadow stack at a request boundary, so a rollback can
+    /// restore monitoring state along with the application.
+    pub fn snapshot_shadow(&mut self, asid: u16) {
+        if let Some(app) = self.apps.get_mut(&asid) {
+            app.saved_shadow = app.shadow.clone();
+        }
+    }
+
+    /// Restores the shadow stack to the last boundary snapshot.
+    pub fn rollback_shadow(&mut self, asid: u16) {
+        if let Some(app) = self.apps.get_mut(&asid) {
+            app.shadow = app.saved_shadow.clone();
+        }
+    }
+
+    fn raise(&mut self, kind: ViolationKind, pc: u32, addr: u32, asid: u16) -> Violation {
+        self.seq += 1;
+        let v = Violation { kind, seq: self.seq, pc, addr, asid };
+        self.stats.violations += 1;
+        self.violations.push(v);
+        v
+    }
+
+    fn charge(&mut self, produced_at: u64, cost: u32) {
+        self.clock = self.clock.max(produced_at) + u64::from(cost);
+        self.stats.busy_cycles += u64::from(cost);
+    }
+
+    fn cost_of(&self, ev: &TraceEvent) -> u32 {
+        match ev {
+            TraceEvent::Call { .. } => self.cfg.cost_call,
+            TraceEvent::IndirectCall { .. } => self.cfg.cost_indirect,
+            TraceEvent::Return { .. } => self.cfg.cost_return,
+            TraceEvent::IndirectJump { .. } => self.cfg.cost_indirect,
+            TraceEvent::CodeFill { .. } => self.cfg.cost_code_origin,
+            TraceEvent::SyscallSync { .. } => self.cfg.cost_sync,
+        }
+    }
+
+    /// When the monitor would *finish* processing `ev` if it were handed
+    /// over now — `max(clock, produced_at) + cost`. Used by the machine
+    /// loop to model the monitor draining concurrently: events whose
+    /// completion lies in the past have, in wall-clock terms, already
+    /// left the FIFO.
+    #[must_use]
+    pub fn completion_preview(&self, ev: &StampedEvent) -> u64 {
+        self.clock.max(ev.cycle) + u64::from(self.cost_of(&ev.event))
+    }
+
+    /// Processes one trace event, advancing the monitor clock.
+    ///
+    /// Returns a violation when the event fails inspection; the caller
+    /// (the INDRA control loop) stalls the resurrectee and starts
+    /// recovery.
+    pub fn process(&mut self, ev: StampedEvent) -> Option<Violation> {
+        let builtin = self.process_builtin(ev);
+        if builtin.is_some() {
+            return builtin;
+        }
+        // Custom policies see every event the built-ins passed.
+        if !self.policies.is_empty() && self.apps.contains_key(&ev.asid) {
+            let mut hit: Option<(u32, u32)> = None;
+            for policy in &mut self.policies {
+                let meta = &self.apps[&ev.asid].meta;
+                let cost = policy.cost();
+                if let Some(addr) = policy.inspect(&ev, meta) {
+                    hit = Some((addr, cost));
+                    break;
+                }
+            }
+            if let Some((addr, cost)) = hit {
+                self.charge(ev.cycle, cost);
+                let pc = match ev.event {
+                    TraceEvent::Call { pc, .. }
+                    | TraceEvent::IndirectCall { pc, .. }
+                    | TraceEvent::Return { pc, .. }
+                    | TraceEvent::IndirectJump { pc, .. }
+                    | TraceEvent::CodeFill { pc, .. }
+                    | TraceEvent::SyscallSync { pc, .. } => pc,
+                };
+                return Some(self.raise(ViolationKind::Custom, pc, addr, ev.asid));
+            }
+        }
+        None
+    }
+
+    fn process_builtin(&mut self, ev: StampedEvent) -> Option<Violation> {
+        self.stats.events += 1;
+        let cfg = self.cfg;
+        // Unknown address spaces are not monitored (the paper pairs each
+        // trace entry with CR3 and skips processes without metadata).
+        if !self.apps.contains_key(&ev.asid) {
+            self.charge(ev.cycle, cfg.cost_sync);
+            return None;
+        }
+
+        match ev.event {
+            TraceEvent::Call { target, return_addr, sp, .. }
+            | TraceEvent::IndirectCall { target, return_addr, sp, .. } => {
+                let indirect = matches!(ev.event, TraceEvent::IndirectCall { .. });
+                let cost = if indirect { cfg.cost_indirect } else { cfg.cost_call };
+                self.charge(ev.cycle, cost);
+                if indirect && cfg.check_control_transfer {
+                    self.stats.indirect_checks += 1;
+                    let app = &self.apps[&ev.asid];
+                    let ok = app.meta.indirect_targets.contains(&target)
+                        || app.meta.in_dynamic_region(target);
+                    if !ok {
+                        let pc = match ev.event {
+                            TraceEvent::IndirectCall { pc, .. } => pc,
+                            _ => 0,
+                        };
+                        return Some(self.raise(
+                            ViolationKind::InvalidIndirectTarget,
+                            pc,
+                            target,
+                            ev.asid,
+                        ));
+                    }
+                }
+                if cfg.check_call_return {
+                    self.stats.call_return_checks += 1;
+                    let app = self.apps.get_mut(&ev.asid).expect("checked");
+                    app.shadow.push(Frame { return_addr, sp });
+                }
+                None
+            }
+            TraceEvent::Return { pc, target, sp } => {
+                self.charge(ev.cycle, cfg.cost_return);
+                if !cfg.check_call_return {
+                    return None;
+                }
+                self.stats.call_return_checks += 1;
+                let app = self.apps.get_mut(&ev.asid).expect("checked");
+                match app.shadow.pop() {
+                    Some(frame) if frame.return_addr == target => None,
+                    Some(_) => Some(self.raise(ViolationKind::ReturnMismatch, pc, target, ev.asid)),
+                    None => {
+                        let _ = sp;
+                        Some(self.raise(ViolationKind::ShadowStackUnderflow, pc, target, ev.asid))
+                    }
+                }
+            }
+            TraceEvent::IndirectJump { pc, target } => {
+                self.charge(ev.cycle, cfg.cost_indirect);
+                if !cfg.check_control_transfer {
+                    return None;
+                }
+                self.stats.indirect_checks += 1;
+                let app = self.apps.get_mut(&ev.asid).expect("checked");
+                if app.meta.longjmp_targets.contains(&target) {
+                    // setjmp/longjmp: legal, but the shadow stack must be
+                    // unwound to the setjmp frame (§3.2.1). We approximate
+                    // the env's stack depth with the frame whose sp is
+                    // at or above the jump target context.
+                    while let Some(top) = app.shadow.last() {
+                        if top.return_addr == target {
+                            break;
+                        }
+                        app.shadow.pop();
+                    }
+                    return None;
+                }
+                let ok = app.meta.indirect_targets.contains(&target)
+                    || app.meta.in_dynamic_region(target);
+                if ok {
+                    None
+                } else {
+                    Some(self.raise(ViolationKind::InvalidIndirectTarget, pc, target, ev.asid))
+                }
+            }
+            TraceEvent::CodeFill { page_vaddr, pc } => {
+                self.charge(ev.cycle, cfg.cost_code_origin);
+                if !cfg.check_code_origin {
+                    return None;
+                }
+                self.stats.code_origin_checks += 1;
+                let app = &self.apps[&ev.asid];
+                let vpn = page_vaddr >> PAGE_SHIFT;
+                let ok = app.meta.executable_pages.contains(&vpn)
+                    || app.meta.in_dynamic_region(page_vaddr)
+                    || app.meta.in_dynamic_region(page_vaddr + PAGE_SIZE - 1);
+                if ok {
+                    None
+                } else {
+                    Some(self.raise(ViolationKind::CodeInjection, pc, page_vaddr, ev.asid))
+                }
+            }
+            TraceEvent::SyscallSync { .. } => {
+                self.charge(ev.cycle, cfg.cost_sync);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> AppMetadata {
+        AppMetadata {
+            executable_pages: [0x400, 0x401].into_iter().collect(),
+            indirect_targets: [0x40_0100, 0x40_0200].into_iter().collect(),
+            longjmp_targets: [0x40_0300].into_iter().collect(),
+            dynamic_regions: vec![(0x50_0000, 0x1000)],
+        }
+    }
+
+    fn mon() -> Monitor {
+        let mut m = Monitor::new(MonitorConfig::default());
+        m.register_app(1, meta());
+        m
+    }
+
+    fn ev(event: TraceEvent, cycle: u64) -> StampedEvent {
+        StampedEvent { event, cycle, asid: 1 }
+    }
+
+    #[test]
+    fn balanced_call_return_passes() {
+        let mut m = mon();
+        assert!(m
+            .process(ev(TraceEvent::Call { pc: 0x40_0000, target: 0x40_0100, return_addr: 0x40_0004, sp: 0x7000 }, 10))
+            .is_none());
+        assert!(m
+            .process(ev(TraceEvent::Return { pc: 0x40_0104, target: 0x40_0004, sp: 0x7000 }, 20))
+            .is_none());
+        assert_eq!(m.stats().violations, 0);
+        assert_eq!(m.stats().call_return_checks, 2);
+    }
+
+    #[test]
+    fn smashed_return_detected() {
+        let mut m = mon();
+        m.process(ev(TraceEvent::Call { pc: 0x40_0000, target: 0x40_0100, return_addr: 0x40_0004, sp: 0x7000 }, 10));
+        let v = m
+            .process(ev(TraceEvent::Return { pc: 0x40_0104, target: 0xDEAD_0000, sp: 0x7000 }, 20))
+            .expect("must detect");
+        assert_eq!(v.kind, ViolationKind::ReturnMismatch);
+        assert_eq!(v.addr, 0xDEAD_0000);
+    }
+
+    #[test]
+    fn underflow_detected() {
+        let mut m = mon();
+        let v = m
+            .process(ev(TraceEvent::Return { pc: 0x40_0104, target: 0x40_0004, sp: 0 }, 5))
+            .expect("must detect");
+        assert_eq!(v.kind, ViolationKind::ShadowStackUnderflow);
+    }
+
+    #[test]
+    fn code_injection_detected() {
+        let mut m = mon();
+        // 0x1000_0000 is a data page — never recorded executable.
+        let v = m
+            .process(ev(TraceEvent::CodeFill { page_vaddr: 0x1000_0000, pc: 0x1000_0010 }, 5))
+            .expect("must detect");
+        assert_eq!(v.kind, ViolationKind::CodeInjection);
+        // Legit code page passes.
+        assert!(m.process(ev(TraceEvent::CodeFill { page_vaddr: 0x40_0000, pc: 0x40_0000 }, 6)).is_none());
+        // Declared dynamic region passes.
+        assert!(m.process(ev(TraceEvent::CodeFill { page_vaddr: 0x50_0000, pc: 0x50_0000 }, 7)).is_none());
+    }
+
+    #[test]
+    fn indirect_target_policy() {
+        let mut m = mon();
+        assert!(m
+            .process(ev(TraceEvent::IndirectCall { pc: 0x40_0000, target: 0x40_0200, return_addr: 4, sp: 0 }, 1))
+            .is_none());
+        let v = m
+            .process(ev(TraceEvent::IndirectCall { pc: 0x40_0000, target: 0x40_0444, return_addr: 4, sp: 0 }, 2))
+            .expect("hijacked fn pointer must be detected");
+        assert_eq!(v.kind, ViolationKind::InvalidIndirectTarget);
+        // Indirect jump into dynamic region is fine.
+        assert!(m
+            .process(ev(TraceEvent::IndirectJump { pc: 0x40_0000, target: 0x50_0800 }, 3))
+            .is_none());
+    }
+
+    #[test]
+    fn longjmp_unwinds_shadow_stack() {
+        let mut m = mon();
+        // call chain: A -> B -> C, where A's frame will be the longjmp home.
+        m.process(ev(TraceEvent::Call { pc: 0x40_0000, target: 0x40_0100, return_addr: 0x40_0300, sp: 0x7000 }, 1));
+        m.process(ev(TraceEvent::Call { pc: 0x40_0100, target: 0x40_0200, return_addr: 0x40_0104, sp: 0x6FF0 }, 2));
+        // longjmp back to the registered target:
+        assert!(m.process(ev(TraceEvent::IndirectJump { pc: 0x40_0208, target: 0x40_0300 }, 3)).is_none());
+        // The unwound stack accepts the outer return:
+        assert!(m
+            .process(ev(TraceEvent::Return { pc: 0x40_0300, target: 0x40_0300, sp: 0x7000 }, 4))
+            .is_none());
+    }
+
+    #[test]
+    fn rollback_restores_shadow_stack() {
+        let mut m = mon();
+        m.snapshot_shadow(1);
+        m.process(ev(TraceEvent::Call { pc: 0, target: 0x40_0100, return_addr: 4, sp: 0x7000 }, 1));
+        // Rollback discards the in-flight frame:
+        m.rollback_shadow(1);
+        let v = m.process(ev(TraceEvent::Return { pc: 8, target: 4, sp: 0x7000 }, 2));
+        assert!(matches!(v, Some(Violation { kind: ViolationKind::ShadowStackUnderflow, .. })));
+    }
+
+    #[test]
+    fn clock_advances_with_event_time_and_cost() {
+        let mut m = mon();
+        m.process(ev(TraceEvent::SyscallSync { pc: 0, code: 1 }, 100));
+        assert_eq!(m.clock(), 100 + u64::from(m.config().cost_sync));
+        // An event produced earlier than the clock does not rewind it.
+        m.process(ev(TraceEvent::SyscallSync { pc: 0, code: 1 }, 50));
+        assert_eq!(m.clock(), 100 + 2 * u64::from(m.config().cost_sync));
+    }
+
+    #[test]
+    fn disabled_checks_pass_everything() {
+        let mut m = Monitor::new(MonitorConfig {
+            check_call_return: false,
+            check_code_origin: false,
+            check_control_transfer: false,
+            ..MonitorConfig::default()
+        });
+        m.register_app(1, meta());
+        assert!(m.process(ev(TraceEvent::CodeFill { page_vaddr: 0x1000_0000, pc: 0 }, 1)).is_none());
+        assert!(m.process(ev(TraceEvent::Return { pc: 0, target: 0xBAD, sp: 0 }, 2)).is_none());
+        assert!(m
+            .process(ev(TraceEvent::IndirectJump { pc: 0, target: 0xBAD }, 3))
+            .is_none());
+    }
+
+    #[test]
+    fn unknown_asid_unmonitored() {
+        let mut m = mon();
+        let foreign = StampedEvent {
+            event: TraceEvent::Return { pc: 0, target: 0xBAD, sp: 0 },
+            cycle: 1,
+            asid: 99,
+        };
+        assert!(m.process(foreign).is_none());
+    }
+
+    #[test]
+    fn metadata_from_image() {
+        let img = indra_isa::assemble(
+            "t",
+            "main:\n call f\n halt\nf:\n ret\n.data\nd: .word 1\n",
+        )
+        .unwrap();
+        let meta = AppMetadata::from_image(&img);
+        let text_vpn = indra_isa::TEXT_BASE >> PAGE_SHIFT;
+        assert!(meta.executable_pages.contains(&text_vpn));
+        let data_vpn = indra_isa::DATA_BASE >> PAGE_SHIFT;
+        assert!(!meta.executable_pages.contains(&data_vpn));
+        assert!(meta.indirect_targets.contains(&img.addr_of("f").unwrap()));
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+
+    #[test]
+    fn syscall_site_policy_flags_unknown_sites() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        m.register_app(1, AppMetadata::default());
+        m.add_policy(Box::new(SyscallSitePolicy::new([0x40_0010])));
+
+        let ok = StampedEvent {
+            event: TraceEvent::SyscallSync { pc: 0x40_0010, code: 1 },
+            cycle: 5,
+            asid: 1,
+        };
+        assert!(m.process(ok).is_none(), "whitelisted site passes");
+
+        let bad = StampedEvent {
+            event: TraceEvent::SyscallSync { pc: 0x50_0000, code: 1 },
+            cycle: 9,
+            asid: 1,
+        };
+        let v = m.process(bad).expect("rogue syscall site flagged");
+        assert_eq!(v.kind, ViolationKind::Custom);
+        assert_eq!(v.addr, 0x50_0000);
+    }
+
+    #[test]
+    fn policies_run_after_builtin_checks() {
+        // A policy that would flag everything never sees an event the
+        // built-in inspection already rejected.
+        struct FlagAll;
+        impl InspectionPolicy for FlagAll {
+            fn name(&self) -> &str {
+                "flag-all"
+            }
+            fn inspect(&mut self, _: &StampedEvent, _: &AppMetadata) -> Option<u32> {
+                Some(0xDEAD)
+            }
+        }
+        let mut m = Monitor::new(MonitorConfig::default());
+        m.register_app(1, AppMetadata::default());
+        m.add_policy(Box::new(FlagAll));
+        let smashed = StampedEvent {
+            event: TraceEvent::Return { pc: 4, target: 0xBAD0, sp: 0 },
+            cycle: 1,
+            asid: 1,
+        };
+        let v = m.process(smashed).expect("violation");
+        assert_eq!(v.kind, ViolationKind::ShadowStackUnderflow, "built-in wins");
+        // And a passing event reaches the policy:
+        let benign = StampedEvent {
+            event: TraceEvent::SyscallSync { pc: 0, code: 2 },
+            cycle: 2,
+            asid: 1,
+        };
+        assert_eq!(m.process(benign).expect("policy fires").kind, ViolationKind::Custom);
+    }
+
+    #[test]
+    fn policies_do_not_inspect_unmonitored_asids() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        m.add_policy(Box::new(SyscallSitePolicy::new([])));
+        let foreign = StampedEvent {
+            event: TraceEvent::SyscallSync { pc: 0x123, code: 1 },
+            cycle: 1,
+            asid: 99,
+        };
+        assert!(m.process(foreign).is_none());
+    }
+}

@@ -1,0 +1,289 @@
+//! Hybrid dual recovery (§3.3.2, Fig. 8).
+//!
+//! INDRA's micro (per-request) rollback assumes the damage came from the
+//! request just processed. "Dormant" attacks violate that assumption:
+//! corruption planted by an earlier request only fells the service later.
+//! The paper's answer is a hybrid: a slow-paced **macro application
+//! checkpoint** (libckpt-style, every ~10,000 requests) backs the swift
+//! micro recovery; when micro recovery fails to keep the service alive —
+//! detected as consecutive failures with no successfully served request
+//! in between — the service is restored from the macro checkpoint
+//! instead.
+
+use indra_mem::{PAGE_SHIFT, PAGE_SIZE};
+use indra_sim::{CpuContext, Machine};
+
+use crate::baselines::PAGE_COPY_CYCLES;
+
+/// A full application-level checkpoint: every mapped page plus the
+/// execution context.
+#[derive(Debug, Clone)]
+pub struct MacroCheckpoint {
+    /// `(vpn, contents)` of every page mapped at checkpoint time.
+    pages: Vec<(u32, Vec<u8>)>,
+    /// Execution context at checkpoint time.
+    context: CpuContext,
+    /// GTS-equivalent request count at checkpoint time (diagnostics).
+    request_seq: u64,
+}
+
+impl MacroCheckpoint {
+    /// Number of pages captured.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Request sequence number at capture time.
+    #[must_use]
+    pub fn request_seq(&self) -> u64 {
+        self.request_seq
+    }
+}
+
+/// Captures a macro checkpoint of `asid`. `context` should be the
+/// request-boundary context (PC parked on `net_recv`) so a restored
+/// service immediately fetches the next request instead of replaying a
+/// stale one; pass the core's live context when no boundary exists yet.
+/// Returns the checkpoint and the cycle cost of taking it.
+#[must_use]
+pub fn take_macro_checkpoint(
+    machine: &Machine,
+    asid: u16,
+    context: CpuContext,
+    request_seq: u64,
+) -> (MacroCheckpoint, u64) {
+    let mut pages = Vec::new();
+    if let Some(space) = machine.space(asid) {
+        for (vpn, pte) in space.iter() {
+            let mut buf = vec![0u8; PAGE_SIZE as usize];
+            machine.phys().read_bytes(pte.ppn << PAGE_SHIFT, &mut buf);
+            pages.push((vpn, buf));
+        }
+    }
+    // Software checkpointing: page copy plus user/kernel transition per
+    // page — this is why it must stay infrequent (Fig. 8: "the software
+    // checkpoint is performed infrequently, e.g. once every 10,000
+    // processed requests").
+    let cycles = pages.len() as u64 * u64::from(PAGE_COPY_CYCLES) * 2;
+    let ckpt = MacroCheckpoint { pages, context, request_seq };
+    (ckpt, cycles)
+}
+
+/// Restores a macro checkpoint: rewrites every captured page still mapped
+/// and resets the core context. Returns the cycle cost.
+pub fn restore_macro_checkpoint(
+    machine: &mut Machine,
+    asid: u16,
+    core: usize,
+    ckpt: &MacroCheckpoint,
+) -> u64 {
+    let mut restored = 0u64;
+    for (vpn, contents) in &ckpt.pages {
+        let Some(pte) = machine.space(asid).and_then(|s| s.pte(*vpn)) else {
+            continue;
+        };
+        machine.phys_mut().write_bytes(pte.ppn << PAGE_SHIFT, contents);
+        restored += 1;
+    }
+    machine.core_mut(core).set_context(ckpt.context);
+    machine.core_mut(core).clear_halt();
+    restored * u64::from(PAGE_COPY_CYCLES)
+}
+
+/// Hybrid recovery policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridConfig {
+    /// Take a macro checkpoint every this many requests (paper: 10,000).
+    pub macro_interval: u64,
+    /// Escalate to macro recovery after this many consecutive failures
+    /// with no successfully served request in between.
+    pub failure_threshold: u32,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig { macro_interval: 10_000, failure_threshold: 3 }
+    }
+}
+
+/// Which recovery level to apply (Fig. 8's decision diamond).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryLevel {
+    /// Swift per-request rollback.
+    Micro,
+    /// Restore the last macro application checkpoint.
+    Macro,
+}
+
+/// Hybrid recovery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HybridStats {
+    /// Macro checkpoints taken.
+    pub macro_checkpoints: u64,
+    /// Micro recoveries performed.
+    pub micro_recoveries: u64,
+    /// Macro recoveries performed.
+    pub macro_recoveries: u64,
+}
+
+/// The Fig. 8 controller.
+#[derive(Debug)]
+pub struct HybridController {
+    cfg: HybridConfig,
+    requests_seen: u64,
+    requests_at_last_macro: u64,
+    consecutive_failures: u32,
+    stats: HybridStats,
+}
+
+impl HybridController {
+    /// Creates a controller.
+    #[must_use]
+    pub fn new(cfg: HybridConfig) -> HybridController {
+        HybridController {
+            cfg,
+            requests_seen: 0,
+            requests_at_last_macro: 0,
+            consecutive_failures: 0,
+            stats: HybridStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> HybridConfig {
+        self.cfg
+    }
+
+    /// Called at each request boundary; returns `true` when it is time to
+    /// take a macro checkpoint. Checkpoints are only taken while the
+    /// service is healthy (no unresolved failure streak): checkpointing a
+    /// corrupted state would poison the very recovery the checkpoint
+    /// exists for — when failures are pending, the checkpoint is deferred
+    /// to the next healthy boundary.
+    pub fn on_request_boundary(&mut self) -> bool {
+        self.requests_seen += 1;
+        let due = self.requests_seen - self.requests_at_last_macro >= self.cfg.macro_interval;
+        if due && self.consecutive_failures == 0 {
+            self.requests_at_last_macro = self.requests_seen;
+            self.stats.macro_checkpoints += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Called when a request is served successfully.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+    }
+
+    /// Called when corruption is detected; decides the recovery level.
+    pub fn on_failure(&mut self) -> RecoveryLevel {
+        self.consecutive_failures += 1;
+        if self.consecutive_failures > self.cfg.failure_threshold {
+            self.consecutive_failures = 0;
+            self.stats.macro_recoveries += 1;
+            RecoveryLevel::Macro
+        } else {
+            self.stats.micro_recoveries += 1;
+            RecoveryLevel::Micro
+        }
+    }
+
+    /// Requests observed so far.
+    #[must_use]
+    pub fn requests_seen(&self) -> u64 {
+        self.requests_seen
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> HybridStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_checkpoint_cadence() {
+        let mut h = HybridController::new(HybridConfig { macro_interval: 3, failure_threshold: 2 });
+        assert!(!h.on_request_boundary());
+        assert!(!h.on_request_boundary());
+        assert!(h.on_request_boundary(), "third request triggers the checkpoint");
+        assert!(!h.on_request_boundary());
+        assert_eq!(h.stats().macro_checkpoints, 1);
+    }
+
+    #[test]
+    fn escalation_after_consecutive_failures() {
+        let mut h = HybridController::new(HybridConfig { macro_interval: 100, failure_threshold: 2 });
+        assert_eq!(h.on_failure(), RecoveryLevel::Micro);
+        assert_eq!(h.on_failure(), RecoveryLevel::Micro);
+        assert_eq!(h.on_failure(), RecoveryLevel::Macro, "third consecutive failure escalates");
+        assert_eq!(h.on_failure(), RecoveryLevel::Micro, "counter reset after escalation");
+    }
+
+    #[test]
+    fn unhealthy_boundary_defers_checkpoint() {
+        let mut h = HybridController::new(HybridConfig { macro_interval: 2, failure_threshold: 5 });
+        assert!(!h.on_request_boundary());
+        h.on_failure();
+        // Due, but the failure streak is unresolved: defer.
+        assert!(!h.on_request_boundary());
+        assert!(!h.on_request_boundary());
+        h.on_success();
+        // First healthy boundary takes the deferred checkpoint.
+        assert!(h.on_request_boundary());
+    }
+
+    #[test]
+    fn success_resets_failure_count() {
+        let mut h = HybridController::new(HybridConfig { macro_interval: 100, failure_threshold: 2 });
+        h.on_failure();
+        h.on_failure();
+        h.on_success();
+        assert_eq!(h.on_failure(), RecoveryLevel::Micro, "streak broken by a success");
+        assert_eq!(h.stats().micro_recoveries, 3);
+        assert_eq!(h.stats().macro_recoveries, 0);
+    }
+
+    mod machine_level {
+        use super::*;
+        use indra_isa::assemble;
+        use indra_sim::{CoreStep, MachineConfig};
+
+        #[test]
+        fn macro_roundtrip_restores_memory_and_context() {
+            let mut m = Machine::new(MachineConfig::default());
+            m.boot_asymmetric();
+            let img =
+                assemble("t", "main:\n halt\n.data\nbuf: .word 0x1111\n").unwrap();
+            m.create_space(5);
+            m.load_image(5, &img).unwrap();
+            m.core_mut(1).set_asid(5);
+            m.core_mut(1).set_pc(img.entry);
+            while let CoreStep::Executed = m.step_core_simple(1) {}
+
+            let ctx = m.core(1).context();
+            let (ckpt, take_cycles) = take_macro_checkpoint(&m, 5, ctx, 7);
+            assert!(ckpt.page_count() > 0);
+            assert!(take_cycles > 0);
+            assert_eq!(ckpt.request_seq(), 7);
+
+            // Corrupt data memory and the context.
+            let buf = img.addr_of("buf").unwrap();
+            assert!(m.write_virtual_u32(5, buf, 0xDEAD));
+            m.core_mut(1).set_pc(0x9999);
+
+            let restore_cycles = restore_macro_checkpoint(&mut m, 5, 1, &ckpt);
+            assert!(restore_cycles > 0);
+            assert_eq!(m.read_virtual_u32(5, buf), Some(0x1111));
+            assert_eq!(m.core(1).pc(), ckpt.context.pc);
+        }
+    }
+}

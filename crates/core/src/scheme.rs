@@ -1,0 +1,190 @@
+//! The common interface of memory checkpoint/recovery schemes (Table 3).
+//!
+//! The paper compares four macro-level memory backup approaches:
+//!
+//! | scheme | backup | recovery |
+//! |---|---|---|
+//! | software checkpointing (libckpt) | copy dirty pages, slow | fast (remap) |
+//! | memory update log (DIRA) | append old values, fast | undo log walk, slow |
+//! | hardware virtual checkpointing | copy dirty page on demand, slow | fast (remap TLB) |
+//! | **INDRA delta** | copy only dirty *lines*, fast | fast (lazy, no copy) |
+//!
+//! Every scheme implements [`Scheme`]: it observes stores (and for INDRA,
+//! loads) through the [`BackupHook`] supertrait while the request
+//! executes, and exposes the two request-boundary operations —
+//! [`Scheme::begin_request`] and [`Scheme::fail_and_rollback`] — whose
+//! relative costs are exactly what Table 3 and Figs. 14/16 measure.
+
+use indra_mem::PhysicalMemory;
+use indra_sim::{AddressSpace, BackupHook};
+
+/// Cumulative counters common to all schemes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchemeStats {
+    /// Store instructions observed.
+    pub stores_observed: u64,
+    /// Line copies performed (granularity differs by scheme).
+    pub line_copies: u64,
+    /// Whole-page copies performed.
+    pub page_copies: u64,
+    /// Undo-log entries appended (update-log scheme only).
+    pub log_entries: u64,
+    /// Lazy line restores (INDRA only).
+    pub lazy_restores: u64,
+    /// Rollbacks executed.
+    pub rollbacks: u64,
+    /// Cycles charged at request boundaries.
+    pub boundary_cycles: u64,
+    /// Cycles charged for rollback/recovery work.
+    pub recovery_cycles: u64,
+}
+
+impl SchemeStats {
+    /// Fraction of observed stores that required a backup line copy —
+    /// the y-axis of Fig. 15 (INDRA) and a cost proxy for the others.
+    #[must_use]
+    pub fn backup_fraction(&self) -> f64 {
+        if self.stores_observed == 0 {
+            0.0
+        } else {
+            self.line_copies as f64 / self.stores_observed as f64
+        }
+    }
+}
+
+/// A per-request memory checkpoint/recovery scheme.
+///
+/// Implementations are driven by the INDRA control loop: `register` once
+/// per service, `begin_request` at every request boundary (the paper's
+/// GTS increment), the [`BackupHook`] callbacks on every committed memory
+/// access in between, and `fail_and_rollback` when the monitor detects
+/// corruption.
+pub trait Scheme: BackupHook {
+    /// Scheme name for reports ("indra-delta", "virtual-checkpoint", …).
+    fn name(&self) -> &'static str;
+
+    /// Registers a service address space.
+    fn register(&mut self, asid: u16);
+
+    /// Marks a request boundary: the previous request committed. Returns
+    /// the cycle cost charged to the resurrectee.
+    fn begin_request(
+        &mut self,
+        asid: u16,
+        space: &mut AddressSpace,
+        phys: &mut PhysicalMemory,
+    ) -> u64;
+
+    /// The current request was malicious: restore memory to the last
+    /// boundary. Returns the cycle cost of the rollback itself.
+    fn fail_and_rollback(
+        &mut self,
+        asid: u16,
+        space: &mut AddressSpace,
+        phys: &mut PhysicalMemory,
+    ) -> u64;
+
+    /// Materializes any lazily-deferred restores overlapping
+    /// `[vaddr, vaddr+len)` so that non-core observers (DMA, the OS
+    /// reading a send buffer) see correct data. A no-op for eager
+    /// schemes.
+    fn ensure_clean(
+        &mut self,
+        asid: u16,
+        vaddr: u32,
+        len: u32,
+        space: &AddressSpace,
+        phys: &mut PhysicalMemory,
+    );
+
+    /// Drops all backup state for `asid` (frames released, logs cleared)
+    /// without restoring anything — used when a macro checkpoint restore
+    /// supersedes the per-request state.
+    fn forget(&mut self, asid: u16);
+
+    /// Backup frames currently live (the paper's space-overhead metric;
+    /// zero for schemes that keep no frame pool).
+    fn live_backup_frames(&self) -> u32 {
+        0
+    }
+
+    /// Cumulative statistics.
+    fn stats(&self) -> SchemeStats;
+
+    /// Resets statistics (not backup state).
+    fn reset_stats(&mut self);
+}
+
+/// The "no backup hardware" scheme: observes nothing, restores nothing.
+/// Used for the unmonitored baseline runs.
+#[derive(Debug, Default)]
+pub struct NoBackup {
+    stats: SchemeStats,
+}
+
+impl NoBackup {
+    /// Creates the null scheme.
+    #[must_use]
+    pub fn new() -> NoBackup {
+        NoBackup::default()
+    }
+}
+
+impl BackupHook for NoBackup {
+    fn before_read(&mut self, _: u16, _: u32, _: u32, _: &mut PhysicalMemory) -> u32 {
+        0
+    }
+
+    fn before_write(&mut self, _: u16, _: u32, _: u32, _: &mut PhysicalMemory) -> u32 {
+        self.stats.stores_observed += 1;
+        0
+    }
+}
+
+impl Scheme for NoBackup {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn register(&mut self, _asid: u16) {}
+
+    fn begin_request(&mut self, _: u16, _: &mut AddressSpace, _: &mut PhysicalMemory) -> u64 {
+        0
+    }
+
+    fn fail_and_rollback(&mut self, _: u16, _: &mut AddressSpace, _: &mut PhysicalMemory) -> u64 {
+        // Nothing to restore — a machine without INDRA cannot roll back.
+        self.stats.rollbacks += 1;
+        0
+    }
+
+    fn ensure_clean(&mut self, _: u16, _: u32, _: u32, _: &AddressSpace, _: &mut PhysicalMemory) {}
+
+    fn forget(&mut self, _asid: u16) {}
+
+    fn stats(&self) -> SchemeStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = SchemeStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nobackup_counts_stores() {
+        let mut s = NoBackup::new();
+        let mut phys = PhysicalMemory::new();
+        s.before_write(1, 0x1000, 0x1000, &mut phys);
+        s.before_write(1, 0x1004, 0x1004, &mut phys);
+        assert_eq!(s.stats().stores_observed, 2);
+        assert_eq!(s.stats().line_copies, 0);
+        assert!((s.stats().backup_fraction()).abs() < 1e-12);
+        s.reset_stats();
+        assert_eq!(s.stats().stores_observed, 0);
+    }
+}

@@ -1,0 +1,963 @@
+//! The integrated INDRA system (Fig. 2).
+//!
+//! [`IndraSystem`] wires the machine, the kernel-lite, the monitor and a
+//! checkpoint scheme into the paper's run loop:
+//!
+//! * each **resurrectee** core executes one service; committed traces
+//!   flow through its CAM filter into the shared FIFO;
+//! * the **resurrector** consumes the FIFO with its own cycle clock
+//!   (`max(clock, event_time) + verify_cost`), so monitoring runs
+//!   *concurrently* — a resurrectee stalls only when the FIFO fills
+//!   (Fig. 12) or at synchronization points (syscalls/I/O, §3.2.5);
+//! * a detected violation (or a hardware fault, or a hung request)
+//!   quiesces the offending core and triggers the hybrid recovery of
+//!   Fig. 8: micro per-request rollback first, macro checkpoint restore
+//!   after repeated failures.
+//!
+//! The paper's evaluation uses one resurrector and one resurrectee; the
+//! design explicitly allows several resurrectees under one resurrector
+//! (Fig. 2), which this implementation supports — deploy one service per
+//! resurrectee core and the shared monitor multiplexes by ASID, exactly
+//! as the paper's CR3-tagged trace entries do.
+
+use std::collections::{BTreeMap, HashMap};
+
+use indra_isa::{Image, Reg};
+use indra_mem::FrameAllocator;
+use indra_os::{syscall, Os, Pid, Response, SyscallEffect};
+use indra_sim::{CoreStep, Machine, MachineConfig};
+
+/// Fixed cost of one micro recovery beyond the scheme's own work: the
+/// resurrector's stall IPI, the resurrectee's recovery interrupt handler,
+/// the kernel walking the resource mark (closing descriptors, killing
+/// children, reclaiming pages) and the context restore. Dominated by
+/// kernel work, so tens of microseconds — this is what makes frequent
+/// rollback visible on bind's short requests (Fig. 16's outlier).
+const MICRO_RECOVERY_BASE_CYCLES: u64 = 40_000;
+
+use crate::{
+    restore_macro_checkpoint, take_macro_checkpoint, AppMetadata, DeltaBackupEngine, DeltaConfig,
+    HybridConfig, HybridController, MacroCheckpoint, Monitor, MonitorConfig, NoBackup,
+    RecoveryLevel, Scheme, SoftwareCheckpoint, UndoLog, ViolationKind, VirtualCheckpoint,
+};
+
+/// Which checkpoint scheme to deploy (Table 3's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// No backup hardware at all (baseline for Fig. 11).
+    None,
+    /// INDRA's delta-page engine.
+    Delta,
+    /// Hardware virtual checkpointing (page copy on first write).
+    VirtualCheckpoint,
+    /// libckpt-style software checkpointing.
+    SoftwareCheckpoint,
+    /// DIRA-style memory update log.
+    UndoLog,
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Machine parameters (Table 4).
+    pub machine: MachineConfig,
+    /// Monitor policies and per-event costs.
+    pub monitor: MonitorConfig,
+    /// Delta engine parameters.
+    pub delta: DeltaConfig,
+    /// Hybrid recovery parameters (one controller per service).
+    pub hybrid: HybridConfig,
+    /// The deployed scheme.
+    pub scheme: SchemeKind,
+    /// Master monitoring switch (off = the Fig. 11 baseline machine).
+    pub monitoring: bool,
+    /// Instructions a single request may retire before the resurrector
+    /// declares it hung (DoS watchdog; teardrop-style freezes).
+    pub request_timeout_insns: u64,
+    /// The core [`IndraSystem::deploy`] targets first; additional
+    /// deployments take the following resurrectee cores.
+    pub service_core: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            machine: MachineConfig::default(),
+            monitor: MonitorConfig::default(),
+            delta: DeltaConfig::default(),
+            hybrid: HybridConfig::default(),
+            scheme: SchemeKind::Delta,
+            monitoring: true,
+            request_timeout_insns: 50_000_000,
+            service_core: 1,
+        }
+    }
+}
+
+/// Why the system initiated a recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureCause {
+    /// The monitor flagged a trace event.
+    Violation(ViolationKind),
+    /// The core faulted (illegal instruction, page fault, watchdog, …).
+    Fault,
+    /// The request exceeded the instruction budget (hung / DoS).
+    Timeout,
+}
+
+/// One recovery episode, for the audit trail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    /// Why.
+    pub cause: FailureCause,
+    /// The request being processed when it happened (if any).
+    pub request_id: Option<u64>,
+    /// Whether that request was actually malicious (ground truth).
+    pub was_malicious: bool,
+    /// The recovery level applied.
+    pub level: RecoveryLevel,
+    /// Resurrectee cycle time of the recovery.
+    pub at_cycle: u64,
+    /// The core the recovery ran on.
+    pub core: usize,
+}
+
+/// Timing sample for one served request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSample {
+    /// Request id.
+    pub request_id: u64,
+    /// Resurrectee cycles from delivery to response.
+    pub cycles: u64,
+    /// Instructions retired for this request.
+    pub instructions: u64,
+    /// Ground truth tag.
+    pub malicious: bool,
+    /// The core that served it.
+    pub core: usize,
+    /// Absolute resurrectee cycle at which the response completed
+    /// (availability accounting).
+    pub completed_at: u64,
+}
+
+/// Aggregate results of a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Requests fully served (response sent).
+    pub served: u64,
+    /// Benign requests among those.
+    pub benign_served: u64,
+    /// Recovery episodes.
+    pub detections: Vec<Detection>,
+    /// Per-request timing samples.
+    pub samples: Vec<RequestSample>,
+}
+
+impl RunReport {
+    /// Mean response cycles over benign requests (the paper's service
+    /// response time metric).
+    #[must_use]
+    pub fn mean_benign_response(&self) -> f64 {
+        let benign: Vec<u64> =
+            self.samples.iter().filter(|s| !s.malicious).map(|s| s.cycles).collect();
+        if benign.is_empty() {
+            0.0
+        } else {
+            benign.iter().sum::<u64>() as f64 / benign.len() as f64
+        }
+    }
+
+    /// Mean instructions per request (Fig. 13's metric).
+    #[must_use]
+    pub fn mean_instructions_per_request(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().map(|s| s.instructions).sum::<u64>() as f64
+                / self.samples.len() as f64
+        }
+    }
+
+    /// How many detections hit genuinely malicious requests.
+    #[must_use]
+    pub fn true_detections(&self) -> usize {
+        self.detections.iter().filter(|d| d.was_malicious).count()
+    }
+
+    /// Detections on benign requests (the false-positive count; §3.2.4
+    /// argues this stays at zero for behavior-based inspection — a benign
+    /// request that faults *because of earlier dormant corruption* counts
+    /// here and is the hybrid scheme's cue).
+    #[must_use]
+    pub fn false_positives(&self) -> usize {
+        self.detections.iter().filter(|d| !d.was_malicious && d.request_id.is_some()).count()
+    }
+}
+
+/// Outcome of driving the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// Every live service is blocked on `net_recv` with an empty inbox.
+    Idle,
+    /// All services exited / halted.
+    Halted,
+    /// The step budget ran out while work remained.
+    BudgetExhausted,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Service {
+    pid: Pid,
+    asid: u16,
+    core: usize,
+    entry: u32,
+    initial_sp: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    request_id: u64,
+    malicious: bool,
+    start_cycles: u64,
+    start_retired: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pump {
+    Progress,
+    Idle,
+    Halted,
+}
+
+/// The assembled INDRA machine + software stack.
+pub struct IndraSystem {
+    cfg: SystemConfig,
+    machine: Machine,
+    os: Os,
+    monitor: Monitor,
+    scheme: Box<dyn Scheme>,
+    services: BTreeMap<usize, Service>,
+    hybrids: HashMap<usize, HybridController>,
+    macro_ckpts: HashMap<usize, MacroCheckpoint>,
+    in_flight: HashMap<usize, InFlight>,
+    blocked: HashMap<usize, bool>,
+    report: RunReport,
+}
+
+impl std::fmt::Debug for IndraSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndraSystem")
+            .field("scheme", &self.scheme.name())
+            .field("monitoring", &self.machine.monitoring())
+            .field("services", &self.services.len())
+            .finish()
+    }
+}
+
+impl IndraSystem {
+    /// Builds and boots the system.
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> IndraSystem {
+        let mut machine = Machine::new(cfg.machine.clone());
+        machine.boot_asymmetric();
+        machine.set_monitoring(cfg.monitoring);
+        let (pool_base, pool_end) = machine.backup_pool_ppns();
+        let frames = || FrameAllocator::new(pool_base, pool_end);
+        let scheme: Box<dyn Scheme> = match cfg.scheme {
+            SchemeKind::None => Box::new(NoBackup::new()),
+            SchemeKind::Delta => Box::new(DeltaBackupEngine::new(cfg.delta, frames())),
+            SchemeKind::VirtualCheckpoint => Box::new(VirtualCheckpoint::new(frames())),
+            SchemeKind::SoftwareCheckpoint => Box::new(SoftwareCheckpoint::new(frames())),
+            SchemeKind::UndoLog => Box::new(UndoLog::new()),
+        };
+        IndraSystem {
+            monitor: Monitor::new(cfg.monitor),
+            machine,
+            os: Os::new(),
+            scheme,
+            services: BTreeMap::new(),
+            hybrids: HashMap::new(),
+            macro_ckpts: HashMap::new(),
+            in_flight: HashMap::new(),
+            blocked: HashMap::new(),
+            report: RunReport::default(),
+            cfg,
+        }
+    }
+
+    /// The machine (stats access).
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access (test fixtures).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The kernel-lite.
+    #[must_use]
+    pub fn os(&self) -> &Os {
+        &self.os
+    }
+
+    /// The monitor.
+    #[must_use]
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// The active scheme.
+    #[must_use]
+    pub fn scheme(&self) -> &dyn Scheme {
+        self.scheme.as_ref()
+    }
+
+    /// The hybrid recovery controller of the primary service.
+    ///
+    /// # Panics
+    ///
+    /// Panics when nothing is deployed.
+    #[must_use]
+    pub fn hybrid(&self) -> &HybridController {
+        let core = self.primary().core;
+        &self.hybrids[&core]
+    }
+
+    /// The hybrid controller of the service on `core`, if any.
+    #[must_use]
+    pub fn hybrid_for(&self, core: usize) -> Option<&HybridController> {
+        self.hybrids.get(&core)
+    }
+
+    /// The run report so far.
+    #[must_use]
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Cores with a deployed service, in deployment order.
+    #[must_use]
+    pub fn service_cores(&self) -> Vec<usize> {
+        self.services.keys().copied().collect()
+    }
+
+    fn primary(&self) -> Service {
+        *self.services.values().next().expect("no service deployed")
+    }
+
+    /// Resurrectee cycle count of the primary service (the evaluation's
+    /// wall clock).
+    #[must_use]
+    pub fn service_cycles(&self) -> u64 {
+        self.machine.core(self.primary().core).cycles()
+    }
+
+    /// Resets every measurement counter (caches, CAM, FIFO producers keep
+    /// their contents — only statistics reset) and clears the run report.
+    /// Benches call this after warm-up so Fig.-series numbers exclude
+    /// cold-start effects.
+    pub fn reset_measurements(&mut self) {
+        for core in self.service_cores() {
+            self.machine.core_mem_mut(core).reset_stats();
+            self.machine.cam_mut(core).reset_stats();
+        }
+        self.scheme.reset_stats();
+        self.monitor.reset_stats();
+        self.report = RunReport::default();
+    }
+
+    /// Deploys a service image on the next free resurrectee core
+    /// (starting at `cfg.service_core`), registering its metadata with
+    /// the monitor and the scheme. Returns the service's pid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loader errors; errors when every resurrectee core is
+    /// occupied.
+    pub fn deploy(&mut self, image: &Image) -> Result<Pid, indra_sim::LoadError> {
+        let core = (self.cfg.service_core..self.machine.num_cores())
+            .find(|c| !self.services.contains_key(c))
+            .ok_or(indra_sim::LoadError::OutOfFrames)?;
+        self.deploy_on(core, image)
+    }
+
+    /// Deploys a service on a specific resurrectee core.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loader errors.
+    pub fn deploy_on(&mut self, core: usize, image: &Image) -> Result<Pid, indra_sim::LoadError> {
+        let pid = self.os.spawn_service(&mut self.machine, core, image)?;
+        let asid = self.os.asid_of(pid);
+        self.scheme.register(asid);
+        self.monitor.register_app(asid, AppMetadata::from_image(image));
+        self.services.insert(
+            core,
+            Service { pid, asid, core, entry: image.entry, initial_sp: image.initial_sp },
+        );
+        self.hybrids.insert(core, HybridController::new(self.cfg.hybrid));
+        self.blocked.insert(core, false);
+        Ok(pid)
+    }
+
+    /// Installs a custom inspection policy on the resurrector (the
+    /// paper's software-upgradability story: new detection techniques
+    /// deploy as monitor software, no hardware change).
+    pub fn add_monitor_policy(&mut self, policy: Box<dyn crate::InspectionPolicy>) {
+        self.monitor.add_policy(policy);
+    }
+
+    /// Extends the monitor's metadata with extra legitimate longjmp
+    /// targets for the primary service (applications declare their setjmp
+    /// sites at startup, §3.2.1).
+    pub fn register_longjmp_targets(&mut self, targets: &[u32]) {
+        if let Some(svc) = self.services.values().next().copied() {
+            self.monitor.add_longjmp_targets(svc.asid, targets);
+        }
+    }
+
+    /// Queues a request for the primary service.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no service is deployed.
+    pub fn push_request(&mut self, data: Vec<u8>, malicious: bool) -> u64 {
+        let svc = self.primary();
+        self.os.push_request(svc.pid, data, malicious)
+    }
+
+    /// Queues a request for the service on `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when that core has no service.
+    pub fn push_request_to(&mut self, core: usize, data: Vec<u8>, malicious: bool) -> u64 {
+        let svc = self.services[&core];
+        self.os.push_request(svc.pid, data, malicious)
+    }
+
+    /// Takes all responses produced by the primary service so far.
+    pub fn take_responses(&mut self) -> Vec<Response> {
+        match self.services.values().next().copied() {
+            Some(svc) => self.os.take_responses(svc.pid),
+            None => Vec::new(),
+        }
+    }
+
+    /// Takes all responses from the service on `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when that core has no service.
+    pub fn take_responses_from(&mut self, core: usize) -> Vec<Response> {
+        let svc = self.services[&core];
+        self.os.take_responses(svc.pid)
+    }
+
+    /// Drives every deployed service until all are idle (blocked with no
+    /// pending requests) or halted, or until `max_steps` scheduling steps
+    /// are exhausted. Cores are stepped round-robin, which keeps their
+    /// cycle clocks loosely synchronized.
+    pub fn run(&mut self, max_steps: u64) -> RunState {
+        let cores = self.service_cores();
+        if cores.is_empty() {
+            return RunState::Halted;
+        }
+        let mut halted: Vec<bool> = vec![false; cores.len()];
+        let mut steps = 0u64;
+        loop {
+            let mut any_progress = false;
+            let mut any_idle = false;
+            for (i, &core) in cores.iter().enumerate() {
+                if halted[i] {
+                    continue;
+                }
+                match self.pump(core) {
+                    Pump::Progress => any_progress = true,
+                    Pump::Idle => any_idle = true,
+                    Pump::Halted => halted[i] = true,
+                }
+                steps += 1;
+                if steps >= max_steps {
+                    return RunState::BudgetExhausted;
+                }
+            }
+            if !any_progress {
+                if any_idle {
+                    return RunState::Idle;
+                }
+                if halted.iter().all(|&h| h) {
+                    return RunState::Halted;
+                }
+            }
+        }
+    }
+
+    /// One scheduling decision on one core.
+    fn pump(&mut self, core: usize) -> Pump {
+        let svc = self.services[&core];
+
+        // A service blocked in net_recv only needs attention when a
+        // request arrives (re-stepping the parked syscall would re-charge
+        // kernel entry).
+        if self.blocked[&core] {
+            return match self.os.try_deliver(&mut self.machine, svc.pid) {
+                Some(eff) => {
+                    self.blocked.insert(core, false);
+                    self.apply_effect(core, eff);
+                    Pump::Progress
+                }
+                None => Pump::Idle,
+            };
+        }
+
+        // DoS watchdog: a request that retires too much is declared hung.
+        if let Some(inf) = self.in_flight.get(&core).copied() {
+            let retired = self.machine.core(core).retired();
+            if retired - inf.start_retired > self.cfg.request_timeout_insns {
+                self.recover(core, FailureCause::Timeout);
+                return Pump::Progress;
+            }
+        }
+
+        // The resurrector drains the FIFO concurrently: everything it
+        // would have finished by this core's wall-clock has already left
+        // the queue. (Without this, the queue reads as full even when the
+        // monitor caught up long ago, and Fig. 12's size-sensitivity
+        // disappears.)
+        let now = self.machine.core(core).cycles();
+        while let Some(ev) = self.machine.fifo().peek() {
+            if self.monitor.completion_preview(ev) > now {
+                break;
+            }
+            let ev = self.machine.fifo_mut().pop().expect("peeked");
+            let ev_asid = ev.asid;
+            if let Some(v) = self.monitor.process(ev) {
+                // The violation belongs to whichever core runs that ASID.
+                if let Some(owner) =
+                    self.services.values().find(|s| s.asid == ev_asid).map(|s| s.core)
+                {
+                    self.recover(owner, FailureCause::Violation(v.kind));
+                    return Pump::Progress;
+                }
+            }
+        }
+
+        match self.machine.step_core(core, upcast(self.scheme.as_mut())) {
+            CoreStep::Executed => Pump::Progress,
+            CoreStep::Halted => Pump::Halted,
+            CoreStep::Stalled => Pump::Halted, // cannot happen outside recovery
+            CoreStep::FifoStalled => {
+                // Queue genuinely full: this core waits until the monitor
+                // finishes the oldest entry, freeing one slot.
+                if let Some(ev) = self.machine.fifo_mut().pop() {
+                    let ev_asid = ev.asid;
+                    let violation = self.monitor.process(ev);
+                    let stall = self
+                        .monitor
+                        .clock()
+                        .saturating_sub(self.machine.core(core).cycles())
+                        .max(1);
+                    self.machine.core_mut(core).add_stall_cycles(stall);
+                    if let Some(v) = violation {
+                        if let Some(owner) =
+                            self.services.values().find(|s| s.asid == ev_asid).map(|s| s.core)
+                        {
+                            self.recover(owner, FailureCause::Violation(v.kind));
+                        }
+                    }
+                }
+                Pump::Progress
+            }
+            CoreStep::Syscall { code } => {
+                // Synchronization point (§3.2.5): everything must verify
+                // before the kernel acts on the resurrectee's behalf.
+                if let Some((owner, kind)) = self.drain_fifo() {
+                    self.recover(owner, FailureCause::Violation(kind));
+                    return Pump::Progress;
+                }
+                if self.machine.monitoring() {
+                    let lag =
+                        self.monitor.clock().saturating_sub(self.machine.core(core).cycles());
+                    if lag > 0 {
+                        self.machine.core_mut(core).add_stall_cycles(lag);
+                    }
+                }
+                self.pre_syscall_clean(svc, code);
+                let effect = self.os.handle_syscall(&mut self.machine, core, code);
+                match self.apply_effect(core, effect) {
+                    Some(Pump::Idle) => Pump::Idle,
+                    Some(p) => p,
+                    None => Pump::Progress,
+                }
+            }
+            CoreStep::Fault(_) => {
+                // Drain first: often the monitor has already seen the
+                // hijack that led here; prefer the violation cause.
+                match self.drain_fifo() {
+                    Some((owner, k)) => self.recover(owner, FailureCause::Violation(k)),
+                    None => self.recover(core, FailureCause::Fault),
+                }
+                Pump::Progress
+            }
+        }
+    }
+
+    /// Before the OS reads service memory on the app's behalf, pending
+    /// lazy restores in the affected range must materialize (the I/O
+    /// synchronization rule).
+    fn pre_syscall_clean(&mut self, svc: Service, code: u16) {
+        let (buf, len) = match code {
+            syscall::SYS_NET_SEND | syscall::SYS_LOG => (
+                self.machine.core(svc.core).reg(Reg::A0),
+                self.machine.core(svc.core).reg(Reg::A1),
+            ),
+            syscall::SYS_WRITE => (
+                self.machine.core(svc.core).reg(Reg::A1),
+                self.machine.core(svc.core).reg(Reg::A2),
+            ),
+            _ => return,
+        };
+        if let Some((space, phys)) = self.machine.space_and_phys_mut(svc.asid) {
+            self.scheme.ensure_clean(svc.asid, buf, len, space, phys);
+        }
+    }
+
+    fn apply_effect(&mut self, core: usize, effect: SyscallEffect) -> Option<Pump> {
+        let svc = self.services[&core];
+        match effect {
+            SyscallEffect::Continue => None,
+            SyscallEffect::BlockedOnRecv { pid } => {
+                // Maybe requests were queued before the service blocked.
+                match self.os.try_deliver(&mut self.machine, pid) {
+                    Some(eff) => self.apply_effect(core, eff),
+                    None => {
+                        self.blocked.insert(core, true);
+                        Some(Pump::Idle)
+                    }
+                }
+            }
+            SyscallEffect::RequestStarted { request_id, malicious, .. } => {
+                self.begin_request_boundary(svc, request_id, malicious);
+                None
+            }
+            SyscallEffect::ResponseSent { request_id, .. } => {
+                if let Some(h) = self.hybrids.get_mut(&core) {
+                    h.on_success();
+                }
+                if let Some(inf) = self.in_flight.remove(&core) {
+                    let c = self.machine.core(core);
+                    self.report.samples.push(RequestSample {
+                        request_id,
+                        cycles: c.cycles() - inf.start_cycles,
+                        instructions: c.retired() - inf.start_retired,
+                        malicious: inf.malicious,
+                        core,
+                        completed_at: c.cycles(),
+                    });
+                    self.report.served += 1;
+                    if !inf.malicious {
+                        self.report.benign_served += 1;
+                    }
+                }
+                None
+            }
+            SyscallEffect::CheckpointRequested { .. } => {
+                self.take_macro(svc);
+                None
+            }
+            SyscallEffect::Exited { .. } => Some(Pump::Halted),
+        }
+    }
+
+    fn begin_request_boundary(&mut self, svc: Service, request_id: u64, malicious: bool) {
+        // GTS++ / boundary work for the scheme.
+        if let Some((space, phys)) = self.machine.space_and_phys_mut(svc.asid) {
+            let cost = self.scheme.begin_request(svc.asid, space, phys);
+            self.machine.core_mut(svc.core).add_stall_cycles(cost);
+        }
+        self.monitor.snapshot_shadow(svc.asid);
+        let take = self.hybrids.get_mut(&svc.core).is_some_and(HybridController::on_request_boundary);
+        if take {
+            self.take_macro(svc);
+        }
+        let core = self.machine.core(svc.core);
+        self.in_flight.insert(
+            svc.core,
+            InFlight {
+                request_id,
+                malicious,
+                start_cycles: core.cycles(),
+                start_retired: core.retired(),
+            },
+        );
+    }
+
+    fn take_macro(&mut self, svc: Service) {
+        // Prefer the OS's request-boundary context (PC parked on the
+        // `net_recv` syscall): a macro restore then picks up the next
+        // request cleanly instead of replaying a stale one.
+        let context = self
+            .os
+            .process(svc.pid)
+            .and_then(|p| p.mark.as_ref().map(|m| m.context))
+            .unwrap_or_else(|| self.machine.core(svc.core).context());
+        let seq = self.hybrids.get(&svc.core).map_or(0, HybridController::requests_seen);
+        let (ckpt, cycles) = take_macro_checkpoint(&self.machine, svc.asid, context, seq);
+        self.macro_ckpts.insert(svc.core, ckpt);
+        self.machine.core_mut(svc.core).add_stall_cycles(cycles);
+    }
+
+    /// The recovery path (§3.3): quiesce, roll back memory + resources +
+    /// context + monitoring state, resume at the request boundary.
+    fn recover(&mut self, core: usize, cause: FailureCause) {
+        let svc = self.services[&core];
+        self.machine.quiesce_for_recovery(core);
+        self.blocked.insert(core, false);
+
+        let inf = self.in_flight.remove(&core);
+        let level =
+            self.hybrids.get_mut(&core).map_or(RecoveryLevel::Micro, HybridController::on_failure);
+        let mut cycles = 0u64;
+
+        let effective_level = match level {
+            RecoveryLevel::Macro if self.macro_ckpts.contains_key(&core) => RecoveryLevel::Macro,
+            RecoveryLevel::Macro => RecoveryLevel::Micro, // no checkpoint yet
+            RecoveryLevel::Micro => RecoveryLevel::Micro,
+        };
+
+        match effective_level {
+            RecoveryLevel::Micro => {
+                if let Some((space, phys)) = self.machine.space_and_phys_mut(svc.asid) {
+                    cycles += self.scheme.fail_and_rollback(svc.asid, space, phys);
+                }
+                let had_mark = self.os.rollback_resources(&mut self.machine, svc.pid);
+                self.monitor.rollback_shadow(svc.asid);
+                if !had_mark {
+                    // Failure before any request was accepted: restart the
+                    // service at its entry point.
+                    self.machine.core_mut(core).set_pc(svc.entry);
+                    self.machine.core_mut(core).set_reg(Reg::SP, svc.initial_sp);
+                    self.machine.core_mut(core).clear_halt();
+                }
+            }
+            RecoveryLevel::Macro => {
+                self.scheme.forget(svc.asid);
+                let ckpt = &self.macro_ckpts[&core];
+                cycles += restore_macro_checkpoint(&mut self.machine, svc.asid, core, ckpt);
+                self.os.rollback_resources(&mut self.machine, svc.pid);
+                self.monitor.rollback_shadow(svc.asid);
+            }
+        }
+
+        self.report.detections.push(Detection {
+            cause,
+            request_id: inf.map(|i| i.request_id),
+            was_malicious: inf.is_some_and(|i| i.malicious),
+            level: effective_level,
+            at_cycle: self.machine.core(core).cycles(),
+            core,
+        });
+
+        self.machine.core_mut(core).add_stall_cycles(cycles + MICRO_RECOVERY_BASE_CYCLES);
+        self.machine.resume_after_recovery(core);
+    }
+
+    /// Drains the whole FIFO through the monitor; returns the owning core
+    /// and kind of the first violation, if any (remaining backlog is
+    /// still consumed — the hardware keeps streaming until the stall
+    /// lands).
+    fn drain_fifo(&mut self) -> Option<(usize, ViolationKind)> {
+        let mut first = None;
+        while let Some(ev) = self.machine.fifo_mut().pop() {
+            let ev_asid = ev.asid;
+            if let Some(v) = self.monitor.process(ev) {
+                if first.is_none() {
+                    if let Some(owner) =
+                        self.services.values().find(|s| s.asid == ev_asid).map(|s| s.core)
+                    {
+                        first = Some((owner, v.kind));
+                    }
+                }
+            }
+        }
+        first
+    }
+}
+
+/// Upcasts a scheme to its hook supertrait (explicit function keeps the
+/// coercion site obvious).
+fn upcast(scheme: &mut dyn Scheme) -> &mut dyn indra_sim::BackupHook {
+    scheme
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indra_isa::assemble;
+    use indra_sim::CoreRole;
+
+    /// Echo server in IR32 assembly.
+    const ECHO: &str = "
+    main:
+        la  s0, buf
+    loop:
+        mv  a0, s0
+        li  a1, 64
+        syscall 1
+        mv  a2, a0
+        mv  a0, s0
+        mv  a1, a2
+        syscall 2
+        j loop
+    .data
+    buf: .space 64
+    ";
+
+    fn system(scheme: SchemeKind) -> IndraSystem {
+        let cfg = SystemConfig { scheme, ..SystemConfig::default() };
+        let mut sys = IndraSystem::new(cfg);
+        let img = assemble("echo", ECHO).unwrap();
+        sys.deploy(&img).unwrap();
+        sys
+    }
+
+    #[test]
+    fn serves_benign_requests() {
+        let mut sys = system(SchemeKind::Delta);
+        for i in 0..5u8 {
+            sys.push_request(vec![b'a' + i; 8], false);
+        }
+        let state = sys.run(1_000_000);
+        assert_eq!(state, RunState::Idle);
+        let report = sys.report();
+        assert_eq!(report.served, 5);
+        assert_eq!(report.benign_served, 5);
+        assert!(report.detections.is_empty());
+        let responses = sys.take_responses();
+        assert_eq!(responses.len(), 5);
+        assert_eq!(responses[0].data, vec![b'a'; 8]);
+        assert!(sys.report().mean_benign_response() > 0.0);
+    }
+
+    #[test]
+    fn idle_then_more_requests() {
+        let mut sys = system(SchemeKind::Delta);
+        assert_eq!(sys.run(100_000), RunState::Idle);
+        sys.push_request(b"x".to_vec(), false);
+        assert_eq!(sys.run(1_000_000), RunState::Idle);
+        assert_eq!(sys.report().served, 1);
+    }
+
+    #[test]
+    fn monitoring_off_still_serves() {
+        let cfg = SystemConfig {
+            scheme: SchemeKind::None,
+            monitoring: false,
+            ..SystemConfig::default()
+        };
+        let mut sys = IndraSystem::new(cfg);
+        let img = assemble("echo", ECHO).unwrap();
+        sys.deploy(&img).unwrap();
+        sys.push_request(b"hello".to_vec(), false);
+        assert_eq!(sys.run(1_000_000), RunState::Idle);
+        assert_eq!(sys.report().served, 1);
+        assert_eq!(sys.monitor().stats().events, 0, "no trace with monitoring off");
+    }
+
+    #[test]
+    fn fifo_backpressure_counts_stalls() {
+        let mut cfg = SystemConfig::default();
+        cfg.machine.fifo_entries = 4;
+        let mut sys = IndraSystem::new(cfg);
+        // A call-dense program to flood the FIFO.
+        let img = assemble(
+            "callheavy",
+            "
+        main:
+            la  s0, buf
+        loop:
+            mv  a0, s0
+            li  a1, 16
+            syscall 1
+            call f
+            call f
+            call f
+            call f
+            call f
+            call f
+            mv  a0, s0
+            li  a1, 4
+            syscall 2
+            j loop
+        f:
+            addi sp, sp, -4
+            sw ra, 0(sp)
+            call g
+            lw ra, 0(sp)
+            addi sp, sp, 4
+            ret
+        g:
+            ret
+        .data
+        buf: .space 16
+        ",
+        )
+        .unwrap();
+        sys.deploy(&img).unwrap();
+        for _ in 0..10 {
+            sys.push_request(b"req".to_vec(), false);
+        }
+        assert_eq!(sys.run(10_000_000), RunState::Idle);
+        assert_eq!(sys.report().served, 10);
+        assert!(sys.machine().fifo().stats().full_stalls > 0, "4-entry FIFO must stall");
+        assert_eq!(sys.report().false_positives(), 0);
+    }
+
+    #[test]
+    fn two_services_share_one_resurrector() {
+        // The Fig. 2 topology: one resurrector, several resurrectees.
+        let mut cfg = SystemConfig::default();
+        cfg.machine.cores =
+            vec![CoreRole::Resurrector, CoreRole::Resurrectee, CoreRole::Resurrectee];
+        let mut sys = IndraSystem::new(cfg);
+        let img = assemble("echo", ECHO).unwrap();
+        let pid_a = sys.deploy(&img).unwrap();
+        let pid_b = sys.deploy(&img).unwrap();
+        assert_ne!(pid_a, pid_b);
+        assert_eq!(sys.service_cores(), vec![1, 2]);
+
+        for i in 0..4u8 {
+            sys.push_request_to(1, vec![b'A' + i; 4], false);
+            sys.push_request_to(2, vec![b'a' + i; 4], false);
+        }
+        let state = sys.run(5_000_000);
+        assert_eq!(state, RunState::Idle);
+        assert_eq!(sys.report().served, 8);
+
+        let from_a = sys.take_responses_from(1);
+        let from_b = sys.take_responses_from(2);
+        assert_eq!(from_a.len(), 4);
+        assert_eq!(from_b.len(), 4);
+        assert_eq!(from_a[0].data, b"AAAA");
+        assert_eq!(from_b[0].data, b"aaaa");
+        // Samples are attributed to the right cores.
+        assert!(sys.report().samples.iter().any(|s| s.core == 1));
+        assert!(sys.report().samples.iter().any(|s| s.core == 2));
+    }
+
+    #[test]
+    fn deploy_fails_when_cores_exhausted() {
+        let mut sys = system(SchemeKind::Delta);
+        let img = assemble("echo", ECHO).unwrap();
+        assert!(sys.deploy(&img).is_err(), "the dual-core machine has one resurrectee");
+    }
+}

@@ -1,0 +1,947 @@
+//! A two-section text assembler for IR32.
+//!
+//! The assembler exists so examples and tests can express small programs
+//! (including attack payload stubs) readably; the workload generators use
+//! [`ProgramBuilder`](crate::ProgramBuilder) directly. Forward references
+//! are resolved through the builder's label machinery, so a single pass
+//! over the source suffices.
+//!
+//! # Syntax
+//!
+//! ```text
+//! .text                      # switch to the text section (default)
+//! .global main               # export `main`
+//! main:                      # labels end with `:` — text labels become functions
+//!     li   a0, 0x1234        # pseudo: expands to lui+ori as needed
+//!     la   a1, buf           # address of a data or text symbol
+//!     lw   t0, 4(a1)         # load with offset(base) addressing
+//!     beqz t0, done          # pseudo branch
+//!     call helper
+//! done:
+//!     halt
+//! helper:
+//!     addi a0, a0, 1
+//!     ret
+//!
+//! .data
+//! buf:    .space 64          # zero-filled bytes
+//! msg:    .asciz "hi\n"      # NUL-terminated string
+//! nums:   .word 1, 2, -3     # 32-bit words
+//! table:  .target main, helper   # function-pointer table (absolute addrs)
+//! ```
+//!
+//! Additional directives: `.equ NAME, value` defines an assembly-time
+//! constant usable wherever an immediate is expected; `.align N` pads the
+//! data segment to an N-byte boundary.
+//!
+//! Pseudo-instructions beyond the obvious (`li`, `la`, `mv`, `j`, `call`,
+//! `ret`, `beqz`, `bnez`): `not`, `neg`, `seqz`, `snez`, `subi`, `ble`,
+//! `bgt` (the last four expand using the assembler temporary `at` or
+//! operand swaps, as on MIPS).
+//!
+//! Comments start with `#` or `;` and run to end of line.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{AluOp, Cond, DataRef, Image, Instruction, Label, ProgramBuilder, Reg, Width};
+
+/// An assembly error with its source line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// Assembles IR32 source text into an [`Image`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on any syntax error,
+/// unknown mnemonic, malformed operand, or unresolved symbol.
+///
+/// # Examples
+///
+/// ```
+/// let img = indra_isa::assemble("demo", "
+///     .text
+///     .global main
+/// main:
+///     li a0, 7
+///     halt
+/// ").unwrap();
+/// assert_eq!(img.entry, img.addr_of("main").unwrap());
+/// ```
+pub fn assemble(name: &str, source: &str) -> Result<Image, AsmError> {
+    Assembler::new(name).run(source)
+}
+
+struct Assembler {
+    b: ProgramBuilder,
+    section: Section,
+    consts: HashMap<String, i64>,
+    text_labels: HashMap<String, Label>,
+    data_names: HashMap<String, DataRef>,
+    globals: Vec<String>,
+    /// Text labels bound in order of appearance, for function symbols.
+    bound_text: Vec<(String, Label)>,
+    /// Data labels whose definition must be the next data directive.
+    pending_data_label: Option<(String, usize)>,
+    /// `.target` tables patched after all labels exist: (name, entries, line).
+    deferred_targets: Vec<(String, Vec<String>, usize)>,
+}
+
+impl Assembler {
+    fn new(name: &str) -> Assembler {
+        Assembler {
+            b: ProgramBuilder::new(name),
+            section: Section::Text,
+            consts: HashMap::new(),
+            text_labels: HashMap::new(),
+            data_names: HashMap::new(),
+            globals: Vec::new(),
+            bound_text: Vec::new(),
+            pending_data_label: None,
+            deferred_targets: Vec::new(),
+        }
+    }
+
+    fn err(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError { line, message: message.into() }
+    }
+
+    /// An immediate: a literal, or a declared `.equ` constant.
+    fn imm_value(&self, s: &str) -> Option<i64> {
+        parse_imm(s).or_else(|| self.consts.get(s.trim()).copied())
+    }
+
+    fn text_label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.text_labels.get(name) {
+            l
+        } else {
+            let l = self.b.new_label();
+            self.text_labels.insert(name.to_owned(), l);
+            l
+        }
+    }
+
+    fn run(mut self, source: &str) -> Result<Image, AsmError> {
+        // Split the source into data-section and text-section lines, and
+        // process the data section first: `la` in text needs every data
+        // symbol to already exist. Text-label forward references are fine
+        // either way (the builder's fixups handle them), and `.target`
+        // tables in data that point at text labels are deferred below.
+        let mut data_lines: Vec<(usize, &str)> = Vec::new();
+        let mut text_lines: Vec<(usize, &str)> = Vec::new();
+        let mut section = Section::Text;
+        for (idx, raw) in source.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix(".equ ") {
+                let (name, value) = rest
+                    .split_once(',')
+                    .ok_or_else(|| Self::err(lineno, ".equ NAME, value"))?;
+                let name = name.trim();
+                if !is_ident(name) {
+                    return Err(Self::err(lineno, format!("invalid constant name `{name}`")));
+                }
+                let value = parse_imm(value.trim())
+                    .ok_or_else(|| Self::err(lineno, format!("bad .equ value `{value}`")))?;
+                self.consts.insert(name.to_owned(), value);
+                continue;
+            }
+            match line {
+                ".text" => section = Section::Text,
+                ".data" => section = Section::Data,
+                _ => match section {
+                    Section::Text => text_lines.push((lineno, line)),
+                    Section::Data => data_lines.push((lineno, line)),
+                },
+            }
+        }
+        self.section = Section::Data;
+        for (lineno, line) in data_lines {
+            self.line(lineno, line)?;
+        }
+        if let Some((name, line)) = self.pending_data_label.take() {
+            return Err(Self::err(line, format!("data label `{name}` has no directive")));
+        }
+        // Materialize deferred .target tables before any text is processed,
+        // so `la` can find them; the entries are forward text-label
+        // references resolved by the builder's fixups at finish().
+        for (name, entries, _line) in std::mem::take(&mut self.deferred_targets) {
+            let labels: Vec<Label> = entries.iter().map(|e| self.text_label(e)).collect();
+            let r = self.b.data_fn_table(name.clone(), &labels);
+            self.data_names.insert(name, r);
+        }
+        self.section = Section::Text;
+        for (lineno, line) in text_lines {
+            self.line(lineno, line)?;
+        }
+
+        // Function symbols for all text labels, exported iff .global.
+        for (name, label) in std::mem::take(&mut self.bound_text) {
+            let exported = self.globals.contains(&name);
+            self.b.func_symbol_at(label, name.clone(), exported);
+            if name == "main" || self.globals.first().is_some_and(|g| *g == name) {
+                // `main` (or the first global) is the entry point.
+            }
+        }
+        if let Some(&l) = self.text_labels.get("main") {
+            self.b.set_entry(l);
+        }
+
+        self.b.finish().map_err(|e| Self::err(0, e.to_string()))
+    }
+
+    fn line(&mut self, lineno: usize, mut line: &str) -> Result<(), AsmError> {
+        // Labels (possibly several on one line).
+        while let Some(colon) = find_label_colon(line) {
+            let name = line[..colon].trim();
+            if !is_ident(name) {
+                return Err(Self::err(lineno, format!("invalid label name `{name}`")));
+            }
+            match self.section {
+                Section::Text => {
+                    let l = self.text_label(name);
+                    if self.bound_text.iter().any(|(n, _)| n == name) {
+                        return Err(Self::err(lineno, format!("label `{name}` defined twice")));
+                    }
+                    self.b.bind(l);
+                    self.bound_text.push((name.to_owned(), l));
+                }
+                Section::Data => {
+                    if self.pending_data_label.is_some() {
+                        return Err(Self::err(lineno, "two data labels without a directive"));
+                    }
+                    self.pending_data_label = Some((name.to_owned(), lineno));
+                }
+            }
+            line = line[colon + 1..].trim();
+        }
+        if line.is_empty() {
+            return Ok(());
+        }
+        if let Some(directive) = line.strip_prefix('.') {
+            return self.directive(lineno, directive);
+        }
+        match self.section {
+            Section::Text => self.instruction(lineno, line),
+            Section::Data => Err(Self::err(lineno, "instructions are not allowed in .data")),
+        }
+    }
+
+    fn directive(&mut self, lineno: usize, text: &str) -> Result<(), AsmError> {
+        let (name, rest) = split_mnemonic(text);
+        match name {
+            "text" => {
+                self.section = Section::Text;
+                Ok(())
+            }
+            "data" => {
+                self.section = Section::Data;
+                Ok(())
+            }
+            "global" | "globl" => {
+                let sym = rest.trim();
+                if !is_ident(sym) {
+                    return Err(Self::err(lineno, format!("invalid symbol `{sym}`")));
+                }
+                self.globals.push(sym.to_owned());
+                Ok(())
+            }
+            "align" => {
+                let n = self
+                    .imm_value(rest.trim())
+                    .ok_or_else(|| Self::err(lineno, "expected an alignment"))?;
+                if self.section != Section::Data {
+                    return Err(Self::err(lineno, ".align only allowed in .data"));
+                }
+                let n = u32::try_from(n).ok().filter(|n| n.is_power_of_two()).ok_or_else(
+                    || Self::err(lineno, "alignment must be a positive power of two"),
+                )?;
+                self.b.align_data_to(n);
+                Ok(())
+            }
+            "dyncode" => {
+                let pages = parse_imm(rest.trim())
+                    .ok_or_else(|| Self::err(lineno, "expected page count"))?;
+                self.b.declare_dynamic_code_pages(pages as u32);
+                Ok(())
+            }
+            "word" | "space" | "byte" | "ascii" | "asciz" | "target" => {
+                let label = self
+                    .pending_data_label
+                    .take()
+                    .map(|(n, _)| n)
+                    .unwrap_or_else(|| format!("__anon_{lineno}"));
+                self.data_directive(lineno, name, rest, label)
+            }
+            other => Err(Self::err(lineno, format!("unknown directive `.{other}`"))),
+        }
+    }
+
+    fn data_directive(
+        &mut self,
+        lineno: usize,
+        directive: &str,
+        rest: &str,
+        label: String,
+    ) -> Result<(), AsmError> {
+        if self.section != Section::Data {
+            return Err(Self::err(lineno, format!(".{directive} only allowed in .data")));
+        }
+        let r = match directive {
+            "word" => {
+                let mut words = Vec::new();
+                for part in split_operands(rest) {
+                    let v = self
+                        .imm_value(&part)
+                        .ok_or_else(|| Self::err(lineno, format!("bad word `{part}`")))?;
+                    words.push(v as u32);
+                }
+                self.b.data_words(label.clone(), &words)
+            }
+            "byte" => {
+                let mut bytes = Vec::new();
+                for part in split_operands(rest) {
+                    let v = self
+                        .imm_value(&part)
+                        .ok_or_else(|| Self::err(lineno, format!("bad byte `{part}`")))?;
+                    bytes.push(v as u8);
+                }
+                self.b.data_bytes(label.clone(), &bytes)
+            }
+            "space" => {
+                let n = self
+                    .imm_value(rest.trim())
+                    .ok_or_else(|| Self::err(lineno, "expected a size"))?;
+                self.b.data_zeroed(label.clone(), n as u32)
+            }
+            "ascii" | "asciz" => {
+                let mut s = parse_string(rest.trim())
+                    .ok_or_else(|| Self::err(lineno, "expected a quoted string"))?;
+                if directive == "asciz" {
+                    s.push(0);
+                }
+                self.b.data_bytes(label.clone(), &s)
+            }
+            "target" => {
+                let entries: Vec<String> = split_operands(rest).collect();
+                self.deferred_targets.push((label.clone(), entries, lineno));
+                return Ok(());
+            }
+            _ => unreachable!(),
+        };
+        self.data_names.insert(label, r);
+        Ok(())
+    }
+
+    fn instruction(&mut self, lineno: usize, line: &str) -> Result<(), AsmError> {
+        let (mn, rest) = split_mnemonic(line);
+        let ops: Vec<String> = split_operands(rest).collect();
+        let e = |msg: &str| Self::err(lineno, format!("{mn}: {msg}"));
+        let reg = |s: &str| -> Result<Reg, AsmError> {
+            s.parse().map_err(|_| Self::err(lineno, format!("bad register `{s}`")))
+        };
+        let imm = |s: &str| -> Result<i32, AsmError> {
+            self.imm_value(s)
+                .map(|v| v as i32)
+                .ok_or_else(|| Self::err(lineno, format!("bad immediate `{s}`")))
+        };
+        let need = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(Self::err(lineno, format!("{mn}: expected {n} operands, got {}", ops.len())))
+            }
+        };
+
+        // Register-register ALU ops.
+        let rrr: Option<AluOp> = match mn {
+            "add" => Some(AluOp::Add),
+            "sub" => Some(AluOp::Sub),
+            "mul" => Some(AluOp::Mul),
+            "div" => Some(AluOp::Div),
+            "rem" => Some(AluOp::Rem),
+            "and" => Some(AluOp::And),
+            "or" => Some(AluOp::Or),
+            "xor" => Some(AluOp::Xor),
+            "sll" => Some(AluOp::Sll),
+            "srl" => Some(AluOp::Srl),
+            "sra" => Some(AluOp::Sra),
+            "slt" => Some(AluOp::Slt),
+            "sltu" => Some(AluOp::Sltu),
+            _ => None,
+        };
+        if let Some(op) = rrr {
+            need(3)?;
+            self.b.alu(op, reg(&ops[0])?, reg(&ops[1])?, reg(&ops[2])?);
+            return Ok(());
+        }
+
+        // Immediate ALU ops.
+        let rri: Option<AluOp> = match mn {
+            "addi" => Some(AluOp::Add),
+            "andi" => Some(AluOp::And),
+            "ori" => Some(AluOp::Or),
+            "xori" => Some(AluOp::Xor),
+            "slti" => Some(AluOp::Slt),
+            "sltiu" => Some(AluOp::Sltu),
+            "slli" => Some(AluOp::Sll),
+            "srli" => Some(AluOp::Srl),
+            "srai" => Some(AluOp::Sra),
+            "muli" => Some(AluOp::Mul),
+            _ => None,
+        };
+        if let Some(op) = rri {
+            need(3)?;
+            self.b.inst(Instruction::AluImm {
+                op,
+                rd: reg(&ops[0])?,
+                rs1: reg(&ops[1])?,
+                imm: imm(&ops[2])?,
+            });
+            return Ok(());
+        }
+
+        // Loads/stores with offset(base).
+        let mem: Option<(Width, bool, bool)> = match mn {
+            "lb" => Some((Width::Byte, true, true)),
+            "lbu" => Some((Width::Byte, false, true)),
+            "lh" => Some((Width::Half, true, true)),
+            "lhu" => Some((Width::Half, false, true)),
+            "lw" => Some((Width::Word, true, true)),
+            "sb" => Some((Width::Byte, false, false)),
+            "sh" => Some((Width::Half, false, false)),
+            "sw" => Some((Width::Word, false, false)),
+            _ => None,
+        };
+        if let Some((width, signed, is_load)) = mem {
+            need(2)?;
+            let r = reg(&ops[0])?;
+            let (offset, base) =
+                parse_mem_operand(&ops[1]).ok_or_else(|| e("expected offset(base)"))?;
+            let base = reg(&base)?;
+            if is_load {
+                self.b.inst(Instruction::Load { width, signed, rd: r, rs1: base, offset });
+            } else {
+                self.b.inst(Instruction::Store { width, rs2: r, rs1: base, offset });
+            }
+            return Ok(());
+        }
+
+        // Branches.
+        let cond: Option<Cond> = match mn {
+            "beq" => Some(Cond::Eq),
+            "bne" => Some(Cond::Ne),
+            "blt" => Some(Cond::Lt),
+            "bge" => Some(Cond::Ge),
+            "bltu" => Some(Cond::Ltu),
+            "bgeu" => Some(Cond::Geu),
+            _ => None,
+        };
+        if let Some(cond) = cond {
+            need(3)?;
+            let rs1 = reg(&ops[0])?;
+            let rs2 = reg(&ops[1])?;
+            let target = self.text_label(&ops[2]);
+            self.b.branch(cond, rs1, rs2, target);
+            return Ok(());
+        }
+
+        match mn {
+            "not" => {
+                // two-instruction expansion through the assembler temp
+                need(2)?;
+                let rd = reg(&ops[0])?;
+                let rs = reg(&ops[1])?;
+                self.b.li(Reg::AT, -1);
+                self.b.alu(AluOp::Xor, rd, rs, Reg::AT);
+            }
+            "neg" => {
+                need(2)?;
+                self.b.alu(AluOp::Sub, reg(&ops[0])?, Reg::ZERO, reg(&ops[1])?);
+            }
+            "seqz" => {
+                need(2)?;
+                self.b.inst(Instruction::AluImm {
+                    op: AluOp::Sltu,
+                    rd: reg(&ops[0])?,
+                    rs1: reg(&ops[1])?,
+                    imm: 1,
+                });
+            }
+            "snez" => {
+                need(2)?;
+                self.b.alu(AluOp::Sltu, reg(&ops[0])?, Reg::ZERO, reg(&ops[1])?);
+            }
+            "subi" => {
+                need(3)?;
+                self.b.addi(reg(&ops[0])?, reg(&ops[1])?, -imm(&ops[2])?);
+            }
+            "ble" => {
+                need(3)?;
+                let rs1 = reg(&ops[0])?;
+                let rs2 = reg(&ops[1])?;
+                let t = self.text_label(&ops[2]);
+                self.b.branch(Cond::Ge, rs2, rs1, t);
+            }
+            "bgt" => {
+                need(3)?;
+                let rs1 = reg(&ops[0])?;
+                let rs2 = reg(&ops[1])?;
+                let t = self.text_label(&ops[2]);
+                self.b.branch(Cond::Lt, rs2, rs1, t);
+            }
+            "beqz" => {
+                need(2)?;
+                let r = reg(&ops[0])?;
+                let t = self.text_label(&ops[1]);
+                self.b.beqz(r, t);
+            }
+            "bnez" => {
+                need(2)?;
+                let r = reg(&ops[0])?;
+                let t = self.text_label(&ops[1]);
+                self.b.bnez(r, t);
+            }
+            "li" => {
+                need(2)?;
+                self.b.li(reg(&ops[0])?, imm(&ops[1])?);
+            }
+            "lui" => {
+                need(2)?;
+                let v = imm(&ops[1])?;
+                self.b.inst(Instruction::Lui { rd: reg(&ops[0])?, imm: v as u32 });
+            }
+            "la" => {
+                need(2)?;
+                let rd = reg(&ops[0])?;
+                let sym = ops[1].as_str();
+                if let Some(&d) = self.data_names.get(sym) {
+                    self.b.la_data(rd, d, 0);
+                } else {
+                    // Forward text reference or not-yet-seen data label: code
+                    // labels resolve via the builder; data labels must be
+                    // defined before use.
+                    let l = self.text_label(sym);
+                    self.b.la_label(rd, l);
+                }
+            }
+            "mv" => {
+                need(2)?;
+                self.b.mv(reg(&ops[0])?, reg(&ops[1])?);
+            }
+            "j" => {
+                need(1)?;
+                let t = self.text_label(&ops[0]);
+                self.b.jump(t);
+            }
+            "jal" | "call" => {
+                need(1)?;
+                let t = self.text_label(&ops[0]);
+                self.b.call(t);
+            }
+            "jalr" => {
+                need(1)?;
+                self.b.call_indirect(reg(&ops[0])?);
+            }
+            "jr" => {
+                need(1)?;
+                self.b.inst(Instruction::Jalr { rd: Reg::ZERO, rs1: reg(&ops[0])?, offset: 0 });
+            }
+            "ret" => {
+                need(0)?;
+                self.b.ret();
+            }
+            "syscall" => {
+                need(1)?;
+                let code = imm(&ops[0])?;
+                let code = u16::try_from(code).map_err(|_| e("code out of range"))?;
+                self.b.syscall(code);
+            }
+            "halt" => {
+                need(0)?;
+                self.b.halt();
+            }
+            "nop" => {
+                need(0)?;
+                self.b.nop();
+            }
+            other => return Err(Self::err(lineno, format!("unknown mnemonic `{other}`"))),
+        }
+        Ok(())
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Respect quotes so `.asciz "# not a comment"` works.
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' | ';' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn find_label_colon(line: &str) -> Option<usize> {
+    let colon = line.find(':')?;
+    let head = &line[..colon];
+    is_ident(head.trim()).then_some(colon)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn split_mnemonic(line: &str) -> (&str, &str) {
+    match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], &line[i + 1..]),
+        None => (line, ""),
+    }
+}
+
+fn split_operands(rest: &str) -> impl Iterator<Item = String> + '_ {
+    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_owned)
+}
+
+fn parse_imm(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16).ok().or_else(|| {
+            u32::from_str_radix(hex, 16).ok().map(i64::from)
+        });
+    }
+    if let Some(neg) = s.strip_prefix("-0x") {
+        return i64::from_str_radix(neg, 16).ok().map(|v| -v);
+    }
+    if let Some(c) = s.strip_prefix('\'').and_then(|r| r.strip_suffix('\'')) {
+        if c.len() == 1 {
+            return Some(i64::from(c.bytes().next()?));
+        }
+    }
+    s.parse::<i64>().ok()
+}
+
+fn parse_mem_operand(s: &str) -> Option<(i32, String)> {
+    let open = s.find('(')?;
+    let close = s.rfind(')')?;
+    if close <= open {
+        return None;
+    }
+    let off = s[..open].trim();
+    let offset = if off.is_empty() { 0 } else { parse_imm(off)? as i32 };
+    Some((offset, s[open + 1..close].trim().to_owned()))
+}
+
+fn parse_string(s: &str) -> Option<Vec<u8>> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = Vec::new();
+    let mut chars = inner.bytes();
+    while let Some(b) = chars.next() {
+        if b == b'\\' {
+            match chars.next()? {
+                b'n' => out.push(b'\n'),
+                b't' => out.push(b'\t'),
+                b'0' => out.push(0),
+                b'\\' => out.push(b'\\'),
+                b'"' => out.push(b'"'),
+                other => out.push(other),
+            }
+        } else {
+            out.push(b);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_program_assembles() {
+        let img = assemble(
+            "hello",
+            r#"
+            .text
+            .global main
+        main:
+            li   a0, 0x1234
+            la   a1, msg
+            call helper
+            halt
+        helper:
+            addi a0, a0, 1
+            ret
+
+            .data
+        msg: .asciz "hi\n"
+        buf: .space 16
+        nums: .word 1, 2, -3, 0xff
+        "#,
+        )
+        .unwrap();
+        assert_eq!(img.entry, img.addr_of("main").unwrap());
+        assert!(img.addr_of("helper").is_some());
+        assert_eq!(img.symbol("msg").unwrap().size, 4);
+        assert_eq!(img.symbol("nums").unwrap().size, 16);
+        assert_eq!(img.validate(), Ok(()));
+    }
+
+    #[test]
+    fn branches_and_loops() {
+        let img = assemble(
+            "loop",
+            "
+        main:
+            li t0, 10
+            li t1, 0
+        top:
+            addi t1, t1, 1
+            addi t0, t0, -1
+            bnez t0, top
+            beq t1, t0, main
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(img.validate(), Ok(()));
+    }
+
+    #[test]
+    fn fn_pointer_table() {
+        let img = assemble(
+            "tbl",
+            "
+        main:
+            la t0, handlers
+            lw t1, 0(t0)
+            jalr t1
+            halt
+        h_a:
+            ret
+        h_b:
+            ret
+            .data
+        handlers: .target h_a, h_b
+        ",
+        )
+        .unwrap();
+        let tbl = img.symbol("handlers").unwrap();
+        let seg = img.segment_at(tbl.addr).unwrap();
+        let off = (tbl.addr - seg.vaddr) as usize;
+        let e0 = u32::from_le_bytes(seg.data[off..off + 4].try_into().unwrap());
+        assert_eq!(e0, img.addr_of("h_a").unwrap());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("bad", "main:\n    bogus a0, a1\n    halt\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn unknown_register_rejected() {
+        let err = assemble("bad", "main:\n    addi q7, a0, 1\n").unwrap_err();
+        assert!(err.message.contains("q7"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble("bad", "main:\n    nop\nmain:\n    halt\n").unwrap_err();
+        assert!(err.message.contains("twice"));
+    }
+
+    #[test]
+    fn comments_and_quotes() {
+        let img = assemble(
+            "c",
+            "main: # entry\n    halt ; trailing\n.data\ns: .asciz \"has # inside\"\n",
+        )
+        .unwrap();
+        assert_eq!(img.symbol("s").unwrap().size, "has # inside\0".len() as u32);
+    }
+
+    #[test]
+    fn mem_operands() {
+        let img = assemble(
+            "m",
+            "main:\n    lw a0, 8(sp)\n    sw a0, -4(fp)\n    lbu t0, (a1)\n    halt\n",
+        )
+        .unwrap();
+        assert_eq!(img.validate(), Ok(()));
+    }
+
+    #[test]
+    fn data_in_text_rejected() {
+        let err = assemble("bad", "main:\n.word 5\n").unwrap_err();
+        assert!(err.message.contains("only allowed in .data"));
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::Reg;
+
+    /// Execute-free check: assemble and decode the first instructions.
+    fn words(src: &str) -> Vec<Instruction> {
+        let img = assemble("t", src).unwrap();
+        img.segments[0]
+            .data
+            .chunks_exact(4)
+            .map(|c| Instruction::decode(u32::from_le_bytes(c.try_into().unwrap())))
+            .take_while(Result::is_ok)
+            .map(Result::unwrap)
+            .collect()
+    }
+
+    #[test]
+    fn equ_constants_in_immediates_and_data() {
+        let img = assemble(
+            "e",
+            "
+            .equ BUFSZ, 128
+            .equ MAGIC, 0x1F
+        main:
+            li a0, BUFSZ
+            addi a1, zero, MAGIC
+            halt
+        .data
+        buf: .space BUFSZ
+        tag: .word MAGIC, BUFSZ
+        ",
+        )
+        .unwrap();
+        assert_eq!(img.symbol("buf").unwrap().size, 128);
+        let insts = words(
+            "
+            .equ BUFSZ, 128
+        main:
+            li a0, BUFSZ
+            halt
+        ",
+        );
+        assert_eq!(
+            insts[0],
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 128 }
+        );
+    }
+
+    #[test]
+    fn unknown_constant_is_an_error() {
+        let err = assemble("e", "main:\n li a0, NOPE\n halt\n").unwrap_err();
+        assert!(err.message.contains("NOPE"));
+    }
+
+    #[test]
+    fn align_pads_data() {
+        let img = assemble(
+            "a",
+            "main:\n halt\n.data\nb: .byte 1\n.align 64\nc: .word 7\n",
+        )
+        .unwrap();
+        let c = img.addr_of("c").unwrap();
+        assert!(c.is_multiple_of(64), "c at {c:#x} must be 64-aligned");
+    }
+
+    #[test]
+    fn align_rejects_non_power_of_two() {
+        let err = assemble("a", "main:\n halt\n.data\n.align 3\n").unwrap_err();
+        assert!(err.message.contains("power of two"));
+    }
+
+    #[test]
+    fn pseudo_expansions() {
+        let insts = words(
+            "
+        main:
+            neg  t0, t1
+            seqz t2, t3
+            snez t4, t5
+            subi t6, t7, 5
+            halt
+        ",
+        );
+        assert_eq!(
+            insts[0],
+            Instruction::Alu { op: AluOp::Sub, rd: Reg::T0, rs1: Reg::ZERO, rs2: Reg::T1 }
+        );
+        assert_eq!(
+            insts[1],
+            Instruction::AluImm { op: AluOp::Sltu, rd: Reg::T2, rs1: Reg::T3, imm: 1 }
+        );
+        assert_eq!(
+            insts[2],
+            Instruction::Alu { op: AluOp::Sltu, rd: Reg::T4, rs1: Reg::ZERO, rs2: Reg::T5 }
+        );
+        assert_eq!(
+            insts[3],
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::T6, rs1: Reg::T7, imm: -5 }
+        );
+    }
+
+    #[test]
+    fn not_uses_assembler_temp() {
+        let insts = words("main:\n not a0, a1\n halt\n");
+        // li at, -1  (single addi) then xor a0, a1, at
+        assert_eq!(
+            insts[0],
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::AT, rs1: Reg::ZERO, imm: -1 }
+        );
+        assert_eq!(
+            insts[1],
+            Instruction::Alu { op: AluOp::Xor, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::AT }
+        );
+    }
+
+    #[test]
+    fn swapped_operand_branches() {
+        let insts = words("main:\n ble t0, t1, main\n bgt t0, t1, main\n halt\n");
+        match insts[0] {
+            Instruction::Branch { cond: Cond::Ge, rs1, rs2, .. } => {
+                assert_eq!((rs1, rs2), (Reg::T1, Reg::T0), "ble swaps to bge");
+            }
+            other => panic!("expected branch, got {other}"),
+        }
+        match insts[1] {
+            Instruction::Branch { cond: Cond::Lt, rs1, rs2, .. } => {
+                assert_eq!((rs1, rs2), (Reg::T1, Reg::T0), "bgt swaps to blt");
+            }
+            other => panic!("expected branch, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,834 @@
+//! Programmatic code generation for IR32.
+//!
+//! [`ProgramBuilder`] plays the role of the compiler + linker for this
+//! reproduction: workload generators use it to emit whole server
+//! applications as real machine code, with labels, functions, data
+//! objects, function-pointer tables and the monitor-facing metadata
+//! (symbols, indirect-target sets) collected along the way.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{AluOp, Cond, EncodeError, Image, Instruction, Perms, Reg, Segment, Symbol, SymbolKind};
+
+/// Default base of the text segment.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+/// Default base of the data segment.
+pub const DATA_BASE: u32 = 0x1000_0000;
+/// Default top of the initial stack (grows downward).
+pub const STACK_TOP: u32 = 0x7FFF_F000;
+/// Default size of the initial stack mapping.
+pub const STACK_SIZE: u32 = 64 * 1024;
+
+/// A forward-referenceable position in the text segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// A named object in the data segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataRef {
+    sym: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Fixup {
+    /// Patch a branch offset to point at a label.
+    Branch(Label),
+    /// Patch a `jal` offset to point at a label.
+    Jal(Label),
+    /// Patch the 16-bit immediate with the high half of a label address.
+    HiLabel(Label),
+    /// Patch the 16-bit immediate with the low half of a label address.
+    LoLabel(Label),
+    /// Patch with the high half of a data symbol address (+offset).
+    HiData(DataRef, u32),
+    /// Patch with the low half of a data symbol address (+offset).
+    LoData(DataRef, u32),
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    inst: Instruction,
+    fixup: Option<Fixup>,
+}
+
+#[derive(Debug, Clone)]
+struct DataSym {
+    name: String,
+    offset: u32,
+    size: u32,
+}
+
+#[derive(Debug, Clone)]
+struct PendingFunc {
+    name: String,
+    start: usize,
+    exported: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum DataPatch {
+    /// Store the absolute address of a text label at this data offset.
+    LabelAddr { offset: u32, label: Label },
+}
+
+/// Error produced while building or finalizing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced but never bound.
+    UnboundLabel {
+        /// Index of the referencing instruction.
+        at_inst: usize,
+    },
+    /// A label was bound twice.
+    ReboundLabel,
+    /// Instruction encoding failed after fixup resolution.
+    Encode(EncodeError),
+    /// `end_func` without `begin_func`.
+    NoOpenFunction,
+    /// `finish` while a function is still open.
+    UnclosedFunction {
+        /// The still-open function's name.
+        name: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel { at_inst } => {
+                write!(f, "unbound label referenced by instruction {at_inst}")
+            }
+            BuildError::ReboundLabel => f.write_str("label bound twice"),
+            BuildError::Encode(e) => write!(f, "encoding failed: {e}"),
+            BuildError::NoOpenFunction => f.write_str("end_func called with no open function"),
+            BuildError::UnclosedFunction { name } => {
+                write!(f, "finish called while function `{name}` is still open")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<EncodeError> for BuildError {
+    fn from(e: EncodeError) -> Self {
+        BuildError::Encode(e)
+    }
+}
+
+/// Incrementally builds an IR32 [`Image`].
+///
+/// # Examples
+///
+/// ```
+/// use indra_isa::{ProgramBuilder, Reg};
+///
+/// # fn main() -> Result<(), indra_isa::BuildError> {
+/// let mut b = ProgramBuilder::new("demo");
+/// b.begin_func("main", true);
+/// b.li(Reg::A0, 41);
+/// b.addi(Reg::A0, Reg::A0, 1);
+/// b.halt();
+/// b.end_func();
+/// let image = b.finish()?;
+/// assert_eq!(image.entry, image.addr_of("main").unwrap());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    text: Vec<Slot>,
+    labels: Vec<Option<usize>>,
+    data: Vec<u8>,
+    data_syms: Vec<DataSym>,
+    data_patches: Vec<DataPatch>,
+    funcs: Vec<Symbol>,
+    label_funcs: Vec<(Label, String, bool)>,
+    open_func: Option<PendingFunc>,
+    entry_label: Option<Label>,
+    extra_indirect_targets: Vec<Label>,
+    dynamic_regions_pages: u32,
+    text_base: u32,
+    data_base: u32,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for a program called `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            text: Vec::new(),
+            labels: Vec::new(),
+            data: Vec::new(),
+            data_syms: Vec::new(),
+            data_patches: Vec::new(),
+            funcs: Vec::new(),
+            label_funcs: Vec::new(),
+            open_func: None,
+            entry_label: None,
+            extra_indirect_targets: Vec::new(),
+            dynamic_regions_pages: 0,
+            text_base: TEXT_BASE,
+            data_base: DATA_BASE,
+        }
+    }
+
+    /// Overrides the text segment base address.
+    pub fn text_base(&mut self, base: u32) -> &mut Self {
+        self.text_base = base;
+        self
+    }
+
+    /// Overrides the data segment base address.
+    pub fn data_base(&mut self, base: u32) -> &mut Self {
+        self.data_base = base;
+        self
+    }
+
+    /// Current instruction index (useful for size accounting).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// `true` when no instructions have been emitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    // ---- labels ---------------------------------------------------------
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current text position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound (that is a builder-usage bug).
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.text.len());
+    }
+
+    /// Allocates and immediately binds a label at the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    // ---- functions ------------------------------------------------------
+
+    /// Starts a function: binds a label, records a symbol, and registers the
+    /// entry as a valid indirect-call target.
+    pub fn begin_func(&mut self, name: impl Into<String>, exported: bool) -> Label {
+        let name = name.into();
+        assert!(self.open_func.is_none(), "begin_func while `{name}` caller still open");
+        let label = self.here();
+        if self.entry_label.is_none() {
+            self.entry_label = Some(label);
+        }
+        self.open_func = Some(PendingFunc { name, start: self.text.len(), exported });
+        self.extra_indirect_targets.push(label);
+        label
+    }
+
+    /// Ends the currently open function, fixing its size in the symbol table.
+    pub fn end_func(&mut self) {
+        let f = self.open_func.take().expect("end_func with no open function");
+        self.funcs.push(Symbol {
+            name: f.name,
+            addr: f.start as u32, // patched to a real address in finish()
+            size: (self.text.len() - f.start) as u32 * 4,
+            kind: SymbolKind::Function,
+            exported: f.exported,
+        });
+    }
+
+    /// Registers a function symbol at an already-bound label without the
+    /// `begin_func`/`end_func` bracketing (used by the assembler, where
+    /// function extents are implicit). The entry also becomes a valid
+    /// indirect-call target.
+    pub fn func_symbol_at(&mut self, label: Label, name: impl Into<String>, exported: bool) {
+        self.label_funcs.push((label, name.into(), exported));
+        self.extra_indirect_targets.push(label);
+        if self.entry_label.is_none() {
+            self.entry_label = Some(label);
+        }
+    }
+
+    /// Marks `label` as the program entry point (defaults to the first
+    /// function begun).
+    pub fn set_entry(&mut self, label: Label) {
+        self.entry_label = Some(label);
+    }
+
+    /// Registers an additional valid indirect-jump target (e.g. a jump-table
+    /// case) with the monitor metadata.
+    pub fn add_indirect_target(&mut self, label: Label) {
+        self.extra_indirect_targets.push(label);
+    }
+
+    /// Reserves `pages` pages of declared dynamic-code region above the heap.
+    pub fn declare_dynamic_code_pages(&mut self, pages: u32) {
+        self.dynamic_regions_pages += pages;
+    }
+
+    // ---- raw emission ---------------------------------------------------
+
+    /// Emits one instruction verbatim.
+    pub fn inst(&mut self, inst: Instruction) {
+        self.text.push(Slot { inst, fixup: None });
+    }
+
+    fn inst_fixup(&mut self, inst: Instruction, fixup: Fixup) {
+        self.text.push(Slot { inst, fixup: Some(fixup) });
+    }
+
+    // ---- convenience emitters -------------------------------------------
+
+    /// `add rd, rs1, rs2` and friends.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Instruction::Alu { op, rd, rs1, rs2 });
+    }
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.inst(Instruction::AluImm { op: AluOp::Add, rd, rs1, imm });
+    }
+
+    /// Loads an arbitrary 32-bit constant, expanding to 1–2 instructions.
+    pub fn li(&mut self, rd: Reg, value: i32) {
+        let v = value as u32;
+        if (-(1 << 15)..(1 << 15)).contains(&value) {
+            self.addi(rd, Reg::ZERO, value);
+        } else if v & 0xFFFF == 0 {
+            self.inst(Instruction::Lui { rd, imm: v >> 16 });
+        } else {
+            self.inst(Instruction::Lui { rd, imm: v >> 16 });
+            self.inst(Instruction::AluImm {
+                op: AluOp::Or,
+                rd,
+                rs1: rd,
+                imm: (v & 0xFFFF) as i32,
+            });
+        }
+    }
+
+    /// Loads the absolute address of a code label (2 instructions).
+    pub fn la_label(&mut self, rd: Reg, label: Label) {
+        self.inst_fixup(Instruction::Lui { rd, imm: 0 }, Fixup::HiLabel(label));
+        self.inst_fixup(
+            Instruction::AluImm { op: AluOp::Or, rd, rs1: rd, imm: 0 },
+            Fixup::LoLabel(label),
+        );
+    }
+
+    /// Loads the absolute address of a data object plus `offset`.
+    pub fn la_data(&mut self, rd: Reg, data: DataRef, offset: u32) {
+        self.inst_fixup(Instruction::Lui { rd, imm: 0 }, Fixup::HiData(data, offset));
+        self.inst_fixup(
+            Instruction::AluImm { op: AluOp::Or, rd, rs1: rd, imm: 0 },
+            Fixup::LoData(data, offset),
+        );
+    }
+
+    /// `mv rd, rs`.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.inst(Instruction::mv(rd, rs));
+    }
+
+    /// Word load `lw rd, offset(rs1)`.
+    pub fn lw(&mut self, rd: Reg, rs1: Reg, offset: i32) {
+        self.inst(Instruction::Load { width: crate::Width::Word, signed: true, rd, rs1, offset });
+    }
+
+    /// Word store `sw rs2, offset(rs1)`.
+    pub fn sw(&mut self, rs2: Reg, rs1: Reg, offset: i32) {
+        self.inst(Instruction::Store { width: crate::Width::Word, rs2, rs1, offset });
+    }
+
+    /// Byte load (unsigned) `lbu rd, offset(rs1)`.
+    pub fn lbu(&mut self, rd: Reg, rs1: Reg, offset: i32) {
+        self.inst(Instruction::Load { width: crate::Width::Byte, signed: false, rd, rs1, offset });
+    }
+
+    /// Byte store `sb rs2, offset(rs1)`.
+    pub fn sb(&mut self, rs2: Reg, rs1: Reg, offset: i32) {
+        self.inst(Instruction::Store { width: crate::Width::Byte, rs2, rs1, offset });
+    }
+
+    /// Conditional branch to a label.
+    pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, target: Label) {
+        self.inst_fixup(
+            Instruction::Branch { cond, rs1, rs2, offset: 0 },
+            Fixup::Branch(target),
+        );
+    }
+
+    /// `beqz rs, target`.
+    pub fn beqz(&mut self, rs: Reg, target: Label) {
+        self.branch(Cond::Eq, rs, Reg::ZERO, target);
+    }
+
+    /// `bnez rs, target`.
+    pub fn bnez(&mut self, rs: Reg, target: Label) {
+        self.branch(Cond::Ne, rs, Reg::ZERO, target);
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jump(&mut self, target: Label) {
+        self.inst_fixup(Instruction::Jal { rd: Reg::ZERO, offset: 0 }, Fixup::Jal(target));
+    }
+
+    /// Direct call to a label (`jal ra, target`).
+    pub fn call(&mut self, target: Label) {
+        self.inst_fixup(Instruction::Jal { rd: Reg::RA, offset: 0 }, Fixup::Jal(target));
+    }
+
+    /// Indirect call through a register (`jalr ra, 0(rs)`).
+    pub fn call_indirect(&mut self, rs: Reg) {
+        self.inst(Instruction::Jalr { rd: Reg::RA, rs1: rs, offset: 0 });
+    }
+
+    /// Function return.
+    pub fn ret(&mut self) {
+        self.inst(Instruction::ret());
+    }
+
+    /// System call.
+    pub fn syscall(&mut self, code: u16) {
+        self.inst(Instruction::Syscall { code });
+    }
+
+    /// Halt the core.
+    pub fn halt(&mut self) {
+        self.inst(Instruction::Halt);
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) {
+        self.inst(Instruction::Nop);
+    }
+
+    /// Standard prologue: push `ra` and `fp`, set up a `frame`-byte frame.
+    pub fn prologue(&mut self, frame: i32) {
+        let total = frame + 8;
+        self.addi(Reg::SP, Reg::SP, -total);
+        self.sw(Reg::RA, Reg::SP, frame);
+        self.sw(Reg::FP, Reg::SP, frame + 4);
+        self.addi(Reg::FP, Reg::SP, 0);
+    }
+
+    /// Matching epilogue for [`ProgramBuilder::prologue`] followed by `ret`.
+    pub fn epilogue(&mut self, frame: i32) {
+        let total = frame + 8;
+        self.lw(Reg::RA, Reg::SP, frame);
+        self.lw(Reg::FP, Reg::SP, frame + 4);
+        self.addi(Reg::SP, Reg::SP, total);
+        self.ret();
+    }
+
+    // ---- data -----------------------------------------------------------
+
+    fn add_data_sym(&mut self, name: String, offset: u32, size: u32) -> DataRef {
+        self.data_syms.push(DataSym { name, offset, size });
+        DataRef { sym: self.data_syms.len() - 1 }
+    }
+
+    /// Adds initialized bytes to the data segment.
+    pub fn data_bytes(&mut self, name: impl Into<String>, bytes: &[u8]) -> DataRef {
+        self.align_data(4);
+        let offset = self.data.len() as u32;
+        self.data.extend_from_slice(bytes);
+        self.add_data_sym(name.into(), offset, bytes.len() as u32)
+    }
+
+    /// Adds initialized 32-bit words to the data segment.
+    pub fn data_words(&mut self, name: impl Into<String>, words: &[u32]) -> DataRef {
+        self.align_data(4);
+        let offset = self.data.len() as u32;
+        for w in words {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+        self.add_data_sym(name.into(), offset, words.len() as u32 * 4)
+    }
+
+    /// Adds a zero-initialized region of `size` bytes to the data segment.
+    pub fn data_zeroed(&mut self, name: impl Into<String>, size: u32) -> DataRef {
+        self.align_data(4);
+        let offset = self.data.len() as u32;
+        self.data.resize(self.data.len() + size as usize, 0);
+        self.add_data_sym(name.into(), offset, size)
+    }
+
+    /// Adds a table of function pointers (absolute code-label addresses) —
+    /// the classic target of function-pointer-overwrite exploits.
+    pub fn data_fn_table(&mut self, name: impl Into<String>, entries: &[Label]) -> DataRef {
+        self.align_data(4);
+        let offset = self.data.len() as u32;
+        for (i, &label) in entries.iter().enumerate() {
+            self.data_patches
+                .push(DataPatch::LabelAddr { offset: offset + i as u32 * 4, label });
+            self.data.extend_from_slice(&0u32.to_le_bytes());
+        }
+        self.add_data_sym(name.into(), offset, entries.len() as u32 * 4)
+    }
+
+    fn align_data(&mut self, align: usize) {
+        while !self.data.len().is_multiple_of(align) {
+            self.data.push(0);
+        }
+    }
+
+    /// Pads the data segment to an `align`-byte boundary (`.align`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `align` is a power of two.
+    pub fn align_data_to(&mut self, align: u32) {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.align_data(align as usize);
+    }
+
+    // ---- finalization ----------------------------------------------------
+
+    fn label_addr(&self, label: Label, at_inst: usize) -> Result<u32, BuildError> {
+        let idx = self.labels[label.0].ok_or(BuildError::UnboundLabel { at_inst })?;
+        Ok(self.text_base + idx as u32 * 4)
+    }
+
+    fn data_addr(&self, d: DataRef, offset: u32) -> u32 {
+        self.data_base + self.data_syms[d.sym].offset + offset
+    }
+
+    /// Resolves all fixups, encodes the text, lays out segments and produces
+    /// the final [`Image`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on unbound labels, unencodable instructions,
+    /// or an unclosed function.
+    pub fn finish(mut self) -> Result<Image, BuildError> {
+        if let Some(f) = &self.open_func {
+            return Err(BuildError::UnclosedFunction { name: f.name.clone() });
+        }
+
+        // Resolve text fixups.
+        let mut resolved = Vec::with_capacity(self.text.len());
+        for i in 0..self.text.len() {
+            let here = self.text_base + i as u32 * 4;
+            let slot = self.text[i].clone();
+            let inst = match slot.fixup {
+                None => slot.inst,
+                Some(Fixup::Branch(l)) => {
+                    let target = self.label_addr(l, i)?;
+                    match slot.inst {
+                        Instruction::Branch { cond, rs1, rs2, .. } => Instruction::Branch {
+                            cond,
+                            rs1,
+                            rs2,
+                            offset: target.wrapping_sub(here) as i32,
+                        },
+                        other => unreachable!("branch fixup on {other}"),
+                    }
+                }
+                Some(Fixup::Jal(l)) => {
+                    let target = self.label_addr(l, i)?;
+                    match slot.inst {
+                        Instruction::Jal { rd, .. } => {
+                            Instruction::Jal { rd, offset: target.wrapping_sub(here) as i32 }
+                        }
+                        other => unreachable!("jal fixup on {other}"),
+                    }
+                }
+                Some(Fixup::HiLabel(l)) => {
+                    let addr = self.label_addr(l, i)?;
+                    match slot.inst {
+                        Instruction::Lui { rd, .. } => Instruction::Lui { rd, imm: addr >> 16 },
+                        other => unreachable!("hi fixup on {other}"),
+                    }
+                }
+                Some(Fixup::LoLabel(l)) => {
+                    let addr = self.label_addr(l, i)?;
+                    match slot.inst {
+                        Instruction::AluImm { op, rd, rs1, .. } => {
+                            Instruction::AluImm { op, rd, rs1, imm: (addr & 0xFFFF) as i32 }
+                        }
+                        other => unreachable!("lo fixup on {other}"),
+                    }
+                }
+                Some(Fixup::HiData(d, off)) => {
+                    let addr = self.data_addr(d, off);
+                    match slot.inst {
+                        Instruction::Lui { rd, .. } => Instruction::Lui { rd, imm: addr >> 16 },
+                        other => unreachable!("hi fixup on {other}"),
+                    }
+                }
+                Some(Fixup::LoData(d, off)) => {
+                    let addr = self.data_addr(d, off);
+                    match slot.inst {
+                        Instruction::AluImm { op, rd, rs1, .. } => {
+                            Instruction::AluImm { op, rd, rs1, imm: (addr & 0xFFFF) as i32 }
+                        }
+                        other => unreachable!("lo fixup on {other}"),
+                    }
+                }
+            };
+            resolved.push(inst);
+        }
+
+        // Encode.
+        let mut text_bytes = Vec::with_capacity(resolved.len() * 4);
+        for inst in &resolved {
+            text_bytes.extend_from_slice(&inst.encode()?.to_le_bytes());
+        }
+
+        // Apply data patches (function-pointer tables).
+        for patch in &self.data_patches {
+            match *patch {
+                DataPatch::LabelAddr { offset, label } => {
+                    let addr = self.label_addr(label, 0)?;
+                    self.data[offset as usize..offset as usize + 4]
+                        .copy_from_slice(&addr.to_le_bytes());
+                }
+            }
+        }
+
+        let page = 4096u32;
+        let round = |n: u32| n.div_ceil(page) * page;
+
+        let text_size = round((text_bytes.len() as u32).max(4));
+        let data_size = round((self.data.len() as u32).max(4));
+        let heap_base = self.data_base + data_size + page; // one guard page
+        let dyn_base = heap_base;
+        let dyn_size = self.dynamic_regions_pages * page;
+
+        let mut image = Image::new(self.name.clone());
+        image.segments.push(Segment {
+            name: ".text".into(),
+            vaddr: self.text_base,
+            data: text_bytes,
+            size: text_size,
+            perms: Perms::RX,
+        });
+        image.segments.push(Segment {
+            name: ".data".into(),
+            vaddr: self.data_base,
+            data: std::mem::take(&mut self.data),
+            size: data_size,
+            perms: Perms::RW,
+        });
+        if dyn_size > 0 {
+            image.segments.push(Segment {
+                name: ".dyncode".into(),
+                vaddr: dyn_base,
+                data: Vec::new(),
+                size: dyn_size,
+                perms: Perms::RWX,
+            });
+            image.dynamic_code_regions.push((dyn_base, dyn_size));
+        }
+        image.segments.push(Segment {
+            name: ".stack".into(),
+            vaddr: STACK_TOP - STACK_SIZE,
+            data: Vec::new(),
+            size: STACK_SIZE,
+            perms: Perms::RW,
+        });
+
+        // Patch function symbol addresses from instruction indices.
+        for mut sym in std::mem::take(&mut self.funcs) {
+            sym.addr = self.text_base + sym.addr * 4;
+            image.symbols.push(sym);
+        }
+        for (label, name, exported) in std::mem::take(&mut self.label_funcs) {
+            image.symbols.push(Symbol {
+                name,
+                addr: self.label_addr(label, 0)?,
+                size: 0,
+                kind: SymbolKind::Function,
+                exported,
+            });
+        }
+        for ds in &self.data_syms {
+            image.symbols.push(Symbol {
+                name: ds.name.clone(),
+                addr: self.data_base + ds.offset,
+                size: ds.size,
+                kind: SymbolKind::Object,
+                exported: false,
+            });
+        }
+
+        let mut targets = BTreeSet::new();
+        for &l in &self.extra_indirect_targets {
+            targets.insert(self.label_addr(l, 0)?);
+        }
+        image.indirect_targets = targets;
+
+        image.entry = match self.entry_label {
+            Some(l) => self.label_addr(l, 0)?,
+            None => self.text_base,
+        };
+        image.initial_sp = STACK_TOP - 16;
+        image.heap_base = heap_base + dyn_size;
+
+        debug_assert_eq!(image.validate(), Ok(()));
+        Ok(image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instruction;
+
+    #[test]
+    fn minimal_program_builds() {
+        let mut b = ProgramBuilder::new("t");
+        b.begin_func("main", true);
+        b.li(Reg::A0, 5);
+        b.halt();
+        b.end_func();
+        let img = b.finish().unwrap();
+        assert_eq!(img.entry, TEXT_BASE);
+        assert_eq!(img.validate(), Ok(()));
+        // decode first instruction back
+        let word = u32::from_le_bytes(img.segments[0].data[0..4].try_into().unwrap());
+        let inst = Instruction::decode(word).unwrap();
+        assert_eq!(inst, Instruction::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 5 });
+    }
+
+    #[test]
+    fn forward_branch_resolves() {
+        let mut b = ProgramBuilder::new("t");
+        b.begin_func("main", true);
+        let skip = b.new_label();
+        b.beqz(Reg::A0, skip);
+        b.li(Reg::A1, 1);
+        b.bind(skip);
+        b.halt();
+        b.end_func();
+        let img = b.finish().unwrap();
+        let word = u32::from_le_bytes(img.segments[0].data[0..4].try_into().unwrap());
+        match Instruction::decode(word).unwrap() {
+            Instruction::Branch { offset, .. } => assert_eq!(offset, 8),
+            other => panic!("expected branch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn backward_jump_resolves() {
+        let mut b = ProgramBuilder::new("t");
+        b.begin_func("main", true);
+        let top = b.here();
+        b.nop();
+        b.jump(top);
+        b.halt();
+        b.end_func();
+        let img = b.finish().unwrap();
+        let word = u32::from_le_bytes(img.segments[0].data[4..8].try_into().unwrap());
+        match Instruction::decode(word).unwrap() {
+            Instruction::Jal { rd, offset } => {
+                assert!(rd.is_zero());
+                assert_eq!(offset, -4);
+            }
+            other => panic!("expected jal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_error() {
+        let mut b = ProgramBuilder::new("t");
+        b.begin_func("main", true);
+        let dangling = b.new_label();
+        b.jump(dangling);
+        b.end_func();
+        assert!(matches!(b.finish(), Err(BuildError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    fn unclosed_function_is_error() {
+        let mut b = ProgramBuilder::new("t");
+        b.begin_func("main", true);
+        b.halt();
+        assert!(matches!(b.finish(), Err(BuildError::UnclosedFunction { .. })));
+    }
+
+    #[test]
+    fn data_and_fn_table() {
+        let mut b = ProgramBuilder::new("t");
+        let f1 = b.begin_func("handler_a", false);
+        b.ret();
+        b.end_func();
+        let f2 = b.begin_func("handler_b", false);
+        b.ret();
+        b.end_func();
+        let main = b.begin_func("main", true);
+        b.halt();
+        b.end_func();
+        b.set_entry(main);
+        let buf = b.data_zeroed("buf", 128);
+        let table = b.data_fn_table("handlers", &[f1, f2]);
+        let msg = b.data_bytes("msg", b"hello");
+        let words = b.data_words("nums", &[1, 2, 3]);
+        let img = b.finish().unwrap();
+
+        assert_eq!(img.symbol("buf").unwrap().size, 128);
+        assert_eq!(img.symbol("msg").unwrap().size, 5);
+        assert_eq!(img.symbol("nums").unwrap().size, 12);
+        let _ = (buf, msg, words);
+
+        // the fn table holds the real addresses of the handlers
+        let tbl_sym = img.symbol("handlers").unwrap();
+        let seg = img.segment_at(tbl_sym.addr).unwrap();
+        let off = (tbl_sym.addr - seg.vaddr) as usize;
+        let e0 = u32::from_le_bytes(seg.data[off..off + 4].try_into().unwrap());
+        let e1 = u32::from_le_bytes(seg.data[off + 4..off + 8].try_into().unwrap());
+        assert_eq!(e0, img.addr_of("handler_a").unwrap());
+        assert_eq!(e1, img.addr_of("handler_b").unwrap());
+        let _ = table;
+
+        // handler entries are valid indirect targets
+        assert!(img.indirect_targets.contains(&e0));
+        assert!(img.indirect_targets.contains(&e1));
+        // entry override respected
+        assert_eq!(img.entry, img.addr_of("main").unwrap());
+    }
+
+    #[test]
+    fn li_expansion_widths() {
+        let mut b = ProgramBuilder::new("t");
+        b.begin_func("main", true);
+        b.li(Reg::T0, 5); // 1 inst
+        b.li(Reg::T1, 0x7FFF_0000u32 as i32); // 1 inst (lui)
+        b.li(Reg::T2, 0x1234_5678); // 2 insts
+        b.halt();
+        b.end_func();
+        assert_eq!(b.len(), 5);
+        let img = b.finish().unwrap();
+        assert_eq!(img.validate(), Ok(()));
+    }
+
+    #[test]
+    fn dynamic_code_region_declared() {
+        let mut b = ProgramBuilder::new("t");
+        b.begin_func("main", true);
+        b.halt();
+        b.end_func();
+        b.declare_dynamic_code_pages(2);
+        let img = b.finish().unwrap();
+        assert_eq!(img.dynamic_code_regions.len(), 1);
+        assert_eq!(img.dynamic_code_regions[0].1, 8192);
+        assert_eq!(img.validate(), Ok(()));
+    }
+}

@@ -1,0 +1,92 @@
+//! Disassembly helpers.
+//!
+//! Turns raw memory back into readable listings — used by diagnostics,
+//! monitor violation reports, and the examples when they show what an
+//! injected payload actually contained.
+
+use crate::{Image, Instruction};
+
+/// One line of a disassembly listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Virtual address of the instruction.
+    pub addr: u32,
+    /// The raw word.
+    pub word: u32,
+    /// The decoded instruction, or `None` for illegal words.
+    pub inst: Option<Instruction>,
+    /// A symbol that starts at this address, if any.
+    pub symbol: Option<String>,
+}
+
+impl std::fmt::Display for DisasmLine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(sym) = &self.symbol {
+            writeln!(f, "{sym}:")?;
+        }
+        match &self.inst {
+            Some(i) => write!(f, "  {:#010x}:  {:08x}  {i}", self.addr, self.word),
+            None => write!(f, "  {:#010x}:  {:08x}  <illegal>", self.addr, self.word),
+        }
+    }
+}
+
+/// Disassembles `words.len()` instructions starting at `base`.
+#[must_use]
+pub fn disassemble(base: u32, words: &[u32]) -> Vec<DisasmLine> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &word)| DisasmLine {
+            addr: base + i as u32 * 4,
+            word,
+            inst: Instruction::decode(word).ok(),
+            symbol: None,
+        })
+        .collect()
+}
+
+/// Disassembles an image's executable segments, annotating function starts.
+#[must_use]
+pub fn disassemble_image(image: &Image) -> Vec<DisasmLine> {
+    let mut out = Vec::new();
+    for seg in image.segments.iter().filter(|s| s.perms.execute) {
+        let words: Vec<u32> = seg
+            .data
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+            .collect();
+        for mut line in disassemble(seg.vaddr, &words) {
+            line.symbol = image
+                .symbols
+                .iter()
+                .find(|s| s.addr == line.addr && s.kind == crate::SymbolKind::Function)
+                .map(|s| s.name.clone());
+            out.push(line);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    #[test]
+    fn listing_round_trips_mnemonics() {
+        let img = assemble("d", "main:\n    addi a0, zero, 7\n    halt\n").unwrap();
+        let lines = disassemble_image(&img);
+        assert_eq!(lines[0].symbol.as_deref(), Some("main"));
+        assert_eq!(lines[0].inst.unwrap().to_string(), "addi a0, zero, 7");
+        assert_eq!(lines[1].inst.unwrap(), Instruction::Halt);
+    }
+
+    #[test]
+    fn illegal_words_render_as_illegal() {
+        let lines = disassemble(0x1000, &[0, u32::MAX]);
+        assert!(lines[0].inst.is_none());
+        assert!(lines[0].to_string().contains("illegal"));
+        assert!(lines[1].inst.is_none());
+    }
+}

@@ -1,0 +1,490 @@
+//! Binary encoding of IR32 instructions.
+//!
+//! Every instruction is one little-endian 32-bit word:
+//!
+//! ```text
+//! [31:26] opcode
+//! R-type : [25:21] rd   [20:16] rs1  [15:11] rs2  [5:0] funct
+//! I-type : [25:21] rd   [20:16] rs1  [15:0]  imm16
+//! S-type : [25:21] rs2  [20:16] rs1  [15:0]  imm16      (stores)
+//! B-type : [25:21] rs1  [20:16] rs2  [15:0]  imm16      (branches, word offset)
+//! J-type : [25:21] rd   [20:0]  imm21                   (jal, word offset)
+//! ```
+//!
+//! The all-zero word is deliberately **not** a valid instruction: executing
+//! zero-initialized memory raises an illegal-instruction fault, as on most
+//! real machines. This matters to INDRA's evaluation — a clumsy exploit
+//! that diverts control into zeroed heap faults immediately.
+
+use std::fmt;
+
+use crate::{AluOp, Cond, Instruction, Reg, Width};
+
+/// Error returned when an instruction's fields do not fit its encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// Immediate out of the representable range for this format.
+    ImmediateRange {
+        /// Rendered instruction text.
+        inst: String,
+        /// The offending immediate.
+        imm: i64,
+        /// Smallest representable value.
+        min: i64,
+        /// Largest representable value.
+        max: i64,
+    },
+    /// Branch/jump offsets must be multiples of 4.
+    MisalignedOffset {
+        /// Rendered instruction text.
+        inst: String,
+        /// The offending byte offset.
+        offset: i32,
+    },
+    /// The ALU operation has no immediate form.
+    NoImmediateForm {
+        /// The operation in question.
+        op: AluOp,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmediateRange { inst, imm, min, max } => {
+                write!(f, "immediate {imm} out of range [{min}, {max}] in `{inst}`")
+            }
+            EncodeError::MisalignedOffset { inst, offset } => {
+                write!(f, "control-transfer offset {offset} not word-aligned in `{inst}`")
+            }
+            EncodeError::NoImmediateForm { op } => {
+                write!(f, "ALU op `{}` has no immediate form", op.mnemonic())
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Error returned when a 32-bit word does not decode to an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod op {
+    pub const ALU: u32 = 0x01;
+    pub const LUI: u32 = 0x03;
+    pub const ADDI: u32 = 0x04;
+    pub const ANDI: u32 = 0x05;
+    pub const ORI: u32 = 0x06;
+    pub const XORI: u32 = 0x07;
+    pub const SLTI: u32 = 0x08;
+    pub const SLTIU: u32 = 0x09;
+    pub const SLLI: u32 = 0x0A;
+    pub const SRLI: u32 = 0x0B;
+    pub const SRAI: u32 = 0x0C;
+    pub const MULI: u32 = 0x0D;
+    pub const LB: u32 = 0x10;
+    pub const LBU: u32 = 0x11;
+    pub const LH: u32 = 0x12;
+    pub const LHU: u32 = 0x13;
+    pub const LW: u32 = 0x14;
+    pub const SB: u32 = 0x15;
+    pub const SH: u32 = 0x16;
+    pub const SW: u32 = 0x17;
+    pub const BEQ: u32 = 0x18;
+    pub const BNE: u32 = 0x19;
+    pub const BLT: u32 = 0x1A;
+    pub const BGE: u32 = 0x1B;
+    pub const BLTU: u32 = 0x1C;
+    pub const BGEU: u32 = 0x1D;
+    pub const JAL: u32 = 0x20;
+    pub const JALR: u32 = 0x21;
+    pub const SYSCALL: u32 = 0x22;
+    pub const HALT: u32 = 0x23;
+    pub const NOP: u32 = 0x24;
+}
+
+fn funct_of(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::Mul => 2,
+        AluOp::Div => 3,
+        AluOp::Rem => 4,
+        AluOp::And => 5,
+        AluOp::Or => 6,
+        AluOp::Xor => 7,
+        AluOp::Sll => 8,
+        AluOp::Srl => 9,
+        AluOp::Sra => 10,
+        AluOp::Slt => 11,
+        AluOp::Sltu => 12,
+    }
+}
+
+fn alu_of_funct(f: u32) -> Option<AluOp> {
+    Some(match f {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::Mul,
+        3 => AluOp::Div,
+        4 => AluOp::Rem,
+        5 => AluOp::And,
+        6 => AluOp::Or,
+        7 => AluOp::Xor,
+        8 => AluOp::Sll,
+        9 => AluOp::Srl,
+        10 => AluOp::Sra,
+        11 => AluOp::Slt,
+        12 => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+/// Whether an ALU immediate op zero-extends (logical) or sign-extends
+/// (arithmetic) its 16-bit immediate, MIPS-style.
+fn imm_is_unsigned(op: AluOp) -> bool {
+    matches!(op, AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Sltu)
+}
+
+fn check_imm16s(inst: &Instruction, imm: i32) -> Result<u32, EncodeError> {
+    if (-(1 << 15)..(1 << 15)).contains(&imm) {
+        Ok((imm as u32) & 0xFFFF)
+    } else {
+        Err(EncodeError::ImmediateRange {
+            inst: inst.to_string(),
+            imm: imm.into(),
+            min: -(1 << 15),
+            max: (1 << 15) - 1,
+        })
+    }
+}
+
+fn check_imm16u(inst: &Instruction, imm: i32) -> Result<u32, EncodeError> {
+    if (0..(1 << 16)).contains(&imm) {
+        Ok(imm as u32)
+    } else {
+        Err(EncodeError::ImmediateRange {
+            inst: inst.to_string(),
+            imm: imm.into(),
+            min: 0,
+            max: (1 << 16) - 1,
+        })
+    }
+}
+
+fn check_word_offset(inst: &Instruction, offset: i32, bits: u32) -> Result<u32, EncodeError> {
+    if offset % 4 != 0 {
+        return Err(EncodeError::MisalignedOffset { inst: inst.to_string(), offset });
+    }
+    let words = offset / 4;
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if i64::from(words) < min || i64::from(words) > max {
+        return Err(EncodeError::ImmediateRange {
+            inst: inst.to_string(),
+            imm: offset.into(),
+            min: min * 4,
+            max: max * 4,
+        });
+    }
+    Ok((words as u32) & ((1 << bits) - 1))
+}
+
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+impl Instruction {
+    /// Encodes the instruction into its 32-bit binary form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] when an immediate or offset does not fit the
+    /// instruction format, or when the ALU op has no immediate form.
+    pub fn encode(&self) -> Result<u32, EncodeError> {
+        let r = |reg: Reg| u32::from(reg.index());
+        Ok(match *self {
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                (op::ALU << 26) | (r(rd) << 21) | (r(rs1) << 16) | (r(rs2) << 11) | funct_of(op)
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                let opcode = match op {
+                    AluOp::Add => op::ADDI,
+                    AluOp::And => op::ANDI,
+                    AluOp::Or => op::ORI,
+                    AluOp::Xor => op::XORI,
+                    AluOp::Slt => op::SLTI,
+                    AluOp::Sltu => op::SLTIU,
+                    AluOp::Sll => op::SLLI,
+                    AluOp::Srl => op::SRLI,
+                    AluOp::Sra => op::SRAI,
+                    AluOp::Mul => op::MULI,
+                    AluOp::Sub | AluOp::Div | AluOp::Rem => {
+                        return Err(EncodeError::NoImmediateForm { op })
+                    }
+                };
+                let imm16 = if imm_is_unsigned(op) {
+                    check_imm16u(self, imm)?
+                } else {
+                    check_imm16s(self, imm)?
+                };
+                (opcode << 26) | (r(rd) << 21) | (r(rs1) << 16) | imm16
+            }
+            Instruction::Lui { rd, imm } => {
+                let imm = i32::try_from(imm).map_err(|_| EncodeError::ImmediateRange {
+                    inst: self.to_string(),
+                    imm: i64::from(imm),
+                    min: 0,
+                    max: (1 << 16) - 1,
+                })?;
+                (op::LUI << 26) | (r(rd) << 21) | check_imm16u(self, imm)?
+            }
+            Instruction::Load { width, signed, rd, rs1, offset } => {
+                let opcode = match (width, signed) {
+                    (Width::Byte, true) => op::LB,
+                    (Width::Byte, false) => op::LBU,
+                    (Width::Half, true) => op::LH,
+                    (Width::Half, false) => op::LHU,
+                    (Width::Word, _) => op::LW,
+                };
+                (opcode << 26) | (r(rd) << 21) | (r(rs1) << 16) | check_imm16s(self, offset)?
+            }
+            Instruction::Store { width, rs2, rs1, offset } => {
+                let opcode = match width {
+                    Width::Byte => op::SB,
+                    Width::Half => op::SH,
+                    Width::Word => op::SW,
+                };
+                (opcode << 26) | (r(rs2) << 21) | (r(rs1) << 16) | check_imm16s(self, offset)?
+            }
+            Instruction::Branch { cond, rs1, rs2, offset } => {
+                let opcode = match cond {
+                    Cond::Eq => op::BEQ,
+                    Cond::Ne => op::BNE,
+                    Cond::Lt => op::BLT,
+                    Cond::Ge => op::BGE,
+                    Cond::Ltu => op::BLTU,
+                    Cond::Geu => op::BGEU,
+                };
+                (opcode << 26)
+                    | (r(rs1) << 21)
+                    | (r(rs2) << 16)
+                    | check_word_offset(self, offset, 16)?
+            }
+            Instruction::Jal { rd, offset } => {
+                (op::JAL << 26) | (r(rd) << 21) | check_word_offset(self, offset, 21)?
+            }
+            Instruction::Jalr { rd, rs1, offset } => {
+                (op::JALR << 26) | (r(rd) << 21) | (r(rs1) << 16) | check_imm16s(self, offset)?
+            }
+            Instruction::Syscall { code } => (op::SYSCALL << 26) | u32::from(code),
+            Instruction::Halt => op::HALT << 26,
+            Instruction::Nop => op::NOP << 26,
+        })
+    }
+
+    /// Decodes a 32-bit word into an instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for illegal opcodes or malformed fields; the
+    /// simulator turns that into an illegal-instruction fault.
+    pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+        let opcode = word >> 26;
+        let rd = Reg::new(((word >> 21) & 31) as u8);
+        let rs1 = Reg::new(((word >> 16) & 31) as u8);
+        let rs2 = Reg::new(((word >> 11) & 31) as u8);
+        let imm16 = word & 0xFFFF;
+        let err = DecodeError { word };
+
+        let imm_alu = |op: AluOp| -> Instruction {
+            let imm =
+                if imm_is_unsigned(op) { imm16 as i32 } else { sext(imm16, 16) };
+            Instruction::AluImm { op, rd, rs1, imm }
+        };
+        let load = |width: Width, signed: bool| Instruction::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            offset: sext(imm16, 16),
+        };
+        let store = |width: Width| Instruction::Store {
+            width,
+            rs2: rd, // S-type reuses the rd field slot for the data register
+            rs1,
+            offset: sext(imm16, 16),
+        };
+        let branch = |cond: Cond| Instruction::Branch {
+            cond,
+            rs1: rd, // B-type: [25:21] is rs1
+            rs2: rs1,
+            offset: sext(imm16, 16).wrapping_mul(4),
+        };
+
+        Ok(match opcode {
+            // Reserved fields must be zero so decode(encode(x)) == x and
+            // encode(decode(w)) == w both hold.
+            op::ALU if word & 0x07C0 == 0 => {
+                let op = alu_of_funct(word & 0x3F).ok_or(err)?;
+                Instruction::Alu { op, rd, rs1, rs2 }
+            }
+            op::LUI if word & 0x001F_0000 == 0 => Instruction::Lui { rd, imm: imm16 },
+            op::ADDI => imm_alu(AluOp::Add),
+            op::ANDI => imm_alu(AluOp::And),
+            op::ORI => imm_alu(AluOp::Or),
+            op::XORI => imm_alu(AluOp::Xor),
+            op::SLTI => imm_alu(AluOp::Slt),
+            op::SLTIU => imm_alu(AluOp::Sltu),
+            op::SLLI => imm_alu(AluOp::Sll),
+            op::SRLI => imm_alu(AluOp::Srl),
+            op::SRAI => imm_alu(AluOp::Sra),
+            op::MULI => imm_alu(AluOp::Mul),
+            op::LB => load(Width::Byte, true),
+            op::LBU => load(Width::Byte, false),
+            op::LH => load(Width::Half, true),
+            op::LHU => load(Width::Half, false),
+            op::LW => load(Width::Word, true),
+            op::SB => store(Width::Byte),
+            op::SH => store(Width::Half),
+            op::SW => store(Width::Word),
+            op::BEQ => branch(Cond::Eq),
+            op::BNE => branch(Cond::Ne),
+            op::BLT => branch(Cond::Lt),
+            op::BGE => branch(Cond::Ge),
+            op::BLTU => branch(Cond::Ltu),
+            op::BGEU => branch(Cond::Geu),
+            op::JAL => Instruction::Jal { rd, offset: sext(word & 0x1F_FFFF, 21).wrapping_mul(4) },
+            op::JALR => Instruction::Jalr { rd, rs1, offset: sext(imm16, 16) },
+            op::SYSCALL if word & 0x03FF_0000 == 0 => {
+                Instruction::Syscall { code: (word & 0xFFFF) as u16 }
+            }
+            op::HALT if word == op::HALT << 26 => Instruction::Halt,
+            op::NOP if word == op::NOP << 26 => Instruction::Nop,
+            _ => return Err(err),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instruction) {
+        let w = i.encode().unwrap_or_else(|e| panic!("encode {i}: {e}"));
+        let back = Instruction::decode(w).unwrap_or_else(|e| panic!("decode {i}: {e}"));
+        assert_eq!(back, i, "roundtrip failed for {i} (word {w:#010x})");
+    }
+
+    #[test]
+    fn zero_word_is_illegal() {
+        assert!(Instruction::decode(0).is_err());
+    }
+
+    #[test]
+    fn all_ones_is_illegal() {
+        assert!(Instruction::decode(u32::MAX).is_err());
+    }
+
+    #[test]
+    fn alu_roundtrip() {
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::Div,
+            AluOp::Rem,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Sll,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Slt,
+            AluOp::Sltu,
+        ] {
+            roundtrip(Instruction::Alu { op, rd: Reg::T0, rs1: Reg::A0, rs2: Reg::S3 });
+        }
+    }
+
+    #[test]
+    fn imm_roundtrip() {
+        roundtrip(Instruction::AluImm { op: AluOp::Add, rd: Reg::SP, rs1: Reg::SP, imm: -64 });
+        roundtrip(Instruction::AluImm { op: AluOp::Or, rd: Reg::T1, rs1: Reg::T1, imm: 0xBEEF });
+        roundtrip(Instruction::AluImm { op: AluOp::Sll, rd: Reg::T1, rs1: Reg::T1, imm: 12 });
+        roundtrip(Instruction::Lui { rd: Reg::GP, imm: 0xDEAD });
+    }
+
+    #[test]
+    fn imm_range_checked() {
+        let too_big = Instruction::AluImm { op: AluOp::Add, rd: Reg::T0, rs1: Reg::T0, imm: 40000 };
+        assert!(too_big.encode().is_err());
+        let neg_logical =
+            Instruction::AluImm { op: AluOp::Or, rd: Reg::T0, rs1: Reg::T0, imm: -1 };
+        assert!(neg_logical.encode().is_err());
+    }
+
+    #[test]
+    fn sub_has_no_imm_form() {
+        let i = Instruction::AluImm { op: AluOp::Sub, rd: Reg::T0, rs1: Reg::T0, imm: 1 };
+        assert!(matches!(i.encode(), Err(EncodeError::NoImmediateForm { .. })));
+    }
+
+    #[test]
+    fn mem_roundtrip() {
+        for width in [Width::Byte, Width::Half, Width::Word] {
+            roundtrip(Instruction::Load { width, signed: true, rd: Reg::A0, rs1: Reg::SP, offset: -8 });
+            roundtrip(Instruction::Store { width, rs2: Reg::A1, rs1: Reg::GP, offset: 1024 });
+        }
+        roundtrip(Instruction::Load {
+            width: Width::Byte,
+            signed: false,
+            rd: Reg::A0,
+            rs1: Reg::SP,
+            offset: 3,
+        });
+    }
+
+    #[test]
+    fn control_roundtrip() {
+        for cond in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu] {
+            roundtrip(Instruction::Branch { cond, rs1: Reg::A0, rs2: Reg::A1, offset: -128 });
+        }
+        roundtrip(Instruction::Jal { rd: Reg::RA, offset: 2048 });
+        roundtrip(Instruction::Jal { rd: Reg::ZERO, offset: -4 });
+        roundtrip(Instruction::Jalr { rd: Reg::RA, rs1: Reg::T9, offset: 16 });
+        roundtrip(Instruction::ret());
+        roundtrip(Instruction::Syscall { code: 7 });
+        roundtrip(Instruction::Halt);
+        roundtrip(Instruction::Nop);
+    }
+
+    #[test]
+    fn misaligned_offset_rejected() {
+        let i = Instruction::Jal { rd: Reg::RA, offset: 6 };
+        assert!(matches!(i.encode(), Err(EncodeError::MisalignedOffset { .. })));
+        let b = Instruction::Branch { cond: Cond::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: 2 };
+        assert!(b.encode().is_err());
+    }
+
+    #[test]
+    fn jal_long_range() {
+        roundtrip(Instruction::Jal { rd: Reg::RA, offset: (1 << 20) * 4 - 4 });
+        roundtrip(Instruction::Jal { rd: Reg::RA, offset: -(1 << 20) * 4 });
+        let too_far = Instruction::Jal { rd: Reg::RA, offset: (1 << 21) * 4 };
+        assert!(too_far.encode().is_err());
+    }
+}

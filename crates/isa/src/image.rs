@@ -1,0 +1,307 @@
+//! Loadable program images.
+//!
+//! An [`Image`] is the IR32 analogue of a linked ELF binary: code/data
+//! segments with page attributes, an entry point, and — crucially for
+//! INDRA — the *security metadata* the resurrector's monitor checks
+//! against: the symbol table, the set of valid indirect control-transfer
+//! targets, the function export/import lists, and any explicitly declared
+//! dynamic-code regions (§3.2.2–3.2.3 of the paper).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Page/segment access permissions.
+///
+/// IR32 images follow a strict W^X discipline: the toolchain never emits a
+/// segment that is both writable and executable. (The attack surface INDRA
+/// defends is precisely software that *violates* this at runtime.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Perms {
+    /// Readable.
+    pub read: bool,
+    /// Writable.
+    pub write: bool,
+    /// Executable.
+    pub execute: bool,
+}
+
+impl Perms {
+    /// Read + execute: a text segment.
+    pub const RX: Perms = Perms { read: true, write: false, execute: true };
+    /// Read + write: a data/stack/heap segment.
+    pub const RW: Perms = Perms { read: true, write: true, execute: false };
+    /// Read-only data.
+    pub const R: Perms = Perms { read: true, write: false, execute: false };
+    /// Read + write + execute — only for declared dynamic-code regions.
+    pub const RWX: Perms = Perms { read: true, write: true, execute: true };
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.read { 'r' } else { '-' },
+            if self.write { 'w' } else { '-' },
+            if self.execute { 'x' } else { '-' }
+        )
+    }
+}
+
+/// A contiguous region of the image mapped at a fixed virtual address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Human-readable name (".text", ".data", ".bss", …).
+    pub name: String,
+    /// Base virtual address.
+    pub vaddr: u32,
+    /// Initial contents; the mapped size may exceed this (zero-filled).
+    pub data: Vec<u8>,
+    /// Total mapped size in bytes (≥ `data.len()`).
+    pub size: u32,
+    /// Access permissions.
+    pub perms: Perms,
+}
+
+impl Segment {
+    /// End virtual address (exclusive).
+    #[must_use]
+    pub fn end(&self) -> u32 {
+        self.vaddr + self.size
+    }
+
+    /// Whether `addr` falls inside the segment.
+    #[must_use]
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.vaddr && addr < self.end()
+    }
+}
+
+/// Kind of symbol in the image's symbol table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymbolKind {
+    /// A function entry point.
+    Function,
+    /// A data object.
+    Object,
+}
+
+/// One symbol-table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Virtual address.
+    pub addr: u32,
+    /// Size in bytes (0 when unknown).
+    pub size: u32,
+    /// Function or object.
+    pub kind: SymbolKind,
+    /// Whether the symbol is exported (callable across "modules"; the
+    /// monitor's control-transfer policy uses export/import lists to vet
+    /// cross-segment calls, §3.2.3).
+    pub exported: bool,
+}
+
+/// A linked, loadable IR32 program plus the monitor-facing metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Image {
+    /// Program name (for diagnostics).
+    pub name: String,
+    /// Entry-point virtual address.
+    pub entry: u32,
+    /// Segments, sorted by base address.
+    pub segments: Vec<Segment>,
+    /// Symbol table.
+    pub symbols: Vec<Symbol>,
+    /// Addresses that are legitimate targets of *indirect* calls/jumps:
+    /// function entries plus any compiler-emitted jump-table targets.
+    pub indirect_targets: BTreeSet<u32>,
+    /// Explicitly declared self-modifying / dynamic code regions
+    /// `(base, size)`. Execution of dynamic code is restricted to these.
+    pub dynamic_code_regions: Vec<(u32, u32)>,
+    /// Initial stack pointer.
+    pub initial_sp: u32,
+    /// Base of the heap (for `sbrk`).
+    pub heap_base: u32,
+}
+
+impl Image {
+    /// Creates an empty image with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Image {
+        Image { name: name.into(), ..Image::default() }
+    }
+
+    /// Looks up a symbol by name.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// Address of a named symbol.
+    #[must_use]
+    pub fn addr_of(&self, name: &str) -> Option<u32> {
+        self.symbol(name).map(|s| s.addr)
+    }
+
+    /// The segment containing `addr`, if any.
+    #[must_use]
+    pub fn segment_at(&self, addr: u32) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.contains(addr))
+    }
+
+    /// Whether `addr` lies in a segment the image marks executable.
+    #[must_use]
+    pub fn is_executable(&self, addr: u32) -> bool {
+        self.segment_at(addr).is_some_and(|s| s.perms.execute)
+    }
+
+    /// Names the function containing `addr` (best-effort, for diagnostics).
+    #[must_use]
+    pub fn function_containing(&self, addr: u32) -> Option<&Symbol> {
+        self.symbols
+            .iter()
+            .filter(|s| s.kind == SymbolKind::Function)
+            .filter(|s| addr >= s.addr && (s.size == 0 || addr < s.addr + s.size))
+            .max_by_key(|s| s.addr)
+    }
+
+    /// All exported function addresses — the "export list" handed to the
+    /// monitor when the service starts.
+    #[must_use]
+    pub fn export_list(&self) -> BTreeMap<String, u32> {
+        self.symbols
+            .iter()
+            .filter(|s| s.exported && s.kind == SymbolKind::Function)
+            .map(|s| (s.name.clone(), s.addr))
+            .collect()
+    }
+
+    /// Total bytes of mapped memory across all segments.
+    #[must_use]
+    pub fn mapped_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| u64::from(s.size)).sum()
+    }
+
+    /// Validates structural invariants: sorted non-overlapping segments,
+    /// `data.len() <= size`, entry point in executable memory, W^X except
+    /// for declared dynamic regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut last_end = 0u32;
+        for seg in &self.segments {
+            if seg.data.len() as u32 > seg.size {
+                return Err(format!("segment {} data exceeds its mapped size", seg.name));
+            }
+            if seg.vaddr < last_end {
+                return Err(format!("segment {} overlaps its predecessor", seg.name));
+            }
+            if seg.perms.write && seg.perms.execute {
+                let declared = self
+                    .dynamic_code_regions
+                    .iter()
+                    .any(|&(base, size)| seg.vaddr >= base && seg.end() <= base + size);
+                if !declared {
+                    return Err(format!("segment {} is W+X but not a declared dynamic region", seg.name));
+                }
+            }
+            last_end = seg.end();
+        }
+        if !self.is_executable(self.entry) {
+            return Err(format!("entry point {:#x} is not executable", self.entry));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Image {
+        let mut img = Image::new("sample");
+        img.segments.push(Segment {
+            name: ".text".into(),
+            vaddr: 0x1000,
+            data: vec![0xAA; 64],
+            size: 4096,
+            perms: Perms::RX,
+        });
+        img.segments.push(Segment {
+            name: ".data".into(),
+            vaddr: 0x2000,
+            data: vec![1, 2, 3],
+            size: 4096,
+            perms: Perms::RW,
+        });
+        img.entry = 0x1000;
+        img.symbols.push(Symbol {
+            name: "main".into(),
+            addr: 0x1000,
+            size: 32,
+            kind: SymbolKind::Function,
+            exported: true,
+        });
+        img.symbols.push(Symbol {
+            name: "helper".into(),
+            addr: 0x1020,
+            size: 0,
+            kind: SymbolKind::Function,
+            exported: false,
+        });
+        img
+    }
+
+    #[test]
+    fn validate_ok() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn entry_must_be_executable() {
+        let mut img = sample();
+        img.entry = 0x2000;
+        assert!(img.validate().is_err());
+    }
+
+    #[test]
+    fn wx_rejected_unless_declared() {
+        let mut img = sample();
+        img.segments[1].perms = Perms::RWX;
+        assert!(img.validate().is_err());
+        img.dynamic_code_regions.push((0x2000, 4096));
+        assert_eq!(img.validate(), Ok(()));
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut img = sample();
+        img.segments[1].vaddr = 0x1800;
+        assert!(img.validate().is_err());
+    }
+
+    #[test]
+    fn symbol_lookup() {
+        let img = sample();
+        assert_eq!(img.addr_of("main"), Some(0x1000));
+        assert_eq!(img.addr_of("nope"), None);
+        assert_eq!(img.function_containing(0x1010).unwrap().name, "main");
+        // helper has unknown size: containing matches any addr >= its start
+        assert_eq!(img.function_containing(0x1040).unwrap().name, "helper");
+        let exports = img.export_list();
+        assert!(exports.contains_key("main"));
+        assert!(!exports.contains_key("helper"));
+    }
+
+    #[test]
+    fn executability() {
+        let img = sample();
+        assert!(img.is_executable(0x1234));
+        assert!(!img.is_executable(0x2100));
+        assert!(!img.is_executable(0x9999_0000));
+    }
+}

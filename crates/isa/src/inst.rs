@@ -1,0 +1,456 @@
+//! The IR32 instruction set.
+//!
+//! IR32 is a 32-bit fixed-width RISC ISA, deliberately small but *real*:
+//! instructions have a binary encoding ([`Instruction::encode`]) and live in
+//! simulated memory, so a buffer overflow can genuinely inject executable
+//! bytes into a data page — the attack class INDRA's code-origin inspection
+//! exists to stop.
+
+use std::fmt;
+
+use crate::Reg;
+
+/// Branch comparison condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl Cond {
+    /// Evaluates the condition on two register values.
+    #[must_use]
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i32) < (b as i32),
+            Cond::Ge => (a as i32) >= (b as i32),
+            Cond::Ltu => a < b,
+            Cond::Geu => a >= b,
+        }
+    }
+
+    /// Assembly mnemonic suffix (`beq` → `"eq"`).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Ltu => "ltu",
+            Cond::Geu => "geu",
+        }
+    }
+}
+
+/// Register–register ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low 32 bits).
+    Mul,
+    /// Signed division; division by zero yields all-ones (no trap).
+    Div,
+    /// Signed remainder; remainder by zero yields the dividend.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Shift left logical (amount masked to 5 bits).
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Set-if-less-than, signed (result 0 or 1).
+    Slt,
+    /// Set-if-less-than, unsigned.
+    Sltu,
+}
+
+impl AluOp {
+    /// Applies the operation to two 32-bit operands.
+    #[must_use]
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    u32::MAX
+                } else {
+                    ((a as i32).wrapping_div(b as i32)) as u32
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    ((a as i32).wrapping_rem(b as i32)) as u32
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+            AluOp::Slt => u32::from((a as i32) < (b as i32)),
+            AluOp::Sltu => u32::from(a < b),
+        }
+    }
+
+    /// Assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        }
+    }
+}
+
+/// Memory access width for loads and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// One byte.
+    Byte,
+    /// Two bytes (halfword).
+    Half,
+    /// Four bytes (word).
+    Word,
+}
+
+impl Width {
+    /// Size of the access in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            Width::Byte => 1,
+            Width::Half => 2,
+            Width::Word => 4,
+        }
+    }
+}
+
+/// A decoded IR32 instruction.
+///
+/// All immediates are stored sign-extended; branch and jump offsets are in
+/// *bytes* relative to the address of the instruction itself (the encoder
+/// converts to word offsets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// `rd = rs1 <op> rs2`
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        rs1: Reg,
+        /// Right operand.
+        rs2: Reg,
+    },
+    /// `rd = rs1 <op> imm` (immediate forms exist for a subset of ops).
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        rs1: Reg,
+        /// Immediate operand (sign- or zero-extended per op).
+        imm: i32,
+    },
+    /// `rd = imm << 16` — load upper immediate.
+    Lui {
+        /// Destination.
+        rd: Reg,
+        /// Upper 16 bits.
+        imm: u32,
+    },
+    /// `rd = sign/zero-extend(mem[rs1 + offset])`.
+    Load {
+        /// Access width.
+        width: Width,
+        /// Sign-extend narrow loads.
+        signed: bool,
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Byte displacement.
+        offset: i32,
+    },
+    /// `mem[rs1 + offset] = rs2` (low `width` bytes).
+    Store {
+        /// Access width.
+        width: Width,
+        /// Data register.
+        rs2: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Byte displacement.
+        offset: i32,
+    },
+    /// Conditional branch: `if cond(rs1, rs2) pc += offset`.
+    Branch {
+        /// Comparison.
+        cond: Cond,
+        /// Left operand.
+        rs1: Reg,
+        /// Right operand.
+        rs2: Reg,
+        /// Byte offset from the branch itself (word-aligned).
+        offset: i32,
+    },
+    /// Direct jump-and-link: `rd = pc + 4; pc += offset`.
+    ///
+    /// `rd == RA` is a *call*, `rd == ZERO` a plain jump.
+    Jal {
+        /// Link register.
+        rd: Reg,
+        /// Byte offset from the jump itself (word-aligned).
+        offset: i32,
+    },
+    /// Indirect jump-and-link: `rd = pc + 4; pc = (rs1 + offset) & !3`.
+    ///
+    /// `rd == ZERO, rs1 == RA` is a *return*; `rd == RA` an indirect call.
+    Jalr {
+        /// Link register.
+        rd: Reg,
+        /// Target base register.
+        rs1: Reg,
+        /// Byte displacement added to the base.
+        offset: i32,
+    },
+    /// System call; `code` selects the service, arguments in `a0`–`a3`.
+    Syscall {
+        /// Service code.
+        code: u16,
+    },
+    /// Stops the core.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// Control-flow classification of an instruction, as observed by the INDRA
+/// trace unit when it decides what to stream to the resurrector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlClass {
+    /// Not a control-transfer instruction.
+    None,
+    /// Direct call (`jal ra, target`).
+    Call,
+    /// Direct jump (`jal zero, target`).
+    Jump,
+    /// Function return (`jalr zero, ra, 0`).
+    Return,
+    /// Indirect call (`jalr ra, rs, off`).
+    IndirectCall,
+    /// Computed jump through a non-`ra` register (`jalr zero, rs, off`).
+    IndirectJump,
+    /// Conditional branch.
+    Branch,
+    /// System call (a synchronization point in INDRA).
+    Syscall,
+}
+
+impl Instruction {
+    /// Classifies the instruction for trace generation.
+    ///
+    /// The classification depends only on static fields (opcode and register
+    /// names), exactly what real trace hardware at the commit stage can see.
+    #[must_use]
+    pub fn control_class(&self) -> ControlClass {
+        match *self {
+            Instruction::Branch { .. } => ControlClass::Branch,
+            Instruction::Jal { rd, .. } => {
+                if rd == Reg::RA {
+                    ControlClass::Call
+                } else {
+                    ControlClass::Jump
+                }
+            }
+            Instruction::Jalr { rd, rs1, .. } => {
+                if rd == Reg::RA {
+                    ControlClass::IndirectCall
+                } else if rd.is_zero() && rs1 == Reg::RA {
+                    ControlClass::Return
+                } else {
+                    ControlClass::IndirectJump
+                }
+            }
+            Instruction::Syscall { .. } => ControlClass::Syscall,
+            _ => ControlClass::None,
+        }
+    }
+
+    /// `true` if the instruction may write memory.
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instruction::Store { .. })
+    }
+
+    /// `true` if the instruction reads memory.
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        matches!(self, Instruction::Load { .. })
+    }
+
+    /// `true` for any control transfer (branch, jump, call, return, syscall).
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        self.control_class() != ControlClass::None
+    }
+
+    /// Convenience constructor: `mv rd, rs` (encoded as `add rd, rs, zero`).
+    #[must_use]
+    pub fn mv(rd: Reg, rs: Reg) -> Instruction {
+        Instruction::Alu { op: AluOp::Add, rd, rs1: rs, rs2: Reg::ZERO }
+    }
+
+    /// Convenience constructor: a direct call (`jal ra, offset`).
+    #[must_use]
+    pub fn call(offset: i32) -> Instruction {
+        Instruction::Jal { rd: Reg::RA, offset }
+    }
+
+    /// Convenience constructor: a function return (`jalr zero, ra, 0`).
+    #[must_use]
+    pub fn ret() -> Instruction {
+        Instruction::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                write!(f, "{}i {rd}, {rs1}, {imm}", op.mnemonic())
+            }
+            Instruction::Lui { rd, imm } => write!(f, "lui {rd}, {imm:#x}"),
+            Instruction::Load { width, signed, rd, rs1, offset } => {
+                let m = match (width, signed) {
+                    (Width::Byte, true) => "lb",
+                    (Width::Byte, false) => "lbu",
+                    (Width::Half, true) => "lh",
+                    (Width::Half, false) => "lhu",
+                    (Width::Word, _) => "lw",
+                };
+                write!(f, "{m} {rd}, {offset}({rs1})")
+            }
+            Instruction::Store { width, rs2, rs1, offset } => {
+                let m = match width {
+                    Width::Byte => "sb",
+                    Width::Half => "sh",
+                    Width::Word => "sw",
+                };
+                write!(f, "{m} {rs2}, {offset}({rs1})")
+            }
+            Instruction::Branch { cond, rs1, rs2, offset } => {
+                write!(f, "b{} {rs1}, {rs2}, {offset}", cond.mnemonic())
+            }
+            Instruction::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Instruction::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Instruction::Syscall { code } => write!(f, "syscall {code}"),
+            Instruction::Halt => f.write_str("halt"),
+            Instruction::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_classification() {
+        assert_eq!(Instruction::call(8).control_class(), ControlClass::Call);
+        assert_eq!(Instruction::ret().control_class(), ControlClass::Return);
+        assert_eq!(
+            Instruction::Jal { rd: Reg::ZERO, offset: -4 }.control_class(),
+            ControlClass::Jump
+        );
+        assert_eq!(
+            Instruction::Jalr { rd: Reg::RA, rs1: Reg::T0, offset: 0 }.control_class(),
+            ControlClass::IndirectCall
+        );
+        assert_eq!(
+            Instruction::Jalr { rd: Reg::ZERO, rs1: Reg::T0, offset: 0 }.control_class(),
+            ControlClass::IndirectJump
+        );
+        assert_eq!(Instruction::Nop.control_class(), ControlClass::None);
+        assert_eq!(Instruction::Syscall { code: 1 }.control_class(), ControlClass::Syscall);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(2, 3), 5);
+        assert_eq!(AluOp::Sub.apply(2, 3), u32::MAX); // wrapping
+        assert_eq!(AluOp::Div.apply(7, 0), u32::MAX); // div-by-zero convention
+        assert_eq!(AluOp::Rem.apply(7, 0), 7);
+        assert_eq!(AluOp::Div.apply((-6i32) as u32, 3), (-2i32) as u32);
+        assert_eq!(AluOp::Sra.apply(0x8000_0000, 4), 0xF800_0000);
+        assert_eq!(AluOp::Srl.apply(0x8000_0000, 4), 0x0800_0000);
+        assert_eq!(AluOp::Slt.apply((-1i32) as u32, 0), 1);
+        assert_eq!(AluOp::Sltu.apply((-1i32) as u32, 0), 0);
+        assert_eq!(AluOp::Sll.apply(1, 33), 2); // shift amount masked
+    }
+
+    #[test]
+    fn cond_semantics() {
+        assert!(Cond::Eq.eval(5, 5));
+        assert!(Cond::Ne.eval(5, 6));
+        assert!(Cond::Lt.eval((-1i32) as u32, 0));
+        assert!(!Cond::Ltu.eval((-1i32) as u32, 0));
+        assert!(Cond::Ge.eval(0, (-1i32) as u32));
+        assert!(Cond::Geu.eval((-1i32) as u32, 0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let insts = [
+            Instruction::mv(Reg::A0, Reg::T1),
+            Instruction::Lui { rd: Reg::T0, imm: 0x1234 },
+            Instruction::Halt,
+        ];
+        for i in insts {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! # indra-isa — the IR32 instruction set and toolchain
+//!
+//! The execution substrate for the INDRA reproduction (ISCA 2006). The
+//! paper ran real x86 binaries under Bochs/TAXI; this crate supplies the
+//! equivalent raw material for a pure-Rust simulator: a small 32-bit RISC
+//! ISA with a **real binary encoding**, an assembler, a disassembler, a
+//! programmatic code generator, and a linked [`Image`] format carrying the
+//! security metadata INDRA's monitor verifies against (symbol tables,
+//! export lists, valid indirect-branch targets, declared dynamic-code
+//! regions).
+//!
+//! The encoding being real matters: exploit payloads in the evaluation
+//! write actual instruction bytes into simulated data pages and redirect
+//! control into them, exactly the attack class INDRA's code-origin
+//! inspection defends against.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use indra_isa::{assemble, Instruction};
+//!
+//! let image = assemble("demo", "
+//! main:
+//!     li   a0, 40
+//!     addi a0, a0, 2
+//!     halt
+//! ").unwrap();
+//!
+//! // Machine code is genuinely encoded into the image:
+//! let text = &image.segments[0].data;
+//! let first = u32::from_le_bytes(text[0..4].try_into().unwrap());
+//! assert!(Instruction::decode(first).is_ok());
+//! ```
+
+mod asm;
+mod builder;
+mod disasm;
+mod encode;
+mod image;
+mod inst;
+mod reg;
+
+pub use asm::{assemble, AsmError};
+pub use builder::{
+    BuildError, DataRef, Label, ProgramBuilder, DATA_BASE, STACK_SIZE, STACK_TOP, TEXT_BASE,
+};
+pub use disasm::{disassemble, disassemble_image, DisasmLine};
+pub use encode::{DecodeError, EncodeError};
+pub use image::{Image, Perms, Segment, Symbol, SymbolKind};
+pub use inst::{AluOp, Cond, ControlClass, Instruction, Width};
+pub use reg::{ParseRegError, Reg};

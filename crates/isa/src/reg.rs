@@ -1,0 +1,222 @@
+//! Architectural registers of the IR32 ISA.
+//!
+//! IR32 has 32 general-purpose 32-bit registers. `r0` is hard-wired to
+//! zero, as in MIPS/RISC-V. The calling convention assigns conventional
+//! roles (and assembly aliases) to the remaining registers; the roles are
+//! conventions of the toolchain, not enforced by hardware — except that the
+//! INDRA trace unit uses `RA` to classify `jalr` as a call or a return.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A general-purpose register identifier (`r0`–`r31`).
+///
+/// # Examples
+///
+/// ```
+/// use indra_isa::Reg;
+/// let sp = Reg::SP;
+/// assert_eq!(sp.index(), 2);
+/// assert_eq!(sp.to_string(), "sp");
+/// assert_eq!("a0".parse::<Reg>().unwrap(), Reg::A0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address, written by `jal`/`jalr` calls.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer (base of the static data segment).
+    pub const GP: Reg = Reg(3);
+    /// First argument / return value.
+    pub const A0: Reg = Reg(4);
+    /// Second argument.
+    pub const A1: Reg = Reg(5);
+    /// Third argument.
+    pub const A2: Reg = Reg(6);
+    /// Fourth argument.
+    pub const A3: Reg = Reg(7);
+    /// Caller-saved temporaries `t0`–`t7` are `r8`–`r15`.
+    pub const T0: Reg = Reg(8);
+    /// Caller-saved temporary `t1`.
+    pub const T1: Reg = Reg(9);
+    /// Caller-saved temporary `t2`.
+    pub const T2: Reg = Reg(10);
+    /// Caller-saved temporary `t3`.
+    pub const T3: Reg = Reg(11);
+    /// Caller-saved temporary `t4`.
+    pub const T4: Reg = Reg(12);
+    /// Caller-saved temporary `t5`.
+    pub const T5: Reg = Reg(13);
+    /// Caller-saved temporary `t6`.
+    pub const T6: Reg = Reg(14);
+    /// Caller-saved temporary `t7`.
+    pub const T7: Reg = Reg(15);
+    /// Callee-saved `s0`–`s7` are `r16`–`r23`.
+    pub const S0: Reg = Reg(16);
+    /// Callee-saved register `s1`.
+    pub const S1: Reg = Reg(17);
+    /// Callee-saved register `s2`.
+    pub const S2: Reg = Reg(18);
+    /// Callee-saved register `s3`.
+    pub const S3: Reg = Reg(19);
+    /// Callee-saved register `s4`.
+    pub const S4: Reg = Reg(20);
+    /// Callee-saved register `s5`.
+    pub const S5: Reg = Reg(21);
+    /// Callee-saved register `s6`.
+    pub const S6: Reg = Reg(22);
+    /// Callee-saved register `s7`.
+    pub const S7: Reg = Reg(23);
+    /// Kernel-reserved scratch registers (`k0`, `k1`).
+    pub const K0: Reg = Reg(24);
+    /// Second kernel-reserved scratch register.
+    pub const K1: Reg = Reg(25);
+    /// Additional temporaries.
+    pub const T8: Reg = Reg(26);
+    /// Additional temporary `t9`.
+    pub const T9: Reg = Reg(27);
+    /// Additional temporary `t10`.
+    pub const T10: Reg = Reg(28);
+    /// Frame pointer.
+    pub const FP: Reg = Reg(29);
+    /// Thread/context pointer (used by the OS for the per-process block).
+    pub const TP: Reg = Reg(30);
+    /// Assembler temporary, clobbered by pseudo-instruction expansion.
+    pub const AT: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` when out of range.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Reg> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// The register's index, `0..32`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// `true` for the hard-wired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The canonical assembly alias (`zero`, `ra`, `sp`, …).
+    #[must_use]
+    pub fn alias(self) -> &'static str {
+        ALIASES[self.0 as usize]
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+const ALIASES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "k0", "k1", "t8", "t9", "t10", "fp",
+    "tp", "at",
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.alias())
+    }
+}
+
+impl Default for Reg {
+    fn default() -> Self {
+        Reg::ZERO
+    }
+}
+
+/// Error produced when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(rest) = s.strip_prefix('r') {
+            if let Ok(n) = rest.parse::<u8>() {
+                if let Some(r) = Reg::try_new(n) {
+                    return Ok(r);
+                }
+            }
+        }
+        ALIASES
+            .iter()
+            .position(|&a| a == s)
+            .map(|i| Reg(i as u8))
+            .ok_or_else(|| ParseRegError { text: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_names_parse() {
+        for i in 0..32u8 {
+            let r: Reg = format!("r{i}").parse().unwrap();
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn aliases_round_trip() {
+        for r in Reg::all() {
+            let back: Reg = r.alias().parse().unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!("r32".parse::<Reg>().is_err());
+        assert!("x1".parse::<Reg>().is_err());
+        assert!(Reg::try_new(32).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(99);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::RA.is_zero());
+    }
+}

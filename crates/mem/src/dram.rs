@@ -1,0 +1,219 @@
+//! Banked SDRAM timing model.
+//!
+//! Models the PC SDRAM of Table 4 (following Gries & Romer's DRAM model
+//! the paper integrated): a 200 MHz, 8-byte-wide memory bus feeding
+//! open-row banks. Each access classifies as a **row hit** (row already
+//! open), **row closed** (bank idle: activate + CAS) or **row conflict**
+//! (another row open: precharge + activate + CAS); the resulting bus
+//! clocks are scaled to core clocks.
+//!
+//! Table 4 latencies (memory-bus clocks):
+//! * CAS: 20
+//! * precharge (RP): 7
+//! * RAS-to-CAS (RCD): 7
+
+/// SDRAM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of banks.
+    pub banks: u32,
+    /// Row (DRAM page) size in bytes.
+    pub row_bytes: u32,
+    /// CAS latency in bus clocks.
+    pub cas: u32,
+    /// Precharge latency (tRP) in bus clocks.
+    pub precharge: u32,
+    /// RAS-to-CAS latency (tRCD) in bus clocks.
+    pub ras_to_cas: u32,
+    /// Bytes transferred per bus clock (Table 4: 8-byte-wide, 200 MHz bus).
+    pub bus_bytes_per_clock: u32,
+    /// Core clocks per memory-bus clock.
+    pub core_clock_ratio: u32,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            banks: 4,
+            row_bytes: 4096,
+            cas: 20,
+            precharge: 7,
+            ras_to_cas: 7,
+            bus_bytes_per_clock: 8,
+            core_clock_ratio: 5, // 1 GHz core over the 200 MHz bus
+        }
+    }
+}
+
+/// Outcome classification of one DRAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowOutcome {
+    /// The addressed row was already open.
+    Hit,
+    /// The bank was idle; the row had to be activated.
+    Closed,
+    /// A different row was open; precharge then activate.
+    Conflict,
+}
+
+/// DRAM traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Accesses to idle banks.
+    pub row_closed: u64,
+    /// Row conflicts.
+    pub row_conflicts: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+}
+
+/// Open-row banked SDRAM with Table 4 timing.
+#[derive(Debug)]
+pub struct Sdram {
+    cfg: DramConfig,
+    open_rows: Vec<Option<u32>>,
+    stats: DramStats,
+}
+
+impl Sdram {
+    /// Creates SDRAM with all banks idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` or `row_bytes` is zero or `row_bytes` is not a
+    /// power of two.
+    #[must_use]
+    pub fn new(cfg: DramConfig) -> Sdram {
+        assert!(cfg.banks > 0, "need at least one bank");
+        assert!(cfg.row_bytes.is_power_of_two(), "row size must be a power of two");
+        Sdram { cfg, open_rows: vec![None; cfg.banks as usize], stats: DramStats::default() }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> DramConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Resets statistics (not open-row state).
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+
+    fn bank_and_row(&self, paddr: u32) -> (usize, u32) {
+        let row = paddr / self.cfg.row_bytes;
+        // Interleave consecutive rows across banks.
+        ((row % self.cfg.banks) as usize, row / self.cfg.banks)
+    }
+
+    /// Performs a burst transfer of `bytes` at `paddr`, returning the cost
+    /// in **core clocks** and the row-buffer outcome.
+    pub fn access(&mut self, paddr: u32, bytes: u32) -> (u32, RowOutcome) {
+        let (bank, row) = self.bank_and_row(paddr);
+        let outcome = match self.open_rows[bank] {
+            Some(open) if open == row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Closed,
+        };
+        self.open_rows[bank] = Some(row);
+
+        let bus_clocks = match outcome {
+            RowOutcome::Hit => self.cfg.cas,
+            RowOutcome::Closed => self.cfg.ras_to_cas + self.cfg.cas,
+            RowOutcome::Conflict => self.cfg.precharge + self.cfg.ras_to_cas + self.cfg.cas,
+        } + bytes.div_ceil(self.cfg.bus_bytes_per_clock);
+
+        self.stats.accesses += 1;
+        self.stats.bytes += u64::from(bytes);
+        match outcome {
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::Closed => self.stats.row_closed += 1,
+            RowOutcome::Conflict => self.stats.row_conflicts += 1,
+        }
+        (bus_clocks * self.cfg.core_clock_ratio, outcome)
+    }
+
+    /// Closes every row (e.g. after a long idle period).
+    pub fn precharge_all(&mut self) {
+        self.open_rows.fill(None);
+    }
+}
+
+impl Default for Sdram {
+    fn default() -> Self {
+        Sdram::new(DramConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_activates() {
+        let mut d = Sdram::default();
+        let (cost, out) = d.access(0, 64);
+        assert_eq!(out, RowOutcome::Closed);
+        // (RCD 7 + CAS 20 + 64/8 transfer) * ratio 5
+        assert_eq!(cost, (7 + 20 + 8) * 5);
+    }
+
+    #[test]
+    fn same_row_hits() {
+        let mut d = Sdram::default();
+        d.access(0, 64);
+        let (cost, out) = d.access(128, 64);
+        assert_eq!(out, RowOutcome::Hit);
+        assert_eq!(cost, (20 + 8) * 5);
+    }
+
+    #[test]
+    fn different_row_same_bank_conflicts() {
+        let mut d = Sdram::default();
+        let row_stride = DramConfig::default().row_bytes * DramConfig::default().banks;
+        d.access(0, 64);
+        let (cost, out) = d.access(row_stride, 64);
+        assert_eq!(out, RowOutcome::Conflict);
+        assert_eq!(cost, (7 + 7 + 20 + 8) * 5);
+    }
+
+    #[test]
+    fn adjacent_rows_use_different_banks() {
+        let mut d = Sdram::default();
+        d.access(0, 64);
+        let (_, out) = d.access(DramConfig::default().row_bytes, 64);
+        assert_eq!(out, RowOutcome::Closed, "row 1 interleaves to bank 1");
+    }
+
+    #[test]
+    fn precharge_all_closes_rows() {
+        let mut d = Sdram::default();
+        d.access(0, 64);
+        d.precharge_all();
+        let (_, out) = d.access(0, 64);
+        assert_eq!(out, RowOutcome::Closed);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = Sdram::default();
+        d.access(0, 64);
+        d.access(64, 64);
+        d.access(DramConfig::default().row_bytes * 4, 32);
+        let s = d.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.row_hits, 1);
+        assert_eq!(s.row_conflicts, 1);
+        assert_eq!(s.bytes, 160);
+    }
+}

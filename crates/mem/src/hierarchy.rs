@@ -1,0 +1,252 @@
+//! Per-core memory hierarchy glue.
+//!
+//! Wires the split L1s, the unified per-core L2 (Table 4 gives each core
+//! its own 512 KiB L2) and the TLBs into two operations the pipeline
+//! model calls: instruction fetch and data access. DRAM is shared across
+//! cores, so it is passed in by the machine each call.
+//!
+//! Instruction fetches additionally report **IL1 fills** — the L2→IL1
+//! transfer the paper identifies as the natural code-origin inspection
+//! point (hardware guarantees IL1 contents cannot be modified, so
+//! checking each line once as it enters IL1 suffices, §2.3.2).
+
+use crate::{Cache, CacheConfig, Sdram, Tlb, TlbConfig};
+
+/// Configuration of one core's private hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreMemConfig {
+    /// Instruction L1.
+    pub il1: CacheConfig,
+    /// Data L1.
+    pub dl1: CacheConfig,
+    /// Unified private L2.
+    pub l2: CacheConfig,
+    /// Instruction TLB.
+    pub itlb: TlbConfig,
+    /// Data TLB.
+    pub dtlb: TlbConfig,
+}
+
+impl Default for CoreMemConfig {
+    /// The Table 4 processor model.
+    fn default() -> Self {
+        CoreMemConfig {
+            il1: CacheConfig::l1(),
+            dl1: CacheConfig::l1(),
+            l2: CacheConfig::l2(),
+            itlb: TlbConfig::itlb(),
+            dtlb: TlbConfig::dtlb(),
+        }
+    }
+}
+
+/// Result of an instruction fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchResult {
+    /// Total latency in core cycles.
+    pub cycles: u32,
+    /// Physical base address of the line filled into IL1, when the fetch
+    /// missed — the code-origin check point.
+    pub il1_fill: Option<u32>,
+}
+
+/// One core's caches and TLBs.
+#[derive(Debug)]
+pub struct CoreMemory {
+    il1: Cache,
+    dl1: Cache,
+    l2: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+}
+
+impl CoreMemory {
+    /// Creates a cold hierarchy.
+    #[must_use]
+    pub fn new(cfg: CoreMemConfig) -> CoreMemory {
+        CoreMemory {
+            il1: Cache::new(cfg.il1),
+            dl1: Cache::new(cfg.dl1),
+            l2: Cache::new(cfg.l2),
+            itlb: Tlb::new(cfg.itlb),
+            dtlb: Tlb::new(cfg.dtlb),
+        }
+    }
+
+    /// Immutable access to the IL1 (stats for Fig. 9).
+    #[must_use]
+    pub fn il1(&self) -> &Cache {
+        &self.il1
+    }
+
+    /// Immutable access to the DL1.
+    #[must_use]
+    pub fn dl1(&self) -> &Cache {
+        &self.dl1
+    }
+
+    /// Immutable access to the L2.
+    #[must_use]
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Immutable access to the ITLB.
+    #[must_use]
+    pub fn itlb(&self) -> &Tlb {
+        &self.itlb
+    }
+
+    /// Immutable access to the DTLB.
+    #[must_use]
+    pub fn dtlb(&self) -> &Tlb {
+        &self.dtlb
+    }
+
+    /// Resets all statistics (cache/TLB contents stay warm) — used at
+    /// measurement-phase boundaries in the benches.
+    pub fn reset_stats(&mut self) {
+        self.il1.reset_stats();
+        self.dl1.reset_stats();
+        self.l2.reset_stats();
+        self.itlb.reset_stats();
+        self.dtlb.reset_stats();
+    }
+
+    /// Cost of an L2 access at `paddr`, filling from DRAM on a miss.
+    fn l2_access(&mut self, paddr: u32, write: bool, dram: &mut Sdram) -> u32 {
+        let line = self.l2.config().line;
+        let out = self.l2.access(paddr, write);
+        let mut cycles = self.l2.config().hit_latency;
+        if let Some(wb) = out.writeback {
+            let (c, _) = dram.access(wb, line);
+            cycles += c;
+        }
+        if let Some(fill) = out.fill {
+            let (c, _) = dram.access(fill, line);
+            cycles += c;
+        }
+        cycles
+    }
+
+    /// Fetches the instruction at virtual address `vaddr` / physical
+    /// address `paddr` for address space `asid`.
+    pub fn fetch(&mut self, asid: u16, vaddr: u32, paddr: u32, dram: &mut Sdram) -> FetchResult {
+        let (tlb_cost, _) = self.itlb.access(asid, vaddr >> crate::PAGE_SHIFT);
+        let out = self.il1.access(paddr, false);
+        let mut cycles = tlb_cost + self.il1.config().hit_latency;
+        if out.fill.is_some() {
+            // IL1 is read-only; no writebacks from it.
+            cycles += self.l2_access(paddr, false, dram);
+        }
+        FetchResult { cycles, il1_fill: out.fill }
+    }
+
+    /// Performs a data access (`write` = store) at `vaddr`/`paddr`.
+    pub fn data_access(
+        &mut self,
+        asid: u16,
+        vaddr: u32,
+        paddr: u32,
+        write: bool,
+        dram: &mut Sdram,
+    ) -> u32 {
+        let (tlb_cost, _) = self.dtlb.access(asid, vaddr >> crate::PAGE_SHIFT);
+        let out = self.dl1.access(paddr, write);
+        let mut cycles = tlb_cost + self.dl1.config().hit_latency;
+        if let Some(wb) = out.writeback {
+            cycles += self.l2_access(wb, true, dram);
+        }
+        if out.fill.is_some() {
+            cycles += self.l2_access(paddr, false, dram);
+        }
+        cycles
+    }
+
+    /// A raw uncached access (memory-mapped I/O, DMA): straight to DRAM.
+    pub fn uncached_access(&mut self, paddr: u32, bytes: u32, dram: &mut Sdram) -> u32 {
+        dram.access(paddr, bytes).0
+    }
+
+    /// Flushes only the L1s (rollback invalidates lines whose memory was
+    /// rewritten underneath them; the far larger L2 is refreshed through
+    /// normal misses — the paper's recovery flushes pipelines, not the
+    /// whole hierarchy).
+    pub fn flush_l1s(&mut self) {
+        self.il1.flush();
+        self.dl1.flush();
+    }
+
+    /// Flushes both L1s and the L2 (used when a resurrectee is rolled back).
+    pub fn flush_all(&mut self) {
+        self.il1.flush();
+        self.dl1.flush();
+        self.l2.flush();
+        self.itlb.flush();
+        self.dtlb.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DramConfig;
+
+    fn warm() -> (CoreMemory, Sdram) {
+        (CoreMemory::new(CoreMemConfig::default()), Sdram::new(DramConfig::default()))
+    }
+
+    #[test]
+    fn fetch_hit_is_one_cycle_after_warmup() {
+        let (mut m, mut dram) = warm();
+        let first = m.fetch(1, 0x40_0000, 0x40_0000, &mut dram);
+        assert!(first.il1_fill.is_some());
+        assert!(first.cycles > 1, "cold fetch pays TLB + L2 + DRAM");
+        let second = m.fetch(1, 0x40_0000, 0x40_0000, &mut dram);
+        assert_eq!(second.cycles, 1);
+        assert_eq!(second.il1_fill, None);
+    }
+
+    #[test]
+    fn fetch_same_line_no_refill() {
+        let (mut m, mut dram) = warm();
+        m.fetch(1, 0x40_0000, 0x40_0000, &mut dram);
+        let r = m.fetch(1, 0x40_0010, 0x40_0010, &mut dram);
+        assert_eq!(r.il1_fill, None, "same 32B line");
+        let r = m.fetch(1, 0x40_0020, 0x40_0020, &mut dram);
+        assert_eq!(r.il1_fill, Some(0x40_0020), "next line refills");
+    }
+
+    #[test]
+    fn il1_miss_that_hits_l2_is_cheaper_than_dram() {
+        let (mut m, mut dram) = warm();
+        // Warm the L2 line via a data access, then fetch the same line:
+        m.data_access(1, 0x40_0000, 0x40_0000, false, &mut dram);
+        let r = m.fetch(1, 0x40_0000, 0x40_0000, &mut dram);
+        assert!(r.il1_fill.is_some());
+        // L2 hit path: ITLB hit (after data access warmed DTLB, not ITLB —
+        // pay the ITLB walk) + IL1 1 + L2 8; no DRAM traffic this time.
+        let dram_before = dram.stats().accesses;
+        let _ = r;
+        assert_eq!(dram.stats().accesses, dram_before);
+    }
+
+    #[test]
+    fn store_dirties_and_writes_back() {
+        let (mut m, mut dram) = warm();
+        m.data_access(1, 0x1000_0000, 0x1000_0000, true, &mut dram);
+        // Evict via conflicting lines (DL1 direct-mapped 16KB): same index
+        // needs addr + 16KB.
+        m.data_access(1, 0x1000_4000, 0x1000_4000, false, &mut dram);
+        assert_eq!(m.dl1().stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_all_clears_residency() {
+        let (mut m, mut dram) = warm();
+        m.fetch(1, 0x40_0000, 0x40_0000, &mut dram);
+        m.flush_all();
+        let r = m.fetch(1, 0x40_0000, 0x40_0000, &mut dram);
+        assert!(r.il1_fill.is_some(), "flushed line must refill");
+    }
+}

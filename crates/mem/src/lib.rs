@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # indra-mem — memory hierarchy substrate
+//!
+//! The cache/TLB/DRAM timing substrate for the INDRA reproduction,
+//! modeled after the processor of Table 4 in the paper (SimpleScalar-style
+//! timing-only caches plus the Gries & Romer PC-SDRAM model):
+//!
+//! * [`PhysicalMemory`] — sparse byte-addressable RAM holding real data
+//!   (program text, stacks, backup pages).
+//! * [`Cache`] — generic set-associative write-back cache used for the
+//!   direct-mapped 16 KiB L1s and the 4-way 512 KiB per-core L2.
+//! * [`Tlb`] — the 4-way ITLB/DTLB, extended by INDRA to carry
+//!   backup-page records.
+//! * [`Sdram`] — banked open-row SDRAM with CAS/RCD/RP timing.
+//! * [`CoreMemory`] — one core's hierarchy, reporting the IL1 fills that
+//!   drive INDRA's code-origin inspection.
+//!
+//! ```
+//! use indra_mem::{CoreMemConfig, CoreMemory, Sdram};
+//!
+//! let mut mem = CoreMemory::new(CoreMemConfig::default());
+//! let mut dram = Sdram::default();
+//! let cold = mem.fetch(1, 0x40_0000, 0x40_0000, &mut dram);
+//! assert!(cold.il1_fill.is_some());           // line entered IL1 → code-origin check
+//! let warm = mem.fetch(1, 0x40_0000, 0x40_0000, &mut dram);
+//! assert_eq!(warm.cycles, 1);                  // Table 4: 1-cycle L1
+//! ```
+
+mod cache;
+mod dram;
+mod hierarchy;
+mod phys;
+mod tlb;
+
+pub use cache::{AccessOutcome, Cache, CacheConfig, CacheStats};
+pub use dram::{DramConfig, DramStats, RowOutcome, Sdram};
+pub use hierarchy::{CoreMemConfig, CoreMemory, FetchResult};
+pub use phys::{FrameAllocator, PhysicalMemory, PAGE_SHIFT, PAGE_SIZE};
+pub use tlb::{Tlb, TlbConfig, TlbStats};

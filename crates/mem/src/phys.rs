@@ -1,0 +1,221 @@
+//! Physical memory and frame allocation.
+//!
+//! Physical memory is sparse: 4 KiB frames materialize on first touch.
+//! The [`FrameAllocator`] hands out frames for process images, backup
+//! pages (the delta-backup engine allocates backup frames on demand,
+//! §3.3.1 of the paper) and kernel structures.
+
+use std::collections::HashMap;
+
+/// Size of a physical frame / virtual page in bytes.
+pub const PAGE_SIZE: u32 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Byte-addressable sparse physical memory.
+///
+/// Reads from never-written frames return zeros, mirroring how the
+/// simulator's RAM powers up.
+#[derive(Debug, Default)]
+pub struct PhysicalMemory {
+    frames: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl PhysicalMemory {
+    /// Creates empty physical memory.
+    #[must_use]
+    pub fn new() -> PhysicalMemory {
+        PhysicalMemory::default()
+    }
+
+    fn frame_mut(&mut self, ppn: u32) -> &mut [u8; PAGE_SIZE as usize] {
+        self.frames.entry(ppn).or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, paddr: u32) -> u8 {
+        match self.frames.get(&(paddr >> PAGE_SHIFT)) {
+            Some(f) => f[(paddr & (PAGE_SIZE - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, paddr: u32, value: u8) {
+        self.frame_mut(paddr >> PAGE_SHIFT)[(paddr & (PAGE_SIZE - 1)) as usize] = value;
+    }
+
+    /// Reads a little-endian `u32` (no alignment requirement; may span frames).
+    #[must_use]
+    pub fn read_u32(&self, paddr: u32) -> u32 {
+        let mut b = [0u8; 4];
+        for (i, byte) in b.iter_mut().enumerate() {
+            *byte = self.read_u8(paddr.wrapping_add(i as u32));
+        }
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, paddr: u32, value: u32) {
+        for (i, byte) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(paddr.wrapping_add(i as u32), byte);
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    #[must_use]
+    pub fn read_u16(&self, paddr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(paddr), self.read_u8(paddr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, paddr: u32, value: u16) {
+        let b = value.to_le_bytes();
+        self.write_u8(paddr, b[0]);
+        self.write_u8(paddr.wrapping_add(1), b[1]);
+    }
+
+    /// Copies `data` into memory starting at `paddr`.
+    pub fn write_bytes(&mut self, paddr: u32, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            self.write_u8(paddr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Copies `out.len()` bytes out of memory starting at `paddr`.
+    pub fn read_bytes(&self, paddr: u32, out: &mut [u8]) {
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = self.read_u8(paddr.wrapping_add(i as u32));
+        }
+    }
+
+    /// Copies `len` bytes from frame-to-frame (used by the page-copy
+    /// checkpointing baselines, which the paper's Fig. 14 shows is the
+    /// expensive part).
+    pub fn copy(&mut self, dst: u32, src: u32, len: u32) {
+        for i in 0..len {
+            let b = self.read_u8(src.wrapping_add(i));
+            self.write_u8(dst.wrapping_add(i), b);
+        }
+    }
+
+    /// Number of frames actually materialized.
+    #[must_use]
+    pub fn resident_frames(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+/// A bump-plus-freelist physical frame allocator.
+#[derive(Debug)]
+pub struct FrameAllocator {
+    base: u32,
+    next: u32,
+    limit: u32,
+    free: Vec<u32>,
+    allocated: u64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator handing out frames `[base_ppn, limit_ppn)`.
+    #[must_use]
+    pub fn new(base_ppn: u32, limit_ppn: u32) -> FrameAllocator {
+        assert!(base_ppn < limit_ppn, "empty frame range");
+        FrameAllocator {
+            base: base_ppn,
+            next: base_ppn,
+            limit: limit_ppn,
+            free: Vec::new(),
+            allocated: 0,
+        }
+    }
+
+    /// Allocates one frame, returning its physical page number.
+    ///
+    /// Returns `None` when physical memory is exhausted.
+    pub fn alloc(&mut self) -> Option<u32> {
+        let ppn = if let Some(ppn) = self.free.pop() {
+            ppn
+        } else if self.next < self.limit {
+            let p = self.next;
+            self.next += 1;
+            p
+        } else {
+            return None;
+        };
+        self.allocated += 1;
+        Some(ppn)
+    }
+
+    /// Returns a frame to the allocator.
+    pub fn release(&mut self, ppn: u32) {
+        debug_assert!(ppn < self.limit, "releasing frame outside the pool");
+        self.free.push(ppn);
+    }
+
+    /// Frames currently live (allocated minus released).
+    #[must_use]
+    pub fn live_frames(&self) -> u32 {
+        (self.next - self.base) - self.free.len() as u32
+    }
+
+    /// Total allocations performed (monotonic).
+    #[must_use]
+    pub fn total_allocations(&self) -> u64 {
+        self.allocated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_on_power_up() {
+        let m = PhysicalMemory::new();
+        assert_eq!(m.read_u8(0x1234), 0);
+        assert_eq!(m.read_u32(0xFFFF_FFF0), 0);
+    }
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = PhysicalMemory::new();
+        m.write_u32(0x1000, 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(0x1000), 0xDEAD_BEEF);
+        assert_eq!(m.read_u8(0x1000), 0xEF);
+        assert_eq!(m.read_u16(0x1002), 0xDEAD);
+    }
+
+    #[test]
+    fn cross_frame_access() {
+        let mut m = PhysicalMemory::new();
+        m.write_u32(PAGE_SIZE - 2, 0x1122_3344);
+        assert_eq!(m.read_u32(PAGE_SIZE - 2), 0x1122_3344);
+        assert_eq!(m.resident_frames(), 2);
+    }
+
+    #[test]
+    fn bulk_copy() {
+        let mut m = PhysicalMemory::new();
+        m.write_bytes(0x100, b"hello world");
+        m.copy(0x2000, 0x100, 11);
+        let mut out = [0u8; 11];
+        m.read_bytes(0x2000, &mut out);
+        assert_eq!(&out, b"hello world");
+    }
+
+    #[test]
+    fn allocator_reuses_released_frames() {
+        let mut a = FrameAllocator::new(10, 13);
+        let f1 = a.alloc().unwrap();
+        let f2 = a.alloc().unwrap();
+        assert_ne!(f1, f2);
+        a.release(f1);
+        let f3 = a.alloc().unwrap();
+        assert_eq!(f3, f1);
+        let _ = a.alloc().unwrap();
+        assert!(a.alloc().is_none(), "pool exhausted");
+        assert_eq!(a.total_allocations(), 4);
+    }
+}

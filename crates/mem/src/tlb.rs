@@ -1,0 +1,214 @@
+//! Translation lookaside buffers.
+//!
+//! Timing-capacity model of the ITLB/DTLB of Table 4 (4-way, 128/256
+//! entries). Translation itself is performed by the page table in
+//! `indra-sim`; the TLB decides whether a page-walk penalty applies and —
+//! for INDRA — models the *TLB extension* of §3.3.1: each resident entry
+//! can carry the backup-page record handle for its page, so the
+//! delta-backup engine's common case costs no extra memory traffic.
+
+/// Configuration of a TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries.
+    pub entries: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Page-walk penalty in cycles applied on a miss.
+    pub miss_penalty: u32,
+}
+
+impl TlbConfig {
+    /// Table 4 ITLB: 4-way, 128 entries.
+    #[must_use]
+    pub fn itlb() -> TlbConfig {
+        TlbConfig { entries: 128, ways: 4, miss_penalty: 30 }
+    }
+
+    /// Table 4 DTLB: 4-way, 256 entries.
+    #[must_use]
+    pub fn dtlb() -> TlbConfig {
+        TlbConfig { entries: 256, ways: 4, miss_penalty: 30 }
+    }
+
+    fn sets(&self) -> u32 {
+        self.entries / self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    vpn: u32,
+    asid: u16,
+    valid: bool,
+    lru: u64,
+}
+
+/// TLB statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups performed.
+    pub accesses: u64,
+    /// Misses (page walks).
+    pub misses: u64,
+}
+
+/// A set-associative TLB keyed by `(asid, vpn)`.
+#[derive(Debug)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    entries: Vec<Entry>,
+    stamp: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a cold TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `entries` is not divisible by `ways` or the set count is
+    /// not a power of two.
+    #[must_use]
+    pub fn new(cfg: TlbConfig) -> Tlb {
+        assert!(cfg.entries.is_multiple_of(cfg.ways), "entries not divisible by ways");
+        assert!(cfg.sets().is_power_of_two(), "set count must be a power of two");
+        Tlb {
+            cfg,
+            entries: vec![Entry::default(); cfg.entries as usize],
+            stamp: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The TLB's configuration.
+    #[must_use]
+    pub fn config(&self) -> TlbConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Resets statistics (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    fn set_range(&self, vpn: u32) -> std::ops::Range<usize> {
+        let set = (vpn & (self.cfg.sets() - 1)) as usize;
+        let ways = self.cfg.ways as usize;
+        set * ways..(set + 1) * ways
+    }
+
+    /// Looks up `(asid, vpn)`, inserting it on a miss; returns the cycle
+    /// cost (`0` on hit, `miss_penalty` on miss) and whether it missed.
+    pub fn access(&mut self, asid: u16, vpn: u32) -> (u32, bool) {
+        self.stamp += 1;
+        self.stats.accesses += 1;
+        let range = self.set_range(vpn);
+        for i in range.clone() {
+            let e = &mut self.entries[i];
+            if e.valid && e.vpn == vpn && e.asid == asid {
+                e.lru = self.stamp;
+                return (0, false);
+            }
+        }
+        self.stats.misses += 1;
+        let victim = range
+            .min_by_key(|&i| {
+                let e = &self.entries[i];
+                if e.valid {
+                    (1, e.lru)
+                } else {
+                    (0, 0)
+                }
+            })
+            .expect("TLB set is never empty");
+        self.entries[victim] = Entry { vpn, asid, valid: true, lru: self.stamp };
+        (self.cfg.miss_penalty, true)
+    }
+
+    /// Whether `(asid, vpn)` is resident, without perturbing LRU/stats.
+    #[must_use]
+    pub fn probe(&self, asid: u16, vpn: u32) -> bool {
+        self.set_range(vpn)
+            .map(|i| &self.entries[i])
+            .any(|e| e.valid && e.vpn == vpn && e.asid == asid)
+    }
+
+    /// Drops every entry belonging to `asid` (context-destroy / rollback).
+    pub fn flush_asid(&mut self, asid: u16) {
+        for e in &mut self.entries {
+            if e.asid == asid {
+                e.valid = false;
+            }
+        }
+    }
+
+    /// Drops everything.
+    pub fn flush(&mut self) {
+        self.entries.fill(Entry::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig { entries: 8, ways: 2, miss_penalty: 30 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = tiny();
+        let (cost, missed) = t.access(1, 0x40);
+        assert!(missed);
+        assert_eq!(cost, 30);
+        let (cost, missed) = t.access(1, 0x40);
+        assert!(!missed);
+        assert_eq!(cost, 0);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn asid_isolation() {
+        let mut t = tiny();
+        t.access(1, 0x40);
+        let (_, missed) = t.access(2, 0x40);
+        assert!(missed, "same VPN in a different address space misses");
+    }
+
+    #[test]
+    fn flush_asid_spares_others() {
+        let mut t = tiny();
+        t.access(1, 0x40);
+        t.access(2, 0x41);
+        t.flush_asid(1);
+        assert!(!t.probe(1, 0x40));
+        assert!(t.probe(2, 0x41));
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut t = tiny(); // 4 sets, 2 ways
+        // VPNs 0, 4, 8 all map to set 0.
+        t.access(1, 0);
+        t.access(1, 4);
+        t.access(1, 0); // 4 becomes LRU
+        t.access(1, 8); // evicts 4
+        assert!(t.probe(1, 0));
+        assert!(!t.probe(1, 4));
+        assert!(t.probe(1, 8));
+    }
+
+    #[test]
+    fn table4_shapes() {
+        assert_eq!(TlbConfig::itlb().sets(), 32);
+        assert_eq!(TlbConfig::dtlb().sets(), 64);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests: the set-associative cache against an executable
+//! reference model (per-set LRU lists), and structural invariants of the
+//! TLB and DRAM models.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use indra_mem::{Cache, CacheConfig, DramConfig, RowOutcome, Sdram, Tlb, TlbConfig};
+
+/// An obviously-correct cache model: one LRU `VecDeque` of (tag, dirty)
+/// per set, most-recent at the front.
+struct ModelCache {
+    cfg: CacheConfig,
+    sets: Vec<VecDeque<(u32, bool)>>,
+}
+
+impl ModelCache {
+    fn new(cfg: CacheConfig) -> ModelCache {
+        ModelCache { cfg, sets: vec![VecDeque::new(); cfg.sets() as usize] }
+    }
+
+    fn index(&self, addr: u32) -> (usize, u32) {
+        let line = addr / self.cfg.line;
+        ((line & (self.cfg.sets() - 1)) as usize, line / self.cfg.sets())
+    }
+
+    /// Returns (hit, writeback_occurred).
+    fn access(&mut self, addr: u32, write: bool) -> (bool, bool) {
+        let ways = self.cfg.ways as usize;
+        let (set, tag) = self.index(addr);
+        let set = &mut self.sets[set];
+        if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = set.remove(pos).expect("found");
+            set.push_front((t, d || write));
+            return (true, false);
+        }
+        let mut wb = false;
+        if set.len() == ways {
+            let (_, dirty) = set.pop_back().expect("full set");
+            wb = dirty;
+        }
+        set.push_front((tag, write));
+        (false, wb)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The cache agrees with the reference model on every hit/miss and
+    /// writeback decision across arbitrary access traces.
+    #[test]
+    fn cache_matches_lru_model(
+        accesses in proptest::collection::vec((0u32..0x8000, any::<bool>()), 1..400),
+        ways in 1u32..=4,
+    ) {
+        let cfg = CacheConfig { size: 64 * 16 * ways, line: 16, ways, hit_latency: 1 };
+        let mut cache = Cache::new(cfg);
+        let mut model = ModelCache::new(cfg);
+        let mut hits = 0u64;
+        let mut wbs = 0u64;
+        for &(addr, write) in &accesses {
+            let out = cache.access(addr, write);
+            let (model_hit, model_wb) = model.access(addr, write);
+            prop_assert_eq!(out.hit, model_hit, "hit/miss divergence at {:#x}", addr);
+            prop_assert_eq!(out.writeback.is_some(), model_wb, "writeback divergence at {:#x}", addr);
+            if out.hit { hits += 1; }
+            if out.writeback.is_some() { wbs += 1; }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses, accesses.len() as u64);
+        prop_assert_eq!(stats.misses, accesses.len() as u64 - hits);
+        prop_assert_eq!(stats.writebacks, wbs);
+    }
+
+    /// A probe never lies: after an access, the line is resident until an
+    /// eviction from its set.
+    #[test]
+    fn probe_reflects_residency(addrs in proptest::collection::vec(0u32..0x4000, 1..100)) {
+        let cfg = CacheConfig { size: 1024, line: 32, ways: 2, hit_latency: 1 };
+        let mut cache = Cache::new(cfg);
+        for &addr in &addrs {
+            cache.access(addr, false);
+            prop_assert!(cache.probe(addr), "just-accessed line must be resident");
+        }
+    }
+
+    /// TLB: a lookup immediately after an insert hits; flushing the ASID
+    /// clears exactly that ASID.
+    #[test]
+    fn tlb_insert_then_hit(vpns in proptest::collection::vec(0u32..4096, 1..200)) {
+        let mut tlb = Tlb::new(TlbConfig { entries: 64, ways: 4, miss_penalty: 30 });
+        for &vpn in &vpns {
+            tlb.access(1, vpn);
+            let (cost, missed) = tlb.access(1, vpn);
+            prop_assert!(!missed);
+            prop_assert_eq!(cost, 0);
+        }
+        tlb.flush_asid(1);
+        prop_assert!(!tlb.probe(1, vpns[0]));
+    }
+
+    /// DRAM: back-to-back accesses to the same row always hit; the cost of
+    /// any access is bounded by the conflict case.
+    #[test]
+    fn dram_row_behaviour(addrs in proptest::collection::vec(0u32..0x100_0000, 1..200)) {
+        let cfg = DramConfig::default();
+        let mut dram = Sdram::new(cfg);
+        let worst =
+            (cfg.precharge + cfg.ras_to_cas + cfg.cas + 64 / cfg.bus_bytes_per_clock)
+                * cfg.core_clock_ratio;
+        for &addr in &addrs {
+            let (cost, _) = dram.access(addr, 64);
+            prop_assert!(cost <= worst, "cost {} above conflict bound {}", cost, worst);
+            let (cost2, outcome2) = dram.access(addr, 64);
+            prop_assert_eq!(outcome2, RowOutcome::Hit, "immediate revisit must row-hit");
+            prop_assert!(cost2 <= cost);
+        }
+        let s = dram.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64 * 2);
+        prop_assert!(s.row_hits >= addrs.len() as u64);
+    }
+}

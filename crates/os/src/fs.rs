@@ -1,0 +1,112 @@
+//! An in-memory filesystem.
+//!
+//! Deliberately simple: flat namespace, whole-file byte vectors, append
+//! writes. It exists because INDRA's system-resource recovery (§3.3.3)
+//! needs real file descriptors to close on rollback — and because the
+//! paper's stated limitation ("the system does not rollback any changes
+//! to the files") must be reproducible: file *contents* written by a
+//! malicious request persist; only the descriptor table is repaired.
+
+use std::collections::HashMap;
+
+/// A flat in-memory filesystem.
+#[derive(Debug, Default)]
+pub struct InMemoryFs {
+    files: HashMap<String, Vec<u8>>,
+}
+
+impl InMemoryFs {
+    /// Creates an empty filesystem.
+    #[must_use]
+    pub fn new() -> InMemoryFs {
+        InMemoryFs::default()
+    }
+
+    /// Creates (or truncates) a file with the given contents.
+    pub fn create(&mut self, path: impl Into<String>, contents: Vec<u8>) {
+        self.files.insert(path.into(), contents);
+    }
+
+    /// Whether `path` exists.
+    #[must_use]
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Opens `path`, creating it when absent; returns `false` only when the
+    /// path is empty (invalid).
+    pub fn open(&mut self, path: &str) -> bool {
+        if path.is_empty() {
+            return false;
+        }
+        self.files.entry(path.to_owned()).or_default();
+        true
+    }
+
+    /// Reads up to `len` bytes starting at `offset`.
+    #[must_use]
+    pub fn read(&self, path: &str, offset: usize, len: usize) -> Option<Vec<u8>> {
+        let f = self.files.get(path)?;
+        if offset >= f.len() {
+            return Some(Vec::new());
+        }
+        let end = (offset + len).min(f.len());
+        Some(f[offset..end].to_vec())
+    }
+
+    /// Appends bytes; returns the number written or `None` for a missing
+    /// file.
+    pub fn append(&mut self, path: &str, data: &[u8]) -> Option<usize> {
+        let f = self.files.get_mut(path)?;
+        f.extend_from_slice(data);
+        Some(data.len())
+    }
+
+    /// Full contents of a file.
+    #[must_use]
+    pub fn contents(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(Vec::as_slice)
+    }
+
+    /// Number of files.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_creates() {
+        let mut fs = InMemoryFs::new();
+        assert!(!fs.exists("/var/log/httpd"));
+        assert!(fs.open("/var/log/httpd"));
+        assert!(fs.exists("/var/log/httpd"));
+        assert!(!fs.open(""), "empty path rejected");
+    }
+
+    #[test]
+    fn append_and_read() {
+        let mut fs = InMemoryFs::new();
+        fs.open("/f");
+        assert_eq!(fs.append("/f", b"hello "), Some(6));
+        assert_eq!(fs.append("/f", b"world"), Some(5));
+        assert_eq!(fs.read("/f", 0, 64).unwrap(), b"hello world");
+        assert_eq!(fs.read("/f", 6, 5).unwrap(), b"world");
+        assert_eq!(fs.read("/f", 100, 5).unwrap(), b"");
+        assert!(fs.read("/missing", 0, 1).is_none());
+    }
+
+    #[test]
+    fn writes_persist_no_rollback() {
+        // INDRA's stated limitation: file contents are not rolled back.
+        let mut fs = InMemoryFs::new();
+        fs.open("/audit");
+        fs.append("/audit", b"malicious request seen");
+        // ... service rolls back; nothing happens to the file ...
+        assert_eq!(fs.contents("/audit").unwrap(), b"malicious request seen");
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # indra-os — the kernel-lite for INDRA's resurrectee cores
+//!
+//! The paper's testbed ran Red Hat Linux 6.0 and six real daemons; this
+//! crate supplies the equivalent *surface* those daemons need, scoped to
+//! the evaluation: process creation from IR32 images, a syscall layer
+//! (network recv/send, files, fork/kill, sbrk, logging, checkpoint), an
+//! in-memory filesystem, per-process network endpoints — and the piece
+//! INDRA itself depends on: per-request **resource marks** whose rollback
+//! closes post-request descriptors, kills post-request children and
+//! reclaims post-request heap pages (§3.3.3) while restoring the saved
+//! execution context so the service immediately fetches the next request.
+//!
+//! Syscalls are serviced host-side (the simulated cores run only user
+//! code), the same division of labor Bochs uses for device models.
+
+mod fs;
+mod net;
+mod os;
+mod process;
+pub mod syscall;
+
+pub use fs::InMemoryFs;
+pub use net::{Endpoint, Request, Response};
+pub use os::{Os, SyscallEffect, OS_PAGE_SIZE};
+pub use process::{FileHandle, Pid, Process, ResourceMark};

@@ -1,0 +1,961 @@
+//! The kernel-lite orchestrator.
+//!
+//! [`Os`] plays the role of the "full blown Redhat Linux" on the
+//! resurrectee side of the paper's testbed, scoped to what the evaluation
+//! needs: process creation from an [`Image`], the syscall surface of
+//! [`crate::syscall`], the network endpoint, the in-memory filesystem,
+//! and — the INDRA-specific part — per-request [`ResourceMark`]s and
+//! their rollback (§3.3.3).
+//!
+//! Syscalls are serviced host-side (the simulated core never runs kernel
+//! code), mirroring how Bochs models devices outside the guest. Kernel
+//! time is charged to the core as stall cycles.
+
+use std::collections::HashMap;
+
+use indra_isa::Image;
+use indra_mem::{PAGE_SHIFT, PAGE_SIZE};
+use indra_sim::{LoadError, Machine};
+
+use crate::syscall::*;
+use crate::{InMemoryFs, Pid, Process, Request, Response};
+
+/// What a serviced syscall means to the outer INDRA control loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyscallEffect {
+    /// Handled; the core has been resumed.
+    Continue,
+    /// `net_recv` with an empty inbox: the core stays parked until a
+    /// request arrives (deliver with [`Os::try_deliver`]).
+    BlockedOnRecv {
+        /// The blocked process.
+        pid: Pid,
+    },
+    /// A new request was handed to the server — the INDRA request
+    /// boundary: the caller must increment the GTS and let the backup
+    /// engine know.
+    RequestStarted {
+        /// The serving process.
+        pid: Pid,
+        /// The request id.
+        request_id: u64,
+        /// Ground truth (harness accounting only).
+        malicious: bool,
+    },
+    /// The server answered the current request.
+    ResponseSent {
+        /// The serving process.
+        pid: Pid,
+        /// The answered request.
+        request_id: u64,
+    },
+    /// The application asked for a macro checkpoint (hybrid recovery).
+    CheckpointRequested {
+        /// The requesting process.
+        pid: Pid,
+    },
+    /// The process exited; its core is halted.
+    Exited {
+        /// The exiting process.
+        pid: Pid,
+        /// Exit code.
+        code: u32,
+    },
+}
+
+/// The kernel-lite.
+#[derive(Debug, Default)]
+pub struct Os {
+    procs: HashMap<Pid, Process>,
+    core_to_pid: HashMap<usize, Pid>,
+    next_pid: Pid,
+    next_asid: u16,
+    fs: InMemoryFs,
+    audit: Vec<String>,
+    next_request_id: u64,
+}
+
+impl Os {
+    /// Creates an empty OS.
+    #[must_use]
+    pub fn new() -> Os {
+        Os { next_pid: 1, next_asid: 1, ..Os::default() }
+    }
+
+    /// The in-memory filesystem.
+    #[must_use]
+    pub fn fs(&self) -> &InMemoryFs {
+        &self.fs
+    }
+
+    /// Mutable filesystem (test/bench fixtures pre-populate files).
+    pub fn fs_mut(&mut self) -> &mut InMemoryFs {
+        &mut self.fs
+    }
+
+    /// The audit log (survives all rollbacks).
+    #[must_use]
+    pub fn audit_log(&self) -> &[String] {
+        &self.audit
+    }
+
+    /// Looks up a process.
+    #[must_use]
+    pub fn process(&self, pid: Pid) -> Option<&Process> {
+        self.procs.get(&pid)
+    }
+
+    /// Mutable process access.
+    pub fn process_mut(&mut self, pid: Pid) -> &mut Process {
+        self.procs.get_mut(&pid).expect("no such pid")
+    }
+
+    /// Pid of the service pinned to `core`.
+    #[must_use]
+    pub fn pid_on_core(&self, core: usize) -> Option<Pid> {
+        self.core_to_pid.get(&core).copied()
+    }
+
+    /// Loads `image` as a new service process pinned to `core`, pointing
+    /// the core at its entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LoadError`] from the machine's loader.
+    pub fn spawn_service(
+        &mut self,
+        m: &mut Machine,
+        core: usize,
+        image: &Image,
+    ) -> Result<Pid, LoadError> {
+        let pid = self.next_pid;
+        let asid = self.next_asid;
+        self.next_pid += 1;
+        self.next_asid += 1;
+
+        m.create_space(asid);
+        m.load_image(asid, image)?;
+        let c = m.core_mut(core);
+        c.set_asid(asid);
+        c.set_pc(image.entry);
+        c.set_reg(indra_isa::Reg::SP, image.initial_sp);
+        c.clear_halt();
+
+        let proc = Process::new(pid, image.name.clone(), asid, core, image.heap_base);
+        self.procs.insert(pid, proc);
+        self.core_to_pid.insert(core, pid);
+        Ok(pid)
+    }
+
+    /// Queues a request for `pid`, returning its id.
+    pub fn push_request(&mut self, pid: Pid, data: Vec<u8>, malicious: bool) -> u64 {
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        self.process_mut(pid).endpoint.push_request(Request { id, data, malicious });
+        id
+    }
+
+    /// Responses collected for `pid` so far.
+    pub fn take_responses(&mut self, pid: Pid) -> Vec<Response> {
+        self.process_mut(pid).endpoint.take_responses()
+    }
+
+    /// Services the syscall `code` on which `core` is parked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process is pinned to `core` (OS invariant).
+    pub fn handle_syscall(&mut self, m: &mut Machine, core: usize, code: u16) -> SyscallEffect {
+        let pid = self.pid_on_core(core).expect("syscall from a core with no process");
+        m.core_mut(core).add_stall_cycles(SYSCALL_BASE_COST);
+        let a0 = m.core(core).reg(indra_isa::Reg::A0);
+        let a1 = m.core(core).reg(indra_isa::Reg::A1);
+        let a2 = m.core(core).reg(indra_isa::Reg::A2);
+
+        match code {
+            SYS_NET_RECV => {
+                if self.process(pid).expect("pid").endpoint.pending() == 0 {
+                    self.process_mut(pid).waiting_recv = Some((a0, a1));
+                    SyscallEffect::BlockedOnRecv { pid }
+                } else {
+                    self.process_mut(pid).waiting_recv = Some((a0, a1));
+                    self.try_deliver(m, pid).expect("inbox non-empty")
+                }
+            }
+            SYS_NET_SEND => {
+                // NIC transmit path: DMA the response out of the service's
+                // buffer, paying SDRAM burst time.
+                let (data, dma_cycles) = m
+                    .dma_read_virtual(self.asid_of(pid), a0, a1, None)
+                    .unwrap_or_default();
+                m.core_mut(core).add_stall_cycles(dma_cycles);
+                let p = self.process_mut(pid);
+                let request_id = p.current_request.take().unwrap_or(0);
+                p.endpoint.push_response(Response { request_id, data });
+                p.served += 1;
+                m.core_mut(core).finish_syscall(Some(a1));
+                SyscallEffect::ResponseSent { pid, request_id }
+            }
+            SYS_OPEN => {
+                let path = self.read_cstring(m, pid, a0);
+                let ret = match path {
+                    Some(p) if self.fs.open(&p) => self.process_mut(pid).open_fd(p),
+                    _ => SYS_ERR,
+                };
+                m.core_mut(core).finish_syscall(Some(ret));
+                SyscallEffect::Continue
+            }
+            SYS_CLOSE => {
+                let ok = self.process_mut(pid).close_fd(a0);
+                m.core_mut(core).finish_syscall(Some(if ok { 0 } else { SYS_ERR }));
+                SyscallEffect::Continue
+            }
+            SYS_READ => {
+                let asid = self.asid_of(pid);
+                let ret = {
+                    let p = self.process_mut(pid);
+                    match p.fds.get_mut(&a0) {
+                        Some(h) => {
+                            let (path, offset) = (h.path.clone(), h.offset);
+                            match self.fs.read(&path, offset, a2 as usize) {
+                                Some(data) => {
+                                    self.process_mut(pid)
+                                        .fds
+                                        .get_mut(&a0)
+                                        .expect("checked")
+                                        .offset += data.len();
+                                    if m.write_virtual_bytes(asid, a1, &data) {
+                                        data.len() as u32
+                                    } else {
+                                        SYS_ERR
+                                    }
+                                }
+                                None => SYS_ERR,
+                            }
+                        }
+                        None => SYS_ERR,
+                    }
+                };
+                m.core_mut(core).add_stall_cycles(u64::from(a2) / 4);
+                m.core_mut(core).finish_syscall(Some(ret));
+                SyscallEffect::Continue
+            }
+            SYS_WRITE => {
+                let asid = self.asid_of(pid);
+                let data = m.read_virtual_bytes(asid, a1, a2);
+                let ret = match (data, self.process(pid).expect("pid").fds.get(&a0)) {
+                    (Some(data), Some(h)) => {
+                        let path = h.path.clone();
+                        self.fs.append(&path, &data).map_or(SYS_ERR, |n| n as u32)
+                    }
+                    _ => SYS_ERR,
+                };
+                m.core_mut(core).add_stall_cycles(u64::from(a2) / 4);
+                m.core_mut(core).finish_syscall(Some(ret));
+                SyscallEffect::Continue
+            }
+            SYS_SBRK => {
+                let ret = self.sbrk(m, pid, a0);
+                m.core_mut(core).finish_syscall(Some(ret));
+                SyscallEffect::Continue
+            }
+            SYS_FORK => {
+                let child = self.next_pid;
+                self.next_pid += 1;
+                self.process_mut(pid).children.insert(child);
+                m.core_mut(core).finish_syscall(Some(child));
+                SyscallEffect::Continue
+            }
+            SYS_KILL => {
+                let existed = self.process_mut(pid).children.remove(&a0);
+                m.core_mut(core).finish_syscall(Some(if existed { 0 } else { SYS_ERR }));
+                SyscallEffect::Continue
+            }
+            SYS_LOG => {
+                let asid = self.asid_of(pid);
+                if let Some(data) = m.read_virtual_bytes(asid, a0, a1.min(256)) {
+                    let name = self.process(pid).expect("pid").name.clone();
+                    self.audit.push(format!("[{name}] {}", String::from_utf8_lossy(&data)));
+                }
+                m.core_mut(core).finish_syscall(Some(0));
+                SyscallEffect::Continue
+            }
+            SYS_CHECKPOINT => {
+                m.core_mut(core).finish_syscall(Some(0));
+                SyscallEffect::CheckpointRequested { pid }
+            }
+            SYS_CYCLES => {
+                let cycles = m.core(core).cycles() as u32;
+                m.core_mut(core).finish_syscall(Some(cycles));
+                SyscallEffect::Continue
+            }
+            SYS_RAND => {
+                let r = self.process_mut(pid).next_rand();
+                m.core_mut(core).finish_syscall(Some(r));
+                SyscallEffect::Continue
+            }
+            SYS_EXIT => {
+                // Leave the core halted on the syscall.
+                SyscallEffect::Exited { pid, code: a0 }
+            }
+            SYS_SEEK => {
+                let ret = match self.process_mut(pid).fds.get_mut(&a0) {
+                    Some(h) => {
+                        h.offset = a1 as usize;
+                        a1
+                    }
+                    None => SYS_ERR,
+                };
+                m.core_mut(core).finish_syscall(Some(ret));
+                SyscallEffect::Continue
+            }
+            SYS_FSIZE => {
+                let ret = self
+                    .process(pid)
+                    .expect("pid")
+                    .fds
+                    .get(&a0)
+                    .and_then(|h| self.fs.contents(&h.path))
+                    .map_or(SYS_ERR, |c| c.len() as u32);
+                m.core_mut(core).finish_syscall(Some(ret));
+                SyscallEffect::Continue
+            }
+            other => {
+                self.audit.push(format!("pid {pid}: unknown syscall {other}"));
+                m.core_mut(core).finish_syscall(Some(SYS_ERR));
+                SyscallEffect::Continue
+            }
+        }
+    }
+
+    /// Delivers the next queued request to a process blocked in
+    /// `net_recv`. Returns the [`SyscallEffect::RequestStarted`] boundary
+    /// event, or `None` when the process is not blocked or has no pending
+    /// requests.
+    pub fn try_deliver(&mut self, m: &mut Machine, pid: Pid) -> Option<SyscallEffect> {
+        let (buf, cap) = self.process(pid)?.waiting_recv?;
+        let asid = self.asid_of(pid);
+        let core = self.process(pid)?.core;
+
+        let req = self.process_mut(pid).endpoint.next_request()?;
+        self.process_mut(pid).waiting_recv = None;
+
+        // Snapshot context *before* completing the syscall: a rollback
+        // re-executes `net_recv` and picks up the next request (§3.3).
+        let ctx = m.core(core).context();
+        self.process_mut(pid).take_mark(ctx, req.id);
+
+        let len = (req.data.len() as u32).min(cap);
+        // The NIC's DMA engine (privileged, commanded by the kernel)
+        // lands the payload; its SDRAM burst time is the delivery cost.
+        let dma_cycles = m
+            .dma_write_virtual(asid, buf, &req.data[..len as usize], None)
+            .unwrap_or(0);
+        m.core_mut(core).add_stall_cycles(dma_cycles);
+        m.core_mut(core).finish_syscall(Some(len));
+        self.process_mut(pid).current_request = Some(req.id);
+        Some(SyscallEffect::RequestStarted { pid, request_id: req.id, malicious: req.malicious })
+    }
+
+    /// Rolls back the resource-allocation state of `pid` to its last mark
+    /// and restores its execution context on its core (§3.3.3): closes
+    /// post-mark descriptors, kills post-mark children, reclaims post-mark
+    /// heap pages, resets the break, restores PC/registers.
+    ///
+    /// Memory *contents* are the backup engine's job, not ours. Returns
+    /// `false` when the process has no mark yet.
+    pub fn rollback_resources(&mut self, m: &mut Machine, pid: Pid) -> bool {
+        let Some(mark) = self.process_mut(pid).mark.clone() else {
+            return false;
+        };
+        let asid = self.asid_of(pid);
+        let core = self.process(pid).expect("pid").core;
+
+        let p = self.process_mut(pid);
+        p.rollbacks += 1;
+        p.current_request = None;
+        p.waiting_recv = None;
+
+        // Close descriptors opened after the mark; earlier ones stay open.
+        let post: Vec<u32> = p.fds.keys().copied().filter(|fd| !mark.fds.contains(fd)).collect();
+        for fd in post {
+            p.fds.remove(&fd);
+        }
+        // Kill children spawned after the mark.
+        p.children.retain(|c| mark.children.contains(c));
+        // Reclaim heap pages mapped after the mark.
+        let reclaim: Vec<(u32, u32)> = p.heap_pages.split_off(mark.heap_pages_len);
+        p.brk = mark.brk;
+        for (vpn, ppn) in reclaim {
+            if let Some(space) = m.space_mut(asid) {
+                space.unmap(vpn);
+            }
+            m.release_service_frame(ppn);
+        }
+
+        // Restore the execution context: PC parks on `net_recv` again.
+        let ctx = mark.context;
+        m.core_mut(core).set_context(ctx);
+        m.core_mut(core).clear_halt();
+        self.process_mut(pid).waiting_recv = None;
+        true
+    }
+
+    /// ASID of `pid`.
+    #[must_use]
+    pub fn asid_of(&self, pid: Pid) -> u16 {
+        self.procs.get(&pid).map(|p| p.asid).expect("no such pid")
+    }
+
+    fn sbrk(&mut self, m: &mut Machine, pid: Pid, bytes: u32) -> u32 {
+        let old = self.process(pid).expect("pid").brk;
+        if bytes == 0 {
+            return old;
+        }
+        let asid = self.asid_of(pid);
+        let new = old.saturating_add(bytes);
+        // Map every page in [old, new) not yet mapped.
+        let first = old >> PAGE_SHIFT;
+        let last = (new - 1) >> PAGE_SHIFT;
+        for vpn in first..=last {
+            let already = m.space(asid).is_some_and(|s| s.pte(vpn).is_some());
+            if already {
+                continue;
+            }
+            match m.map_fresh_page(asid, vpn, true, true, false) {
+                Ok(ppn) => self.process_mut(pid).heap_pages.push((vpn, ppn)),
+                Err(_) => return SYS_ERR,
+            }
+        }
+        self.process_mut(pid).brk = new;
+        old
+    }
+
+    fn read_cstring(&self, m: &Machine, pid: Pid, mut addr: u32) -> Option<String> {
+        let asid = self.asid_of(pid);
+        let mut out = Vec::new();
+        for _ in 0..256 {
+            let b = m.read_virtual_bytes(asid, addr, 1)?[0];
+            if b == 0 {
+                return String::from_utf8(out).ok();
+            }
+            out.push(b);
+            addr += 1;
+        }
+        None
+    }
+}
+
+/// Bytes-per-page convenience re-export for callers sizing sbrk requests.
+pub const OS_PAGE_SIZE: u32 = PAGE_SIZE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indra_isa::assemble;
+    use indra_sim::{CoreStep, MachineConfig};
+
+    fn machine() -> Machine {
+        let mut m = Machine::new(MachineConfig::default());
+        m.boot_asymmetric();
+        m
+    }
+
+    /// Run core 1 until it parks on a syscall / halts, servicing nothing.
+    fn run_to_syscall(m: &mut Machine) -> Option<u16> {
+        for _ in 0..200_000 {
+            match m.step_core_simple(1) {
+                CoreStep::Executed => continue,
+                CoreStep::Syscall { code } => return Some(code),
+                CoreStep::Halted => return None,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        panic!("never reached a syscall");
+    }
+
+    /// An echo server: recv into buf, send the same bytes back, repeat.
+    const ECHO: &str = "
+    main:
+        la  s0, buf
+    loop:
+        mv  a0, s0
+        li  a1, 64
+        syscall 1        # net_recv
+        mv  a2, a0       # len
+        mv  a0, s0
+        mv  a1, a2
+        syscall 2        # net_send
+        j loop
+    .data
+    buf: .space 64
+    ";
+
+    #[test]
+    fn echo_serves_requests() {
+        let mut m = machine();
+        let mut os = Os::new();
+        let img = assemble("echo", ECHO).unwrap();
+        let pid = os.spawn_service(&mut m, 1, &img).unwrap();
+
+        // First recv blocks (empty inbox).
+        let code = run_to_syscall(&mut m).unwrap();
+        assert_eq!(code, SYS_NET_RECV);
+        let eff = os.handle_syscall(&mut m, 1, code);
+        assert_eq!(eff, SyscallEffect::BlockedOnRecv { pid });
+
+        // Push a request and deliver.
+        let rid = os.push_request(pid, b"ping".to_vec(), false);
+        let eff = os.try_deliver(&mut m, pid).unwrap();
+        assert_eq!(eff, SyscallEffect::RequestStarted { pid, request_id: rid, malicious: false });
+
+        // Server processes and answers.
+        let code = run_to_syscall(&mut m).unwrap();
+        assert_eq!(code, SYS_NET_SEND);
+        let eff = os.handle_syscall(&mut m, 1, code);
+        assert_eq!(eff, SyscallEffect::ResponseSent { pid, request_id: rid });
+        let resp = os.take_responses(pid);
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].data, b"ping");
+    }
+
+    #[test]
+    fn open_write_read_roundtrip() {
+        let mut m = machine();
+        let mut os = Os::new();
+        let img = assemble(
+            "f",
+            r#"
+        main:
+            la a0, path
+            syscall 3          # open -> fd
+            mv s0, a0
+            mv a0, s0
+            la a1, msg
+            li a2, 5
+            syscall 6          # write
+            mv a0, s0
+            la a1, buf
+            li a2, 5
+            syscall 5          # read
+            mv a0, s0
+            syscall 4          # close
+            halt
+        .data
+        path: .asciz "/tmp/x"
+        msg:  .ascii "hello"
+        buf:  .space 8
+        "#,
+        )
+        .unwrap();
+        let pid = os.spawn_service(&mut m, 1, &img).unwrap();
+        while let Some(code) = run_to_syscall(&mut m) {
+            os.handle_syscall(&mut m, 1, code);
+        }
+        assert_eq!(os.fs().contents("/tmp/x").unwrap(), b"hello");
+        let buf = indra_isa::DATA_BASE + 12; // path(7->8 aligned? check via read)
+        let _ = buf;
+        assert!(os.process(pid).unwrap().fds.is_empty(), "fd closed");
+    }
+
+    #[test]
+    fn sbrk_maps_and_rollback_reclaims() {
+        let mut m = machine();
+        let mut os = Os::new();
+        let img = assemble(
+            "s",
+            "
+        main:
+            la a0, buf
+            li a1, 16
+            syscall 1          # net_recv (mark boundary)
+            li a0, 8192
+            syscall 7          # sbrk 2 pages
+            syscall 8          # fork a child
+            la a0, path
+            syscall 3          # open
+        spin:
+            j spin
+        .data
+        path: .asciz \"/post\"
+        buf: .space 16
+        ",
+        )
+        .unwrap();
+        let pid = os.spawn_service(&mut m, 1, &img).unwrap();
+        let code = run_to_syscall(&mut m).unwrap();
+        os.handle_syscall(&mut m, 1, code);
+        os.push_request(pid, b"x".to_vec(), true);
+        os.try_deliver(&mut m, pid).unwrap();
+
+        // run the three resource-acquiring syscalls
+        for _ in 0..3 {
+            let code = run_to_syscall(&mut m).unwrap();
+            os.handle_syscall(&mut m, 1, code);
+        }
+        {
+            let p = os.process(pid).unwrap();
+            assert_eq!(p.heap_pages.len(), 2);
+            assert_eq!(p.children.len(), 1);
+            assert_eq!(p.fds.len(), 1);
+        }
+
+        assert!(os.rollback_resources(&mut m, pid));
+        let p = os.process(pid).unwrap();
+        assert!(p.heap_pages.is_empty(), "post-mark heap reclaimed");
+        assert!(p.children.is_empty(), "post-mark child killed");
+        assert!(p.fds.is_empty(), "post-mark fd closed");
+        assert_eq!(p.rollbacks, 1);
+
+        // The restored PC re-executes net_recv.
+        let code = run_to_syscall(&mut m).unwrap();
+        assert_eq!(code, SYS_NET_RECV);
+    }
+
+    #[test]
+    fn pre_mark_fds_survive_rollback() {
+        let mut m = machine();
+        let mut os = Os::new();
+        let img = assemble(
+            "s",
+            "
+        main:
+            la a0, path
+            syscall 3          # open BEFORE the request boundary
+            la a0, buf
+            li a1, 16
+            syscall 1          # net_recv
+            la a0, path2
+            syscall 3          # open AFTER the boundary
+        spin:
+            j spin
+        .data
+        path:  .asciz \"/pre\"
+        path2: .asciz \"/post\"
+        buf: .space 16
+        ",
+        )
+        .unwrap();
+        let pid = os.spawn_service(&mut m, 1, &img).unwrap();
+        let code = run_to_syscall(&mut m).unwrap(); // open /pre
+        os.handle_syscall(&mut m, 1, code);
+        let code = run_to_syscall(&mut m).unwrap(); // net_recv
+        os.handle_syscall(&mut m, 1, code);
+        os.push_request(pid, b"x".to_vec(), true);
+        os.try_deliver(&mut m, pid).unwrap();
+        let code = run_to_syscall(&mut m).unwrap(); // open /post
+        os.handle_syscall(&mut m, 1, code);
+        assert_eq!(os.process(pid).unwrap().fds.len(), 2);
+
+        os.rollback_resources(&mut m, pid);
+        let p = os.process(pid).unwrap();
+        assert_eq!(p.fds.len(), 1, "pre-mark fd stays open");
+        assert_eq!(p.fds.values().next().unwrap().path, "/pre");
+    }
+
+    #[test]
+    fn audit_log_and_rand() {
+        let mut m = machine();
+        let mut os = Os::new();
+        let img = assemble(
+            "l",
+            "
+        main:
+            la a0, msg
+            li a1, 3
+            syscall 10         # log
+            syscall 13         # rand
+            mv s0, a0
+            syscall 13
+            bne a0, s0, ok
+            halt
+        ok:
+            li a0, 0
+            syscall 14         # exit
+        .data
+        msg: .ascii \"hey\"
+        ",
+        )
+        .unwrap();
+        let pid = os.spawn_service(&mut m, 1, &img).unwrap();
+        let mut exited = false;
+        while let Some(code) = run_to_syscall(&mut m) {
+            if let SyscallEffect::Exited { pid: p, code: c } = os.handle_syscall(&mut m, 1, code) {
+                assert_eq!((p, c), (pid, 0));
+                exited = true;
+                break;
+            }
+        }
+        assert!(exited, "two rand() calls must differ");
+        assert_eq!(os.audit_log().len(), 1);
+        assert!(os.audit_log()[0].contains("hey"));
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use indra_isa::assemble;
+    use indra_sim::{CoreStep, MachineConfig};
+
+    fn machine() -> Machine {
+        let mut m = Machine::new(MachineConfig::default());
+        m.boot_asymmetric();
+        m
+    }
+
+    fn drive(m: &mut Machine, os: &mut Os, max: usize) -> Option<u32> {
+        for _ in 0..max {
+            match m.step_core_simple(1) {
+                CoreStep::Executed => continue,
+                CoreStep::Syscall { code } => {
+                    if let SyscallEffect::Exited { code, .. } = os.handle_syscall(m, 1, code) {
+                        return Some(code);
+                    }
+                }
+                CoreStep::Halted => return None,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        panic!("did not settle");
+    }
+
+    #[test]
+    fn bad_descriptors_return_err() {
+        let mut m = machine();
+        let mut os = Os::new();
+        let img = assemble(
+            "fd",
+            "
+        main:
+            li a0, 42          # never-opened fd
+            syscall 4          # close -> ERR
+            mv s0, a0
+            li a0, 42
+            la a1, buf
+            li a2, 4
+            syscall 5          # read -> ERR
+            mv s1, a0
+            li a0, 42
+            la a1, buf
+            li a2, 4
+            syscall 6          # write -> ERR
+            add a0, s0, s1     # both must be ERR (-1): sum = -2
+            add a0, a0, a0
+            li a0, 0
+            syscall 14
+        .data
+        buf: .space 8
+        ",
+        )
+        .unwrap();
+        let pid = os.spawn_service(&mut m, 1, &img).unwrap();
+        assert_eq!(drive(&mut m, &mut os, 100_000), Some(0));
+        assert!(os.process(pid).unwrap().fds.is_empty());
+    }
+
+    #[test]
+    fn read_past_eof_returns_zero_len() {
+        let mut m = machine();
+        let mut os = Os::new();
+        os.fs_mut().create("/short", b"ab".to_vec());
+        let img = assemble(
+            "eof",
+            "
+        main:
+            la a0, path
+            syscall 3          # open
+            mv s0, a0
+            mv a0, s0
+            la a1, buf
+            li a2, 16
+            syscall 5          # read -> 2
+            mv s1, a0
+            mv a0, s0
+            la a1, buf
+            li a2, 16
+            syscall 5          # read at EOF -> 0
+            add a0, a0, s1     # 2 + 0
+            syscall 14
+        .data
+        path: .asciz \"/short\"
+        buf: .space 16
+        ",
+        )
+        .unwrap();
+        os.spawn_service(&mut m, 1, &img).unwrap();
+        assert_eq!(drive(&mut m, &mut os, 100_000), Some(2));
+    }
+
+    #[test]
+    fn sbrk_grows_incrementally_and_zero_queries() {
+        let mut m = machine();
+        let mut os = Os::new();
+        let img = assemble(
+            "brk",
+            "
+        main:
+            li a0, 0
+            syscall 7          # sbrk(0): query
+            mv s0, a0
+            li a0, 100
+            syscall 7          # grow by 100
+            li a0, 0
+            syscall 7          # query again
+            sub a0, a0, s0     # must be exactly 100
+            syscall 14
+        ",
+        )
+        .unwrap();
+        let pid = os.spawn_service(&mut m, 1, &img).unwrap();
+        assert_eq!(drive(&mut m, &mut os, 100_000), Some(100));
+        // 100 bytes within one fresh page:
+        assert_eq!(os.process(pid).unwrap().heap_pages.len(), 1);
+    }
+
+    #[test]
+    fn heap_is_usable_after_sbrk() {
+        let mut m = machine();
+        let mut os = Os::new();
+        let img = assemble(
+            "heapuse",
+            "
+        main:
+            li a0, 0
+            syscall 7
+            mv s0, a0          # old break
+            li a0, 64
+            syscall 7
+            li t0, 0x5A
+            sb t0, 0(s0)       # store into the new heap
+            lbu a0, 0(s0)
+            syscall 14
+        ",
+        )
+        .unwrap();
+        os.spawn_service(&mut m, 1, &img).unwrap();
+        assert_eq!(drive(&mut m, &mut os, 100_000), Some(0x5A));
+    }
+
+    #[test]
+    fn unknown_syscall_is_logged_and_survivable() {
+        let mut m = machine();
+        let mut os = Os::new();
+        let img = assemble("u", "main:\n syscall 999\n li a0, 7\n syscall 14\n").unwrap();
+        os.spawn_service(&mut m, 1, &img).unwrap();
+        assert_eq!(drive(&mut m, &mut os, 10_000), Some(7));
+        assert!(os.audit_log().iter().any(|l| l.contains("unknown syscall")));
+    }
+
+    #[test]
+    fn open_with_unterminated_path_fails() {
+        let mut m = machine();
+        let mut os = Os::new();
+        // `path` fills a region with no NUL within 256 bytes.
+        let img = assemble(
+            "p",
+            "
+        main:
+            la a0, path
+            syscall 3
+            syscall 14
+        .data
+        path: .byte 65
+        big: .space 512
+        ",
+        )
+        .unwrap();
+        // Overwrite the data so there is no terminator for 256+ bytes.
+        let mut img = img;
+        let seg = img.segments.iter_mut().find(|s| s.name == ".data").unwrap();
+        for b in seg.data.iter_mut() {
+            *b = b'A';
+        }
+        os.spawn_service(&mut m, 1, &img).unwrap();
+        assert_eq!(drive(&mut m, &mut os, 10_000), Some(SYS_ERR));
+    }
+}
+
+#[cfg(test)]
+mod seek_tests {
+    use super::*;
+    use indra_isa::assemble;
+    use indra_sim::{CoreStep, MachineConfig};
+
+    #[test]
+    fn seek_and_fsize() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.boot_asymmetric();
+        let mut os = Os::new();
+        os.fs_mut().create("/data", b"abcdefgh".to_vec());
+        let img = assemble(
+            "sk",
+            "
+        main:
+            la a0, path
+            syscall 3           # open
+            mv s0, a0
+            mv a0, s0
+            syscall 16          # fsize -> 8
+            mv s1, a0
+            mv a0, s0
+            li a1, 6
+            syscall 15          # seek to 6
+            mv a0, s0
+            la a1, buf
+            li a2, 8
+            syscall 5           # read -> 2 ('gh')
+            add a0, a0, s1      # 2 + 8
+            syscall 14
+        .data
+        path: .asciz \"/data\"
+        buf: .space 8
+        ",
+        )
+        .unwrap();
+        os.spawn_service(&mut m, 1, &img).unwrap();
+        let mut exit = None;
+        for _ in 0..100_000 {
+            match m.step_core_simple(1) {
+                CoreStep::Executed => {}
+                CoreStep::Syscall { code } => {
+                    if let SyscallEffect::Exited { code, .. } = os.handle_syscall(&mut m, 1, code) {
+                        exit = Some(code);
+                        break;
+                    }
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(exit, Some(10));
+        // Bad fd paths:
+        assert_eq!(os.process_mut(1).fds.len(), 1);
+    }
+
+    #[test]
+    fn seek_bad_fd_errors() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.boot_asymmetric();
+        let mut os = Os::new();
+        let img = assemble(
+            "skb",
+            "main:\n li a0, 99\n li a1, 4\n syscall 15\n syscall 14\n",
+        )
+        .unwrap();
+        os.spawn_service(&mut m, 1, &img).unwrap();
+        let mut exit = None;
+        for _ in 0..10_000 {
+            match m.step_core_simple(1) {
+                CoreStep::Executed => {}
+                CoreStep::Syscall { code } => {
+                    if let SyscallEffect::Exited { code, .. } = os.handle_syscall(&mut m, 1, code) {
+                        exit = Some(code);
+                        break;
+                    }
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(exit, Some(SYS_ERR));
+    }
+}

@@ -1,0 +1,182 @@
+//! Process objects and the per-request resource snapshot.
+//!
+//! INDRA's recovery restores three kinds of state (§3.3): memory (the
+//! delta engine in `indra-core`), the execution context (PC + registers),
+//! and the **system resource allocation state** — this module's job.
+//! At each request boundary the OS records a [`ResourceMark`]; on
+//! rollback, resources acquired after the mark are revoked: files opened
+//! since are closed, children spawned since are killed, heap pages mapped
+//! since are reclaimed. Files opened *before* the mark stay open.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use indra_sim::CpuContext;
+
+use crate::Endpoint;
+
+/// Process identifier.
+pub type Pid = u32;
+
+/// An open-file handle (flat offset cursor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileHandle {
+    /// Filesystem path.
+    pub path: String,
+    /// Read cursor.
+    pub offset: usize,
+}
+
+/// Snapshot of a process's resource allocation at a request boundary.
+#[derive(Debug, Clone)]
+pub struct ResourceMark {
+    /// Descriptors open at the mark.
+    pub fds: BTreeSet<u32>,
+    /// Children alive at the mark.
+    pub children: BTreeSet<Pid>,
+    /// Program break at the mark.
+    pub brk: u32,
+    /// How many heap pages were mapped at the mark.
+    pub heap_pages_len: usize,
+    /// Execution context to restore (PC parked on the `net_recv` syscall,
+    /// so a restored process immediately fetches the next request).
+    pub context: CpuContext,
+    /// Request id the mark precedes (diagnostics).
+    pub request_id: u64,
+}
+
+/// One service process.
+#[derive(Debug)]
+pub struct Process {
+    /// Process id.
+    pub pid: Pid,
+    /// Program name (diagnostics, audit log).
+    pub name: String,
+    /// Address-space id.
+    pub asid: u16,
+    /// The core this service is pinned to.
+    pub core: usize,
+    /// Current program break.
+    pub brk: u32,
+    /// Heap pages mapped via `sbrk`, in mapping order: `(vpn, ppn)`.
+    pub heap_pages: Vec<(u32, u32)>,
+    /// Open descriptors.
+    pub fds: BTreeMap<u32, FileHandle>,
+    /// Next descriptor number.
+    pub next_fd: u32,
+    /// Live child pids.
+    pub children: BTreeSet<Pid>,
+    /// Deterministic per-process RNG state (xorshift).
+    pub rng: u64,
+    /// Pending blocked `net_recv`: `(buf, cap)`.
+    pub waiting_recv: Option<(u32, u32)>,
+    /// The request currently being processed.
+    pub current_request: Option<u64>,
+    /// Resource snapshot at the last request boundary.
+    pub mark: Option<ResourceMark>,
+    /// This process's network endpoint.
+    pub endpoint: Endpoint,
+    /// Requests fully served (responses sent).
+    pub served: u64,
+    /// Times this process was rolled back.
+    pub rollbacks: u64,
+}
+
+impl Process {
+    /// Creates a fresh process bound to `core` with address space `asid`.
+    #[must_use]
+    pub fn new(pid: Pid, name: impl Into<String>, asid: u16, core: usize, brk: u32) -> Process {
+        Process {
+            pid,
+            name: name.into(),
+            asid,
+            core,
+            brk,
+            heap_pages: Vec::new(),
+            fds: BTreeMap::new(),
+            next_fd: 3, // 0/1/2 conventionally reserved
+            children: BTreeSet::new(),
+            rng: u64::from(pid).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            waiting_recv: None,
+            current_request: None,
+            mark: None,
+            endpoint: Endpoint::new(),
+            served: 0,
+            rollbacks: 0,
+        }
+    }
+
+    /// Allocates a descriptor for `path`.
+    pub fn open_fd(&mut self, path: impl Into<String>) -> u32 {
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(fd, FileHandle { path: path.into(), offset: 0 });
+        fd
+    }
+
+    /// Closes `fd`, returning whether it existed.
+    pub fn close_fd(&mut self, fd: u32) -> bool {
+        self.fds.remove(&fd).is_some()
+    }
+
+    /// Takes a resource snapshot ahead of processing `request_id`.
+    pub fn take_mark(&mut self, context: CpuContext, request_id: u64) {
+        self.mark = Some(ResourceMark {
+            fds: self.fds.keys().copied().collect(),
+            children: self.children.clone(),
+            brk: self.brk,
+            heap_pages_len: self.heap_pages.len(),
+            context,
+            request_id,
+        });
+    }
+
+    /// Next deterministic pseudo-random value.
+    pub fn next_rand(&mut self) -> u32 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        (x >> 16) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fds_allocate_monotonically() {
+        let mut p = Process::new(1, "t", 1, 0, 0x2000_0000);
+        let a = p.open_fd("/a");
+        let b = p.open_fd("/b");
+        assert_eq!((a, b), (3, 4));
+        assert!(p.close_fd(a));
+        assert!(!p.close_fd(a));
+        let c = p.open_fd("/c");
+        assert_eq!(c, 5, "fds are not recycled");
+    }
+
+    #[test]
+    fn mark_captures_resources() {
+        let mut p = Process::new(1, "t", 1, 0, 0x2000_0000);
+        p.open_fd("/pre");
+        p.children.insert(9);
+        p.take_mark(CpuContext::default(), 42);
+        p.open_fd("/post");
+        let m = p.mark.as_ref().unwrap();
+        assert_eq!(m.fds.len(), 1);
+        assert_eq!(m.request_id, 42);
+        assert!(m.children.contains(&9));
+        assert_eq!(p.fds.len(), 2);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_pid() {
+        let mut a = Process::new(7, "a", 1, 0, 0);
+        let mut b = Process::new(7, "b", 2, 1, 0);
+        assert_eq!(a.next_rand(), b.next_rand());
+        let mut c = Process::new(8, "c", 3, 0, 0);
+        assert_ne!(a.next_rand(), c.next_rand());
+    }
+}

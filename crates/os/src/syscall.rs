@@ -1,0 +1,91 @@
+//! The system-call ABI between IR32 service programs and the kernel-lite.
+//!
+//! The syscall code is the immediate of the `syscall` instruction;
+//! arguments are taken from `a0`–`a3` and the result is returned in `a0`.
+//! `net_recv` is special: it is INDRA's **request boundary** — the paper
+//! has the server application issue a GTS-incrementing system call when a
+//! new network request arrives (§3.3.1), and this is that call.
+
+/// `a0 = net_recv(buf: a0, cap: a1)` → request length; blocks while the
+/// inbox is empty. Marks the per-request checkpoint boundary.
+pub const SYS_NET_RECV: u16 = 1;
+/// `a0 = net_send(buf: a0, len: a1)` → bytes sent. Completes the current
+/// request from the harness's point of view.
+pub const SYS_NET_SEND: u16 = 2;
+/// `a0 = open(path: a0 /* NUL-terminated */)` → fd, or `u32::MAX` on error.
+pub const SYS_OPEN: u16 = 3;
+/// `a0 = close(fd: a0)` → 0, or `u32::MAX` for a bad fd.
+pub const SYS_CLOSE: u16 = 4;
+/// `a0 = read(fd: a0, buf: a1, len: a2)` → bytes read.
+pub const SYS_READ: u16 = 5;
+/// `a0 = write(fd: a0, buf: a1, len: a2)` → bytes written (appends).
+pub const SYS_WRITE: u16 = 6;
+/// `a0 = sbrk(bytes: a0)` → previous break, or `u32::MAX` when out of
+/// memory. New pages are tracked and reclaimed on rollback.
+pub const SYS_SBRK: u16 = 7;
+/// `a0 = fork()` → child pid. The child is a resource-tracking record
+/// (INDRA kills post-checkpoint children on rollback, §3.3.3).
+pub const SYS_FORK: u16 = 8;
+/// `a0 = kill(pid: a0)` → 0 or `u32::MAX`.
+pub const SYS_KILL: u16 = 9;
+/// `a0 = log(buf: a0, len: a1)` → 0. Appends to the audit log, which
+/// survives rollback (the paper keeps malicious-request logs for audit).
+pub const SYS_LOG: u16 = 10;
+/// `a0 = checkpoint()` → 0. Requests a macro application checkpoint
+/// (hybrid recovery, Fig. 8).
+pub const SYS_CHECKPOINT: u16 = 11;
+/// `a0 = cycles()` → low 32 bits of this core's cycle counter.
+pub const SYS_CYCLES: u16 = 12;
+/// `a0 = rand()` → deterministic per-process pseudo-random u32.
+pub const SYS_RAND: u16 = 13;
+/// `exit(code: a0)` — terminates the process (halts the core).
+pub const SYS_EXIT: u16 = 14;
+/// `a0 = seek(fd: a0, offset: a1)` → new cursor, or `u32::MAX` for a bad
+/// fd.
+pub const SYS_SEEK: u16 = 15;
+/// `a0 = fsize(fd: a0)` → file length in bytes, or `u32::MAX`.
+pub const SYS_FSIZE: u16 = 16;
+
+/// Fixed kernel-entry overhead charged to the core per syscall, in cycles
+/// (mode switch, dispatch). Data-movement costs are charged separately.
+pub const SYSCALL_BASE_COST: u64 = 150;
+
+/// Returned by fallible syscalls on error.
+pub const SYS_ERR: u32 = u32::MAX;
+
+/// Human-readable name for a syscall code (diagnostics, audit log).
+#[must_use]
+pub fn syscall_name(code: u16) -> &'static str {
+    match code {
+        SYS_NET_RECV => "net_recv",
+        SYS_NET_SEND => "net_send",
+        SYS_OPEN => "open",
+        SYS_CLOSE => "close",
+        SYS_READ => "read",
+        SYS_WRITE => "write",
+        SYS_SBRK => "sbrk",
+        SYS_FORK => "fork",
+        SYS_KILL => "kill",
+        SYS_LOG => "log",
+        SYS_CHECKPOINT => "checkpoint",
+        SYS_CYCLES => "cycles",
+        SYS_RAND => "rand",
+        SYS_EXIT => "exit",
+        SYS_SEEK => "seek",
+        SYS_FSIZE => "fsize",
+        _ => "unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_cover_all_codes() {
+        for code in 1..=16 {
+            assert_ne!(syscall_name(code), "unknown", "code {code} unnamed");
+        }
+        assert_eq!(syscall_name(999), "unknown");
+    }
+}

@@ -1,0 +1,130 @@
+//! Machine and core configuration (Table 4 of the paper).
+
+use indra_mem::{CoreMemConfig, DramConfig};
+
+/// Pipeline parameters of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Fetch/decode width (Table 4: 8). Sequential instructions within one
+    /// already-fetched IL1 line are delivered without a new fetch access.
+    pub fetch_width: u32,
+    /// Issue/commit width (Table 4: 8). Up to this many simple ops retire
+    /// per accounted cycle; any stall closes the group.
+    pub issue_width: u32,
+    /// Cycles lost on a taken control transfer (front-end redirect).
+    pub redirect_penalty: u32,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig { fetch_width: 8, issue_width: 8, redirect_penalty: 3 }
+    }
+}
+
+/// Role of a core in INDRA's asymmetric configuration (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreRole {
+    /// High-privilege monitor core: full physical-memory visibility, runs
+    /// the runtime system from flash, no network exposure.
+    Resurrector,
+    /// Low-privilege service core: access restricted by the memory
+    /// watchdog to its assigned physical ranges.
+    Resurrectee,
+}
+
+/// Whole-machine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Role of each core; index = core id. The paper's evaluation uses
+    /// `[Resurrector, Resurrectee]` (a dual-core).
+    pub cores: Vec<CoreRole>,
+    /// Pipeline parameters (shared by all cores).
+    pub core: CoreConfig,
+    /// Per-core cache/TLB hierarchy.
+    pub mem: CoreMemConfig,
+    /// Shared SDRAM.
+    pub dram: DramConfig,
+    /// Physical frames available to the frame allocator.
+    pub phys_frames: u32,
+    /// Entries in the resurrectee→resurrector trace FIFO (Fig. 12 sweeps
+    /// this; 32 is the knee).
+    pub fifo_entries: usize,
+    /// Entries in the code-origin CAM filter (Fig. 10: 32 or 64).
+    pub cam_entries: usize,
+    /// Commit-stage cycles charged to a monitored core per trace event it
+    /// emits (trace-packet formation and FIFO port arbitration). The
+    /// steady, per-event component of Fig. 11's monitoring overhead.
+    pub trace_push_cycles: u32,
+    /// Whether page tables enforce no-execute on data pages. The paper's
+    /// 2006-era x86 had no NX bit — code injection is architecturally
+    /// possible and INDRA's code-origin inspection is the defense (and,
+    /// as §3.2.2 notes, even an NX flag "does not prevent tampering of
+    /// the execution flag"). Defaults to `false` to match.
+    pub enforce_nx: bool,
+}
+
+impl Default for MachineConfig {
+    /// The paper's evaluated dual-core INDRA machine.
+    fn default() -> Self {
+        MachineConfig {
+            cores: vec![CoreRole::Resurrector, CoreRole::Resurrectee],
+            core: CoreConfig::default(),
+            mem: CoreMemConfig::default(),
+            dram: DramConfig::default(),
+            phys_frames: 64 * 1024, // 256 MiB
+            fifo_entries: 32,
+            cam_entries: 32,
+            trace_push_cycles: 1,
+            enforce_nx: false,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A symmetric configuration (reconfigurability, §2.3.4): all cores are
+    /// equal-privilege resurrectees and no monitoring runs.
+    #[must_use]
+    pub fn symmetric(n_cores: usize) -> MachineConfig {
+        MachineConfig {
+            cores: vec![CoreRole::Resurrectee; n_cores],
+            ..MachineConfig::default()
+        }
+    }
+
+    /// Index of the first resurrector core, if the machine has one.
+    #[must_use]
+    pub fn resurrector(&self) -> Option<usize> {
+        self.cores.iter().position(|r| *r == CoreRole::Resurrector)
+    }
+
+    /// Indices of all resurrectee cores.
+    #[must_use]
+    pub fn resurrectees(&self) -> Vec<usize> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == CoreRole::Resurrectee)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_dual_core_asymmetric() {
+        let c = MachineConfig::default();
+        assert_eq!(c.cores.len(), 2);
+        assert_eq!(c.resurrector(), Some(0));
+        assert_eq!(c.resurrectees(), vec![1]);
+    }
+
+    #[test]
+    fn symmetric_has_no_resurrector() {
+        let c = MachineConfig::symmetric(4);
+        assert_eq!(c.resurrector(), None);
+        assert_eq!(c.resurrectees().len(), 4);
+    }
+}

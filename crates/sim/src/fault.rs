@@ -1,0 +1,112 @@
+//! Architectural faults.
+
+use std::fmt;
+
+/// Kind of memory access, for fault reporting and permission checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch.
+    Execute,
+    /// Data load.
+    Read,
+    /// Data store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Execute => "execute",
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// A fault raised by a core. Faults stop the core at the offending
+/// instruction; INDRA's recovery path (or a conventional OS kill) decides
+/// what happens next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// The fetched word does not decode (e.g. control fell into zeroed or
+    /// data memory).
+    IllegalInstruction {
+        /// Faulting PC.
+        pc: u32,
+        /// The word that failed to decode.
+        word: u32,
+    },
+    /// No translation for the address.
+    PageFault {
+        /// Faulting virtual address.
+        vaddr: u32,
+        /// What the access was trying to do.
+        kind: AccessKind,
+    },
+    /// Translation exists but forbids this access (e.g. store to a
+    /// read-only code page, or fetch from a non-executable page when the
+    /// kernel enforces NX).
+    Protection {
+        /// Faulting virtual address.
+        vaddr: u32,
+        /// What the access was trying to do.
+        kind: AccessKind,
+    },
+    /// The INDRA memory watchdog blocked a physical access outside the
+    /// core's assigned ranges (§3.1.1 — resurrectee tried to touch
+    /// resurrector memory).
+    Watchdog {
+        /// The offending physical address.
+        paddr: u32,
+        /// What the access was trying to do.
+        kind: AccessKind,
+    },
+    /// The monitor stopped this core after detecting corruption; carries
+    /// the violation's trace sequence number for the audit log.
+    MonitorStop {
+        /// Monitor-assigned violation id.
+        violation: u64,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#010x}")
+            }
+            Fault::PageFault { vaddr, kind } => write!(f, "page fault: {kind} at {vaddr:#010x}"),
+            Fault::Protection { vaddr, kind } => {
+                write!(f, "protection violation: {kind} at {vaddr:#010x}")
+            }
+            Fault::Watchdog { paddr, kind } => {
+                write!(f, "memory watchdog blocked {kind} of physical {paddr:#010x}")
+            }
+            Fault::MonitorStop { violation } => {
+                write!(f, "stopped by resurrector (violation #{violation})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let faults = [
+            Fault::IllegalInstruction { pc: 0x400000, word: 0 },
+            Fault::PageFault { vaddr: 0x1234, kind: AccessKind::Read },
+            Fault::Protection { vaddr: 0x1234, kind: AccessKind::Write },
+            Fault::Watchdog { paddr: 0x9000_0000, kind: AccessKind::Write },
+            Fault::MonitorStop { violation: 7 },
+        ];
+        for f in faults {
+            assert!(!f.to_string().is_empty());
+        }
+        assert!(faults[0].to_string().contains("0x00400000"));
+    }
+}

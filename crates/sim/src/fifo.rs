@@ -1,0 +1,191 @@
+//! The resurrectee→resurrector hardware trace FIFO (§3.2, Fig. 12).
+//!
+//! A bounded queue in shared on-chip storage. The producing core checks
+//! capacity *before* committing an instruction that would emit events;
+//! when full, the core stalls until the monitor drains entries. Fig. 12
+//! sweeps the entry count: 16 entries starve the resurrectee, 32+
+//! saturates.
+
+use std::collections::VecDeque;
+
+use crate::{StampedEvent, TraceEvent};
+
+/// FIFO occupancy statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FifoStats {
+    /// Events pushed.
+    pub pushes: u64,
+    /// Events popped by the monitor.
+    pub pops: u64,
+    /// Producer stall episodes caused by a full queue.
+    pub full_stalls: u64,
+    /// Maximum occupancy observed.
+    pub high_water: usize,
+}
+
+/// The bounded trace queue.
+#[derive(Debug)]
+pub struct TraceFifo {
+    capacity: usize,
+    queue: VecDeque<StampedEvent>,
+    stats: FifoStats,
+}
+
+impl TraceFifo {
+    /// Creates an empty FIFO with space for `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> TraceFifo {
+        assert!(capacity > 0, "FIFO needs at least one entry");
+        TraceFifo { capacity, queue: VecDeque::with_capacity(capacity), stats: FifoStats::default() }
+    }
+
+    /// Entry capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when no events are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Free slots.
+    #[must_use]
+    pub fn free(&self) -> usize {
+        self.capacity - self.queue.len()
+    }
+
+    /// Records a producer stall (core-side bookkeeping for Fig. 12).
+    pub fn note_full_stall(&mut self) {
+        self.stats.full_stalls += 1;
+    }
+
+    /// Pushes an event; returns `false` (and drops nothing) when full —
+    /// the caller must stall and retry.
+    pub fn push(&mut self, event: TraceEvent, cycle: u64, asid: u16) -> bool {
+        if self.queue.len() == self.capacity {
+            return false;
+        }
+        self.queue.push_back(StampedEvent { event, cycle, asid });
+        self.stats.pushes += 1;
+        self.stats.high_water = self.stats.high_water.max(self.queue.len());
+        true
+    }
+
+    /// Pops the oldest event (monitor side).
+    pub fn pop(&mut self) -> Option<StampedEvent> {
+        let e = self.queue.pop_front();
+        if e.is_some() {
+            self.stats.pops += 1;
+        }
+        e
+    }
+
+    /// Peeks at the oldest event without removing it.
+    #[must_use]
+    pub fn peek(&self) -> Option<&StampedEvent> {
+        self.queue.front()
+    }
+
+    /// Drops all queued events (used when a resurrectee is rolled back:
+    /// its pending, now-meaningless trace is discarded).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+
+    /// Drops only the events of one address space — with several
+    /// resurrectees sharing the FIFO, a rollback must not destroy the
+    /// trace continuity of the *other* services.
+    pub fn clear_asid(&mut self, asid: u16) {
+        self.queue.retain(|e| e.asid != asid);
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> FifoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pc: u32) -> TraceEvent {
+        TraceEvent::IndirectJump { pc, target: 0 }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = TraceFifo::new(4);
+        for i in 0..3u32 {
+            assert!(f.push(ev(i), u64::from(i), 1));
+        }
+        assert_eq!(f.len(), 3);
+        for i in 0..3u32 {
+            let e = f.pop().unwrap();
+            assert_eq!(e.cycle, u64::from(i));
+        }
+        assert!(f.pop().is_none());
+    }
+
+    #[test]
+    fn push_fails_when_full() {
+        let mut f = TraceFifo::new(2);
+        assert!(f.push(ev(0), 0, 1));
+        assert!(f.push(ev(1), 1, 1));
+        assert!(!f.push(ev(2), 2, 1), "third push must be refused");
+        assert_eq!(f.len(), 2);
+        f.pop();
+        assert!(f.push(ev(2), 3, 1), "space freed after pop");
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut f = TraceFifo::new(8);
+        f.push(ev(0), 0, 1);
+        f.push(ev(1), 0, 1);
+        f.pop();
+        f.push(ev(2), 0, 1);
+        assert_eq!(f.stats().high_water, 2);
+    }
+
+    #[test]
+    fn clear_discards_pending() {
+        let mut f = TraceFifo::new(4);
+        f.push(ev(0), 0, 1);
+        f.push(ev(1), 0, 1);
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.stats().pushes, 2, "stats survive a clear");
+    }
+
+    #[test]
+    fn clear_asid_spares_other_services() {
+        let mut f = TraceFifo::new(8);
+        f.push(ev(0), 0, 1);
+        f.push(ev(1), 0, 2);
+        f.push(ev(2), 0, 1);
+        f.clear_asid(1);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.pop().unwrap().asid, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = TraceFifo::new(0);
+    }
+}

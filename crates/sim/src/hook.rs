@@ -1,0 +1,39 @@
+//! Memory-access hooks for checkpoint/backup engines.
+//!
+//! INDRA's delta backup engine (and the baseline checkpointing schemes it
+//! is compared against in Table 3 / Fig. 14) observe the resurrectee's
+//! committed loads and stores: a store may need its line backed up before
+//! being overwritten (Fig. 4), and — uniquely to INDRA — a load may need
+//! to lazily restore a rolled-back line first (Fig. 5). The hook is
+//! invoked by the core *before* the architectural access happens.
+
+use indra_mem::PhysicalMemory;
+
+/// Observer of committed memory accesses, invoked pre-access.
+pub trait BackupHook {
+    /// Called before a load of `vaddr`/`paddr` commits. The implementation
+    /// may rewrite memory (rollback-on-demand). Returns extra stall cycles
+    /// charged to the core.
+    fn before_read(&mut self, asid: u16, vaddr: u32, paddr: u32, phys: &mut PhysicalMemory)
+        -> u32;
+
+    /// Called before a store to `vaddr`/`paddr` commits, while memory still
+    /// holds the *old* value. Returns extra stall cycles charged to the
+    /// core.
+    fn before_write(&mut self, asid: u16, vaddr: u32, paddr: u32, phys: &mut PhysicalMemory)
+        -> u32;
+}
+
+/// A hook that does nothing — a machine with no backup hardware.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopHook;
+
+impl BackupHook for NoopHook {
+    fn before_read(&mut self, _: u16, _: u32, _: u32, _: &mut PhysicalMemory) -> u32 {
+        0
+    }
+
+    fn before_write(&mut self, _: u16, _: u32, _: u32, _: &mut PhysicalMemory) -> u32 {
+        0
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+//! # indra-sim — the asymmetric multicore simulator
+//!
+//! The cycle-level machine substrate for the INDRA reproduction: the
+//! paper's evaluation platform was Bochs (functional, full-system) plus
+//! TAXI/SimpleScalar (timing); this crate plays both roles for the IR32
+//! ISA.
+//!
+//! The pieces, mirroring §2.3 and §3.1–3.2 of the paper:
+//!
+//! * [`Core`] — an in-order, width-configurable cycle-accounting CPU
+//!   executing IR32 with architecturally exact semantics.
+//! * [`Machine`] — the multicore: per-core cache hierarchies, shared
+//!   SDRAM, physical memory pools (RTS / backup / service), the
+//!   asymmetric boot sequence.
+//! * [`MemoryWatchdog`] — the hardware range check giving resurrectees
+//!   access only to their assigned physical memory.
+//! * [`TraceFifo`] + [`TraceEvent`] — the commit-stage trace stream from
+//!   resurrectees to the resurrector, with stall-on-full semantics.
+//! * [`CamFilter`] — the small CAM that filters redundant code-origin
+//!   checks (Fig. 10).
+//! * [`BackupHook`] — the seam where checkpoint/backup engines (INDRA's
+//!   delta engine and the Table 3 baselines, implemented in `indra-core`)
+//!   observe committed loads and stores.
+//!
+//! ```
+//! use indra_sim::{Machine, MachineConfig, CoreStep};
+//! use indra_isa::assemble;
+//!
+//! let mut m = Machine::new(MachineConfig::default());
+//! m.boot_asymmetric();
+//! let img = assemble("demo", "main:\n li a0, 41\n addi a0, a0, 1\n halt\n").unwrap();
+//! m.create_space(7);
+//! m.load_image(7, &img).unwrap();
+//! m.core_mut(1).set_asid(7);
+//! m.core_mut(1).set_pc(img.entry);
+//! while let CoreStep::Executed = m.step_core_simple(1) {}
+//! assert_eq!(m.core(1).reg(indra_isa::Reg::A0), 42);
+//! ```
+
+mod cam;
+mod config;
+mod cpu;
+mod fault;
+mod fifo;
+mod hook;
+mod machine;
+mod paging;
+mod trace;
+mod watchdog;
+
+pub use cam::{CamFilter, CamStats};
+pub use config::{CoreConfig, CoreRole, MachineConfig};
+pub use cpu::{Core, CpuContext, StepEnv, StepOutcome, StepResult};
+pub use fault::{AccessKind, Fault};
+pub use fifo::{FifoStats, TraceFifo};
+pub use hook::{BackupHook, NoopHook};
+pub use machine::{CoreStep, LoadError, Machine};
+pub use paging::{AddressSpace, Pte};
+pub use trace::{StampedEvent, TraceEvent};
+pub use watchdog::{MemoryWatchdog, PhysRange, WatchdogStats};

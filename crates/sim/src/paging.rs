@@ -1,0 +1,173 @@
+//! Per-process virtual address spaces.
+//!
+//! A flat VPN→PTE map plays the role of the page table. Page attributes
+//! carry the execute permission that INDRA's code-origin inspection
+//! verifies: the OS records each page's intended role when the binary is
+//! loaded, and the monitor independently keeps its own copy — a PTE bit
+//! can be tampered with from a compromised kernel, the monitor's copy
+//! cannot (§3.2.2).
+
+use std::collections::HashMap;
+
+use indra_mem::{PAGE_SHIFT, PAGE_SIZE};
+
+use crate::{AccessKind, Fault};
+
+/// One page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Physical page number.
+    pub ppn: u32,
+    /// Readable.
+    pub read: bool,
+    /// Writable.
+    pub write: bool,
+    /// Executable.
+    pub execute: bool,
+}
+
+impl Pte {
+    fn allows(&self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => self.read,
+            AccessKind::Write => self.write,
+            AccessKind::Execute => self.execute,
+        }
+    }
+}
+
+/// A virtual address space identified by an ASID.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    asid: u16,
+    pages: HashMap<u32, Pte>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    #[must_use]
+    pub fn new(asid: u16) -> AddressSpace {
+        AddressSpace { asid, pages: HashMap::new() }
+    }
+
+    /// This space's ASID.
+    #[must_use]
+    pub fn asid(&self) -> u16 {
+        self.asid
+    }
+
+    /// Maps virtual page `vpn` to `pte` (replacing any previous mapping).
+    pub fn map(&mut self, vpn: u32, pte: Pte) {
+        self.pages.insert(vpn, pte);
+    }
+
+    /// Removes the mapping for `vpn`, returning it if present.
+    pub fn unmap(&mut self, vpn: u32) -> Option<Pte> {
+        self.pages.remove(&vpn)
+    }
+
+    /// Looks up the PTE for `vpn`.
+    #[must_use]
+    pub fn pte(&self, vpn: u32) -> Option<Pte> {
+        self.pages.get(&vpn).copied()
+    }
+
+    /// Changes the permissions of an existing mapping; returns `false` if
+    /// the page is unmapped.
+    pub fn protect(&mut self, vpn: u32, read: bool, write: bool, execute: bool) -> bool {
+        match self.pages.get_mut(&vpn) {
+            Some(pte) => {
+                pte.read = read;
+                pte.write = write;
+                pte.execute = execute;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Translates `vaddr` for an access of `kind`.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::PageFault`] when unmapped, [`Fault::Protection`] when the
+    /// PTE forbids the access.
+    pub fn translate(&self, vaddr: u32, kind: AccessKind) -> Result<u32, Fault> {
+        let vpn = vaddr >> PAGE_SHIFT;
+        let pte = self.pages.get(&vpn).ok_or(Fault::PageFault { vaddr, kind })?;
+        if !pte.allows(kind) {
+            return Err(Fault::Protection { vaddr, kind });
+        }
+        Ok((pte.ppn << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1)))
+    }
+
+    /// Iterates over `(vpn, pte)` pairs (order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Pte)> + '_ {
+        self.pages.iter().map(|(&vpn, &pte)| (vpn, pte))
+    }
+
+    /// Number of mapped pages.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        let mut a = AddressSpace::new(3);
+        a.map(0x400, Pte { ppn: 0x10, read: true, write: false, execute: true });
+        a.map(0x401, Pte { ppn: 0x11, read: true, write: true, execute: false });
+        a
+    }
+
+    #[test]
+    fn translate_offsets() {
+        let a = space();
+        assert_eq!(a.translate(0x0040_0123, AccessKind::Read).unwrap(), 0x0001_0123);
+        assert_eq!(a.translate(0x0040_1FFF, AccessKind::Write).unwrap(), 0x0001_1FFF);
+    }
+
+    #[test]
+    fn unmapped_page_faults() {
+        let a = space();
+        assert!(matches!(
+            a.translate(0x0050_0000, AccessKind::Read),
+            Err(Fault::PageFault { .. })
+        ));
+    }
+
+    #[test]
+    fn permissions_enforced() {
+        let a = space();
+        assert!(matches!(
+            a.translate(0x0040_0000, AccessKind::Write),
+            Err(Fault::Protection { .. })
+        ));
+        assert!(matches!(
+            a.translate(0x0040_1000, AccessKind::Execute),
+            Err(Fault::Protection { .. })
+        ));
+        assert!(a.translate(0x0040_0000, AccessKind::Execute).is_ok());
+    }
+
+    #[test]
+    fn protect_flips_permissions() {
+        let mut a = space();
+        // The attack INDRA assumes possible: data page becomes executable.
+        assert!(a.protect(0x401, true, true, true));
+        assert!(a.translate(0x0040_1000, AccessKind::Execute).is_ok());
+        assert!(!a.protect(0x999, true, true, true));
+    }
+
+    #[test]
+    fn unmap_removes() {
+        let mut a = space();
+        assert!(a.unmap(0x400).is_some());
+        assert!(a.unmap(0x400).is_none());
+        assert_eq!(a.mapped_pages(), 1);
+    }
+}

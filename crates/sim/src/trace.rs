@@ -1,0 +1,100 @@
+//! Trace events streamed from resurrectee hardware to the resurrector.
+//!
+//! The paper's trace unit sits at the commit stage and at the L2→IL1
+//! interface; it needs no pipeline-internal changes (§2.3.2). Each event
+//! carries the issuing core's cycle stamp (for the concurrency model) and
+//! the process tag — the paper tags trace entries with the CR3 value so
+//! the monitor can select the right per-application metadata; we use the
+//! ASID, which is the same identifying role.
+
+/// One hardware trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A direct function call committed.
+    Call {
+        /// PC of the call instruction.
+        pc: u32,
+        /// Call target.
+        target: u32,
+        /// The address execution must return to (`pc + 4`).
+        return_addr: u32,
+        /// Stack pointer at the call (the paper traces it to pair
+        /// call/return across deep recursion).
+        sp: u32,
+    },
+    /// An indirect function call committed (through a register —
+    /// function-pointer tables, virtual dispatch).
+    IndirectCall {
+        /// PC of the call.
+        pc: u32,
+        /// Computed target.
+        target: u32,
+        /// `pc + 4`.
+        return_addr: u32,
+        /// Stack pointer at the call.
+        sp: u32,
+    },
+    /// A function return committed.
+    Return {
+        /// PC of the return instruction.
+        pc: u32,
+        /// Where it actually returned to.
+        target: u32,
+        /// Stack pointer at the return.
+        sp: u32,
+    },
+    /// A computed jump (not call/return) committed.
+    IndirectJump {
+        /// PC of the jump.
+        pc: u32,
+        /// Computed target.
+        target: u32,
+    },
+    /// A line entered the IL1 from a code page that missed the CAM filter:
+    /// the monitor must verify the page's recorded execute attribute.
+    CodeFill {
+        /// Virtual address of the *page* containing the fetched line.
+        page_vaddr: u32,
+        /// The faulting-or-fetched PC (diagnostics).
+        pc: u32,
+    },
+    /// The core reached a system call and is synchronizing (§3.2.5: all
+    /// previous instructions must be verified before the kernel runs).
+    SyscallSync {
+        /// PC of the syscall.
+        pc: u32,
+        /// Syscall code.
+        code: u16,
+    },
+}
+
+/// A stamped, tagged event as it sits in the FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StampedEvent {
+    /// The event.
+    pub event: TraceEvent,
+    /// Resurrectee cycle when the event was produced.
+    pub cycle: u64,
+    /// Address-space (process) tag — the paper's CR3 analogue.
+    pub asid: u16,
+}
+
+impl TraceEvent {
+    /// Whether this event forces synchronization (resurrectee stalls until
+    /// the monitor has verified everything up to and including it).
+    #[must_use]
+    pub fn is_sync_point(&self) -> bool {
+        matches!(self, TraceEvent::SyscallSync { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_classification() {
+        assert!(TraceEvent::SyscallSync { pc: 0, code: 1 }.is_sync_point());
+        assert!(!TraceEvent::Call { pc: 0, target: 4, return_addr: 4, sp: 0 }.is_sync_point());
+    }
+}

@@ -1,0 +1,167 @@
+//! The INDRA hardware memory watchdog (§3.1.1).
+//!
+//! Every memory access is tagged with the issuing core's id; a simple
+//! hardware range check guarantees that resurrectee cores can only touch
+//! the physical memory the resurrector assigned to them. The resurrector
+//! itself bypasses the check (it "can read and write the entire address
+//! space"). This is the insulation that makes the monitor unreachable
+//! from a compromised service: backup pages, the monitor's own state and
+//! the runtime system live outside every resurrectee's ranges.
+
+use crate::{AccessKind, Fault};
+
+/// A half-open physical range `[base, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhysRange {
+    /// First byte.
+    pub base: u32,
+    /// One past the last byte.
+    pub end: u32,
+}
+
+impl PhysRange {
+    /// Creates a range; panics when `base >= end`.
+    #[must_use]
+    pub fn new(base: u32, end: u32) -> PhysRange {
+        assert!(base < end, "empty physical range");
+        PhysRange { base, end }
+    }
+
+    fn contains(&self, paddr: u32) -> bool {
+        paddr >= self.base && paddr < self.end
+    }
+}
+
+/// Per-core physical access policy.
+#[derive(Debug, Clone, Default)]
+struct CorePolicy {
+    privileged: bool,
+    ranges: Vec<PhysRange>,
+}
+
+/// Watchdog statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchdogStats {
+    /// Checks performed (accesses by unprivileged cores).
+    pub checks: u64,
+    /// Blocked accesses.
+    pub violations: u64,
+}
+
+/// The per-core physical range checker.
+#[derive(Debug)]
+pub struct MemoryWatchdog {
+    cores: Vec<CorePolicy>,
+    stats: WatchdogStats,
+}
+
+impl MemoryWatchdog {
+    /// Creates a watchdog for `n_cores` cores, all unprivileged with no
+    /// ranges (i.e. nothing allowed) until configured.
+    #[must_use]
+    pub fn new(n_cores: usize) -> MemoryWatchdog {
+        MemoryWatchdog {
+            cores: vec![CorePolicy::default(); n_cores],
+            stats: WatchdogStats::default(),
+        }
+    }
+
+    /// Grants a core privileged (unchecked) access — the resurrector.
+    pub fn set_privileged(&mut self, core: usize, privileged: bool) {
+        self.cores[core].privileged = privileged;
+    }
+
+    /// Whether the core bypasses range checks.
+    #[must_use]
+    pub fn is_privileged(&self, core: usize) -> bool {
+        self.cores[core].privileged
+    }
+
+    /// Adds an allowed physical range to an unprivileged core.
+    pub fn allow(&mut self, core: usize, range: PhysRange) {
+        self.cores[core].ranges.push(range);
+    }
+
+    /// Removes all allowed ranges from a core (used when re-assigning
+    /// memory after recovery).
+    pub fn clear(&mut self, core: usize) {
+        self.cores[core].ranges.clear();
+    }
+
+    /// Checks an access by `core` to `paddr`.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Watchdog`] when the core is unprivileged and no assigned
+    /// range covers the address.
+    pub fn check(&mut self, core: usize, paddr: u32, kind: AccessKind) -> Result<(), Fault> {
+        let policy = &self.cores[core];
+        if policy.privileged {
+            return Ok(());
+        }
+        self.stats.checks += 1;
+        if policy.ranges.iter().any(|r| r.contains(paddr)) {
+            Ok(())
+        } else {
+            self.stats.violations += 1;
+            Err(Fault::Watchdog { paddr, kind })
+        }
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> WatchdogStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privileged_core_bypasses() {
+        let mut w = MemoryWatchdog::new(2);
+        w.set_privileged(0, true);
+        assert!(w.check(0, 0xFFFF_FFF0, AccessKind::Write).is_ok());
+        assert_eq!(w.stats().checks, 0, "privileged accesses are not even checked");
+    }
+
+    #[test]
+    fn unprivileged_needs_a_range() {
+        let mut w = MemoryWatchdog::new(2);
+        assert!(w.check(1, 0x1000, AccessKind::Read).is_err());
+        w.allow(1, PhysRange::new(0x1000, 0x2000));
+        assert!(w.check(1, 0x1000, AccessKind::Read).is_ok());
+        assert!(w.check(1, 0x1FFF, AccessKind::Read).is_ok());
+        assert!(w.check(1, 0x2000, AccessKind::Read).is_err(), "end is exclusive");
+        assert_eq!(w.stats().violations, 2);
+    }
+
+    #[test]
+    fn resurrectee_cannot_reach_resurrector_memory() {
+        // Boot-like setup: resurrector owns [0, 0x10000); resurrectee gets
+        // [0x10000, 0x20000).
+        let mut w = MemoryWatchdog::new(2);
+        w.set_privileged(0, true);
+        w.allow(1, PhysRange::new(0x10000, 0x20000));
+        assert!(w.check(1, 0x08000, AccessKind::Read).is_err());
+        assert!(w.check(1, 0x18000, AccessKind::Write).is_ok());
+        assert!(w.check(0, 0x18000, AccessKind::Write).is_ok(), "resurrector sees all");
+    }
+
+    #[test]
+    fn clear_revokes() {
+        let mut w = MemoryWatchdog::new(1);
+        w.allow(0, PhysRange::new(0, 0x1000));
+        assert!(w.check(0, 0, AccessKind::Read).is_ok());
+        w.clear(0);
+        assert!(w.check(0, 0, AccessKind::Read).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty physical range")]
+    fn empty_range_panics() {
+        let _ = PhysRange::new(5, 5);
+    }
+}

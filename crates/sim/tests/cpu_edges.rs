@@ -1,0 +1,194 @@
+//! Architectural edge cases of the core: r0 semantics, jalr alignment
+//! masking, signed-boundary branches, page-crossing code, and context
+//! switching between address spaces.
+
+use indra_isa::{assemble, Reg};
+use indra_sim::{CoreStep, Machine, MachineConfig};
+
+fn run_asm(src: &str) -> Machine {
+    let mut m = Machine::new(MachineConfig::default());
+    m.boot_asymmetric();
+    m.set_monitoring(false);
+    let img = assemble("t", src).unwrap();
+    m.create_space(4);
+    m.load_image(4, &img).unwrap();
+    m.core_mut(1).set_asid(4);
+    m.core_mut(1).set_pc(img.entry);
+    m.core_mut(1).set_reg(Reg::SP, img.initial_sp);
+    for _ in 0..10_000_000u64 {
+        match m.step_core_simple(1) {
+            CoreStep::Executed => {}
+            CoreStep::Halted => return m,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    panic!("no halt");
+}
+
+#[test]
+fn writes_to_zero_register_are_discarded() {
+    let m = run_asm(
+        "
+    main:
+        li   zero, 123
+        addi zero, zero, 7
+        add  a0, zero, zero
+        halt
+    ",
+    );
+    assert_eq!(m.core(1).reg(Reg::ZERO), 0);
+    assert_eq!(m.core(1).reg(Reg::A0), 0);
+}
+
+#[test]
+fn jalr_masks_target_alignment() {
+    // Jump through a register holding target+2: hardware clears the low
+    // bits, so execution lands on the aligned instruction.
+    let m = run_asm(
+        "
+    main:
+        la  t0, dest
+        addi t0, t0, 2       # deliberately misaligned
+        jr  t0
+        halt                 # skipped
+    dest:
+        li a0, 55
+        halt
+    ",
+    );
+    assert_eq!(m.core(1).reg(Reg::A0), 55);
+}
+
+#[test]
+fn signed_branch_at_int_min() {
+    let m = run_asm(
+        "
+    main:
+        li  t0, 0x80000000   # i32::MIN
+        li  t1, 0
+        blt t0, t1, neg      # INT_MIN < 0 signed
+        li  a0, 1
+        halt
+    neg:
+        bltu t0, t1, wrong   # but not unsigned-less-than 0
+        li  a0, 2
+        halt
+    wrong:
+        li  a0, 3
+        halt
+    ",
+    );
+    assert_eq!(m.core(1).reg(Reg::A0), 2);
+}
+
+#[test]
+fn wrapping_address_arithmetic() {
+    let m = run_asm(
+        "
+    main:
+        li  t0, 0x7FFFFFFF
+        addi t0, t0, 1       # wraps to 0x80000000, no trap
+        srli a0, t0, 31      # == 1
+        halt
+    ",
+    );
+    assert_eq!(m.core(1).reg(Reg::A0), 1);
+}
+
+#[test]
+fn division_conventions() {
+    let m = run_asm(
+        "
+    main:
+        li  t0, 7
+        li  t1, 0
+        div a0, t0, t1       # div-by-zero -> all ones
+        rem a1, t0, t1       # rem-by-zero -> dividend
+        li  t2, -8
+        li  t3, 2
+        div a2, t2, t3       # -4
+        halt
+    ",
+    );
+    assert_eq!(m.core(1).reg(Reg::A0), u32::MAX);
+    assert_eq!(m.core(1).reg(Reg::A1), 7);
+    assert_eq!(m.core(1).reg(Reg::A2), (-4i32) as u32);
+}
+
+#[test]
+fn code_spanning_many_pages_executes() {
+    // Enough straight-line code to cross several code pages (fetch paging
+    // + IL1 behaviour on boundaries).
+    let mut body = String::from("main:\n li a0, 0\n");
+    for _ in 0..3000 {
+        body.push_str(" addi a0, a0, 1\n");
+    }
+    body.push_str(" halt\n");
+    let m = run_asm(&body);
+    assert_eq!(m.core(1).reg(Reg::A0), 3000);
+    // 3000 instructions ≈ 12 KB of text: several pages, several IL1 sets.
+    assert!(m.core(1).retired() >= 3000);
+}
+
+#[test]
+fn two_address_spaces_are_isolated() {
+    // The same VA in two ASIDs maps to different frames; run a program in
+    // each and check their data stays apart.
+    let mut m = Machine::new(MachineConfig::symmetric(2));
+    m.boot_symmetric();
+    let img = assemble(
+        "iso",
+        "
+    main:
+        la  t0, cell
+        lw  a0, 0(t0)
+        addi a0, a0, 1
+        sw  a0, 0(t0)
+        halt
+    .data
+    cell: .word 0
+    ",
+    )
+    .unwrap();
+    m.create_space(1);
+    m.create_space(2);
+    m.load_image(1, &img).unwrap();
+    m.load_image(2, &img).unwrap();
+    let cell = img.addr_of("cell").unwrap();
+
+    // Run twice in ASID 1, once in ASID 2.
+    for (asid, times) in [(1u16, 2u32), (2, 1)] {
+        for _ in 0..times {
+            m.core_mut(0).set_asid(asid);
+            m.core_mut(0).set_pc(img.entry);
+            m.core_mut(0).set_reg(Reg::SP, img.initial_sp);
+            m.core_mut(0).clear_halt();
+            loop {
+                match m.step_core_simple(0) {
+                    CoreStep::Executed => {}
+                    CoreStep::Halted => break,
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
+    }
+    assert_eq!(m.read_virtual_u32(1, cell), Some(2));
+    assert_eq!(m.read_virtual_u32(2, cell), Some(1));
+}
+
+#[test]
+fn store_byte_preserves_neighbors() {
+    let m = run_asm(
+        "
+    main:
+        la  t0, word
+        li  t1, 0xAA
+        sb  t1, 1(t0)        # only byte 1
+        lw  a0, 0(t0)
+        halt
+    .data
+    word: .word 0x11223344
+    ",
+    );
+    assert_eq!(m.core(1).reg(Reg::A0), 0x1122_AA44);
+}

@@ -1,0 +1,257 @@
+//! Exploit payload generation (§4.1's attack suite, Table 2's classes).
+//!
+//! The paper validates recovery with real CVE exploits (CAN-2003-0651,
+//! VU#196945, CAN-2003-0466, CAN-2004-0640). Our services carry the same
+//! vulnerability *classes*, so each generator below produces a request
+//! that genuinely corrupts the simulated server through the documented
+//! bugs in `gen.rs` — nothing is asserted by fiat; if the monitor were
+//! absent the exploit actually takes control (see the
+//! `code_injection_runs_unmonitored` test).
+
+use indra_isa::{Image, Instruction, Reg};
+
+use crate::gen::{PAYLOAD_OFFSET, VULN_BUF_LEN};
+
+/// Attack classes against the generated services.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Attack {
+    /// Overflow the stack buffer in `parse`, overwriting the saved return
+    /// address with `target` (an arbitrary code address — detected by
+    /// call/return inspection as a `ReturnMismatch`).
+    StackSmash {
+        /// Where the smashed return jumps.
+        target: u32,
+    },
+    /// Stack smash whose target is injected IR32 code *inside the request
+    /// buffer itself*: if undetected, the injected code executes (our
+    /// payload performs `exit(0x31337)`). Detected by code-origin
+    /// inspection (or, earlier, by call/return inspection).
+    CodeInjection,
+    /// Overflow the global buffer in `ingest`, overwriting `handlers[0]`
+    /// with `target`; the next dispatch through the table becomes an
+    /// indirect call to an illegitimate target.
+    HandlerHijack {
+        /// The planted function-pointer value.
+        target: u32,
+    },
+    /// Function-pointer overwrite whose target is injected shellcode in
+    /// the request buffer — the canonical *code injection* of Table 2:
+    /// the dispatch is an indirect call (so call/return inspection sees a
+    /// plausible call), and the injected page is the give-away that only
+    /// code-origin inspection catches.
+    InjectedHandler,
+    /// Opcode-7 wild write through an attacker pointer — crashes the
+    /// service mid-request, after roughly a third of the normal
+    /// processing work (the DoS/fault path; caught as a hardware fault).
+    WildWrite {
+        /// The pointer the service dereferences.
+        addr: u32,
+    },
+    /// Opcode-8 dormant corruption: plants a bad pointer that only
+    /// fells *later* (benign) requests — the case that defeats pure
+    /// micro-recovery and exercises the hybrid scheme (Fig. 8).
+    Dormant {
+        /// The planted pointer.
+        addr: u32,
+    },
+    /// A format-string-style attack (§2.1): the opcode-9 formatter's
+    /// `%n`-analogue directive writes `value` to an arbitrary address.
+    /// The canonical payload overwrites `handlers[1]` — the very entry
+    /// the same request dispatches through (9 & 3 == 1).
+    FormatString {
+        /// The hijacked function-pointer value planted into the table.
+        value: u32,
+    },
+}
+
+/// An address that is mapped for no service (wild-write target).
+pub const UNMAPPED_ADDR: u32 = 0xF000_0000;
+
+/// Encodes a request in the wire format of [`crate::gen`].
+#[must_use]
+pub fn encode_request(
+    opcode: u8,
+    stack_copy_len: u16,
+    glob_copy_len: u16,
+    arg: u32,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut req = vec![0u8; PAYLOAD_OFFSET as usize + payload.len()];
+    req[0] = opcode;
+    req[2..4].copy_from_slice(&stack_copy_len.to_le_bytes());
+    req[4..6].copy_from_slice(&glob_copy_len.to_le_bytes());
+    req[6..10].copy_from_slice(&arg.to_le_bytes());
+    req[PAYLOAD_OFFSET as usize..].copy_from_slice(payload);
+    req
+}
+
+/// A well-formed benign request: in-bounds copy lengths, payload sized to
+/// match, opcode selecting one of the four handlers.
+#[must_use]
+pub fn benign_request(opcode: u8, fill: u8) -> Vec<u8> {
+    let stack_len = 16 + u16::from(fill % 48); // always ≤ 64
+    let glob_len = 8 + u16::from(fill % 56); // always ≤ 64
+    let payload = vec![fill; 64];
+    encode_request(opcode & 3, stack_len, glob_len, 0, &payload)
+}
+
+/// Builds the malicious request for `attack` against `image`.
+///
+/// # Panics
+///
+/// Panics if `image` lacks the standard service symbols (i.e. it was not
+/// produced by [`crate::build_service`]).
+#[must_use]
+pub fn attack_request(attack: Attack, image: &Image) -> Vec<u8> {
+    match attack {
+        Attack::StackSmash { target } => {
+            // 64 filler bytes, then 4 bytes landing exactly on the saved
+            // return address at sp+64.
+            let mut payload = vec![0x41u8; VULN_BUF_LEN as usize + 4];
+            payload[VULN_BUF_LEN as usize..].copy_from_slice(&target.to_le_bytes());
+            encode_request(0, VULN_BUF_LEN as u16 + 4, 0, 0, &payload)
+        }
+        Attack::CodeInjection => {
+            let code_addr = injected_code_addr(image);
+            let code_payload_off = 74usize;
+            let mut payload = vec![0x41u8; code_payload_off + shellcode_words().len() * 4];
+            payload[VULN_BUF_LEN as usize..VULN_BUF_LEN as usize + 4]
+                .copy_from_slice(&code_addr.to_le_bytes());
+            for (i, word) in shellcode_words().iter().enumerate() {
+                payload[code_payload_off + i * 4..code_payload_off + i * 4 + 4]
+                    .copy_from_slice(&word.to_le_bytes());
+            }
+            encode_request(0, VULN_BUF_LEN as u16 + 4, 0, 0, &payload)
+        }
+        Attack::HandlerHijack { target } => {
+            let mut payload = vec![0x42u8; VULN_BUF_LEN as usize + 4];
+            payload[VULN_BUF_LEN as usize..].copy_from_slice(&target.to_le_bytes());
+            // opcode 0 so the very same request dispatches through the
+            // clobbered handlers[0].
+            encode_request(0, 0, VULN_BUF_LEN as u16 + 4, 0, &payload)
+        }
+        Attack::InjectedHandler => {
+            let code_addr = injected_code_addr(image);
+            let code_payload_off = 74usize;
+            let mut payload = vec![0x42u8; code_payload_off + shellcode_words().len() * 4];
+            payload[VULN_BUF_LEN as usize..VULN_BUF_LEN as usize + 4]
+                .copy_from_slice(&code_addr.to_le_bytes());
+            for (i, word) in shellcode_words().iter().enumerate() {
+                payload[code_payload_off + i * 4..code_payload_off + i * 4 + 4]
+                    .copy_from_slice(&word.to_le_bytes());
+            }
+            encode_request(0, 0, VULN_BUF_LEN as u16 + 4, 0, &payload)
+        }
+        Attack::WildWrite { addr } => encode_request(7, 0, 0, addr, &[0u8; 4]),
+        Attack::Dormant { addr } => encode_request(8, 0, 0, addr, &[0u8; 4]),
+        Attack::FormatString { value } => {
+            let handlers = image.addr_of("handlers").expect("service image has handlers");
+            // [0xFF][addr: handlers[1]][value]: one write directive.
+            let mut payload = vec![0xFFu8];
+            payload.extend_from_slice(&(handlers + 4).to_le_bytes());
+            payload.extend_from_slice(&value.to_le_bytes());
+            encode_request(9, 0, 0, payload.len() as u32, &payload)
+        }
+    }
+}
+
+/// The address injected code lands at for [`Attack::CodeInjection`] and
+/// [`Attack::InjectedHandler`] against `image`: payload offset 74 keeps
+/// it word-aligned (used by tests to confirm detection coordinates).
+///
+/// # Panics
+///
+/// Panics on an image without the `rxbuf` symbol.
+#[must_use]
+pub fn injected_code_addr(image: &Image) -> u32 {
+    let addr = image.addr_of("rxbuf").expect("rxbuf") + PAYLOAD_OFFSET + 74;
+    assert!(addr.is_multiple_of(4));
+    addr
+}
+
+/// The encoded shellcode: `exit(0x31337)` — proof of arbitrary code
+/// execution when it runs unmonitored.
+#[must_use]
+pub fn shellcode_words() -> Vec<u32> {
+    [
+        Instruction::Lui { rd: Reg::A0, imm: 0x3 },
+        Instruction::AluImm { op: indra_isa::AluOp::Or, rd: Reg::A0, rs1: Reg::A0, imm: 0x1337 },
+        Instruction::Syscall { code: indra_os::syscall::SYS_EXIT },
+    ]
+    .iter()
+    .map(|i| i.encode().expect("shellcode encodes"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_app_scaled, ServiceApp};
+
+    #[test]
+    fn benign_requests_stay_in_bounds() {
+        for fill in 0..=255u8 {
+            let req = benign_request(fill, fill);
+            let stack_len = u16::from_le_bytes([req[2], req[3]]);
+            let glob_len = u16::from_le_bytes([req[4], req[5]]);
+            assert!(stack_len <= VULN_BUF_LEN as u16);
+            assert!(glob_len <= VULN_BUF_LEN as u16);
+            assert!(req.len() >= PAYLOAD_OFFSET as usize + stack_len as usize);
+        }
+    }
+
+    #[test]
+    fn stack_smash_places_target_on_ra() {
+        let img = build_app_scaled(ServiceApp::Httpd, 20);
+        let req = attack_request(Attack::StackSmash { target: 0xDEAD_BEE0 }, &img);
+        let off = PAYLOAD_OFFSET as usize + VULN_BUF_LEN as usize;
+        assert_eq!(u32::from_le_bytes(req[off..off + 4].try_into().unwrap()), 0xDEAD_BEE0);
+        let stack_len = u16::from_le_bytes([req[2], req[3]]);
+        assert_eq!(stack_len, 68, "copy must reach exactly past the saved ra");
+    }
+
+    #[test]
+    fn injected_code_is_valid_ir32() {
+        let img = build_app_scaled(ServiceApp::Httpd, 20);
+        let req = attack_request(Attack::CodeInjection, &img);
+        let code_off = PAYLOAD_OFFSET as usize + 74;
+        for i in 0..3 {
+            let word =
+                u32::from_le_bytes(req[code_off + i * 4..code_off + i * 4 + 4].try_into().unwrap());
+            assert!(Instruction::decode(word).is_ok(), "shellcode word {i} must decode");
+        }
+        assert!(injected_code_addr(&img).is_multiple_of(4));
+    }
+
+    #[test]
+    fn hijack_overwrites_table_via_ingest_len() {
+        let img = build_app_scaled(ServiceApp::Httpd, 20);
+        let req = attack_request(Attack::HandlerHijack { target: 0x1234_5678 }, &img);
+        let glob_len = u16::from_le_bytes([req[4], req[5]]);
+        assert_eq!(glob_len, 68);
+        assert_eq!(req[0], 0, "dispatches through handlers[0]");
+    }
+
+    #[test]
+    fn format_string_targets_the_dispatch_entry() {
+        let img = build_app_scaled(ServiceApp::Httpd, 20);
+        let req = attack_request(Attack::FormatString { value: 0x4455_6677 }, &img);
+        assert_eq!(req[0], 9);
+        let p = PAYLOAD_OFFSET as usize;
+        assert_eq!(req[p], 0xFF, "write directive marker");
+        let addr = u32::from_le_bytes(req[p + 1..p + 5].try_into().unwrap());
+        assert_eq!(addr, img.addr_of("handlers").unwrap() + 4, "aims at handlers[1]");
+        let val = u32::from_le_bytes(req[p + 5..p + 9].try_into().unwrap());
+        assert_eq!(val, 0x4455_6677);
+    }
+
+    #[test]
+    fn wild_and_dormant_carry_the_pointer() {
+        let img = build_app_scaled(ServiceApp::Httpd, 20);
+        let w = attack_request(Attack::WildWrite { addr: UNMAPPED_ADDR }, &img);
+        assert_eq!(w[0], 7);
+        assert_eq!(u32::from_le_bytes(w[6..10].try_into().unwrap()), UNMAPPED_ADDR);
+        let d = attack_request(Attack::Dormant { addr: UNMAPPED_ADDR }, &img);
+        assert_eq!(d[0], 8);
+    }
+}

@@ -1,0 +1,452 @@
+//! The synthetic server generator.
+//!
+//! Emits a complete IR32 network service from a [`WorkloadSpec`]. All six
+//! evaluated daemons share this skeleton:
+//!
+//! ```text
+//! main: loop {
+//!     len = net_recv(rxbuf, 2048)
+//!     parse(rxbuf)        // VULN 1: length-unchecked copy to stack buffer
+//!     ingest(rxbuf)       // VULN 2: length-unchecked copy to a global
+//!                         //          buffer directly below the handler
+//!                         //          function-pointer table
+//!     if latch != 0 { *latch }            // dormant-corruption trigger
+//!     if op == 7 { *(u32*)arg = arg }     // wild-write opcode (DoS bug)
+//!     if op == 8 { latch = arg }          // dormant-corruption plant
+//!     if op == 9 { logfmt(rxbuf) }        // VULN 3: format-string-style
+//!                                         //   write-anywhere directive
+//!     handlers[op & 3]()  // indirect dispatch through the table
+//!                         //   (the handler logs to a file mid-request)
+//!     net_send(txbuf, resp_len)
+//! }
+//! ```
+//!
+//! The handler body is where the profile lives: `segments` direct calls
+//! into hot/cold code-block pools (IL1 behaviour), page/line touching
+//! (dirty-line behaviour), and the response fill.
+//!
+//! ## Request wire format
+//!
+//! | bytes | field |
+//! |---|---|
+//! | 0 | opcode |
+//! | 2..4 | `stack_copy_len` (u16 LE) — bytes `parse` copies to its 64-byte stack buffer |
+//! | 4..6 | `glob_copy_len` (u16 LE) — bytes `ingest` copies to the 64-byte global buffer |
+//! | 6..10 | `arg` (u32 LE) — pointer argument for opcodes 7/8 |
+//! | 10.. | payload |
+
+use indra_isa::{AluOp, Cond, Image, Instruction, Label, ProgramBuilder, Reg, Width};
+
+use crate::{ServiceApp, WorkloadSpec};
+
+/// Capacity of the receive buffer (and maximum request size).
+pub const RX_CAPACITY: u32 = 2048;
+/// Offset of the payload within a request.
+pub const PAYLOAD_OFFSET: u32 = 10;
+/// Size of the vulnerable stack/global buffers.
+pub const VULN_BUF_LEN: u32 = 64;
+
+/// Builds the service image for `app` at full (paper) scale.
+#[must_use]
+pub fn build_app(app: ServiceApp) -> Image {
+    build_service(&WorkloadSpec::for_app(app))
+}
+
+/// Builds the service image for `app` shrunk by `factor` (tests).
+#[must_use]
+pub fn build_app_scaled(app: ServiceApp, factor: u32) -> Image {
+    build_service(&WorkloadSpec::for_app(app).scaled_down(factor))
+}
+
+/// Generates the full service program for `spec`.
+///
+/// # Panics
+///
+/// Panics only on internal generator bugs (label bookkeeping); any
+/// generated program assembles by construction.
+#[must_use]
+pub fn build_service(spec: &WorkloadSpec) -> Image {
+    let mut b = ProgramBuilder::new(spec.name.clone());
+
+    // ---- data ----------------------------------------------------------
+    let rxbuf = b.data_zeroed("rxbuf", RX_CAPACITY);
+    let txbuf = b.data_zeroed("txbuf", 1024);
+    let latch = b.data_zeroed("latch", 8);
+    let wildflag = b.data_zeroed("wildflag", 8);
+    let reqcopy = b.data_zeroed("reqcopy", VULN_BUF_LEN);
+    // `handlers` is emitted immediately after `reqcopy`: the adjacency IS
+    // vulnerability 2 (an over-long ingest overwrites handlers[0]).
+    // Handler labels are created now and bound when the functions are
+    // emitted below.
+    let h_labels: Vec<Label> = (0..4).map(|_| b.new_label()).collect();
+    let handlers = b.data_fn_table("handlers", &h_labels);
+    let workset = b.data_zeroed("workset", spec.pages_touched * 4096 + 4096);
+    let mut logpath = Vec::from(format!("/var/log/{}", spec.name).as_bytes());
+    logpath.push(0);
+    let logpath = b.data_bytes("logpath", &logpath);
+
+    // ---- code blocks -----------------------------------------------------
+    // Page-padded cold pools come first so each block owns a code page
+    // (the text base is page-aligned). `cold` thrashes a 32-entry CAM but
+    // fits 64; `far` exceeds both.
+    let cold: Vec<Label> = (0..spec.cold_blocks)
+        .map(|i| emit_block(&mut b, &format!("cold_{i}"), spec.cold_block_insns, i + 1000, true))
+        .collect();
+    let far: Vec<Label> = (0..spec.far_blocks)
+        .map(|i| emit_block(&mut b, &format!("far_{i}"), spec.cold_block_insns, i + 5000, true))
+        .collect();
+    let hot: Vec<Label> = (0..spec.hot_blocks)
+        .map(|i| emit_block(&mut b, &format!("hot_{i}"), spec.block_insns, i, false))
+        .collect();
+    let utils: Vec<Label> =
+        (0..4).map(|i| emit_util(&mut b, &format!("util_{i}"), i)).collect();
+
+    // ---- touch: dirty one workset page ----------------------------------
+    // a0 = page index; writes `lines_per_page` lines, `writes_per_line`
+    // word stores each, plus one read per line.
+    let touch = b.begin_func("touch", false);
+    {
+        b.inst(Instruction::AluImm { op: AluOp::Sll, rd: Reg::T0, rs1: Reg::A0, imm: 12 });
+        b.alu(AluOp::Add, Reg::T0, Reg::T0, Reg::S2);
+        b.li(Reg::T1, 0);
+        b.li(Reg::T2, spec.lines_per_page as i32);
+        let loop_top = b.here();
+        let done = b.new_label();
+        b.branch(Cond::Ge, Reg::T1, Reg::T2, done);
+        b.inst(Instruction::AluImm { op: AluOp::Sll, rd: Reg::T3, rs1: Reg::T1, imm: 6 });
+        b.alu(AluOp::Add, Reg::T3, Reg::T3, Reg::T0);
+        for w in 0..spec.writes_per_line {
+            b.sw(Reg::T1, Reg::T3, (w as i32 * 4) % 64);
+        }
+        b.lw(Reg::T4, Reg::T3, 0);
+        b.addi(Reg::T1, Reg::T1, 1);
+        b.jump(loop_top);
+        b.bind(done);
+        b.ret();
+    }
+    b.end_func();
+
+    // ---- parse: VULN 1 (stack smash) -------------------------------------
+    // a0 = request. Copies `stack_copy_len` payload bytes into a 64-byte
+    // stack buffer; the saved return address sits at sp+64.
+    let parse = b.begin_func("parse", false);
+    {
+        b.addi(Reg::SP, Reg::SP, -72);
+        b.sw(Reg::RA, Reg::SP, 64);
+        b.inst(Instruction::Load { width: Width::Half, signed: false, rd: Reg::T0, rs1: Reg::A0, offset: 2 });
+        b.li(Reg::T1, 0);
+        let loop_top = b.here();
+        let done = b.new_label();
+        b.branch(Cond::Ge, Reg::T1, Reg::T0, done);
+        b.alu(AluOp::Add, Reg::T2, Reg::A0, Reg::T1);
+        b.lbu(Reg::T3, Reg::T2, PAYLOAD_OFFSET as i32);
+        b.alu(AluOp::Add, Reg::T4, Reg::SP, Reg::T1);
+        b.sb(Reg::T3, Reg::T4, 0);
+        b.addi(Reg::T1, Reg::T1, 1);
+        b.jump(loop_top);
+        b.bind(done);
+        b.lw(Reg::T5, Reg::SP, 0); // consume the parsed header
+        b.lw(Reg::RA, Reg::SP, 64); // possibly attacker-controlled
+        b.addi(Reg::SP, Reg::SP, 72);
+        b.ret();
+    }
+    b.end_func();
+
+    // ---- ingest: VULN 2 (function-pointer table overwrite) ---------------
+    let ingest = b.begin_func("ingest", false);
+    {
+        b.la_data(Reg::T0, reqcopy, 0);
+        b.inst(Instruction::Load { width: Width::Half, signed: false, rd: Reg::T1, rs1: Reg::A0, offset: 4 });
+        b.li(Reg::T2, 0);
+        let loop_top = b.here();
+        let done = b.new_label();
+        b.branch(Cond::Ge, Reg::T2, Reg::T1, done);
+        b.alu(AluOp::Add, Reg::T3, Reg::A0, Reg::T2);
+        b.lbu(Reg::T4, Reg::T3, PAYLOAD_OFFSET as i32);
+        b.alu(AluOp::Add, Reg::T5, Reg::T0, Reg::T2);
+        b.sb(Reg::T4, Reg::T5, 0);
+        b.addi(Reg::T2, Reg::T2, 1);
+        b.jump(loop_top);
+        b.bind(done);
+        b.ret();
+    }
+    b.end_func();
+
+    // ---- logfmt: VULN 3 (format-string-style arbitrary write) ------------
+    // A naive "formatter" over the payload: byte 0xFF is a write
+    // directive — the four bytes after it are an address and the four
+    // after that a value, written wherever the "format string" says
+    // (the %n analogue of §2.1's format-string attacks). `arg` carries
+    // the format length.
+    let logfmt = b.begin_func("logfmt", false);
+    {
+        b.lw(Reg::T1, Reg::A0, 6); // format length from the arg field
+        b.li(Reg::T0, 0);
+        let loop_top = b.here();
+        let done = b.new_label();
+        let next = b.new_label();
+        b.branch(Cond::Ge, Reg::T0, Reg::T1, done);
+        b.alu(AluOp::Add, Reg::T2, Reg::A0, Reg::T0);
+        b.lbu(Reg::T3, Reg::T2, PAYLOAD_OFFSET as i32);
+        b.li(Reg::T4, 0xFF);
+        b.branch(Cond::Ne, Reg::T3, Reg::T4, next);
+        b.lw(Reg::T5, Reg::T2, PAYLOAD_OFFSET as i32 + 1); // directive address
+        b.lw(Reg::T6, Reg::T2, PAYLOAD_OFFSET as i32 + 5); // directive value
+        b.sw(Reg::T6, Reg::T5, 0); // the arbitrary write
+        b.addi(Reg::T0, Reg::T0, 8);
+        b.bind(next);
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.jump(loop_top);
+        b.bind(done);
+        b.ret();
+    }
+    b.end_func();
+
+    // ---- handlers --------------------------------------------------------
+    let touch_every = (spec.segments / spec.pages_touched.max(1)).max(1);
+    for (h, &label) in h_labels.iter().enumerate() {
+        b.bind(label);
+        b.func_symbol_at(label, format!("handler_{h}"), false);
+        b.addi(Reg::SP, Reg::SP, -8);
+        b.sw(Reg::RA, Reg::SP, 0);
+        let trigger_seg = spec.segments / 3;
+        let mut cold_visits = 0u32;
+        let mut near_i = h as u32 * 17;
+        let mut far_i = h as u32 * 13;
+        for seg in 0..spec.segments {
+            if seg == trigger_seg {
+                // Wild-write trigger point: if opcode 7 planted a pointer,
+                // the store through it faults here, mid-request.
+                let no_wild = b.new_label();
+                b.la_data(Reg::T5, wildflag, 0);
+                b.lw(Reg::T5, Reg::T5, 0);
+                b.beqz(Reg::T5, no_wild);
+                b.sw(Reg::T5, Reg::T5, 0);
+                b.bind(no_wild);
+            }
+            if seg % spec.cold_every == 0 {
+                // 50/50 near-cold / far-cold.
+                if cold_visits.is_multiple_of(2) {
+                    b.call(cold[(near_i % spec.cold_blocks) as usize]);
+                    near_i += 1;
+                } else {
+                    b.call(far[(far_i % spec.far_blocks) as usize]);
+                    far_i += 1;
+                }
+                cold_visits += 1;
+            } else {
+                let idx = (seg + h as u32 * 7) % spec.hot_blocks;
+                b.call(hot[idx as usize]);
+            }
+            // hot glue
+            b.addi(Reg::S5, Reg::S5, 1);
+            b.alu(AluOp::Xor, Reg::S6, Reg::S6, Reg::S5);
+            if seg % spec.burst_every == 0 {
+                // A burst of leaf-helper calls: events arrive faster than
+                // the monitor verifies them, exercising the FIFO's depth.
+                for j in 0..spec.burst_calls {
+                    b.call(utils[((seg + j) % 4) as usize]);
+                }
+            }
+            if seg % touch_every == 0 {
+                let page = seg / touch_every;
+                if page < spec.pages_touched {
+                    b.li(Reg::A0, page as i32);
+                    b.call(touch);
+                }
+            }
+            // Per-request log writes, spread through the request — each
+            // syscall is an INDRA synchronization point (§3.2.5).
+            if spec.file_writes > 0
+                && seg % (spec.segments / (spec.file_writes + 1)).max(1) == 0
+                && seg > 0
+                && seg / (spec.segments / (spec.file_writes + 1)).max(1) <= spec.file_writes
+            {
+                b.mv(Reg::A0, Reg::S7);
+                b.mv(Reg::A1, Reg::S1);
+                b.li(Reg::A2, 48);
+                b.syscall(indra_os::syscall::SYS_WRITE);
+            }
+        }
+        // response fill: resp_len byte stores into txbuf
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, spec.resp_len as i32);
+        let fill_top = b.here();
+        let fill_done = b.new_label();
+        b.branch(Cond::Ge, Reg::T0, Reg::T1, fill_done);
+        b.alu(AluOp::Add, Reg::T2, Reg::S1, Reg::T0);
+        b.sb(Reg::T0, Reg::T2, 0);
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.jump(fill_top);
+        b.bind(fill_done);
+        b.lw(Reg::RA, Reg::SP, 0);
+        b.addi(Reg::SP, Reg::SP, 8);
+        b.ret();
+    }
+
+    // ---- main ------------------------------------------------------------
+    let main = b.begin_func("main", true);
+    {
+        b.la_data(Reg::S0, rxbuf, 0);
+        b.la_data(Reg::S1, txbuf, 0);
+        b.la_data(Reg::S2, workset, 0);
+        b.la_data(Reg::S3, handlers, 0);
+        b.la_data(Reg::S4, latch, 0);
+        // Open the daemon's log file once at startup; the fd lives in s7
+        // (a pre-request-boundary resource, so it survives rollbacks).
+        b.la_data(Reg::A0, logpath, 0);
+        b.syscall(indra_os::syscall::SYS_OPEN);
+        b.mv(Reg::S7, Reg::A0);
+        let loop_top = b.here();
+        // recv
+        b.mv(Reg::A0, Reg::S0);
+        b.li(Reg::A1, RX_CAPACITY as i32);
+        b.syscall(indra_os::syscall::SYS_NET_RECV);
+        // vulnerable parsing
+        b.mv(Reg::A0, Reg::S0);
+        b.call(parse);
+        b.mv(Reg::A0, Reg::S0);
+        b.call(ingest);
+        // dormant latch: dereference a previously planted pointer
+        let no_latch = b.new_label();
+        b.lw(Reg::T1, Reg::S4, 0);
+        b.beqz(Reg::T1, no_latch);
+        b.lw(Reg::T2, Reg::T1, 0);
+        b.bind(no_latch);
+        // opcode 7: plant a wild pointer; the handler dereferences it a
+        // third of the way through its work (real exploits corrupt after
+        // substantial request processing, which is what makes rollback
+        // interesting — Fig. 16 measures exactly this).
+        let not_wild = b.new_label();
+        b.lbu(Reg::T3, Reg::S0, 0);
+        b.li(Reg::T4, 7);
+        b.branch(Cond::Ne, Reg::T3, Reg::T4, not_wild);
+        b.lw(Reg::T5, Reg::S0, 6);
+        b.la_data(Reg::T4, wildflag, 0);
+        b.sw(Reg::T5, Reg::T4, 0);
+        b.bind(not_wild);
+        // opcode 8: plant the dormant latch
+        let not_dormant = b.new_label();
+        b.li(Reg::T4, 8);
+        b.branch(Cond::Ne, Reg::T3, Reg::T4, not_dormant);
+        b.lw(Reg::T5, Reg::S0, 6);
+        b.sw(Reg::T5, Reg::S4, 0);
+        b.bind(not_dormant);
+        // opcode 9: run the naive formatter over the payload (VULN 3)
+        let not_fmt = b.new_label();
+        b.li(Reg::T4, 9);
+        b.branch(Cond::Ne, Reg::T3, Reg::T4, not_fmt);
+        b.mv(Reg::A0, Reg::S0);
+        b.call(logfmt);
+        b.lbu(Reg::T3, Reg::S0, 0); // reload the opcode (clobbered)
+        b.bind(not_fmt);
+        // indirect dispatch through the (overwritable) handler table
+        b.inst(Instruction::AluImm { op: AluOp::And, rd: Reg::T3, rs1: Reg::T3, imm: 3 });
+        b.inst(Instruction::AluImm { op: AluOp::Sll, rd: Reg::T3, rs1: Reg::T3, imm: 2 });
+        b.alu(AluOp::Add, Reg::T3, Reg::T3, Reg::S3);
+        b.lw(Reg::T3, Reg::T3, 0);
+        b.call_indirect(Reg::T3);
+        // respond
+        b.mv(Reg::A0, Reg::S1);
+        b.li(Reg::A1, spec.resp_len as i32);
+        b.syscall(indra_os::syscall::SYS_NET_SEND);
+        b.jump(loop_top);
+    }
+    b.end_func();
+    b.set_entry(main);
+
+    let image = b.finish().expect("generated service must assemble");
+    debug_assert_eq!(image.validate(), Ok(()));
+    image
+}
+
+/// Emits one filler block: `insns` data-independent ALU instructions and a
+/// return, parameterized by `salt` so blocks differ (no accidental
+/// deduplication of fetch behaviour by branch predictors — and the listing
+/// stays readable when disassembled). With `page_pad`, the block is padded
+/// to a full 4 KiB page so each cold block occupies its own code page —
+/// the unit the code-origin CAM filter tracks (Fig. 10).
+fn emit_block(b: &mut ProgramBuilder, name: &str, insns: u32, salt: u32, page_pad: bool) -> Label {
+    let label = b.begin_func(name.to_owned(), false);
+    for k in 0..insns {
+        match k % 5 {
+            0 => b.addi(Reg::T6, Reg::T6, ((salt + k) & 0xFF) as i32),
+            1 => b.alu(AluOp::Xor, Reg::T7, Reg::T7, Reg::T6),
+            2 => b.alu(AluOp::Add, Reg::T8, Reg::T8, Reg::T7),
+            3 => b.inst(Instruction::AluImm {
+                op: AluOp::Sll,
+                rd: Reg::T9,
+                rs1: Reg::T8,
+                imm: ((salt + k) % 13) as i32,
+            }),
+            _ => b.alu(AluOp::Or, Reg::T10, Reg::T10, Reg::T9),
+        }
+    }
+    b.ret();
+    b.end_func();
+    if page_pad {
+        while !b.len().is_multiple_of(1024) {
+            b.nop();
+        }
+    }
+    label
+}
+
+/// Emits one tiny leaf helper (strcmp/memcpy-style): burst calls to these
+/// are what stress the trace FIFO (Fig. 12).
+fn emit_util(b: &mut ProgramBuilder, name: &str, salt: u32) -> Label {
+    let label = b.begin_func(name.to_owned(), false);
+    for k in 0..8 {
+        if k % 2 == 0 {
+            b.addi(Reg::T6, Reg::T6, ((salt + k) & 0x3F) as i32);
+        } else {
+            b.alu(AluOp::Xor, Reg::T7, Reg::T7, Reg::T6);
+        }
+    }
+    b.ret();
+    b.end_func();
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_apps_build_and_validate() {
+        for app in ServiceApp::ALL {
+            let img = build_app_scaled(app, 20);
+            assert_eq!(img.validate(), Ok(()), "{app}");
+            assert_eq!(img.entry, img.addr_of("main").unwrap());
+            for sym in ["rxbuf", "txbuf", "reqcopy", "handlers", "workset", "parse", "ingest"] {
+                assert!(img.addr_of(sym).is_some(), "{app} missing {sym}");
+            }
+        }
+    }
+
+    #[test]
+    fn handlers_table_adjacent_to_reqcopy() {
+        let img = build_app_scaled(ServiceApp::Httpd, 20);
+        let reqcopy = img.addr_of("reqcopy").unwrap();
+        let handlers = img.addr_of("handlers").unwrap();
+        assert_eq!(handlers, reqcopy + VULN_BUF_LEN, "vulnerability 2 requires adjacency");
+    }
+
+    #[test]
+    fn handler_entries_are_valid_indirect_targets() {
+        let img = build_app_scaled(ServiceApp::Bind, 10);
+        for h in 0..4 {
+            let addr = img.addr_of(&format!("handler_{h}")).unwrap();
+            assert!(img.indirect_targets.contains(&addr));
+        }
+    }
+
+    #[test]
+    fn full_scale_images_have_paper_sized_requests() {
+        // Text size sanity: imap's unrolled handlers are large but bounded.
+        let img = build_app(ServiceApp::Bind);
+        let text = &img.segments[0];
+        assert!(text.data.len() > 100_000, "bind text {} bytes", text.data.len());
+        assert!(text.data.len() < 16_000_000);
+    }
+}

@@ -1,0 +1,245 @@
+//! Workload specifications for the six evaluated network services.
+//!
+//! The paper drives real daemons (ftpd, httpd, bind, sendmail, imap,
+//! nfsd); we generate synthetic IR32 servers whose *profiles* — the
+//! properties that actually drive every figure — are calibrated to the
+//! paper's measurements:
+//!
+//! * instructions per request (Fig. 13: bind ≈ 150 K … imap ≈ 2.3 M),
+//!   set by `segments × block_insns`;
+//! * IL1 miss rate (Fig. 9: ≈ 1–5 %), set by how often a request calls
+//!   into the *cold* code pool (whose footprint exceeds the 16 KiB IL1)
+//!   versus the resident *hot* pool;
+//! * dirty-line behaviour (Fig. 15), set by `pages_touched ×
+//!   lines_per_page` distinct lines per request and `writes_per_line`
+//!   stores to each (the backup fraction is roughly `1/writes_per_line`).
+//!
+//! Every generated server shares one skeleton (recv → parse → ingest →
+//! dispatch → work → respond) and carries the same two *real*
+//! vulnerabilities the attack generator exploits: a length-unchecked copy
+//! into a 64-byte stack buffer (stack smashing) and a length-unchecked
+//! copy into a global buffer sitting directly below the handler
+//! function-pointer table (pointer-table overwrite).
+
+/// The six server applications of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceApp {
+    /// File transfer daemon.
+    Ftpd,
+    /// Web server.
+    Httpd,
+    /// DNS daemon (short, write-dense requests — the paper's outlier).
+    Bind,
+    /// Mail transfer agent.
+    Sendmail,
+    /// IMAP mail server (the longest requests).
+    Imap,
+    /// Network file system daemon.
+    Nfs,
+}
+
+impl ServiceApp {
+    /// All six, in the paper's figure order.
+    pub const ALL: [ServiceApp; 6] = [
+        ServiceApp::Ftpd,
+        ServiceApp::Httpd,
+        ServiceApp::Bind,
+        ServiceApp::Sendmail,
+        ServiceApp::Imap,
+        ServiceApp::Nfs,
+    ];
+
+    /// The daemon's conventional name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceApp::Ftpd => "ftpd",
+            ServiceApp::Httpd => "httpd",
+            ServiceApp::Bind => "bind",
+            ServiceApp::Sendmail => "sendmail",
+            ServiceApp::Imap => "imap",
+            ServiceApp::Nfs => "nfs",
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generator knobs for one synthetic service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Program name.
+    pub name: String,
+    /// Work segments per request (each one a direct call into a block).
+    pub segments: u32,
+    /// ALU instructions per code block.
+    pub block_insns: u32,
+    /// Blocks in the hot pool (sized to stay IL1-resident).
+    pub hot_blocks: u32,
+    /// Instructions per *cold* block (shorter than hot blocks: fewer IL1
+    /// fills per page visit, so page transitions — the thing the CAM
+    /// tracks — happen at a realistic rate).
+    pub cold_block_insns: u32,
+    /// Blocks in the near-cold pool: each block sits on its own page;
+    /// near visits alternate 50/50 with far visits, so a near page's
+    /// revisit distance in CAM inserts is ≈ `2 × cold_blocks` — sized to
+    /// thrash a 32-entry CAM but (mostly) fit a 64-entry one (Fig. 10).
+    pub cold_blocks: u32,
+    /// Blocks in the far-cold pool (own page each, revisit distance far
+    /// beyond both CAM sizes — these checks always reach the monitor).
+    pub far_blocks: u32,
+    /// Every `burst_every` segments, issue a rapid burst of
+    /// `burst_calls` leaf-helper calls (strcmp/memcpy-style). Bursts are
+    /// what stress the trace FIFO (Fig. 12).
+    pub burst_every: u32,
+    /// Calls per burst.
+    pub burst_calls: u32,
+    /// Every `cold_every`-th segment calls a cold block; the rest call
+    /// hot ones. Smaller ⇒ higher IL1 miss rate.
+    pub cold_every: u32,
+    /// Distinct data pages written per request (paper: ~50).
+    pub pages_touched: u32,
+    /// Distinct lines dirtied per touched page.
+    pub lines_per_page: u32,
+    /// Stores issued per dirtied line (Fig. 15 fraction ≈ 1/this).
+    pub writes_per_line: u32,
+    /// Response length in bytes.
+    pub resp_len: u32,
+    /// Log-file writes per request (each one a syscall, hence an INDRA
+    /// synchronization point — real daemons log per request, and these
+    /// syncs are a visible share of Fig. 11's monitoring overhead).
+    pub file_writes: u32,
+}
+
+impl WorkloadSpec {
+    /// The calibrated spec for `app`.
+    #[must_use]
+    pub fn for_app(app: ServiceApp) -> WorkloadSpec {
+        // Longer blocks space trace events out, modeling services that do
+        // more streaming work between function calls (ftpd/imap) — this
+        // is what keeps their monitoring overhead low in Fig. 11 despite
+        // their long requests.
+        let (segments, block_insns, cold_every, pages, lines, writes, resp, fw) = match app {
+            //                       seg   blk  ce  pg  ln  wr  resp fw
+            ServiceApp::Ftpd => (5_300, 170, 9, 40, 12, 6, 512, 4),
+            ServiceApp::Httpd => (9_000, 120, 6, 48, 14, 4, 768, 3),
+            ServiceApp::Bind => (1_400, 120, 2, 44, 26, 2, 128, 1),
+            ServiceApp::Sendmail => (12_200, 120, 5, 52, 14, 4, 512, 4),
+            ServiceApp::Imap => (12_100, 180, 13, 44, 10, 7, 1024, 3),
+            ServiceApp::Nfs => (14_800, 120, 7, 56, 16, 5, 640, 5),
+        };
+        WorkloadSpec {
+            name: app.name().to_owned(),
+            segments,
+            block_insns,
+            hot_blocks: 20,
+            cold_block_insns: 56,
+            cold_blocks: 20,
+            far_blocks: 84,
+            burst_every: 30,
+            burst_calls: 16,
+            cold_every,
+            pages_touched: pages,
+            lines_per_page: lines,
+            writes_per_line: writes,
+            resp_len: resp,
+            file_writes: fw,
+        }
+    }
+
+    /// A uniformly shrunk spec for fast tests: divides the per-request
+    /// work by `factor` while keeping the qualitative behaviour.
+    #[must_use]
+    pub fn scaled_down(mut self, factor: u32) -> WorkloadSpec {
+        assert!(factor > 0, "factor must be positive");
+        self.segments = (self.segments / factor).max(16);
+        self.pages_touched = (self.pages_touched / factor).max(4);
+        self
+    }
+
+    /// Rough instructions per request this spec will generate (block work
+    /// plus store traffic; a sanity bound, not a promise).
+    #[must_use]
+    pub fn approx_insns_per_request(&self) -> u64 {
+        let block_work = u64::from(self.segments) * u64::from(self.block_insns + 8);
+        let touches = u64::from(self.pages_touched)
+            * u64::from(self.lines_per_page)
+            * u64::from(self.writes_per_line + 6);
+        let resp = u64::from(self.resp_len) * 5;
+        block_work + touches + resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_apps_have_specs() {
+        for app in ServiceApp::ALL {
+            let spec = WorkloadSpec::for_app(app);
+            assert_eq!(spec.name, app.name());
+            assert!(spec.segments > 0);
+            assert!(spec.cold_blocks > 0);
+            // the hot pool must be IL1-resident; the page-padded cold
+            // pools straddle the two CAM sizes of Fig. 10
+            let hot_bytes = spec.hot_blocks * (spec.block_insns + 1) * 4;
+            assert!(hot_bytes < 16 * 1024, "{app}: hot pool too big");
+            // near revisit distance ≈ 2×cold_blocks inserts: > 32, < 64
+            assert!(2 * spec.cold_blocks > 32 && 2 * spec.cold_blocks <= 64,
+                "{app}: near pool must straddle the CAM sizes");
+            assert!(spec.far_blocks > 64, "{app}: far pool beyond both CAMs");
+        }
+    }
+
+    #[test]
+    fn fig13_ordering_preserved() {
+        // bind must be the shortest request; imap the longest (Fig. 13).
+        let insns: Vec<(ServiceApp, u64)> = ServiceApp::ALL
+            .iter()
+            .map(|&a| (a, WorkloadSpec::for_app(a).approx_insns_per_request()))
+            .collect();
+        let bind = insns.iter().find(|(a, _)| *a == ServiceApp::Bind).unwrap().1;
+        let imap = insns.iter().find(|(a, _)| *a == ServiceApp::Imap).unwrap().1;
+        for (app, n) in &insns {
+            if *app != ServiceApp::Bind {
+                assert!(*n > bind, "{app} must exceed bind's request length");
+            }
+            if *app != ServiceApp::Imap {
+                assert!(*n < imap, "{app} must be below imap's request length");
+            }
+        }
+        assert!(bind > 80_000, "bind ≈ 150K instructions");
+        assert!(imap > 1_500_000, "imap ≈ 2.3M instructions");
+    }
+
+    #[test]
+    fn fig9_knob_ordering() {
+        // bind calls cold code most often, imap least (Fig. 9 ordering).
+        let ce: Vec<u32> =
+            ServiceApp::ALL.iter().map(|&a| WorkloadSpec::for_app(a).cold_every).collect();
+        let bind = WorkloadSpec::for_app(ServiceApp::Bind).cold_every;
+        let imap = WorkloadSpec::for_app(ServiceApp::Imap).cold_every;
+        assert_eq!(bind, *ce.iter().min().unwrap());
+        assert_eq!(imap, *ce.iter().max().unwrap());
+    }
+
+    #[test]
+    fn scaling_shrinks() {
+        let spec = WorkloadSpec::for_app(ServiceApp::Imap);
+        let small = spec.clone().scaled_down(50);
+        assert!(small.approx_insns_per_request() < spec.approx_insns_per_request() / 10);
+    }
+
+    #[test]
+    fn bind_is_write_dense() {
+        // Fig. 15: bind backs up the highest fraction of its stores.
+        let bind = WorkloadSpec::for_app(ServiceApp::Bind);
+        let imap = WorkloadSpec::for_app(ServiceApp::Imap);
+        assert!(bind.writes_per_line < imap.writes_per_line);
+    }
+}

@@ -1,0 +1,100 @@
+//! Request traffic scripting — the analogue of the paper's client
+//! scripts (wget loops, ftp upload/download scripts, mail senders).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use indra_isa::Image;
+
+use crate::{attack_request, benign_request, Attack};
+
+/// One scripted request with its ground-truth tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptedRequest {
+    /// Wire bytes.
+    pub data: Vec<u8>,
+    /// Ground truth: is this an exploit?
+    pub malicious: bool,
+}
+
+/// A deterministic traffic script.
+#[derive(Debug, Clone)]
+pub struct Traffic {
+    /// Number of benign requests.
+    pub benign: u32,
+    /// Inject `attack` after every `attack_every` benign requests
+    /// (`None` = clean run).
+    pub attack_every: Option<u32>,
+    /// The attack to inject.
+    pub attack: Option<Attack>,
+    /// RNG seed (scripts are reproducible).
+    pub seed: u64,
+}
+
+impl Traffic {
+    /// A clean, all-benign script.
+    #[must_use]
+    pub fn benign(n: u32, seed: u64) -> Traffic {
+        Traffic { benign: n, attack_every: None, attack: None, seed }
+    }
+
+    /// A script interleaving `attack` after every `every` benign requests.
+    #[must_use]
+    pub fn with_attacks(n: u32, attack: Attack, every: u32, seed: u64) -> Traffic {
+        Traffic { benign: n, attack_every: Some(every), attack: Some(attack), seed }
+    }
+
+    /// Materializes the request sequence against `image`.
+    #[must_use]
+    pub fn generate(&self, image: &Image) -> Vec<ScriptedRequest> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        for i in 0..self.benign {
+            let opcode = rng.gen_range(0..4u8);
+            let fill = rng.gen::<u8>();
+            out.push(ScriptedRequest { data: benign_request(opcode, fill), malicious: false });
+            if let (Some(every), Some(attack)) = (self.attack_every, self.attack) {
+                if every > 0 && (i + 1) % every == 0 {
+                    out.push(ScriptedRequest {
+                        data: attack_request(attack, image),
+                        malicious: true,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_app_scaled, ServiceApp};
+
+    #[test]
+    fn benign_script_is_clean_and_deterministic() {
+        let img = build_app_scaled(ServiceApp::Ftpd, 20);
+        let a = Traffic::benign(10, 42).generate(&img);
+        let b = Traffic::benign(10, 42).generate(&img);
+        assert_eq!(a, b, "same seed, same script");
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|r| !r.malicious));
+        let c = Traffic::benign(10, 43).generate(&img);
+        assert_ne!(a, c, "different seed, different script");
+    }
+
+    #[test]
+    fn attacks_interleave_at_the_requested_rate() {
+        let img = build_app_scaled(ServiceApp::Ftpd, 20);
+        let script = Traffic::with_attacks(
+            6,
+            Attack::WildWrite { addr: crate::UNMAPPED_ADDR },
+            2,
+            1,
+        )
+        .generate(&img);
+        assert_eq!(script.len(), 9, "6 benign + 3 attacks");
+        let flags: Vec<bool> = script.iter().map(|r| r.malicious).collect();
+        assert_eq!(flags, [false, false, true, false, false, true, false, false, true]);
+    }
+}

@@ -1,0 +1,71 @@
+//! The monitor's software upgradability (§6: INDRA "allows for future
+//! advanced detection and recovery techniques to be studied and
+//! deployed"): a site-defined inspection policy — syscalls may only be
+//! issued from the binary's known syscall sites — catches injected
+//! shellcode even with every built-in inspection switched off.
+//!
+//! ```text
+//! cargo run --release --example custom_policy
+//! ```
+
+use indra::core::{
+    FailureCause, IndraSystem, MonitorConfig, RunState, SyscallSitePolicy, SystemConfig,
+    ViolationKind,
+};
+use indra::isa::{disassemble_image, Instruction};
+use indra::workloads::{
+    attack_request, benign_request, build_app_scaled, Attack, ServiceApp,
+};
+
+fn main() {
+    let image = build_app_scaled(ServiceApp::Httpd, 15);
+
+    // Harvest the binary's legitimate syscall sites from its own listing —
+    // exactly what the OS process manager would hand the resurrector.
+    let syscall_sites: Vec<u32> = disassemble_image(&image)
+        .iter()
+        .filter(|l| matches!(l.inst, Some(Instruction::Syscall { .. })))
+        .map(|l| l.addr)
+        .collect();
+    println!("service has {} legitimate syscall sites", syscall_sites.len());
+
+    // Deliberately hobble the built-in inspections: this run relies on
+    // the *custom* policy alone.
+    let cfg = SystemConfig {
+        monitor: MonitorConfig {
+            check_call_return: false,
+            check_code_origin: false,
+            check_control_transfer: false,
+            ..MonitorConfig::default()
+        },
+        ..SystemConfig::default()
+    };
+    let mut sys = IndraSystem::new(cfg);
+    sys.deploy(&image).unwrap();
+    sys.add_monitor_policy(Box::new(SyscallSitePolicy::new(syscall_sites)));
+
+    sys.push_request(benign_request(0, 0x51), false);
+    // Injected shellcode calls exit() from inside the request buffer — a
+    // syscall site no legitimate binary has.
+    sys.push_request(attack_request(Attack::InjectedHandler, &image), true);
+    sys.push_request(benign_request(1, 0x52), false);
+
+    let state = sys.run(300_000_000);
+    assert_ne!(state, RunState::BudgetExhausted);
+
+    for d in &sys.report().detections {
+        println!("detected: {:?} (malicious: {})", d.cause, d.was_malicious);
+    }
+    for v in sys.monitor().violations() {
+        println!("audit: {:?} — rogue syscall at {:#x}", v.kind, v.addr);
+    }
+    println!("benign served: {}/2", sys.report().benign_served);
+
+    assert_eq!(sys.report().benign_served, 2);
+    assert!(sys
+        .report()
+        .detections
+        .iter()
+        .any(|d| d.cause == FailureCause::Violation(ViolationKind::Custom)));
+    println!("\nthe site-defined policy caught the shellcode's rogue syscall —\nno silicon change, just new monitor software.");
+}

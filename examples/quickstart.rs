@@ -1,0 +1,105 @@
+//! Quickstart: boot an INDRA machine, deploy a tiny service written in
+//! IR32 assembly, serve requests, survive a stack-smashing exploit.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use indra::core::{IndraSystem, SystemConfig};
+use indra::isa::assemble;
+
+fn main() {
+    // 1. A network service, written directly in IR32 assembly. It echoes
+    //    requests back — but copies the request into a 32-byte stack
+    //    buffer using a length field taken from the request itself.
+    //    (Bytes 0-1 of each request: payload length; payload follows.)
+    let image = assemble(
+        "echo",
+        r#"
+        main:
+            la   s0, rxbuf
+            la   s1, txbuf
+        serve:
+            mv   a0, s0
+            li   a1, 256
+            syscall 1            # net_recv -> a0 = length
+            mv   a0, s0
+            call handle
+            mv   a0, s1
+            li   a1, 16
+            syscall 2            # net_send
+            j    serve
+
+        handle:                  # the vulnerable parser
+            addi sp, sp, -40     # 32-byte buffer, saved ra at sp+32
+            sw   ra, 32(sp)
+            lhu  t0, 0(a0)       # attacker-controlled copy length!
+            li   t1, 0
+        copy:
+            bge  t1, t0, done
+            add  t2, a0, t1
+            lbu  t3, 2(t2)
+            add  t4, sp, t1
+            sb   t3, 0(t4)
+            addi t1, t1, 1
+            j    copy
+        done:
+            lw   t5, 0(sp)
+            sw   t5, 0(s1)       # "process" the request
+            lw   ra, 32(sp)      # may have been overwritten...
+            addi sp, sp, 40
+            ret
+
+        .data
+        rxbuf: .space 256
+        txbuf: .space 16
+        "#,
+    )
+    .expect("service assembles");
+
+    // 2. Boot the asymmetric dual-core machine: core 0 is the
+    //    resurrector (monitor), core 1 the resurrectee running our
+    //    service, with the delta backup engine armed.
+    let mut sys = IndraSystem::new(SystemConfig::default());
+    sys.deploy(&image).expect("deploy service");
+    println!("deployed `{}` at {:#x} on the resurrectee core", image.name, image.entry);
+
+    // 3. Well-behaved clients.
+    for payload in [&b"hello"[..], b"indra", b"world"] {
+        let mut req = vec![payload.len() as u8, 0];
+        req.extend_from_slice(payload);
+        sys.push_request(req, false);
+    }
+
+    // 4. The attacker: declares a 36-byte payload so the copy overruns
+    //    the 32-byte buffer and overwrites the saved return address.
+    let mut exploit = vec![36u8, 0];
+    exploit.extend_from_slice(&[0x41; 32]); // filler
+    exploit.extend_from_slice(&0xDEAD_BEE0u32.to_le_bytes()); // new return address
+    sys.push_request(exploit, true);
+
+    // 5. One more honest client behind the attacker.
+    sys.push_request(vec![4, 0, b'l', b'a', b's', b't'], false);
+
+    // 6. Run until the queue drains.
+    sys.run(10_000_000);
+
+    // 7. What happened?
+    let report = sys.report();
+    println!("\nserved {} requests ({} benign)", report.served, report.benign_served);
+    for d in &report.detections {
+        println!(
+            "detected {:?} on request {:?} (malicious: {}) -> {:?} recovery",
+            d.cause, d.request_id, d.was_malicious, d.level
+        );
+    }
+    for v in sys.monitor().violations() {
+        println!(
+            "monitor audit: {:?} at pc {:#x}, rogue target {:#x}",
+            v.kind, v.pc, v.addr
+        );
+    }
+    assert_eq!(report.benign_served, 4, "every honest client was served");
+    assert_eq!(report.true_detections(), 1, "the exploit was caught");
+    println!("\nall honest clients served; the exploit was detected and rolled back.");
+}

@@ -1,0 +1,248 @@
+//! `ir32` — the IR32 toolchain driver.
+//!
+//! A small assembler/disassembler/runner for the reproduction's ISA, so
+//! programs can be developed against the simulated machine directly:
+//!
+//! ```text
+//! ir32 asm prog.s                 assemble; print sections and symbols
+//! ir32 disasm prog.s              assemble and show the full listing
+//! ir32 run prog.s                 run to completion on the kernel-lite
+//! ir32 run prog.s --req hello     queue request(s) for net_recv servers
+//! ir32 trace prog.s               run under the INDRA monitor and dump
+//!                                 the first trace events + verdicts
+//! ```
+
+use std::process::ExitCode;
+
+use indra::isa::{assemble, disassemble_image, Image};
+use indra::os::{Os, SyscallEffect};
+use indra::sim::{CoreStep, Machine, MachineConfig, TraceEvent};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: ir32 <asm|disasm|run|trace> <file.s> [--req DATA]...");
+        return ExitCode::FAILURE;
+    };
+    let Some(path) = rest.first() else {
+        eprintln!("ir32 {cmd}: missing input file");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ir32: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let name = path.rsplit('/').next().unwrap_or(path).trim_end_matches(".s");
+    let image = match assemble(name, &source) {
+        Ok(img) => img,
+        Err(e) => {
+            eprintln!("ir32: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let requests: Vec<Vec<u8>> = rest
+        .windows(2)
+        .filter(|w| w[0] == "--req")
+        .map(|w| w[1].clone().into_bytes())
+        .collect();
+
+    match cmd.as_str() {
+        "asm" => cmd_asm(&image),
+        "disasm" => cmd_disasm(&image),
+        "run" => cmd_run(&image, &requests),
+        "trace" => cmd_trace(&image, &requests),
+        other => {
+            eprintln!("ir32: unknown command `{other}`");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_asm(image: &Image) -> ExitCode {
+    println!("image `{}`  entry {:#010x}", image.name, image.entry);
+    println!("\nsegments:");
+    for seg in &image.segments {
+        println!(
+            "  {:<10} {:#010x}..{:#010x}  {}  ({} bytes initialized)",
+            seg.name,
+            seg.vaddr,
+            seg.end(),
+            seg.perms,
+            seg.data.len()
+        );
+    }
+    println!("\nsymbols:");
+    for sym in &image.symbols {
+        println!(
+            "  {:#010x}  {:<9} {:<5} {}",
+            sym.addr,
+            format!("{:?}", sym.kind).to_lowercase(),
+            if sym.exported { "glob" } else { "local" },
+            sym.name
+        );
+    }
+    println!("\n{} valid indirect-branch targets registered", image.indirect_targets.len());
+    ExitCode::SUCCESS
+}
+
+fn cmd_disasm(image: &Image) -> ExitCode {
+    for line in disassemble_image(image) {
+        println!("{line}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Run functionally (no monitoring) on a fresh machine + kernel-lite.
+fn cmd_run(image: &Image, requests: &[Vec<u8>]) -> ExitCode {
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.boot_asymmetric();
+    machine.set_monitoring(false);
+    let mut os = Os::new();
+    let pid = match os.spawn_service(&mut machine, 1, image) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("ir32 run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for r in requests {
+        os.push_request(pid, r.clone(), false);
+    }
+
+    for _ in 0..2_000_000_000u64 {
+        match machine.step_core_simple(1) {
+            CoreStep::Executed => {}
+            CoreStep::Halted => {
+                finish_run(&machine, &mut os, pid, "halt");
+                return ExitCode::SUCCESS;
+            }
+            CoreStep::Syscall { code } => {
+                let effect = os.handle_syscall(&mut machine, 1, code);
+                if let SyscallEffect::Exited { code, .. } = effect {
+                    finish_run(&machine, &mut os, pid, &format!("exit({code})"));
+                    return ExitCode::SUCCESS;
+                }
+                if matches!(effect, SyscallEffect::BlockedOnRecv { .. })
+                    && os.try_deliver(&mut machine, pid).is_none()
+                {
+                    finish_run(&machine, &mut os, pid, "blocked on net_recv (inbox empty)");
+                    return ExitCode::SUCCESS;
+                }
+            }
+            CoreStep::Fault(f) => {
+                eprintln!("fault: {f}");
+                finish_run(&machine, &mut os, pid, "faulted");
+                return ExitCode::FAILURE;
+            }
+            other => {
+                eprintln!("unexpected core state: {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("ir32 run: instruction budget exhausted (infinite loop?)");
+    ExitCode::FAILURE
+}
+
+fn finish_run(machine: &Machine, os: &mut Os, pid: indra::os::Pid, how: &str) {
+    let core = machine.core(1);
+    println!("stopped: {how}");
+    println!(
+        "retired {} instructions in {} cycles (a0 = {:#x})",
+        core.retired(),
+        core.cycles(),
+        core.reg(indra::isa::Reg::A0)
+    );
+    let responses = os.take_responses(pid);
+    for (i, r) in responses.iter().enumerate() {
+        println!("response {i}: {} bytes: {:?}", r.data.len(), String::from_utf8_lossy(&r.data));
+    }
+    if !os.audit_log().is_empty() {
+        println!("audit log:");
+        for line in os.audit_log() {
+            println!("  {line}");
+        }
+    }
+}
+
+/// Run with the trace hardware live and dump the monitor's event stream.
+fn cmd_trace(image: &Image, requests: &[Vec<u8>]) -> ExitCode {
+    const MAX_EVENTS: usize = 200;
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.boot_asymmetric();
+    let mut os = Os::new();
+    let pid = match os.spawn_service(&mut machine, 1, image) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("ir32 trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for r in requests {
+        os.push_request(pid, r.clone(), false);
+    }
+
+    let mut shown = 0usize;
+    for _ in 0..5_000_000u64 {
+        let step = machine.step_core_simple(1);
+        while let Some(ev) = machine.fifo_mut().pop() {
+            if shown < MAX_EVENTS {
+                shown += 1;
+                print_event(shown, &ev.event, ev.cycle);
+            }
+        }
+        match step {
+            CoreStep::Executed | CoreStep::FifoStalled => {}
+            CoreStep::Halted => break,
+            CoreStep::Syscall { code } => {
+                let effect = os.handle_syscall(&mut machine, 1, code);
+                if matches!(effect, SyscallEffect::Exited { .. }) {
+                    break;
+                }
+                if matches!(effect, SyscallEffect::BlockedOnRecv { .. })
+                    && os.try_deliver(&mut machine, pid).is_none()
+                {
+                    break;
+                }
+            }
+            CoreStep::Fault(f) => {
+                println!("-- fault: {f}");
+                break;
+            }
+            CoreStep::Stalled => break,
+        }
+        if shown >= MAX_EVENTS {
+            break;
+        }
+    }
+    println!("-- {shown} trace events shown (cap {MAX_EVENTS})");
+    ExitCode::SUCCESS
+}
+
+fn print_event(i: usize, ev: &TraceEvent, cycle: u64) {
+    let text = match ev {
+        TraceEvent::Call { pc, target, return_addr, .. } => {
+            format!("call      {pc:#010x} -> {target:#010x} (ret to {return_addr:#010x})")
+        }
+        TraceEvent::IndirectCall { pc, target, .. } => {
+            format!("call.ind  {pc:#010x} -> {target:#010x}")
+        }
+        TraceEvent::Return { pc, target, .. } => {
+            format!("return    {pc:#010x} -> {target:#010x}")
+        }
+        TraceEvent::IndirectJump { pc, target } => {
+            format!("jump.ind  {pc:#010x} -> {target:#010x}")
+        }
+        TraceEvent::CodeFill { page_vaddr, pc } => {
+            format!("codefill  page {page_vaddr:#010x} (pc {pc:#010x})")
+        }
+        TraceEvent::SyscallSync { pc, code } => {
+            format!("syscall   #{code} at {pc:#010x} (sync point)")
+        }
+    };
+    println!("{i:>4} @{cycle:>8}  {text}");
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # indra — a dependable and revivable multicore architecture framework
+//!
+//! A comprehensive Rust reproduction of *"An Integrated Framework for
+//! Dependable and Revivable Architectures Using Multicore Processors"*
+//! (Shi, Lee, Falk & Ghosh — ISCA 2006).
+//!
+//! INDRA configures a multicore asymmetrically: a high-privilege
+//! **resurrector** core runs a software monitor insulated from the network,
+//! while low-privilege **resurrectee** cores run services. The resurrector
+//! inspects execution traces streamed over an on-chip FIFO (function
+//! call/return pairing, code-origin checks at IL1 fill, control-transfer
+//! policy) and, on detecting corruption, triggers a **delta-page rollback**
+//! that undoes everything the malicious request wrote — without copying
+//! pages and without dropping the requests of well-behaved clients.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`isa`] — the IR32 instruction set, assembler and program builder.
+//! * [`mem`] — caches, TLBs, SDRAM timing, physical memory.
+//! * [`sim`] — cycle-accounting cores, the asymmetric machine, trace FIFO,
+//!   CAM filter, memory watchdog.
+//! * [`os`] — the kernel-lite: syscalls, processes, network queue,
+//!   resource tracking.
+//! * [`core`] — the paper's contribution: monitor, delta backup engine,
+//!   baseline checkpointing schemes, hybrid recovery, the [`core::IndraSystem`]
+//!   top-level driver.
+//! * [`workloads`] — the six synthetic network services and the exploit
+//!   generators used by the evaluation.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete tour: build a service, boot
+//! the asymmetric machine, serve requests, survive an exploit.
+
+pub use indra_core as core;
+pub use indra_isa as isa;
+pub use indra_mem as mem;
+pub use indra_os as os;
+pub use indra_sim as sim;
+pub use indra_workloads as workloads;

@@ -1,0 +1,172 @@
+//! §3.2's corner cases as end-to-end tests: setjmp/longjmp flows
+//! (§3.2.1), declared dynamic/self-modifying code (§3.2.2), and the
+//! difference between declared and undeclared runtime code generation.
+
+use indra::core::{
+    FailureCause, IndraSystem, RunState, SystemConfig, ViolationKind,
+};
+use indra::isa::assemble;
+
+/// A service whose handler aborts deep call nesting with a longjmp-style
+/// computed jump back to a registered recovery point.
+const LONGJMP_SERVICE: &str = "
+main:
+    la  s0, buf
+loop:
+    mv  a0, s0
+    li  a1, 64
+    syscall 1            # net_recv
+    la  t9, landing      # 'setjmp': record the recovery point
+    addi t9, t9, 4       # ...landing pad proper (past the nop below)
+    call level1
+landing:                 # label itself is a function symbol; the actual
+    nop                  # longjmp pad is landing+4, which only the app's
+    mv  a0, s0           # explicit registration can legitimize
+    li  a1, 8
+    syscall 2            # net_send
+    j loop
+
+level1:
+    addi sp, sp, -4
+    sw  ra, 0(sp)
+    call level2
+    lw  ra, 0(sp)
+    addi sp, sp, 4
+    ret
+
+level2:
+    # abandon the whole call chain: computed jump to the landing pad
+    jr  t9
+
+.data
+buf: .space 64
+";
+
+#[test]
+fn longjmp_to_registered_target_is_clean() {
+    let image = assemble("lj", LONGJMP_SERVICE).unwrap();
+    let landing_pad = image.addr_of("landing").unwrap() + 4;
+    let mut sys = IndraSystem::new(SystemConfig::default());
+    sys.deploy(&image).unwrap();
+    sys.register_longjmp_targets(&[landing_pad]);
+
+    for i in 0..4u8 {
+        sys.push_request(vec![i; 4], false);
+    }
+    let state = sys.run(10_000_000);
+    assert_eq!(state, RunState::Idle);
+    assert_eq!(sys.report().benign_served, 4);
+    assert!(
+        sys.report().detections.is_empty(),
+        "registered longjmp flow must not trip the monitor: {:?}",
+        sys.report().detections
+    );
+}
+
+#[test]
+fn longjmp_without_registration_is_flagged() {
+    // The identical program, but the application never declared its
+    // setjmp site — the computed jump is an invalid indirect target.
+    let image = assemble("lj", LONGJMP_SERVICE).unwrap();
+    let mut sys = IndraSystem::new(SystemConfig::default());
+    sys.deploy(&image).unwrap();
+    sys.push_request(vec![1; 4], false);
+    let state = sys.run(10_000_000);
+    assert_ne!(state, RunState::BudgetExhausted);
+    assert!(sys.report().detections.iter().any(|d| matches!(
+        d.cause,
+        FailureCause::Violation(ViolationKind::InvalidIndirectTarget)
+    )));
+}
+
+/// A JIT-style service: writes a tiny function (li a0, 99; ret) into its
+/// declared dynamic-code region, then calls it.
+const JIT_SERVICE: &str = "
+    .dyncode 1           # declare one page of dynamic code (0x10003000)
+main:
+    la  s0, buf
+loop:
+    mv  a0, s0
+    li  a1, 64
+    syscall 1            # net_recv
+
+    # emit `addi a0, zero, 99` (0x10800063) and `jalr zero, ra, 0`
+    la  t0, dynbase
+    lw  t0, 0(t0)
+    li  t1, 0x10800063
+    sw  t1, 0(t0)
+    li  t1, 0x84010000
+    sw  t1, 4(t0)
+    jalr t0              # call the freshly generated code
+
+    mv  a0, s0
+    li  a1, 4
+    syscall 2
+    j loop
+.data
+buf: .space 64
+dynbase: .word 0
+";
+
+fn jit_image(dyn_base: u32) -> indra::isa::Image {
+    let mut img = assemble("jit", JIT_SERVICE).unwrap();
+    // Patch `dynbase` with the real dynamic-region address.
+    let sym = img.addr_of("dynbase").unwrap();
+    let seg = img.segments.iter_mut().find(|s| s.name == ".data").unwrap();
+    let off = (sym - seg.vaddr) as usize;
+    seg.data[off..off + 4].copy_from_slice(&dyn_base.to_le_bytes());
+    img
+}
+
+#[test]
+fn declared_dynamic_code_is_allowed() {
+    // Verify the emitted words actually are the intended instructions.
+    use indra::isa::{AluOp, Instruction, Reg};
+    assert_eq!(
+        Instruction::decode(0x1080_0063).unwrap(),
+        Instruction::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 99 }
+    );
+    assert_eq!(Instruction::decode(0x8401_0000).unwrap(), Instruction::ret());
+
+    let probe = assemble("jit", JIT_SERVICE).unwrap();
+    let (dyn_base, dyn_size) = probe.dynamic_code_regions[0];
+    assert!(dyn_size >= 4096);
+    let image = jit_image(dyn_base);
+
+    let mut sys = IndraSystem::new(SystemConfig::default());
+    sys.deploy(&image).unwrap();
+    sys.push_request(vec![7; 4], false);
+    let state = sys.run(10_000_000);
+    assert_eq!(state, RunState::Idle, "{:?}", sys.report().detections);
+    assert_eq!(sys.report().benign_served, 1);
+    assert!(
+        sys.report().detections.is_empty(),
+        "declared dynamic code must pass code-origin inspection: {:?}",
+        sys.report().detections
+    );
+}
+
+#[test]
+fn undeclared_runtime_code_is_code_injection() {
+    // The same JIT, but pointed at its ordinary data buffer instead of
+    // the declared region: the monitor must flag the fetch.
+    let probe = assemble("jit", JIT_SERVICE).unwrap();
+    let buf = probe.addr_of("buf").unwrap();
+    let image = jit_image(buf);
+
+    let mut sys = IndraSystem::new(SystemConfig::default());
+    sys.deploy(&image).unwrap();
+    sys.push_request(vec![7; 4], false);
+    let state = sys.run(10_000_000);
+    assert_ne!(state, RunState::BudgetExhausted);
+    assert!(
+        sys.report().detections.iter().any(|d| matches!(
+            d.cause,
+            FailureCause::Violation(
+                ViolationKind::CodeInjection | ViolationKind::InvalidIndirectTarget
+            )
+        )),
+        "undeclared generated code must be flagged: {:?}",
+        sys.report().detections
+    );
+}

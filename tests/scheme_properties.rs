@@ -1,0 +1,233 @@
+//! Property-based tests of the checkpoint/recovery schemes.
+//!
+//! Strategy: drive each scheme with an arbitrary interleaving of stores,
+//! loads, request boundaries and failures, alongside a trivially-correct
+//! reference model (a full memory snapshot per boundary). After any
+//! failure + rollback, the memory visible through the scheme must equal
+//! the reference snapshot — for INDRA's delta engine that includes
+//! forcing its lazy restores to materialize.
+//!
+//! The same sequences are run through *all three* restoring schemes, so
+//! the delta engine, the undo log and virtual checkpointing must agree
+//! with the model and hence with each other.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use indra::core::{DeltaBackupEngine, DeltaConfig, Scheme, UndoLog, VirtualCheckpoint};
+use indra::mem::{FrameAllocator, PhysicalMemory, PAGE_SHIFT};
+use indra::sim::{AddressSpace, Pte};
+
+const ASID: u16 = 7;
+/// Four mapped virtual pages at vaddr 0x10000..0x14000 → ppn 0x50..0x53.
+const BASE_VADDR: u32 = 0x10000;
+const PAGES: u32 = 4;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Store a value at a (word-aligned) offset into the mapped window.
+    Store { offset: u32, value: u32 },
+    /// Load (drives the delta engine's lazy-restore read path).
+    Load { offset: u32 },
+    /// A request committed; a new one begins.
+    Boundary,
+    /// The current request was malicious; roll back.
+    Fail,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u32..(PAGES * 4096 / 4), any::<u32>())
+            .prop_map(|(w, value)| Op::Store { offset: w * 4, value }),
+        2 => (0u32..(PAGES * 4096 / 4)).prop_map(|w| Op::Load { offset: w * 4 }),
+        1 => Just(Op::Boundary),
+        1 => Just(Op::Fail),
+    ]
+}
+
+struct Rig {
+    space: AddressSpace,
+    phys: PhysicalMemory,
+    /// Reference: memory contents at the last request boundary.
+    snapshot: HashMap<u32, u32>,
+}
+
+impl Rig {
+    fn new() -> Rig {
+        let mut space = AddressSpace::new(ASID);
+        for p in 0..PAGES {
+            space.map(
+                (BASE_VADDR >> PAGE_SHIFT) + p,
+                Pte { ppn: 0x50 + p, read: true, write: true, execute: false },
+            );
+        }
+        Rig { space, phys: PhysicalMemory::new(), snapshot: HashMap::new() }
+    }
+
+    fn paddr(&self, offset: u32) -> u32 {
+        self.space
+            .translate(BASE_VADDR + offset, indra::sim::AccessKind::Read)
+            .expect("mapped")
+    }
+
+    fn take_snapshot(&mut self) {
+        self.snapshot.clear();
+        for w in 0..(PAGES * 4096 / 4) {
+            let v = self.phys.read_u32(self.paddr(w * 4));
+            if v != 0 {
+                self.snapshot.insert(w * 4, v);
+            }
+        }
+    }
+
+    fn assert_matches_snapshot(&self, scheme_name: &str, case: &str) {
+        for w in 0..(PAGES * 4096 / 4) {
+            let offset = w * 4;
+            let expected = self.snapshot.get(&offset).copied().unwrap_or(0);
+            let actual = self.phys.read_u32(self.paddr(offset));
+            assert_eq!(
+                actual, expected,
+                "{scheme_name} ({case}): offset {offset:#x} diverged from the boundary snapshot"
+            );
+        }
+    }
+}
+
+fn exercise(scheme: &mut dyn Scheme, ops: &[Op]) {
+    let mut rig = Rig::new();
+    scheme.register(ASID);
+    scheme.begin_request(ASID, &mut rig.space, &mut rig.phys);
+    rig.take_snapshot();
+
+    for op in ops {
+        match *op {
+            Op::Store { offset, value } => {
+                let paddr = rig.paddr(offset);
+                scheme.before_write(ASID, BASE_VADDR + offset, paddr, &mut rig.phys);
+                rig.phys.write_u32(paddr, value);
+            }
+            Op::Load { offset } => {
+                let paddr = rig.paddr(offset);
+                scheme.before_read(ASID, BASE_VADDR + offset, paddr, &mut rig.phys);
+                let _ = rig.phys.read_u32(paddr);
+            }
+            Op::Boundary => {
+                scheme.begin_request(ASID, &mut rig.space, &mut rig.phys);
+                rig.take_snapshot();
+            }
+            Op::Fail => {
+                scheme.fail_and_rollback(ASID, &mut rig.space, &mut rig.phys);
+                // Materialize lazy restores so the check sees real bytes.
+                scheme.ensure_clean(
+                    ASID,
+                    BASE_VADDR,
+                    PAGES * 4096,
+                    &rig.space,
+                    &mut rig.phys,
+                );
+                rig.assert_matches_snapshot(scheme.name(), "after rollback");
+                // The failed request is gone; the next one begins from the
+                // boundary state.
+                scheme.begin_request(ASID, &mut rig.space, &mut rig.phys);
+                rig.take_snapshot();
+            }
+        }
+    }
+
+    // Final invariant: one last failure must return to the last boundary.
+    scheme.fail_and_rollback(ASID, &mut rig.space, &mut rig.phys);
+    scheme.ensure_clean(ASID, BASE_VADDR, PAGES * 4096, &rig.space, &mut rig.phys);
+    rig.assert_matches_snapshot(scheme.name(), "final rollback");
+}
+
+fn delta() -> DeltaBackupEngine {
+    DeltaBackupEngine::new(DeltaConfig::default(), FrameAllocator::new(0x1000, 0x2000))
+}
+
+fn delta_small_lines() -> DeltaBackupEngine {
+    DeltaBackupEngine::new(
+        DeltaConfig { line_size: 32, ..DeltaConfig::default() },
+        FrameAllocator::new(0x1000, 0x2000),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delta_engine_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        exercise(&mut delta(), &ops);
+    }
+
+    #[test]
+    fn delta_engine_32b_lines_matches_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        exercise(&mut delta_small_lines(), &ops);
+    }
+
+    #[test]
+    fn undo_log_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        exercise(&mut UndoLog::new(), &ops);
+    }
+
+    #[test]
+    fn virtual_checkpoint_matches_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        exercise(&mut VirtualCheckpoint::new(FrameAllocator::new(0x1000, 0x2000)), &ops);
+    }
+
+    #[test]
+    fn all_schemes_agree_on_final_memory(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        // Run the identical sequence through all three restoring schemes
+        // and compare the full final memory images pairwise.
+        let mut finals: Vec<(String, Vec<u32>)> = Vec::new();
+        let mut schemes: Vec<Box<dyn Scheme>> = vec![
+            Box::new(delta()),
+            Box::new(UndoLog::new()),
+            Box::new(VirtualCheckpoint::new(FrameAllocator::new(0x1000, 0x2000))),
+        ];
+        for scheme in &mut schemes {
+            let mut rig = Rig::new();
+            scheme.register(ASID);
+            scheme.begin_request(ASID, &mut rig.space, &mut rig.phys);
+            for op in &ops {
+                match *op {
+                    Op::Store { offset, value } => {
+                        let paddr = rig.paddr(offset);
+                        scheme.before_write(ASID, BASE_VADDR + offset, paddr, &mut rig.phys);
+                        rig.phys.write_u32(paddr, value);
+                    }
+                    Op::Load { offset } => {
+                        let paddr = rig.paddr(offset);
+                        scheme.before_read(ASID, BASE_VADDR + offset, paddr, &mut rig.phys);
+                    }
+                    Op::Boundary => {
+                        scheme.begin_request(ASID, &mut rig.space, &mut rig.phys);
+                    }
+                    Op::Fail => {
+                        scheme.fail_and_rollback(ASID, &mut rig.space, &mut rig.phys);
+                        scheme.begin_request(ASID, &mut rig.space, &mut rig.phys);
+                    }
+                }
+            }
+            scheme.ensure_clean(ASID, BASE_VADDR, PAGES * 4096, &rig.space, &mut rig.phys);
+            let image: Vec<u32> =
+                (0..(PAGES * 4096 / 4)).map(|w| rig.phys.read_u32(rig.paddr(w * 4))).collect();
+            finals.push((scheme.name().to_owned(), image));
+        }
+        for pair in finals.windows(2) {
+            prop_assert_eq!(
+                &pair[0].1,
+                &pair[1].1,
+                "{} and {} disagree on final memory",
+                &pair[0].0,
+                &pair[1].0
+            );
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! §4.1 end-to-end security evaluation: every attack class is launched
+//! against a real (scaled) service under the full INDRA stack, and the
+//! tests assert detection, correct recovery, and continued service to
+//! well-behaved clients.
+//!
+//! The most important test here is the *negative control*:
+//! `code_injection_succeeds_without_monitoring` proves the exploits are
+//! real (the shellcode actually takes over the machine when INDRA is
+//! off), so the detection results mean something.
+
+use indra::core::{
+    FailureCause, IndraSystem, RunState, SchemeKind, SystemConfig, ViolationKind,
+};
+use indra::isa::Reg;
+use indra::workloads::{
+    attack_request, benign_request, build_app_scaled, Attack, ServiceApp,
+    UNMAPPED_ADDR,
+};
+
+const SCALE: u32 = 15;
+
+fn default_system() -> IndraSystem {
+    IndraSystem::new(SystemConfig::default())
+}
+
+/// Drives the system with `n` benign requests, an attack, then `m` more
+/// benign requests; returns the system for inspection.
+fn run_attack_scenario(app: ServiceApp, attack: Attack, cfg: SystemConfig) -> IndraSystem {
+    let image = build_app_scaled(app, SCALE);
+    let mut sys = IndraSystem::new(cfg);
+    sys.deploy(&image).unwrap();
+    for i in 0..3u8 {
+        sys.push_request(benign_request(i, 0x20 + i), false);
+    }
+    sys.push_request(attack_request(attack, &image), true);
+    for i in 0..3u8 {
+        sys.push_request(benign_request(i, 0x40 + i), false);
+    }
+    let state = sys.run(400_000_000);
+    assert_ne!(state, RunState::BudgetExhausted, "scenario must settle");
+    sys
+}
+
+#[test]
+fn stack_smash_detected_and_service_survives() {
+    let image = build_app_scaled(ServiceApp::Httpd, SCALE);
+    let target = image.addr_of("handler_0").unwrap() + 8;
+    let sys = run_attack_scenario(
+        ServiceApp::Httpd,
+        Attack::StackSmash { target },
+        SystemConfig::default(),
+    );
+    let report = sys.report();
+    assert_eq!(report.benign_served, 6, "all well-behaved clients served");
+    assert_eq!(report.true_detections(), 1);
+    assert_eq!(report.false_positives(), 0);
+    assert!(matches!(
+        report.detections[0].cause,
+        FailureCause::Violation(ViolationKind::ReturnMismatch)
+    ));
+}
+
+#[test]
+fn code_injection_detected_by_code_origin() {
+    // Injection via the function-pointer path, with only code-origin
+    // inspection enabled — the Table 2 cell that matters most.
+    let mut cfg = SystemConfig::default();
+    cfg.monitor.check_call_return = false;
+    cfg.monitor.check_control_transfer = false;
+    let sys = run_attack_scenario(ServiceApp::Httpd, Attack::InjectedHandler, cfg);
+    let report = sys.report();
+    assert_eq!(report.benign_served, 6);
+    assert!(report.detections.iter().any(|d| matches!(
+        d.cause,
+        FailureCause::Violation(ViolationKind::CodeInjection)
+    )));
+}
+
+#[test]
+fn code_injection_succeeds_without_monitoring() {
+    // Negative control: with INDRA off, the same request takes over the
+    // machine — the injected shellcode runs and calls exit(0x31337).
+    let image = build_app_scaled(ServiceApp::Httpd, SCALE);
+    let cfg = SystemConfig {
+        monitoring: false,
+        scheme: SchemeKind::None,
+        ..SystemConfig::default()
+    };
+    let mut sys = IndraSystem::new(cfg);
+    sys.deploy(&image).unwrap();
+    sys.push_request(benign_request(0, 1), false);
+    sys.push_request(attack_request(Attack::InjectedHandler, &image), true);
+    sys.push_request(benign_request(1, 2), false);
+    let state = sys.run(400_000_000);
+    assert_eq!(state, RunState::Halted, "shellcode kills the service");
+    let a0 = sys.machine().core(1).reg(Reg::A0);
+    assert_eq!(a0, 0x31337, "the attacker's exit code proves arbitrary code execution");
+    assert_eq!(sys.report().benign_served, 1, "clients after the attack are lost");
+}
+
+#[test]
+fn function_pointer_hijack_detected() {
+    let sys = run_attack_scenario(
+        ServiceApp::Bind,
+        Attack::HandlerHijack { target: UNMAPPED_ADDR },
+        SystemConfig::default(),
+    );
+    let report = sys.report();
+    assert_eq!(report.benign_served, 6);
+    assert!(report.detections.iter().any(|d| matches!(
+        d.cause,
+        FailureCause::Violation(ViolationKind::InvalidIndirectTarget)
+    )));
+}
+
+#[test]
+fn wild_write_fault_recovered() {
+    let sys = run_attack_scenario(
+        ServiceApp::Nfs,
+        Attack::WildWrite { addr: UNMAPPED_ADDR },
+        SystemConfig::default(),
+    );
+    let report = sys.report();
+    assert_eq!(report.benign_served, 6);
+    assert!(report.detections.iter().any(|d| d.cause == FailureCause::Fault));
+    assert_eq!(report.false_positives(), 0);
+}
+
+#[test]
+fn rollback_actually_restores_memory() {
+    // After a detected attack, the delta engine must leave the service's
+    // observable behaviour identical to an attack-free run.
+    let image = build_app_scaled(ServiceApp::Ftpd, SCALE);
+
+    let mut clean = default_system();
+    clean.deploy(&image).unwrap();
+    for i in 0..4u8 {
+        clean.push_request(benign_request(i, 0x60 + i), false);
+    }
+    clean.run(400_000_000);
+    let clean_responses = clean.take_responses();
+
+    let mut attacked = default_system();
+    attacked.deploy(&image).unwrap();
+    for i in 0..2u8 {
+        attacked.push_request(benign_request(i, 0x60 + i), false);
+    }
+    let target = image.addr_of("handler_0").unwrap() + 8;
+    attacked.push_request(attack_request(Attack::StackSmash { target }, &image), true);
+    for i in 2..4u8 {
+        attacked.push_request(benign_request(i, 0x60 + i), false);
+    }
+    attacked.run(400_000_000);
+    let attacked_responses = attacked.take_responses();
+
+    assert_eq!(attacked.report().true_detections(), 1);
+    // Same number of benign responses with identical payloads.
+    assert_eq!(clean_responses.len(), 4);
+    assert_eq!(attacked_responses.len(), 4);
+    for (c, a) in clean_responses.iter().zip(&attacked_responses) {
+        assert_eq!(c.data, a.data, "post-recovery responses must be byte-identical");
+    }
+}
+
+#[test]
+fn dormant_attack_defeats_micro_but_hybrid_recovers() {
+    let image = build_app_scaled(ServiceApp::Httpd, SCALE);
+    let mut cfg = SystemConfig::default();
+    cfg.hybrid.macro_interval = 2;
+    cfg.hybrid.failure_threshold = 2;
+    let mut sys = IndraSystem::new(cfg);
+    sys.deploy(&image).unwrap();
+
+    for i in 0..3u8 {
+        sys.push_request(benign_request(i, 3 + i), false);
+    }
+    sys.push_request(attack_request(Attack::Dormant { addr: UNMAPPED_ADDR }, &image), true);
+    for i in 0..5u8 {
+        sys.push_request(benign_request(i, 0x11 + i), false);
+    }
+    let state = sys.run(600_000_000);
+    assert_ne!(state, RunState::BudgetExhausted);
+
+    // Micro recoveries were tried and failed repeatedly, then the macro
+    // checkpoint saved the service.
+    let hybrid = sys.hybrid().stats();
+    assert!(hybrid.micro_recoveries >= 2, "micro recovery attempted: {hybrid:?}");
+    assert!(hybrid.macro_recoveries >= 1, "macro escalation required: {hybrid:?}");
+
+    // The poison latch is gone and late clients were served.
+    let latch_addr = image.addr_of("latch").unwrap();
+    let asid = sys.os().asid_of(sys.os().pid_on_core(1).unwrap());
+    assert_eq!(sys.machine().read_virtual_u32(asid, latch_addr), Some(0));
+    let last_benign = sys
+        .report()
+        .samples
+        .iter()
+        .filter(|s| !s.malicious)
+        .map(|s| s.request_id)
+        .max()
+        .unwrap();
+    assert_eq!(last_benign, 8, "the final benign client was served after macro recovery");
+}
+
+#[test]
+fn format_string_write_anywhere_detected() {
+    // §2.1's format-string class: the %n-analogue directive overwrites the
+    // dispatch table entry used by the very same request.
+    let sys = run_attack_scenario(
+        ServiceApp::Httpd,
+        Attack::FormatString { value: UNMAPPED_ADDR },
+        SystemConfig::default(),
+    );
+    let report = sys.report();
+    assert_eq!(report.benign_served, 6);
+    assert_eq!(report.true_detections(), 1);
+    assert!(report.detections.iter().any(|d| matches!(
+        d.cause,
+        FailureCause::Violation(ViolationKind::InvalidIndirectTarget)
+    )));
+}
+
+#[test]
+fn audit_trail_records_violations() {
+    let image = build_app_scaled(ServiceApp::Sendmail, SCALE);
+    let target = image.addr_of("handler_1").unwrap() + 8;
+    let sys = run_attack_scenario(
+        ServiceApp::Sendmail,
+        Attack::StackSmash { target },
+        SystemConfig::default(),
+    );
+    let violations = sys.monitor().violations();
+    assert!(!violations.is_empty());
+    assert_eq!(violations[0].kind, ViolationKind::ReturnMismatch);
+    assert_eq!(violations[0].addr, target, "the audit records where the hijack aimed");
+}
+
+#[test]
+fn every_app_survives_every_attack_class() {
+    for app in ServiceApp::ALL {
+        let image = build_app_scaled(app, 25);
+        let handler = image.addr_of("handler_0").unwrap() + 8;
+        for attack in [
+            Attack::StackSmash { target: handler },
+            Attack::CodeInjection,
+            Attack::InjectedHandler,
+            Attack::HandlerHijack { target: UNMAPPED_ADDR },
+            Attack::WildWrite { addr: UNMAPPED_ADDR },
+            Attack::FormatString { value: UNMAPPED_ADDR },
+        ] {
+            let mut sys = default_system();
+            sys.deploy(&image).unwrap();
+            sys.push_request(benign_request(0, 7), false);
+            sys.push_request(attack_request(attack, &image), true);
+            sys.push_request(benign_request(1, 9), false);
+            let state = sys.run(400_000_000);
+            assert_ne!(state, RunState::BudgetExhausted, "{app}/{attack:?}");
+            assert_eq!(
+                sys.report().benign_served,
+                2,
+                "{app}/{attack:?}: benign clients must be served"
+            );
+            assert!(
+                !sys.report().detections.is_empty(),
+                "{app}/{attack:?}: the attack must be detected"
+            );
+            assert_eq!(sys.report().false_positives(), 0, "{app}/{attack:?}");
+        }
+    }
+}

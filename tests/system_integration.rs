@@ -1,0 +1,175 @@
+//! Cross-crate integration: all six services under the full stack,
+//! reconfigurability, FIFO/CAM interactions, and scheme equivalence at
+//! the system level.
+
+use indra::core::{AvailabilityReport, IndraSystem, RunState, SchemeKind, SystemConfig};
+use indra::sim::MachineConfig;
+use indra::workloads::{build_app_scaled, benign_request, ServiceApp, Traffic};
+
+const SCALE: u32 = 25;
+
+fn run_benign(app: ServiceApp, cfg: SystemConfig, n: u32, seed: u64) -> IndraSystem {
+    let image = build_app_scaled(app, SCALE);
+    let mut sys = IndraSystem::new(cfg);
+    sys.deploy(&image).unwrap();
+    for r in Traffic::benign(n, seed).generate(&image) {
+        sys.push_request(r.data, r.malicious);
+    }
+    let state = sys.run(600_000_000);
+    assert_eq!(state, RunState::Idle, "{app} must drain its script");
+    sys
+}
+
+#[test]
+fn all_six_services_serve_under_full_indra() {
+    for app in ServiceApp::ALL {
+        let sys = run_benign(app, SystemConfig::default(), 4, 7);
+        let report = sys.report();
+        assert_eq!(report.served, 4, "{app}");
+        assert_eq!(report.benign_served, 4, "{app}");
+        assert!(report.detections.is_empty(), "{app}: no false positives on clean traffic");
+        assert!(report.mean_benign_response() > 0.0, "{app}");
+        // Responses carry the generated fill pattern.
+        let mut sys = sys;
+        for resp in sys.take_responses() {
+            assert!(!resp.data.is_empty(), "{app}");
+            assert_eq!(resp.data[1], 1, "{app}: txbuf fill pattern byte 1");
+        }
+    }
+}
+
+#[test]
+fn responses_identical_across_schemes() {
+    // The checkpoint scheme must never change functional behaviour.
+    let mut reference: Option<Vec<Vec<u8>>> = None;
+    for scheme in [
+        SchemeKind::None,
+        SchemeKind::Delta,
+        SchemeKind::UndoLog,
+        SchemeKind::VirtualCheckpoint,
+        SchemeKind::SoftwareCheckpoint,
+    ] {
+        let cfg = SystemConfig { scheme, ..SystemConfig::default() };
+        let mut sys = run_benign(ServiceApp::Bind, cfg, 5, 11);
+        let data: Vec<Vec<u8>> = sys.take_responses().into_iter().map(|r| r.data).collect();
+        match &reference {
+            None => reference = Some(data),
+            Some(r) => assert_eq!(r, &data, "{scheme:?} changed observable behaviour"),
+        }
+    }
+}
+
+#[test]
+fn tiny_fifo_is_slower_but_correct() {
+    let mk = |entries| {
+        let mut cfg = SystemConfig::default();
+        cfg.machine.fifo_entries = entries;
+        run_benign(ServiceApp::Httpd, cfg, 4, 3)
+    };
+    let small = mk(4);
+    let large = mk(64);
+    assert_eq!(small.report().served, 4);
+    assert_eq!(large.report().served, 4);
+    assert!(
+        small.service_cycles() > large.service_cycles(),
+        "4-entry FIFO must cost cycles: {} vs {}",
+        small.service_cycles(),
+        large.service_cycles()
+    );
+    assert!(small.machine().fifo().stats().full_stalls > 0);
+}
+
+#[test]
+fn disabled_cam_sends_every_code_origin_check() {
+    let mk = |entries| {
+        let mut cfg = SystemConfig::default();
+        cfg.machine.cam_entries = entries;
+        run_benign(ServiceApp::Ftpd, cfg, 3, 9)
+    };
+    let with_cam = mk(32);
+    let without = mk(0);
+    let sent_with = with_cam.monitor().stats().code_origin_checks;
+    let sent_without = without.monitor().stats().code_origin_checks;
+    assert!(
+        sent_without > sent_with * 5,
+        "CAM must filter the bulk of checks: {sent_with} vs {sent_without}"
+    );
+}
+
+#[test]
+fn symmetric_mode_runs_without_monitoring() {
+    // Reconfigurability (§2.3.4): the same machine booted symmetric runs
+    // the service with no monitoring and no watchdog insulation.
+    let image = build_app_scaled(ServiceApp::Httpd, SCALE);
+    let mut machine = indra::sim::Machine::new(MachineConfig::symmetric(2));
+    machine.boot_symmetric();
+    let mut os = indra::os::Os::new();
+    let pid = os.spawn_service(&mut machine, 1, &image).unwrap();
+    os.push_request(pid, benign_request(0, 4), false);
+
+    let mut served = 0;
+    for _ in 0..60_000_000u64 {
+        match machine.step_core_simple(1) {
+            indra::sim::CoreStep::Executed => {}
+            indra::sim::CoreStep::Syscall { code } => {
+                let effect = os.handle_syscall(&mut machine, 1, code);
+                if matches!(effect, indra::os::SyscallEffect::ResponseSent { .. }) {
+                    served += 1;
+                }
+                if matches!(effect, indra::os::SyscallEffect::BlockedOnRecv { .. })
+                    && os.try_deliver(&mut machine, pid).is_none()
+                {
+                    break;
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(served, 1);
+    assert_eq!(machine.fifo().stats().pushes, 0, "no trace in symmetric mode");
+}
+
+#[test]
+fn backup_memory_overhead_is_bounded() {
+    // §3.3.1: "INDRA allocates delta backup pages on demand... the overall
+    // overhead is small" — backup frames must track the touched working
+    // set, not total memory.
+    let sys = run_benign(ServiceApp::Sendmail, SystemConfig::default(), 4, 21);
+    let live = sys.scheme().live_backup_frames();
+    // The scaled sendmail touches a handful of pages per request.
+    assert!(live > 0, "backup pages were allocated on demand");
+    assert!(live < 200, "backup pool stays proportional to the working set: {live}");
+}
+
+#[test]
+fn availability_report_from_real_run() {
+    use indra::workloads::{attack_request, Attack, UNMAPPED_ADDR};
+    let image = build_app_scaled(ServiceApp::Httpd, SCALE);
+    let mut sys = IndraSystem::new(SystemConfig::default());
+    sys.deploy(&image).unwrap();
+    sys.push_request(benign_request(0, 1), false);
+    sys.push_request(attack_request(Attack::WildWrite { addr: UNMAPPED_ADDR }, &image), true);
+    sys.push_request(benign_request(1, 2), false);
+    let state = sys.run(400_000_000);
+    assert_ne!(state, RunState::BudgetExhausted);
+
+    let a = AvailabilityReport::from_run(sys.report(), 2);
+    assert_eq!(a.benign_served, 2);
+    assert_eq!(a.benign_lost, 0);
+    assert_eq!(a.recoveries, 1);
+    assert_eq!(a.micro_recoveries, 1);
+    assert!((a.benign_service_ratio - 1.0).abs() < 1e-12);
+    assert!(
+        a.mean_cycles_to_next_service > 0.0,
+        "the outage between detection and next response is visible"
+    );
+}
+
+#[test]
+fn gts_advances_once_per_request() {
+    let sys = run_benign(ServiceApp::Bind, SystemConfig::default(), 5, 2);
+    // 5 measured requests; the GTS also ticks for warmupless deploys.
+    let monitor_events = sys.monitor().stats().events;
+    assert!(monitor_events > 0);
+    assert_eq!(sys.report().served, 5);
+}
