@@ -1,18 +1,35 @@
-//! Criterion microbenchmarks of the checkpoint schemes' hot paths —
-//! the per-store hook (Table 3's backup column) and the rollback
-//! (Table 3's recovery column), plus an end-to-end request per scheme.
+//! Microbenchmarks of the checkpoint schemes' hot paths — the per-store
+//! hook (Table 3's backup column) and the rollback (Table 3's recovery
+//! column), plus an end-to-end request per scheme.
+//!
+//! Plain `Instant`-based harness (`cargo bench -p indra-bench --bench
+//! schemes`); the build is fully offline, so no Criterion.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
 
 use indra_bench::{run, RunOptions};
-use indra_core::{
-    DeltaBackupEngine, DeltaConfig, Scheme, SchemeKind, UndoLog, VirtualCheckpoint,
-};
+use indra_core::{DeltaBackupEngine, DeltaConfig, Scheme, SchemeKind, UndoLog, VirtualCheckpoint};
 use indra_mem::{FrameAllocator, PhysicalMemory};
 use indra_sim::{AddressSpace, Pte};
 use indra_workloads::{Attack, ServiceApp, UNMAPPED_ADDR};
 
 const ASID: u16 = 7;
+
+/// Times `iters` calls of `f` after a small warm-up and prints µs/iter.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{name:<44} {iters:>9} iters {:>12.2} us/iter",
+        elapsed.as_micros() as f64 / f64::from(iters)
+    );
+}
 
 fn rig() -> (AddressSpace, PhysicalMemory) {
     let mut space = AddressSpace::new(ASID);
@@ -33,105 +50,77 @@ fn write_burst(scheme: &mut dyn Scheme, space: &mut AddressSpace, phys: &mut Phy
     }
 }
 
-fn bench_backup_hot_path(c: &mut Criterion) {
-    let mut group = c.benchmark_group("backup_hook_per_request");
-    group.sample_size(20);
-
-    group.bench_function("delta", |b| {
+fn bench_backup_hot_path() {
+    let schemes: Vec<(&str, Box<dyn Scheme>)> = vec![
+        (
+            "backup_hook_per_request/delta",
+            Box::new(DeltaBackupEngine::new(
+                DeltaConfig::default(),
+                FrameAllocator::new(0x1000, 0x4000),
+            )),
+        ),
+        ("backup_hook_per_request/undo_log", Box::new(UndoLog::new())),
+        (
+            "backup_hook_per_request/virtual_checkpoint",
+            Box::new(VirtualCheckpoint::new(FrameAllocator::new(0x1000, 0x4000))),
+        ),
+    ];
+    for (name, mut s) in schemes {
         let (mut space, mut phys) = rig();
-        let mut s = DeltaBackupEngine::new(
-            DeltaConfig::default(),
-            FrameAllocator::new(0x1000, 0x4000),
-        );
         s.register(ASID);
-        b.iter(|| write_burst(&mut s, &mut space, &mut phys));
-    });
-    group.bench_function("undo_log", |b| {
-        let (mut space, mut phys) = rig();
-        let mut s = UndoLog::new();
-        s.register(ASID);
-        b.iter(|| write_burst(&mut s, &mut space, &mut phys));
-    });
-    group.bench_function("virtual_checkpoint", |b| {
-        let (mut space, mut phys) = rig();
-        let mut s = VirtualCheckpoint::new(FrameAllocator::new(0x1000, 0x4000));
-        s.register(ASID);
-        b.iter(|| write_burst(&mut s, &mut space, &mut phys));
-    });
-    group.finish();
+        bench(name, 2_000, || write_burst(s.as_mut(), &mut space, &mut phys));
+    }
 }
 
-fn bench_rollback(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rollback_after_request");
-    group.sample_size(20);
-
-    group.bench_function("delta_lazy", |b| {
+fn bench_rollback() {
+    let schemes: Vec<(&str, Box<dyn Scheme>)> = vec![
+        (
+            "rollback_after_request/delta_lazy",
+            Box::new(DeltaBackupEngine::new(
+                DeltaConfig::default(),
+                FrameAllocator::new(0x1000, 0x4000),
+            )),
+        ),
+        ("rollback_after_request/undo_log_walk", Box::new(UndoLog::new())),
+        (
+            "rollback_after_request/page_copy_back",
+            Box::new(VirtualCheckpoint::new(FrameAllocator::new(0x1000, 0x4000))),
+        ),
+    ];
+    for (name, mut s) in schemes {
         let (mut space, mut phys) = rig();
-        let mut s = DeltaBackupEngine::new(
-            DeltaConfig::default(),
-            FrameAllocator::new(0x1000, 0x4000),
-        );
         s.register(ASID);
-        b.iter_batched(
-            || (),
-            |()| {
-                write_burst(&mut s, &mut space, &mut phys);
-                s.fail_and_rollback(ASID, &mut space, &mut phys);
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    group.bench_function("undo_log_walk", |b| {
-        let (mut space, mut phys) = rig();
-        let mut s = UndoLog::new();
-        s.register(ASID);
-        b.iter_batched(
-            || (),
-            |()| {
-                write_burst(&mut s, &mut space, &mut phys);
-                s.fail_and_rollback(ASID, &mut space, &mut phys);
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    group.bench_function("page_copy_back", |b| {
-        let (mut space, mut phys) = rig();
-        let mut s = VirtualCheckpoint::new(FrameAllocator::new(0x1000, 0x4000));
-        s.register(ASID);
-        b.iter_batched(
-            || (),
-            |()| {
-                write_burst(&mut s, &mut space, &mut phys);
-                s.fail_and_rollback(ASID, &mut space, &mut phys);
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
-}
-
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end_bind");
-    group.sample_size(10);
-    for (name, scheme, attack) in [
-        ("delta_clean", SchemeKind::Delta, None),
-        ("delta_under_attack", SchemeKind::Delta, Some((Attack::WildWrite { addr: UNMAPPED_ADDR }, 2))),
-        ("virtual_ckpt_clean", SchemeKind::VirtualCheckpoint, None),
-    ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut o = RunOptions::quick(ServiceApp::Bind);
-                o.scale = 20;
-                o.requests = 4;
-                o.warmup = 1;
-                o.scheme = scheme;
-                o.attack = attack;
-                run(&o)
-            });
+        bench(name, 1_000, || {
+            write_burst(s.as_mut(), &mut space, &mut phys);
+            s.fail_and_rollback(ASID, &mut space, &mut phys);
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_backup_hot_path, bench_rollback, bench_end_to_end);
-criterion_main!(benches);
+fn bench_end_to_end() {
+    for (name, scheme, attack) in [
+        ("end_to_end_bind/delta_clean", SchemeKind::Delta, None),
+        (
+            "end_to_end_bind/delta_under_attack",
+            SchemeKind::Delta,
+            Some((Attack::WildWrite { addr: UNMAPPED_ADDR }, 2)),
+        ),
+        ("end_to_end_bind/virtual_ckpt_clean", SchemeKind::VirtualCheckpoint, None),
+    ] {
+        bench(name, 10, || {
+            let mut o = RunOptions::quick(ServiceApp::Bind);
+            o.scale = 20;
+            o.requests = 4;
+            o.warmup = 1;
+            o.scheme = scheme;
+            o.attack = attack;
+            let _ = run(&o);
+        });
+    }
+}
+
+fn main() {
+    bench_backup_hot_path();
+    bench_rollback();
+    bench_end_to_end();
+}

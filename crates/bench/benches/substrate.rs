@@ -1,103 +1,115 @@
-//! Criterion microbenchmarks of the simulator substrate: cache, TLB,
-//! DRAM, monitor event processing and raw instruction throughput — the
-//! costs every figure's simulation rests on.
+//! Microbenchmarks of the simulator substrate: cache, TLB, DRAM,
+//! monitor event processing and raw instruction throughput — the costs
+//! every figure's simulation rests on.
+//!
+//! Plain `Instant`-based harness (`cargo bench -p indra-bench --bench
+//! substrate`); the build is fully offline, so no Criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
 use indra_core::{AppMetadata, Monitor, MonitorConfig};
 use indra_isa::assemble;
 use indra_mem::{Cache, CacheConfig, DramConfig, Sdram, Tlb, TlbConfig};
 use indra_sim::{CoreStep, Machine, MachineConfig, StampedEvent, TraceEvent};
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate");
-    group.bench_function("l1_hit_stream", |b| {
-        let mut cache = Cache::new(CacheConfig::l1());
-        cache.access(0x1000, false);
-        let mut addr = 0x1000u32;
-        b.iter(|| {
-            addr = (addr.wrapping_add(4)) & 0x1FFF;
-            cache.access(0x1000 + addr % 32, false)
-        });
-    });
-    group.bench_function("l2_miss_stream", |b| {
-        let mut cache = Cache::new(CacheConfig::l2());
-        let mut addr = 0u32;
-        b.iter(|| {
-            addr = addr.wrapping_add(64 * 2048); // new set every time
-            cache.access(addr, true)
-        });
-    });
-    group.bench_function("tlb_lookup", |b| {
-        let mut tlb = Tlb::new(TlbConfig::dtlb());
-        let mut vpn = 0u32;
-        b.iter(|| {
-            vpn = (vpn + 1) % 128;
-            tlb.access(1, vpn)
-        });
-    });
-    group.bench_function("sdram_access", |b| {
-        let mut dram = Sdram::new(DramConfig::default());
-        let mut addr = 0u32;
-        b.iter(|| {
-            addr = addr.wrapping_add(4096);
-            dram.access(addr, 64)
-        });
-    });
-    group.finish();
+/// Times `iters` calls of `f` after a 10% warm-up and prints ns/iter.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{name:<44} {iters:>9} iters {:>12.1} ns/iter",
+        elapsed.as_nanos() as f64 / f64::from(iters)
+    );
 }
 
-fn bench_monitor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("monitor");
-    group.bench_function("call_return_pair", |b| {
-        let mut m = Monitor::new(MonitorConfig::default());
-        m.register_app(1, AppMetadata::default());
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 10;
-            m.process(StampedEvent {
-                event: TraceEvent::Call { pc: 0x40_0000, target: 0x40_0100, return_addr: 0x40_0004, sp: 0x7000 },
-                cycle: t,
-                asid: 1,
-            });
-            m.process(StampedEvent {
-                event: TraceEvent::Return { pc: 0x40_0104, target: 0x40_0004, sp: 0x7000 },
-                cycle: t + 5,
-                asid: 1,
-            })
-        });
+fn bench_cache() {
+    let mut cache = Cache::new(CacheConfig::l1());
+    cache.access(0x1000, false);
+    let mut addr = 0x1000u32;
+    bench("substrate/l1_hit_stream", 1_000_000, || {
+        addr = (addr.wrapping_add(4)) & 0x1FFF;
+        cache.access(0x1000 + addr % 32, false);
     });
-    group.finish();
+
+    let mut l2 = Cache::new(CacheConfig::l2());
+    let mut addr = 0u32;
+    bench("substrate/l2_miss_stream", 1_000_000, || {
+        addr = addr.wrapping_add(64 * 2048); // new set every time
+        l2.access(addr, true);
+    });
+
+    let mut tlb = Tlb::new(TlbConfig::dtlb());
+    let mut vpn = 0u32;
+    bench("substrate/tlb_lookup", 1_000_000, || {
+        vpn = (vpn + 1) % 128;
+        tlb.access(1, vpn);
+    });
+
+    let mut dram = Sdram::new(DramConfig::default());
+    let mut daddr = 0u32;
+    bench("substrate/sdram_access", 1_000_000, || {
+        daddr = daddr.wrapping_add(4096);
+        dram.access(daddr, 64);
+    });
 }
 
-fn bench_simulator_ips(c: &mut Criterion) {
+fn bench_monitor() {
+    let mut m = Monitor::new(MonitorConfig::default());
+    m.register_app(1, AppMetadata::default());
+    let mut t = 0u64;
+    bench("monitor/call_return_pair", 500_000, || {
+        t += 10;
+        m.process(StampedEvent {
+            event: TraceEvent::Call {
+                pc: 0x40_0000,
+                target: 0x40_0100,
+                return_addr: 0x40_0004,
+                sp: 0x7000,
+            },
+            cycle: t,
+            asid: 1,
+        });
+        m.process(StampedEvent {
+            event: TraceEvent::Return { pc: 0x40_0104, target: 0x40_0004, sp: 0x7000 },
+            cycle: t + 5,
+            asid: 1,
+        });
+    });
+}
+
+fn bench_simulator_ips() {
     // Raw simulated-instruction throughput: how many instructions the
     // cycle-accounting core retires per wall-clock second.
-    let mut group = c.benchmark_group("simulator");
-    group.bench_function("instructions_per_iteration_x1000", |b| {
-        let mut machine = Machine::new(MachineConfig::default());
-        machine.boot_asymmetric();
-        machine.set_monitoring(false);
-        let img = assemble(
-            "spin",
-            "main:\n li t0, 0\nloop:\n addi t0, t0, 1\n xor t1, t1, t0\n add t2, t2, t1\n j loop\n",
-        )
-        .unwrap();
-        machine.create_space(5);
-        machine.load_image(5, &img).unwrap();
-        machine.core_mut(1).set_asid(5);
-        machine.core_mut(1).set_pc(img.entry);
-        b.iter(|| {
-            for _ in 0..1000 {
-                match machine.step_core_simple(1) {
-                    CoreStep::Executed => {}
-                    other => panic!("{other:?}"),
-                }
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.boot_asymmetric();
+    machine.set_monitoring(false);
+    let img = assemble(
+        "spin",
+        "main:\n li t0, 0\nloop:\n addi t0, t0, 1\n xor t1, t1, t0\n add t2, t2, t1\n j loop\n",
+    )
+    .unwrap();
+    machine.create_space(5);
+    machine.load_image(5, &img).unwrap();
+    machine.core_mut(1).set_asid(5);
+    machine.core_mut(1).set_pc(img.entry);
+    bench("simulator/instructions_x1000", 20_000, || {
+        for _ in 0..1000 {
+            match machine.step_core_simple(1) {
+                CoreStep::Executed => {}
+                other => panic!("{other:?}"),
             }
-        });
+        }
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_monitor, bench_simulator_ips);
-criterion_main!(benches);
+fn main() {
+    bench_cache();
+    bench_monitor();
+    bench_simulator_ips();
+}

@@ -8,13 +8,9 @@
 //! ```
 
 use indra_bench::{build_image, run, RunOptions};
-use indra_core::{
-    DeltaConfig, IndraSystem, RunState, SchemeKind, SystemConfig,
-};
+use indra_core::{DeltaConfig, IndraSystem, RunState, SchemeKind, SystemConfig};
 use indra_sim::CoreRole;
-use indra_workloads::{
-    attack_request, benign_request, Attack, ServiceApp, Traffic, UNMAPPED_ADDR,
-};
+use indra_workloads::{attack_request, benign_request, Attack, ServiceApp, Traffic, UNMAPPED_ADDR};
 
 fn main() {
     let scale: u32 = {
@@ -56,13 +52,9 @@ fn ablate_line_size(scale: u32) {
         };
         let mut sys = IndraSystem::new(cfg);
         sys.deploy(&image).unwrap();
-        let script = Traffic::with_attacks(
-            8,
-            Attack::WildWrite { addr: UNMAPPED_ADDR },
-            2,
-            base.seed,
-        )
-        .generate(&image);
+        let script =
+            Traffic::with_attacks(8, Attack::WildWrite { addr: UNMAPPED_ADDR }, 2, base.seed)
+                .generate(&image);
         for r in &script {
             sys.push_request(r.data.clone(), r.malicious);
         }
@@ -146,7 +138,10 @@ fn ablate_fleet(scale: u32) {
 /// sacrifice fewer benign victims before the macro restore.
 fn ablate_hybrid_threshold(scale: u32) {
     println!("-- hybrid failure threshold (dormant attack, 10 benign followers) --");
-    println!("{:<12} {:>14} {:>14} {:>14}", "threshold", "benign served", "micro tries", "macro used");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14}",
+        "threshold", "benign served", "micro tries", "macro used"
+    );
     for threshold in [1u32, 2, 3, 5] {
         let mut o = RunOptions::paper(ServiceApp::Httpd);
         o.scale = scale;

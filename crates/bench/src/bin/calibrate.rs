@@ -10,8 +10,7 @@ use indra_core::SchemeKind;
 use indra_workloads::ServiceApp;
 
 fn main() {
-    let scale: u32 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
     println!("calibration at scale 1/{scale}");
     println!(
         "{:<10} {:>12} {:>8} {:>8} {:>9} {:>9} {:>10}",

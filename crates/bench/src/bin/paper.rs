@@ -96,23 +96,18 @@ fn table4() {
     println!("-- Table 4: processor model parameters --");
     println!("fetch/decode width        {}", m.core.fetch_width);
     println!("issue/commit width        {}", m.core.issue_width);
-    println!(
-        "L1 I-cache                DM, {}KB, {}B line",
-        m.mem.il1.size / 1024,
-        m.mem.il1.line
-    );
-    println!(
-        "L1 D-cache                DM, {}KB, {}B line",
-        m.mem.dl1.size / 1024,
-        m.mem.dl1.line
-    );
+    println!("L1 I-cache                DM, {}KB, {}B line", m.mem.il1.size / 1024, m.mem.il1.line);
+    println!("L1 D-cache                DM, {}KB, {}B line", m.mem.dl1.size / 1024, m.mem.dl1.line);
     println!(
         "L2 cache                  {}-way, unified, {}B line, WB, {}KB per core",
         m.mem.l2.ways,
         m.mem.l2.line,
         m.mem.l2.size / 1024
     );
-    println!("L1/L2 latency             {} cycle / {} cycles", m.mem.il1.hit_latency, m.mem.l2.hit_latency);
+    println!(
+        "L1/L2 latency             {} cycle / {} cycles",
+        m.mem.il1.hit_latency, m.mem.l2.hit_latency
+    );
     println!("I-TLB                     {}-way, {} entries", m.mem.itlb.ways, m.mem.itlb.entries);
     println!("D-TLB                     {}-way, {} entries", m.mem.dtlb.ways, m.mem.dtlb.entries);
     println!(
@@ -162,7 +157,10 @@ fn table2(scale: u32) {
             },
         ),
     ];
-    println!("{:<22} {:>12} {:>12} {:>17}", "inspection \\ exploit", "stack smash", "inj. code", "fn-ptr overwrite");
+    println!(
+        "{:<22} {:>12} {:>12} {:>17}",
+        "inspection \\ exploit", "stack smash", "inj. code", "fn-ptr overwrite"
+    );
     for (pname, policy) in policies {
         let mut row = format!("{pname:<22}");
         for (_aname, attack) in attacks {
@@ -319,13 +317,19 @@ fn fig13(scale: u32, csv: &CsvSink) {
         rows.push(vec![app.name().to_owned(), format!("{full:.0}")]);
         println!("{:<10} {:>12.0}", app.name(), full);
     }
-    println!("{:<10} {:>12.0}  (scaled back to full size)\n", "average", sum / 6.0 * f64::from(scale));
+    println!(
+        "{:<10} {:>12.0}  (scaled back to full size)\n",
+        "average",
+        sum / 6.0 * f64::from(scale)
+    );
     csv.write("fig13_insns_per_request", &["app", "instructions"], &rows);
 }
 
 /// Fig. 14: slowdown under conventional virtual checkpointing.
 fn fig14(scale: u32, csv: &CsvSink) {
-    println!("-- Fig. 14: slowdown with page-copy virtual checkpointing (paper: ~2-14x, bind worst) --");
+    println!(
+        "-- Fig. 14: slowdown with page-copy virtual checkpointing (paper: ~2-14x, bind worst) --"
+    );
     let mut sum = 0.0;
     let mut rows = Vec::new();
     for app in ServiceApp::ALL {
@@ -448,8 +452,8 @@ fn security(scale: u32) {
                 .max()
                 .unwrap_or(0);
             let expected_last = m.requests_sent as u64 - 1;
-            let recovered = m.report.benign_served == total
-                || last_served >= expected_last.saturating_sub(1);
+            let recovered =
+                m.report.benign_served == total || last_served >= expected_last.saturating_sub(1);
             println!(
                 "{:<10} {:<22} {:>9} {:>10} {:>7}/{}",
                 app.name(),

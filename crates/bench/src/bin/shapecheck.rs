@@ -8,10 +8,7 @@ use indra_workloads::{Attack, ServiceApp, UNMAPPED_ADDR};
 fn main() {
     let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
     println!("shape check at scale 1/{scale}  (fig14 = virtual ckpt slowdown; fig16 = delta M+B and M+B+R)");
-    println!(
-        "{:<10} {:>8} {:>8} {:>8} {:>10}",
-        "app", "fig14", "f16 M+B", "f16 MBR", "undo-log"
-    );
+    println!("{:<10} {:>8} {:>8} {:>8} {:>10}", "app", "fig14", "f16 M+B", "f16 MBR", "undo-log");
     for app in ServiceApp::ALL {
         let mut base = RunOptions::paper(app);
         base.scale = scale;
@@ -41,6 +38,13 @@ fn main() {
         ul.attack = Some((Attack::WildWrite { addr: UNMAPPED_ADDR }, 1));
         let undo = run(&ul).cycles_per_benign / baseline;
 
-        println!("{:<10} {:>8.2} {:>8.2} {:>8.2} {:>10.2}", app.name(), fig14, fig16_mb, fig16_mbr, undo);
+        println!(
+            "{:<10} {:>8.2} {:>8.2} {:>8.2} {:>10.2}",
+            app.name(),
+            fig14,
+            fig16_mb,
+            fig16_mbr,
+            undo
+        );
     }
 }

@@ -93,10 +93,7 @@ mod tests {
         sink.write(
             "t",
             &["app", "value"],
-            &[
-                vec!["bind".into(), "1.5".into()],
-                vec!["we,ird\"name".into(), "2".into()],
-            ],
+            &[vec!["bind".into(), "1.5".into()], vec!["we,ird\"name".into(), "2".into()]],
         );
         let text = std::fs::read_to_string(dir.join("t.csv")).unwrap();
         assert_eq!(text, "app,value\nbind,1.5\n\"we,ird\"\"name\",2\n");

@@ -1,0 +1,276 @@
+//! A log-bucketed latency histogram (HDR-style, 8 sub-buckets per
+//! octave), shared by the figure harness and the fleet aggregator.
+//!
+//! Values up to `u64::MAX` are binned with a relative error below 12.5 %
+//! (1/8). Merging histograms is commutative and associative — per-shard
+//! histograms folded in any order produce identical counts, which keeps
+//! the fleet's aggregated report deterministic — though the fleet folds
+//! in shard order anyway.
+
+use indra_core::json::JsonObject;
+
+/// Sub-bucket precision: 2^3 = 8 linear buckets per power of two.
+const PRECISION: u32 = 3;
+const SUB: u64 = 1 << PRECISION;
+/// Enough buckets for the full `u64` range.
+const BUCKETS: usize = ((64 - PRECISION as usize) + 1) << PRECISION;
+
+/// A mergeable log-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - PRECISION;
+    let sub = (v >> shift) & (SUB - 1);
+    (((shift + 1) as u64 * SUB) + sub) as usize
+}
+
+/// The largest value mapping to `bucket` (quantiles report this upper
+/// bound, so `p99` errs toward overstating latency, never hiding it).
+fn bucket_upper(bucket: usize) -> u64 {
+    let b = bucket as u64;
+    if b < SUB {
+        return b;
+    }
+    let shift = (b / SUB) - 1;
+    let sub = b % SUB;
+    // Wrapping: the topmost bucket's bound is 2^64, which wraps to 0 and
+    // subtracts to exactly `u64::MAX` — the bound we want.
+    ((SUB + sub + 1) << shift).wrapping_sub(1)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram { counts: vec![0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self` (commutative, associative).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: an upper bound of the
+    /// bucket holding the `ceil(q * count)`-th smallest sample, clamped
+    /// to the observed maximum (0 when empty).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bucket, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(bucket).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (upper-bound convention; see [`Histogram::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The fixed-size summary reports embed.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.p50(),
+            p95: self.p95(),
+            p99: self.p99(),
+            max: self.max,
+        }
+    }
+}
+
+/// The percentile digest of one [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    /// Serializes the summary as JSON with a fixed field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("count", self.count)
+            .f64("mean", self.mean)
+            .u64("min", self.min)
+            .u64("p50", self.p50)
+            .u64("p95", self.p95)
+            .u64("p99", self.p99)
+            .u64("max", self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..8 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.quantile(1.0), 7);
+        assert_eq!(h.p50(), 3);
+    }
+
+    #[test]
+    fn buckets_bound_relative_error() {
+        let mut h = Histogram::new();
+        for &v in &[1_000u64, 10_000, 100_000, 1_000_000] {
+            h.record(v);
+        }
+        // Every quantile answer must be >= the true value and within 12.5%.
+        for (q, truth) in [(0.25, 1_000u64), (0.5, 10_000), (0.75, 100_000), (1.0, 1_000_000)] {
+            let got = h.quantile(q);
+            assert!(got >= truth, "q{q}: {got} < {truth}");
+            assert!(got as f64 <= truth as f64 * 1.125, "q{q}: {got} overshoots {truth}");
+        }
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 0..1000u64 {
+            let v = i * i % 77_777;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            whole.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.summary(), whole.summary());
+    }
+
+    #[test]
+    fn percentiles_order_and_tail() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i);
+        }
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!((450..=620).contains(&p50), "p50 {p50}");
+        assert!((985..=1000).contains(&p99), "p99 {p99}");
+        assert!(h.summary().to_json().contains("\"p99\":"));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

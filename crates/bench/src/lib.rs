@@ -9,8 +9,10 @@
 //! benches wrap the same runner.
 
 mod csv;
+mod hist;
 
 pub use csv::CsvSink;
+pub use hist::{Histogram, HistogramSummary};
 
 use indra_core::{IndraSystem, MonitorConfig, RunReport, RunState, SchemeKind, SystemConfig};
 use indra_isa::Image;

@@ -38,11 +38,8 @@ impl AvailabilityReport {
         let benign_served = report.benign_served;
         let benign_lost = benign_sent.saturating_sub(benign_served);
 
-        let micro = report
-            .detections
-            .iter()
-            .filter(|d| d.level == RecoveryLevel::Micro)
-            .count() as u64;
+        let micro =
+            report.detections.iter().filter(|d| d.level == RecoveryLevel::Micro).count() as u64;
         let macro_ = report.detections.len() as u64 - micro;
 
         // For each detection, find the first benign sample on the same
@@ -77,6 +74,22 @@ impl AvailabilityReport {
                 benign_served as f64 / benign_sent as f64
             },
         }
+    }
+}
+
+impl AvailabilityReport {
+    /// Serializes the report as JSON with a fixed field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        crate::json::JsonObject::new()
+            .u64("benign_served", self.benign_served)
+            .u64("benign_lost", self.benign_lost)
+            .u64("recoveries", self.recoveries)
+            .u64("micro_recoveries", self.micro_recoveries)
+            .u64("macro_recoveries", self.macro_recoveries)
+            .f64("mean_cycles_to_next_service", self.mean_cycles_to_next_service)
+            .f64("benign_service_ratio", self.benign_service_ratio)
+            .finish()
     }
 }
 

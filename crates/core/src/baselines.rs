@@ -100,7 +100,13 @@ impl BackupHook for VirtualCheckpoint {
         0
     }
 
-    fn before_write(&mut self, asid: u16, vaddr: u32, paddr: u32, phys: &mut PhysicalMemory) -> u32 {
+    fn before_write(
+        &mut self,
+        asid: u16,
+        vaddr: u32,
+        paddr: u32,
+        phys: &mut PhysicalMemory,
+    ) -> u32 {
         let trap = self.trap_cycles;
         let Some(proc) = self.procs.get_mut(&asid) else { return 0 };
         self.stats.stores_observed += 1;
@@ -265,7 +271,13 @@ impl BackupHook for UndoLog {
         0
     }
 
-    fn before_write(&mut self, asid: u16, _vaddr: u32, paddr: u32, phys: &mut PhysicalMemory) -> u32 {
+    fn before_write(
+        &mut self,
+        asid: u16,
+        _vaddr: u32,
+        paddr: u32,
+        phys: &mut PhysicalMemory,
+    ) -> u32 {
         let Some(log) = self.logs.get_mut(&asid) else { return 0 };
         self.stats.stores_observed += 1;
         // Log the aligned word containing the store (covers byte stores).
@@ -296,7 +308,12 @@ impl Scheme for UndoLog {
 
     /// Recovery: undo every entry in reverse order — the "slow" cell of
     /// Table 3's recovery column.
-    fn fail_and_rollback(&mut self, asid: u16, _: &mut AddressSpace, phys: &mut PhysicalMemory) -> u64 {
+    fn fail_and_rollback(
+        &mut self,
+        asid: u16,
+        _: &mut AddressSpace,
+        phys: &mut PhysicalMemory,
+    ) -> u64 {
         let Some(log) = self.logs.get_mut(&asid) else { return 0 };
         let mut cycles = 0u64;
         for entry in log.drain(..).rev() {
@@ -373,8 +390,14 @@ mod tests {
         s.register(7);
         for _ in 0..5 {
             s.begin_request(7, &mut space, &mut phys);
-            assert_eq!(s.before_write(7, 0x10000, 0x5000, &mut phys), PAGE_COPY_CYCLES + VC_TRAP_CYCLES);
-            assert_eq!(s.before_write(7, 0x11000, 0x6000, &mut phys), PAGE_COPY_CYCLES + VC_TRAP_CYCLES);
+            assert_eq!(
+                s.before_write(7, 0x10000, 0x5000, &mut phys),
+                PAGE_COPY_CYCLES + VC_TRAP_CYCLES
+            );
+            assert_eq!(
+                s.before_write(7, 0x11000, 0x6000, &mut phys),
+                PAGE_COPY_CYCLES + VC_TRAP_CYCLES
+            );
         }
         assert_eq!(s.stats().page_copies, 10, "frames must recycle at each boundary");
     }

@@ -117,7 +117,6 @@ impl DeltaBackupEngine {
     pub fn pages_pending_rollback(&self, asid: u16) -> u64 {
         self.procs.get(&asid).map_or(0, |p| p.rollback_pending)
     }
-
 }
 
 impl BackupHook for DeltaBackupEngine {
@@ -150,7 +149,13 @@ impl BackupHook for DeltaBackupEngine {
     /// Fig. 4: back up the original line on first write per request; a
     /// write to a rollback-pending line restores it first (the backup
     /// page already holds the boundary snapshot, so no re-copy).
-    fn before_write(&mut self, asid: u16, vaddr: u32, paddr: u32, phys: &mut PhysicalMemory) -> u32 {
+    fn before_write(
+        &mut self,
+        asid: u16,
+        vaddr: u32,
+        paddr: u32,
+        phys: &mut PhysicalMemory,
+    ) -> u32 {
         let Some(proc) = self.procs.get_mut(&asid) else { return 0 };
         self.stats.stores_observed += 1;
         let vpn = vaddr >> PAGE_SHIFT;
@@ -166,10 +171,8 @@ impl BackupHook for DeltaBackupEngine {
                     return 0;
                 };
                 cycles += self.cfg.alloc_page_cycles;
-                proc.pages.insert(
-                    vpn,
-                    BackupRecord { backup_ppn: ppn, lts: gts, dirty: 0, rollback: 0 },
-                );
+                proc.pages
+                    .insert(vpn, BackupRecord { backup_ppn: ppn, lts: gts, dirty: 0, rollback: 0 });
                 proc.pages.get_mut(&vpn).expect("just inserted")
             }
         };
@@ -231,7 +234,12 @@ impl Scheme for DeltaBackupEngine {
 
     /// Fig. 6, failure path: for every backup page,
     /// `rollback |= dirty; dirty = 0` — no memory copying at all.
-    fn fail_and_rollback(&mut self, asid: u16, _: &mut AddressSpace, _: &mut PhysicalMemory) -> u64 {
+    fn fail_and_rollback(
+        &mut self,
+        asid: u16,
+        _: &mut AddressSpace,
+        _: &mut PhysicalMemory,
+    ) -> u64 {
         let Some(proc) = self.procs.get_mut(&asid) else { return 0 };
         let mut cycles = 0u64;
         for rec in proc.pages.values_mut() {
@@ -321,10 +329,8 @@ mod tests {
 
     /// One mapped RW page at vaddr 0x10000 → paddr 0x5000, plus the engine.
     fn rig() -> (DeltaBackupEngine, AddressSpace, PhysicalMemory) {
-        let mut engine = DeltaBackupEngine::new(
-            DeltaConfig::default(),
-            FrameAllocator::new(0x100, 0x200),
-        );
+        let mut engine =
+            DeltaBackupEngine::new(DeltaConfig::default(), FrameAllocator::new(0x100, 0x200));
         engine.register(7);
         let mut space = AddressSpace::new(7);
         space.map(0x10, Pte { ppn: 0x5, read: true, write: true, execute: false });

@@ -1,0 +1,142 @@
+//! Minimal JSON emission for report types.
+//!
+//! The sanctioned path would be `serde` derives, but this tree must
+//! build with zero external crates (the build environment is fully
+//! offline), so the report types hand-roll their serialization through
+//! this tiny writer instead. The grammar emitted is plain RFC 8259 JSON;
+//! field order is fixed, so equal reports serialize to identical bytes —
+//! the fleet determinism tests compare these strings directly.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as a JSON string literal (quotes included).
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` as a JSON number (non-finite values become `null`,
+/// which JSON cannot represent).
+#[must_use]
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// An incremental `{…}` builder with fixed field order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    #[must_use]
+    pub fn new() -> JsonObject {
+        JsonObject { buf: String::new() }
+    }
+
+    fn key(&mut self, name: &str) -> &mut String {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "{}:", json_string(name));
+        &mut self.buf
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, name: &str, v: u64) -> &mut JsonObject {
+        let _ = write!(self.key(name), "{v}");
+        self
+    }
+
+    /// Adds a float field.
+    pub fn f64(&mut self, name: &str, v: f64) -> &mut JsonObject {
+        let s = json_f64(v);
+        self.key(name).push_str(&s);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, name: &str, v: bool) -> &mut JsonObject {
+        self.key(name).push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, name: &str, v: &str) -> &mut JsonObject {
+        let s = json_string(v);
+        self.key(name).push_str(&s);
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON (an object, an
+    /// array, or `null`).
+    pub fn raw(&mut self, name: &str, v: &str) -> &mut JsonObject {
+        self.key(name).push_str(v);
+        self
+    }
+
+    /// Closes the object and returns its text.
+    #[must_use]
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Renders an iterator of already-rendered JSON values as a `[…]` array.
+#[must_use]
+pub fn json_array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_builds() {
+        let json = JsonObject::new()
+            .u64("n", 3)
+            .f64("ratio", 0.5)
+            .bool("ok", true)
+            .str("name", "a\"b\\c\nd")
+            .raw("xs", &json_array([String::from("1"), String::from("2")]))
+            .finish();
+        assert_eq!(json, r#"{"n":3,"ratio":0.5,"ok":true,"name":"a\"b\\c\nd","xs":[1,2]}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.25), "1.25");
+    }
+}

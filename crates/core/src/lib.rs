@@ -32,6 +32,7 @@
 mod availability;
 mod baselines;
 mod delta;
+pub mod json;
 mod monitor;
 mod recovery;
 mod scheme;

@@ -536,7 +536,15 @@ mod tests {
     fn balanced_call_return_passes() {
         let mut m = mon();
         assert!(m
-            .process(ev(TraceEvent::Call { pc: 0x40_0000, target: 0x40_0100, return_addr: 0x40_0004, sp: 0x7000 }, 10))
+            .process(ev(
+                TraceEvent::Call {
+                    pc: 0x40_0000,
+                    target: 0x40_0100,
+                    return_addr: 0x40_0004,
+                    sp: 0x7000
+                },
+                10
+            ))
             .is_none());
         assert!(m
             .process(ev(TraceEvent::Return { pc: 0x40_0104, target: 0x40_0004, sp: 0x7000 }, 20))
@@ -548,7 +556,15 @@ mod tests {
     #[test]
     fn smashed_return_detected() {
         let mut m = mon();
-        m.process(ev(TraceEvent::Call { pc: 0x40_0000, target: 0x40_0100, return_addr: 0x40_0004, sp: 0x7000 }, 10));
+        m.process(ev(
+            TraceEvent::Call {
+                pc: 0x40_0000,
+                target: 0x40_0100,
+                return_addr: 0x40_0004,
+                sp: 0x7000,
+            },
+            10,
+        ));
         let v = m
             .process(ev(TraceEvent::Return { pc: 0x40_0104, target: 0xDEAD_0000, sp: 0x7000 }, 20))
             .expect("must detect");
@@ -574,19 +590,39 @@ mod tests {
             .expect("must detect");
         assert_eq!(v.kind, ViolationKind::CodeInjection);
         // Legit code page passes.
-        assert!(m.process(ev(TraceEvent::CodeFill { page_vaddr: 0x40_0000, pc: 0x40_0000 }, 6)).is_none());
+        assert!(m
+            .process(ev(TraceEvent::CodeFill { page_vaddr: 0x40_0000, pc: 0x40_0000 }, 6))
+            .is_none());
         // Declared dynamic region passes.
-        assert!(m.process(ev(TraceEvent::CodeFill { page_vaddr: 0x50_0000, pc: 0x50_0000 }, 7)).is_none());
+        assert!(m
+            .process(ev(TraceEvent::CodeFill { page_vaddr: 0x50_0000, pc: 0x50_0000 }, 7))
+            .is_none());
     }
 
     #[test]
     fn indirect_target_policy() {
         let mut m = mon();
         assert!(m
-            .process(ev(TraceEvent::IndirectCall { pc: 0x40_0000, target: 0x40_0200, return_addr: 4, sp: 0 }, 1))
+            .process(ev(
+                TraceEvent::IndirectCall {
+                    pc: 0x40_0000,
+                    target: 0x40_0200,
+                    return_addr: 4,
+                    sp: 0
+                },
+                1
+            ))
             .is_none());
         let v = m
-            .process(ev(TraceEvent::IndirectCall { pc: 0x40_0000, target: 0x40_0444, return_addr: 4, sp: 0 }, 2))
+            .process(ev(
+                TraceEvent::IndirectCall {
+                    pc: 0x40_0000,
+                    target: 0x40_0444,
+                    return_addr: 4,
+                    sp: 0,
+                },
+                2,
+            ))
             .expect("hijacked fn pointer must be detected");
         assert_eq!(v.kind, ViolationKind::InvalidIndirectTarget);
         // Indirect jump into dynamic region is fine.
@@ -599,10 +635,28 @@ mod tests {
     fn longjmp_unwinds_shadow_stack() {
         let mut m = mon();
         // call chain: A -> B -> C, where A's frame will be the longjmp home.
-        m.process(ev(TraceEvent::Call { pc: 0x40_0000, target: 0x40_0100, return_addr: 0x40_0300, sp: 0x7000 }, 1));
-        m.process(ev(TraceEvent::Call { pc: 0x40_0100, target: 0x40_0200, return_addr: 0x40_0104, sp: 0x6FF0 }, 2));
+        m.process(ev(
+            TraceEvent::Call {
+                pc: 0x40_0000,
+                target: 0x40_0100,
+                return_addr: 0x40_0300,
+                sp: 0x7000,
+            },
+            1,
+        ));
+        m.process(ev(
+            TraceEvent::Call {
+                pc: 0x40_0100,
+                target: 0x40_0200,
+                return_addr: 0x40_0104,
+                sp: 0x6FF0,
+            },
+            2,
+        ));
         // longjmp back to the registered target:
-        assert!(m.process(ev(TraceEvent::IndirectJump { pc: 0x40_0208, target: 0x40_0300 }, 3)).is_none());
+        assert!(m
+            .process(ev(TraceEvent::IndirectJump { pc: 0x40_0208, target: 0x40_0300 }, 3))
+            .is_none());
         // The unwound stack accepts the outer return:
         assert!(m
             .process(ev(TraceEvent::Return { pc: 0x40_0300, target: 0x40_0300, sp: 0x7000 }, 4))
@@ -639,11 +693,11 @@ mod tests {
             ..MonitorConfig::default()
         });
         m.register_app(1, meta());
-        assert!(m.process(ev(TraceEvent::CodeFill { page_vaddr: 0x1000_0000, pc: 0 }, 1)).is_none());
-        assert!(m.process(ev(TraceEvent::Return { pc: 0, target: 0xBAD, sp: 0 }, 2)).is_none());
         assert!(m
-            .process(ev(TraceEvent::IndirectJump { pc: 0, target: 0xBAD }, 3))
+            .process(ev(TraceEvent::CodeFill { page_vaddr: 0x1000_0000, pc: 0 }, 1))
             .is_none());
+        assert!(m.process(ev(TraceEvent::Return { pc: 0, target: 0xBAD, sp: 0 }, 2)).is_none());
+        assert!(m.process(ev(TraceEvent::IndirectJump { pc: 0, target: 0xBAD }, 3)).is_none());
     }
 
     #[test]
@@ -659,11 +713,8 @@ mod tests {
 
     #[test]
     fn metadata_from_image() {
-        let img = indra_isa::assemble(
-            "t",
-            "main:\n call f\n halt\nf:\n ret\n.data\nd: .word 1\n",
-        )
-        .unwrap();
+        let img = indra_isa::assemble("t", "main:\n call f\n halt\nf:\n ret\n.data\nd: .word 1\n")
+            .unwrap();
         let meta = AppMetadata::from_image(&img);
         let text_vpn = indra_isa::TEXT_BASE >> PAGE_SHIFT;
         assert!(meta.executable_pages.contains(&text_vpn));
@@ -724,11 +775,8 @@ mod policy_tests {
         let v = m.process(smashed).expect("violation");
         assert_eq!(v.kind, ViolationKind::ShadowStackUnderflow, "built-in wins");
         // And a passing event reaches the policy:
-        let benign = StampedEvent {
-            event: TraceEvent::SyscallSync { pc: 0, code: 2 },
-            cycle: 2,
-            asid: 1,
-        };
+        let benign =
+            StampedEvent { event: TraceEvent::SyscallSync { pc: 0, code: 2 }, cycle: 2, asid: 1 };
         assert_eq!(m.process(benign).expect("policy fires").kind, ViolationKind::Custom);
     }
 

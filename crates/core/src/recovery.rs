@@ -221,7 +221,8 @@ mod tests {
 
     #[test]
     fn escalation_after_consecutive_failures() {
-        let mut h = HybridController::new(HybridConfig { macro_interval: 100, failure_threshold: 2 });
+        let mut h =
+            HybridController::new(HybridConfig { macro_interval: 100, failure_threshold: 2 });
         assert_eq!(h.on_failure(), RecoveryLevel::Micro);
         assert_eq!(h.on_failure(), RecoveryLevel::Micro);
         assert_eq!(h.on_failure(), RecoveryLevel::Macro, "third consecutive failure escalates");
@@ -243,7 +244,8 @@ mod tests {
 
     #[test]
     fn success_resets_failure_count() {
-        let mut h = HybridController::new(HybridConfig { macro_interval: 100, failure_threshold: 2 });
+        let mut h =
+            HybridController::new(HybridConfig { macro_interval: 100, failure_threshold: 2 });
         h.on_failure();
         h.on_failure();
         h.on_success();
@@ -261,8 +263,7 @@ mod tests {
         fn macro_roundtrip_restores_memory_and_context() {
             let mut m = Machine::new(MachineConfig::default());
             m.boot_asymmetric();
-            let img =
-                assemble("t", "main:\n halt\n.data\nbuf: .word 0x1111\n").unwrap();
+            let img = assemble("t", "main:\n halt\n.data\nbuf: .word 0x1111\n").unwrap();
             m.create_space(5);
             m.load_image(5, &img).unwrap();
             m.core_mut(1).set_asid(5);

@@ -59,7 +59,9 @@ impl SchemeStats {
 /// GTS increment), the [`BackupHook`] callbacks on every committed memory
 /// access in between, and `fail_and_rollback` when the monitor detects
 /// corruption.
-pub trait Scheme: BackupHook {
+/// `Send` because the fleet executor moves whole [`crate::IndraSystem`]s
+/// (which own their scheme) onto worker threads.
+pub trait Scheme: BackupHook + Send {
     /// Scheme name for reports ("indra-delta", "virtual-checkpoint", …).
     fn name(&self) -> &'static str;
 

@@ -192,6 +192,68 @@ impl RunReport {
     pub fn false_positives(&self) -> usize {
         self.detections.iter().filter(|d| !d.was_malicious && d.request_id.is_some()).count()
     }
+
+    /// Serializes the full report (detections and samples included) as
+    /// JSON. Field order is fixed: equal reports produce identical bytes.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        crate::json::JsonObject::new()
+            .u64("served", self.served)
+            .u64("benign_served", self.benign_served)
+            .raw(
+                "detections",
+                &crate::json::json_array(self.detections.iter().map(Detection::to_json)),
+            )
+            .raw(
+                "samples",
+                &crate::json::json_array(self.samples.iter().map(RequestSample::to_json)),
+            )
+            .finish()
+    }
+}
+
+impl Detection {
+    /// One detection as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let cause = match self.cause {
+            FailureCause::Violation(kind) => format!("violation:{kind:?}"),
+            FailureCause::Fault => "fault".to_owned(),
+            FailureCause::Timeout => "timeout".to_owned(),
+        };
+        let mut obj = crate::json::JsonObject::new();
+        obj.str("cause", &cause);
+        match self.request_id {
+            Some(id) => obj.u64("request_id", id),
+            None => obj.raw("request_id", "null"),
+        };
+        obj.bool("was_malicious", self.was_malicious)
+            .str(
+                "level",
+                match self.level {
+                    RecoveryLevel::Micro => "micro",
+                    RecoveryLevel::Macro => "macro",
+                },
+            )
+            .u64("at_cycle", self.at_cycle)
+            .u64("core", self.core as u64)
+            .finish()
+    }
+}
+
+impl RequestSample {
+    /// One timing sample as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        crate::json::JsonObject::new()
+            .u64("request_id", self.request_id)
+            .u64("cycles", self.cycles)
+            .u64("instructions", self.instructions)
+            .bool("malicious", self.malicious)
+            .u64("core", self.core as u64)
+            .u64("completed_at", self.completed_at)
+            .finish()
+    }
 }
 
 /// Outcome of driving the system.
@@ -585,8 +647,7 @@ impl IndraSystem {
                     return Pump::Progress;
                 }
                 if self.machine.monitoring() {
-                    let lag =
-                        self.monitor.clock().saturating_sub(self.machine.core(core).cycles());
+                    let lag = self.monitor.clock().saturating_sub(self.machine.core(core).cycles());
                     if lag > 0 {
                         self.machine.core_mut(core).add_stall_cycles(lag);
                     }
@@ -616,14 +677,12 @@ impl IndraSystem {
     /// synchronization rule).
     fn pre_syscall_clean(&mut self, svc: Service, code: u16) {
         let (buf, len) = match code {
-            syscall::SYS_NET_SEND | syscall::SYS_LOG => (
-                self.machine.core(svc.core).reg(Reg::A0),
-                self.machine.core(svc.core).reg(Reg::A1),
-            ),
-            syscall::SYS_WRITE => (
-                self.machine.core(svc.core).reg(Reg::A1),
-                self.machine.core(svc.core).reg(Reg::A2),
-            ),
+            syscall::SYS_NET_SEND | syscall::SYS_LOG => {
+                (self.machine.core(svc.core).reg(Reg::A0), self.machine.core(svc.core).reg(Reg::A1))
+            }
+            syscall::SYS_WRITE => {
+                (self.machine.core(svc.core).reg(Reg::A1), self.machine.core(svc.core).reg(Reg::A2))
+            }
             _ => return,
         };
         if let Some((space, phys)) = self.machine.space_and_phys_mut(svc.asid) {
@@ -685,7 +744,8 @@ impl IndraSystem {
             self.machine.core_mut(svc.core).add_stall_cycles(cost);
         }
         self.monitor.snapshot_shadow(svc.asid);
-        let take = self.hybrids.get_mut(&svc.core).is_some_and(HybridController::on_request_boundary);
+        let take =
+            self.hybrids.get_mut(&svc.core).is_some_and(HybridController::on_request_boundary);
         if take {
             self.take_macro(svc);
         }
@@ -769,6 +829,28 @@ impl IndraSystem {
 
         self.machine.core_mut(core).add_stall_cycles(cycles + MICRO_RECOVERY_BASE_CYCLES);
         self.machine.resume_after_recovery(core);
+    }
+
+    /// Injects a transient hardware fault on `core`, driving the full
+    /// recovery path exactly as a real fault would (the fleet harness's
+    /// rejuvenation-under-fault experiments; cf. continuous SoC
+    /// rejuvenation in the related work). The in-flight request, if any,
+    /// is rolled back and recorded as a [`FailureCause::Fault`] detection.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `core` has no deployed service.
+    pub fn inject_fault(&mut self, core: usize) {
+        assert!(self.services.contains_key(&core), "no service on core {core}");
+        self.recover(core, FailureCause::Fault);
+    }
+
+    /// Derives the availability metrics for this run, given how many
+    /// benign requests the harness queued (the denominator the report
+    /// cannot know by itself).
+    #[must_use]
+    pub fn availability(&self, benign_sent: u64) -> crate::AvailabilityReport {
+        crate::AvailabilityReport::from_run(&self.report, benign_sent)
     }
 
     /// Drains the whole FIFO through the monitor; returns the owning core
@@ -859,11 +941,8 @@ mod tests {
 
     #[test]
     fn monitoring_off_still_serves() {
-        let cfg = SystemConfig {
-            scheme: SchemeKind::None,
-            monitoring: false,
-            ..SystemConfig::default()
-        };
+        let cfg =
+            SystemConfig { scheme: SchemeKind::None, monitoring: false, ..SystemConfig::default() };
         let mut sys = IndraSystem::new(cfg);
         let img = assemble("echo", ECHO).unwrap();
         sys.deploy(&img).unwrap();
@@ -952,6 +1031,43 @@ mod tests {
         // Samples are attributed to the right cores.
         assert!(sys.report().samples.iter().any(|s| s.core == 1));
         assert!(sys.report().samples.iter().any(|s| s.core == 2));
+    }
+
+    #[test]
+    fn indra_system_is_send() {
+        // The fleet executor moves whole systems onto worker threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<IndraSystem>();
+        assert_send::<RunReport>();
+    }
+
+    #[test]
+    fn fault_injection_recovers_and_is_audited() {
+        let mut sys = system(SchemeKind::Delta);
+        sys.push_request(b"before".to_vec(), false);
+        assert_eq!(sys.run(1_000_000), RunState::Idle);
+        let core = sys.service_cores()[0];
+        sys.inject_fault(core);
+        sys.push_request(b"after".to_vec(), false);
+        assert_eq!(sys.run(1_000_000), RunState::Idle);
+        assert_eq!(sys.report().served, 2, "service must survive the injected fault");
+        assert_eq!(sys.report().detections.len(), 1);
+        assert_eq!(sys.report().detections[0].cause, FailureCause::Fault);
+        let avail = sys.availability(2);
+        assert_eq!(avail.recoveries, 1);
+        assert!((avail.benign_service_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_report_json_is_deterministic() {
+        let mut sys = system(SchemeKind::Delta);
+        sys.push_request(b"x".to_vec(), false);
+        assert_eq!(sys.run(1_000_000), RunState::Idle);
+        let a = sys.report().to_json();
+        let b = sys.report().clone().to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"served\":1,"));
+        assert!(a.contains("\"samples\":[{\"request_id\":"));
     }
 
     #[test]

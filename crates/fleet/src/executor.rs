@@ -1,0 +1,111 @@
+//! The parallel fleet executor: one OS thread per shard, one channel
+//! into the aggregator.
+//!
+//! Shards run under [`std::thread::scope`] so they may borrow the
+//! config; each sends [`ShardMsg`]s through an [`std::sync::mpsc`]
+//! channel. The aggregator (the calling thread) folds latency samples
+//! into a [`Histogram`] *while shards are still running* — arrival
+//! order varies with the OS scheduler, but histogram recording is
+//! commutative and per-shard summaries are slotted by shard index, so
+//! the final [`FleetStats`] is schedule-independent.
+
+use std::sync::mpsc;
+use std::time::Instant;
+
+use indra_bench::Histogram;
+
+use crate::shard::{run_shard, ShardMsg, ShardOutput};
+use crate::{FleetConfig, FleetReport, FleetStats};
+
+/// Runs the whole fleet and aggregates the result.
+///
+/// # Panics
+///
+/// Panics if `cfg.shards == 0`, `cfg.apps` is empty, or a shard thread
+/// panics (shard panics propagate — a broken shard must not silently
+/// vanish from the aggregate).
+#[must_use]
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    assert!(cfg.shards > 0, "fleet needs at least one shard");
+    let started = Instant::now();
+    let plans = cfg.plans();
+
+    let mut outputs: Vec<Option<ShardOutput>> = Vec::new();
+    outputs.resize_with(cfg.shards, || None);
+    let mut latency = Histogram::new();
+
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<ShardMsg>();
+        for plan in plans {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                run_shard(cfg, plan, |msg| {
+                    // The aggregator outlives every shard; a send can
+                    // only fail if it panicked, and then the scope is
+                    // already unwinding.
+                    let _ = tx.send(msg);
+                });
+            });
+        }
+        drop(tx);
+        // Live aggregation: the loop ends once every shard has dropped
+        // its sender (i.e. finished).
+        for msg in rx {
+            match msg {
+                ShardMsg::Sample(s) => latency.record(s.cycles),
+                ShardMsg::Done(out) => {
+                    let slot = out.plan.shard;
+                    outputs[slot] = Some(*out);
+                }
+            }
+        }
+    });
+
+    let outputs: Vec<ShardOutput> = outputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| o.unwrap_or_else(|| panic!("shard {i} never reported")))
+        .collect();
+    let stats = aggregate(cfg, &outputs, latency);
+
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let wall_req_per_sec =
+        if wall_seconds > 0.0 { stats.served as f64 / wall_seconds } else { 0.0 };
+    FleetReport { stats, wall_seconds, wall_req_per_sec }
+}
+
+/// Folds shard outputs (already in shard order) into fleet-wide stats.
+fn aggregate(cfg: &FleetConfig, outputs: &[ShardOutput], latency: Histogram) -> FleetStats {
+    let per_shard: Vec<_> = outputs.iter().map(ShardOutput::summary).collect();
+    let sum = |f: fn(&crate::ShardSummary) -> u64| per_shard.iter().map(f).sum::<u64>();
+    let served = sum(|s| s.served);
+    let benign_sent = sum(|s| s.benign_sent);
+    let benign_served = sum(|s| s.benign_served);
+    let max_shard_cycles = per_shard.iter().map(|s| s.sim_cycles).max().unwrap_or(0);
+    FleetStats {
+        shards: cfg.shards,
+        served,
+        benign_sent,
+        benign_served,
+        attacks_sent: sum(|s| s.attacks_sent),
+        detections: sum(|s| s.detections),
+        true_detections: sum(|s| s.true_detections),
+        micro_recoveries: sum(|s| s.micro_recoveries),
+        macro_recoveries: sum(|s| s.macro_recoveries),
+        faults_injected: sum(|s| s.faults_injected),
+        benign_service_ratio: if benign_sent == 0 {
+            1.0
+        } else {
+            benign_served as f64 / benign_sent as f64
+        },
+        max_shard_cycles,
+        total_shard_cycles: sum(|s| s.sim_cycles),
+        served_per_mcycle: if max_shard_cycles == 0 {
+            0.0
+        } else {
+            served as f64 * 1_000_000.0 / max_shard_cycles as f64
+        },
+        latency: latency.summary(),
+        per_shard,
+    }
+}

@@ -1,0 +1,174 @@
+#![warn(missing_docs)]
+//! # indra-fleet — sharded parallel fleet execution
+//!
+//! The paper's consolidation argument (§3.5, Fig. 2) is that one
+//! physical multicore hosts *many* resurrector/resurrectee cells, each
+//! running an independent network service. This crate scales the
+//! simulator to that shape: a fleet of [`crate::shard`]s — each a
+//! complete [`indra_core::IndraSystem`] — runs across OS threads, each
+//! driven by its own deterministic open-loop traffic schedule (benign
+//! requests with a configurable fraction of real exploit payloads),
+//! optionally under periodic hardware-fault injection.
+//!
+//! Per-request latency samples stream over a channel to an aggregator
+//! that folds them into a log-bucketed [`indra_bench::Histogram`] and
+//! produces a fleet-wide [`FleetReport`]: throughput (requests per
+//! million simulated cycles and wall-clock requests per second),
+//! benign-service ratio, detection and recovery counts, and latency
+//! percentiles.
+//!
+//! ## Determinism contract
+//!
+//! [`FleetStats`] is a pure function of [`FleetConfig`]. Each shard's
+//! traffic comes from a seed derived with
+//! [`indra_rng::derive_seed`]`(fleet_seed, shard_index)`; shards never
+//! share simulated state; the aggregator folds shard summaries in shard
+//! index order and histogram merging is commutative. Run the same
+//! config on 1 thread or 16, today or tomorrow — `stats` (and its JSON)
+//! is byte-identical. Wall-clock figures live outside `stats` in
+//! [`FleetReport`].
+//!
+//! ```no_run
+//! use indra_fleet::{run_fleet, FleetConfig};
+//!
+//! let report = run_fleet(&FleetConfig { shards: 6, ..FleetConfig::quick() });
+//! println!("{}", report.stats);
+//! assert_eq!(report.stats.true_detections, report.stats.attacks_sent);
+//! ```
+
+mod executor;
+mod report;
+mod shard;
+pub mod sweep;
+
+pub use executor::run_fleet;
+pub use report::{FleetReport, FleetStats, ShardSummary};
+pub use shard::{run_shard, shard_schedule, SampleMsg, ShardMsg, ShardOutput, ShardPlan};
+
+use indra_core::SchemeKind;
+use indra_rng::derive_seed;
+use indra_workloads::ServiceApp;
+
+/// Everything that determines a fleet run.
+///
+/// The deterministic portion of the result ([`FleetStats`]) depends on
+/// nothing else — see the crate docs for the contract.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of shards (independent resurrector/resurrectee cells).
+    pub shards: usize,
+    /// Services assigned round-robin to shards (shard `i` runs
+    /// `apps[i % apps.len()]`).
+    pub apps: Vec<ServiceApp>,
+    /// Request quota per shard.
+    pub requests_per_shard: u32,
+    /// Work-scale divisor applied to every workload (1 = paper scale).
+    pub scale: u32,
+    /// Attack probability per request, in ‰ (0–1000).
+    pub attack_per_mille: u32,
+    /// Mean inter-arrival gap of the open-loop schedule, in resurrectee
+    /// cycles.
+    pub mean_gap_cycles: u64,
+    /// Master seed; shard `i` derives its own via
+    /// [`indra_rng::derive_seed`].
+    pub seed: u64,
+    /// Checkpoint scheme every shard deploys.
+    pub scheme: SchemeKind,
+    /// Trace FIFO entries per shard machine.
+    pub fifo_entries: usize,
+    /// CAM filter entries per shard machine.
+    pub cam_entries: usize,
+    /// Inject a hardware fault after every N served requests
+    /// (`None` = no fault injection).
+    pub fault_every: Option<u32>,
+    /// Instruction-budget granularity of the run loop; smaller slices
+    /// stream samples sooner at more scheduling overhead.
+    pub run_slice_steps: u64,
+    /// Include the dormant-pointer attack in the mix. Off by default:
+    /// dormant plants are (by design) detected only when a *later*
+    /// benign request trips the planted pointer, which breaks the
+    /// "every injected attack is detected" accounting the fleet report
+    /// asserts on.
+    pub include_dormant_attacks: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            shards: 4,
+            apps: ServiceApp::ALL.to_vec(),
+            requests_per_shard: 32,
+            scale: 20,
+            attack_per_mille: 125,
+            mean_gap_cycles: 50_000,
+            seed: 0x1d7a_f1ee,
+            scheme: SchemeKind::Delta,
+            fifo_entries: 32,
+            cam_entries: 32,
+            fault_every: None,
+            run_slice_steps: 200_000,
+            include_dormant_attacks: false,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A configuration small enough for tests: fewer requests at a
+    /// deeper work-scale reduction.
+    #[must_use]
+    pub fn quick() -> FleetConfig {
+        FleetConfig { requests_per_shard: 12, scale: 40, ..FleetConfig::default() }
+    }
+
+    /// The plan for shard `shard` (app round-robin, derived seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    #[must_use]
+    pub fn plan(&self, shard: usize) -> ShardPlan {
+        assert!(!self.apps.is_empty(), "fleet needs at least one app");
+        ShardPlan {
+            shard,
+            app: self.apps[shard % self.apps.len()],
+            seed: derive_seed(self.seed, shard as u64),
+        }
+    }
+
+    /// Plans for every shard, in shard order.
+    #[must_use]
+    pub fn plans(&self) -> Vec<ShardPlan> {
+        (0..self.shards).map(|s| self.plan(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_round_robin_apps_and_vary_seeds() {
+        let cfg = FleetConfig { shards: 8, ..FleetConfig::quick() };
+        let plans = cfg.plans();
+        assert_eq!(plans.len(), 8);
+        assert_eq!(plans[0].app, ServiceApp::Ftpd);
+        assert_eq!(plans[6].app, ServiceApp::Ftpd); // 6 apps wrap
+        let mut seeds: Vec<u64> = plans.iter().map(|p| p.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8, "derived seeds must be distinct");
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_the_plan() {
+        let cfg = FleetConfig::quick();
+        let a = shard_schedule(&cfg, &cfg.plan(2));
+        let b = shard_schedule(&cfg, &cfg.plan(2));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_cycle, y.arrival_cycle);
+            assert_eq!(x.malicious, y.malicious);
+            assert_eq!(x.data, y.data);
+        }
+    }
+}

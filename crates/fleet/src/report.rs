@@ -1,0 +1,189 @@
+//! Aggregated fleet reporting.
+//!
+//! The deterministic measurements live in [`FleetStats`]: for a fixed
+//! [`crate::FleetConfig`] (seed included), `stats` — and therefore its
+//! JSON rendering — is byte-identical across runs and across any thread
+//! interleaving, because every shard's traffic is a pure function of its
+//! derived seed and shards are folded in shard order. Wall-clock numbers
+//! (which *do* vary run to run) are quarantined in the outer
+//! [`FleetReport`] so determinism stays assertable.
+
+use indra_bench::HistogramSummary;
+use indra_core::json::{json_array, JsonObject};
+use indra_workloads::ServiceApp;
+
+/// One shard's contribution to the fleet aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSummary {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// The service this shard ran.
+    pub app: ServiceApp,
+    /// Requests fully served.
+    pub served: u64,
+    /// Benign requests queued by the traffic schedule.
+    pub benign_sent: u64,
+    /// Benign requests served.
+    pub benign_served: u64,
+    /// Attack requests queued by the traffic schedule.
+    pub attacks_sent: u64,
+    /// Recovery episodes on this shard.
+    pub detections: u64,
+    /// Detections whose in-flight request was genuinely malicious.
+    pub true_detections: u64,
+    /// Micro (per-request rollback) recoveries.
+    pub micro_recoveries: u64,
+    /// Macro (application checkpoint) recoveries.
+    pub macro_recoveries: u64,
+    /// Injected hardware faults survived.
+    pub faults_injected: u64,
+    /// Resurrectee cycles this shard's service consumed.
+    pub sim_cycles: u64,
+    /// Fraction of honest clients served, in `[0, 1]`.
+    pub benign_service_ratio: f64,
+    /// Whether the shard finished its whole schedule (a `false` here
+    /// means the service halted or ran out of budget — it is *not*
+    /// silently dropped from the aggregate).
+    pub completed: bool,
+}
+
+impl ShardSummary {
+    /// JSON with fixed field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("shard", self.shard as u64)
+            .str("app", self.app.name())
+            .u64("served", self.served)
+            .u64("benign_sent", self.benign_sent)
+            .u64("benign_served", self.benign_served)
+            .u64("attacks_sent", self.attacks_sent)
+            .u64("detections", self.detections)
+            .u64("true_detections", self.true_detections)
+            .u64("micro_recoveries", self.micro_recoveries)
+            .u64("macro_recoveries", self.macro_recoveries)
+            .u64("faults_injected", self.faults_injected)
+            .u64("sim_cycles", self.sim_cycles)
+            .f64("benign_service_ratio", self.benign_service_ratio)
+            .bool("completed", self.completed)
+            .finish()
+    }
+}
+
+/// The deterministic fleet-wide aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Shard count the fleet ran with.
+    pub shards: usize,
+    /// Per-shard summaries, in shard order.
+    pub per_shard: Vec<ShardSummary>,
+    /// Requests fully served, fleet-wide.
+    pub served: u64,
+    /// Benign requests queued, fleet-wide.
+    pub benign_sent: u64,
+    /// Benign requests served, fleet-wide.
+    pub benign_served: u64,
+    /// Attack requests queued, fleet-wide.
+    pub attacks_sent: u64,
+    /// Recovery episodes, fleet-wide.
+    pub detections: u64,
+    /// Detections that hit genuinely malicious requests.
+    pub true_detections: u64,
+    /// Micro recoveries, fleet-wide.
+    pub micro_recoveries: u64,
+    /// Macro recoveries, fleet-wide.
+    pub macro_recoveries: u64,
+    /// Injected hardware faults, fleet-wide.
+    pub faults_injected: u64,
+    /// Fleet benign-service ratio (served honest clients over queued).
+    pub benign_service_ratio: f64,
+    /// The slowest shard's resurrectee cycle count — the fleet's
+    /// sim-time makespan.
+    pub max_shard_cycles: u64,
+    /// Sum of all shards' cycles (total simulated work).
+    pub total_shard_cycles: u64,
+    /// Requests served per million simulated cycles of makespan — the
+    /// sim-time throughput that scales with shard count.
+    pub served_per_mcycle: f64,
+    /// Latency digest over every served request (resurrectee cycles,
+    /// delivery → response).
+    pub latency: HistogramSummary,
+}
+
+impl FleetStats {
+    /// JSON with fixed field order; equal stats give equal bytes.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("shards", self.shards as u64)
+            .u64("served", self.served)
+            .u64("benign_sent", self.benign_sent)
+            .u64("benign_served", self.benign_served)
+            .u64("attacks_sent", self.attacks_sent)
+            .u64("detections", self.detections)
+            .u64("true_detections", self.true_detections)
+            .u64("micro_recoveries", self.micro_recoveries)
+            .u64("macro_recoveries", self.macro_recoveries)
+            .u64("faults_injected", self.faults_injected)
+            .f64("benign_service_ratio", self.benign_service_ratio)
+            .u64("max_shard_cycles", self.max_shard_cycles)
+            .u64("total_shard_cycles", self.total_shard_cycles)
+            .f64("served_per_mcycle", self.served_per_mcycle)
+            .raw("latency", &self.latency.to_json())
+            .raw("per_shard", &json_array(self.per_shard.iter().map(ShardSummary::to_json)))
+            .finish()
+    }
+}
+
+/// A full fleet run: the deterministic stats plus this run's wall-clock
+/// measurements.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The deterministic aggregate.
+    pub stats: FleetStats,
+    /// Wall-clock seconds the fleet took.
+    pub wall_seconds: f64,
+    /// Wall-clock throughput in requests per second.
+    pub wall_req_per_sec: f64,
+}
+
+impl FleetReport {
+    /// JSON of the whole report (stats plus wall clock).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .raw("stats", &self.stats.to_json())
+            .f64("wall_seconds", self.wall_seconds)
+            .f64("wall_req_per_sec", self.wall_req_per_sec)
+            .finish()
+    }
+}
+
+impl std::fmt::Display for FleetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fleet of {} shards: {} served ({} benign of {} sent, ratio {:.3})",
+            self.shards,
+            self.served,
+            self.benign_served,
+            self.benign_sent,
+            self.benign_service_ratio
+        )?;
+        writeln!(
+            f,
+            "attacks: {} sent, {} detections ({} true, {} micro / {} macro recoveries, {} faults injected)",
+            self.attacks_sent, self.detections, self.true_detections, self.micro_recoveries,
+            self.macro_recoveries, self.faults_injected
+        )?;
+        write!(
+            f,
+            "latency cycles p50/p95/p99 = {}/{}/{}; {:.1} req/Mcycle over a {}-cycle makespan",
+            self.latency.p50,
+            self.latency.p95,
+            self.latency.p99,
+            self.served_per_mcycle,
+            self.max_shard_cycles
+        )
+    }
+}

@@ -1,0 +1,237 @@
+//! One shard: a complete Fig. 2 cell (resurrector + resurrectee running
+//! one service) driven by its own open-loop traffic schedule to a
+//! request quota.
+//!
+//! A shard is deliberately a *whole* [`IndraSystem`] rather than one
+//! core of a shared machine: the paper's consolidation topology puts
+//! several resurrectees under one resurrector, and the fleet replicates
+//! that cell per OS thread so cells never contend on simulated state.
+//! Everything a shard does is a pure function of its [`ShardPlan`]
+//! (derived seed, app, quota), which is what makes the fleet aggregate
+//! reproducible under any thread schedule.
+
+use indra_core::{IndraSystem, RunReport, RunState, SystemConfig};
+use indra_workloads::{
+    build_app_scaled, detectable_attack_suite, standard_attack_suite, OpenLoopTraffic, ServiceApp,
+    TimedRequest, WorkloadSpec,
+};
+
+use crate::{FleetConfig, ShardSummary};
+
+/// Everything that determines one shard's behavior.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Shard index.
+    pub shard: usize,
+    /// The service this shard runs.
+    pub app: ServiceApp,
+    /// This shard's traffic seed (derived from the fleet seed).
+    pub seed: u64,
+}
+
+/// What one shard hands the aggregator when it finishes.
+#[derive(Debug)]
+pub struct ShardOutput {
+    /// The plan that produced this output.
+    pub plan: ShardPlan,
+    /// The system's full run report.
+    pub report: RunReport,
+    /// Benign requests the schedule queued.
+    pub benign_sent: u64,
+    /// Attack requests the schedule queued.
+    pub attacks_sent: u64,
+    /// Hardware faults injected by the harness.
+    pub faults_injected: u64,
+    /// Resurrectee cycles consumed.
+    pub sim_cycles: u64,
+    /// Whether the schedule was fully delivered and drained.
+    pub completed: bool,
+}
+
+impl ShardOutput {
+    /// Collapses the output into its aggregate summary row.
+    #[must_use]
+    pub fn summary(&self) -> ShardSummary {
+        let benign_served = self.report.benign_served;
+        ShardSummary {
+            shard: self.plan.shard,
+            app: self.plan.app,
+            served: self.report.served,
+            benign_sent: self.benign_sent,
+            benign_served,
+            attacks_sent: self.attacks_sent,
+            detections: self.report.detections.len() as u64,
+            true_detections: self.report.true_detections() as u64,
+            micro_recoveries: self
+                .report
+                .detections
+                .iter()
+                .filter(|d| d.level == indra_core::RecoveryLevel::Micro)
+                .count() as u64,
+            macro_recoveries: self
+                .report
+                .detections
+                .iter()
+                .filter(|d| d.level == indra_core::RecoveryLevel::Macro)
+                .count() as u64,
+            faults_injected: self.faults_injected,
+            sim_cycles: self.sim_cycles,
+            benign_service_ratio: if self.benign_sent == 0 {
+                1.0
+            } else {
+                benign_served as f64 / self.benign_sent as f64
+            },
+            completed: self.completed,
+        }
+    }
+}
+
+/// A per-request latency observation streamed to the aggregator while
+/// the shard is still running.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleMsg {
+    /// Originating shard.
+    pub shard: usize,
+    /// Delivery-to-response resurrectee cycles.
+    pub cycles: u64,
+}
+
+/// Messages a shard sends over the aggregation channel.
+#[derive(Debug)]
+pub enum ShardMsg {
+    /// A served request's latency (streamed as it happens).
+    Sample(SampleMsg),
+    /// The shard finished (or gave up); terminal message.
+    Done(Box<ShardOutput>),
+}
+
+/// Builds the deterministic traffic schedule for `plan`.
+#[must_use]
+pub fn shard_schedule(cfg: &FleetConfig, plan: &ShardPlan) -> Vec<TimedRequest> {
+    let image = build_app_scaled(plan.app, cfg.scale);
+    let attacks = if cfg.include_dormant_attacks {
+        standard_attack_suite(&image)
+    } else {
+        detectable_attack_suite(&image)
+    };
+    OpenLoopTraffic::with_attack_mix(
+        cfg.requests_per_shard,
+        attacks,
+        cfg.attack_per_mille,
+        cfg.mean_gap_cycles,
+        plan.seed,
+    )
+    .generate(&image)
+}
+
+/// Runs one shard to completion, streaming samples through `emit`.
+///
+/// `emit` receives every served request's latency as it is observed;
+/// the terminal [`ShardOutput`] still carries the authoritative
+/// [`RunReport`] so the aggregator never depends on delivery order.
+pub fn run_shard(cfg: &FleetConfig, plan: ShardPlan, mut emit: impl FnMut(ShardMsg)) {
+    let image = build_app_scaled(plan.app, cfg.scale);
+    let schedule = shard_schedule(cfg, &plan);
+    let benign_sent = schedule.iter().filter(|r| !r.malicious).count() as u64;
+    let attacks_sent = schedule.len() as u64 - benign_sent;
+
+    let sys_cfg = SystemConfig {
+        machine: indra_sim::MachineConfig {
+            fifo_entries: cfg.fifo_entries,
+            cam_entries: cfg.cam_entries,
+            ..indra_sim::MachineConfig::default()
+        },
+        scheme: cfg.scheme,
+        monitoring: true,
+        ..SystemConfig::default()
+    };
+    let mut sys = IndraSystem::new(sys_cfg);
+    sys.deploy(&image).expect("shard deploy");
+    let core = sys.service_cores()[0];
+
+    // Budget: generous multiple of the workload's nominal per-request
+    // work — recoveries and restarts all fit; only a harness bug (or an
+    // undetected kill) exhausts it.
+    let per_request = WorkloadSpec::for_app(plan.app)
+        .scaled_down(cfg.scale.max(1))
+        .approx_insns_per_request()
+        .max(50_000);
+    let mut steps_left = per_request * (schedule.len() as u64 + 4) * 8;
+
+    let mut queue = schedule.into_iter().peekable();
+    let mut sample_cursor = 0usize;
+    let mut faults_injected = 0u64;
+    let mut served_at_last_fault = 0u64;
+    let mut completed = true;
+
+    loop {
+        // Open-loop delivery: everything whose arrival time has passed
+        // goes into the inbox, regardless of service progress.
+        let now = sys.service_cycles();
+        let mut delivered = false;
+        while queue.peek().is_some_and(|r| r.arrival_cycle <= now) {
+            let r = queue.next().expect("peeked");
+            sys.push_request(r.data, r.malicious);
+            delivered = true;
+        }
+
+        let state = sys.run(cfg.run_slice_steps.min(steps_left.max(1)));
+        steps_left = steps_left.saturating_sub(cfg.run_slice_steps);
+
+        // Stream freshly completed samples.
+        while sample_cursor < sys.report().samples.len() {
+            let s = sys.report().samples[sample_cursor];
+            emit(ShardMsg::Sample(SampleMsg { shard: plan.shard, cycles: s.cycles }));
+            sample_cursor += 1;
+        }
+
+        // Optional rejuvenation-under-fault pressure.
+        if let Some(every) = cfg.fault_every {
+            let served = sys.report().served;
+            if every > 0 && served.saturating_sub(served_at_last_fault) >= u64::from(every) {
+                sys.inject_fault(core);
+                faults_injected += 1;
+                served_at_last_fault = served;
+            }
+        }
+
+        match state {
+            RunState::Idle => {
+                match queue.peek() {
+                    // The service outpaced the arrival process: the next
+                    // client's clock becomes "now" (idle sim cores cannot
+                    // burn cycles waiting, so the gap collapses).
+                    Some(_) if !delivered => {
+                        let r = queue.next().expect("peeked");
+                        sys.push_request(r.data, r.malicious);
+                    }
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            RunState::Halted => {
+                // Service died (e.g. undetected kill with monitoring off).
+                completed = false;
+                break;
+            }
+            RunState::BudgetExhausted => {
+                if steps_left == 0 {
+                    completed = false;
+                    break;
+                }
+            }
+        }
+    }
+
+    let completed = completed && queue.peek().is_none();
+    let output = ShardOutput {
+        sim_cycles: sys.service_cycles(),
+        report: sys.report().clone(),
+        benign_sent,
+        attacks_sent,
+        faults_injected,
+        completed,
+        plan,
+    };
+    emit(ShardMsg::Done(Box::new(output)));
+}

@@ -1,0 +1,256 @@
+//! The `fleetbench` shard-count scaling sweep (logic; the thin binary
+//! wrapper lives in the root package so `cargo run --bin fleetbench`
+//! works from the workspace root).
+//!
+//! For each shard count the sweep runs the *same* per-shard workload —
+//! so total work grows with the fleet — and reports sim-time throughput
+//! (requests per million cycles of makespan), wall-clock throughput,
+//! benign-service ratio, detection counts and latency percentiles. The
+//! wall-clock speedup column is the honest parallelism signal: on a
+//! multi-core host it grows with shard count; on a single hardware
+//! thread it stays flat while the deterministic stats stay identical.
+
+use indra_bench::CsvSink;
+
+use crate::{run_fleet, FleetConfig, FleetReport};
+
+/// Parsed `fleetbench` command line.
+#[derive(Debug, Clone)]
+pub struct SweepArgs {
+    /// Shard counts to sweep, in order.
+    pub shard_counts: Vec<usize>,
+    /// Base fleet configuration (shards overridden per sweep point).
+    pub base: FleetConfig,
+    /// CSV output directory (`--csv DIR`).
+    pub csv: Option<String>,
+    /// Emit each point's full report as JSON (`--json`).
+    pub json: bool,
+}
+
+impl Default for SweepArgs {
+    fn default() -> SweepArgs {
+        SweepArgs {
+            shard_counts: vec![1, 2, 4, 6],
+            base: FleetConfig::default(),
+            csv: None,
+            json: false,
+        }
+    }
+}
+
+/// Parses CLI arguments (exposed for testing).
+///
+/// # Errors
+///
+/// Returns a usage string when an option is unknown or its value does
+/// not parse.
+pub fn parse_args(args: impl Iterator<Item = String>) -> Result<SweepArgs, String> {
+    fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    let mut out = SweepArgs::default();
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                let v: String = value(&mut args, "--shards")?;
+                out.shard_counts = v
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("--shards: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if out.shard_counts.is_empty() || out.shard_counts.contains(&0) {
+                    return Err("--shards needs positive counts".into());
+                }
+            }
+            "--requests" => {
+                out.base.requests_per_shard = value(&mut args, "--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--scale" => {
+                out.base.scale =
+                    value(&mut args, "--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
+            }
+            "--attack-per-mille" => {
+                out.base.attack_per_mille = value(&mut args, "--attack-per-mille")?
+                    .parse()
+                    .map_err(|e| format!("--attack-per-mille: {e}"))?;
+                if out.base.attack_per_mille > 1000 {
+                    return Err("--attack-per-mille is out of [0, 1000]".into());
+                }
+            }
+            "--mean-gap" => {
+                out.base.mean_gap_cycles = value(&mut args, "--mean-gap")?
+                    .parse()
+                    .map_err(|e| format!("--mean-gap: {e}"))?;
+            }
+            "--fault-every" => {
+                out.base.fault_every = Some(
+                    value(&mut args, "--fault-every")?
+                        .parse()
+                        .map_err(|e| format!("--fault-every: {e}"))?,
+                );
+            }
+            "--seed" => {
+                out.base.seed =
+                    value(&mut args, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--csv" => out.csv = Some(value(&mut args, "--csv")?),
+            "--json" => out.json = true,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown option {other}\n{USAGE}")),
+        }
+    }
+    Ok(out)
+}
+
+/// `fleetbench --help` text.
+pub const USAGE: &str = "\
+fleetbench — INDRA fleet shard-count scaling sweep
+
+USAGE: fleetbench [--shards 1,2,4,6] [--requests N] [--scale N]
+                  [--attack-per-mille N] [--mean-gap CYCLES]
+                  [--fault-every N] [--seed N] [--csv DIR] [--json]";
+
+/// Runs the sweep, printing the scaling table (and optional JSON) to
+/// stdout and mirroring it into `<csv>/fleet_scaling.csv`.
+pub fn run_sweep(args: &SweepArgs) -> Vec<FleetReport> {
+    let sink = match &args.csv {
+        Some(dir) => CsvSink::to_dir(dir),
+        None => CsvSink::disabled(),
+    };
+    println!(
+        "fleet scaling sweep: {} requests/shard, scale 1/{}, {}‰ attacks, seed {:#x}",
+        args.base.requests_per_shard, args.base.scale, args.base.attack_per_mille, args.base.seed
+    );
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>7} {:>9} {:>11} {:>10} {:>9} {:>8}",
+        "shards",
+        "served",
+        "benign%",
+        "attacks",
+        "detect",
+        "req/Mcyc",
+        "wall req/s",
+        "speedup",
+        "p50 cyc",
+        "p99 cyc"
+    );
+
+    let mut reports = Vec::new();
+    let mut rows = Vec::new();
+    let mut base_wall_rps = 0.0f64;
+    for (i, &shards) in args.shard_counts.iter().enumerate() {
+        let cfg = FleetConfig { shards, ..args.base.clone() };
+        let report = run_fleet(&cfg);
+        let s = &report.stats;
+        if i == 0 {
+            base_wall_rps = report.wall_req_per_sec;
+        }
+        // Speedup over the first sweep point, normalized per shard of
+        // work: point k does (shards_k / shards_0)× the work.
+        let work = shards as f64 / args.shard_counts[0] as f64;
+        let speedup =
+            if base_wall_rps > 0.0 { report.wall_req_per_sec / base_wall_rps } else { 0.0 };
+        println!(
+            "{:>6} {:>8} {:>7.1}% {:>8} {:>7} {:>9.2} {:>11.1} {:>9.2}x {:>9} {:>8}",
+            shards,
+            s.served,
+            s.benign_service_ratio * 100.0,
+            s.attacks_sent,
+            s.true_detections,
+            s.served_per_mcycle,
+            report.wall_req_per_sec,
+            speedup,
+            s.latency.p50,
+            s.latency.p99,
+        );
+        if args.json {
+            println!("{}", report.to_json());
+        }
+        rows.push(vec![
+            shards.to_string(),
+            s.served.to_string(),
+            format!("{:.4}", s.benign_service_ratio),
+            s.attacks_sent.to_string(),
+            s.detections.to_string(),
+            s.true_detections.to_string(),
+            s.micro_recoveries.to_string(),
+            s.macro_recoveries.to_string(),
+            format!("{:.3}", s.served_per_mcycle),
+            format!("{:.1}", report.wall_req_per_sec),
+            format!("{:.3}", speedup),
+            format!("{:.3}", work),
+            s.latency.p50.to_string(),
+            s.latency.p95.to_string(),
+            s.latency.p99.to_string(),
+        ]);
+        reports.push(report);
+    }
+    sink.write(
+        "fleet_scaling",
+        &[
+            "shards",
+            "served",
+            "benign_service_ratio",
+            "attacks_sent",
+            "detections",
+            "true_detections",
+            "micro_recoveries",
+            "macro_recoveries",
+            "served_per_mcycle",
+            "wall_req_per_sec",
+            "wall_speedup",
+            "relative_work",
+            "p50_cycles",
+            "p95_cycles",
+            "p99_cycles",
+        ],
+        &rows,
+    );
+    if sink.is_enabled() {
+        println!("csv: wrote fleet_scaling.csv");
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<SweepArgs, String> {
+        parse_args(words.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn parses_the_full_flag_set() {
+        let a = parse(&[
+            "--shards",
+            "2,4",
+            "--requests",
+            "9",
+            "--scale",
+            "30",
+            "--attack-per-mille",
+            "250",
+            "--seed",
+            "7",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(a.shard_counts, vec![2, 4]);
+        assert_eq!(a.base.requests_per_shard, 9);
+        assert_eq!(a.base.scale, 30);
+        assert_eq!(a.base.attack_per_mille, 250);
+        assert_eq!(a.base.seed, 7);
+        assert!(a.json);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--shards", "0"]).is_err());
+        assert!(parse(&["--attack-per-mille", "1001"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+    }
+}

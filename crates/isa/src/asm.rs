@@ -157,9 +157,8 @@ impl Assembler {
                 continue;
             }
             if let Some(rest) = line.strip_prefix(".equ ") {
-                let (name, value) = rest
-                    .split_once(',')
-                    .ok_or_else(|| Self::err(lineno, ".equ NAME, value"))?;
+                let (name, value) =
+                    rest.split_once(',').ok_or_else(|| Self::err(lineno, ".equ NAME, value"))?;
                 let name = name.trim();
                 if !is_ident(name) {
                     return Err(Self::err(lineno, format!("invalid constant name `{name}`")));
@@ -276,9 +275,9 @@ impl Assembler {
                 if self.section != Section::Data {
                     return Err(Self::err(lineno, ".align only allowed in .data"));
                 }
-                let n = u32::try_from(n).ok().filter(|n| n.is_power_of_two()).ok_or_else(
-                    || Self::err(lineno, "alignment must be a positive power of two"),
-                )?;
+                let n = u32::try_from(n).ok().filter(|n| n.is_power_of_two()).ok_or_else(|| {
+                    Self::err(lineno, "alignment must be a positive power of two")
+                })?;
                 self.b.align_data_to(n);
                 Ok(())
             }
@@ -639,9 +638,9 @@ fn split_operands(rest: &str) -> impl Iterator<Item = String> + '_ {
 fn parse_imm(s: &str) -> Option<i64> {
     let s = s.trim();
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        return i64::from_str_radix(hex, 16).ok().or_else(|| {
-            u32::from_str_radix(hex, 16).ok().map(i64::from)
-        });
+        return i64::from_str_radix(hex, 16)
+            .ok()
+            .or_else(|| u32::from_str_radix(hex, 16).ok().map(i64::from));
     }
     if let Some(neg) = s.strip_prefix("-0x") {
         return i64::from_str_radix(neg, 16).ok().map(|v| -v);
@@ -869,11 +868,8 @@ mod extension_tests {
 
     #[test]
     fn align_pads_data() {
-        let img = assemble(
-            "a",
-            "main:\n halt\n.data\nb: .byte 1\n.align 64\nc: .word 7\n",
-        )
-        .unwrap();
+        let img =
+            assemble("a", "main:\n halt\n.data\nb: .byte 1\n.align 64\nc: .word 7\n").unwrap();
         let c = img.addr_of("c").unwrap();
         assert!(c.is_multiple_of(64), "c at {c:#x} must be 64-aligned");
     }

@@ -9,7 +9,9 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use crate::{AluOp, Cond, EncodeError, Image, Instruction, Perms, Reg, Segment, Symbol, SymbolKind};
+use crate::{
+    AluOp, Cond, EncodeError, Image, Instruction, Perms, Reg, Segment, Symbol, SymbolKind,
+};
 
 /// Default base of the text segment.
 pub const TEXT_BASE: u32 = 0x0040_0000;
@@ -314,12 +316,7 @@ impl ProgramBuilder {
             self.inst(Instruction::Lui { rd, imm: v >> 16 });
         } else {
             self.inst(Instruction::Lui { rd, imm: v >> 16 });
-            self.inst(Instruction::AluImm {
-                op: AluOp::Or,
-                rd,
-                rs1: rd,
-                imm: (v & 0xFFFF) as i32,
-            });
+            self.inst(Instruction::AluImm { op: AluOp::Or, rd, rs1: rd, imm: (v & 0xFFFF) as i32 });
         }
     }
 
@@ -368,10 +365,7 @@ impl ProgramBuilder {
 
     /// Conditional branch to a label.
     pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, target: Label) {
-        self.inst_fixup(
-            Instruction::Branch { cond, rs1, rs2, offset: 0 },
-            Fixup::Branch(target),
-        );
+        self.inst_fixup(Instruction::Branch { cond, rs1, rs2, offset: 0 }, Fixup::Branch(target));
     }
 
     /// `beqz rs, target`.
@@ -476,8 +470,7 @@ impl ProgramBuilder {
         self.align_data(4);
         let offset = self.data.len() as u32;
         for (i, &label) in entries.iter().enumerate() {
-            self.data_patches
-                .push(DataPatch::LabelAddr { offset: offset + i as u32 * 4, label });
+            self.data_patches.push(DataPatch::LabelAddr { offset: offset + i as u32 * 4, label });
             self.data.extend_from_slice(&0u32.to_le_bytes());
         }
         self.add_data_sym(name.into(), offset, entries.len() as u32 * 4)
@@ -705,7 +698,10 @@ mod tests {
         // decode first instruction back
         let word = u32::from_le_bytes(img.segments[0].data[0..4].try_into().unwrap());
         let inst = Instruction::decode(word).unwrap();
-        assert_eq!(inst, Instruction::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 5 });
+        assert_eq!(
+            inst,
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 5 }
+        );
     }
 
     #[test]

@@ -311,8 +311,7 @@ impl Instruction {
         let err = DecodeError { word };
 
         let imm_alu = |op: AluOp| -> Instruction {
-            let imm =
-                if imm_is_unsigned(op) { imm16 as i32 } else { sext(imm16, 16) };
+            let imm = if imm_is_unsigned(op) { imm16 as i32 } else { sext(imm16, 16) };
             Instruction::AluImm { op, rd, rs1, imm }
         };
         let load = |width: Width, signed: bool| Instruction::Load {
@@ -432,8 +431,7 @@ mod tests {
     fn imm_range_checked() {
         let too_big = Instruction::AluImm { op: AluOp::Add, rd: Reg::T0, rs1: Reg::T0, imm: 40000 };
         assert!(too_big.encode().is_err());
-        let neg_logical =
-            Instruction::AluImm { op: AluOp::Or, rd: Reg::T0, rs1: Reg::T0, imm: -1 };
+        let neg_logical = Instruction::AluImm { op: AluOp::Or, rd: Reg::T0, rs1: Reg::T0, imm: -1 };
         assert!(neg_logical.encode().is_err());
     }
 
@@ -446,7 +444,13 @@ mod tests {
     #[test]
     fn mem_roundtrip() {
         for width in [Width::Byte, Width::Half, Width::Word] {
-            roundtrip(Instruction::Load { width, signed: true, rd: Reg::A0, rs1: Reg::SP, offset: -8 });
+            roundtrip(Instruction::Load {
+                width,
+                signed: true,
+                rd: Reg::A0,
+                rs1: Reg::SP,
+                offset: -8,
+            });
             roundtrip(Instruction::Store { width, rs2: Reg::A1, rs1: Reg::GP, offset: 1024 });
         }
         roundtrip(Instruction::Load {

@@ -206,7 +206,10 @@ impl Image {
                     .iter()
                     .any(|&(base, size)| seg.vaddr >= base && seg.end() <= base + size);
                 if !declared {
-                    return Err(format!("segment {} is W+X but not a declared dynamic region", seg.name));
+                    return Err(format!(
+                        "segment {} is W+X but not a declared dynamic region",
+                        seg.name
+                    ));
                 }
             }
             last_end = seg.end();

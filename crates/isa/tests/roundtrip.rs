@@ -1,125 +1,136 @@
-//! Property tests for the IR32 encoding and toolchain.
-
-use proptest::prelude::*;
+//! Property tests for the IR32 encoding and toolchain (driven by the
+//! in-tree `indra_rng::forall` loop).
 
 use indra_isa::{disassemble, AluOp, Cond, Instruction, Reg, Width};
+use indra_rng::{forall, Rng};
 
-fn reg_strategy() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+const ALU_OPS: [AluOp; 13] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Rem,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+];
+
+/// Ops with an immediate form (Sub/Div/Rem have none).
+const IMM_OPS: [AluOp; 10] = [
+    AluOp::Add,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Mul,
+];
+
+const CONDS: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu];
+const WIDTHS: [Width; 3] = [Width::Byte, Width::Half, Width::Word];
+
+fn gen_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.range_u32(0, 32) as u8)
 }
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Div),
-        Just(AluOp::Rem),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Sll),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-    ]
-}
-
-fn imm_op() -> impl Strategy<Value = AluOp> {
-    // Sub/Div/Rem have no immediate form.
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Sll),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Mul),
-    ]
-}
-
-fn cond() -> impl Strategy<Value = Cond> {
-    prop_oneof![
-        Just(Cond::Eq),
-        Just(Cond::Ne),
-        Just(Cond::Lt),
-        Just(Cond::Ge),
-        Just(Cond::Ltu),
-        Just(Cond::Geu),
-    ]
-}
-
-fn width() -> impl Strategy<Value = Width> {
-    prop_oneof![Just(Width::Byte), Just(Width::Half), Just(Width::Word)]
+/// Immediate range for an immediate-form op: logical ops take the raw
+/// 16-bit field; arithmetic ops take it sign-extended.
+fn gen_imm(rng: &mut Rng, op: AluOp) -> i32 {
+    if matches!(op, AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Sltu) {
+        rng.range_i32(0, 65536)
+    } else {
+        rng.range_i32(-32768, 32768)
+    }
 }
 
 /// Any encodable instruction.
-fn instruction() -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        (alu_op(), reg_strategy(), reg_strategy(), reg_strategy())
-            .prop_map(|(op, rd, rs1, rs2)| Instruction::Alu { op, rd, rs1, rs2 }),
-        (imm_op(), reg_strategy(), reg_strategy()).prop_flat_map(|(op, rd, rs1)| {
-            let range = if matches!(op, AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Sltu) {
-                0i32..65536
-            } else {
-                -32768i32..32768
-            };
-            range.prop_map(move |imm| Instruction::AluImm { op, rd, rs1, imm })
-        }),
-        (reg_strategy(), 0u32..65536).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
-        (width(), any::<bool>(), reg_strategy(), reg_strategy(), -32768i32..32768).prop_map(
-            |(width, signed, rd, rs1, offset)| Instruction::Load { width, signed, rd, rs1, offset }
-        ),
-        (width(), reg_strategy(), reg_strategy(), -32768i32..32768)
-            .prop_map(|(width, rs2, rs1, offset)| Instruction::Store { width, rs2, rs1, offset }),
-        (cond(), reg_strategy(), reg_strategy(), -32768i32..32768).prop_map(
-            |(cond, rs1, rs2, w)| Instruction::Branch { cond, rs1, rs2, offset: w * 4 }
-        ),
-        (reg_strategy(), -(1i32 << 20)..(1 << 20))
-            .prop_map(|(rd, w)| Instruction::Jal { rd, offset: w * 4 }),
-        (reg_strategy(), reg_strategy(), -32768i32..32768)
-            .prop_map(|(rd, rs1, offset)| Instruction::Jalr { rd, rs1, offset }),
-        any::<u16>().prop_map(|code| Instruction::Syscall { code }),
-        Just(Instruction::Halt),
-        Just(Instruction::Nop),
-    ]
+fn gen_instruction(rng: &mut Rng) -> Instruction {
+    match rng.range_u32(0, 11) {
+        0 => Instruction::Alu {
+            op: *rng.pick(&ALU_OPS),
+            rd: gen_reg(rng),
+            rs1: gen_reg(rng),
+            rs2: gen_reg(rng),
+        },
+        1 => {
+            let op = *rng.pick(&IMM_OPS);
+            Instruction::AluImm { op, rd: gen_reg(rng), rs1: gen_reg(rng), imm: gen_imm(rng, op) }
+        }
+        2 => Instruction::Lui { rd: gen_reg(rng), imm: rng.range_u32(0, 65536) },
+        3 => Instruction::Load {
+            width: *rng.pick(&WIDTHS),
+            signed: rng.gen_bool(),
+            rd: gen_reg(rng),
+            rs1: gen_reg(rng),
+            offset: rng.range_i32(-32768, 32768),
+        },
+        4 => Instruction::Store {
+            width: *rng.pick(&WIDTHS),
+            rs2: gen_reg(rng),
+            rs1: gen_reg(rng),
+            offset: rng.range_i32(-32768, 32768),
+        },
+        5 => Instruction::Branch {
+            cond: *rng.pick(&CONDS),
+            rs1: gen_reg(rng),
+            rs2: gen_reg(rng),
+            offset: rng.range_i32(-32768, 32768) * 4,
+        },
+        6 => Instruction::Jal { rd: gen_reg(rng), offset: rng.range_i32(-(1 << 20), 1 << 20) * 4 },
+        7 => Instruction::Jalr {
+            rd: gen_reg(rng),
+            rs1: gen_reg(rng),
+            offset: rng.range_i32(-32768, 32768),
+        },
+        8 => Instruction::Syscall { code: rng.gen_u16() },
+        9 => Instruction::Halt,
+        _ => Instruction::Nop,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(2000))]
-
-    /// encode → decode is the identity on every well-formed instruction.
-    #[test]
-    fn encode_decode_roundtrip(inst in instruction()) {
-        let normalized = normalize_load(inst);
-        let word = normalized.encode().expect("strategy only builds encodable instructions");
+/// encode → decode is the identity on every well-formed instruction.
+#[test]
+fn encode_decode_roundtrip() {
+    forall("encode_decode_roundtrip", 2000, |rng| {
+        let normalized = normalize_load(gen_instruction(rng));
+        let word = normalized.encode().expect("generator only builds encodable instructions");
         let back = Instruction::decode(word).expect("encoded words decode");
-        prop_assert_eq!(back, normalized);
-    }
+        assert_eq!(back, normalized);
+    });
+}
 
-    /// decode never panics on arbitrary words, and whatever decodes
-    /// re-encodes to the same word (decode is a partial inverse).
-    #[test]
-    fn decode_total_and_reencodable(word in any::<u32>()) {
+/// decode never panics on arbitrary words, and whatever decodes
+/// re-encodes to the same word (decode is a partial inverse).
+#[test]
+fn decode_total_and_reencodable() {
+    forall("decode_total_and_reencodable", 2000, |rng| {
+        let word = rng.next_u32();
         if let Ok(inst) = Instruction::decode(word) {
             let re = inst.encode().expect("decoded instructions are encodable");
-            prop_assert_eq!(re, word);
+            assert_eq!(re, word);
         }
-    }
+    });
+}
 
-    /// The disassembler renders every decodable word without panicking.
-    #[test]
-    fn disassembly_total(words in proptest::collection::vec(any::<u32>(), 1..64)) {
+/// The disassembler renders every decodable word without panicking.
+#[test]
+fn disassembly_total() {
+    forall("disassembly_total", 200, |rng| {
+        let words: Vec<u32> = (0..rng.range_usize(1, 64)).map(|_| rng.next_u32()).collect();
         let listing = disassemble(0x40_0000, &words);
-        prop_assert_eq!(listing.len(), words.len());
+        assert_eq!(listing.len(), words.len());
         for line in listing {
-            prop_assert!(!line.to_string().is_empty());
+            assert!(!line.to_string().is_empty());
         }
-    }
+    });
 }
 
 /// Word-width loads carry no signedness in the encoding; normalize the

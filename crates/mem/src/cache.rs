@@ -263,7 +263,7 @@ mod tests {
         let stride = 16 * 4; // one set apart
         c.access(0, false);
         c.access(stride, false); // both ways of set 0 filled (0 and 64 map to set 0? )
-        // lines 0 and 64: set = (addr/16) & 3 -> 0 and 0. Good.
+                                 // lines 0 and 64: set = (addr/16) & 3 -> 0 and 0. Good.
         c.access(0, false); // touch 0: now `stride` is LRU
         let out = c.access(2 * stride, false); // evicts `stride`
         assert!(!out.hit);

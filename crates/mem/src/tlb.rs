@@ -196,7 +196,7 @@ mod tests {
     #[test]
     fn lru_within_set() {
         let mut t = tiny(); // 4 sets, 2 ways
-        // VPNs 0, 4, 8 all map to set 0.
+                            // VPNs 0, 4, 8 all map to set 0.
         t.access(1, 0);
         t.access(1, 4);
         t.access(1, 0); // 4 becomes LRU

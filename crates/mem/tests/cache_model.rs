@@ -4,9 +4,8 @@
 
 use std::collections::VecDeque;
 
-use proptest::prelude::*;
-
 use indra_mem::{Cache, CacheConfig, DramConfig, RowOutcome, Sdram, Tlb, TlbConfig};
+use indra_rng::forall;
 
 /// An obviously-correct cache model: one LRU `VecDeque` of (tag, dirty)
 /// per set, most-recent at the front.
@@ -45,16 +44,15 @@ impl ModelCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The cache agrees with the reference model on every hit/miss and
-    /// writeback decision across arbitrary access traces.
-    #[test]
-    fn cache_matches_lru_model(
-        accesses in proptest::collection::vec((0u32..0x8000, any::<bool>()), 1..400),
-        ways in 1u32..=4,
-    ) {
+/// The cache agrees with the reference model on every hit/miss and
+/// writeback decision across arbitrary access traces.
+#[test]
+fn cache_matches_lru_model() {
+    forall("cache_matches_lru_model", 128, |rng| {
+        let ways = rng.range_u32(1, 5);
+        let accesses: Vec<(u32, bool)> = (0..rng.range_usize(1, 400))
+            .map(|_| (rng.range_u32(0, 0x8000), rng.gen_bool()))
+            .collect();
         let cfg = CacheConfig { size: 64 * 16 * ways, line: 16, ways, hit_latency: 1 };
         let mut cache = Cache::new(cfg);
         let mut model = ModelCache::new(cfg);
@@ -63,62 +61,75 @@ proptest! {
         for &(addr, write) in &accesses {
             let out = cache.access(addr, write);
             let (model_hit, model_wb) = model.access(addr, write);
-            prop_assert_eq!(out.hit, model_hit, "hit/miss divergence at {:#x}", addr);
-            prop_assert_eq!(out.writeback.is_some(), model_wb, "writeback divergence at {:#x}", addr);
-            if out.hit { hits += 1; }
-            if out.writeback.is_some() { wbs += 1; }
+            assert_eq!(out.hit, model_hit, "hit/miss divergence at {addr:#x}");
+            assert_eq!(out.writeback.is_some(), model_wb, "writeback divergence at {addr:#x}");
+            if out.hit {
+                hits += 1;
+            }
+            if out.writeback.is_some() {
+                wbs += 1;
+            }
         }
         let stats = cache.stats();
-        prop_assert_eq!(stats.accesses, accesses.len() as u64);
-        prop_assert_eq!(stats.misses, accesses.len() as u64 - hits);
-        prop_assert_eq!(stats.writebacks, wbs);
-    }
+        assert_eq!(stats.accesses, accesses.len() as u64);
+        assert_eq!(stats.misses, accesses.len() as u64 - hits);
+        assert_eq!(stats.writebacks, wbs);
+    });
+}
 
-    /// A probe never lies: after an access, the line is resident until an
-    /// eviction from its set.
-    #[test]
-    fn probe_reflects_residency(addrs in proptest::collection::vec(0u32..0x4000, 1..100)) {
+/// A probe never lies: after an access, the line is resident until an
+/// eviction from its set.
+#[test]
+fn probe_reflects_residency() {
+    forall("probe_reflects_residency", 128, |rng| {
         let cfg = CacheConfig { size: 1024, line: 32, ways: 2, hit_latency: 1 };
         let mut cache = Cache::new(cfg);
-        for &addr in &addrs {
+        for _ in 0..rng.range_usize(1, 100) {
+            let addr = rng.range_u32(0, 0x4000);
             cache.access(addr, false);
-            prop_assert!(cache.probe(addr), "just-accessed line must be resident");
+            assert!(cache.probe(addr), "just-accessed line must be resident");
         }
-    }
+    });
+}
 
-    /// TLB: a lookup immediately after an insert hits; flushing the ASID
-    /// clears exactly that ASID.
-    #[test]
-    fn tlb_insert_then_hit(vpns in proptest::collection::vec(0u32..4096, 1..200)) {
+/// TLB: a lookup immediately after an insert hits; flushing the ASID
+/// clears exactly that ASID.
+#[test]
+fn tlb_insert_then_hit() {
+    forall("tlb_insert_then_hit", 128, |rng| {
+        let vpns: Vec<u32> = (0..rng.range_usize(1, 200)).map(|_| rng.range_u32(0, 4096)).collect();
         let mut tlb = Tlb::new(TlbConfig { entries: 64, ways: 4, miss_penalty: 30 });
         for &vpn in &vpns {
             tlb.access(1, vpn);
             let (cost, missed) = tlb.access(1, vpn);
-            prop_assert!(!missed);
-            prop_assert_eq!(cost, 0);
+            assert!(!missed);
+            assert_eq!(cost, 0);
         }
         tlb.flush_asid(1);
-        prop_assert!(!tlb.probe(1, vpns[0]));
-    }
+        assert!(!tlb.probe(1, vpns[0]));
+    });
+}
 
-    /// DRAM: back-to-back accesses to the same row always hit; the cost of
-    /// any access is bounded by the conflict case.
-    #[test]
-    fn dram_row_behaviour(addrs in proptest::collection::vec(0u32..0x100_0000, 1..200)) {
+/// DRAM: back-to-back accesses to the same row always hit; the cost of
+/// any access is bounded by the conflict case.
+#[test]
+fn dram_row_behaviour() {
+    forall("dram_row_behaviour", 128, |rng| {
         let cfg = DramConfig::default();
         let mut dram = Sdram::new(cfg);
-        let worst =
-            (cfg.precharge + cfg.ras_to_cas + cfg.cas + 64 / cfg.bus_bytes_per_clock)
-                * cfg.core_clock_ratio;
+        let worst = (cfg.precharge + cfg.ras_to_cas + cfg.cas + 64 / cfg.bus_bytes_per_clock)
+            * cfg.core_clock_ratio;
+        let addrs: Vec<u32> =
+            (0..rng.range_usize(1, 200)).map(|_| rng.range_u32(0, 0x100_0000)).collect();
         for &addr in &addrs {
             let (cost, _) = dram.access(addr, 64);
-            prop_assert!(cost <= worst, "cost {} above conflict bound {}", cost, worst);
+            assert!(cost <= worst, "cost {cost} above conflict bound {worst}");
             let (cost2, outcome2) = dram.access(addr, 64);
-            prop_assert_eq!(outcome2, RowOutcome::Hit, "immediate revisit must row-hit");
-            prop_assert!(cost2 <= cost);
+            assert_eq!(outcome2, RowOutcome::Hit, "immediate revisit must row-hit");
+            assert!(cost2 <= cost);
         }
         let s = dram.stats();
-        prop_assert_eq!(s.accesses, addrs.len() as u64 * 2);
-        prop_assert!(s.row_hits >= addrs.len() as u64);
-    }
+        assert_eq!(s.accesses, addrs.len() as u64 * 2);
+        assert!(s.row_hits >= addrs.len() as u64);
+    });
 }

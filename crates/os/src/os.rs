@@ -185,9 +185,8 @@ impl Os {
             SYS_NET_SEND => {
                 // NIC transmit path: DMA the response out of the service's
                 // buffer, paying SDRAM burst time.
-                let (data, dma_cycles) = m
-                    .dma_read_virtual(self.asid_of(pid), a0, a1, None)
-                    .unwrap_or_default();
+                let (data, dma_cycles) =
+                    m.dma_read_virtual(self.asid_of(pid), a0, a1, None).unwrap_or_default();
                 m.core_mut(core).add_stall_cycles(dma_cycles);
                 let p = self.process_mut(pid);
                 let request_id = p.current_request.take().unwrap_or(0);
@@ -348,9 +347,8 @@ impl Os {
         let len = (req.data.len() as u32).min(cap);
         // The NIC's DMA engine (privileged, commanded by the kernel)
         // lands the payload; its SDRAM burst time is the delivery cost.
-        let dma_cycles = m
-            .dma_write_virtual(asid, buf, &req.data[..len as usize], None)
-            .unwrap_or(0);
+        let dma_cycles =
+            m.dma_write_virtual(asid, buf, &req.data[..len as usize], None).unwrap_or(0);
         m.core_mut(core).add_stall_cycles(dma_cycles);
         m.core_mut(core).finish_syscall(Some(len));
         self.process_mut(pid).current_request = Some(req.id);
@@ -937,11 +935,8 @@ mod seek_tests {
         let mut m = Machine::new(MachineConfig::default());
         m.boot_asymmetric();
         let mut os = Os::new();
-        let img = assemble(
-            "skb",
-            "main:\n li a0, 99\n li a1, 4\n syscall 15\n syscall 14\n",
-        )
-        .unwrap();
+        let img =
+            assemble("skb", "main:\n li a0, 99\n li a1, 4\n syscall 15\n syscall 14\n").unwrap();
         os.spawn_service(&mut m, 1, &img).unwrap();
         let mut exit = None;
         for _ in 0..10_000 {

@@ -1,0 +1,254 @@
+#![warn(missing_docs)]
+//! # indra-rng — deterministic pseudo-randomness without dependencies
+//!
+//! The evaluation needs reproducible randomness in three places: traffic
+//! scripts (client request mixes), property tests (random programs,
+//! access traces, scheme interleavings) and the fleet executor's
+//! per-shard seed derivation. The container build runs fully offline, so
+//! this crate supplies the little that `rand`/`proptest` were used for:
+//!
+//! * [`Rng`] — a SplitMix64-seeded xoshiro256** generator. Small, fast,
+//!   passes BigCrush, and — the property we actually rely on — produces
+//!   an identical stream for an identical seed on every platform.
+//! * [`derive_seed`] — stable per-shard substream derivation, so a fleet
+//!   run's shard `i` sees the same traffic no matter how many threads
+//!   execute the fleet.
+//! * [`forall`] — a minimal property-test loop: `cases` random trials,
+//!   each from a seed derived from a test-name hash, with the failing
+//!   case's seed reported on panic so it can be replayed.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// SplitMix64 step — used for seeding and seed derivation.
+#[must_use]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a statistically independent seed for substream `index` of
+/// `master` (per-shard traffic, per-case property tests).
+#[must_use]
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    let mut s = master ^ 0xA076_1D64_78BD_642F_u64.wrapping_mul(index.wrapping_add(1));
+    let a = splitmix64(&mut s);
+    splitmix64(&mut s) ^ a.rotate_left(17)
+}
+
+/// A deterministic xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seeds the full 256-bit state from one `u64` via SplitMix64 (the
+    /// construction xoshiro's authors recommend).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        Rng {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly random byte.
+    pub fn gen_u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// A uniformly random `u16`.
+    pub fn gen_u16(&mut self) -> u16 {
+        (self.next_u64() >> 48) as u16
+    }
+
+    /// A fair coin flip.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `num`/`den` (integer ratios keep the
+    /// determinism contract trivially auditable).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `den` is zero.
+    pub fn ratio(&mut self, num: u32, den: u32) -> bool {
+        assert!(den > 0, "ratio denominator must be positive");
+        self.range_u32(0, den) < num
+    }
+
+    /// Uniform in `[lo, hi)` (debiased via rejection sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        if span.is_power_of_two() {
+            return lo + (self.next_u64() & (span - 1));
+        }
+        // Rejection sampling over the largest multiple of `span`.
+        let zone = u64::MAX - (u64::MAX % span) - 1;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return lo + v % span;
+            }
+        }
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[allow(clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+    pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi as i64 - lo as i64) as u64;
+        (i64::from(lo) + self.range_u64(0, span) as i64) as i32
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.range_usize(0, items.len())]
+    }
+
+    /// Splits off an independent generator (seeded from this stream).
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+}
+
+/// FNV-1a — a stable hash for deriving a test's base seed from its name.
+#[must_use]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `cases` random trials of a property. Each case gets an [`Rng`]
+/// seeded deterministically from `name` and the case index; a failing
+/// case panics with its seed so `replay` can reproduce it in isolation.
+pub fn forall(name: &str, cases: u32, mut property: impl FnMut(&mut Rng)) {
+    let base = fnv1a(name.as_bytes());
+    for case in 0..cases {
+        let seed = derive_seed(base, u64::from(case));
+        let mut rng = Rng::seed_from_u64(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("property `{name}` failed on case {case} (seed {seed:#018x})");
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Replays one `forall` case by seed (debugging aid).
+pub fn replay(seed: u64, property: impl FnOnce(&mut Rng)) {
+    let mut rng = Rng::seed_from_u64(seed);
+    property(&mut rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut rng = Rng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.range_u32(5, 15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+            let i = rng.range_i32(-8, -3);
+            assert!((-8..-3).contains(&i));
+        }
+        assert!(seen.iter().all(|&s| s), "all 10 values must appear in 1000 draws");
+    }
+
+    #[test]
+    fn derive_seed_distinguishes_shards() {
+        let seeds: Vec<u64> = (0..64).map(|i| derive_seed(0xDEAD_BEEF, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "shard seeds must not collide");
+    }
+
+    #[test]
+    fn ratio_is_roughly_calibrated() {
+        let mut rng = Rng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.ratio(1, 4)).count();
+        assert!((2200..2800).contains(&hits), "1/4 ratio gave {hits}/10000");
+    }
+
+    #[test]
+    fn forall_reports_failing_seed() {
+        let result = std::panic::catch_unwind(|| {
+            forall("always_fails", 3, |_rng| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pick_and_fork() {
+        let mut rng = Rng::seed_from_u64(9);
+        let items = [1, 2, 3];
+        for _ in 0..50 {
+            assert!(items.contains(rng.pick(&items)));
+        }
+        let mut f1 = rng.clone().fork();
+        let mut f2 = rng.fork();
+        assert_eq!(f1.next_u64(), f2.next_u64(), "fork is deterministic");
+    }
+}

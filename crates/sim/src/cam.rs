@@ -51,7 +51,12 @@ impl CamFilter {
     #[must_use]
     pub fn new(capacity: usize) -> CamFilter {
         assert!(capacity > 0, "CAM needs at least one entry");
-        CamFilter { entries: Vec::with_capacity(capacity), capacity, stamp: 0, stats: CamStats::default() }
+        CamFilter {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            stamp: 0,
+            stats: CamStats::default(),
+        }
     }
 
     /// A filter that never hits — every code fill goes to the monitor.

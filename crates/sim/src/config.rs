@@ -85,10 +85,7 @@ impl MachineConfig {
     /// equal-privilege resurrectees and no monitoring runs.
     #[must_use]
     pub fn symmetric(n_cores: usize) -> MachineConfig {
-        MachineConfig {
-            cores: vec![CoreRole::Resurrectee; n_cores],
-            ..MachineConfig::default()
-        }
+        MachineConfig { cores: vec![CoreRole::Resurrectee; n_cores], ..MachineConfig::default() }
     }
 
     /// Index of the first resurrector core, if the machine has one.

@@ -13,7 +13,6 @@ use indra_mem::{CoreMemory, PhysicalMemory, Sdram, PAGE_SIZE};
 
 use crate::{AccessKind, AddressSpace, BackupHook, CoreConfig, Fault, MemoryWatchdog, TraceEvent};
 
-
 /// Architectural register state of one core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CpuContext {
@@ -498,7 +497,13 @@ mod tests {
             Instruction::AluImm { op: AluOp::Add, rd: Reg::T0, rs1: Reg::ZERO, imm: 0x2000 },
             Instruction::AluImm { op: AluOp::Add, rd: Reg::T1, rs1: Reg::ZERO, imm: 1234 },
             Instruction::Store { width: Width::Word, rs2: Reg::T1, rs1: Reg::T0, offset: 8 },
-            Instruction::Load { width: Width::Word, signed: true, rd: Reg::A0, rs1: Reg::T0, offset: 8 },
+            Instruction::Load {
+                width: Width::Word,
+                signed: true,
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                offset: 8,
+            },
             Instruction::Halt,
         ]);
         assert_eq!(rig.run(10), StepOutcome::Halted);
@@ -512,8 +517,20 @@ mod tests {
             Instruction::AluImm { op: AluOp::Add, rd: Reg::T0, rs1: Reg::ZERO, imm: 0x2000 },
             Instruction::AluImm { op: AluOp::Add, rd: Reg::T1, rs1: Reg::ZERO, imm: 0xFF },
             Instruction::Store { width: Width::Byte, rs2: Reg::T1, rs1: Reg::T0, offset: 0 },
-            Instruction::Load { width: Width::Byte, signed: true, rd: Reg::A0, rs1: Reg::T0, offset: 0 },
-            Instruction::Load { width: Width::Byte, signed: false, rd: Reg::A1, rs1: Reg::T0, offset: 0 },
+            Instruction::Load {
+                width: Width::Byte,
+                signed: true,
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                offset: 0,
+            },
+            Instruction::Load {
+                width: Width::Byte,
+                signed: false,
+                rd: Reg::A1,
+                rs1: Reg::T0,
+                offset: 0,
+            },
             Instruction::Halt,
         ]);
         rig.run(10);
@@ -608,12 +625,8 @@ mod tests {
 
     #[test]
     fn cycles_accumulate_and_group_issue() {
-        let mut rig = Rig::new(&[
-            Instruction::Nop,
-            Instruction::Nop,
-            Instruction::Nop,
-            Instruction::Halt,
-        ]);
+        let mut rig =
+            Rig::new(&[Instruction::Nop, Instruction::Nop, Instruction::Nop, Instruction::Halt]);
         rig.run(10);
         // Cold fetch charged once (all four share one 32B line) plus < 1
         // group of simple ops.
@@ -638,7 +651,13 @@ mod tests {
     fn watchdog_blocks_unassigned_physical_access() {
         let mut rig = Rig::new(&[
             Instruction::AluImm { op: AluOp::Add, rd: Reg::T0, rs1: Reg::ZERO, imm: 0x2000 },
-            Instruction::Load { width: Width::Word, signed: true, rd: Reg::A0, rs1: Reg::T0, offset: 0 },
+            Instruction::Load {
+                width: Width::Word,
+                signed: true,
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                offset: 0,
+            },
             Instruction::Halt,
         ]);
         // Revoke privilege; allow only the code page.

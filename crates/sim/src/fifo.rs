@@ -40,7 +40,11 @@ impl TraceFifo {
     #[must_use]
     pub fn new(capacity: usize) -> TraceFifo {
         assert!(capacity > 0, "FIFO needs at least one entry");
-        TraceFifo { capacity, queue: VecDeque::with_capacity(capacity), stats: FifoStats::default() }
+        TraceFifo {
+            capacity,
+            queue: VecDeque::with_capacity(capacity),
+            stats: FifoStats::default(),
+        }
     }
 
     /// Entry capacity.

@@ -14,8 +14,7 @@ pub trait BackupHook {
     /// Called before a load of `vaddr`/`paddr` commits. The implementation
     /// may rewrite memory (rollback-on-demand). Returns extra stall cycles
     /// charged to the core.
-    fn before_read(&mut self, asid: u16, vaddr: u32, paddr: u32, phys: &mut PhysicalMemory)
-        -> u32;
+    fn before_read(&mut self, asid: u16, vaddr: u32, paddr: u32, phys: &mut PhysicalMemory) -> u32;
 
     /// Called before a store to `vaddr`/`paddr` commits, while memory still
     /// holds the *old* value. Returns extra stall cycles charged to the

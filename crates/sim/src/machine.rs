@@ -11,9 +11,7 @@
 use std::collections::HashMap;
 
 use indra_isa::Image;
-use indra_mem::{
-    CoreMemory, FrameAllocator, PhysicalMemory, Sdram, PAGE_SHIFT, PAGE_SIZE,
-};
+use indra_mem::{CoreMemory, FrameAllocator, PhysicalMemory, Sdram, PAGE_SHIFT, PAGE_SIZE};
 
 use crate::{
     AddressSpace, BackupHook, CamFilter, Core, CoreRole, Fault, MachineConfig, MemoryWatchdog,
@@ -115,7 +113,13 @@ impl Machine {
         let cores = (0..n).map(|_| Core::new(cfg.core)).collect();
         let mems = (0..n).map(|_| CoreMemory::new(cfg.mem)).collect();
         let cams = (0..n)
-            .map(|_| if cfg.cam_entries == 0 { CamFilter::disabled() } else { CamFilter::new(cfg.cam_entries) })
+            .map(|_| {
+                if cfg.cam_entries == 0 {
+                    CamFilter::disabled()
+                } else {
+                    CamFilter::new(cfg.cam_entries)
+                }
+            })
             .collect();
         Machine {
             cores,
@@ -464,8 +468,7 @@ impl Machine {
         if pushed_events > 0 {
             // Commit-stage trace-packet cost (port arbitration into the
             // shared FIFO) — per-event, producer side.
-            self.cores[id]
-                .add_stall_cycles(u64::from(pushed_events * self.cfg.trace_push_cycles));
+            self.cores[id].add_stall_cycles(u64::from(pushed_events * self.cfg.trace_push_cycles));
         }
 
         match result.outcome {
@@ -547,10 +550,10 @@ impl Machine {
             let addr = vaddr + off as u32;
             let chunk = (64 - (addr % 64) as usize).min(data.len() - off);
             let paddr = {
-                let space = self.spaces.get(&asid).ok_or(Fault::PageFault {
-                    vaddr: addr,
-                    kind: crate::AccessKind::Write,
-                })?;
+                let space = self
+                    .spaces
+                    .get(&asid)
+                    .ok_or(Fault::PageFault { vaddr: addr, kind: crate::AccessKind::Write })?;
                 space.translate(addr, crate::AccessKind::Write)?
             };
             if let Some(core) = checked_core {
@@ -585,10 +588,10 @@ impl Machine {
             let addr = vaddr + off;
             let chunk = (64 - (addr % 64)).min(len - off);
             let paddr = {
-                let space = self.spaces.get(&asid).ok_or(Fault::PageFault {
-                    vaddr: addr,
-                    kind: crate::AccessKind::Read,
-                })?;
+                let space = self
+                    .spaces
+                    .get(&asid)
+                    .ok_or(Fault::PageFault { vaddr: addr, kind: crate::AccessKind::Read })?;
                 space.translate(addr, crate::AccessKind::Read)?
             };
             if let Some(core) = checked_core {
@@ -683,10 +686,17 @@ mod tests {
     fn resurrectee_cannot_touch_rts_memory() {
         let mut m = booted_machine();
         // A program whose data page is force-remapped onto an RTS frame.
-        load_and_start(&mut m, 1, 10, "main:\n la t0, buf\n lw a0, 0(t0)\n halt\n.data\nbuf: .word 1\n");
+        load_and_start(
+            &mut m,
+            1,
+            10,
+            "main:\n la t0, buf\n lw a0, 0(t0)\n halt\n.data\nbuf: .word 1\n",
+        );
         // Remap the data page to physical frame 0 (RTS pool).
         let data_vpn = indra_isa::DATA_BASE >> PAGE_SHIFT;
-        m.space_mut(10).unwrap().map(data_vpn, Pte { ppn: 0, read: true, write: true, execute: false });
+        m.space_mut(10)
+            .unwrap()
+            .map(data_vpn, Pte { ppn: 0, read: true, write: true, execute: false });
         let mut last = CoreStep::Executed;
         for _ in 0..100 {
             last = m.step_core_simple(1);
@@ -700,21 +710,23 @@ mod tests {
     #[test]
     fn resurrector_may_touch_everything() {
         let mut m = booted_machine();
-        load_and_start(&mut m, 0, 9, "main:\n la t0, buf\n lw a0, 0(t0)\n halt\n.data\nbuf: .word 42\n");
+        load_and_start(
+            &mut m,
+            0,
+            9,
+            "main:\n la t0, buf\n lw a0, 0(t0)\n halt\n.data\nbuf: .word 42\n",
+        );
         let data_vpn = indra_isa::DATA_BASE >> PAGE_SHIFT;
-        m.space_mut(9).unwrap().map(data_vpn, Pte { ppn: 0, read: true, write: true, execute: false });
+        m.space_mut(9)
+            .unwrap()
+            .map(data_vpn, Pte { ppn: 0, read: true, write: true, execute: false });
         run_until_halt(&mut m, 0, 100);
     }
 
     #[test]
     fn monitored_core_fills_fifo() {
         let mut m = booted_machine();
-        load_and_start(
-            &mut m,
-            1,
-            10,
-            "main:\n call f\n call f\n halt\nf:\n ret\n",
-        );
+        load_and_start(&mut m, 1, 10, "main:\n call f\n call f\n halt\nf:\n ret\n");
         for _ in 0..100 {
             match m.step_core_simple(1) {
                 CoreStep::Executed => continue,

@@ -134,10 +134,7 @@ mod tests {
     #[test]
     fn unmapped_page_faults() {
         let a = space();
-        assert!(matches!(
-            a.translate(0x0050_0000, AccessKind::Read),
-            Err(Fault::PageFault { .. })
-        ));
+        assert!(matches!(a.translate(0x0050_0000, AccessKind::Read), Err(Fault::PageFault { .. })));
     }
 
     #[test]

@@ -5,67 +5,72 @@
 //! the same operation list. Any divergence in the builder, the encoder,
 //! the decoder or the core's execute stage shows up here.
 
-use proptest::prelude::*;
-
 use indra_isa::{AluOp, Instruction, ProgramBuilder, Reg};
+use indra_rng::{forall, Rng};
 use indra_sim::{CoreStep, Machine, MachineConfig};
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
-    Alu(AluOp, u8, u8, u8),    // rd, rs1, rs2 (indices into WORK_REGS)
+    Alu(AluOp, u8, u8, u8), // rd, rs1, rs2 (indices into WORK_REGS)
     AluImm(AluOp, u8, u8, i32),
-    StoreLoad(u8, u8, u32),    // store rs, reload into rd, at scratch offset
+    StoreLoad(u8, u8, u32), // store rs, reload into rd, at scratch offset
 }
 
 /// The registers the generated programs compute in (avoids zero/sp/etc.).
 const WORK_REGS: [Reg; 6] = [Reg::T0, Reg::T1, Reg::T2, Reg::S0, Reg::S1, Reg::S2];
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Div),
-        Just(AluOp::Rem),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Sll),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-    ]
-}
+const ALU_OPS: [AluOp; 13] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Rem,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+];
 
-fn imm_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Sll),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Mul),
-    ]
-}
+const IMM_OPS: [AluOp; 10] = [
+    AluOp::Add,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Mul,
+];
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (alu_op(), 0u8..6, 0u8..6, 0u8..6).prop_map(|(op, d, a, b)| Op::Alu(op, d, a, b)),
-        (imm_op(), 0u8..6, 0u8..6).prop_flat_map(|(op, d, a)| {
-            let range = if matches!(op, AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Sltu) {
-                0i32..65536
+fn gen_op(rng: &mut Rng) -> Op {
+    match rng.range_u32(0, 3) {
+        0 => Op::Alu(
+            *rng.pick(&ALU_OPS),
+            rng.range_u32(0, 6) as u8,
+            rng.range_u32(0, 6) as u8,
+            rng.range_u32(0, 6) as u8,
+        ),
+        1 => {
+            let op = *rng.pick(&IMM_OPS);
+            let imm = if matches!(op, AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Sltu) {
+                rng.range_i32(0, 65536)
             } else {
-                -32768i32..32768
+                rng.range_i32(-32768, 32768)
             };
-            range.prop_map(move |imm| Op::AluImm(op, d, a, imm))
-        }),
-        (0u8..6, 0u8..6, 0u32..64).prop_map(|(d, s, slot)| Op::StoreLoad(d, s, slot)),
-    ]
+            Op::AluImm(op, rng.range_u32(0, 6) as u8, rng.range_u32(0, 6) as u8, imm)
+        }
+        _ => Op::StoreLoad(
+            rng.range_u32(0, 6) as u8,
+            rng.range_u32(0, 6) as u8,
+            rng.range_u32(0, 64),
+        ),
+    }
 }
 
 /// Host-side reference semantics.
@@ -100,12 +105,9 @@ fn execute(seeds: &[u32; 6], ops: &[Op]) -> [u32; 6] {
     }
     for &op in ops {
         match op {
-            Op::Alu(op, d, a, b_) => b.alu(
-                op,
-                WORK_REGS[d as usize],
-                WORK_REGS[a as usize],
-                WORK_REGS[b_ as usize],
-            ),
+            Op::Alu(op, d, a, b_) => {
+                b.alu(op, WORK_REGS[d as usize], WORK_REGS[a as usize], WORK_REGS[b_ as usize])
+            }
             Op::AluImm(op, d, a, imm) => b.inst(Instruction::AluImm {
                 op,
                 rd: WORK_REGS[d as usize],
@@ -144,16 +146,16 @@ fn execute(seeds: &[u32; 6], ops: &[Op]) -> [u32; 6] {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn machine_matches_reference_interpreter(
-        seeds in proptest::array::uniform6(any::<u32>()),
-        ops in proptest::collection::vec(op_strategy(), 1..60),
-    ) {
+#[test]
+fn machine_matches_reference_interpreter() {
+    forall("machine_matches_reference_interpreter", 48, |rng| {
+        let mut seeds = [0u32; 6];
+        for s in &mut seeds {
+            *s = rng.next_u32();
+        }
+        let ops: Vec<Op> = (0..rng.range_usize(1, 60)).map(|_| gen_op(rng)).collect();
         let expected = interpret(&seeds, &ops);
         let actual = execute(&seeds, &ops);
-        prop_assert_eq!(actual, expected);
-    }
+        assert_eq!(actual, expected);
+    });
 }

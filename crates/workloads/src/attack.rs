@@ -155,6 +155,43 @@ pub fn attack_request(attack: Attack, image: &Image) -> Vec<u8> {
     }
 }
 
+/// Every attack class, aimed at real targets inside `image` — the fleet
+/// harness's default exploit arsenal. The hijack-style entries aim at
+/// `handler_0 + 8`: a genuine code address that is *not* a legitimate
+/// call target, so call/return or control-transfer inspection must flag
+/// it.
+///
+/// # Panics
+///
+/// Panics if `image` lacks the standard service symbols.
+#[must_use]
+pub fn standard_attack_suite(image: &Image) -> Vec<Attack> {
+    let mut suite = detectable_attack_suite(image);
+    suite.push(Attack::Dormant { addr: UNMAPPED_ADDR });
+    suite
+}
+
+/// The attack classes whose detection lands *within the offending
+/// request* (everything but [`Attack::Dormant`], whose corruption fells a
+/// later benign request). Fleet runs that assert "every injected attack
+/// was detected while it was in flight" draw from this set.
+///
+/// # Panics
+///
+/// Panics if `image` lacks the standard service symbols.
+#[must_use]
+pub fn detectable_attack_suite(image: &Image) -> Vec<Attack> {
+    let mid_function = image.addr_of("handler_0").expect("service image has handler_0") + 8;
+    vec![
+        Attack::StackSmash { target: mid_function },
+        Attack::CodeInjection,
+        Attack::HandlerHijack { target: mid_function },
+        Attack::InjectedHandler,
+        Attack::WildWrite { addr: UNMAPPED_ADDR },
+        Attack::FormatString { value: mid_function },
+    ]
+}
+
 /// The address injected code lands at for [`Attack::CodeInjection`] and
 /// [`Attack::InjectedHandler`] against `image`: payload offset 74 keeps
 /// it word-aligned (used by tests to confirm detection coordinates).

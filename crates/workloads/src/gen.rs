@@ -98,8 +98,7 @@ pub fn build_service(spec: &WorkloadSpec) -> Image {
     let hot: Vec<Label> = (0..spec.hot_blocks)
         .map(|i| emit_block(&mut b, &format!("hot_{i}"), spec.block_insns, i, false))
         .collect();
-    let utils: Vec<Label> =
-        (0..4).map(|i| emit_util(&mut b, &format!("util_{i}"), i)).collect();
+    let utils: Vec<Label> = (0..4).map(|i| emit_util(&mut b, &format!("util_{i}"), i)).collect();
 
     // ---- touch: dirty one workset page ----------------------------------
     // a0 = page index; writes `lines_per_page` lines, `writes_per_line`
@@ -133,7 +132,13 @@ pub fn build_service(spec: &WorkloadSpec) -> Image {
     {
         b.addi(Reg::SP, Reg::SP, -72);
         b.sw(Reg::RA, Reg::SP, 64);
-        b.inst(Instruction::Load { width: Width::Half, signed: false, rd: Reg::T0, rs1: Reg::A0, offset: 2 });
+        b.inst(Instruction::Load {
+            width: Width::Half,
+            signed: false,
+            rd: Reg::T0,
+            rs1: Reg::A0,
+            offset: 2,
+        });
         b.li(Reg::T1, 0);
         let loop_top = b.here();
         let done = b.new_label();
@@ -156,7 +161,13 @@ pub fn build_service(spec: &WorkloadSpec) -> Image {
     let ingest = b.begin_func("ingest", false);
     {
         b.la_data(Reg::T0, reqcopy, 0);
-        b.inst(Instruction::Load { width: Width::Half, signed: false, rd: Reg::T1, rs1: Reg::A0, offset: 4 });
+        b.inst(Instruction::Load {
+            width: Width::Half,
+            signed: false,
+            rd: Reg::T1,
+            rs1: Reg::A0,
+            offset: 4,
+        });
         b.li(Reg::T2, 0);
         let loop_top = b.here();
         let done = b.new_label();

@@ -190,8 +190,10 @@ mod tests {
             let hot_bytes = spec.hot_blocks * (spec.block_insns + 1) * 4;
             assert!(hot_bytes < 16 * 1024, "{app}: hot pool too big");
             // near revisit distance ≈ 2×cold_blocks inserts: > 32, < 64
-            assert!(2 * spec.cold_blocks > 32 && 2 * spec.cold_blocks <= 64,
-                "{app}: near pool must straddle the CAM sizes");
+            assert!(
+                2 * spec.cold_blocks > 32 && 2 * spec.cold_blocks <= 64,
+                "{app}: near pool must straddle the CAM sizes"
+            );
             assert!(spec.far_blocks > 64, "{app}: far pool beyond both CAMs");
         }
     }

@@ -7,9 +7,9 @@
 //! cargo run --release --example checkpoint_comparison
 //! ```
 
-use indra_bench::{run, RunOptions};
 use indra::core::SchemeKind;
 use indra::workloads::{Attack, ServiceApp, UNMAPPED_ADDR};
+use indra_bench::{run, RunOptions};
 
 fn main() {
     let app = ServiceApp::Bind; // the paper's outlier: short, write-dense requests
@@ -22,10 +22,7 @@ fn main() {
     base.monitoring = false;
     base.scheme = SchemeKind::None;
     let baseline = run(&base);
-    println!(
-        "baseline (no INDRA): {:>10.0} cycles/request\n",
-        baseline.cycles_per_benign
-    );
+    println!("baseline (no INDRA): {:>10.0} cycles/request\n", baseline.cycles_per_benign);
 
     println!(
         "{:<22} {:>10} {:>12} {:>12} {:>13} {:>10}",

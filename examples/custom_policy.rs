@@ -13,9 +13,7 @@ use indra::core::{
     ViolationKind,
 };
 use indra::isa::{disassemble_image, Instruction};
-use indra::workloads::{
-    attack_request, benign_request, build_app_scaled, Attack, ServiceApp,
-};
+use indra::workloads::{attack_request, benign_request, build_app_scaled, Attack, ServiceApp};
 
 fn main() {
     let image = build_app_scaled(ServiceApp::Httpd, 15);

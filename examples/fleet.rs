@@ -50,8 +50,7 @@ fn main() {
     println!("\none resurrector monitored {} services concurrently:", apps.len());
     for (i, app) in apps.iter().enumerate() {
         let core = i + 1;
-        let served =
-            sys.report().samples.iter().filter(|s| s.core == core && !s.malicious).count();
+        let served = sys.report().samples.iter().filter(|s| s.core == core && !s.malicious).count();
         let detections = sys.report().detections.iter().filter(|d| d.core == core).count();
         println!("  core {core} ({app}): {served} benign served, {detections} attacks survived");
     }

@@ -38,10 +38,9 @@ fn main() {
     // The "compromised kernel" remaps the service's data window onto
     // physical frame 0 — resurrector territory (the RTS pool).
     let window_vpn = image.addr_of("window").unwrap() >> PAGE_SHIFT;
-    m.space_mut(10).unwrap().map(
-        window_vpn,
-        Pte { ppn: 0, read: true, write: true, execute: false },
-    );
+    m.space_mut(10)
+        .unwrap()
+        .map(window_vpn, Pte { ppn: 0, read: true, write: true, execute: false });
     println!("remapped the service's window onto physical frame 0 (RTS memory)");
 
     let mut outcome = CoreStep::Executed;
@@ -81,10 +80,9 @@ fn main() {
     m.boot_symmetric();
     m.create_space(10);
     m.load_image(10, &image).unwrap();
-    m.space_mut(10).unwrap().map(
-        window_vpn,
-        Pte { ppn: 0, read: true, write: true, execute: false },
-    );
+    m.space_mut(10)
+        .unwrap()
+        .map(window_vpn, Pte { ppn: 0, read: true, write: true, execute: false });
     m.core_mut(1).set_asid(10);
     m.core_mut(1).set_pc(image.entry);
     m.core_mut(1).set_reg(indra::isa::Reg::SP, image.initial_sp);

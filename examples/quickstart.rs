@@ -94,10 +94,7 @@ fn main() {
         );
     }
     for v in sys.monitor().violations() {
-        println!(
-            "monitor audit: {:?} at pc {:#x}, rogue target {:#x}",
-            v.kind, v.pc, v.addr
-        );
+        println!("monitor audit: {:?} at pc {:#x}, rogue target {:#x}", v.kind, v.pc, v.addr);
     }
     assert_eq!(report.benign_served, 4, "every honest client was served");
     assert_eq!(report.true_detections(), 1, "the exploit was caught");

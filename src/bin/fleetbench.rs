@@ -1,0 +1,25 @@
+//! `fleetbench` — shard-count scaling sweep over the parallel fleet
+//! executor. All logic lives in [`indra_fleet::sweep`]; this wrapper
+//! only exists so `cargo run --release --bin fleetbench` works from the
+//! workspace root.
+
+use std::process::ExitCode;
+
+use indra_fleet::sweep::{parse_args, run_sweep, USAGE};
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(args) => {
+            run_sweep(&args);
+            ExitCode::SUCCESS
+        }
+        Err(msg) if msg == USAGE => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

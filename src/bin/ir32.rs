@@ -44,11 +44,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let requests: Vec<Vec<u8>> = rest
-        .windows(2)
-        .filter(|w| w[0] == "--req")
-        .map(|w| w[1].clone().into_bytes())
-        .collect();
+    let requests: Vec<Vec<u8>> =
+        rest.windows(2).filter(|w| w[0] == "--req").map(|w| w[1].clone().into_bytes()).collect();
 
     match cmd.as_str() {
         "asm" => cmd_asm(&image),

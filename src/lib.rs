@@ -27,15 +27,28 @@
 //!   top-level driver.
 //! * [`workloads`] — the six synthetic network services and the exploit
 //!   generators used by the evaluation.
+//! * [`fleet`] — the sharded parallel fleet executor: many independent
+//!   INDRA cells across OS threads under deterministic open-loop
+//!   traffic, aggregated into one fleet-wide report.
+//! * [`bench`] — the experiment harness regenerating the paper's
+//!   tables and figures, plus the shared latency [`bench::Histogram`].
+//! * [`rng`] — the in-tree deterministic PRNG (seed-derivation,
+//!   property-test driver) the workspace uses instead of external
+//!   `rand`/`proptest`.
 //!
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs` for a complete tour: build a service, boot
-//! the asymmetric machine, serve requests, survive an exploit.
+//! the asymmetric machine, serve requests, survive an exploit — and
+//! `examples/fleet_parallel.rs` for a six-app fleet surviving an attack
+//! wave.
 
+pub use indra_bench as bench;
 pub use indra_core as core;
+pub use indra_fleet as fleet;
 pub use indra_isa as isa;
 pub use indra_mem as mem;
 pub use indra_os as os;
+pub use indra_rng as rng;
 pub use indra_sim as sim;
 pub use indra_workloads as workloads;

@@ -2,9 +2,7 @@
 //! (§3.2.1), declared dynamic/self-modifying code (§3.2.2), and the
 //! difference between declared and undeclared runtime code generation.
 
-use indra::core::{
-    FailureCause, IndraSystem, RunState, SystemConfig, ViolationKind,
-};
+use indra::core::{FailureCause, IndraSystem, RunState, SystemConfig, ViolationKind};
 use indra::isa::assemble;
 
 /// A service whose handler aborts deep call nesting with a longjmp-style
@@ -73,10 +71,11 @@ fn longjmp_without_registration_is_flagged() {
     sys.push_request(vec![1; 4], false);
     let state = sys.run(10_000_000);
     assert_ne!(state, RunState::BudgetExhausted);
-    assert!(sys.report().detections.iter().any(|d| matches!(
-        d.cause,
-        FailureCause::Violation(ViolationKind::InvalidIndirectTarget)
-    )));
+    assert!(sys
+        .report()
+        .detections
+        .iter()
+        .any(|d| matches!(d.cause, FailureCause::Violation(ViolationKind::InvalidIndirectTarget))));
 }
 
 /// A JIT-style service: writes a tiny function (li a0, 99; ret) into its

@@ -13,10 +13,9 @@
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-
 use indra::core::{DeltaBackupEngine, DeltaConfig, Scheme, UndoLog, VirtualCheckpoint};
 use indra::mem::{FrameAllocator, PhysicalMemory, PAGE_SHIFT};
+use indra::rng::{forall, Rng};
 use indra::sim::{AddressSpace, Pte};
 
 const ASID: u16 = 7;
@@ -36,14 +35,20 @@ enum Op {
     Fail,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0u32..(PAGES * 4096 / 4), any::<u32>())
-            .prop_map(|(w, value)| Op::Store { offset: w * 4, value }),
-        2 => (0u32..(PAGES * 4096 / 4)).prop_map(|w| Op::Load { offset: w * 4 }),
-        1 => Just(Op::Boundary),
-        1 => Just(Op::Fail),
-    ]
+/// Weighted 4:2:1:1 toward stores, like the original strategy.
+fn gen_op(rng: &mut Rng) -> Op {
+    match rng.range_u32(0, 8) {
+        0..=3 => {
+            Op::Store { offset: rng.range_u32(0, PAGES * 4096 / 4) * 4, value: rng.next_u32() }
+        }
+        4 | 5 => Op::Load { offset: rng.range_u32(0, PAGES * 4096 / 4) * 4 },
+        6 => Op::Boundary,
+        _ => Op::Fail,
+    }
+}
+
+fn gen_ops(rng: &mut Rng, max: usize) -> Vec<Op> {
+    (0..rng.range_usize(1, max)).map(|_| gen_op(rng)).collect()
 }
 
 struct Rig {
@@ -66,9 +71,7 @@ impl Rig {
     }
 
     fn paddr(&self, offset: u32) -> u32 {
-        self.space
-            .translate(BASE_VADDR + offset, indra::sim::AccessKind::Read)
-            .expect("mapped")
+        self.space.translate(BASE_VADDR + offset, indra::sim::AccessKind::Read).expect("mapped")
     }
 
     fn take_snapshot(&mut self) {
@@ -119,13 +122,7 @@ fn exercise(scheme: &mut dyn Scheme, ops: &[Op]) {
             Op::Fail => {
                 scheme.fail_and_rollback(ASID, &mut rig.space, &mut rig.phys);
                 // Materialize lazy restores so the check sees real bytes.
-                scheme.ensure_clean(
-                    ASID,
-                    BASE_VADDR,
-                    PAGES * 4096,
-                    &rig.space,
-                    &mut rig.phys,
-                );
+                scheme.ensure_clean(ASID, BASE_VADDR, PAGES * 4096, &rig.space, &mut rig.phys);
                 rig.assert_matches_snapshot(scheme.name(), "after rollback");
                 // The failed request is gone; the next one begins from the
                 // boundary state.
@@ -152,37 +149,41 @@ fn delta_small_lines() -> DeltaBackupEngine {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn delta_engine_matches_reference() {
+    forall("delta_engine_matches_reference", 64, |rng| {
+        exercise(&mut delta(), &gen_ops(rng, 120));
+    });
+}
 
-    #[test]
-    fn delta_engine_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        exercise(&mut delta(), &ops);
-    }
+#[test]
+fn delta_engine_32b_lines_matches_reference() {
+    forall("delta_engine_32b_lines_matches_reference", 64, |rng| {
+        exercise(&mut delta_small_lines(), &gen_ops(rng, 120));
+    });
+}
 
-    #[test]
-    fn delta_engine_32b_lines_matches_reference(
-        ops in proptest::collection::vec(op_strategy(), 1..120),
-    ) {
-        exercise(&mut delta_small_lines(), &ops);
-    }
+#[test]
+fn undo_log_matches_reference() {
+    forall("undo_log_matches_reference", 64, |rng| {
+        exercise(&mut UndoLog::new(), &gen_ops(rng, 120));
+    });
+}
 
-    #[test]
-    fn undo_log_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        exercise(&mut UndoLog::new(), &ops);
-    }
+#[test]
+fn virtual_checkpoint_matches_reference() {
+    forall("virtual_checkpoint_matches_reference", 64, |rng| {
+        exercise(
+            &mut VirtualCheckpoint::new(FrameAllocator::new(0x1000, 0x2000)),
+            &gen_ops(rng, 120),
+        );
+    });
+}
 
-    #[test]
-    fn virtual_checkpoint_matches_reference(
-        ops in proptest::collection::vec(op_strategy(), 1..120),
-    ) {
-        exercise(&mut VirtualCheckpoint::new(FrameAllocator::new(0x1000, 0x2000)), &ops);
-    }
-
-    #[test]
-    fn all_schemes_agree_on_final_memory(
-        ops in proptest::collection::vec(op_strategy(), 1..80),
-    ) {
+#[test]
+fn all_schemes_agree_on_final_memory() {
+    forall("all_schemes_agree_on_final_memory", 64, |rng| {
+        let ops = gen_ops(rng, 80);
         // Run the identical sequence through all three restoring schemes
         // and compare the full final memory images pairwise.
         let mut finals: Vec<(String, Vec<u32>)> = Vec::new();
@@ -221,13 +222,11 @@ proptest! {
             finals.push((scheme.name().to_owned(), image));
         }
         for pair in finals.windows(2) {
-            prop_assert_eq!(
-                &pair[0].1,
-                &pair[1].1,
+            assert_eq!(
+                &pair[0].1, &pair[1].1,
                 "{} and {} disagree on final memory",
-                &pair[0].0,
-                &pair[1].0
+                &pair[0].0, &pair[1].0
             );
         }
-    }
+    });
 }

@@ -8,13 +8,10 @@
 //! real (the shellcode actually takes over the machine when INDRA is
 //! off), so the detection results mean something.
 
-use indra::core::{
-    FailureCause, IndraSystem, RunState, SchemeKind, SystemConfig, ViolationKind,
-};
+use indra::core::{FailureCause, IndraSystem, RunState, SchemeKind, SystemConfig, ViolationKind};
 use indra::isa::Reg;
 use indra::workloads::{
-    attack_request, benign_request, build_app_scaled, Attack, ServiceApp,
-    UNMAPPED_ADDR,
+    attack_request, benign_request, build_app_scaled, Attack, ServiceApp, UNMAPPED_ADDR,
 };
 
 const SCALE: u32 = 15;
@@ -70,10 +67,10 @@ fn code_injection_detected_by_code_origin() {
     let sys = run_attack_scenario(ServiceApp::Httpd, Attack::InjectedHandler, cfg);
     let report = sys.report();
     assert_eq!(report.benign_served, 6);
-    assert!(report.detections.iter().any(|d| matches!(
-        d.cause,
-        FailureCause::Violation(ViolationKind::CodeInjection)
-    )));
+    assert!(report
+        .detections
+        .iter()
+        .any(|d| matches!(d.cause, FailureCause::Violation(ViolationKind::CodeInjection))));
 }
 
 #[test]
@@ -81,11 +78,8 @@ fn code_injection_succeeds_without_monitoring() {
     // Negative control: with INDRA off, the same request takes over the
     // machine — the injected shellcode runs and calls exit(0x31337).
     let image = build_app_scaled(ServiceApp::Httpd, SCALE);
-    let cfg = SystemConfig {
-        monitoring: false,
-        scheme: SchemeKind::None,
-        ..SystemConfig::default()
-    };
+    let cfg =
+        SystemConfig { monitoring: false, scheme: SchemeKind::None, ..SystemConfig::default() };
     let mut sys = IndraSystem::new(cfg);
     sys.deploy(&image).unwrap();
     sys.push_request(benign_request(0, 1), false);
@@ -107,10 +101,10 @@ fn function_pointer_hijack_detected() {
     );
     let report = sys.report();
     assert_eq!(report.benign_served, 6);
-    assert!(report.detections.iter().any(|d| matches!(
-        d.cause,
-        FailureCause::Violation(ViolationKind::InvalidIndirectTarget)
-    )));
+    assert!(report
+        .detections
+        .iter()
+        .any(|d| matches!(d.cause, FailureCause::Violation(ViolationKind::InvalidIndirectTarget))));
 }
 
 #[test]
@@ -191,14 +185,8 @@ fn dormant_attack_defeats_micro_but_hybrid_recovers() {
     let latch_addr = image.addr_of("latch").unwrap();
     let asid = sys.os().asid_of(sys.os().pid_on_core(1).unwrap());
     assert_eq!(sys.machine().read_virtual_u32(asid, latch_addr), Some(0));
-    let last_benign = sys
-        .report()
-        .samples
-        .iter()
-        .filter(|s| !s.malicious)
-        .map(|s| s.request_id)
-        .max()
-        .unwrap();
+    let last_benign =
+        sys.report().samples.iter().filter(|s| !s.malicious).map(|s| s.request_id).max().unwrap();
     assert_eq!(last_benign, 8, "the final benign client was served after macro recovery");
 }
 
@@ -214,10 +202,10 @@ fn format_string_write_anywhere_detected() {
     let report = sys.report();
     assert_eq!(report.benign_served, 6);
     assert_eq!(report.true_detections(), 1);
-    assert!(report.detections.iter().any(|d| matches!(
-        d.cause,
-        FailureCause::Violation(ViolationKind::InvalidIndirectTarget)
-    )));
+    assert!(report
+        .detections
+        .iter()
+        .any(|d| matches!(d.cause, FailureCause::Violation(ViolationKind::InvalidIndirectTarget))));
 }
 
 #[test]

@@ -4,7 +4,7 @@
 
 use indra::core::{AvailabilityReport, IndraSystem, RunState, SchemeKind, SystemConfig};
 use indra::sim::MachineConfig;
-use indra::workloads::{build_app_scaled, benign_request, ServiceApp, Traffic};
+use indra::workloads::{benign_request, build_app_scaled, ServiceApp, Traffic};
 
 const SCALE: u32 = 25;
 

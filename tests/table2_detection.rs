@@ -72,10 +72,8 @@ fn code_origin_inspection_catches_injected_code() {
 
 #[test]
 fn control_transfer_inspection_catches_fn_pointer_overwrite() {
-    let kinds = detections(
-        policy_control_transfer(),
-        Attack::HandlerHijack { target: UNMAPPED_ADDR },
-    );
+    let kinds =
+        detections(policy_control_transfer(), Attack::HandlerHijack { target: UNMAPPED_ADDR });
     assert_eq!(kinds, vec![ViolationKind::InvalidIndirectTarget]);
 }
 
@@ -89,10 +87,7 @@ fn off_diagonal_cells_do_not_fire_their_violation() {
         !kinds.contains(&ViolationKind::CodeInjection),
         "smashed return to real code is not a code-origin violation"
     );
-    let kinds = detections(
-        policy_call_return(),
-        Attack::HandlerHijack { target: UNMAPPED_ADDR },
-    );
+    let kinds = detections(policy_call_return(), Attack::HandlerHijack { target: UNMAPPED_ADDR });
     assert!(
         !kinds.contains(&ViolationKind::ReturnMismatch),
         "a hijacked dispatch is not a return mismatch"

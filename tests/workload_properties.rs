@@ -4,54 +4,41 @@
 //! documented vulnerabilities (the stack smash must work against every
 //! generated service).
 
-use proptest::prelude::*;
-
 use indra::core::{IndraSystem, RunState, SystemConfig};
+use indra::rng::{forall, Rng};
 use indra::workloads::{attack_request, benign_request, build_service, Attack, WorkloadSpec};
 
-fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
-    (
-        20u32..200,   // segments
-        30u32..150,   // block_insns
-        2u32..30,     // cold_every
-        2u32..12,     // pages_touched
-        1u32..20,     // lines_per_page
-        1u32..9,      // writes_per_line
-        16u32..512,   // resp_len
-        0u32..4,      // file_writes
-    )
-        .prop_map(
-            |(segments, block_insns, cold_every, pages, lines, writes, resp, fw)| WorkloadSpec {
-                name: "prop".to_owned(),
-                segments,
-                block_insns,
-                hot_blocks: 8,
-                cold_block_insns: 40,
-                cold_blocks: 20,
-                far_blocks: 66,
-                burst_every: 16,
-                burst_calls: 4,
-                cold_every,
-                pages_touched: pages,
-                lines_per_page: lines,
-                writes_per_line: writes,
-                resp_len: resp,
-                file_writes: fw,
-            },
-        )
+fn gen_spec(rng: &mut Rng) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "prop".to_owned(),
+        segments: rng.range_u32(20, 200),
+        block_insns: rng.range_u32(30, 150),
+        hot_blocks: 8,
+        cold_block_insns: 40,
+        cold_blocks: 20,
+        far_blocks: 66,
+        burst_every: 16,
+        burst_calls: 4,
+        cold_every: rng.range_u32(2, 30),
+        pages_touched: rng.range_u32(2, 12),
+        lines_per_page: rng.range_u32(1, 20),
+        writes_per_line: rng.range_u32(1, 9),
+        resp_len: rng.range_u32(16, 512),
+        file_writes: rng.range_u32(0, 4),
+    }
 }
 
-proptest! {
-    // Full-system runs are heavy; a modest case count still covers the
-    // envelope well thanks to the wide strategy.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+// Full-system runs are heavy; a modest case count still covers the
+// envelope well thanks to the wide generator ranges.
 
-    #[test]
-    fn any_spec_builds_and_serves(spec in spec_strategy()) {
+#[test]
+fn any_spec_builds_and_serves() {
+    forall("any_spec_builds_and_serves", 12, |rng| {
+        let spec = gen_spec(rng);
         let image = build_service(&spec);
-        prop_assert_eq!(image.validate(), Ok(()));
+        assert_eq!(image.validate(), Ok(()));
         for sym in ["rxbuf", "txbuf", "reqcopy", "handlers", "workset", "parse", "ingest"] {
-            prop_assert!(image.addr_of(sym).is_some(), "missing {}", sym);
+            assert!(image.addr_of(sym).is_some(), "missing {sym}");
         }
 
         let mut sys = IndraSystem::new(SystemConfig::default());
@@ -60,23 +47,26 @@ proptest! {
             sys.push_request(benign_request(i, 0x11 + i), false);
         }
         let state = sys.run(300_000_000);
-        prop_assert_eq!(state, RunState::Idle);
-        prop_assert_eq!(sys.report().benign_served, 2);
-        prop_assert!(
+        assert_eq!(state, RunState::Idle);
+        assert_eq!(sys.report().benign_served, 2);
+        assert!(
             sys.report().detections.is_empty(),
             "benign traffic must not trip the monitor: {:?}",
             sys.report().detections
         );
         // Responses carry the documented fill pattern at the right length.
         let responses = sys.take_responses();
-        prop_assert_eq!(responses.len(), 2);
+        assert_eq!(responses.len(), 2);
         for r in &responses {
-            prop_assert_eq!(r.data.len(), spec.resp_len as usize);
+            assert_eq!(r.data.len(), spec.resp_len as usize);
         }
-    }
+    });
+}
 
-    #[test]
-    fn stack_smash_works_against_any_spec(spec in spec_strategy()) {
+#[test]
+fn stack_smash_works_against_any_spec() {
+    forall("stack_smash_works_against_any_spec", 12, |rng| {
+        let spec = gen_spec(rng);
         let image = build_service(&spec);
         let target = image.addr_of("handler_0").unwrap() + 8;
         let mut sys = IndraSystem::new(SystemConfig::default());
@@ -85,8 +75,12 @@ proptest! {
         sys.push_request(attack_request(Attack::StackSmash { target }, &image), true);
         sys.push_request(benign_request(1, 4), false);
         let state = sys.run(300_000_000);
-        prop_assert_ne!(state, RunState::BudgetExhausted);
-        prop_assert_eq!(sys.report().true_detections(), 1, "the vulnerability must exist in every build");
-        prop_assert_eq!(sys.report().benign_served, 2, "and recovery must work in every build");
-    }
+        assert_ne!(state, RunState::BudgetExhausted);
+        assert_eq!(
+            sys.report().true_detections(),
+            1,
+            "the vulnerability must exist in every build"
+        );
+        assert_eq!(sys.report().benign_served, 2, "and recovery must work in every build");
+    });
 }
