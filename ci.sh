@@ -19,4 +19,12 @@ cargo test -q
 echo "== workspace tests"
 cargo test -q --workspace
 
+echo "== smoke: fleetbench checkpoint / kill / resume"
+SMOKE_DIR="$(mktemp -d "${TMPDIR:-/tmp}/indra-ci-smoke.XXXXXX")"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/fleetbench \
+  --shards 2 --requests 8 --scale 30 --attack-per-mille 200 \
+  --checkpoint-every 3 --store "$SMOKE_DIR" --halt-after 1
+./target/release/fleetbench --resume "$SMOKE_DIR"
+
 echo "CI green."

@@ -16,10 +16,10 @@
 
 use std::collections::HashMap;
 
-use indra_mem::{FrameAllocator, PhysicalMemory, PAGE_SHIFT, PAGE_SIZE};
+use indra_mem::{FrameAllocator, FrameAllocatorState, PhysicalMemory, PAGE_SHIFT, PAGE_SIZE};
 use indra_sim::{AccessKind, AddressSpace, BackupHook};
 
-use crate::{Scheme, SchemeStats};
+use crate::{Scheme, SchemeState, SchemeStats};
 
 /// Cycle cost of copying one full page between frames (64 lines' worth of
 /// DRAM traffic).
@@ -77,6 +77,72 @@ impl VirtualCheckpoint {
     fn proc_mut(&mut self, asid: u16) -> Option<&mut PageCkptProc> {
         self.procs.get_mut(&asid)
     }
+
+    fn capture(&self) -> PageCkptState {
+        let mut procs: Vec<PageCkptProcState> = self
+            .procs
+            .iter()
+            .map(|(&asid, p)| {
+                let mut saved: Vec<(u32, u32)> =
+                    p.saved.iter().map(|(&vpn, &ppn)| (vpn, ppn)).collect();
+                saved.sort_unstable_by_key(|&(vpn, _)| vpn);
+                PageCkptProcState { asid, saved }
+            })
+            .collect();
+        procs.sort_unstable_by_key(|p| p.asid);
+        PageCkptState { frames: self.frames.save_state(), procs, stats: self.stats }
+    }
+
+    fn inject(&mut self, state: &PageCkptState) {
+        self.frames.restore_state(&state.frames);
+        self.procs.clear();
+        for p in &state.procs {
+            self.procs.insert(p.asid, PageCkptProc { saved: p.saved.iter().copied().collect() });
+        }
+        self.stats = state.stats;
+    }
+}
+
+/// One service's durable page-checkpoint state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PageCkptProcState {
+    /// Address-space id.
+    pub asid: u16,
+    /// Saved pages `(vpn, backup_ppn)`, sorted by vpn.
+    pub saved: Vec<(u32, u32)>,
+}
+
+/// Complete mutable state of a [`VirtualCheckpoint`] or
+/// [`SoftwareCheckpoint`] (both share the mechanism; trap costs and the
+/// scheme name are construction-time configuration and not captured).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PageCkptState {
+    /// Backup frame-pool allocator state.
+    pub frames: FrameAllocatorState,
+    /// Per-service saved pages, sorted by asid.
+    pub procs: Vec<PageCkptProcState>,
+    /// Cumulative counters.
+    pub stats: SchemeStats,
+}
+
+/// One undo-log entry's durable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UndoEntryState {
+    /// Word-aligned physical address of the logged store.
+    pub paddr: u32,
+    /// The word's value before the store.
+    pub old: u32,
+}
+
+/// Complete mutable state of an [`UndoLog`]. Entry order within each log
+/// is preserved verbatim — recovery undoes entries in reverse append
+/// order, so the order is behavioral, not incidental.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UndoLogState {
+    /// Per-service logs `(asid, entries)`, sorted by asid.
+    pub logs: Vec<(u16, Vec<UndoEntryState>)>,
+    /// Cumulative counters.
+    pub stats: SchemeStats,
 }
 
 /// libckpt-style software checkpointing: same mechanism, plus a
@@ -193,6 +259,17 @@ impl Scheme for VirtualCheckpoint {
     fn reset_stats(&mut self) {
         self.stats = SchemeStats::default();
     }
+
+    fn save_state(&self) -> SchemeState {
+        SchemeState::PageCkpt(self.capture())
+    }
+
+    fn load_state(&mut self, state: &SchemeState) {
+        match state {
+            SchemeState::PageCkpt(s) => self.inject(s),
+            other => panic!("scheme state mismatch: {} <- {other:?}", self.name),
+        }
+    }
 }
 
 impl BackupHook for SoftwareCheckpoint {
@@ -236,6 +313,14 @@ impl Scheme for SoftwareCheckpoint {
 
     fn reset_stats(&mut self) {
         self.0.reset_stats();
+    }
+
+    fn save_state(&self) -> SchemeState {
+        Scheme::save_state(&self.0)
+    }
+
+    fn load_state(&mut self, state: &SchemeState) {
+        self.0.load_state(state);
     }
 }
 
@@ -339,6 +424,39 @@ impl Scheme for UndoLog {
 
     fn reset_stats(&mut self) {
         self.stats = SchemeStats::default();
+    }
+
+    fn save_state(&self) -> SchemeState {
+        let mut logs: Vec<(u16, Vec<UndoEntryState>)> = self
+            .logs
+            .iter()
+            .map(|(&asid, log)| {
+                (
+                    asid,
+                    log.iter()
+                        .map(|e| UndoEntryState { paddr: e.paddr, old: e.old })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        logs.sort_unstable_by_key(|&(asid, _)| asid);
+        SchemeState::UndoLog(UndoLogState { logs, stats: self.stats })
+    }
+
+    fn load_state(&mut self, state: &SchemeState) {
+        match state {
+            SchemeState::UndoLog(s) => {
+                self.logs.clear();
+                for (asid, entries) in &s.logs {
+                    self.logs.insert(
+                        *asid,
+                        entries.iter().map(|e| UndoEntry { paddr: e.paddr, old: e.old }).collect(),
+                    );
+                }
+                self.stats = s.stats;
+            }
+            other => panic!("scheme state mismatch: undo-log <- {other:?}"),
+        }
     }
 }
 

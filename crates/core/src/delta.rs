@@ -18,7 +18,9 @@ use std::collections::HashMap;
 use indra_mem::{FrameAllocator, PhysicalMemory, PAGE_SHIFT, PAGE_SIZE};
 use indra_sim::{AccessKind, AddressSpace, BackupHook};
 
-use crate::{Scheme, SchemeStats};
+use indra_mem::FrameAllocatorState;
+
+use crate::{Scheme, SchemeState, SchemeStats};
 
 /// Tuning knobs for the delta engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +119,103 @@ impl DeltaBackupEngine {
     pub fn pages_pending_rollback(&self, asid: u16) -> u64 {
         self.procs.get(&asid).map_or(0, |p| p.rollback_pending)
     }
+
+    /// Captures the engine's complete mutable state (per-service GTS,
+    /// per-page records and bitvectors, the frame pool). The
+    /// [`DeltaConfig`] is not captured — it comes from construction.
+    #[must_use]
+    pub fn save_state(&self) -> DeltaState {
+        let mut procs: Vec<DeltaProcState> = self
+            .procs
+            .iter()
+            .map(|(&asid, p)| {
+                let mut pages: Vec<DeltaPageState> = p
+                    .pages
+                    .iter()
+                    .map(|(&vpn, r)| DeltaPageState {
+                        vpn,
+                        backup_ppn: r.backup_ppn,
+                        lts: r.lts,
+                        dirty: r.dirty,
+                        rollback: r.rollback,
+                    })
+                    .collect();
+                pages.sort_unstable_by_key(|pg| pg.vpn);
+                DeltaProcState { asid, gts: p.gts, rollback_pending: p.rollback_pending, pages }
+            })
+            .collect();
+        procs.sort_unstable_by_key(|p| p.asid);
+        DeltaState { frames: self.frames.save_state(), procs, stats: self.stats }
+    }
+
+    /// Restores state captured by [`DeltaBackupEngine::save_state`].
+    pub fn restore_state(&mut self, state: &DeltaState) {
+        self.frames.restore_state(&state.frames);
+        self.procs.clear();
+        for p in &state.procs {
+            let pages = p
+                .pages
+                .iter()
+                .map(|pg| {
+                    (
+                        pg.vpn,
+                        BackupRecord {
+                            backup_ppn: pg.backup_ppn,
+                            lts: pg.lts,
+                            dirty: pg.dirty,
+                            rollback: pg.rollback,
+                        },
+                    )
+                })
+                .collect();
+            self.procs.insert(
+                p.asid,
+                ProcBackup { gts: p.gts, pages, rollback_pending: p.rollback_pending },
+            );
+        }
+        self.stats = state.stats;
+    }
+}
+
+/// One backup page's durable state: the Fig. 3 record keyed by its vpn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaPageState {
+    /// Virtual page number this record backs.
+    pub vpn: u32,
+    /// Physical frame of the backup page.
+    pub backup_ppn: u32,
+    /// Local timestamp (GTS the page was last written under).
+    pub lts: u64,
+    /// Dirty-line bitvector.
+    pub dirty: u128,
+    /// Pending-rollback bitvector.
+    pub rollback: u128,
+}
+
+/// One service's durable delta-engine state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaProcState {
+    /// Address-space id.
+    pub asid: u16,
+    /// Global timestamp.
+    pub gts: u64,
+    /// Count of pages with any rollback bit set.
+    pub rollback_pending: u64,
+    /// Per-page records, sorted by vpn.
+    pub pages: Vec<DeltaPageState>,
+}
+
+/// Complete mutable state of a [`DeltaBackupEngine`], captured by
+/// [`DeltaBackupEngine::save_state`] for the durable-checkpoint
+/// subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaState {
+    /// Backup frame-pool allocator state.
+    pub frames: FrameAllocatorState,
+    /// Per-service state, sorted by asid.
+    pub procs: Vec<DeltaProcState>,
+    /// Cumulative counters.
+    pub stats: SchemeStats,
 }
 
 impl BackupHook for DeltaBackupEngine {
@@ -317,6 +416,17 @@ impl Scheme for DeltaBackupEngine {
 
     fn reset_stats(&mut self) {
         self.stats = SchemeStats::default();
+    }
+
+    fn save_state(&self) -> SchemeState {
+        SchemeState::Delta(self.save_state())
+    }
+
+    fn load_state(&mut self, state: &SchemeState) {
+        match state {
+            SchemeState::Delta(s) => self.restore_state(s),
+            other => panic!("scheme state mismatch: indra-delta <- {other:?}"),
+        }
     }
 }
 

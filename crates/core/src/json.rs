@@ -139,4 +139,33 @@ mod tests {
         assert_eq!(json_f64(f64::INFINITY), "null");
         assert_eq!(json_f64(1.25), "1.25");
     }
+
+    /// Locks the RFC 8259 §7 contract: `"` and `\` get two-character
+    /// escapes, every control character U+0000–U+001F is escaped (named
+    /// short forms for \n \r \t, `\uXXXX` otherwise), and *everything*
+    /// else — including DEL, astral-plane characters and multi-byte
+    /// UTF-8 — passes through verbatim. Checkpoint progress and audit
+    /// strings end up in report JSON, so this must never regress.
+    #[test]
+    fn escaping_covers_every_mandatory_code_point() {
+        assert_eq!(json_string("\""), "\"\\\"\"");
+        assert_eq!(json_string("\\"), "\"\\\\\"");
+        assert_eq!(json_string("\n"), "\"\\n\"");
+        assert_eq!(json_string("\r"), "\"\\r\"");
+        assert_eq!(json_string("\t"), "\"\\t\"");
+        for cp in 0u32..0x20 {
+            let c = char::from_u32(cp).unwrap();
+            let rendered = json_string(&c.to_string());
+            let body = &rendered[1..rendered.len() - 1];
+            assert!(body.starts_with('\\'), "control U+{cp:04X} must be escaped, got {body:?}");
+            match c {
+                '\n' | '\r' | '\t' => assert_eq!(body.len(), 2),
+                _ => assert_eq!(body, format!("\\u{cp:04x}"), "U+{cp:04X}"),
+            }
+        }
+        // Not mandatory to escape; must pass through untouched.
+        assert_eq!(json_string("\u{7f}"), "\"\u{7f}\"");
+        assert_eq!(json_string("héllo 世界 🦀"), "\"héllo 世界 🦀\"");
+        assert_eq!(json_string("/"), "\"/\"", "solidus needs no escape");
+    }
 }

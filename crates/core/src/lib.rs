@@ -40,20 +40,21 @@ mod system;
 
 pub use availability::AvailabilityReport;
 pub use baselines::{
-    SoftwareCheckpoint, UndoLog, VirtualCheckpoint, LOG_APPEND_CYCLES, LOG_UNDO_CYCLES,
-    PAGE_COPY_CYCLES, REMAP_CYCLES, SW_TRAP_CYCLES, VC_TRAP_CYCLES,
+    PageCkptProcState, PageCkptState, SoftwareCheckpoint, UndoEntryState, UndoLog, UndoLogState,
+    VirtualCheckpoint, LOG_APPEND_CYCLES, LOG_UNDO_CYCLES, PAGE_COPY_CYCLES, REMAP_CYCLES,
+    SW_TRAP_CYCLES, VC_TRAP_CYCLES,
 };
-pub use delta::{DeltaBackupEngine, DeltaConfig};
+pub use delta::{DeltaBackupEngine, DeltaConfig, DeltaPageState, DeltaProcState, DeltaState};
 pub use monitor::{
-    AppMetadata, InspectionPolicy, Monitor, MonitorConfig, MonitorStats, SyscallSitePolicy,
-    Violation, ViolationKind,
+    AppMetadata, InspectionPolicy, Monitor, MonitorAppState, MonitorConfig, MonitorState,
+    MonitorStats, ShadowFrameState, SyscallSitePolicy, Violation, ViolationKind,
 };
 pub use recovery::{
-    restore_macro_checkpoint, take_macro_checkpoint, HybridConfig, HybridController, HybridStats,
-    MacroCheckpoint, RecoveryLevel,
+    restore_macro_checkpoint, take_macro_checkpoint, HybridConfig, HybridController,
+    HybridControllerState, HybridStats, MacroCheckpoint, MacroCheckpointState, RecoveryLevel,
 };
-pub use scheme::{NoBackup, Scheme, SchemeStats};
+pub use scheme::{NoBackup, Scheme, SchemeState, SchemeStats};
 pub use system::{
-    Detection, FailureCause, IndraSystem, RequestSample, RunReport, RunState, SchemeKind,
-    SystemConfig,
+    Detection, FailureCause, InFlightState, IndraSystem, RequestSample, RunReport, RunState,
+    SchemeKind, SystemConfig, SystemState,
 };

@@ -38,7 +38,7 @@ use indra_sim::{StampedEvent, TraceEvent};
 /// Per-application metadata the resurrectee registers with the monitor
 /// when a service starts (§3.2.3: symbol tables, export/import lists,
 /// page attributes).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AppMetadata {
     /// Virtual page numbers holding executable code.
     pub executable_pages: BTreeSet<u32>,
@@ -313,6 +313,58 @@ impl Monitor {
         self.stats = MonitorStats::default();
     }
 
+    /// Captures the monitor's complete mutable state: every registered
+    /// app's metadata and shadow stacks, the clock, the violation audit
+    /// trail and statistics. Installed [`InspectionPolicy`] objects are
+    /// *not* captured (they are part of deployment configuration, rebuilt
+    /// by re-deploying before restore).
+    #[must_use]
+    pub fn save_state(&self) -> MonitorState {
+        let frame = |f: &Frame| ShadowFrameState { return_addr: f.return_addr, sp: f.sp };
+        let mut apps: Vec<MonitorAppState> = self
+            .apps
+            .iter()
+            .map(|(asid, a)| MonitorAppState {
+                asid: *asid,
+                meta: a.meta.clone(),
+                shadow: a.shadow.iter().map(frame).collect(),
+                saved_shadow: a.saved_shadow.iter().map(frame).collect(),
+            })
+            .collect();
+        apps.sort_unstable_by_key(|a| a.asid);
+        MonitorState {
+            apps,
+            clock: self.clock,
+            seq: self.seq,
+            stats: self.stats,
+            violations: self.violations.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Monitor::save_state`], replacing all
+    /// registered apps. The configuration and installed policies are kept.
+    pub fn restore_state(&mut self, state: &MonitorState) {
+        let frame = |f: &ShadowFrameState| Frame { return_addr: f.return_addr, sp: f.sp };
+        self.apps = state
+            .apps
+            .iter()
+            .map(|a| {
+                (
+                    a.asid,
+                    AppState {
+                        meta: a.meta.clone(),
+                        shadow: a.shadow.iter().map(frame).collect(),
+                        saved_shadow: a.saved_shadow.iter().map(frame).collect(),
+                    },
+                )
+            })
+            .collect();
+        self.clock = state.clock;
+        self.seq = state.seq;
+        self.stats = state.stats;
+        self.violations.clone_from(&state.violations);
+    }
+
     /// Snapshot the shadow stack at a request boundary, so a rollback can
     /// restore monitoring state along with the application.
     pub fn snapshot_shadow(&mut self, asid: u16) {
@@ -507,6 +559,44 @@ impl Monitor {
             }
         }
     }
+}
+
+/// One saved shadow-stack frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShadowFrameState {
+    /// Expected return target.
+    pub return_addr: u32,
+    /// Stack pointer at the call.
+    pub sp: u32,
+}
+
+/// One registered app's saved monitoring state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MonitorAppState {
+    /// The app's address-space tag.
+    pub asid: u16,
+    /// Registered metadata (including dynamically declared regions).
+    pub meta: AppMetadata,
+    /// Live shadow stack, bottom first.
+    pub shadow: Vec<ShadowFrameState>,
+    /// Shadow-stack snapshot from the last request boundary.
+    pub saved_shadow: Vec<ShadowFrameState>,
+}
+
+/// Complete mutable state of a [`Monitor`], captured by
+/// [`Monitor::save_state`] for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MonitorState {
+    /// Registered apps, sorted by ASID.
+    pub apps: Vec<MonitorAppState>,
+    /// The resurrector's cycle clock.
+    pub clock: u64,
+    /// Violation sequence counter.
+    pub seq: u64,
+    /// Accumulated statistics.
+    pub stats: MonitorStats,
+    /// The violation audit trail.
+    pub violations: Vec<Violation>,
 }
 
 #[cfg(test)]

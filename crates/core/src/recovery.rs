@@ -39,6 +39,38 @@ impl MacroCheckpoint {
     pub fn request_seq(&self) -> u64 {
         self.request_seq
     }
+
+    /// Captures the checkpoint for the durable-checkpoint subsystem.
+    #[must_use]
+    pub fn save_state(&self) -> MacroCheckpointState {
+        MacroCheckpointState {
+            pages: self.pages.clone(),
+            context: self.context,
+            request_seq: self.request_seq,
+        }
+    }
+
+    /// Rebuilds a checkpoint from durable state.
+    #[must_use]
+    pub fn from_state(state: &MacroCheckpointState) -> MacroCheckpoint {
+        MacroCheckpoint {
+            pages: state.pages.clone(),
+            context: state.context,
+            request_seq: state.request_seq,
+        }
+    }
+}
+
+/// Durable form of a [`MacroCheckpoint`], captured by
+/// [`MacroCheckpoint::save_state`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MacroCheckpointState {
+    /// `(vpn, contents)` of every page captured, in capture order.
+    pub pages: Vec<(u32, Vec<u8>)>,
+    /// Execution context at checkpoint time.
+    pub context: CpuContext,
+    /// Request sequence number at capture time.
+    pub request_seq: u64,
 }
 
 /// Captures a macro checkpoint of `asid`. `context` should be the
@@ -203,6 +235,40 @@ impl HybridController {
     pub fn stats(&self) -> HybridStats {
         self.stats
     }
+
+    /// Captures the controller's mutable state (configuration comes from
+    /// construction and is not captured).
+    #[must_use]
+    pub fn save_state(&self) -> HybridControllerState {
+        HybridControllerState {
+            requests_seen: self.requests_seen,
+            requests_at_last_macro: self.requests_at_last_macro,
+            consecutive_failures: self.consecutive_failures,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`HybridController::save_state`].
+    pub fn restore_state(&mut self, state: &HybridControllerState) {
+        self.requests_seen = state.requests_seen;
+        self.requests_at_last_macro = state.requests_at_last_macro;
+        self.consecutive_failures = state.consecutive_failures;
+        self.stats = state.stats;
+    }
+}
+
+/// Complete mutable state of a [`HybridController`], captured by
+/// [`HybridController::save_state`] for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HybridControllerState {
+    /// Requests observed so far.
+    pub requests_seen: u64,
+    /// Request count at the last macro checkpoint.
+    pub requests_at_last_macro: u64,
+    /// Current consecutive-failure streak.
+    pub consecutive_failures: u32,
+    /// Accumulated statistics.
+    pub stats: HybridStats,
 }
 
 #[cfg(test)]

@@ -18,6 +18,8 @@
 use indra_mem::PhysicalMemory;
 use indra_sim::{AddressSpace, BackupHook};
 
+use crate::{DeltaState, PageCkptState, UndoLogState};
+
 /// Cumulative counters common to all schemes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SchemeStats {
@@ -115,6 +117,42 @@ pub trait Scheme: BackupHook + Send {
 
     /// Resets statistics (not backup state).
     fn reset_stats(&mut self);
+
+    /// Captures the scheme's complete mutable state for the durable
+    /// checkpoint subsystem. Configuration (cycle costs, trap costs,
+    /// names) is not captured — it comes from construction.
+    fn save_state(&self) -> SchemeState;
+
+    /// Restores state captured by [`Scheme::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` belongs to a different scheme kind: loading a
+    /// snapshot into a system configured with a different scheme is a
+    /// programmer error (the store's metadata carries the `SchemeKind`
+    /// and integrity is CRC-checked before decode ever runs).
+    fn load_state(&mut self, state: &SchemeState);
+}
+
+/// Complete mutable state of a [`Scheme`], tagged by scheme kind so a
+/// snapshot can only be loaded into a system deployed with the same
+/// scheme. Captured by [`Scheme::save_state`] for the durable-checkpoint
+/// subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeState {
+    /// State of the null scheme (statistics only).
+    NoBackup {
+        /// Cumulative counters.
+        stats: SchemeStats,
+    },
+    /// State of INDRA's delta-page engine.
+    Delta(DeltaState),
+    /// State of the page-granular checkpoint baselines (both hardware
+    /// virtual checkpointing and libckpt-style software checkpointing
+    /// share this shape — they differ only in configured trap cost).
+    PageCkpt(PageCkptState),
+    /// State of the DIRA-style memory update log.
+    UndoLog(UndoLogState),
 }
 
 /// The "no backup hardware" scheme: observes nothing, restores nothing.
@@ -170,6 +208,17 @@ impl Scheme for NoBackup {
 
     fn reset_stats(&mut self) {
         self.stats = SchemeStats::default();
+    }
+
+    fn save_state(&self) -> SchemeState {
+        SchemeState::NoBackup { stats: self.stats }
+    }
+
+    fn load_state(&mut self, state: &SchemeState) {
+        match state {
+            SchemeState::NoBackup { stats } => self.stats = *stats,
+            other => panic!("scheme state mismatch: none <- {other:?}"),
+        }
     }
 }
 

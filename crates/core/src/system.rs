@@ -37,9 +37,12 @@ const MICRO_RECOVERY_BASE_CYCLES: u64 = 40_000;
 
 use crate::{
     restore_macro_checkpoint, take_macro_checkpoint, AppMetadata, DeltaBackupEngine, DeltaConfig,
-    HybridConfig, HybridController, MacroCheckpoint, Monitor, MonitorConfig, NoBackup,
-    RecoveryLevel, Scheme, SoftwareCheckpoint, UndoLog, ViolationKind, VirtualCheckpoint,
+    HybridConfig, HybridController, HybridControllerState, MacroCheckpoint, MacroCheckpointState,
+    Monitor, MonitorConfig, MonitorState, NoBackup, RecoveryLevel, Scheme, SchemeState,
+    SoftwareCheckpoint, UndoLog, ViolationKind, VirtualCheckpoint,
 };
+use indra_os::OsState;
+use indra_sim::MachineState;
 
 /// Which checkpoint scheme to deploy (Table 3's rows).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -141,7 +144,7 @@ pub struct RequestSample {
 }
 
 /// Aggregate results of a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunReport {
     /// Requests fully served (response sent).
     pub served: u64,
@@ -873,6 +876,140 @@ impl IndraSystem {
         }
         first
     }
+
+    /// Captures the system's complete mutable state — machine (cores,
+    /// caches, TLBs, DRAM, physical frames, FIFO, CAM, watchdog), OS
+    /// (processes, resource tables, filesystem, request queues), monitor
+    /// (shadow stacks, clock), scheme backup state, hybrid controllers,
+    /// macro checkpoints and the run report — without perturbing any of
+    /// it. `freeze` never mutates the system, so a run that checkpoints
+    /// is simulation-cycle-identical to one that does not.
+    ///
+    /// Configuration ([`SystemConfig`]) and deployment metadata (service
+    /// table, monitor policies) are *not* captured: a thawing harness
+    /// rebuilds the system with [`IndraSystem::new`] + deploys the same
+    /// images, then injects this state via [`IndraSystem::restore_state`].
+    #[must_use]
+    pub fn freeze(&self) -> SystemState {
+        fn sorted<T>(mut v: Vec<(usize, T)>) -> Vec<(usize, T)> {
+            v.sort_unstable_by_key(|&(core, _)| core);
+            v
+        }
+        SystemState {
+            machine: self.machine.save_state(),
+            os: self.os.save_state(),
+            monitor: self.monitor.save_state(),
+            scheme: self.scheme.save_state(),
+            hybrids: sorted(self.hybrids.iter().map(|(&core, h)| (core, h.save_state())).collect()),
+            macro_ckpts: sorted(
+                self.macro_ckpts.iter().map(|(&core, c)| (core, c.save_state())).collect(),
+            ),
+            in_flight: sorted(
+                self.in_flight
+                    .iter()
+                    .map(|(&core, i)| {
+                        (
+                            core,
+                            InFlightState {
+                                request_id: i.request_id,
+                                malicious: i.malicious,
+                                start_cycles: i.start_cycles,
+                                start_retired: i.start_retired,
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
+            blocked: sorted(self.blocked.iter().map(|(&core, &b)| (core, b)).collect()),
+            report: self.report.clone(),
+        }
+    }
+
+    /// Overwrites every piece of mutable state with `state`, previously
+    /// captured by [`IndraSystem::freeze`]. The system must first be
+    /// reconstructed the same way it was built before the freeze — same
+    /// [`SystemConfig`], same images deployed in the same order — so that
+    /// non-captured deployment state (service table, monitor policies,
+    /// scheme registration) matches; `restore_state` then replaces all
+    /// run-time state, resuming execution bit-exactly where the frozen
+    /// system stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state's shape contradicts the rebuilt system
+    /// (core-count mismatch, scheme-kind mismatch) — that means the
+    /// harness rebuilt the system with a different configuration.
+    pub fn restore_state(&mut self, state: &SystemState) {
+        self.machine.restore_state(&state.machine);
+        self.os.restore_state(&state.os);
+        self.monitor.restore_state(&state.monitor);
+        self.scheme.load_state(&state.scheme);
+        self.hybrids.clear();
+        for (core, h) in &state.hybrids {
+            let mut controller = HybridController::new(self.cfg.hybrid);
+            controller.restore_state(h);
+            self.hybrids.insert(*core, controller);
+        }
+        self.macro_ckpts.clear();
+        for (core, c) in &state.macro_ckpts {
+            self.macro_ckpts.insert(*core, MacroCheckpoint::from_state(c));
+        }
+        self.in_flight.clear();
+        for (core, i) in &state.in_flight {
+            self.in_flight.insert(
+                *core,
+                InFlight {
+                    request_id: i.request_id,
+                    malicious: i.malicious,
+                    start_cycles: i.start_cycles,
+                    start_retired: i.start_retired,
+                },
+            );
+        }
+        self.blocked.clear();
+        for &(core, b) in &state.blocked {
+            self.blocked.insert(core, b);
+        }
+        self.report = state.report.clone();
+    }
+}
+
+/// A request in flight on one core, in durable form.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InFlightState {
+    /// Request id.
+    pub request_id: u64,
+    /// Ground-truth tag.
+    pub malicious: bool,
+    /// Core cycle count when processing began.
+    pub start_cycles: u64,
+    /// Instructions retired when processing began.
+    pub start_retired: u64,
+}
+
+/// Complete mutable state of an [`IndraSystem`], captured by
+/// [`IndraSystem::freeze`] for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemState {
+    /// Hardware state: cores, caches, TLBs, DRAM, physical memory,
+    /// trace FIFO, CAM filters, watchdog, page tables, frame allocators.
+    pub machine: MachineState,
+    /// Kernel-lite state: processes, descriptors, filesystem, queues.
+    pub os: OsState,
+    /// Resurrector state: shadow stacks, metadata, clock, violations.
+    pub monitor: MonitorState,
+    /// Backup-scheme state, tagged by scheme kind.
+    pub scheme: SchemeState,
+    /// Per-core hybrid recovery controllers, sorted by core.
+    pub hybrids: Vec<(usize, HybridControllerState)>,
+    /// Per-core macro checkpoints, sorted by core.
+    pub macro_ckpts: Vec<(usize, MacroCheckpointState)>,
+    /// Per-core in-flight requests, sorted by core.
+    pub in_flight: Vec<(usize, InFlightState)>,
+    /// Per-core blocked-on-recv flags, sorted by core.
+    pub blocked: Vec<(usize, bool)>,
+    /// The run report so far.
+    pub report: RunReport,
 }
 
 /// Upcasts a scheme to its hook supertrait (explicit function keeps the

@@ -13,8 +13,10 @@ use std::sync::mpsc;
 use std::time::Instant;
 
 use indra_bench::Histogram;
+use indra_persist::SnapshotStore;
 
-use crate::shard::{run_shard, ShardMsg, ShardOutput};
+use crate::persist::{encode_meta, RestoredShard};
+use crate::shard::{run_shard_inner, ShardMsg, ShardOutput};
 use crate::{FleetConfig, FleetReport, FleetStats};
 
 /// Runs the whole fleet and aggregates the result.
@@ -26,9 +28,30 @@ use crate::{FleetConfig, FleetReport, FleetStats};
 /// vanish from the aggregate).
 #[must_use]
 pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    let mut fresh: Vec<Option<RestoredShard>> = Vec::new();
+    fresh.resize_with(cfg.shards, || None);
+    run_fleet_with(cfg, fresh)
+}
+
+/// [`run_fleet`], with some shards thawed from checkpoints (`None`
+/// entries start fresh). When `cfg.store_dir` is set the fleet config
+/// is persisted to `fleet.meta` before any shard starts, so a crash at
+/// any later point leaves a resumable directory.
+pub(crate) fn run_fleet_with(
+    cfg: &FleetConfig,
+    restored: Vec<Option<RestoredShard>>,
+) -> FleetReport {
     assert!(cfg.shards > 0, "fleet needs at least one shard");
+    assert_eq!(restored.len(), cfg.shards, "one restore slot per shard");
     let started = Instant::now();
     let plans = cfg.plans();
+
+    if let Some(dir) = &cfg.store_dir {
+        if cfg.checkpoint_every > 0 {
+            let store = SnapshotStore::create(dir.as_str()).expect("checkpoint store");
+            store.write_meta(&encode_meta(cfg)).expect("checkpoint meta");
+        }
+    }
 
     let mut outputs: Vec<Option<ShardOutput>> = Vec::new();
     outputs.resize_with(cfg.shards, || None);
@@ -36,10 +59,10 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
 
     std::thread::scope(|scope| {
         let (tx, rx) = mpsc::channel::<ShardMsg>();
-        for plan in plans {
+        for (plan, thawed) in plans.into_iter().zip(restored) {
             let tx = tx.clone();
             scope.spawn(move || {
-                run_shard(cfg, plan, |msg| {
+                run_shard_inner(cfg, plan, thawed, |msg| {
                     // The aggregator outlives every shard; a send can
                     // only fail if it panicked, and then the scope is
                     // already unwinding.

@@ -37,11 +37,13 @@
 //! ```
 
 mod executor;
+mod persist;
 mod report;
 mod shard;
 pub mod sweep;
 
 pub use executor::run_fleet;
+pub use persist::{resume_fleet, RestoredShard, ShardProgress};
 pub use report::{FleetReport, FleetStats, ShardSummary};
 pub use shard::{run_shard, shard_schedule, SampleMsg, ShardMsg, ShardOutput, ShardPlan};
 
@@ -90,6 +92,17 @@ pub struct FleetConfig {
     /// "every injected attack is detected" accounting the fleet report
     /// asserts on.
     pub include_dormant_attacks: bool,
+    /// Durably checkpoint each shard after every N served requests
+    /// (0 = no checkpointing). Checkpointing never touches simulated
+    /// state, so [`FleetStats`] is identical with it on or off.
+    pub checkpoint_every: u32,
+    /// Checkpoint directory (required for `checkpoint_every > 0`; see
+    /// [`resume_fleet`]).
+    pub store_dir: Option<String>,
+    /// Crash simulation: each shard stops dead (reports `completed =
+    /// false`) after writing this many checkpoints. Never persisted —
+    /// a resumed run always runs to quota.
+    pub halt_after_checkpoints: Option<u64>,
 }
 
 impl Default for FleetConfig {
@@ -108,6 +121,9 @@ impl Default for FleetConfig {
             fault_every: None,
             run_slice_steps: 200_000,
             include_dormant_attacks: false,
+            checkpoint_every: 0,
+            store_dir: None,
+            halt_after_checkpoints: None,
         }
     }
 }

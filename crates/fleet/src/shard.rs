@@ -11,11 +11,13 @@
 //! reproducible under any thread schedule.
 
 use indra_core::{IndraSystem, RunReport, RunState, SystemConfig};
+use indra_persist::SnapshotStore;
 use indra_workloads::{
     build_app_scaled, detectable_attack_suite, standard_attack_suite, OpenLoopTraffic, ServiceApp,
     TimedRequest, WorkloadSpec,
 };
 
+use crate::persist::{encode_progress, RestoredShard, ShardProgress};
 use crate::{FleetConfig, ShardSummary};
 
 /// Everything that determines one shard's behavior.
@@ -129,11 +131,29 @@ pub fn shard_schedule(cfg: &FleetConfig, plan: &ShardPlan) -> Vec<TimedRequest> 
 /// `emit` receives every served request's latency as it is observed;
 /// the terminal [`ShardOutput`] still carries the authoritative
 /// [`RunReport`] so the aggregator never depends on delivery order.
-pub fn run_shard(cfg: &FleetConfig, plan: ShardPlan, mut emit: impl FnMut(ShardMsg)) {
+pub fn run_shard(cfg: &FleetConfig, plan: ShardPlan, emit: impl FnMut(ShardMsg)) {
+    run_shard_inner(cfg, plan, None, emit);
+}
+
+/// The shard loop, optionally thawed from a checkpoint.
+///
+/// A `restored` shard rebuilds the same system (same config, same
+/// deployed image — both pure functions of the plan), overwrites its
+/// state with the frozen capture and re-enters the loop with the saved
+/// harness cursors; from there execution is cycle-for-cycle identical
+/// to the run that was killed. Samples already in the restored report
+/// are re-streamed so a fresh aggregator sees the complete history.
+pub(crate) fn run_shard_inner(
+    cfg: &FleetConfig,
+    plan: ShardPlan,
+    restored: Option<RestoredShard>,
+    mut emit: impl FnMut(ShardMsg),
+) {
     let image = build_app_scaled(plan.app, cfg.scale);
     let schedule = shard_schedule(cfg, &plan);
     let benign_sent = schedule.iter().filter(|r| !r.malicious).count() as u64;
     let attacks_sent = schedule.len() as u64 - benign_sent;
+    let schedule_len = schedule.len() as u64;
 
     let sys_cfg = SystemConfig {
         machine: indra_sim::MachineConfig {
@@ -156,21 +176,67 @@ pub fn run_shard(cfg: &FleetConfig, plan: ShardPlan, mut emit: impl FnMut(ShardM
         .scaled_down(cfg.scale.max(1))
         .approx_insns_per_request()
         .max(50_000);
-    let mut steps_left = per_request * (schedule.len() as u64 + 4) * 8;
+    let mut steps_left = per_request * (schedule_len + 4) * 8;
 
-    let mut queue = schedule.into_iter().peekable();
-    let mut sample_cursor = 0usize;
+    let mut cursor = 0u64;
     let mut faults_injected = 0u64;
     let mut served_at_last_fault = 0u64;
+    let mut served_at_last_ckpt = 0u64;
+    if let Some(r) = &restored {
+        sys.restore_state(&r.state);
+        cursor = r.progress.cursor;
+        faults_injected = r.progress.faults_injected;
+        served_at_last_fault = r.progress.served_at_last_fault;
+        steps_left = r.progress.steps_left;
+        served_at_last_ckpt = r.progress.served_at_last_ckpt;
+    }
+
+    let mut writer = match (&cfg.store_dir, cfg.checkpoint_every) {
+        (Some(dir), every) if every > 0 => {
+            let store = SnapshotStore::create(dir.as_str()).expect("checkpoint store");
+            Some(store.shard_writer(plan.shard).expect("checkpoint shard dir"))
+        }
+        _ => None,
+    };
+    let mut ckpts_written = 0u64;
+
+    let mut queue = schedule.into_iter().skip(cursor as usize).peekable();
+    let mut sample_cursor = 0usize;
     let mut completed = true;
 
     loop {
+        // Durable checkpoint at the run-slice boundary. `freeze` never
+        // mutates, so a checkpointed run is sim-cycle-identical to an
+        // unchekpointed one; only wall-clock pays for the file writes.
+        if let Some(w) = writer.as_mut() {
+            let served = sys.report().served;
+            if served.saturating_sub(served_at_last_ckpt) >= u64::from(cfg.checkpoint_every) {
+                served_at_last_ckpt = served;
+                let progress = ShardProgress {
+                    cursor,
+                    faults_injected,
+                    served_at_last_fault,
+                    steps_left,
+                    served_at_last_ckpt,
+                };
+                w.checkpoint(&sys.freeze(), &encode_progress(&progress)).expect("checkpoint write");
+                ckpts_written += 1;
+                if cfg.halt_after_checkpoints.is_some_and(|halt| ckpts_written >= halt) {
+                    // Simulated crash: die between two slices, exactly
+                    // where a real kill -9 would land.
+                    completed = false;
+                    break;
+                }
+            }
+        }
+
         // Open-loop delivery: everything whose arrival time has passed
         // goes into the inbox, regardless of service progress.
         let now = sys.service_cycles();
         let mut delivered = false;
         while queue.peek().is_some_and(|r| r.arrival_cycle <= now) {
             let r = queue.next().expect("peeked");
+            cursor += 1;
             sys.push_request(r.data, r.malicious);
             delivered = true;
         }
@@ -203,6 +269,7 @@ pub fn run_shard(cfg: &FleetConfig, plan: ShardPlan, mut emit: impl FnMut(ShardM
                     // burn cycles waiting, so the gap collapses).
                     Some(_) if !delivered => {
                         let r = queue.next().expect("peeked");
+                        cursor += 1;
                         sys.push_request(r.data, r.malicious);
                     }
                     Some(_) => {}

@@ -12,7 +12,7 @@
 
 use indra_bench::CsvSink;
 
-use crate::{run_fleet, FleetConfig, FleetReport};
+use crate::{resume_fleet, run_fleet, FleetConfig, FleetReport};
 
 /// Parsed `fleetbench` command line.
 #[derive(Debug, Clone)]
@@ -25,6 +25,10 @@ pub struct SweepArgs {
     pub csv: Option<String>,
     /// Emit each point's full report as JSON (`--json`).
     pub json: bool,
+    /// Resume a killed run from its checkpoint directory (`--resume
+    /// DIR`); every other traffic flag is ignored — the directory's
+    /// `fleet.meta` is authoritative.
+    pub resume: Option<String>,
 }
 
 impl Default for SweepArgs {
@@ -34,6 +38,7 @@ impl Default for SweepArgs {
             base: FleetConfig::default(),
             csv: None,
             json: false,
+            resume: None,
         }
     }
 }
@@ -95,11 +100,31 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<SweepArgs, Strin
                 out.base.seed =
                     value(&mut args, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
+            "--checkpoint-every" => {
+                out.base.checkpoint_every = value(&mut args, "--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+            }
+            "--store" => out.base.store_dir = Some(value(&mut args, "--store")?),
+            "--halt-after" => {
+                out.base.halt_after_checkpoints = Some(
+                    value(&mut args, "--halt-after")?
+                        .parse()
+                        .map_err(|e| format!("--halt-after: {e}"))?,
+                );
+            }
+            "--resume" => out.resume = Some(value(&mut args, "--resume")?),
             "--csv" => out.csv = Some(value(&mut args, "--csv")?),
             "--json" => out.json = true,
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
+    }
+    if out.base.checkpoint_every > 0 && out.base.store_dir.is_none() {
+        return Err("--checkpoint-every needs --store DIR".into());
+    }
+    if out.base.halt_after_checkpoints.is_some() && out.base.checkpoint_every == 0 {
+        return Err("--halt-after needs --checkpoint-every".into());
     }
     Ok(out)
 }
@@ -110,11 +135,45 @@ fleetbench — INDRA fleet shard-count scaling sweep
 
 USAGE: fleetbench [--shards 1,2,4,6] [--requests N] [--scale N]
                   [--attack-per-mille N] [--mean-gap CYCLES]
-                  [--fault-every N] [--seed N] [--csv DIR] [--json]";
+                  [--fault-every N] [--seed N] [--csv DIR] [--json]
+                  [--checkpoint-every N --store DIR [--halt-after N]]
+                  [--resume DIR]
+
+Crash-safe checkpointing: --checkpoint-every N durably snapshots each
+shard to --store DIR after every N served requests; --halt-after K
+simulates a crash by killing each shard after its Kth checkpoint.
+--resume DIR restores a killed run from its checkpoint directory and
+runs it to the original quota — the final stats are byte-identical to
+an uninterrupted run.";
 
 /// Runs the sweep, printing the scaling table (and optional JSON) to
 /// stdout and mirroring it into `<csv>/fleet_scaling.csv`.
-pub fn run_sweep(args: &SweepArgs) -> Vec<FleetReport> {
+///
+/// With `--resume DIR` the sweep is skipped entirely: the checkpointed
+/// fleet is restored and run to quota, and its single report returned.
+///
+/// # Errors
+///
+/// A resume failure (missing/corrupt checkpoint directory) is returned
+/// as a printable message; the sweep itself only errors via panics.
+pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
+    if let Some(dir) = &args.resume {
+        let report = resume_fleet(dir).map_err(|e| format!("--resume {dir}: {e}"))?;
+        let s = &report.stats;
+        println!(
+            "resumed fleet from {dir}: {} shards, served {}, benign {:.1}%, \
+             attacks {}, detections {}",
+            s.shards,
+            s.served,
+            s.benign_service_ratio * 100.0,
+            s.attacks_sent,
+            s.true_detections,
+        );
+        if args.json {
+            println!("{}", report.to_json());
+        }
+        return Ok(vec![report]);
+    }
     let sink = match &args.csv {
         Some(dir) => CsvSink::to_dir(dir),
         None => CsvSink::disabled(),
@@ -211,7 +270,7 @@ pub fn run_sweep(args: &SweepArgs) -> Vec<FleetReport> {
     if sink.is_enabled() {
         println!("csv: wrote fleet_scaling.csv");
     }
-    reports
+    Ok(reports)
 }
 
 #[cfg(test)]

@@ -226,6 +226,61 @@ impl Cache {
     pub fn flush(&mut self) {
         self.lines.fill(Line::default());
     }
+
+    /// Captures the cache's full mutable state (contents, LRU order and
+    /// statistics) so a frozen machine thaws with identical warmth.
+    #[must_use]
+    pub fn save_state(&self) -> CacheState {
+        CacheState {
+            lines: self
+                .lines
+                .iter()
+                .map(|l| CacheLineState { tag: l.tag, valid: l.valid, dirty: l.dirty, lru: l.lru })
+                .collect(),
+            stamp: self.stamp,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`Cache::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the saved line count does not match this cache's
+    /// geometry (state from a differently configured machine).
+    pub fn restore_state(&mut self, state: &CacheState) {
+        assert_eq!(state.lines.len(), self.lines.len(), "cache state geometry mismatch");
+        for (line, s) in self.lines.iter_mut().zip(&state.lines) {
+            *line = Line { tag: s.tag, valid: s.valid, dirty: s.dirty, lru: s.lru };
+        }
+        self.stamp = state.stamp;
+        self.stats = state.stats;
+    }
+}
+
+/// Serializable state of one cache line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLineState {
+    /// Tag bits.
+    pub tag: u32,
+    /// Valid bit.
+    pub valid: bool,
+    /// Dirty bit.
+    pub dirty: bool,
+    /// Last-use stamp (true-LRU order).
+    pub lru: u64,
+}
+
+/// Complete mutable state of a [`Cache`], captured by
+/// [`Cache::save_state`] for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheState {
+    /// Every line, in set-major order.
+    pub lines: Vec<CacheLineState>,
+    /// LRU stamp counter.
+    pub stamp: u64,
+    /// Accumulated statistics.
+    pub stats: CacheStats,
 }
 
 #[cfg(test)]

@@ -147,6 +147,33 @@ impl Sdram {
     pub fn precharge_all(&mut self) {
         self.open_rows.fill(None);
     }
+
+    /// Captures the DRAM's mutable state (open rows and statistics).
+    #[must_use]
+    pub fn save_state(&self) -> DramState {
+        DramState { open_rows: self.open_rows.clone(), stats: self.stats }
+    }
+
+    /// Restores state captured by [`Sdram::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the saved bank count does not match this SDRAM.
+    pub fn restore_state(&mut self, state: &DramState) {
+        assert_eq!(state.open_rows.len(), self.open_rows.len(), "DRAM state bank-count mismatch");
+        self.open_rows.clone_from(&state.open_rows);
+        self.stats = state.stats;
+    }
+}
+
+/// Complete mutable state of an [`Sdram`], captured by
+/// [`Sdram::save_state`] for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DramState {
+    /// Per-bank open row (`None` = precharged).
+    pub open_rows: Vec<Option<u32>>,
+    /// Accumulated statistics.
+    pub stats: DramStats,
 }
 
 impl Default for Sdram {

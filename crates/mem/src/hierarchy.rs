@@ -10,7 +10,7 @@
 //! point (hardware guarantees IL1 contents cannot be modified, so
 //! checking each line once as it enters IL1 suffices, §2.3.2).
 
-use crate::{Cache, CacheConfig, Sdram, Tlb, TlbConfig};
+use crate::{Cache, CacheConfig, CacheState, Sdram, Tlb, TlbConfig, TlbState};
 
 /// Configuration of one core's private hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +185,47 @@ impl CoreMemory {
         self.itlb.flush();
         self.dtlb.flush();
     }
+
+    /// Captures the whole hierarchy's mutable state.
+    #[must_use]
+    pub fn save_state(&self) -> CoreMemState {
+        CoreMemState {
+            il1: self.il1.save_state(),
+            dl1: self.dl1.save_state(),
+            l2: self.l2.save_state(),
+            itlb: self.itlb.save_state(),
+            dtlb: self.dtlb.save_state(),
+        }
+    }
+
+    /// Restores state captured by [`CoreMemory::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when any component's saved geometry does not match.
+    pub fn restore_state(&mut self, state: &CoreMemState) {
+        self.il1.restore_state(&state.il1);
+        self.dl1.restore_state(&state.dl1);
+        self.l2.restore_state(&state.l2);
+        self.itlb.restore_state(&state.itlb);
+        self.dtlb.restore_state(&state.dtlb);
+    }
+}
+
+/// Complete mutable state of a [`CoreMemory`], captured by
+/// [`CoreMemory::save_state`] for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreMemState {
+    /// Instruction L1 state.
+    pub il1: CacheState,
+    /// Data L1 state.
+    pub dl1: CacheState,
+    /// Unified L2 state.
+    pub l2: CacheState,
+    /// Instruction TLB state.
+    pub itlb: TlbState,
+    /// Data TLB state.
+    pub dtlb: TlbState,
 }
 
 #[cfg(test)]

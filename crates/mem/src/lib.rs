@@ -32,8 +32,10 @@ mod hierarchy;
 mod phys;
 mod tlb;
 
-pub use cache::{AccessOutcome, Cache, CacheConfig, CacheStats};
-pub use dram::{DramConfig, DramStats, RowOutcome, Sdram};
-pub use hierarchy::{CoreMemConfig, CoreMemory, FetchResult};
-pub use phys::{FrameAllocator, PhysicalMemory, PAGE_SHIFT, PAGE_SIZE};
-pub use tlb::{Tlb, TlbConfig, TlbStats};
+pub use cache::{AccessOutcome, Cache, CacheConfig, CacheLineState, CacheState, CacheStats};
+pub use dram::{DramConfig, DramState, DramStats, RowOutcome, Sdram};
+pub use hierarchy::{CoreMemConfig, CoreMemState, CoreMemory, FetchResult};
+pub use phys::{
+    FrameAllocator, FrameAllocatorState, PhysMemState, PhysicalMemory, PAGE_SHIFT, PAGE_SIZE,
+};
+pub use tlb::{Tlb, TlbConfig, TlbEntryState, TlbState, TlbStats};

@@ -105,6 +105,33 @@ impl PhysicalMemory {
     pub fn resident_frames(&self) -> usize {
         self.frames.len()
     }
+
+    /// Captures every resident frame, sorted by PPN (a deterministic
+    /// image regardless of hash-map layout).
+    #[must_use]
+    pub fn save_state(&self) -> PhysMemState {
+        let mut frames: Vec<(u32, Box<[u8; PAGE_SIZE as usize]>)> =
+            self.frames.iter().map(|(&ppn, data)| (ppn, data.clone())).collect();
+        frames.sort_unstable_by_key(|&(ppn, _)| ppn);
+        PhysMemState { frames }
+    }
+
+    /// Replaces all contents with the frames captured by
+    /// [`PhysicalMemory::save_state`].
+    pub fn restore_state(&mut self, state: &PhysMemState) {
+        self.frames.clear();
+        for (ppn, data) in &state.frames {
+            self.frames.insert(*ppn, data.clone());
+        }
+    }
+}
+
+/// Snapshot of sparse physical memory: every resident frame, sorted by
+/// physical page number.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhysMemState {
+    /// `(ppn, contents)` pairs in ascending PPN order.
+    pub frames: Vec<(u32, Box<[u8; PAGE_SIZE as usize]>)>,
 }
 
 /// A bump-plus-freelist physical frame allocator.
@@ -165,6 +192,46 @@ impl FrameAllocator {
     pub fn total_allocations(&self) -> u64 {
         self.allocated
     }
+
+    /// Captures the allocator's full state (bump pointer, free list,
+    /// counters).
+    #[must_use]
+    pub fn save_state(&self) -> FrameAllocatorState {
+        FrameAllocatorState {
+            base: self.base,
+            next: self.next,
+            limit: self.limit,
+            free: self.free.clone(),
+            allocated: self.allocated,
+        }
+    }
+
+    /// Restores state captured by [`FrameAllocator::save_state`],
+    /// including the pool bounds.
+    pub fn restore_state(&mut self, state: &FrameAllocatorState) {
+        self.base = state.base;
+        self.next = state.next;
+        self.limit = state.limit;
+        self.free.clone_from(&state.free);
+        self.allocated = state.allocated;
+    }
+}
+
+/// Complete state of a [`FrameAllocator`], captured by
+/// [`FrameAllocator::save_state`] for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrameAllocatorState {
+    /// First PPN of the pool.
+    pub base: u32,
+    /// Next never-allocated PPN.
+    pub next: u32,
+    /// One past the last PPN of the pool.
+    pub limit: u32,
+    /// Released frames awaiting reuse (stack order matters: the allocator
+    /// pops from the end).
+    pub free: Vec<u32>,
+    /// Monotonic allocation counter.
+    pub allocated: u64,
 }
 
 #[cfg(test)]

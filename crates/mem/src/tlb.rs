@@ -153,6 +153,60 @@ impl Tlb {
     pub fn flush(&mut self) {
         self.entries.fill(Entry::default());
     }
+
+    /// Captures the TLB's full mutable state (entries, LRU order, stats).
+    #[must_use]
+    pub fn save_state(&self) -> TlbState {
+        TlbState {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| TlbEntryState { vpn: e.vpn, asid: e.asid, valid: e.valid, lru: e.lru })
+                .collect(),
+            stamp: self.stamp,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`Tlb::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the saved entry count does not match this TLB's
+    /// geometry.
+    pub fn restore_state(&mut self, state: &TlbState) {
+        assert_eq!(state.entries.len(), self.entries.len(), "TLB state geometry mismatch");
+        for (entry, s) in self.entries.iter_mut().zip(&state.entries) {
+            *entry = Entry { vpn: s.vpn, asid: s.asid, valid: s.valid, lru: s.lru };
+        }
+        self.stamp = state.stamp;
+        self.stats = state.stats;
+    }
+}
+
+/// Serializable state of one TLB entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbEntryState {
+    /// Virtual page number.
+    pub vpn: u32,
+    /// Owning address space.
+    pub asid: u16,
+    /// Valid bit.
+    pub valid: bool,
+    /// Last-use stamp.
+    pub lru: u64,
+}
+
+/// Complete mutable state of a [`Tlb`], captured by [`Tlb::save_state`]
+/// for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TlbState {
+    /// Every entry, in set-major order.
+    pub entries: Vec<TlbEntryState>,
+    /// LRU stamp counter.
+    pub stamp: u64,
+    /// Accumulated statistics.
+    pub stats: TlbStats,
 }
 
 #[cfg(test)]

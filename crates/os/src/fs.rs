@@ -73,6 +73,32 @@ impl InMemoryFs {
     pub fn file_count(&self) -> usize {
         self.files.len()
     }
+
+    /// Captures all files, sorted by path for deterministic serialization.
+    #[must_use]
+    pub fn save_state(&self) -> FsState {
+        let mut files: Vec<(String, Vec<u8>)> =
+            self.files.iter().map(|(p, c)| (p.clone(), c.clone())).collect();
+        files.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        FsState { files }
+    }
+
+    /// Replaces all contents with state captured by
+    /// [`InMemoryFs::save_state`].
+    pub fn restore_state(&mut self, state: &FsState) {
+        self.files.clear();
+        for (path, contents) in &state.files {
+            self.files.insert(path.clone(), contents.clone());
+        }
+    }
+}
+
+/// Complete contents of an [`InMemoryFs`], captured by
+/// [`InMemoryFs::save_state`] for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsState {
+    /// `(path, contents)` pairs sorted by path.
+    pub files: Vec<(String, Vec<u8>)>,
 }
 
 #[cfg(test)]

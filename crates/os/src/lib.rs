@@ -20,7 +20,7 @@ mod os;
 mod process;
 pub mod syscall;
 
-pub use fs::InMemoryFs;
-pub use net::{Endpoint, Request, Response};
-pub use os::{Os, SyscallEffect, OS_PAGE_SIZE};
-pub use process::{FileHandle, Pid, Process, ResourceMark};
+pub use fs::{FsState, InMemoryFs};
+pub use net::{Endpoint, EndpointState, Request, Response};
+pub use os::{Os, OsState, SyscallEffect, OS_PAGE_SIZE};
+pub use process::{FileHandle, Pid, Process, ProcessState, ResourceMark};

@@ -91,6 +91,35 @@ impl Endpoint {
     pub fn take_responses(&mut self) -> Vec<Response> {
         std::mem::take(&mut self.outbox)
     }
+
+    /// Captures the endpoint's queues and delivery counter.
+    #[must_use]
+    pub fn save_state(&self) -> EndpointState {
+        EndpointState {
+            inbox: self.inbox.iter().cloned().collect(),
+            outbox: self.outbox.clone(),
+            delivered: self.delivered,
+        }
+    }
+
+    /// Restores state captured by [`Endpoint::save_state`].
+    pub fn restore_state(&mut self, state: &EndpointState) {
+        self.inbox = state.inbox.iter().cloned().collect();
+        self.outbox.clone_from(&state.outbox);
+        self.delivered = state.delivered;
+    }
+}
+
+/// Complete mutable state of an [`Endpoint`], captured by
+/// [`Endpoint::save_state`] for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EndpointState {
+    /// Queued requests, oldest first.
+    pub inbox: Vec<Request>,
+    /// Responses sent but not yet drained.
+    pub outbox: Vec<Response>,
+    /// Total requests delivered to the server.
+    pub delivered: u64,
 }
 
 #[cfg(test)]

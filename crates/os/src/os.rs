@@ -442,6 +442,58 @@ impl Os {
         }
         None
     }
+
+    /// Captures the OS's complete mutable state — every process (including
+    /// endpoints and resource marks), core pinning, id counters, the
+    /// filesystem and the audit log.
+    #[must_use]
+    pub fn save_state(&self) -> OsState {
+        let mut procs: Vec<_> = self.procs.values().map(Process::save_state).collect();
+        procs.sort_unstable_by_key(|p| p.pid);
+        let mut core_to_pid: Vec<(usize, Pid)> =
+            self.core_to_pid.iter().map(|(c, p)| (*c, *p)).collect();
+        core_to_pid.sort_unstable();
+        OsState {
+            procs,
+            core_to_pid,
+            next_pid: self.next_pid,
+            next_asid: self.next_asid,
+            fs: self.fs.save_state(),
+            audit: self.audit.clone(),
+            next_request_id: self.next_request_id,
+        }
+    }
+
+    /// Restores state captured by [`Os::save_state`], replacing everything.
+    pub fn restore_state(&mut self, state: &OsState) {
+        self.procs = state.procs.iter().map(|p| (p.pid, Process::from_state(p))).collect();
+        self.core_to_pid = state.core_to_pid.iter().copied().collect();
+        self.next_pid = state.next_pid;
+        self.next_asid = state.next_asid;
+        self.fs.restore_state(&state.fs);
+        self.audit.clone_from(&state.audit);
+        self.next_request_id = state.next_request_id;
+    }
+}
+
+/// Complete mutable state of an [`Os`], captured by [`Os::save_state`]
+/// for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OsState {
+    /// Processes, sorted by pid.
+    pub procs: Vec<crate::ProcessState>,
+    /// `(core, pid)` pinnings, sorted by core.
+    pub core_to_pid: Vec<(usize, Pid)>,
+    /// Next pid to assign.
+    pub next_pid: Pid,
+    /// Next ASID to assign.
+    pub next_asid: u16,
+    /// Filesystem contents.
+    pub fs: crate::FsState,
+    /// Audit log lines.
+    pub audit: Vec<String>,
+    /// Next request id.
+    pub next_request_id: u64,
 }
 
 /// Bytes-per-page convenience re-export for callers sizing sbrk requests.

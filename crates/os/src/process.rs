@@ -27,7 +27,7 @@ pub struct FileHandle {
 }
 
 /// Snapshot of a process's resource allocation at a request boundary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResourceMark {
     /// Descriptors open at the mark.
     pub fds: BTreeSet<u32>,
@@ -139,6 +139,92 @@ impl Process {
         self.rng = x;
         (x >> 16) as u32
     }
+
+    /// Captures the process's complete state.
+    #[must_use]
+    pub fn save_state(&self) -> ProcessState {
+        ProcessState {
+            pid: self.pid,
+            name: self.name.clone(),
+            asid: self.asid,
+            core: self.core,
+            brk: self.brk,
+            heap_pages: self.heap_pages.clone(),
+            fds: self.fds.iter().map(|(fd, h)| (*fd, h.clone())).collect(),
+            next_fd: self.next_fd,
+            children: self.children.iter().copied().collect(),
+            rng: self.rng,
+            waiting_recv: self.waiting_recv,
+            current_request: self.current_request,
+            mark: self.mark.clone(),
+            endpoint: self.endpoint.save_state(),
+            served: self.served,
+            rollbacks: self.rollbacks,
+        }
+    }
+
+    /// Rebuilds a process from state captured by [`Process::save_state`].
+    #[must_use]
+    pub fn from_state(state: &ProcessState) -> Process {
+        let mut endpoint = Endpoint::new();
+        endpoint.restore_state(&state.endpoint);
+        Process {
+            pid: state.pid,
+            name: state.name.clone(),
+            asid: state.asid,
+            core: state.core,
+            brk: state.brk,
+            heap_pages: state.heap_pages.clone(),
+            fds: state.fds.iter().map(|(fd, h)| (*fd, h.clone())).collect(),
+            next_fd: state.next_fd,
+            children: state.children.iter().copied().collect(),
+            rng: state.rng,
+            waiting_recv: state.waiting_recv,
+            current_request: state.current_request,
+            mark: state.mark.clone(),
+            endpoint,
+            served: state.served,
+            rollbacks: state.rollbacks,
+        }
+    }
+}
+
+/// Complete state of a [`Process`], captured by [`Process::save_state`]
+/// for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessState {
+    /// Process id.
+    pub pid: Pid,
+    /// Program name.
+    pub name: String,
+    /// Address-space id.
+    pub asid: u16,
+    /// Pinned core.
+    pub core: usize,
+    /// Current program break.
+    pub brk: u32,
+    /// Heap pages in mapping order: `(vpn, ppn)`.
+    pub heap_pages: Vec<(u32, u32)>,
+    /// Open descriptors, sorted by descriptor number.
+    pub fds: Vec<(u32, FileHandle)>,
+    /// Next descriptor number.
+    pub next_fd: u32,
+    /// Live child pids, sorted.
+    pub children: Vec<Pid>,
+    /// Per-process RNG state.
+    pub rng: u64,
+    /// Pending blocked `net_recv`: `(buf, cap)`.
+    pub waiting_recv: Option<(u32, u32)>,
+    /// The request currently being processed.
+    pub current_request: Option<u64>,
+    /// Resource snapshot at the last request boundary.
+    pub mark: Option<ResourceMark>,
+    /// Network endpoint queues.
+    pub endpoint: crate::EndpointState,
+    /// Requests fully served.
+    pub served: u64,
+    /// Times this process was rolled back.
+    pub rollbacks: u64,
 }
 
 #[cfg(test)]

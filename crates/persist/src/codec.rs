@@ -1,0 +1,1139 @@
+//! Wire codec for [`SystemState`] — every field of the frozen system in
+//! a fixed, versioned order.
+//!
+//! One deliberate split: the physical page frames
+//! (`state.machine.phys.frames`) are **not** part of the blob this
+//! module produces. They dominate the snapshot's size and are the only
+//! part worth delta-journaling, so the snapshot and journal layers
+//! handle them separately at page granularity; everything else — cores,
+//! caches, TLBs, DRAM row state, OS tables, monitor shadow stacks,
+//! scheme bitvectors, the run report — is small and travels as one
+//! "small state" blob, rewritten in full by every journal record.
+//!
+//! Serialization is deterministic: the state structs already hold their
+//! maps as sorted vectors, and this codec adds no iteration over
+//! unordered containers. Equal states encode to identical bytes.
+
+use indra_core::AppMetadata;
+use indra_core::{
+    DeltaPageState, DeltaProcState, DeltaState, Detection, FailureCause, HybridControllerState,
+    HybridStats, InFlightState, MacroCheckpointState, MonitorAppState, MonitorState, MonitorStats,
+    PageCkptProcState, PageCkptState, RecoveryLevel, RequestSample, RunReport, SchemeState,
+    SchemeStats, ShadowFrameState, SystemState, UndoEntryState, UndoLogState, Violation,
+    ViolationKind,
+};
+use indra_mem::{
+    CacheLineState, CacheState, CacheStats, CoreMemState, DramState, DramStats,
+    FrameAllocatorState, PhysMemState, TlbEntryState, TlbState, TlbStats,
+};
+use indra_os::{
+    EndpointState, FileHandle, FsState, OsState, ProcessState, Request, ResourceMark, Response,
+};
+use indra_sim::{
+    CamState, CamStats, CoreState, CpuContext, FifoState, FifoStats, MachineState, PhysRange, Pte,
+    SpaceState, StampedEvent, TraceEvent, WatchdogCoreState, WatchdogState, WatchdogStats,
+};
+
+use crate::{PersistError, WireReader, WireResult, WireWriter};
+
+/// Encodes everything except the physical page frames.
+#[must_use]
+pub fn encode_small_state(state: &SystemState) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    enc_machine(&mut w, &state.machine);
+    enc_os(&mut w, &state.os);
+    enc_monitor(&mut w, &state.monitor);
+    enc_scheme(&mut w, &state.scheme);
+    w.seq(state.hybrids.len());
+    for (core, h) in &state.hybrids {
+        w.usize(*core);
+        enc_hybrid(&mut w, h);
+    }
+    w.seq(state.macro_ckpts.len());
+    for (core, c) in &state.macro_ckpts {
+        w.usize(*core);
+        enc_macro_ckpt(&mut w, c);
+    }
+    w.seq(state.in_flight.len());
+    for (core, i) in &state.in_flight {
+        w.usize(*core);
+        w.u64(i.request_id);
+        w.bool(i.malicious);
+        w.u64(i.start_cycles);
+        w.u64(i.start_retired);
+    }
+    w.seq(state.blocked.len());
+    for &(core, b) in &state.blocked {
+        w.usize(core);
+        w.bool(b);
+    }
+    enc_report(&mut w, &state.report);
+    w.finish()
+}
+
+/// Decodes a blob written by [`encode_small_state`]. The returned state
+/// has an **empty** physical frame table — the caller merges the frames
+/// it recovered from the snapshot + journal into
+/// `state.machine.phys.frames` before injecting.
+///
+/// # Errors
+///
+/// Any truncation, unknown enum tag or trailing garbage is a typed
+/// [`PersistError`]; this function never panics on hostile input.
+pub fn decode_small_state(bytes: &[u8]) -> WireResult<SystemState> {
+    let mut r = WireReader::new(bytes);
+    let machine = dec_machine(&mut r)?;
+    let os = dec_os(&mut r)?;
+    let monitor = dec_monitor(&mut r)?;
+    let scheme = dec_scheme(&mut r)?;
+    let n = r.seq(1, "hybrids")?;
+    let mut hybrids = Vec::with_capacity(n);
+    for _ in 0..n {
+        let core = r.usize("hybrid core")?;
+        hybrids.push((core, dec_hybrid(&mut r)?));
+    }
+    let n = r.seq(1, "macro checkpoints")?;
+    let mut macro_ckpts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let core = r.usize("macro core")?;
+        macro_ckpts.push((core, dec_macro_ckpt(&mut r)?));
+    }
+    let n = r.seq(1, "in-flight")?;
+    let mut in_flight = Vec::with_capacity(n);
+    for _ in 0..n {
+        let core = r.usize("in-flight core")?;
+        in_flight.push((
+            core,
+            InFlightState {
+                request_id: r.u64("in-flight id")?,
+                malicious: r.bool("in-flight tag")?,
+                start_cycles: r.u64("in-flight cycles")?,
+                start_retired: r.u64("in-flight retired")?,
+            },
+        ));
+    }
+    let n = r.seq(1, "blocked")?;
+    let mut blocked = Vec::with_capacity(n);
+    for _ in 0..n {
+        let core = r.usize("blocked core")?;
+        blocked.push((core, r.bool("blocked flag")?));
+    }
+    let report = dec_report(&mut r)?;
+    r.expect_exhausted("small state trailing bytes")?;
+    Ok(SystemState {
+        machine,
+        os,
+        monitor,
+        scheme,
+        hybrids,
+        macro_ckpts,
+        in_flight,
+        blocked,
+        report,
+    })
+}
+
+// ---- machine ---------------------------------------------------------
+
+fn enc_machine(w: &mut WireWriter, m: &MachineState) {
+    w.seq(m.cores.len());
+    for c in &m.cores {
+        enc_core(w, c);
+    }
+    w.seq(m.mems.len());
+    for mem in &m.mems {
+        enc_cache(w, &mem.il1);
+        enc_cache(w, &mem.dl1);
+        enc_cache(w, &mem.l2);
+        enc_tlb(w, &mem.itlb);
+        enc_tlb(w, &mem.dtlb);
+    }
+    w.seq(m.cams.len());
+    for cam in &m.cams {
+        w.seq(cam.entries.len());
+        for &(page, stamp) in &cam.entries {
+            w.u32(page);
+            w.u64(stamp);
+        }
+        w.u64(cam.stamp);
+        w.u64(cam.stats.lookups);
+        w.u64(cam.stats.hits);
+    }
+    w.seq(m.dram.open_rows.len());
+    for &row in &m.dram.open_rows {
+        w.opt_u32(row);
+    }
+    w.u64(m.dram.stats.accesses);
+    w.u64(m.dram.stats.row_hits);
+    w.u64(m.dram.stats.row_closed);
+    w.u64(m.dram.stats.row_conflicts);
+    w.u64(m.dram.stats.bytes);
+    // phys frames intentionally absent — see module docs.
+    w.seq(m.watchdog.cores.len());
+    for wc in &m.watchdog.cores {
+        w.bool(wc.privileged);
+        w.seq(wc.ranges.len());
+        for range in &wc.ranges {
+            w.u32(range.base);
+            w.u32(range.end);
+        }
+    }
+    w.u64(m.watchdog.stats.checks);
+    w.u64(m.watchdog.stats.violations);
+    w.seq(m.fifo.queue.len());
+    for ev in &m.fifo.queue {
+        enc_event(w, ev);
+    }
+    w.u64(m.fifo.stats.pushes);
+    w.u64(m.fifo.stats.pops);
+    w.u64(m.fifo.stats.full_stalls);
+    w.usize(m.fifo.stats.high_water);
+    w.seq(m.spaces.len());
+    for s in &m.spaces {
+        w.u16(s.asid);
+        w.seq(s.pages.len());
+        for &(vpn, pte) in &s.pages {
+            w.u32(vpn);
+            w.u32(pte.ppn);
+            w.bool(pte.read);
+            w.bool(pte.write);
+            w.bool(pte.execute);
+        }
+    }
+    enc_frame_alloc(w, &m.rts_frames);
+    enc_frame_alloc(w, &m.backup_frames);
+    enc_frame_alloc(w, &m.service_frames);
+    w.bool(m.monitoring);
+    w.bool(m.booted);
+}
+
+fn dec_machine(r: &mut WireReader<'_>) -> WireResult<MachineState> {
+    let n = r.seq(1, "cores")?;
+    let mut cores = Vec::with_capacity(n);
+    for _ in 0..n {
+        cores.push(dec_core(r)?);
+    }
+    let n = r.seq(1, "core memories")?;
+    let mut mems = Vec::with_capacity(n);
+    for _ in 0..n {
+        mems.push(CoreMemState {
+            il1: dec_cache(r)?,
+            dl1: dec_cache(r)?,
+            l2: dec_cache(r)?,
+            itlb: dec_tlb(r)?,
+            dtlb: dec_tlb(r)?,
+        });
+    }
+    let n = r.seq(1, "cams")?;
+    let mut cams = Vec::with_capacity(n);
+    for _ in 0..n {
+        let e = r.seq(12, "cam entries")?;
+        let mut entries = Vec::with_capacity(e);
+        for _ in 0..e {
+            entries.push((r.u32("cam page")?, r.u64("cam stamp")?));
+        }
+        cams.push(CamState {
+            entries,
+            stamp: r.u64("cam clock")?,
+            stats: CamStats { lookups: r.u64("cam lookups")?, hits: r.u64("cam hits")? },
+        });
+    }
+    let n = r.seq(1, "dram rows")?;
+    let mut open_rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        open_rows.push(r.opt_u32("dram row")?);
+    }
+    let dram = DramState {
+        open_rows,
+        stats: DramStats {
+            accesses: r.u64("dram accesses")?,
+            row_hits: r.u64("dram row hits")?,
+            row_closed: r.u64("dram row closed")?,
+            row_conflicts: r.u64("dram row conflicts")?,
+            bytes: r.u64("dram bytes")?,
+        },
+    };
+    let n = r.seq(1, "watchdog cores")?;
+    let mut wcores = Vec::with_capacity(n);
+    for _ in 0..n {
+        let privileged = r.bool("watchdog privileged")?;
+        let m = r.seq(8, "watchdog ranges")?;
+        let mut ranges = Vec::with_capacity(m);
+        for _ in 0..m {
+            ranges.push(PhysRange { base: r.u32("range base")?, end: r.u32("range end")? });
+        }
+        wcores.push(WatchdogCoreState { privileged, ranges });
+    }
+    let watchdog = WatchdogState {
+        cores: wcores,
+        stats: WatchdogStats {
+            checks: r.u64("watchdog checks")?,
+            violations: r.u64("watchdog violations")?,
+        },
+    };
+    let n = r.seq(1, "fifo queue")?;
+    let mut queue = Vec::with_capacity(n);
+    for _ in 0..n {
+        queue.push(dec_event(r)?);
+    }
+    let fifo = FifoState {
+        queue,
+        stats: FifoStats {
+            pushes: r.u64("fifo pushes")?,
+            pops: r.u64("fifo pops")?,
+            full_stalls: r.u64("fifo stalls")?,
+            high_water: r.usize("fifo high water")?,
+        },
+    };
+    let n = r.seq(1, "spaces")?;
+    let mut spaces = Vec::with_capacity(n);
+    for _ in 0..n {
+        let asid = r.u16("space asid")?;
+        let m = r.seq(11, "space pages")?;
+        let mut pages = Vec::with_capacity(m);
+        for _ in 0..m {
+            let vpn = r.u32("pte vpn")?;
+            pages.push((
+                vpn,
+                Pte {
+                    ppn: r.u32("pte ppn")?,
+                    read: r.bool("pte read")?,
+                    write: r.bool("pte write")?,
+                    execute: r.bool("pte execute")?,
+                },
+            ));
+        }
+        spaces.push(SpaceState { asid, pages });
+    }
+    let rts_frames = dec_frame_alloc(r)?;
+    let backup_frames = dec_frame_alloc(r)?;
+    let service_frames = dec_frame_alloc(r)?;
+    Ok(MachineState {
+        cores,
+        mems,
+        cams,
+        dram,
+        phys: PhysMemState::default(),
+        watchdog,
+        fifo,
+        spaces,
+        rts_frames,
+        backup_frames,
+        service_frames,
+        monitoring: r.bool("monitoring")?,
+        booted: r.bool("booted")?,
+    })
+}
+
+fn enc_core(w: &mut WireWriter, c: &CoreState) {
+    enc_context(w, &c.ctx);
+    w.u16(c.asid);
+    w.bool(c.halted);
+    w.bool(c.stalled);
+    w.u64(c.cycles);
+    w.u64(c.retired);
+    w.u32(c.group);
+    w.opt_u32(c.last_fetch_line);
+}
+
+fn dec_core(r: &mut WireReader<'_>) -> WireResult<CoreState> {
+    Ok(CoreState {
+        ctx: dec_context(r)?,
+        asid: r.u16("core asid")?,
+        halted: r.bool("core halted")?,
+        stalled: r.bool("core stalled")?,
+        cycles: r.u64("core cycles")?,
+        retired: r.u64("core retired")?,
+        group: r.u32("core group")?,
+        last_fetch_line: r.opt_u32("core fetch line")?,
+    })
+}
+
+fn enc_context(w: &mut WireWriter, ctx: &CpuContext) {
+    for reg in &ctx.regs {
+        w.u32(*reg);
+    }
+    w.u32(ctx.pc);
+}
+
+fn dec_context(r: &mut WireReader<'_>) -> WireResult<CpuContext> {
+    let mut ctx = CpuContext::default();
+    for reg in &mut ctx.regs {
+        *reg = r.u32("context reg")?;
+    }
+    ctx.pc = r.u32("context pc")?;
+    Ok(ctx)
+}
+
+fn enc_cache(w: &mut WireWriter, c: &CacheState) {
+    w.seq(c.lines.len());
+    for line in &c.lines {
+        w.u32(line.tag);
+        w.bool(line.valid);
+        w.bool(line.dirty);
+        w.u64(line.lru);
+    }
+    w.u64(c.stamp);
+    w.u64(c.stats.accesses);
+    w.u64(c.stats.misses);
+    w.u64(c.stats.writebacks);
+}
+
+fn dec_cache(r: &mut WireReader<'_>) -> WireResult<CacheState> {
+    let n = r.seq(14, "cache lines")?;
+    let mut lines = Vec::with_capacity(n);
+    for _ in 0..n {
+        lines.push(CacheLineState {
+            tag: r.u32("line tag")?,
+            valid: r.bool("line valid")?,
+            dirty: r.bool("line dirty")?,
+            lru: r.u64("line lru")?,
+        });
+    }
+    Ok(CacheState {
+        lines,
+        stamp: r.u64("cache stamp")?,
+        stats: CacheStats {
+            accesses: r.u64("cache accesses")?,
+            misses: r.u64("cache misses")?,
+            writebacks: r.u64("cache writebacks")?,
+        },
+    })
+}
+
+fn enc_tlb(w: &mut WireWriter, t: &TlbState) {
+    w.seq(t.entries.len());
+    for e in &t.entries {
+        w.u32(e.vpn);
+        w.u16(e.asid);
+        w.bool(e.valid);
+        w.u64(e.lru);
+    }
+    w.u64(t.stamp);
+    w.u64(t.stats.accesses);
+    w.u64(t.stats.misses);
+}
+
+fn dec_tlb(r: &mut WireReader<'_>) -> WireResult<TlbState> {
+    let n = r.seq(15, "tlb entries")?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(TlbEntryState {
+            vpn: r.u32("tlb vpn")?,
+            asid: r.u16("tlb asid")?,
+            valid: r.bool("tlb valid")?,
+            lru: r.u64("tlb lru")?,
+        });
+    }
+    Ok(TlbState {
+        entries,
+        stamp: r.u64("tlb stamp")?,
+        stats: TlbStats { accesses: r.u64("tlb accesses")?, misses: r.u64("tlb misses")? },
+    })
+}
+
+fn enc_frame_alloc(w: &mut WireWriter, f: &FrameAllocatorState) {
+    w.u32(f.base);
+    w.u32(f.next);
+    w.u32(f.limit);
+    w.seq(f.free.len());
+    for &ppn in &f.free {
+        w.u32(ppn);
+    }
+    w.u64(f.allocated);
+}
+
+fn dec_frame_alloc(r: &mut WireReader<'_>) -> WireResult<FrameAllocatorState> {
+    let base = r.u32("alloc base")?;
+    let next = r.u32("alloc next")?;
+    let limit = r.u32("alloc limit")?;
+    let n = r.seq(4, "alloc free list")?;
+    let mut free = Vec::with_capacity(n);
+    for _ in 0..n {
+        free.push(r.u32("free ppn")?);
+    }
+    Ok(FrameAllocatorState { base, next, limit, free, allocated: r.u64("alloc counter")? })
+}
+
+fn enc_event(w: &mut WireWriter, ev: &StampedEvent) {
+    match ev.event {
+        TraceEvent::Call { pc, target, return_addr, sp } => {
+            w.u8(0);
+            w.u32(pc);
+            w.u32(target);
+            w.u32(return_addr);
+            w.u32(sp);
+        }
+        TraceEvent::IndirectCall { pc, target, return_addr, sp } => {
+            w.u8(1);
+            w.u32(pc);
+            w.u32(target);
+            w.u32(return_addr);
+            w.u32(sp);
+        }
+        TraceEvent::Return { pc, target, sp } => {
+            w.u8(2);
+            w.u32(pc);
+            w.u32(target);
+            w.u32(sp);
+        }
+        TraceEvent::IndirectJump { pc, target } => {
+            w.u8(3);
+            w.u32(pc);
+            w.u32(target);
+        }
+        TraceEvent::CodeFill { page_vaddr, pc } => {
+            w.u8(4);
+            w.u32(page_vaddr);
+            w.u32(pc);
+        }
+        TraceEvent::SyscallSync { pc, code } => {
+            w.u8(5);
+            w.u32(pc);
+            w.u16(code);
+        }
+    }
+    w.u64(ev.cycle);
+    w.u16(ev.asid);
+}
+
+fn dec_event(r: &mut WireReader<'_>) -> WireResult<StampedEvent> {
+    let event = match r.u8("event tag")? {
+        0 => TraceEvent::Call {
+            pc: r.u32("event pc")?,
+            target: r.u32("event target")?,
+            return_addr: r.u32("event ra")?,
+            sp: r.u32("event sp")?,
+        },
+        1 => TraceEvent::IndirectCall {
+            pc: r.u32("event pc")?,
+            target: r.u32("event target")?,
+            return_addr: r.u32("event ra")?,
+            sp: r.u32("event sp")?,
+        },
+        2 => TraceEvent::Return {
+            pc: r.u32("event pc")?,
+            target: r.u32("event target")?,
+            sp: r.u32("event sp")?,
+        },
+        3 => TraceEvent::IndirectJump { pc: r.u32("event pc")?, target: r.u32("event target")? },
+        4 => TraceEvent::CodeFill { page_vaddr: r.u32("event page")?, pc: r.u32("event pc")? },
+        5 => TraceEvent::SyscallSync { pc: r.u32("event pc")?, code: r.u16("event code")? },
+        _ => return Err(PersistError::Corrupt { context: "unknown trace-event tag" }),
+    };
+    Ok(StampedEvent { event, cycle: r.u64("event cycle")?, asid: r.u16("event asid")? })
+}
+
+// ---- os --------------------------------------------------------------
+
+fn enc_os(w: &mut WireWriter, os: &OsState) {
+    w.seq(os.procs.len());
+    for p in &os.procs {
+        enc_process(w, p);
+    }
+    w.seq(os.core_to_pid.len());
+    for &(core, pid) in &os.core_to_pid {
+        w.usize(core);
+        w.u32(pid);
+    }
+    w.u32(os.next_pid);
+    w.u16(os.next_asid);
+    w.seq(os.fs.files.len());
+    for (path, contents) in &os.fs.files {
+        w.str(path);
+        w.bytes(contents);
+    }
+    w.seq(os.audit.len());
+    for line in &os.audit {
+        w.str(line);
+    }
+    w.u64(os.next_request_id);
+}
+
+fn dec_os(r: &mut WireReader<'_>) -> WireResult<OsState> {
+    let n = r.seq(1, "processes")?;
+    let mut procs = Vec::with_capacity(n);
+    for _ in 0..n {
+        procs.push(dec_process(r)?);
+    }
+    let n = r.seq(12, "core-to-pid")?;
+    let mut core_to_pid = Vec::with_capacity(n);
+    for _ in 0..n {
+        core_to_pid.push((r.usize("scheduled core")?, r.u32("scheduled pid")?));
+    }
+    let next_pid = r.u32("next pid")?;
+    let next_asid = r.u16("next asid")?;
+    let n = r.seq(8, "fs files")?;
+    let mut files = Vec::with_capacity(n);
+    for _ in 0..n {
+        let path = r.str("file path")?;
+        files.push((path, r.bytes("file contents")?.to_vec()));
+    }
+    let n = r.seq(4, "audit log")?;
+    let mut audit = Vec::with_capacity(n);
+    for _ in 0..n {
+        audit.push(r.str("audit line")?);
+    }
+    Ok(OsState {
+        procs,
+        core_to_pid,
+        next_pid,
+        next_asid,
+        fs: FsState { files },
+        audit,
+        next_request_id: r.u64("next request id")?,
+    })
+}
+
+fn enc_process(w: &mut WireWriter, p: &ProcessState) {
+    w.u32(p.pid);
+    w.str(&p.name);
+    w.u16(p.asid);
+    w.usize(p.core);
+    w.u32(p.brk);
+    w.seq(p.heap_pages.len());
+    for &(vpn, ppn) in &p.heap_pages {
+        w.u32(vpn);
+        w.u32(ppn);
+    }
+    w.seq(p.fds.len());
+    for (fd, h) in &p.fds {
+        w.u32(*fd);
+        w.str(&h.path);
+        w.usize(h.offset);
+    }
+    w.u32(p.next_fd);
+    w.seq(p.children.len());
+    for &pid in &p.children {
+        w.u32(pid);
+    }
+    w.u64(p.rng);
+    match p.waiting_recv {
+        Some((buf, cap)) => {
+            w.bool(true);
+            w.u32(buf);
+            w.u32(cap);
+        }
+        None => w.bool(false),
+    }
+    w.opt_u64(p.current_request);
+    match &p.mark {
+        Some(m) => {
+            w.bool(true);
+            w.seq(m.fds.len());
+            for &fd in &m.fds {
+                w.u32(fd);
+            }
+            w.seq(m.children.len());
+            for &pid in &m.children {
+                w.u32(pid);
+            }
+            w.u32(m.brk);
+            w.usize(m.heap_pages_len);
+            enc_context(w, &m.context);
+            w.u64(m.request_id);
+        }
+        None => w.bool(false),
+    }
+    w.seq(p.endpoint.inbox.len());
+    for req in &p.endpoint.inbox {
+        w.u64(req.id);
+        w.bytes(&req.data);
+        w.bool(req.malicious);
+    }
+    w.seq(p.endpoint.outbox.len());
+    for resp in &p.endpoint.outbox {
+        w.u64(resp.request_id);
+        w.bytes(&resp.data);
+    }
+    w.u64(p.endpoint.delivered);
+    w.u64(p.served);
+    w.u64(p.rollbacks);
+}
+
+fn dec_process(r: &mut WireReader<'_>) -> WireResult<ProcessState> {
+    let pid = r.u32("pid")?;
+    let name = r.str("process name")?;
+    let asid = r.u16("process asid")?;
+    let core = r.usize("process core")?;
+    let brk = r.u32("process brk")?;
+    let n = r.seq(8, "heap pages")?;
+    let mut heap_pages = Vec::with_capacity(n);
+    for _ in 0..n {
+        heap_pages.push((r.u32("heap vpn")?, r.u32("heap ppn")?));
+    }
+    let n = r.seq(16, "fds")?;
+    let mut fds = Vec::with_capacity(n);
+    for _ in 0..n {
+        let fd = r.u32("fd")?;
+        let path = r.str("fd path")?;
+        fds.push((fd, FileHandle { path, offset: r.usize("fd offset")? }));
+    }
+    let next_fd = r.u32("next fd")?;
+    let n = r.seq(4, "children")?;
+    let mut children = Vec::with_capacity(n);
+    for _ in 0..n {
+        children.push(r.u32("child pid")?);
+    }
+    let rng = r.u64("process rng")?;
+    let waiting_recv =
+        if r.bool("waiting recv")? { Some((r.u32("recv buf")?, r.u32("recv cap")?)) } else { None };
+    let current_request = r.opt_u64("current request")?;
+    let mark = if r.bool("mark present")? {
+        let n = r.seq(4, "mark fds")?;
+        let mut mfds = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            mfds.insert(r.u32("mark fd")?);
+        }
+        let n = r.seq(4, "mark children")?;
+        let mut mchildren = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            mchildren.insert(r.u32("mark child")?);
+        }
+        let mbrk = r.u32("mark brk")?;
+        let heap_pages_len = r.usize("mark heap len")?;
+        let context = dec_context(r)?;
+        Some(ResourceMark {
+            fds: mfds,
+            children: mchildren,
+            brk: mbrk,
+            heap_pages_len,
+            context,
+            request_id: r.u64("mark request id")?,
+        })
+    } else {
+        None
+    };
+    let n = r.seq(13, "inbox")?;
+    let mut inbox = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = r.u64("request id")?;
+        let data = r.bytes("request data")?.to_vec();
+        inbox.push(Request { id, data, malicious: r.bool("request tag")? });
+    }
+    let n = r.seq(12, "outbox")?;
+    let mut outbox = Vec::with_capacity(n);
+    for _ in 0..n {
+        let request_id = r.u64("response id")?;
+        outbox.push(Response { request_id, data: r.bytes("response data")?.to_vec() });
+    }
+    let endpoint = EndpointState { inbox, outbox, delivered: r.u64("delivered")? };
+    Ok(ProcessState {
+        pid,
+        name,
+        asid,
+        core,
+        brk,
+        heap_pages,
+        fds,
+        next_fd,
+        children,
+        rng,
+        waiting_recv,
+        current_request,
+        mark,
+        endpoint,
+        served: r.u64("process served")?,
+        rollbacks: r.u64("process rollbacks")?,
+    })
+}
+
+// ---- monitor ---------------------------------------------------------
+
+fn enc_monitor(w: &mut WireWriter, m: &MonitorState) {
+    w.seq(m.apps.len());
+    for app in &m.apps {
+        w.u16(app.asid);
+        enc_metadata(w, &app.meta);
+        enc_shadow(w, &app.shadow);
+        enc_shadow(w, &app.saved_shadow);
+    }
+    w.u64(m.clock);
+    w.u64(m.seq);
+    w.u64(m.stats.events);
+    w.u64(m.stats.call_return_checks);
+    w.u64(m.stats.code_origin_checks);
+    w.u64(m.stats.indirect_checks);
+    w.u64(m.stats.violations);
+    w.u64(m.stats.busy_cycles);
+    w.seq(m.violations.len());
+    for v in &m.violations {
+        w.u8(violation_kind_tag(v.kind));
+        w.u64(v.seq);
+        w.u32(v.pc);
+        w.u32(v.addr);
+        w.u16(v.asid);
+    }
+}
+
+fn dec_monitor(r: &mut WireReader<'_>) -> WireResult<MonitorState> {
+    let n = r.seq(2, "monitor apps")?;
+    let mut apps = Vec::with_capacity(n);
+    for _ in 0..n {
+        let asid = r.u16("app asid")?;
+        let meta = dec_metadata(r)?;
+        let shadow = dec_shadow(r)?;
+        apps.push(MonitorAppState { asid, meta, shadow, saved_shadow: dec_shadow(r)? });
+    }
+    let clock = r.u64("monitor clock")?;
+    let seq = r.u64("monitor seq")?;
+    let stats = MonitorStats {
+        events: r.u64("monitor events")?,
+        call_return_checks: r.u64("monitor cr checks")?,
+        code_origin_checks: r.u64("monitor co checks")?,
+        indirect_checks: r.u64("monitor ind checks")?,
+        violations: r.u64("monitor violation count")?,
+        busy_cycles: r.u64("monitor busy")?,
+    };
+    let n = r.seq(19, "violations")?;
+    let mut violations = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = violation_kind_from_tag(r.u8("violation kind")?)?;
+        violations.push(Violation {
+            kind,
+            seq: r.u64("violation seq")?,
+            pc: r.u32("violation pc")?,
+            addr: r.u32("violation addr")?,
+            asid: r.u16("violation asid")?,
+        });
+    }
+    Ok(MonitorState { apps, clock, seq, stats, violations })
+}
+
+fn enc_metadata(w: &mut WireWriter, m: &AppMetadata) {
+    w.seq(m.executable_pages.len());
+    for &vpn in &m.executable_pages {
+        w.u32(vpn);
+    }
+    w.seq(m.indirect_targets.len());
+    for &t in &m.indirect_targets {
+        w.u32(t);
+    }
+    w.seq(m.longjmp_targets.len());
+    for &t in &m.longjmp_targets {
+        w.u32(t);
+    }
+    w.seq(m.dynamic_regions.len());
+    for &(base, size) in &m.dynamic_regions {
+        w.u32(base);
+        w.u32(size);
+    }
+}
+
+fn dec_metadata(r: &mut WireReader<'_>) -> WireResult<AppMetadata> {
+    let mut meta = AppMetadata::default();
+    for _ in 0..r.seq(4, "executable pages")? {
+        meta.executable_pages.insert(r.u32("executable vpn")?);
+    }
+    for _ in 0..r.seq(4, "indirect targets")? {
+        meta.indirect_targets.insert(r.u32("indirect target")?);
+    }
+    for _ in 0..r.seq(4, "longjmp targets")? {
+        meta.longjmp_targets.insert(r.u32("longjmp target")?);
+    }
+    for _ in 0..r.seq(8, "dynamic regions")? {
+        let base = r.u32("region base")?;
+        meta.dynamic_regions.push((base, r.u32("region size")?));
+    }
+    Ok(meta)
+}
+
+fn enc_shadow(w: &mut WireWriter, frames: &[ShadowFrameState]) {
+    w.seq(frames.len());
+    for f in frames {
+        w.u32(f.return_addr);
+        w.u32(f.sp);
+    }
+}
+
+fn dec_shadow(r: &mut WireReader<'_>) -> WireResult<Vec<ShadowFrameState>> {
+    let n = r.seq(8, "shadow stack")?;
+    let mut frames = Vec::with_capacity(n);
+    for _ in 0..n {
+        let return_addr = r.u32("shadow ra")?;
+        frames.push(ShadowFrameState { return_addr, sp: r.u32("shadow sp")? });
+    }
+    Ok(frames)
+}
+
+fn violation_kind_tag(kind: ViolationKind) -> u8 {
+    match kind {
+        ViolationKind::ReturnMismatch => 0,
+        ViolationKind::ShadowStackUnderflow => 1,
+        ViolationKind::CodeInjection => 2,
+        ViolationKind::InvalidIndirectTarget => 3,
+        ViolationKind::Custom => 4,
+    }
+}
+
+fn violation_kind_from_tag(tag: u8) -> WireResult<ViolationKind> {
+    Ok(match tag {
+        0 => ViolationKind::ReturnMismatch,
+        1 => ViolationKind::ShadowStackUnderflow,
+        2 => ViolationKind::CodeInjection,
+        3 => ViolationKind::InvalidIndirectTarget,
+        4 => ViolationKind::Custom,
+        _ => return Err(PersistError::Corrupt { context: "unknown violation kind" }),
+    })
+}
+
+// ---- scheme ----------------------------------------------------------
+
+fn enc_scheme_stats(w: &mut WireWriter, s: &SchemeStats) {
+    w.u64(s.stores_observed);
+    w.u64(s.line_copies);
+    w.u64(s.page_copies);
+    w.u64(s.log_entries);
+    w.u64(s.lazy_restores);
+    w.u64(s.rollbacks);
+    w.u64(s.boundary_cycles);
+    w.u64(s.recovery_cycles);
+}
+
+fn dec_scheme_stats(r: &mut WireReader<'_>) -> WireResult<SchemeStats> {
+    Ok(SchemeStats {
+        stores_observed: r.u64("stores observed")?,
+        line_copies: r.u64("line copies")?,
+        page_copies: r.u64("page copies")?,
+        log_entries: r.u64("log entries")?,
+        lazy_restores: r.u64("lazy restores")?,
+        rollbacks: r.u64("rollbacks")?,
+        boundary_cycles: r.u64("boundary cycles")?,
+        recovery_cycles: r.u64("recovery cycles")?,
+    })
+}
+
+fn enc_scheme(w: &mut WireWriter, s: &SchemeState) {
+    match s {
+        SchemeState::NoBackup { stats } => {
+            w.u8(0);
+            enc_scheme_stats(w, stats);
+        }
+        SchemeState::Delta(d) => {
+            w.u8(1);
+            enc_frame_alloc(w, &d.frames);
+            w.seq(d.procs.len());
+            for p in &d.procs {
+                w.u16(p.asid);
+                w.u64(p.gts);
+                w.u64(p.rollback_pending);
+                w.seq(p.pages.len());
+                for pg in &p.pages {
+                    w.u32(pg.vpn);
+                    w.u32(pg.backup_ppn);
+                    w.u64(pg.lts);
+                    w.u128(pg.dirty);
+                    w.u128(pg.rollback);
+                }
+            }
+            enc_scheme_stats(w, &d.stats);
+        }
+        SchemeState::PageCkpt(p) => {
+            w.u8(2);
+            enc_frame_alloc(w, &p.frames);
+            w.seq(p.procs.len());
+            for proc in &p.procs {
+                w.u16(proc.asid);
+                w.seq(proc.saved.len());
+                for &(vpn, ppn) in &proc.saved {
+                    w.u32(vpn);
+                    w.u32(ppn);
+                }
+            }
+            enc_scheme_stats(w, &p.stats);
+        }
+        SchemeState::UndoLog(u) => {
+            w.u8(3);
+            w.seq(u.logs.len());
+            for (asid, entries) in &u.logs {
+                w.u16(*asid);
+                w.seq(entries.len());
+                for e in entries {
+                    w.u32(e.paddr);
+                    w.u32(e.old);
+                }
+            }
+            enc_scheme_stats(w, &u.stats);
+        }
+    }
+}
+
+fn dec_scheme(r: &mut WireReader<'_>) -> WireResult<SchemeState> {
+    Ok(match r.u8("scheme tag")? {
+        0 => SchemeState::NoBackup { stats: dec_scheme_stats(r)? },
+        1 => {
+            let frames = dec_frame_alloc(r)?;
+            let n = r.seq(22, "delta procs")?;
+            let mut procs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let asid = r.u16("delta asid")?;
+                let gts = r.u64("delta gts")?;
+                let rollback_pending = r.u64("delta pending")?;
+                let m = r.seq(48, "delta pages")?;
+                let mut pages = Vec::with_capacity(m);
+                for _ in 0..m {
+                    pages.push(DeltaPageState {
+                        vpn: r.u32("delta vpn")?,
+                        backup_ppn: r.u32("delta backup ppn")?,
+                        lts: r.u64("delta lts")?,
+                        dirty: r.u128("delta dirty")?,
+                        rollback: r.u128("delta rollback")?,
+                    });
+                }
+                procs.push(DeltaProcState { asid, gts, rollback_pending, pages });
+            }
+            SchemeState::Delta(DeltaState { frames, procs, stats: dec_scheme_stats(r)? })
+        }
+        2 => {
+            let frames = dec_frame_alloc(r)?;
+            let n = r.seq(6, "page-ckpt procs")?;
+            let mut procs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let asid = r.u16("page-ckpt asid")?;
+                let m = r.seq(8, "page-ckpt pages")?;
+                let mut saved = Vec::with_capacity(m);
+                for _ in 0..m {
+                    saved.push((r.u32("saved vpn")?, r.u32("saved ppn")?));
+                }
+                procs.push(PageCkptProcState { asid, saved });
+            }
+            SchemeState::PageCkpt(PageCkptState { frames, procs, stats: dec_scheme_stats(r)? })
+        }
+        3 => {
+            let n = r.seq(6, "undo logs")?;
+            let mut logs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let asid = r.u16("log asid")?;
+                let m = r.seq(8, "log entries")?;
+                let mut entries = Vec::with_capacity(m);
+                for _ in 0..m {
+                    entries.push(UndoEntryState {
+                        paddr: r.u32("log paddr")?,
+                        old: r.u32("log old")?,
+                    });
+                }
+                logs.push((asid, entries));
+            }
+            SchemeState::UndoLog(UndoLogState { logs, stats: dec_scheme_stats(r)? })
+        }
+        _ => return Err(PersistError::Corrupt { context: "unknown scheme tag" }),
+    })
+}
+
+// ---- hybrid / macro / report ----------------------------------------
+
+fn enc_hybrid(w: &mut WireWriter, h: &HybridControllerState) {
+    w.u64(h.requests_seen);
+    w.u64(h.requests_at_last_macro);
+    w.u32(h.consecutive_failures);
+    w.u64(h.stats.macro_checkpoints);
+    w.u64(h.stats.micro_recoveries);
+    w.u64(h.stats.macro_recoveries);
+}
+
+fn dec_hybrid(r: &mut WireReader<'_>) -> WireResult<HybridControllerState> {
+    Ok(HybridControllerState {
+        requests_seen: r.u64("hybrid seen")?,
+        requests_at_last_macro: r.u64("hybrid last macro")?,
+        consecutive_failures: r.u32("hybrid failures")?,
+        stats: HybridStats {
+            macro_checkpoints: r.u64("hybrid ckpts")?,
+            micro_recoveries: r.u64("hybrid micro")?,
+            macro_recoveries: r.u64("hybrid macro")?,
+        },
+    })
+}
+
+fn enc_macro_ckpt(w: &mut WireWriter, c: &MacroCheckpointState) {
+    w.seq(c.pages.len());
+    for (vpn, contents) in &c.pages {
+        w.u32(*vpn);
+        w.bytes(contents);
+    }
+    enc_context(w, &c.context);
+    w.u64(c.request_seq);
+}
+
+fn dec_macro_ckpt(r: &mut WireReader<'_>) -> WireResult<MacroCheckpointState> {
+    let n = r.seq(8, "macro pages")?;
+    let mut pages = Vec::with_capacity(n);
+    for _ in 0..n {
+        let vpn = r.u32("macro vpn")?;
+        pages.push((vpn, r.bytes("macro page contents")?.to_vec()));
+    }
+    let context = dec_context(r)?;
+    Ok(MacroCheckpointState { pages, context, request_seq: r.u64("macro seq")? })
+}
+
+fn enc_report(w: &mut WireWriter, report: &RunReport) {
+    w.u64(report.served);
+    w.u64(report.benign_served);
+    w.seq(report.detections.len());
+    for d in &report.detections {
+        match d.cause {
+            FailureCause::Violation(kind) => {
+                w.u8(0);
+                w.u8(violation_kind_tag(kind));
+            }
+            FailureCause::Fault => w.u8(1),
+            FailureCause::Timeout => w.u8(2),
+        }
+        w.opt_u64(d.request_id);
+        w.bool(d.was_malicious);
+        w.u8(match d.level {
+            RecoveryLevel::Micro => 0,
+            RecoveryLevel::Macro => 1,
+        });
+        w.u64(d.at_cycle);
+        w.usize(d.core);
+    }
+    w.seq(report.samples.len());
+    for s in &report.samples {
+        w.u64(s.request_id);
+        w.u64(s.cycles);
+        w.u64(s.instructions);
+        w.bool(s.malicious);
+        w.usize(s.core);
+        w.u64(s.completed_at);
+    }
+}
+
+fn dec_report(r: &mut WireReader<'_>) -> WireResult<RunReport> {
+    let served = r.u64("report served")?;
+    let benign_served = r.u64("report benign")?;
+    let n = r.seq(20, "detections")?;
+    let mut detections = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cause = match r.u8("cause tag")? {
+            0 => FailureCause::Violation(violation_kind_from_tag(r.u8("cause kind")?)?),
+            1 => FailureCause::Fault,
+            2 => FailureCause::Timeout,
+            _ => return Err(PersistError::Corrupt { context: "unknown failure cause" }),
+        };
+        detections.push(Detection {
+            cause,
+            request_id: r.opt_u64("detection request")?,
+            was_malicious: r.bool("detection tag")?,
+            level: match r.u8("detection level")? {
+                0 => RecoveryLevel::Micro,
+                1 => RecoveryLevel::Macro,
+                _ => return Err(PersistError::Corrupt { context: "unknown recovery level" }),
+            },
+            at_cycle: r.u64("detection cycle")?,
+            core: r.usize("detection core")?,
+        });
+    }
+    let n = r.seq(34, "samples")?;
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        samples.push(RequestSample {
+            request_id: r.u64("sample id")?,
+            cycles: r.u64("sample cycles")?,
+            instructions: r.u64("sample insns")?,
+            malicious: r.bool("sample tag")?,
+            core: r.usize("sample core")?,
+            completed_at: r.u64("sample completed")?,
+        });
+    }
+    Ok(RunReport { served, benign_served, detections, samples })
+}

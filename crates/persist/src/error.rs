@@ -1,0 +1,116 @@
+//! Typed errors of the durable-checkpoint subsystem.
+//!
+//! Recovery code must never panic on bad bytes: a half-written snapshot,
+//! a torn journal tail or a bit-flipped sector all decode to a
+//! [`PersistError`] (or, for a torn *tail*, to a clean prefix — see the
+//! journal module), and the caller decides whether to fall back to an
+//! older checkpoint or start fresh.
+
+use std::fmt;
+
+/// Everything that can go wrong reading or writing durable state.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the expected magic — not one of ours.
+    BadMagic {
+        /// The magic the decoder expected.
+        expected: &'static [u8; 8],
+        /// What the file actually starts with.
+        found: [u8; 8],
+    },
+    /// The format version is newer (or older) than this build understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build writes.
+        supported: u32,
+    },
+    /// A CRC-protected section failed its integrity check.
+    ChecksumMismatch {
+        /// Which section failed ("header", "state", "frames", …).
+        section: &'static str,
+        /// CRC stored in the file.
+        stored: u32,
+        /// CRC computed over the bytes actually read.
+        computed: u32,
+    },
+    /// The byte stream ended mid-field or a length field points past the
+    /// end of the buffer.
+    Truncated {
+        /// What the decoder was reading when it ran out.
+        context: &'static str,
+    },
+    /// A value decoded cleanly but is semantically impossible (an unknown
+    /// enum tag, a count contradicting an invariant).
+    Corrupt {
+        /// What was wrong.
+        context: &'static str,
+    },
+    /// The checkpoint metadata disagrees with the requested resume (e.g.
+    /// a snapshot written under a different scheme kind).
+    ConfigMismatch {
+        /// What disagreed.
+        context: String,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic { expected, found } => {
+                write!(
+                    f,
+                    "bad magic: expected {:?}, found {:?}",
+                    String::from_utf8_lossy(&expected[..]),
+                    String::from_utf8_lossy(&found[..])
+                )
+            }
+            PersistError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported format version {found} (this build supports {supported})")
+            }
+            PersistError::ChecksumMismatch { section, stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch in {section}: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            PersistError::Truncated { context } => {
+                write!(f, "truncated data while reading {context}")
+            }
+            PersistError::Corrupt { context } => write!(f, "corrupt data: {context}"),
+            PersistError::ConfigMismatch { context } => write!(f, "config mismatch: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PersistError::ChecksumMismatch { section: "state", stored: 1, computed: 2 };
+        let s = e.to_string();
+        assert!(s.contains("state") && s.contains("0x00000001"));
+        let t = PersistError::Truncated { context: "frame table" };
+        assert!(t.to_string().contains("frame table"));
+    }
+}

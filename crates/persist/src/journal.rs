@@ -1,0 +1,225 @@
+//! Append-only write-ahead delta journal.
+//!
+//! Between full snapshots, each checkpoint appends one *record* instead
+//! of rewriting every page: the small state travels in full (it is tiny
+//! next to the frame table), but page frames are journaled as a delta —
+//! only pages that changed since the previous record, plus the page
+//! numbers that disappeared. Recovery replays the record sequence over
+//! the base snapshot.
+//!
+//! Layout:
+//!
+//! ```text
+//! "INDRAJNL"        8-byte magic
+//! version: u32      FORMAT_VERSION
+//! base_id: u32      CRC-32 of the base.snap file this journal extends
+//! record*           u32 payload_len | u32 crc32(payload) | payload
+//! ```
+//!
+//! A crash mid-append leaves a torn tail; [`read_journal`] stops at the
+//! first record whose length runs past the end of the file or whose CRC
+//! does not match, and returns the valid prefix — a torn tail is *not*
+//! an error, it is the expected shape of a crashed run. Only a damaged
+//! header (wrong magic, unsupported version) is a hard error. The
+//! `base_id` ties a journal to the exact base snapshot it was started
+//! against: after a crash between rewriting `base.snap` and resetting
+//! the journal, the stale journal's `base_id` no longer matches and its
+//! records are ignored rather than replayed onto the wrong base.
+
+use crate::snapshot::{dec_frames, enc_frames, read_header, Frame, FORMAT_VERSION};
+use crate::{crc32, PersistError, WireReader, WireResult, WireWriter};
+
+/// Magic bytes opening every journal file.
+pub const MAGIC_JOURNAL: &[u8; 8] = b"INDRAJNL";
+
+/// One checkpoint delta: everything that changed since the previous
+/// journal record (or since the base snapshot, for the first record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Monotonic checkpoint sequence number (base snapshot is 0).
+    pub seq: u64,
+    /// Full small-state blob (see [`crate::codec`]) at this checkpoint.
+    pub small: Vec<u8>,
+    /// Frames whose contents changed, or that are newly resident.
+    pub changed: Vec<Frame>,
+    /// Page numbers no longer resident.
+    pub removed: Vec<u32>,
+    /// Caller-opaque progress blob at this checkpoint.
+    pub progress: Vec<u8>,
+}
+
+/// Encodes the journal file header.
+#[must_use]
+pub fn encode_journal_header(base_id: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(MAGIC_JOURNAL);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&base_id.to_le_bytes());
+    out
+}
+
+/// Encodes one record (length prefix + CRC + payload), ready to append.
+#[must_use]
+pub fn encode_record(rec: &JournalRecord) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u64(rec.seq);
+    w.bytes(&rec.small);
+    enc_frames(&mut w, &rec.changed);
+    w.seq(rec.removed.len());
+    for &ppn in &rec.removed {
+        w.u32(ppn);
+    }
+    w.bytes(&rec.progress);
+    let payload = w.finish();
+
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&u32::try_from(payload.len()).expect("record too large").to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decode_payload(payload: &[u8]) -> WireResult<JournalRecord> {
+    let mut r = WireReader::new(payload);
+    let seq = r.u64("record seq")?;
+    let small = r.bytes("record state")?.to_vec();
+    let changed = dec_frames(&mut r)?;
+    let n = r.seq(4, "record removals")?;
+    let mut removed = Vec::with_capacity(n);
+    for _ in 0..n {
+        removed.push(r.u32("removed ppn")?);
+    }
+    let progress = r.bytes("record progress")?.to_vec();
+    r.expect_exhausted("record trailing bytes")?;
+    Ok(JournalRecord { seq, small, changed, removed, progress })
+}
+
+/// Parses a journal file, tolerating a torn tail.
+///
+/// Returns the longest valid prefix of records whose header `base_id`
+/// matches `expected_base_id`; a journal written against a *different*
+/// base decodes to an empty record list (stale journal — its deltas do
+/// not apply). A record that is truncated, fails its CRC, or does not
+/// decode ends the scan cleanly: everything before it is returned.
+///
+/// # Errors
+///
+/// [`PersistError::BadMagic`] / [`PersistError::UnsupportedVersion`]
+/// when the header itself is damaged (a journal always has its header
+/// written before any record — only a foreign or corrupted file fails
+/// here). A file shorter than the header is treated as empty: the
+/// header write itself may have been torn by a crash.
+pub fn read_journal(
+    bytes: &[u8],
+    expected_base_id: u32,
+) -> Result<Vec<JournalRecord>, PersistError> {
+    if bytes.len() < 16 {
+        // Torn header: the journal never held a record, so there is
+        // nothing to replay — but a foreign file prefix is still an error.
+        if bytes.len() >= 8 && &bytes[..8] != MAGIC_JOURNAL {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(&bytes[..8]);
+            return Err(PersistError::BadMagic { expected: MAGIC_JOURNAL, found });
+        }
+        return Ok(Vec::new());
+    }
+    let mut r = WireReader::new(bytes);
+    read_header(&mut r, MAGIC_JOURNAL)?;
+    let base_id = r.u32("journal base id")?;
+    if base_id != expected_base_id {
+        return Ok(Vec::new());
+    }
+
+    let mut records = Vec::new();
+    loop {
+        if r.remaining() < 8 {
+            break; // torn length/CRC prefix
+        }
+        let len = r.u32("record length")? as usize;
+        let stored = r.u32("record crc")?;
+        if len > r.remaining() {
+            break; // torn payload
+        }
+        let payload = r.raw(len, "record payload")?;
+        if crc32(payload) != stored {
+            break; // bit rot or a torn rewrite — stop at the last good record
+        }
+        match decode_payload(payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => break, // CRC passed but the payload is malformed
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(seq: u64) -> JournalRecord {
+        let mut page = Box::new([0u8; indra_mem::PAGE_SIZE as usize]);
+        page[0] = seq as u8;
+        page[4095] = 0xAB;
+        JournalRecord {
+            seq,
+            small: vec![1, 2, 3, seq as u8],
+            changed: vec![(7, page)],
+            removed: vec![42, 43],
+            progress: vec![9, 9],
+        }
+    }
+
+    fn journal_with(records: &[JournalRecord], base_id: u32) -> Vec<u8> {
+        let mut bytes = encode_journal_header(base_id);
+        for rec in records {
+            bytes.extend_from_slice(&encode_record(rec));
+        }
+        bytes
+    }
+
+    #[test]
+    fn roundtrip() {
+        let recs = vec![sample_record(1), sample_record(2)];
+        let bytes = journal_with(&recs, 0xAA55);
+        assert_eq!(read_journal(&bytes, 0xAA55).unwrap(), recs);
+    }
+
+    #[test]
+    fn stale_base_id_yields_empty() {
+        let bytes = journal_with(&[sample_record(1)], 1);
+        assert!(read_journal(&bytes, 2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_returns_valid_prefix() {
+        let recs = vec![sample_record(1), sample_record(2)];
+        let full = journal_with(&recs, 5);
+        let first_len = journal_with(&recs[..1], 5).len();
+        // Truncate anywhere inside the second record: first survives.
+        for cut in first_len..full.len() {
+            let got = read_journal(&full[..cut], 5).unwrap();
+            assert_eq!(got, recs[..1], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_record_stops_scan() {
+        let recs = vec![sample_record(1), sample_record(2)];
+        let mut bytes = journal_with(&recs, 5);
+        let first_len = journal_with(&recs[..1], 5).len();
+        bytes[first_len + 20] ^= 0xFF; // inside the second record's payload
+        assert_eq!(read_journal(&bytes, 5).unwrap(), recs[..1]);
+    }
+
+    #[test]
+    fn foreign_file_is_bad_magic() {
+        let err = read_journal(b"NOTAJRNLxxxxxxxx", 0).unwrap_err();
+        assert!(matches!(err, PersistError::BadMagic { .. }));
+    }
+
+    #[test]
+    fn empty_and_torn_header_are_empty_journals() {
+        assert!(read_journal(b"", 0).unwrap().is_empty());
+        assert!(read_journal(&MAGIC_JOURNAL[..5], 0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Versioned binary snapshot format — a complete frozen system in one
+//! file.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! "INDRASNP"            8-byte magic
+//! version: u32          FORMAT_VERSION
+//! section "state"       u32 len | u32 crc32 | small-state blob
+//! section "frames"      u32 len | u32 crc32 | frame table
+//! section "progress"    u32 len | u32 crc32 | caller-opaque blob
+//! ```
+//!
+//! The frame table is `u32 count` followed by `count` entries of
+//! `u32 ppn` + one raw 4 KiB page. Each section carries its own CRC so
+//! a flipped bit anywhere decodes to a precise
+//! [`ChecksumMismatch`](crate::PersistError::ChecksumMismatch) instead
+//! of garbage state. The progress section is opaque to this crate — the
+//! fleet layer stores its shard cursor there.
+
+use indra_core::SystemState;
+use indra_mem::PAGE_SIZE;
+
+use crate::codec::{decode_small_state, encode_small_state};
+use crate::{crc32, PersistError, WireReader, WireResult, WireWriter};
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC_SNAPSHOT: &[u8; 8] = b"INDRASNP";
+/// Format version written (and the only one read) by this build.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// One physical page frame: page number + contents.
+pub type Frame = (u32, Box<[u8; PAGE_SIZE as usize]>);
+
+pub(crate) fn enc_frames(w: &mut WireWriter, frames: &[Frame]) {
+    w.seq(frames.len());
+    for (ppn, data) in frames {
+        w.u32(*ppn);
+        w.raw(&data[..]);
+    }
+}
+
+pub(crate) fn dec_frames(r: &mut WireReader<'_>) -> WireResult<Vec<Frame>> {
+    let page = PAGE_SIZE as usize;
+    let n = r.seq(4 + page, "frame table")?;
+    let mut frames = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ppn = r.u32("frame ppn")?;
+        let raw = r.raw(page, "frame contents")?;
+        let mut data = Box::new([0u8; PAGE_SIZE as usize]);
+        data.copy_from_slice(raw);
+        frames.push((ppn, data));
+    }
+    Ok(frames)
+}
+
+fn write_section(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&u32::try_from(payload.len()).expect("section too large").to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+fn read_section<'a>(
+    r: &mut WireReader<'a>,
+    section: &'static str,
+) -> Result<&'a [u8], PersistError> {
+    let len = r.seq(1, section)?;
+    let stored = r.u32(section)?;
+    let payload = r.raw(len, section)?;
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(PersistError::ChecksumMismatch { section, stored, computed });
+    }
+    Ok(payload)
+}
+
+/// Checks an 8-byte magic + `u32` version header.
+pub(crate) fn read_header(
+    r: &mut WireReader<'_>,
+    expected: &'static [u8; 8],
+) -> Result<(), PersistError> {
+    let raw = r.raw(8, "file magic")?;
+    if raw != expected {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(raw);
+        return Err(PersistError::BadMagic { expected, found });
+    }
+    let found = r.u32("format version")?;
+    if found != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion { found, supported: FORMAT_VERSION });
+    }
+    Ok(())
+}
+
+/// Encodes a full snapshot file: the frozen system plus an opaque
+/// `progress` blob for the caller's own bookkeeping.
+#[must_use]
+pub fn encode_snapshot(state: &SystemState, progress: &[u8]) -> Vec<u8> {
+    let small = encode_small_state(state);
+    let mut fw = WireWriter::new();
+    enc_frames(&mut fw, &state.machine.phys.frames);
+    let frames = fw.finish();
+
+    let mut out = Vec::with_capacity(20 + small.len() + frames.len() + progress.len() + 24);
+    out.extend_from_slice(MAGIC_SNAPSHOT);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    write_section(&mut out, &small);
+    write_section(&mut out, &frames);
+    write_section(&mut out, progress);
+    out
+}
+
+/// Decodes a snapshot file back into a [`SystemState`] (physical frames
+/// included) and the caller's progress blob.
+///
+/// # Errors
+///
+/// Typed [`PersistError`] on bad magic, unsupported version, any
+/// section CRC mismatch, truncation or trailing garbage. Never panics.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<(SystemState, Vec<u8>), PersistError> {
+    let mut r = WireReader::new(bytes);
+    read_header(&mut r, MAGIC_SNAPSHOT)?;
+    let small = read_section(&mut r, "state")?;
+    let frames_raw = read_section(&mut r, "frames")?;
+    let progress = read_section(&mut r, "progress")?;
+    r.expect_exhausted("snapshot trailing bytes")?;
+
+    let mut state = decode_small_state(small)?;
+    let mut fr = WireReader::new(frames_raw);
+    state.machine.phys.frames = dec_frames(&mut fr)?;
+    fr.expect_exhausted("frame table trailing bytes")?;
+    Ok((state, progress.to_vec()))
+}

@@ -1,0 +1,282 @@
+//! On-disk checkpoint store: one directory per fleet, one subdirectory
+//! per shard.
+//!
+//! ```text
+//! <root>/
+//!   fleet.meta            fleet-level config blob (caller-opaque)
+//!   shard-0000/
+//!     base.snap           full snapshot (see `snapshot` module)
+//!     journal.wal         delta records since base (see `journal`)
+//!   shard-0001/ ...
+//! ```
+//!
+//! Durability protocol:
+//!
+//! * `base.snap` and `fleet.meta` are written to a temp file in the same
+//!   directory, synced, then atomically renamed into place — a reader
+//!   (or a crash) never observes a half-written file under the final
+//!   name.
+//! * `journal.wal` is append-only; each record is synced after the
+//!   append. A crash tears at most the tail record, which recovery
+//!   discards (see [`read_journal`]).
+//! * The journal header embeds the CRC-32 of the exact `base.snap` bytes
+//!   it extends, so a crash *between* rewriting the base and resetting
+//!   the journal cannot cause stale deltas to be replayed onto a new
+//!   base — they are detected and ignored.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use indra_core::SystemState;
+use indra_mem::PAGE_SIZE;
+
+use crate::journal::{encode_journal_header, encode_record, read_journal, JournalRecord};
+use crate::snapshot::{decode_snapshot, encode_snapshot, Frame};
+use crate::{crc32, PersistError};
+
+/// File name of the fleet-level metadata blob.
+pub const META_FILE: &str = "fleet.meta";
+/// File name of a shard's full base snapshot.
+pub const BASE_FILE: &str = "base.snap";
+/// File name of a shard's write-ahead delta journal.
+pub const JOURNAL_FILE: &str = "journal.wal";
+
+/// Magic bytes opening the fleet metadata file.
+pub const MAGIC_META: &[u8; 8] = b"INDRAMET";
+
+/// A checkpoint directory holding one fleet's durable state.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    root: PathBuf,
+}
+
+/// A shard's state as recovered from `base.snap` + journal replay.
+#[derive(Debug)]
+pub struct LoadedShard {
+    /// The frozen system, frames included, at the last valid checkpoint.
+    pub state: SystemState,
+    /// The caller's progress blob from that checkpoint.
+    pub progress: Vec<u8>,
+    /// Sequence number of that checkpoint (0 = the base snapshot).
+    pub seq: u64,
+}
+
+/// Writes `bytes` to `path` atomically: temp file, sync, rename.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+impl SnapshotStore {
+    /// Creates (or reuses) a checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure creating the directory.
+    pub fn create(root: impl Into<PathBuf>) -> Result<SnapshotStore, PersistError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(SnapshotStore { root })
+    }
+
+    /// Opens an existing checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Corrupt`] when the path is not a directory.
+    pub fn open(root: impl Into<PathBuf>) -> Result<SnapshotStore, PersistError> {
+        let root = root.into();
+        if !root.is_dir() {
+            return Err(PersistError::Corrupt { context: "checkpoint path is not a directory" });
+        }
+        Ok(SnapshotStore { root })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the shard subdirectory for `shard`.
+    #[must_use]
+    pub fn shard_dir(&self, shard: usize) -> PathBuf {
+        self.root.join(format!("shard-{shard:04}"))
+    }
+
+    /// Writes the fleet metadata blob (atomic replace), wrapped with
+    /// magic, version and a CRC.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    pub fn write_meta(&self, payload: &[u8]) -> Result<(), PersistError> {
+        let mut bytes = Vec::with_capacity(16 + payload.len());
+        bytes.extend_from_slice(MAGIC_META);
+        bytes.extend_from_slice(&crate::snapshot::FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        write_atomic(&self.root.join(META_FILE), &bytes)
+    }
+
+    /// Reads back the fleet metadata blob written by
+    /// [`SnapshotStore::write_meta`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, bad magic, unsupported version or CRC mismatch.
+    pub fn read_meta(&self) -> Result<Vec<u8>, PersistError> {
+        let bytes = fs::read(self.root.join(META_FILE))?;
+        let mut r = crate::WireReader::new(&bytes);
+        crate::snapshot::read_header(&mut r, MAGIC_META)?;
+        let stored = r.u32("meta crc")?;
+        let payload = r.raw(r.remaining(), "meta payload")?;
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(PersistError::ChecksumMismatch { section: "meta", stored, computed });
+        }
+        Ok(payload.to_vec())
+    }
+
+    /// Opens a checkpoint writer for `shard`, creating its directory.
+    /// The writer's first checkpoint rewrites `base.snap` from scratch
+    /// and resets the journal; later checkpoints append deltas.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure creating the shard directory.
+    pub fn shard_writer(&self, shard: usize) -> Result<ShardCheckpointWriter, PersistError> {
+        let dir = self.shard_dir(shard);
+        fs::create_dir_all(&dir)?;
+        Ok(ShardCheckpointWriter { dir, cache: BTreeMap::new(), seq: 0, journal: None })
+    }
+
+    /// Recovers a shard's last valid checkpoint, replaying the journal
+    /// over the base snapshot. Returns `Ok(None)` when the shard has no
+    /// base snapshot yet (fresh start).
+    ///
+    /// # Errors
+    ///
+    /// A damaged *base* snapshot is a hard error (it is written
+    /// atomically, so damage means real corruption, not a crash). A
+    /// torn or stale journal is not — replay simply stops at the last
+    /// valid record.
+    pub fn load_shard(&self, shard: usize) -> Result<Option<LoadedShard>, PersistError> {
+        let dir = self.shard_dir(shard);
+        let base_path = dir.join(BASE_FILE);
+        let base_bytes = match fs::read(&base_path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let base_id = crc32(&base_bytes);
+        let (mut state, mut progress) = decode_snapshot(&base_bytes)?;
+        let mut seq = 0u64;
+
+        let journal_bytes = match fs::read(dir.join(JOURNAL_FILE)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let records = read_journal(&journal_bytes, base_id)?;
+        if let Some(last) = records.last() {
+            // Frame deltas compose record by record; only the final
+            // small state and progress matter.
+            let mut frames: BTreeMap<u32, Box<[u8; PAGE_SIZE as usize]>> =
+                state.machine.phys.frames.drain(..).collect();
+            for rec in &records {
+                for (ppn, data) in &rec.changed {
+                    frames.insert(*ppn, data.clone());
+                }
+                for ppn in &rec.removed {
+                    frames.remove(ppn);
+                }
+            }
+            state = crate::codec::decode_small_state(&last.small)?;
+            state.machine.phys.frames = frames.into_iter().collect();
+            progress = last.progress.clone();
+            seq = last.seq;
+        }
+        Ok(Some(LoadedShard { state, progress, seq }))
+    }
+}
+
+/// Incremental checkpoint writer for one shard.
+///
+/// Keeps an in-memory copy of the frames as last written, so each
+/// checkpoint after the first only serializes the pages that actually
+/// changed — the amortized cost of a checkpoint is proportional to the
+/// write set of the interval, not to resident memory.
+#[derive(Debug)]
+pub struct ShardCheckpointWriter {
+    dir: PathBuf,
+    cache: BTreeMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+    seq: u64,
+    journal: Option<File>,
+}
+
+impl ShardCheckpointWriter {
+    /// Sequence number of the last checkpoint written (0 = base only).
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Durably records `state` + `progress`. The first call writes a
+    /// fresh `base.snap` (atomic replace) and resets the journal; every
+    /// later call appends one delta record and syncs it.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure; on error the previous checkpoint remains recoverable.
+    pub fn checkpoint(&mut self, state: &SystemState, progress: &[u8]) -> Result<(), PersistError> {
+        if let Some(journal) = self.journal.as_mut() {
+            self.seq += 1;
+            let mut changed: Vec<Frame> = Vec::new();
+            let mut live = std::collections::BTreeSet::new();
+            for (ppn, data) in &state.machine.phys.frames {
+                live.insert(*ppn);
+                if self.cache.get(ppn).is_none_or(|old| old[..] != data[..]) {
+                    changed.push((*ppn, data.clone()));
+                }
+            }
+            let removed: Vec<u32> =
+                self.cache.keys().copied().filter(|ppn| !live.contains(ppn)).collect();
+            let rec = JournalRecord {
+                seq: self.seq,
+                small: crate::codec::encode_small_state(state),
+                changed,
+                removed,
+                progress: progress.to_vec(),
+            };
+            journal.write_all(&encode_record(&rec))?;
+            journal.sync_all()?;
+            for (ppn, data) in rec.changed {
+                self.cache.insert(ppn, data);
+            }
+            for ppn in rec.removed {
+                self.cache.remove(&ppn);
+            }
+        } else {
+            // First checkpoint: full base snapshot, then a fresh journal
+            // bound to it. Order matters — see the module docs.
+            let bytes = encode_snapshot(state, progress);
+            let base_id = crc32(&bytes);
+            write_atomic(&self.dir.join(BASE_FILE), &bytes)?;
+            write_atomic(&self.dir.join(JOURNAL_FILE), &encode_journal_header(base_id))?;
+            let journal = OpenOptions::new().append(true).open(self.dir.join(JOURNAL_FILE))?;
+            self.journal = Some(journal);
+            self.seq = 0;
+            self.cache = state.machine.phys.frames.iter().map(|(p, d)| (*p, d.clone())).collect();
+        }
+        Ok(())
+    }
+}

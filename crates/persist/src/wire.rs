@@ -1,0 +1,325 @@
+//! Length-checked little-endian wire primitives.
+//!
+//! Every multi-byte value is little-endian; every variable-length field
+//! is length-prefixed with a `u32`. The reader bounds-checks *before*
+//! touching the buffer and validates length prefixes against the bytes
+//! actually remaining, so a truncated or hostile file can never cause a
+//! panic or an absurd allocation — only a typed [`PersistError`].
+
+use crate::PersistError;
+
+/// Serializer: appends fields to a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u128`.
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (platform-independent width).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a collection length as a `u32` prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` exceeds `u32::MAX` (no in-memory state comes
+    /// close; a silent wrap would corrupt the stream).
+    pub fn seq(&mut self, len: usize) {
+        self.u32(u32::try_from(len).expect("sequence too long for wire format"));
+    }
+
+    /// Appends raw bytes with a `u32` length prefix.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.seq(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a UTF-8 string with a `u32` length prefix.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends raw bytes with no length prefix (fixed-size payloads whose
+    /// length the format dictates, e.g. page frames).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends an `Option<u32>` as a presence byte + value.
+    pub fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u32(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Appends an `Option<u64>` as a presence byte + value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+}
+
+/// Deserializer: consumes fields from a byte slice, front to back.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Shorthand for the reader's error type.
+pub type WireResult<T> = Result<T, PersistError>;
+
+impl<'a> WireReader<'a> {
+    /// A reader over `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the whole buffer was consumed.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> WireResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated { context });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, context: &'static str) -> WireResult<u8> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a bool; any value other than 0/1 is corrupt.
+    pub fn bool(&mut self, context: &'static str) -> WireResult<bool> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(PersistError::Corrupt { context }),
+        }
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self, context: &'static str) -> WireResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2, context)?.try_into().expect("sized")))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self, context: &'static str) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4, context)?.try_into().expect("sized")))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self, context: &'static str) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8, context)?.try_into().expect("sized")))
+    }
+
+    /// Reads a `u128`.
+    pub fn u128(&mut self, context: &'static str) -> WireResult<u128> {
+        Ok(u128::from_le_bytes(self.take(16, context)?.try_into().expect("sized")))
+    }
+
+    /// Reads a `usize` written by [`WireWriter::usize`].
+    pub fn usize(&mut self, context: &'static str) -> WireResult<usize> {
+        usize::try_from(self.u64(context)?).map_err(|_| PersistError::Corrupt { context })
+    }
+
+    /// Reads a sequence length and validates it against the bytes left:
+    /// a claimed `len` of elements each at least `min_elem_size` bytes
+    /// cannot exceed the remainder, so hostile lengths cannot trigger
+    /// huge allocations.
+    pub fn seq(&mut self, min_elem_size: usize, context: &'static str) -> WireResult<usize> {
+        let len = self.u32(context)? as usize;
+        if len.saturating_mul(min_elem_size.max(1)) > self.remaining() {
+            return Err(PersistError::Truncated { context });
+        }
+        Ok(len)
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self, context: &'static str) -> WireResult<&'a [u8]> {
+        let len = self.seq(1, context)?;
+        self.take(len, context)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, context: &'static str) -> WireResult<String> {
+        let raw = self.bytes(context)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| PersistError::Corrupt { context })
+    }
+
+    /// Reads exactly `n` un-prefixed bytes.
+    pub fn raw(&mut self, n: usize, context: &'static str) -> WireResult<&'a [u8]> {
+        self.take(n, context)
+    }
+
+    /// Reads an `Option<u32>` written by [`WireWriter::opt_u32`].
+    pub fn opt_u32(&mut self, context: &'static str) -> WireResult<Option<u32>> {
+        Ok(if self.bool(context)? { Some(self.u32(context)?) } else { None })
+    }
+
+    /// Reads an `Option<u64>` written by [`WireWriter::opt_u64`].
+    pub fn opt_u64(&mut self, context: &'static str) -> WireResult<Option<u64>> {
+        Ok(if self.bool(context)? { Some(self.u64(context)?) } else { None })
+    }
+
+    /// Errors unless every byte was consumed — catches encoder/decoder
+    /// drift early instead of silently ignoring trailing garbage.
+    pub fn expect_exhausted(&self, context: &'static str) -> WireResult<()> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(PersistError::Corrupt { context })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = WireWriter::new();
+        w.u8(7);
+        w.bool(true);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.u128(u128::MAX - 9);
+        w.usize(123_456);
+        w.bytes(b"abc");
+        w.str("snapshot");
+        w.opt_u32(Some(5));
+        w.opt_u32(None);
+        w.opt_u64(Some(99));
+        let bytes = w.finish();
+
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.u8("t").unwrap(), 7);
+        assert!(r.bool("t").unwrap());
+        assert_eq!(r.u16("t").unwrap(), 0xBEEF);
+        assert_eq!(r.u32("t").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("t").unwrap(), u64::MAX - 3);
+        assert_eq!(r.u128("t").unwrap(), u128::MAX - 9);
+        assert_eq!(r.usize("t").unwrap(), 123_456);
+        assert_eq!(r.bytes("t").unwrap(), b"abc");
+        assert_eq!(r.str("t").unwrap(), "snapshot");
+        assert_eq!(r.opt_u32("t").unwrap(), Some(5));
+        assert_eq!(r.opt_u32("t").unwrap(), None);
+        assert_eq!(r.opt_u64("t").unwrap(), Some(99));
+        r.expect_exhausted("t").unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = WireWriter::new();
+        w.u64(1);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            assert!(matches!(r.u64("t"), Err(PersistError::Truncated { .. })));
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        let mut w = WireWriter::new();
+        w.u32(u32::MAX); // claims 4 GiB of elements
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(r.seq(1, "t"), Err(PersistError::Truncated { .. })));
+        let mut r2 = WireReader::new(&bytes);
+        assert!(r2.bytes("t").is_err());
+    }
+
+    #[test]
+    fn bad_bool_is_corrupt() {
+        let mut r = WireReader::new(&[2]);
+        assert!(matches!(r.bool("t"), Err(PersistError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut r = WireReader::new(&[0, 1]);
+        let _ = r.u8("t").unwrap();
+        assert!(r.expect_exhausted("t").is_err());
+    }
+}

@@ -55,6 +55,19 @@ impl Rng {
         }
     }
 
+    /// The raw 256-bit generator state, for durable checkpointing.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from state captured by [`Rng::state`],
+    /// continuing the stream exactly where it left off.
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Rng {
+        Rng { s }
+    }
+
     /// The next 64 uniformly random bits.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);

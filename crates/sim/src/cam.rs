@@ -113,6 +113,34 @@ impl CamFilter {
     pub fn reset_stats(&mut self) {
         self.stats = CamStats::default();
     }
+
+    /// Captures the filter's full mutable state (entries, LRU stamps,
+    /// stats).
+    #[must_use]
+    pub fn save_state(&self) -> CamState {
+        CamState { entries: self.entries.clone(), stamp: self.stamp, stats: self.stats }
+    }
+
+    /// Restores state captured by [`CamFilter::save_state`]. The entry
+    /// order matters (eviction uses `swap_remove`), so it is preserved
+    /// verbatim.
+    pub fn restore_state(&mut self, state: &CamState) {
+        self.entries.clone_from(&state.entries);
+        self.stamp = state.stamp;
+        self.stats = state.stats;
+    }
+}
+
+/// Complete mutable state of a [`CamFilter`], captured by
+/// [`CamFilter::save_state`] for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CamState {
+    /// `(page address, last-use stamp)` pairs in storage order.
+    pub entries: Vec<(u32, u64)>,
+    /// LRU stamp counter.
+    pub stamp: u64,
+    /// Accumulated statistics.
+    pub stats: CamStats,
 }
 
 #[cfg(test)]

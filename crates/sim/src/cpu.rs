@@ -214,6 +214,35 @@ impl Core {
         self.last_fetch_line = None;
     }
 
+    /// Captures the core's full mutable state (context, mode latches and
+    /// cycle accounting) so a thawed machine resumes mid-stream with
+    /// identical timing.
+    #[must_use]
+    pub fn save_state(&self) -> CoreState {
+        CoreState {
+            ctx: self.ctx,
+            asid: self.asid,
+            halted: self.halted,
+            stalled: self.stalled,
+            cycles: self.cycles,
+            retired: self.retired,
+            group: self.group,
+            last_fetch_line: self.last_fetch_line,
+        }
+    }
+
+    /// Restores state captured by [`Core::save_state`].
+    pub fn restore_state(&mut self, state: &CoreState) {
+        self.ctx = state.ctx;
+        self.asid = state.asid;
+        self.halted = state.halted;
+        self.stalled = state.stalled;
+        self.cycles = state.cycles;
+        self.retired = state.retired;
+        self.group = state.group;
+        self.last_fetch_line = state.last_fetch_line;
+    }
+
     fn charge(&mut self, extra: u64) {
         // Close the current issue group on any stall.
         self.cycles += extra;
@@ -405,6 +434,30 @@ impl Core {
         self.charge(u64::from(self.cfg.redirect_penalty));
         StepResult { outcome: StepOutcome::Fault(f), events }
     }
+}
+
+/// Complete mutable state of a [`Core`], captured by
+/// [`Core::save_state`] for the durable-checkpoint subsystem. Includes
+/// the issue-group position and last fetched line so cycle accounting
+/// continues bit-exactly after a thaw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreState {
+    /// Architectural registers and PC.
+    pub ctx: CpuContext,
+    /// Active address-space tag.
+    pub asid: u16,
+    /// Halt latch.
+    pub halted: bool,
+    /// Resurrector stall line.
+    pub stalled: bool,
+    /// Cycles accounted so far.
+    pub cycles: u64,
+    /// Instructions retired so far.
+    pub retired: u64,
+    /// Position within the current issue group.
+    pub group: u32,
+    /// Line base of the last instruction fetch (fetch-crossing model).
+    pub last_fetch_line: Option<u32>,
 }
 
 #[cfg(test)]

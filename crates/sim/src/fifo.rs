@@ -121,6 +121,34 @@ impl TraceFifo {
     pub fn stats(&self) -> FifoStats {
         self.stats
     }
+
+    /// Captures the FIFO's full mutable state (queued events and stats).
+    #[must_use]
+    pub fn save_state(&self) -> FifoState {
+        FifoState { queue: self.queue.iter().copied().collect(), stats: self.stats }
+    }
+
+    /// Restores state captured by [`TraceFifo::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the saved queue exceeds this FIFO's capacity.
+    pub fn restore_state(&mut self, state: &FifoState) {
+        assert!(state.queue.len() <= self.capacity, "FIFO state exceeds capacity");
+        self.queue.clear();
+        self.queue.extend(state.queue.iter().copied());
+        self.stats = state.stats;
+    }
+}
+
+/// Complete mutable state of a [`TraceFifo`], captured by
+/// [`TraceFifo::save_state`] for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FifoState {
+    /// Queued events, oldest first.
+    pub queue: Vec<StampedEvent>,
+    /// Accumulated statistics.
+    pub stats: FifoStats,
 }
 
 #[cfg(test)]

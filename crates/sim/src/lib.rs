@@ -49,13 +49,13 @@ mod paging;
 mod trace;
 mod watchdog;
 
-pub use cam::{CamFilter, CamStats};
+pub use cam::{CamFilter, CamState, CamStats};
 pub use config::{CoreConfig, CoreRole, MachineConfig};
-pub use cpu::{Core, CpuContext, StepEnv, StepOutcome, StepResult};
+pub use cpu::{Core, CoreState, CpuContext, StepEnv, StepOutcome, StepResult};
 pub use fault::{AccessKind, Fault};
-pub use fifo::{FifoStats, TraceFifo};
+pub use fifo::{FifoState, FifoStats, TraceFifo};
 pub use hook::{BackupHook, NoopHook};
-pub use machine::{CoreStep, LoadError, Machine};
+pub use machine::{CoreStep, LoadError, Machine, MachineState, SpaceState};
 pub use paging::{AddressSpace, Pte};
 pub use trace::{StampedEvent, TraceEvent};
-pub use watchdog::{MemoryWatchdog, PhysRange, WatchdogStats};
+pub use watchdog::{MemoryWatchdog, PhysRange, WatchdogCoreState, WatchdogState, WatchdogStats};

@@ -11,11 +11,15 @@
 use std::collections::HashMap;
 
 use indra_isa::Image;
-use indra_mem::{CoreMemory, FrameAllocator, PhysicalMemory, Sdram, PAGE_SHIFT, PAGE_SIZE};
+use indra_mem::{
+    CoreMemState, CoreMemory, DramState, FrameAllocator, FrameAllocatorState, PhysMemState,
+    PhysicalMemory, Sdram, PAGE_SHIFT, PAGE_SIZE,
+};
 
 use crate::{
-    AddressSpace, BackupHook, CamFilter, Core, CoreRole, Fault, MachineConfig, MemoryWatchdog,
-    NoopHook, PhysRange, Pte, StepEnv, StepOutcome, TraceEvent, TraceFifo,
+    AddressSpace, BackupHook, CamFilter, CamState, Core, CoreRole, CoreState, Fault, FifoState,
+    MachineConfig, MemoryWatchdog, NoopHook, PhysRange, Pte, StepEnv, StepOutcome, TraceEvent,
+    TraceFifo, WatchdogState,
 };
 
 /// Frames reserved for the resurrector's runtime system (the paper's RTS
@@ -632,6 +636,120 @@ impl Machine {
         }
         true
     }
+
+    // ---- durable checkpoint state ----------------------------------------
+
+    /// Captures the machine's complete mutable state — every core, cache,
+    /// TLB, CAM, the DRAM row registers, physical memory contents, the
+    /// watchdog, the trace FIFO, all address spaces and the three frame
+    /// allocators. Restoring this state into a machine built with the same
+    /// [`MachineConfig`] reproduces execution bit-exactly, including
+    /// timing (warm caches, open rows, issue-group position).
+    #[must_use]
+    pub fn save_state(&self) -> MachineState {
+        let mut spaces: Vec<SpaceState> = self
+            .spaces
+            .values()
+            .map(|s| {
+                let mut pages: Vec<(u32, Pte)> = s.iter().collect();
+                pages.sort_unstable_by_key(|&(vpn, _)| vpn);
+                SpaceState { asid: s.asid(), pages }
+            })
+            .collect();
+        spaces.sort_unstable_by_key(|s| s.asid);
+        MachineState {
+            cores: self.cores.iter().map(Core::save_state).collect(),
+            mems: self.mems.iter().map(CoreMemory::save_state).collect(),
+            cams: self.cams.iter().map(CamFilter::save_state).collect(),
+            dram: self.dram.save_state(),
+            phys: self.phys.save_state(),
+            watchdog: self.watchdog.save_state(),
+            fifo: self.fifo.save_state(),
+            spaces,
+            rts_frames: self.rts_frames.save_state(),
+            backup_frames: self.backup_frames.save_state(),
+            service_frames: self.service_frames.save_state(),
+            monitoring: self.monitoring,
+            booted: self.booted,
+        }
+    }
+
+    /// Restores state captured by [`Machine::save_state`] into a machine
+    /// built with the same configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the saved core count does not match this machine's.
+    pub fn restore_state(&mut self, state: &MachineState) {
+        assert_eq!(state.cores.len(), self.cores.len(), "machine state core-count mismatch");
+        for (core, s) in self.cores.iter_mut().zip(&state.cores) {
+            core.restore_state(s);
+        }
+        for (mem, s) in self.mems.iter_mut().zip(&state.mems) {
+            mem.restore_state(s);
+        }
+        for (cam, s) in self.cams.iter_mut().zip(&state.cams) {
+            cam.restore_state(s);
+        }
+        self.dram.restore_state(&state.dram);
+        self.phys.restore_state(&state.phys);
+        self.watchdog.restore_state(&state.watchdog);
+        self.fifo.restore_state(&state.fifo);
+        self.spaces.clear();
+        for s in &state.spaces {
+            let mut space = AddressSpace::new(s.asid);
+            for &(vpn, pte) in &s.pages {
+                space.map(vpn, pte);
+            }
+            self.spaces.insert(s.asid, space);
+        }
+        self.rts_frames.restore_state(&state.rts_frames);
+        self.backup_frames.restore_state(&state.backup_frames);
+        self.service_frames.restore_state(&state.service_frames);
+        self.monitoring = state.monitoring;
+        self.booted = state.booted;
+    }
+}
+
+/// One address space's saved page table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpaceState {
+    /// The address-space tag.
+    pub asid: u16,
+    /// `(vpn, pte)` mappings sorted by virtual page number.
+    pub pages: Vec<(u32, Pte)>,
+}
+
+/// Complete mutable state of a [`Machine`], captured by
+/// [`Machine::save_state`] for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineState {
+    /// Per-core architectural and accounting state.
+    pub cores: Vec<CoreState>,
+    /// Per-core cache/TLB hierarchies.
+    pub mems: Vec<CoreMemState>,
+    /// Per-core code-origin CAM filters.
+    pub cams: Vec<CamState>,
+    /// Shared SDRAM open-row registers and stats.
+    pub dram: DramState,
+    /// Physical memory contents.
+    pub phys: PhysMemState,
+    /// Watchdog policies and stats.
+    pub watchdog: WatchdogState,
+    /// Trace FIFO contents and stats.
+    pub fifo: FifoState,
+    /// Address spaces, sorted by ASID.
+    pub spaces: Vec<SpaceState>,
+    /// Resurrector private frame pool.
+    pub rts_frames: FrameAllocatorState,
+    /// Hidden backup frame pool.
+    pub backup_frames: FrameAllocatorState,
+    /// Service (resurrectee-visible) frame pool.
+    pub service_frames: FrameAllocatorState,
+    /// Whether trace monitoring is active.
+    pub monitoring: bool,
+    /// Whether a boot sequence has run.
+    pub booted: bool,
 }
 
 #[cfg(test)]

@@ -113,6 +113,52 @@ impl MemoryWatchdog {
     pub fn stats(&self) -> WatchdogStats {
         self.stats
     }
+
+    /// Captures the watchdog's full configuration and statistics.
+    #[must_use]
+    pub fn save_state(&self) -> WatchdogState {
+        WatchdogState {
+            cores: self
+                .cores
+                .iter()
+                .map(|c| WatchdogCoreState { privileged: c.privileged, ranges: c.ranges.clone() })
+                .collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`MemoryWatchdog::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the saved core count does not match.
+    pub fn restore_state(&mut self, state: &WatchdogState) {
+        assert_eq!(state.cores.len(), self.cores.len(), "watchdog state core-count mismatch");
+        for (core, s) in self.cores.iter_mut().zip(&state.cores) {
+            core.privileged = s.privileged;
+            core.ranges.clone_from(&s.ranges);
+        }
+        self.stats = state.stats;
+    }
+}
+
+/// One core's saved watchdog policy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WatchdogCoreState {
+    /// Whether the core bypasses range checks.
+    pub privileged: bool,
+    /// Allowed physical ranges, in insertion order.
+    pub ranges: Vec<PhysRange>,
+}
+
+/// Complete mutable state of a [`MemoryWatchdog`], captured by
+/// [`MemoryWatchdog::save_state`] for the durable-checkpoint subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WatchdogState {
+    /// Per-core policies.
+    pub cores: Vec<WatchdogCoreState>,
+    /// Accumulated statistics.
+    pub stats: WatchdogStats,
 }
 
 #[cfg(test)]

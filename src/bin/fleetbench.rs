@@ -9,10 +9,13 @@ use indra_fleet::sweep::{parse_args, run_sweep, USAGE};
 
 fn main() -> ExitCode {
     match parse_args(std::env::args().skip(1)) {
-        Ok(args) => {
-            run_sweep(&args);
-            ExitCode::SUCCESS
-        }
+        Ok(args) => match run_sweep(&args) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        },
         Err(msg) if msg == USAGE => {
             println!("{msg}");
             ExitCode::SUCCESS

@@ -30,6 +30,10 @@
 //! * [`fleet`] — the sharded parallel fleet executor: many independent
 //!   INDRA cells across OS threads under deterministic open-loop
 //!   traffic, aggregated into one fleet-wide report.
+//! * [`persist`] — the durable snapshot store and write-ahead delta
+//!   journal: crash-safe checkpointing of whole frozen systems, and
+//!   byte-identical fleet resume after a kill (see
+//!   [`fleet::resume_fleet`]).
 //! * [`bench`] — the experiment harness regenerating the paper's
 //!   tables and figures, plus the shared latency [`bench::Histogram`].
 //! * [`rng`] — the in-tree deterministic PRNG (seed-derivation,
@@ -49,6 +53,7 @@ pub use indra_fleet as fleet;
 pub use indra_isa as isa;
 pub use indra_mem as mem;
 pub use indra_os as os;
+pub use indra_persist as persist;
 pub use indra_rng as rng;
 pub use indra_sim as sim;
 pub use indra_workloads as workloads;
