@@ -27,4 +27,18 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
   --checkpoint-every 3 --store "$SMOKE_DIR" --halt-after 1
 ./target/release/fleetbench --resume "$SMOKE_DIR"
 
+echo "== smoke: simbench host-MIPS floor"
+# Short deterministic workloads; --min-mips is a conservative regression
+# guard (the optimized loop runs well above it), not a tight gate.
+SIMBENCH_JSON="$SMOKE_DIR/BENCH_simcore.json"
+./target/release/simbench --quick --out "$SIMBENCH_JSON" --min-mips 4
+for key in '"bench":"simcore"' '"quick":true' '"workloads"' \
+           '"name":"compute"' '"name":"memory"' '"name":"attack_mix"' \
+           '"insns"' '"wall_seconds"' '"mips"'; do
+  grep -qF "$key" "$SIMBENCH_JSON" || {
+    echo "BENCH_simcore.json is missing $key" >&2
+    exit 1
+  }
+done
+
 echo "CI green."

@@ -16,6 +16,7 @@ use indra_bench::Histogram;
 use indra_persist::SnapshotStore;
 
 use crate::persist::{encode_meta, RestoredShard};
+use crate::report::ShardHostPerf;
 use crate::shard::{run_shard_inner, ShardMsg, ShardOutput};
 use crate::{FleetConfig, FleetReport, FleetStats};
 
@@ -90,11 +91,19 @@ pub(crate) fn run_fleet_with(
         .map(|(i, o)| o.unwrap_or_else(|| panic!("shard {i} never reported")))
         .collect();
     let stats = aggregate(cfg, &outputs, latency);
+    let shard_host = outputs
+        .iter()
+        .map(|o| ShardHostPerf {
+            shard: o.plan.shard,
+            insns: o.insns,
+            wall_seconds: o.wall_seconds,
+        })
+        .collect();
 
     let wall_seconds = started.elapsed().as_secs_f64();
     let wall_req_per_sec =
         if wall_seconds > 0.0 { stats.served as f64 / wall_seconds } else { 0.0 };
-    FleetReport { stats, wall_seconds, wall_req_per_sec }
+    FleetReport { stats, wall_seconds, wall_req_per_sec, shard_host }
 }
 
 /// Folds shard outputs (already in shard order) into fleet-wide stats.

@@ -44,7 +44,7 @@ pub mod sweep;
 
 pub use executor::run_fleet;
 pub use persist::{resume_fleet, RestoredShard, ShardProgress};
-pub use report::{FleetReport, FleetStats, ShardSummary};
+pub use report::{FleetReport, FleetStats, ShardHostPerf, ShardSummary};
 pub use shard::{run_shard, shard_schedule, SampleMsg, ShardMsg, ShardOutput, ShardPlan};
 
 use indra_core::SchemeKind;
@@ -103,6 +103,11 @@ pub struct FleetConfig {
     /// false`) after writing this many checkpoints. Never persisted —
     /// a resumed run always runs to quota.
     pub halt_after_checkpoints: Option<u64>,
+    /// Host-side fast paths (predecode cache, translation micro-cache)
+    /// in every shard machine. [`FleetStats`] is byte-identical either
+    /// way; the flag exists so equivalence tests can force the slow
+    /// reference path.
+    pub fast_paths: bool,
 }
 
 impl Default for FleetConfig {
@@ -124,6 +129,7 @@ impl Default for FleetConfig {
             checkpoint_every: 0,
             store_dir: None,
             halt_after_checkpoints: None,
+            fast_paths: true,
         }
     }
 }

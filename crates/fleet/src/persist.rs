@@ -126,6 +126,7 @@ pub(crate) fn encode_meta(cfg: &FleetConfig) -> Vec<u8> {
     w.u64(cfg.run_slice_steps);
     w.bool(cfg.include_dormant_attacks);
     w.u32(cfg.checkpoint_every);
+    w.bool(cfg.fast_paths);
     w.finish()
 }
 
@@ -159,6 +160,7 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> Result<FleetConfig, PersistError> {
         checkpoint_every: r.u32("meta ckpt every")?,
         store_dir: None,
         halt_after_checkpoints: None,
+        fast_paths: r.bool("meta fast paths")?,
     };
     r.expect_exhausted("meta trailing bytes")?;
     Ok(cfg)
@@ -217,6 +219,7 @@ mod tests {
             checkpoint_every: 4,
             store_dir: Some("/tmp/x".into()),
             halt_after_checkpoints: Some(2),
+            fast_paths: false,
             ..FleetConfig::quick()
         };
         let back = decode_meta(&encode_meta(&cfg)).unwrap();
@@ -226,6 +229,7 @@ mod tests {
         assert_eq!(back.checkpoint_every, 4);
         assert_eq!(back.seed, cfg.seed);
         assert_eq!(back.scheme, cfg.scheme);
+        assert!(!back.fast_paths, "fast_paths must survive the meta roundtrip");
         // Resume-supplied fields never travel through the meta file.
         assert_eq!(back.store_dir, None);
         assert_eq!(back.halt_after_checkpoints, None);

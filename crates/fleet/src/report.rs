@@ -135,6 +135,42 @@ impl FleetStats {
     }
 }
 
+/// One shard's host-side performance: simulated instructions over the
+/// shard loop's wall clock. Wall-clock data varies run to run, so it
+/// lives here in the outer report, never in [`FleetStats`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardHostPerf {
+    /// Shard index.
+    pub shard: usize,
+    /// Instructions retired across the shard machine's cores.
+    pub insns: u64,
+    /// Host wall-clock seconds the shard loop ran.
+    pub wall_seconds: f64,
+}
+
+impl ShardHostPerf {
+    /// Host MIPS (million simulated instructions per wall second).
+    #[must_use]
+    pub fn mips(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.insns as f64 / self.wall_seconds / 1.0e6
+        } else {
+            0.0
+        }
+    }
+
+    /// JSON with fixed field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("shard", self.shard as u64)
+            .u64("insns", self.insns)
+            .f64("wall_seconds", self.wall_seconds)
+            .f64("mips", self.mips())
+            .finish()
+    }
+}
+
 /// A full fleet run: the deterministic stats plus this run's wall-clock
 /// measurements.
 #[derive(Debug, Clone)]
@@ -145,9 +181,24 @@ pub struct FleetReport {
     pub wall_seconds: f64,
     /// Wall-clock throughput in requests per second.
     pub wall_req_per_sec: f64,
+    /// Per-shard host MIPS rows, in shard order (wall-clock data —
+    /// deliberately outside `stats`).
+    pub shard_host: Vec<ShardHostPerf>,
 }
 
 impl FleetReport {
+    /// Fleet-wide host MIPS: every shard's instructions over the whole
+    /// run's wall clock.
+    #[must_use]
+    pub fn host_mips(&self) -> f64 {
+        let insns: u64 = self.shard_host.iter().map(|h| h.insns).sum();
+        if self.wall_seconds > 0.0 {
+            insns as f64 / self.wall_seconds / 1.0e6
+        } else {
+            0.0
+        }
+    }
+
     /// JSON of the whole report (stats plus wall clock).
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -155,6 +206,8 @@ impl FleetReport {
             .raw("stats", &self.stats.to_json())
             .f64("wall_seconds", self.wall_seconds)
             .f64("wall_req_per_sec", self.wall_req_per_sec)
+            .f64("host_mips", self.host_mips())
+            .raw("shard_host", &json_array(self.shard_host.iter().map(ShardHostPerf::to_json)))
             .finish()
     }
 }

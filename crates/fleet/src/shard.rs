@@ -48,6 +48,12 @@ pub struct ShardOutput {
     pub sim_cycles: u64,
     /// Whether the schedule was fully delivered and drained.
     pub completed: bool,
+    /// Instructions retired across every core of the shard machine
+    /// (deterministic, but only reported host-side).
+    pub insns: u64,
+    /// Host wall-clock seconds this shard's loop ran. Wall-clock only —
+    /// never folded into [`ShardSummary`] or [`crate::FleetStats`].
+    pub wall_seconds: f64,
 }
 
 impl ShardOutput {
@@ -149,6 +155,7 @@ pub(crate) fn run_shard_inner(
     restored: Option<RestoredShard>,
     mut emit: impl FnMut(ShardMsg),
 ) {
+    let started = std::time::Instant::now();
     let image = build_app_scaled(plan.app, cfg.scale);
     let schedule = shard_schedule(cfg, &plan);
     let benign_sent = schedule.iter().filter(|r| !r.malicious).count() as u64;
@@ -159,6 +166,7 @@ pub(crate) fn run_shard_inner(
         machine: indra_sim::MachineConfig {
             fifo_entries: cfg.fifo_entries,
             cam_entries: cfg.cam_entries,
+            fast_paths: cfg.fast_paths,
             ..indra_sim::MachineConfig::default()
         },
         scheme: cfg.scheme,
@@ -291,6 +299,8 @@ pub(crate) fn run_shard_inner(
     }
 
     let completed = completed && queue.peek().is_none();
+    let machine = sys.machine();
+    let insns = (0..machine.num_cores()).map(|c| machine.core(c).retired()).sum();
     let output = ShardOutput {
         sim_cycles: sys.service_cycles(),
         report: sys.report().clone(),
@@ -298,6 +308,8 @@ pub(crate) fn run_shard_inner(
         attacks_sent,
         faults_injected,
         completed,
+        insns,
+        wall_seconds: started.elapsed().as_secs_f64(),
         plan,
     };
     emit(ShardMsg::Done(Box::new(output)));

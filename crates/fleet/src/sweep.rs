@@ -116,6 +116,7 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<SweepArgs, Strin
             "--resume" => out.resume = Some(value(&mut args, "--resume")?),
             "--csv" => out.csv = Some(value(&mut args, "--csv")?),
             "--json" => out.json = true,
+            "--no-fast-paths" => out.base.fast_paths = false,
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
@@ -136,8 +137,13 @@ fleetbench — INDRA fleet shard-count scaling sweep
 USAGE: fleetbench [--shards 1,2,4,6] [--requests N] [--scale N]
                   [--attack-per-mille N] [--mean-gap CYCLES]
                   [--fault-every N] [--seed N] [--csv DIR] [--json]
+                  [--no-fast-paths]
                   [--checkpoint-every N --store DIR [--halt-after N]]
                   [--resume DIR]
+
+--no-fast-paths disables the host-side predecode and translation
+caches (slow reference path); the deterministic stats are identical
+either way — only the host mips column moves.
 
 Crash-safe checkpointing: --checkpoint-every N durably snapshots each
 shard to --store DIR after every N served requests; --halt-after K
@@ -183,7 +189,7 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
         args.base.requests_per_shard, args.base.scale, args.base.attack_per_mille, args.base.seed
     );
     println!(
-        "{:>6} {:>8} {:>8} {:>8} {:>7} {:>9} {:>11} {:>10} {:>9} {:>8}",
+        "{:>6} {:>8} {:>8} {:>8} {:>7} {:>9} {:>11} {:>10} {:>7} {:>9} {:>8}",
         "shards",
         "served",
         "benign%",
@@ -192,6 +198,7 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
         "req/Mcyc",
         "wall req/s",
         "speedup",
+        "mips",
         "p50 cyc",
         "p99 cyc"
     );
@@ -212,7 +219,7 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
         let speedup =
             if base_wall_rps > 0.0 { report.wall_req_per_sec / base_wall_rps } else { 0.0 };
         println!(
-            "{:>6} {:>8} {:>7.1}% {:>8} {:>7} {:>9.2} {:>11.1} {:>9.2}x {:>9} {:>8}",
+            "{:>6} {:>8} {:>7.1}% {:>8} {:>7} {:>9.2} {:>11.1} {:>9.2}x {:>7.2} {:>9} {:>8}",
             shards,
             s.served,
             s.benign_service_ratio * 100.0,
@@ -221,6 +228,7 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
             s.served_per_mcycle,
             report.wall_req_per_sec,
             speedup,
+            report.host_mips(),
             s.latency.p50,
             s.latency.p99,
         );
@@ -240,6 +248,7 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
             format!("{:.1}", report.wall_req_per_sec),
             format!("{:.3}", speedup),
             format!("{:.3}", work),
+            format!("{:.3}", report.host_mips()),
             s.latency.p50.to_string(),
             s.latency.p95.to_string(),
             s.latency.p99.to_string(),
@@ -261,6 +270,7 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
             "wall_req_per_sec",
             "wall_speedup",
             "relative_work",
+            "mips",
             "p50_cycles",
             "p95_cycles",
             "p99_cycles",
@@ -295,6 +305,7 @@ mod tests {
             "--seed",
             "7",
             "--json",
+            "--no-fast-paths",
         ])
         .unwrap();
         assert_eq!(a.shard_counts, vec![2, 4]);
@@ -303,6 +314,7 @@ mod tests {
         assert_eq!(a.base.attack_per_mille, 250);
         assert_eq!(a.base.seed, 7);
         assert!(a.json);
+        assert!(!a.base.fast_paths);
     }
 
     #[test]

@@ -100,6 +100,11 @@ pub struct Cache {
     lines: Vec<Line>,
     stamp: u64,
     stats: CacheStats,
+    // Precomputed geometry (line/sets are powers of two, validated in
+    // `new`): index math on the access path is shift/mask, not div/mod.
+    line_shift: u32,
+    set_mask: u32,
+    tag_shift: u32,
 }
 
 impl fmt::Debug for Cache {
@@ -119,7 +124,17 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Cache {
         cfg.validate();
         let n = (cfg.sets() * cfg.ways) as usize;
-        Cache { cfg, lines: vec![Line::default(); n], stamp: 0, stats: CacheStats::default() }
+        let line_shift = cfg.line.trailing_zeros();
+        let sets_shift = cfg.sets().trailing_zeros();
+        Cache {
+            cfg,
+            lines: vec![Line::default(); n],
+            stamp: 0,
+            stats: CacheStats::default(),
+            line_shift,
+            set_mask: cfg.sets() - 1,
+            tag_shift: line_shift + sets_shift,
+        }
     }
 
     /// The cache's configuration.
@@ -140,15 +155,15 @@ impl Cache {
     }
 
     fn set_index(&self, addr: u32) -> u32 {
-        (addr / self.cfg.line) & (self.cfg.sets() - 1)
+        (addr >> self.line_shift) & self.set_mask
     }
 
     fn tag(&self, addr: u32) -> u32 {
-        addr / self.cfg.line / self.cfg.sets()
+        addr >> self.tag_shift
     }
 
     fn line_base(&self, set: u32, tag: u32) -> u32 {
-        (tag * self.cfg.sets() + set) * self.cfg.line
+        (tag << self.tag_shift) | (set << self.line_shift)
     }
 
     /// Performs one access; `write` marks the line dirty.

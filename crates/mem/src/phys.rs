@@ -49,44 +49,71 @@ impl PhysicalMemory {
     /// Reads a little-endian `u32` (no alignment requirement; may span frames).
     #[must_use]
     pub fn read_u32(&self, paddr: u32) -> u32 {
-        let mut b = [0u8; 4];
-        for (i, byte) in b.iter_mut().enumerate() {
-            *byte = self.read_u8(paddr.wrapping_add(i as u32));
+        let off = (paddr & (PAGE_SIZE - 1)) as usize;
+        if off <= PAGE_SIZE as usize - 4 {
+            // Single frame: one map lookup instead of four.
+            match self.frames.get(&(paddr >> PAGE_SHIFT)) {
+                Some(f) => u32::from_le_bytes(f[off..off + 4].try_into().expect("4-byte slice")),
+                None => 0,
+            }
+        } else {
+            let mut b = [0u8; 4];
+            self.read_bytes(paddr, &mut b);
+            u32::from_le_bytes(b)
         }
-        u32::from_le_bytes(b)
     }
 
     /// Writes a little-endian `u32`.
     pub fn write_u32(&mut self, paddr: u32, value: u32) {
-        for (i, byte) in value.to_le_bytes().into_iter().enumerate() {
-            self.write_u8(paddr.wrapping_add(i as u32), byte);
+        let off = (paddr & (PAGE_SIZE - 1)) as usize;
+        if off <= PAGE_SIZE as usize - 4 {
+            self.frame_mut(paddr >> PAGE_SHIFT)[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            self.write_bytes(paddr, &value.to_le_bytes());
         }
     }
 
     /// Reads a little-endian `u16`.
     #[must_use]
     pub fn read_u16(&self, paddr: u32) -> u16 {
-        u16::from_le_bytes([self.read_u8(paddr), self.read_u8(paddr.wrapping_add(1))])
+        let mut b = [0u8; 2];
+        self.read_bytes(paddr, &mut b);
+        u16::from_le_bytes(b)
     }
 
     /// Writes a little-endian `u16`.
     pub fn write_u16(&mut self, paddr: u32, value: u16) {
-        let b = value.to_le_bytes();
-        self.write_u8(paddr, b[0]);
-        self.write_u8(paddr.wrapping_add(1), b[1]);
+        self.write_bytes(paddr, &value.to_le_bytes());
     }
 
-    /// Copies `data` into memory starting at `paddr`.
+    /// Copies `data` into memory starting at `paddr`, one frame-sized
+    /// chunk at a time.
     pub fn write_bytes(&mut self, paddr: u32, data: &[u8]) {
-        for (i, &b) in data.iter().enumerate() {
-            self.write_u8(paddr.wrapping_add(i as u32), b);
+        let mut addr = paddr;
+        let mut data = data;
+        while !data.is_empty() {
+            let off = (addr & (PAGE_SIZE - 1)) as usize;
+            let room = (PAGE_SIZE as usize - off).min(data.len());
+            self.frame_mut(addr >> PAGE_SHIFT)[off..off + room].copy_from_slice(&data[..room]);
+            data = &data[room..];
+            addr = addr.wrapping_add(room as u32);
         }
     }
 
-    /// Copies `out.len()` bytes out of memory starting at `paddr`.
+    /// Copies `out.len()` bytes out of memory starting at `paddr`, one
+    /// frame-sized chunk at a time (absent frames read as zeros).
     pub fn read_bytes(&self, paddr: u32, out: &mut [u8]) {
-        for (i, b) in out.iter_mut().enumerate() {
-            *b = self.read_u8(paddr.wrapping_add(i as u32));
+        let mut addr = paddr;
+        let mut out = out;
+        while !out.is_empty() {
+            let off = (addr & (PAGE_SIZE - 1)) as usize;
+            let room = (PAGE_SIZE as usize - off).min(out.len());
+            match self.frames.get(&(addr >> PAGE_SHIFT)) {
+                Some(f) => out[..room].copy_from_slice(&f[off..off + room]),
+                None => out[..room].fill(0),
+            }
+            out = &mut out[room..];
+            addr = addr.wrapping_add(room as u32);
         }
     }
 
@@ -94,9 +121,20 @@ impl PhysicalMemory {
     /// checkpointing baselines, which the paper's Fig. 14 shows is the
     /// expensive part).
     pub fn copy(&mut self, dst: u32, src: u32, len: u32) {
-        for i in 0..len {
-            let b = self.read_u8(src.wrapping_add(i));
-            self.write_u8(dst.wrapping_add(i), b);
+        let (dst64, src64, len64) = (u64::from(dst), u64::from(src), u64::from(len));
+        let in_bounds = dst64 + len64 <= 1 << 32 && src64 + len64 <= 1 << 32;
+        let disjoint = dst64 + len64 <= src64 || src64 + len64 <= dst64;
+        if in_bounds && disjoint && len > 0 {
+            let mut buf = vec![0u8; len as usize];
+            self.read_bytes(src, &mut buf);
+            self.write_bytes(dst, &buf);
+        } else {
+            // Overlapping or wrapping ranges keep the sequential
+            // byte-copy semantics (forward propagation on overlap).
+            for i in 0..len {
+                let b = self.read_u8(src.wrapping_add(i));
+                self.write_u8(dst.wrapping_add(i), b);
+            }
         }
     }
 

@@ -60,6 +60,9 @@ pub struct Tlb {
     entries: Vec<Entry>,
     stamp: u64,
     stats: TlbStats,
+    // Precomputed `sets() - 1` (set count is a power of two, validated
+    // in `new`): set selection is a mask, not a division.
+    set_mask: u32,
 }
 
 impl Tlb {
@@ -78,6 +81,7 @@ impl Tlb {
             entries: vec![Entry::default(); cfg.entries as usize],
             stamp: 0,
             stats: TlbStats::default(),
+            set_mask: cfg.sets() - 1,
         }
     }
 
@@ -99,7 +103,7 @@ impl Tlb {
     }
 
     fn set_range(&self, vpn: u32) -> std::ops::Range<usize> {
-        let set = (vpn & (self.cfg.sets() - 1)) as usize;
+        let set = (vpn & self.set_mask) as usize;
         let ways = self.cfg.ways as usize;
         set * ways..(set + 1) * ways
     }

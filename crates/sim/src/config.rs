@@ -61,6 +61,12 @@ pub struct MachineConfig {
     /// as §3.2.2 notes, even an NX flag "does not prevent tampering of
     /// the execution flag"). Defaults to `false` to match.
     pub enforce_nx: bool,
+    /// Host-side fast paths: the predecoded-instruction cache and the
+    /// translation micro-cache. Simulated behavior — cycle counts,
+    /// stats, events, faults, snapshots — is byte-identical with this
+    /// off; the flag exists so equivalence tests can force the slow
+    /// reference path. Defaults to `true`.
+    pub fast_paths: bool,
 }
 
 impl Default for MachineConfig {
@@ -76,6 +82,7 @@ impl Default for MachineConfig {
             cam_entries: 32,
             trace_push_cycles: 1,
             enforce_nx: false,
+            fast_paths: true,
         }
     }
 }

@@ -11,7 +11,10 @@
 use indra_isa::{ControlClass, Instruction, Reg, Width};
 use indra_mem::{CoreMemory, PhysicalMemory, Sdram, PAGE_SIZE};
 
-use crate::{AccessKind, AddressSpace, BackupHook, CoreConfig, Fault, MemoryWatchdog, TraceEvent};
+use crate::{
+    AccessKind, AddressSpace, BackupHook, CoreConfig, EventBuf, Fault, MemoryWatchdog,
+    PredecodeCache, TraceEvent,
+};
 
 /// Architectural register state of one core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,12 +63,13 @@ pub enum StepOutcome {
 }
 
 /// The result of stepping one instruction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct StepResult {
     /// Outcome classification.
     pub outcome: StepOutcome,
-    /// Trace events produced (0–2 per instruction).
-    pub events: Vec<TraceEvent>,
+    /// Trace events produced (0–2 per instruction), held inline — the
+    /// hot loop never allocates.
+    pub events: EventBuf,
 }
 
 /// Everything a core needs from the machine to execute one instruction.
@@ -82,6 +86,8 @@ pub struct StepEnv<'a> {
     pub watchdog: &'a mut MemoryWatchdog,
     /// The active backup/checkpoint engine hook.
     pub hook: &'a mut dyn BackupHook,
+    /// This core's predecoded-instruction cache.
+    pub predecode: &'a mut PredecodeCache,
     /// This core's id (for watchdog tagging).
     pub core_id: usize,
 }
@@ -264,7 +270,7 @@ impl Core {
     /// triggering instruction; callers decide how to proceed.
     pub fn step(&mut self, env: &mut StepEnv<'_>) -> StepResult {
         debug_assert!(!self.halted && !self.stalled, "machine must not step a stopped core");
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         let pc = self.ctx.pc;
 
         // --- fetch ---------------------------------------------------------
@@ -288,10 +294,19 @@ impl Core {
             events.push(TraceEvent::CodeFill { page_vaddr: pc & !(PAGE_SIZE - 1), pc });
         }
 
+        // The raw word is read every fetch and compared against the
+        // predecode entry's stored word, so a cached decode can never
+        // outlive the bytes it came from, whatever path wrote them.
         let word = env.phys.read_u32(paddr);
-        let inst = match Instruction::decode(word) {
-            Ok(i) => i,
-            Err(_) => return self.fault(Fault::IllegalInstruction { pc, word }, events),
+        let inst = match env.predecode.lookup(paddr, word) {
+            Some(i) => i,
+            None => match Instruction::decode(word) {
+                Ok(i) => {
+                    env.predecode.insert(paddr, word, i);
+                    i
+                }
+                Err(_) => return self.fault(Fault::IllegalInstruction { pc, word }, events),
+            },
         };
 
         // --- execute ---------------------------------------------------------
@@ -353,11 +368,23 @@ impl Core {
                     self.charge(u64::from(hook_cycles + mem_cycles - 1));
                 }
                 let v = self.ctx.reg(rs2);
-                match width {
-                    Width::Byte => env.phys.write_u8(dpaddr, v as u8),
-                    Width::Half => env.phys.write_u16(dpaddr, v as u16),
-                    Width::Word => env.phys.write_u32(dpaddr, v),
-                }
+                let bytes = match width {
+                    Width::Byte => {
+                        env.phys.write_u8(dpaddr, v as u8);
+                        1
+                    }
+                    Width::Half => {
+                        env.phys.write_u16(dpaddr, v as u16);
+                        2
+                    }
+                    Width::Word => {
+                        env.phys.write_u32(dpaddr, v);
+                        4
+                    }
+                };
+                // Store-hits-a-cached-line rule: self-modified code is
+                // re-decoded on its next fetch.
+                env.predecode.invalidate_range(dpaddr, bytes);
                 self.retire_simple();
             }
             Instruction::Branch { cond, rs1, rs2, offset } => {
@@ -429,7 +456,7 @@ impl Core {
         StepResult { outcome: StepOutcome::Executed, events }
     }
 
-    fn fault(&mut self, f: Fault, events: Vec<TraceEvent>) -> StepResult {
+    fn fault(&mut self, f: Fault, events: EventBuf) -> StepResult {
         // A fault costs a pipeline flush.
         self.charge(u64::from(self.cfg.redirect_penalty));
         StepResult { outcome: StepOutcome::Fault(f), events }
@@ -476,6 +503,7 @@ mod tests {
         phys: PhysicalMemory,
         watchdog: MemoryWatchdog,
         hook: NoopHook,
+        predecode: PredecodeCache,
     }
 
     impl Rig {
@@ -501,6 +529,7 @@ mod tests {
                 phys,
                 watchdog,
                 hook: NoopHook,
+                predecode: PredecodeCache::new(true),
             }
         }
 
@@ -512,6 +541,7 @@ mod tests {
                 phys: &mut self.phys,
                 watchdog: &mut self.watchdog,
                 hook: &mut self.hook,
+                predecode: &mut self.predecode,
                 core_id: 0,
             };
             self.core.step(&mut env)
@@ -719,6 +749,27 @@ mod tests {
         rig.step();
         let r = rig.step();
         assert!(matches!(r.outcome, StepOutcome::Fault(Fault::Watchdog { paddr: 0x2000, .. })));
+    }
+
+    #[test]
+    fn predecode_never_serves_stale_bytes() {
+        // Execute an instruction (warming the predecode cache), rewrite
+        // its bytes through a path the store-invalidation hook never
+        // sees (direct physical write, as DMA or a rollback engine
+        // would), loop back, and require the *new* bytes to execute.
+        let mut rig = Rig::new(&[
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 1 },
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::T0, rs1: Reg::ZERO, imm: 0x1000 },
+            Instruction::Jalr { rd: Reg::ZERO, rs1: Reg::T0, offset: 0 },
+        ]);
+        rig.step(); // a0 = 1, decode of 0x1000 now cached
+        assert_eq!(rig.core.reg(Reg::A0), 1);
+        let patched = Instruction::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 99 };
+        rig.phys.write_u32(0x1000, patched.encode().unwrap());
+        rig.step(); // t0 = 0x1000
+        rig.step(); // jump back to 0x1000
+        rig.step(); // must execute the patched instruction
+        assert_eq!(rig.core.reg(Reg::A0), 99, "stale predecoded instruction executed");
     }
 
     #[test]

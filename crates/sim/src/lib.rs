@@ -46,6 +46,7 @@ mod fifo;
 mod hook;
 mod machine;
 mod paging;
+mod predecode;
 mod trace;
 mod watchdog;
 
@@ -57,5 +58,6 @@ pub use fifo::{FifoState, FifoStats, TraceFifo};
 pub use hook::{BackupHook, NoopHook};
 pub use machine::{CoreStep, LoadError, Machine, MachineState, SpaceState};
 pub use paging::{AddressSpace, Pte};
-pub use trace::{StampedEvent, TraceEvent};
+pub use predecode::PredecodeCache;
+pub use trace::{EventBuf, StampedEvent, TraceEvent};
 pub use watchdog::{MemoryWatchdog, PhysRange, WatchdogCoreState, WatchdogState, WatchdogStats};

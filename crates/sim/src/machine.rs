@@ -8,8 +8,6 @@
 //! hidden pool; service frames make up the rest and are the only range
 //! the watchdog lets resurrectees touch.
 
-use std::collections::HashMap;
-
 use indra_isa::Image;
 use indra_mem::{
     CoreMemState, CoreMemory, DramState, FrameAllocator, FrameAllocatorState, PhysMemState,
@@ -18,9 +16,47 @@ use indra_mem::{
 
 use crate::{
     AddressSpace, BackupHook, CamFilter, CamState, Core, CoreRole, CoreState, Fault, FifoState,
-    MachineConfig, MemoryWatchdog, NoopHook, PhysRange, Pte, StepEnv, StepOutcome, TraceEvent,
-    TraceFifo, WatchdogState,
+    MachineConfig, MemoryWatchdog, NoopHook, PhysRange, PredecodeCache, Pte, StepEnv, StepOutcome,
+    TraceEvent, TraceFifo, WatchdogState,
 };
+
+/// Address-space registry indexed directly by ASID: the per-step
+/// `asid → AddressSpace` resolution is an array index, not a hash-map
+/// walk. Spaces are boxed so a sparse high ASID costs one pointer slot.
+#[derive(Debug, Default)]
+struct SpaceTable {
+    slots: Vec<Option<Box<AddressSpace>>>,
+}
+
+impl SpaceTable {
+    fn get(&self, asid: u16) -> Option<&AddressSpace> {
+        self.slots.get(asid as usize)?.as_deref()
+    }
+
+    fn get_mut(&mut self, asid: u16) -> Option<&mut AddressSpace> {
+        self.slots.get_mut(asid as usize)?.as_deref_mut()
+    }
+
+    fn insert(&mut self, asid: u16, space: AddressSpace) {
+        let i = asid as usize;
+        if self.slots.len() <= i {
+            self.slots.resize_with(i + 1, || None);
+        }
+        self.slots[i] = Some(Box::new(space));
+    }
+
+    fn remove(&mut self, asid: u16) -> Option<AddressSpace> {
+        self.slots.get_mut(asid as usize)?.take().map(|b| *b)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &AddressSpace> {
+        self.slots.iter().filter_map(Option::as_deref)
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
 
 /// Frames reserved for the resurrector's runtime system (the paper's RTS
 /// is "less than 10 MB" including the stripped-down OS).
@@ -82,7 +118,8 @@ pub struct Machine {
     phys: PhysicalMemory,
     watchdog: MemoryWatchdog,
     fifo: TraceFifo,
-    spaces: HashMap<u16, AddressSpace>,
+    spaces: SpaceTable,
+    predecode: Vec<PredecodeCache>,
     rts_frames: FrameAllocator,
     backup_frames: FrameAllocator,
     service_frames: FrameAllocator,
@@ -133,7 +170,8 @@ impl Machine {
             phys: PhysicalMemory::new(),
             watchdog: MemoryWatchdog::new(n),
             fifo: TraceFifo::new(cfg.fifo_entries),
-            spaces: HashMap::new(),
+            spaces: SpaceTable::default(),
+            predecode: (0..n).map(|_| PredecodeCache::new(cfg.fast_paths)).collect(),
             rts_frames: FrameAllocator::new(0, RTS_FRAMES),
             backup_frames: FrameAllocator::new(RTS_FRAMES, RTS_FRAMES + BACKUP_FRAMES),
             service_frames: FrameAllocator::new(RTS_FRAMES + BACKUP_FRAMES, cfg.phys_frames),
@@ -277,23 +315,25 @@ impl Machine {
     /// Creates an empty address space; replaces any existing one with the
     /// same ASID.
     pub fn create_space(&mut self, asid: u16) {
-        self.spaces.insert(asid, AddressSpace::new(asid));
+        let mut space = AddressSpace::new(asid);
+        space.set_fast_paths(self.cfg.fast_paths);
+        self.spaces.insert(asid, space);
     }
 
     /// Destroys an address space.
     pub fn destroy_space(&mut self, asid: u16) -> Option<AddressSpace> {
-        self.spaces.remove(&asid)
+        self.spaces.remove(asid)
     }
 
     /// The address space for `asid`.
     #[must_use]
     pub fn space(&self, asid: u16) -> Option<&AddressSpace> {
-        self.spaces.get(&asid)
+        self.spaces.get(asid)
     }
 
     /// Mutable address space.
     pub fn space_mut(&mut self, asid: u16) -> Option<&mut AddressSpace> {
-        self.spaces.get_mut(&asid)
+        self.spaces.get_mut(asid)
     }
 
     /// Splits mutable borrows of one address space and physical memory —
@@ -302,7 +342,7 @@ impl Machine {
         &mut self,
         asid: u16,
     ) -> Option<(&mut AddressSpace, &mut PhysicalMemory)> {
-        let space = self.spaces.get_mut(&asid)?;
+        let space = self.spaces.get_mut(asid)?;
         Some((space, &mut self.phys))
     }
 
@@ -356,7 +396,7 @@ impl Machine {
     /// dry.
     pub fn load_image(&mut self, asid: u16, image: &Image) -> Result<u32, LoadError> {
         image.validate().map_err(LoadError::BadImage)?;
-        if !self.spaces.contains_key(&asid) {
+        if self.spaces.get(asid).is_none() {
             return Err(LoadError::NoSpace(asid));
         }
         let mut mapped = 0;
@@ -373,7 +413,7 @@ impl Machine {
                     // image's intended attributes still reach the monitor.
                     execute: seg.perms.execute || !self.cfg.enforce_nx,
                 };
-                self.spaces.get_mut(&asid).expect("checked above").map(vpn, pte);
+                self.spaces.get_mut(asid).expect("checked above").map(vpn, pte);
                 mapped += 1;
                 // Copy initialized bytes for this page.
                 let off = p * PAGE_SIZE;
@@ -397,7 +437,7 @@ impl Machine {
         w: bool,
         x: bool,
     ) -> Result<u32, LoadError> {
-        if !self.spaces.contains_key(&asid) {
+        if self.spaces.get(asid).is_none() {
             return Err(LoadError::NoSpace(asid));
         }
         let ppn = self.service_frames.alloc().ok_or(LoadError::OutOfFrames)?;
@@ -405,7 +445,7 @@ impl Machine {
         self.phys.write_bytes(ppn << PAGE_SHIFT, &[0u8; PAGE_SIZE as usize]);
         let execute = x || !self.cfg.enforce_nx;
         self.spaces
-            .get_mut(&asid)
+            .get_mut(asid)
             .expect("checked above")
             .map(vpn, Pte { ppn, read: r, write: w, execute });
         Ok(ppn)
@@ -436,7 +476,7 @@ impl Machine {
             return CoreStep::FifoStalled;
         }
         let asid = self.cores[id].asid();
-        let Some(space) = self.spaces.get(&asid) else {
+        let Some(space) = self.spaces.get(asid) else {
             return CoreStep::Fault(Fault::PageFault {
                 vaddr: self.cores[id].pc(),
                 kind: crate::AccessKind::Execute,
@@ -449,13 +489,14 @@ impl Machine {
             phys: &mut self.phys,
             watchdog: &mut self.watchdog,
             hook,
+            predecode: &mut self.predecode[id],
             core_id: id,
         };
         let result = self.cores[id].step(&mut env);
         let cycle = self.cores[id].cycles();
 
         let mut pushed_events = 0u32;
-        for event in result.events {
+        for &event in result.events.iter() {
             // The CAM filter squashes redundant code-origin checks in the
             // resurrectee before they consume FIFO slots (§3.2.2).
             if let TraceEvent::CodeFill { page_vaddr, .. } = event {
@@ -502,6 +543,9 @@ impl Machine {
         self.fifo.clear_asid(asid);
         self.cams[id].invalidate();
         self.mems[id].flush_l1s();
+        // Rolled-back memory may hold different code at the same
+        // physical addresses; drop every derived decode with the CAM.
+        self.predecode[id].flush();
     }
 
     /// Resumes a quiesced core after its context has been restored.
@@ -509,11 +553,20 @@ impl Machine {
         self.cores[id].set_stalled(false);
     }
 
+    /// Drops predecoded instructions overlapping a physically written
+    /// range on every core (machine-level write paths are not tied to
+    /// one core's store stream).
+    fn invalidate_predecode(&mut self, paddr: u32, len: u32) {
+        for p in &mut self.predecode {
+            p.invalidate_range(paddr, len);
+        }
+    }
+
     /// Verifies image placement by reading back the entry word through the
     /// address space — a loader self-check used by tests and the OS.
     #[must_use]
     pub fn read_virtual_u32(&self, asid: u16, vaddr: u32) -> Option<u32> {
-        let space = self.spaces.get(&asid)?;
+        let space = self.spaces.get(asid)?;
         let paddr = space.translate(vaddr, crate::AccessKind::Read).ok()?;
         Some(self.phys.read_u32(paddr))
     }
@@ -521,10 +574,11 @@ impl Machine {
     /// Writes a u32 through an address space (loader/DMA path, unchecked
     /// by the watchdog — this models privileged DMA used by the OS).
     pub fn write_virtual_u32(&mut self, asid: u16, vaddr: u32, value: u32) -> bool {
-        let Some(space) = self.spaces.get(&asid) else { return false };
+        let Some(space) = self.spaces.get(asid) else { return false };
         match space.translate(vaddr, crate::AccessKind::Write) {
             Ok(paddr) => {
                 self.phys.write_u32(paddr, value);
+                self.invalidate_predecode(paddr, 4);
                 true
             }
             Err(_) => false,
@@ -556,7 +610,7 @@ impl Machine {
             let paddr = {
                 let space = self
                     .spaces
-                    .get(&asid)
+                    .get(asid)
                     .ok_or(Fault::PageFault { vaddr: addr, kind: crate::AccessKind::Write })?;
                 space.translate(addr, crate::AccessKind::Write)?
             };
@@ -566,6 +620,7 @@ impl Machine {
             let (c, _) = self.dram.access(paddr, chunk as u32);
             cycles += u64::from(c);
             self.phys.write_bytes(paddr, &data[off..off + chunk]);
+            self.invalidate_predecode(paddr, chunk as u32);
             off += chunk;
         }
         Ok(cycles)
@@ -594,7 +649,7 @@ impl Machine {
             let paddr = {
                 let space = self
                     .spaces
-                    .get(&asid)
+                    .get(asid)
                     .ok_or(Fault::PageFault { vaddr: addr, kind: crate::AccessKind::Read })?;
                 space.translate(addr, crate::AccessKind::Read)?
             };
@@ -615,7 +670,7 @@ impl Machine {
     /// sufficient; used by the OS to pull request buffers out).
     #[must_use]
     pub fn read_virtual_bytes(&self, asid: u16, vaddr: u32, len: u32) -> Option<Vec<u8>> {
-        let space = self.spaces.get(&asid)?;
+        let space = self.spaces.get(asid)?;
         let mut out = Vec::with_capacity(len as usize);
         for i in 0..len {
             let paddr = space.translate(vaddr + i, crate::AccessKind::Read).ok()?;
@@ -627,10 +682,15 @@ impl Machine {
     /// Writes bytes through an address space (request delivery by the NIC
     /// model).
     pub fn write_virtual_bytes(&mut self, asid: u16, vaddr: u32, data: &[u8]) -> bool {
-        let Some(space) = self.spaces.get(&asid) else { return false };
+        let Some(space) = self.spaces.get(asid) else { return false };
         for (i, &b) in data.iter().enumerate() {
             match space.translate(vaddr + i as u32, crate::AccessKind::Write) {
-                Ok(paddr) => self.phys.write_u8(paddr, b),
+                Ok(paddr) => {
+                    self.phys.write_u8(paddr, b);
+                    for p in &mut self.predecode {
+                        p.invalidate_range(paddr, 1);
+                    }
+                }
                 Err(_) => return false,
             }
         }
@@ -649,7 +709,7 @@ impl Machine {
     pub fn save_state(&self) -> MachineState {
         let mut spaces: Vec<SpaceState> = self
             .spaces
-            .values()
+            .iter()
             .map(|s| {
                 let mut pages: Vec<(u32, Pte)> = s.iter().collect();
                 pages.sort_unstable_by_key(|&(vpn, _)| vpn);
@@ -698,10 +758,16 @@ impl Machine {
         self.spaces.clear();
         for s in &state.spaces {
             let mut space = AddressSpace::new(s.asid);
+            space.set_fast_paths(self.cfg.fast_paths);
             for &(vpn, pte) in &s.pages {
                 space.map(vpn, pte);
             }
             self.spaces.insert(s.asid, space);
+        }
+        // Physical memory was just replaced wholesale: no derived
+        // decode may survive the thaw.
+        for p in &mut self.predecode {
+            p.flush();
         }
         self.rts_frames.restore_state(&state.rts_frames);
         self.backup_frames.restore_state(&state.backup_frames);

@@ -7,11 +7,36 @@
 //! can be tampered with from a compromised kernel, the monitor's copy
 //! cannot (§3.2.2).
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use indra_mem::{PAGE_SHIFT, PAGE_SIZE};
 
 use crate::{AccessKind, Fault};
+
+/// Entries per access kind in the translation micro-cache (power of
+/// two; direct-mapped on the low VPN bits).
+const MICRO_TLB_ENTRIES: usize = 32;
+
+/// One micro-cache slot: a known-good `vpn → ppn` translation for one
+/// access kind. A slot is live only while its `gen` matches the
+/// space's current generation, so any page-table mutation kills every
+/// cached translation at once. The derived default (`gen` 0) never
+/// matches: the space's generation starts at 1.
+#[derive(Debug, Clone, Copy, Default)]
+struct MicroEntry {
+    vpn: u32,
+    ppn: u32,
+    gen: u64,
+}
+
+fn kind_index(kind: AccessKind) -> usize {
+    match kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+        AccessKind::Execute => 2,
+    }
+}
 
 /// One page-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,17 +62,41 @@ impl Pte {
 }
 
 /// A virtual address space identified by an ASID.
+///
+/// Translation is a `HashMap` walk fronted by a small per-access-kind
+/// direct-mapped micro-cache of known-good `vpn → ppn` pairs. The
+/// micro-cache is purely a host-side fast path: entries are inserted
+/// only after the full permission check passes, and every page-table
+/// mutation ([`AddressSpace::map`], [`AddressSpace::unmap`],
+/// [`AddressSpace::protect`]) bumps a generation counter that
+/// invalidates all of them, so the observable translate/fault behavior
+/// is identical with the cache on or off.
 #[derive(Debug, Clone)]
 pub struct AddressSpace {
     asid: u16,
     pages: HashMap<u32, Pte>,
+    /// Current translation generation; bumped by every mutation.
+    gen: u64,
+    /// Whether the micro-cache is consulted (host perf knob only).
+    fast: bool,
+    /// `[read, write, execute]` micro-caches. `Cell` because
+    /// `translate` takes `&self` but wants to refill slots.
+    micro: [[Cell<MicroEntry>; MICRO_TLB_ENTRIES]; 3],
 }
 
 impl AddressSpace {
     /// Creates an empty address space.
     #[must_use]
     pub fn new(asid: u16) -> AddressSpace {
-        AddressSpace { asid, pages: HashMap::new() }
+        AddressSpace {
+            asid,
+            pages: HashMap::new(),
+            gen: 1,
+            fast: true,
+            micro: std::array::from_fn(|_| {
+                std::array::from_fn(|_| Cell::new(MicroEntry::default()))
+            }),
+        }
     }
 
     /// This space's ASID.
@@ -56,13 +105,22 @@ impl AddressSpace {
         self.asid
     }
 
+    /// Enables or disables the translation micro-cache (equivalence
+    /// testing; simulated behavior is identical either way).
+    pub fn set_fast_paths(&mut self, on: bool) {
+        self.fast = on;
+        self.gen += 1;
+    }
+
     /// Maps virtual page `vpn` to `pte` (replacing any previous mapping).
     pub fn map(&mut self, vpn: u32, pte: Pte) {
+        self.gen += 1;
         self.pages.insert(vpn, pte);
     }
 
     /// Removes the mapping for `vpn`, returning it if present.
     pub fn unmap(&mut self, vpn: u32) -> Option<Pte> {
+        self.gen += 1;
         self.pages.remove(&vpn)
     }
 
@@ -75,6 +133,7 @@ impl AddressSpace {
     /// Changes the permissions of an existing mapping; returns `false` if
     /// the page is unmapped.
     pub fn protect(&mut self, vpn: u32, read: bool, write: bool, execute: bool) -> bool {
+        self.gen += 1;
         match self.pages.get_mut(&vpn) {
             Some(pte) => {
                 pte.read = read;
@@ -94,9 +153,25 @@ impl AddressSpace {
     /// PTE forbids the access.
     pub fn translate(&self, vaddr: u32, kind: AccessKind) -> Result<u32, Fault> {
         let vpn = vaddr >> PAGE_SHIFT;
+        if self.fast {
+            let slot = &self.micro[kind_index(kind)][vpn as usize & (MICRO_TLB_ENTRIES - 1)];
+            let e = slot.get();
+            if e.gen == self.gen && e.vpn == vpn {
+                return Ok((e.ppn << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1)));
+            }
+        }
         let pte = self.pages.get(&vpn).ok_or(Fault::PageFault { vaddr, kind })?;
         if !pte.allows(kind) {
             return Err(Fault::Protection { vaddr, kind });
+        }
+        if self.fast {
+            // Only known-good translations are cached, and only until
+            // the next page-table mutation bumps `gen`.
+            self.micro[kind_index(kind)][vpn as usize & (MICRO_TLB_ENTRIES - 1)].set(MicroEntry {
+                vpn,
+                ppn: pte.ppn,
+                gen: self.gen,
+            });
         }
         Ok((pte.ppn << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1)))
     }
@@ -158,6 +233,41 @@ mod tests {
         assert!(a.protect(0x401, true, true, true));
         assert!(a.translate(0x0040_1000, AccessKind::Execute).is_ok());
         assert!(!a.protect(0x999, true, true, true));
+    }
+
+    #[test]
+    fn micro_cache_sees_protect_and_unmap() {
+        let mut a = space();
+        // Warm the execute micro-cache, then revoke the permission: the
+        // cached translation must die with the generation bump.
+        assert!(a.translate(0x0040_0000, AccessKind::Execute).is_ok());
+        assert!(a.protect(0x400, true, false, false));
+        assert!(matches!(
+            a.translate(0x0040_0000, AccessKind::Execute),
+            Err(Fault::Protection { .. })
+        ));
+        assert!(a.translate(0x0040_1000, AccessKind::Read).is_ok());
+        a.unmap(0x401);
+        assert!(matches!(a.translate(0x0040_1000, AccessKind::Read), Err(Fault::PageFault { .. })));
+    }
+
+    #[test]
+    fn micro_cache_sees_remap() {
+        let mut a = space();
+        assert_eq!(a.translate(0x0040_0000, AccessKind::Read).unwrap(), 0x0001_0000);
+        a.map(0x400, Pte { ppn: 0x20, read: true, write: false, execute: false });
+        assert_eq!(a.translate(0x0040_0000, AccessKind::Read).unwrap(), 0x0002_0000);
+    }
+
+    #[test]
+    fn fast_paths_off_is_equivalent() {
+        let mut a = space();
+        a.set_fast_paths(false);
+        assert_eq!(a.translate(0x0040_0123, AccessKind::Read).unwrap(), 0x0001_0123);
+        assert!(matches!(
+            a.translate(0x0040_0000, AccessKind::Write),
+            Err(Fault::Protection { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Predecoded-instruction cache (host-side fast path).
+//!
+//! Decoding an IR32 word is pure, so the simulator may memoize it — but
+//! INDRA's whole threat model is *injected* code, so a stale decode is a
+//! security hole: an attacker who overwrites an already-executed page
+//! must see the new bytes decoded (and the resulting `CodeFill` events
+//! reach the monitor) exactly as if no cache existed. Two layers make
+//! that impossible to get wrong:
+//!
+//! 1. **Word self-validation.** Every entry stores the raw instruction
+//!    word it was decoded from, and a lookup only hits when the word
+//!    currently in physical memory matches it. The fetch path already
+//!    reads the word each step, so the check is free — and it makes a
+//!    stale decode unreachable through *any* write path (core stores,
+//!    DMA, loaders, rollback engines writing physical memory directly).
+//! 2. **Explicit invalidation.** Committed stores invalidate the slots
+//!    their bytes touch, and [`PredecodeCache::flush`] clears everything
+//!    on `quiesce_for_recovery` (which also invalidates the CAM) and on
+//!    `restore_state` — matching the hardware rule that recovery and
+//!    thaw leave no derived decode state behind.
+//!
+//! The cache is direct-mapped on word-aligned physical addresses. It
+//! holds no simulated state: timing, stats and events are identical
+//! with the cache disabled (`MachineConfig::fast_paths = false`).
+
+use indra_isa::Instruction;
+
+/// Slots in the predecode cache (power of two).
+const PREDECODE_ENTRIES: usize = 4096;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    paddr: u32,
+    word: u32,
+    inst: Instruction,
+    valid: bool,
+}
+
+impl Default for Slot {
+    fn default() -> Slot {
+        Slot { paddr: 0, word: 0, inst: Instruction::Nop, valid: false }
+    }
+}
+
+/// A per-core direct-mapped cache of decoded instructions, tagged by
+/// physical address and self-validated against the current word.
+#[derive(Debug)]
+pub struct PredecodeCache {
+    slots: Vec<Slot>,
+    enabled: bool,
+}
+
+impl PredecodeCache {
+    /// Creates an empty cache; a disabled cache never hits and never
+    /// stores (the `fast_paths = false` reference behavior).
+    #[must_use]
+    pub fn new(enabled: bool) -> PredecodeCache {
+        PredecodeCache { slots: vec![Slot::default(); PREDECODE_ENTRIES], enabled }
+    }
+
+    fn index(paddr: u32) -> usize {
+        (paddr as usize >> 2) & (PREDECODE_ENTRIES - 1)
+    }
+
+    /// Returns the cached decode for `paddr` if (and only if) the slot
+    /// was filled from exactly `word`, the word read from physical
+    /// memory *this* fetch.
+    #[must_use]
+    pub fn lookup(&self, paddr: u32, word: u32) -> Option<Instruction> {
+        if !self.enabled {
+            return None;
+        }
+        let s = &self.slots[PredecodeCache::index(paddr)];
+        if s.valid && s.paddr == paddr && s.word == word {
+            Some(s.inst)
+        } else {
+            None
+        }
+    }
+
+    /// Records a successful decode of `word` at `paddr`.
+    pub fn insert(&mut self, paddr: u32, word: u32, inst: Instruction) {
+        if !self.enabled {
+            return;
+        }
+        self.slots[PredecodeCache::index(paddr)] = Slot { paddr, word, inst, valid: true };
+    }
+
+    /// Invalidates every slot whose 4-byte word overlaps the written
+    /// range `[paddr, paddr + len)` — the store-hits-a-cached-line rule.
+    pub fn invalidate_range(&mut self, paddr: u32, len: u32) {
+        if !self.enabled || len == 0 {
+            return;
+        }
+        // A word starting up to 3 bytes before the write still overlaps.
+        let first = paddr.saturating_sub(3);
+        let last = paddr.saturating_add(len - 1);
+        let mut addr = first;
+        loop {
+            let s = &mut self.slots[PredecodeCache::index(addr)];
+            if s.valid && s.paddr >= first && s.paddr <= last {
+                s.valid = false;
+            }
+            if addr == last {
+                break;
+            }
+            addr += 1;
+        }
+    }
+
+    /// Drops everything (recovery quiesce, CAM invalidation, state
+    /// restore).
+    pub fn flush(&mut self) {
+        self.slots.fill(Slot::default());
+    }
+
+    /// Whether the cache is participating in fetches.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nop() -> Instruction {
+        Instruction::Nop
+    }
+
+    #[test]
+    fn hit_requires_matching_word() {
+        let mut c = PredecodeCache::new(true);
+        c.insert(0x1000, 0xAAAA, nop());
+        assert_eq!(c.lookup(0x1000, 0xAAAA), Some(nop()));
+        assert_eq!(c.lookup(0x1000, 0xBBBB), None, "changed bytes must miss");
+        assert_eq!(c.lookup(0x2000, 0xAAAA), None, "different paddr must miss");
+    }
+
+    #[test]
+    fn store_invalidates_overlapping_words() {
+        let mut c = PredecodeCache::new(true);
+        c.insert(0x1000, 1, nop());
+        c.insert(0x1004, 2, nop());
+        c.insert(0x1008, 3, nop());
+        // A 1-byte store into 0x1006 overlaps the word at 0x1004 only.
+        c.invalidate_range(0x1006, 1);
+        assert_eq!(c.lookup(0x1000, 1), Some(nop()));
+        assert_eq!(c.lookup(0x1004, 2), None);
+        assert_eq!(c.lookup(0x1008, 3), Some(nop()));
+        // A word store at 0x1006 also clips the word at 0x1008.
+        c.insert(0x1004, 2, nop());
+        c.invalidate_range(0x1006, 4);
+        assert_eq!(c.lookup(0x1004, 2), None);
+        assert_eq!(c.lookup(0x1008, 3), None);
+        assert_eq!(c.lookup(0x1000, 1), Some(nop()));
+    }
+
+    #[test]
+    fn flush_and_disabled_behavior() {
+        let mut c = PredecodeCache::new(true);
+        c.insert(0x40, 7, nop());
+        c.flush();
+        assert_eq!(c.lookup(0x40, 7), None);
+
+        let mut off = PredecodeCache::new(false);
+        off.insert(0x40, 7, nop());
+        assert_eq!(off.lookup(0x40, 7), None, "disabled cache never hits");
+        assert!(!off.is_enabled());
+    }
+}

@@ -68,6 +68,64 @@ pub enum TraceEvent {
     },
 }
 
+/// A fixed two-slot inline event buffer.
+///
+/// One instruction emits at most two trace events (a code fill plus a
+/// control/sync event — the machine reserves exactly two FIFO slots
+/// before stepping), so per-step event collection needs no heap
+/// allocation at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventBuf {
+    slots: [Option<TraceEvent>; 2],
+}
+
+impl EventBuf {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> EventBuf {
+        EventBuf::default()
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a third event is pushed — an instruction emitting
+    /// more than two events would overflow the FIFO reservation.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.slots[0].is_none() {
+            self.slots[0] = Some(event);
+        } else if self.slots[1].is_none() {
+            self.slots[1] = Some(event);
+        } else {
+            panic!("an instruction emits at most two trace events");
+        }
+    }
+
+    /// Iterates over the events in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// The most recently pushed event.
+    #[must_use]
+    pub fn last(&self) -> Option<&TraceEvent> {
+        self.slots[1].as_ref().or(self.slots[0].as_ref())
+    }
+
+    /// Number of events held (0–2).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no events were emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots[0].is_none()
+    }
+}
+
 /// A stamped, tagged event as it sits in the FIFO.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StampedEvent {
@@ -91,6 +149,26 @@ impl TraceEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn event_buf_holds_two() {
+        let mut b = EventBuf::new();
+        assert!(b.is_empty());
+        b.push(TraceEvent::IndirectJump { pc: 0, target: 4 });
+        b.push(TraceEvent::Return { pc: 4, target: 8, sp: 0 });
+        assert_eq!(b.len(), 2);
+        assert!(matches!(b.last(), Some(TraceEvent::Return { .. })));
+        assert_eq!(b.iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two")]
+    fn event_buf_rejects_third() {
+        let mut b = EventBuf::new();
+        for _ in 0..3 {
+            b.push(TraceEvent::IndirectJump { pc: 0, target: 4 });
+        }
+    }
 
     #[test]
     fn sync_classification() {

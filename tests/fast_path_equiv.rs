@@ -1,0 +1,155 @@
+//! The host fast paths (predecode cache, translation micro-cache) must
+//! be *invisible*: simulated semantics, detection behaviour and the
+//! deterministic fleet stats are byte-identical with them on or off,
+//! and no stale predecoded instruction ever executes after the code
+//! bytes underneath it change.
+//!
+//! The security-critical case is code injection onto a page that was
+//! already executed (and therefore already sits decoded in the
+//! predecode cache): the new bytes must be re-decoded and trip the
+//! monitor exactly as on the pre-optimization path.
+
+use indra::core::{FailureCause, IndraSystem, RunState, SystemConfig, ViolationKind};
+use indra::fleet::{run_fleet, FleetConfig};
+use indra::isa::{assemble, AluOp, Instruction, Reg};
+use indra::sim::{CoreStep, Machine, MachineConfig};
+use indra::workloads::{
+    attack_request, benign_request, build_app_scaled, encode_request, injected_code_addr, Attack,
+    ServiceApp, VULN_BUF_LEN,
+};
+
+/// A store to an already-executed, already-predecoded page must be
+/// visible to the very next fetch: the overwritten word executes with
+/// its *new* semantics, never the cached decode of the old bytes.
+#[test]
+fn overwritten_executable_page_executes_new_bytes() {
+    let set = |imm: i32| {
+        Instruction::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm }
+            .encode()
+            .expect("encodes")
+    };
+    let jr_ra =
+        Instruction::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }.encode().expect("encodes");
+
+    // `buf` lives in a writable data segment; pre-NX hardware executes
+    // anything readable, so it is a writable *executable* page.
+    let src = format!(
+        "main:
+    la s0, buf
+    jalr s0
+    mv s1, a0
+    la t0, v2
+    lw t1, 0(t0)
+    sw t1, 0(s0)
+    jalr s0
+    halt
+.data
+buf: .word {v1_set:#010x}
+    .word {jr_ra:#010x}
+v2: .word {v2_set:#010x}
+",
+        v1_set = set(11),
+        v2_set = set(22),
+    );
+
+    let mut m = Machine::new(MachineConfig::default());
+    m.boot_asymmetric();
+    m.set_monitoring(false);
+    let img = assemble("selfmod", &src).expect("assembles");
+    m.create_space(7);
+    m.load_image(7, &img).expect("loads");
+    m.core_mut(1).set_asid(7);
+    m.core_mut(1).set_pc(img.entry);
+    let mut steps = 0u32;
+    while let CoreStep::Executed = m.step_core_simple(1) {
+        steps += 1;
+        assert!(steps < 10_000, "program must halt");
+    }
+
+    assert_eq!(m.core(1).reg(Reg::S1), 11, "first call runs the original bytes");
+    assert_eq!(m.core(1).reg(Reg::A0), 22, "second call must execute the overwritten bytes");
+}
+
+/// Code injection aimed at a page that earlier injected code already
+/// executed from (so its decodes were cached, then flushed by the
+/// recovery quiesce and overwritten by the service's copy loop): the
+/// second attack's different bytes must decode fresh and trip the
+/// code-origin monitor exactly like the first.
+#[test]
+fn injection_on_previously_executed_page_still_trips_the_monitor() {
+    let image = build_app_scaled(ServiceApp::Httpd, 15);
+    // Only code-origin inspection on, so the detections below are
+    // attributable to the injected *page* (the control-transfer checks
+    // would otherwise flag the dispatch first).
+    let mut cfg = SystemConfig::default();
+    cfg.monitor.check_call_return = false;
+    cfg.monitor.check_control_transfer = false;
+    let mut sys = IndraSystem::new(cfg);
+    sys.deploy(&image).unwrap();
+
+    // Second-wave shellcode: same landing address, different words than
+    // `shellcode_words()` — a stale decode of wave one could not
+    // reproduce this request's execution.
+    let code_addr = injected_code_addr(&image);
+    let wave2: Vec<u32> = [
+        Instruction::Lui { rd: Reg::A0, imm: 0x2 },
+        Instruction::AluImm { op: AluOp::Or, rd: Reg::A0, rs1: Reg::A0, imm: 0x2BAD },
+        Instruction::Syscall { code: indra::os::syscall::SYS_EXIT },
+    ]
+    .iter()
+    .map(|i| i.encode().expect("encodes"))
+    .collect();
+    let code_payload_off = 74usize;
+    let mut payload = vec![0x42u8; code_payload_off + wave2.len() * 4];
+    payload[VULN_BUF_LEN as usize..VULN_BUF_LEN as usize + 4]
+        .copy_from_slice(&code_addr.to_le_bytes());
+    for (i, word) in wave2.iter().enumerate() {
+        payload[code_payload_off + i * 4..code_payload_off + i * 4 + 4]
+            .copy_from_slice(&word.to_le_bytes());
+    }
+    let second_injection = encode_request(0, 0, VULN_BUF_LEN as u16 + 4, 0, &payload);
+
+    sys.push_request(benign_request(0, 0x21), false);
+    sys.push_request(attack_request(Attack::InjectedHandler, &image), true);
+    sys.push_request(benign_request(1, 0x22), false);
+    sys.push_request(second_injection, true);
+    sys.push_request(benign_request(2, 0x23), false);
+    let state = sys.run(600_000_000);
+    assert_ne!(state, RunState::BudgetExhausted, "scenario must settle");
+
+    let report = sys.report();
+    assert_eq!(report.benign_served, 3, "well-behaved clients survive both waves");
+    assert_eq!(report.true_detections(), 2, "both injections detected");
+    assert_eq!(report.false_positives(), 0);
+    let injections = report
+        .detections
+        .iter()
+        .filter(|d| matches!(d.cause, FailureCause::Violation(ViolationKind::CodeInjection)))
+        .count();
+    assert_eq!(injections, 2, "both waves tripped the code-origin check: {:?}", report.detections);
+}
+
+/// Forcing the slow reference path (no predecode cache, no translation
+/// micro-cache) on a mixed fleet workload — attacks and fault injection
+/// included — must leave the deterministic stats JSON byte-identical.
+#[test]
+fn fast_paths_off_is_byte_identical() {
+    let base = FleetConfig {
+        shards: 3,
+        requests_per_shard: 10,
+        scale: 40,
+        attack_per_mille: 250,
+        fault_every: Some(6),
+        seed: 0xFA57_BEEF,
+        ..FleetConfig::default()
+    };
+    let on = run_fleet(&FleetConfig { fast_paths: true, ..base.clone() });
+    let off = run_fleet(&FleetConfig { fast_paths: false, ..base });
+
+    assert_eq!(on.stats, off.stats);
+    assert_eq!(
+        on.stats.to_json(),
+        off.stats.to_json(),
+        "fast paths must be invisible to the deterministic stats"
+    );
+}
