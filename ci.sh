@@ -27,6 +27,20 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
   --checkpoint-every 3 --store "$SMOKE_DIR" --halt-after 1
 ./target/release/fleetbench --resume "$SMOKE_DIR"
 
+echo "== smoke: fleetbench chaos campaign (supervised revival)"
+# The default chaos profile kills shards, tears journal tails and fires
+# guest fault bursts; the run must finish on its own, actually revive
+# something, and lose no request to quarantine or abandonment. The
+# timeout guards against a supervisor livelock ever landing on main.
+CHAOS_JSON="$SMOKE_DIR/BENCH_chaos_smoke.json"
+timeout 300 ./target/release/fleetbench \
+  --chaos default --quick --chaos-out "$CHAOS_JSON" \
+  --assert-revivals-min 1 --assert-availability-min 0.99
+grep -qF '"profile":"default"' "$CHAOS_JSON" || {
+  echo "BENCH_chaos_smoke.json is missing the default profile run" >&2
+  exit 1
+}
+
 echo "== smoke: simbench host-MIPS floor"
 # Short deterministic workloads; --min-mips is a conservative regression
 # guard (the optimized loop runs well above it), not a tight gate.

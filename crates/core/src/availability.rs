@@ -157,6 +157,7 @@ mod tests {
                 sample(1, 3_000, true),
                 sample(1, 12_000, false),
             ],
+            quarantined: vec![],
         };
         let a = AvailabilityReport::from_run(&report, 6);
         assert_eq!(a.benign_served, 4);
@@ -178,6 +179,7 @@ mod tests {
             benign_served: 3,
             detections: vec![],
             samples: vec![sample(1, 100, false); 3],
+            quarantined: vec![],
         };
         let a = AvailabilityReport::from_run(&report, 3);
         assert_eq!(a.benign_lost, 0);

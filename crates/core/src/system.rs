@@ -154,6 +154,9 @@ pub struct RunReport {
     pub detections: Vec<Detection>,
     /// Per-request timing samples.
     pub samples: Vec<RequestSample>,
+    /// Schedule indices the harness quarantined (poison requests never
+    /// delivered to the service), in the order they were skipped.
+    pub quarantined: Vec<u64>,
 }
 
 impl RunReport {
@@ -210,6 +213,10 @@ impl RunReport {
             .raw(
                 "samples",
                 &crate::json::json_array(self.samples.iter().map(RequestSample::to_json)),
+            )
+            .raw(
+                "quarantined",
+                &crate::json::json_array(self.quarantined.iter().map(u64::to_string)),
             )
             .finish()
     }
@@ -846,6 +853,16 @@ impl IndraSystem {
     pub fn inject_fault(&mut self, core: usize) {
         assert!(self.services.contains_key(&core), "no service on core {core}");
         self.recover(core, FailureCause::Fault);
+    }
+
+    /// Records that the harness quarantined schedule entry `index`
+    /// instead of delivering it (the fleet analogue of the paper rolling
+    /// back *past* a malicious request, §3.3.2). Idempotent: replaying
+    /// the skip after a revival does not double-count.
+    pub fn note_quarantined(&mut self, index: u64) {
+        if !self.report.quarantined.contains(&index) {
+            self.report.quarantined.push(index);
+        }
     }
 
     /// Derives the availability metrics for this run, given how many

@@ -17,7 +17,7 @@ use indra_persist::SnapshotStore;
 
 use crate::persist::{encode_meta, RestoredShard};
 use crate::report::ShardHostPerf;
-use crate::shard::{run_shard_inner, ShardMsg, ShardOutput};
+use crate::shard::{run_shard_inner, ShardHarness, ShardMsg, ShardOutput};
 use crate::{FleetConfig, FleetReport, FleetStats};
 
 /// Runs the whole fleet and aggregates the result.
@@ -63,12 +63,14 @@ pub(crate) fn run_fleet_with(
         for (plan, thawed) in plans.into_iter().zip(restored) {
             let tx = tx.clone();
             scope.spawn(move || {
-                run_shard_inner(cfg, plan, thawed, |msg| {
+                let shard = plan.shard;
+                run_shard_inner(cfg, plan, thawed, ShardHarness::default(), |msg| {
                     // The aggregator outlives every shard; a send can
                     // only fail if it panicked, and then the scope is
                     // already unwinding.
                     let _ = tx.send(msg);
-                });
+                })
+                .unwrap_or_else(|e| panic!("shard {shard}: {e}"));
             });
         }
         drop(tx);
@@ -77,6 +79,7 @@ pub(crate) fn run_fleet_with(
         for msg in rx {
             match msg {
                 ShardMsg::Sample(s) => latency.record(s.cycles),
+                ShardMsg::Beat(_) => {} // heartbeats matter only under supervision
                 ShardMsg::Done(out) => {
                     let slot = out.plan.shard;
                     outputs[slot] = Some(*out);
@@ -103,11 +106,15 @@ pub(crate) fn run_fleet_with(
     let wall_seconds = started.elapsed().as_secs_f64();
     let wall_req_per_sec =
         if wall_seconds > 0.0 { stats.served as f64 / wall_seconds } else { 0.0 };
-    FleetReport { stats, wall_seconds, wall_req_per_sec, shard_host }
+    FleetReport { stats, wall_seconds, wall_req_per_sec, shard_host, supervision: None }
 }
 
 /// Folds shard outputs (already in shard order) into fleet-wide stats.
-fn aggregate(cfg: &FleetConfig, outputs: &[ShardOutput], latency: Histogram) -> FleetStats {
+pub(crate) fn aggregate(
+    cfg: &FleetConfig,
+    outputs: &[ShardOutput],
+    latency: Histogram,
+) -> FleetStats {
     let per_shard: Vec<_> = outputs.iter().map(ShardOutput::summary).collect();
     let sum = |f: fn(&crate::ShardSummary) -> u64| per_shard.iter().map(f).sum::<u64>();
     let served = sum(|s| s.served);

@@ -36,16 +36,26 @@
 //! assert_eq!(report.stats.true_detections, report.stats.attacks_sent);
 //! ```
 
+mod chaos;
 mod executor;
 mod persist;
 mod report;
 mod shard;
+mod supervisor;
 pub mod sweep;
 
+pub use chaos::{
+    plan_for_shard, ChaosConfig, GuestBurst, HostEvent, HostEventKind, ShardChaosPlan,
+};
 pub use executor::run_fleet;
 pub use persist::{resume_fleet, RestoredShard, ShardProgress};
-pub use report::{FleetReport, FleetStats, ShardHostPerf, ShardSummary};
-pub use shard::{run_shard, shard_schedule, SampleMsg, ShardMsg, ShardOutput, ShardPlan};
+pub use report::{
+    FleetReport, FleetStats, ShardHostPerf, ShardSummary, ShardSupervision, SupervisionStats,
+};
+pub use shard::{
+    run_shard, shard_schedule, BeatMsg, SampleMsg, ShardError, ShardMsg, ShardOutput, ShardPlan,
+};
+pub use supervisor::{run_fleet_supervised, SupervisorConfig};
 
 use indra_core::SchemeKind;
 use indra_rng::derive_seed;

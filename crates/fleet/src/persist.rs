@@ -43,6 +43,11 @@ pub struct ShardProgress {
     pub steps_left: u64,
     /// `report().served` when this checkpoint was taken.
     pub served_at_last_ckpt: u64,
+    /// Guest-level chaos bursts already injected (see
+    /// [`crate::chaos::GuestBurst`]): bursts are simulated history, so
+    /// a revival must replay exactly the ones the checkpoint had not
+    /// yet absorbed. Zero outside chaos runs.
+    pub chaos_cursor: u64,
 }
 
 /// A shard's restored starting point: the thawed system plus the
@@ -62,6 +67,7 @@ pub(crate) fn encode_progress(p: &ShardProgress) -> Vec<u8> {
     w.u64(p.served_at_last_fault);
     w.u64(p.steps_left);
     w.u64(p.served_at_last_ckpt);
+    w.u64(p.chaos_cursor);
     w.finish()
 }
 
@@ -73,6 +79,7 @@ pub(crate) fn decode_progress(bytes: &[u8]) -> Result<ShardProgress, PersistErro
         served_at_last_fault: r.u64("progress fault mark")?,
         steps_left: r.u64("progress budget")?,
         served_at_last_ckpt: r.u64("progress ckpt mark")?,
+        chaos_cursor: r.u64("progress chaos cursor")?,
     };
     r.expect_exhausted("progress trailing bytes")?;
     Ok(p)
@@ -243,6 +250,7 @@ mod tests {
             served_at_last_fault: 12,
             steps_left: 1_000_000,
             served_at_last_ckpt: 16,
+            chaos_cursor: 3,
         };
         assert_eq!(decode_progress(&encode_progress(&p)).unwrap(), p);
         assert!(decode_progress(&[1, 2, 3]).is_err());

@@ -171,6 +171,119 @@ impl ShardHostPerf {
     }
 }
 
+/// One shard's view of the supervision run: how often it died, how it
+/// died, and what the supervisor did about it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSupervision {
+    /// Shard index.
+    pub shard: usize,
+    /// Times the supervisor respawned this shard.
+    pub revivals: u32,
+    /// Deaths by panic (caught via `catch_unwind`).
+    pub crashes: u32,
+    /// Deaths by missed heartbeat deadline (hung shard cancelled).
+    pub hangs: u32,
+    /// Deaths by typed harness error (e.g. an unreadable checkpoint).
+    pub harness_errors: u32,
+    /// Schedule indices quarantined as poison requests (a request whose
+    /// delivery killed the shard twice in a row).
+    pub quarantined: Vec<u64>,
+    /// Whether the supervisor gave up on this shard after exhausting
+    /// its revival budget.
+    pub abandoned: bool,
+    /// Mean wall-clock milliseconds from death detection to respawn
+    /// (includes drain wait and backoff); 0 if the shard never died.
+    pub mean_time_to_revive_ms: f64,
+}
+
+impl ShardSupervision {
+    /// JSON with fixed field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("shard", self.shard as u64)
+            .u64("revivals", u64::from(self.revivals))
+            .u64("crashes", u64::from(self.crashes))
+            .u64("hangs", u64::from(self.hangs))
+            .u64("harness_errors", u64::from(self.harness_errors))
+            .raw("quarantined", &json_array(self.quarantined.iter().map(u64::to_string)))
+            .bool("abandoned", self.abandoned)
+            .f64("mean_time_to_revive_ms", self.mean_time_to_revive_ms)
+            .finish()
+    }
+}
+
+/// Fleet-wide supervision outcome, produced only by
+/// [`crate::run_fleet_supervised`]. Wall-clock derived (MTTR,
+/// availability under real kills), so it lives in [`FleetReport`],
+/// never in [`FleetStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisionStats {
+    /// Total shard revivals across the fleet.
+    pub revivals: u64,
+    /// Total panic deaths.
+    pub crashes: u64,
+    /// Total hang deaths (heartbeat deadline missed).
+    pub hangs: u64,
+    /// Total typed harness-error deaths.
+    pub harness_errors: u64,
+    /// Chaos host events that actually fired (kills + stalls + WAL
+    /// tears), summed over shards.
+    pub chaos_host_events: u64,
+    /// Requests quarantined as poison, fleet-wide.
+    pub quarantined_requests: u64,
+    /// Shards abandoned after exhausting their revival budget.
+    pub abandoned_shards: u64,
+    /// Requests *disposed of* — served, or neutralized as detected
+    /// attacks — over requests scheduled, in `[0, 1]`. 1.0 means no
+    /// request was lost to quarantine or abandonment; chaos that only
+    /// kills and revives leaves it at 1.0 because revival replays are
+    /// exact.
+    pub availability: f64,
+    /// Mean time-to-revive over every revival in the run, in wall
+    /// milliseconds (0 when nothing died).
+    pub mean_time_to_revive_ms: f64,
+    /// Per-shard supervision rows, in shard order.
+    pub per_shard: Vec<ShardSupervision>,
+}
+
+impl SupervisionStats {
+    /// JSON with fixed field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("revivals", self.revivals)
+            .u64("crashes", self.crashes)
+            .u64("hangs", self.hangs)
+            .u64("harness_errors", self.harness_errors)
+            .u64("chaos_host_events", self.chaos_host_events)
+            .u64("quarantined_requests", self.quarantined_requests)
+            .u64("abandoned_shards", self.abandoned_shards)
+            .f64("availability", self.availability)
+            .f64("mean_time_to_revive_ms", self.mean_time_to_revive_ms)
+            .raw("per_shard", &json_array(self.per_shard.iter().map(ShardSupervision::to_json)))
+            .finish()
+    }
+}
+
+impl std::fmt::Display for SupervisionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "supervision: {} revivals ({} crashes, {} hangs, {} harness errors), \
+             {} quarantined, {} abandoned; availability {:.4}, mean revive {:.1} ms",
+            self.revivals,
+            self.crashes,
+            self.hangs,
+            self.harness_errors,
+            self.quarantined_requests,
+            self.abandoned_shards,
+            self.availability,
+            self.mean_time_to_revive_ms
+        )
+    }
+}
+
 /// A full fleet run: the deterministic stats plus this run's wall-clock
 /// measurements.
 #[derive(Debug, Clone)]
@@ -184,6 +297,9 @@ pub struct FleetReport {
     /// Per-shard host MIPS rows, in shard order (wall-clock data —
     /// deliberately outside `stats`).
     pub shard_host: Vec<ShardHostPerf>,
+    /// Supervision outcome — `Some` only for
+    /// [`crate::run_fleet_supervised`] runs.
+    pub supervision: Option<SupervisionStats>,
 }
 
 impl FleetReport {
@@ -208,6 +324,10 @@ impl FleetReport {
             .f64("wall_req_per_sec", self.wall_req_per_sec)
             .f64("host_mips", self.host_mips())
             .raw("shard_host", &json_array(self.shard_host.iter().map(ShardHostPerf::to_json)))
+            .raw(
+                "supervision",
+                &self.supervision.as_ref().map_or_else(|| "null".into(), SupervisionStats::to_json),
+            )
             .finish()
     }
 }

@@ -10,15 +10,85 @@
 //! (derived seed, app, quota), which is what makes the fleet aggregate
 //! reproducible under any thread schedule.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
 use indra_core::{IndraSystem, RunReport, RunState, SystemConfig};
-use indra_persist::SnapshotStore;
+use indra_persist::{PersistError, SnapshotStore};
 use indra_workloads::{
-    build_app_scaled, detectable_attack_suite, standard_attack_suite, OpenLoopTraffic, ServiceApp,
-    TimedRequest, WorkloadSpec,
+    build_app_scaled, detectable_attack_suite, standard_attack_suite, OpenLoopTraffic,
+    ScheduleCursor, ServiceApp, TimedRequest, WorkloadSpec,
 };
 
+use crate::chaos::ChaosRuntime;
 use crate::persist::{encode_progress, RestoredShard, ShardProgress};
 use crate::{FleetConfig, ShardSummary};
+
+/// A typed failure of the shard *harness* itself — as opposed to a
+/// failure of the simulated service (which the system handles) or a
+/// panic (which the supervisor handles). Keeping these typed matters
+/// under supervision: a stray `expect` inside `catch_unwind` would be
+/// indistinguishable from a chaos-injected crash.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Deploying the service image into the fresh system failed.
+    Deploy(indra_sim::LoadError),
+    /// The durable checkpoint store failed.
+    Persist(PersistError),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Deploy(e) => write!(f, "service deploy failed: {e:?}"),
+            ShardError::Persist(e) => write!(f, "checkpoint store failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<PersistError> for ShardError {
+    fn from(e: PersistError) -> ShardError {
+        ShardError::Persist(e)
+    }
+}
+
+/// Sentinel for "not delivering anything right now" in
+/// [`ShardHarness::delivering`].
+pub(crate) const NOT_DELIVERING: u64 = u64::MAX;
+
+/// Supervision hooks threaded into the shard loop. The default (plain
+/// `run_fleet`) is inert: no cancellation, nothing quarantined, no
+/// chaos.
+#[derive(Debug, Default)]
+pub(crate) struct ShardHarness {
+    /// Cooperative cancellation for this incarnation: checked at every
+    /// run-slice boundary (and inside chaos stalls); when raised the
+    /// loop returns quietly without emitting [`ShardMsg::Done`].
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Quarantined schedule indices — consumed but never delivered.
+    pub quarantined: Vec<u64>,
+    /// The schedule index currently being delivered ([`NOT_DELIVERING`]
+    /// otherwise). The supervisor reads it after a crash to attribute
+    /// the death to a specific request: two consecutive deaths of one
+    /// shard attributed to the same index mark that request as poison.
+    pub delivering: Option<Arc<AtomicU64>>,
+    /// This shard's chaos schedule, when running under a chaos profile.
+    pub chaos: Option<ChaosRuntime>,
+}
+
+impl ShardHarness {
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.load(Ordering::SeqCst))
+    }
+
+    fn set_delivering(&self, index: u64) {
+        if let Some(d) = &self.delivering {
+            d.store(index, Ordering::SeqCst);
+        }
+    }
+}
 
 /// Everything that determines one shard's behavior.
 #[derive(Debug, Clone)]
@@ -104,11 +174,25 @@ pub struct SampleMsg {
     pub cycles: u64,
 }
 
+/// A progress heartbeat: emitted at every run-slice boundary so a
+/// supervisor can tell a slow shard from a hung one.
+#[derive(Debug, Clone, Copy)]
+pub struct BeatMsg {
+    /// Originating shard.
+    pub shard: usize,
+    /// Schedule entries consumed so far (delivered or quarantined).
+    pub cursor: u64,
+    /// Requests served so far.
+    pub served: u64,
+}
+
 /// Messages a shard sends over the aggregation channel.
 #[derive(Debug)]
 pub enum ShardMsg {
     /// A served request's latency (streamed as it happens).
     Sample(SampleMsg),
+    /// A run-slice-boundary heartbeat (ignored by the plain executor).
+    Beat(BeatMsg),
     /// The shard finished (or gave up); terminal message.
     Done(Box<ShardOutput>),
 }
@@ -137,8 +221,15 @@ pub fn shard_schedule(cfg: &FleetConfig, plan: &ShardPlan) -> Vec<TimedRequest> 
 /// `emit` receives every served request's latency as it is observed;
 /// the terminal [`ShardOutput`] still carries the authoritative
 /// [`RunReport`] so the aggregator never depends on delivery order.
+///
+/// # Panics
+///
+/// Panics when the harness itself fails (deploy or checkpoint-store
+/// errors) — use the supervised executor for typed handling.
 pub fn run_shard(cfg: &FleetConfig, plan: ShardPlan, emit: impl FnMut(ShardMsg)) {
-    run_shard_inner(cfg, plan, None, emit);
+    let shard = plan.shard;
+    run_shard_inner(cfg, plan, None, ShardHarness::default(), emit)
+        .unwrap_or_else(|e| panic!("shard {shard}: {e}"));
 }
 
 /// The shard loop, optionally thawed from a checkpoint.
@@ -153,8 +244,9 @@ pub(crate) fn run_shard_inner(
     cfg: &FleetConfig,
     plan: ShardPlan,
     restored: Option<RestoredShard>,
+    harness: ShardHarness,
     mut emit: impl FnMut(ShardMsg),
-) {
+) -> Result<(), ShardError> {
     let started = std::time::Instant::now();
     let image = build_app_scaled(plan.app, cfg.scale);
     let schedule = shard_schedule(cfg, &plan);
@@ -174,7 +266,7 @@ pub(crate) fn run_shard_inner(
         ..SystemConfig::default()
     };
     let mut sys = IndraSystem::new(sys_cfg);
-    sys.deploy(&image).expect("shard deploy");
+    sys.deploy(&image).map_err(ShardError::Deploy)?;
     let core = sys.service_cores()[0];
 
     // Budget: generous multiple of the workload's nominal per-request
@@ -186,33 +278,84 @@ pub(crate) fn run_shard_inner(
         .max(50_000);
     let mut steps_left = per_request * (schedule_len + 4) * 8;
 
-    let mut cursor = 0u64;
+    let mut queue = ScheduleCursor::new(schedule, harness.quarantined.clone());
     let mut faults_injected = 0u64;
     let mut served_at_last_fault = 0u64;
     let mut served_at_last_ckpt = 0u64;
+    let mut chaos_cursor = 0u64;
     if let Some(r) = &restored {
         sys.restore_state(&r.state);
-        cursor = r.progress.cursor;
+        queue.seek(r.progress.cursor);
         faults_injected = r.progress.faults_injected;
         served_at_last_fault = r.progress.served_at_last_fault;
         steps_left = r.progress.steps_left;
         served_at_last_ckpt = r.progress.served_at_last_ckpt;
+        chaos_cursor = r.progress.chaos_cursor;
     }
 
     let mut writer = match (&cfg.store_dir, cfg.checkpoint_every) {
         (Some(dir), every) if every > 0 => {
-            let store = SnapshotStore::create(dir.as_str()).expect("checkpoint store");
-            Some(store.shard_writer(plan.shard).expect("checkpoint shard dir"))
+            let store = SnapshotStore::create(dir.as_str())?;
+            Some(store.shard_writer(plan.shard)?)
         }
         _ => None,
     };
     let mut ckpts_written = 0u64;
 
-    let mut queue = schedule.into_iter().skip(cursor as usize).peekable();
+    // Starts at zero even when restored: samples already in the thawed
+    // report are re-streamed so a fresh aggregator sees the complete
+    // history (the supervisor ignores the stream and rebuilds from the
+    // final report instead, so it never double-counts).
     let mut sample_cursor = 0usize;
     let mut completed = true;
 
     loop {
+        // Cooperative cancellation: the supervisor revoked this
+        // incarnation (hang recovery, or end-of-run cleanup). Exit
+        // without a Done — a newer incarnation owns the result.
+        if harness.cancelled() {
+            return Ok(());
+        }
+
+        // Heartbeat at every run-slice boundary.
+        emit(ShardMsg::Beat(BeatMsg {
+            shard: plan.shard,
+            cursor: queue.consumed(),
+            served: sys.report().served,
+        }));
+
+        // Host-level chaos: kills and journal tears panic out of here
+        // (the supervisor's catch_unwind picks them up); a stall just
+        // burns wall clock until the heartbeat deadline trips.
+        if let Some(chaos) = &harness.chaos {
+            if chaos.fire_host(sys.report().served, harness.cancel.as_ref()) {
+                return Ok(()); // cancelled mid-stall
+            }
+        }
+
+        // Guest-level chaos bursts are simulated history: their cursor
+        // is persisted, so a revival replays them at the same point.
+        if let Some(chaos) = &harness.chaos {
+            let served = sys.report().served;
+            while let Some(b) = chaos.plan.bursts.get(chaos_cursor as usize) {
+                if served < b.at_served {
+                    break;
+                }
+                for _ in 0..b.faults {
+                    sys.inject_fault(core);
+                }
+                faults_injected += u64::from(b.faults);
+                chaos_cursor += 1;
+            }
+        }
+
+        // Quarantined entries are consumed (and recorded in the system
+        // report) *before* the checkpoint, so the frozen state always
+        // explains the cursor it is stored with.
+        while let Some(idx) = queue.skip_quarantined_head() {
+            sys.note_quarantined(idx);
+        }
+
         // Durable checkpoint at the run-slice boundary. `freeze` never
         // mutates, so a checkpointed run is sim-cycle-identical to an
         // unchekpointed one; only wall-clock pays for the file writes.
@@ -221,13 +364,14 @@ pub(crate) fn run_shard_inner(
             if served.saturating_sub(served_at_last_ckpt) >= u64::from(cfg.checkpoint_every) {
                 served_at_last_ckpt = served;
                 let progress = ShardProgress {
-                    cursor,
+                    cursor: queue.consumed(),
                     faults_injected,
                     served_at_last_fault,
                     steps_left,
                     served_at_last_ckpt,
+                    chaos_cursor,
                 };
-                w.checkpoint(&sys.freeze(), &encode_progress(&progress)).expect("checkpoint write");
+                w.checkpoint(&sys.freeze(), &encode_progress(&progress))?;
                 ckpts_written += 1;
                 if cfg.halt_after_checkpoints.is_some_and(|halt| ckpts_written >= halt) {
                     // Simulated crash: die between two slices, exactly
@@ -242,10 +386,14 @@ pub(crate) fn run_shard_inner(
         // goes into the inbox, regardless of service progress.
         let now = sys.service_cycles();
         let mut delivered = false;
-        while queue.peek().is_some_and(|r| r.arrival_cycle <= now) {
-            let r = queue.next().expect("peeked");
-            cursor += 1;
-            sys.push_request(r.data, r.malicious);
+        loop {
+            while let Some(idx) = queue.skip_quarantined_head() {
+                sys.note_quarantined(idx);
+            }
+            if queue.peek().is_none_or(|r| r.arrival_cycle > now) {
+                break;
+            }
+            deliver_next(&mut queue, &mut sys, &harness);
             delivered = true;
         }
 
@@ -271,15 +419,14 @@ pub(crate) fn run_shard_inner(
 
         match state {
             RunState::Idle => {
+                while let Some(idx) = queue.skip_quarantined_head() {
+                    sys.note_quarantined(idx);
+                }
                 match queue.peek() {
                     // The service outpaced the arrival process: the next
                     // client's clock becomes "now" (idle sim cores cannot
                     // burn cycles waiting, so the gap collapses).
-                    Some(_) if !delivered => {
-                        let r = queue.next().expect("peeked");
-                        cursor += 1;
-                        sys.push_request(r.data, r.malicious);
-                    }
+                    Some(_) if !delivered => deliver_next(&mut queue, &mut sys, &harness),
                     Some(_) => {}
                     None => break,
                 }
@@ -313,4 +460,22 @@ pub(crate) fn run_shard_inner(
         plan,
     };
     emit(ShardMsg::Done(Box::new(output)));
+    Ok(())
+}
+
+/// Consumes and delivers the schedule head (which the caller has
+/// already verified exists and is not quarantined), flagging the
+/// in-flight index so a crash mid-delivery is attributable to this
+/// request — and striking first when the head is the poison request.
+fn deliver_next(queue: &mut ScheduleCursor, sys: &mut IndraSystem, harness: &ShardHarness) {
+    let index = queue.consumed();
+    harness.set_delivering(index);
+    if let Some(chaos) = &harness.chaos {
+        if chaos.poison() == Some(index) {
+            chaos.poison_strike();
+        }
+    }
+    let r = queue.pop().expect("caller peeked");
+    sys.push_request(r.data, r.malicious);
+    harness.set_delivering(NOT_DELIVERING);
 }

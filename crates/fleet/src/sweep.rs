@@ -11,8 +11,12 @@
 //! thread it stays flat while the deterministic stats stay identical.
 
 use indra_bench::CsvSink;
+use indra_core::json::{json_array, JsonObject};
 
-use crate::{resume_fleet, run_fleet, FleetConfig, FleetReport};
+use crate::{
+    resume_fleet, run_fleet, run_fleet_supervised, ChaosConfig, FleetConfig, FleetReport,
+    SupervisorConfig,
+};
 
 /// Parsed `fleetbench` command line.
 #[derive(Debug, Clone)]
@@ -29,6 +33,26 @@ pub struct SweepArgs {
     /// DIR`); every other traffic flag is ignored — the directory's
     /// `fleet.meta` is authoritative.
     pub resume: Option<String>,
+    /// Run the supervised chaos mode instead of the scaling sweep
+    /// (`--chaos PROFILE`, or `--chaos campaign` for the whole ladder).
+    pub chaos: Option<String>,
+    /// Chaos seed override (`--chaos-seed N`).
+    pub chaos_seed: Option<u64>,
+    /// Revival budget override (`--max-revivals N`).
+    pub max_revivals: Option<u32>,
+    /// Heartbeat deadline override (`--shard-deadline-ms N`).
+    pub shard_deadline_ms: Option<u64>,
+    /// Shrink the workload to smoke-test size (`--quick`).
+    pub quick: bool,
+    /// Where the chaos JSON report goes (`--chaos-out PATH`; the
+    /// campaign defaults to `results/BENCH_chaos.json`).
+    pub chaos_out: Option<String>,
+    /// Fail unless total revivals reach this floor
+    /// (`--assert-revivals-min N`).
+    pub assert_revivals_min: Option<u64>,
+    /// Fail unless every chaos run's availability reaches this floor
+    /// (`--assert-availability-min F`).
+    pub assert_availability_min: Option<f64>,
 }
 
 impl Default for SweepArgs {
@@ -39,6 +63,14 @@ impl Default for SweepArgs {
             csv: None,
             json: false,
             resume: None,
+            chaos: None,
+            chaos_seed: None,
+            max_revivals: None,
+            shard_deadline_ms: None,
+            quick: false,
+            chaos_out: None,
+            assert_revivals_min: None,
+            assert_availability_min: None,
         }
     }
 }
@@ -117,6 +149,52 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<SweepArgs, Strin
             "--csv" => out.csv = Some(value(&mut args, "--csv")?),
             "--json" => out.json = true,
             "--no-fast-paths" => out.base.fast_paths = false,
+            "--chaos" => {
+                let name = value(&mut args, "--chaos")?;
+                if name != "campaign" {
+                    ChaosConfig::profile(&name).map_err(|e| format!("--chaos: {e}"))?;
+                }
+                out.chaos = Some(name);
+            }
+            "--chaos-seed" => {
+                out.chaos_seed = Some(
+                    value(&mut args, "--chaos-seed")?
+                        .parse()
+                        .map_err(|e| format!("--chaos-seed: {e}"))?,
+                );
+            }
+            "--max-revivals" => {
+                out.max_revivals = Some(
+                    value(&mut args, "--max-revivals")?
+                        .parse()
+                        .map_err(|e| format!("--max-revivals: {e}"))?,
+                );
+            }
+            "--shard-deadline-ms" => {
+                let ms: u64 = value(&mut args, "--shard-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--shard-deadline-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--shard-deadline-ms needs a positive deadline".into());
+                }
+                out.shard_deadline_ms = Some(ms);
+            }
+            "--quick" => out.quick = true,
+            "--chaos-out" => out.chaos_out = Some(value(&mut args, "--chaos-out")?),
+            "--assert-revivals-min" => {
+                out.assert_revivals_min = Some(
+                    value(&mut args, "--assert-revivals-min")?
+                        .parse()
+                        .map_err(|e| format!("--assert-revivals-min: {e}"))?,
+                );
+            }
+            "--assert-availability-min" => {
+                out.assert_availability_min = Some(
+                    value(&mut args, "--assert-availability-min")?
+                        .parse()
+                        .map_err(|e| format!("--assert-availability-min: {e}"))?,
+                );
+            }
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
@@ -126,6 +204,11 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<SweepArgs, Strin
     }
     if out.base.halt_after_checkpoints.is_some() && out.base.checkpoint_every == 0 {
         return Err("--halt-after needs --checkpoint-every".into());
+    }
+    if out.quick {
+        // Smoke-test shape: fewer requests, deeper work-scale cut.
+        out.base.requests_per_shard = 12;
+        out.base.scale = 40;
     }
     Ok(out)
 }
@@ -137,9 +220,13 @@ fleetbench — INDRA fleet shard-count scaling sweep
 USAGE: fleetbench [--shards 1,2,4,6] [--requests N] [--scale N]
                   [--attack-per-mille N] [--mean-gap CYCLES]
                   [--fault-every N] [--seed N] [--csv DIR] [--json]
-                  [--no-fast-paths]
+                  [--no-fast-paths] [--quick]
                   [--checkpoint-every N --store DIR [--halt-after N]]
                   [--resume DIR]
+                  [--chaos PROFILE|campaign] [--chaos-seed N]
+                  [--max-revivals N] [--shard-deadline-ms N]
+                  [--chaos-out PATH] [--assert-revivals-min N]
+                  [--assert-availability-min F]
 
 --no-fast-paths disables the host-side predecode and translation
 caches (slow reference path); the deterministic stats are identical
@@ -150,7 +237,16 @@ shard to --store DIR after every N served requests; --halt-after K
 simulates a crash by killing each shard after its Kth checkpoint.
 --resume DIR restores a killed run from its checkpoint directory and
 runs it to the original quota — the final stats are byte-identical to
-an uninterrupted run.";
+an uninterrupted run.
+
+Chaos mode: --chaos PROFILE (off, light, kills, stalls, wal, poison,
+default, heavy) runs the fleet under supervision with that fault
+schedule injected, at the largest --shards point; --chaos campaign
+runs the off/light/default/heavy ladder and writes
+results/BENCH_chaos.json. A checkpoint store is created automatically
+(in a temp dir) when --store is absent so revival really replays from
+disk. --assert-revivals-min / --assert-availability-min turn the run
+into a self-checking smoke test.";
 
 /// Runs the sweep, printing the scaling table (and optional JSON) to
 /// stdout and mirroring it into `<csv>/fleet_scaling.csv`.
@@ -179,6 +275,9 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
             println!("{}", report.to_json());
         }
         return Ok(vec![report]);
+    }
+    if let Some(name) = &args.chaos {
+        return run_chaos(args, name);
     }
     let sink = match &args.csv {
         Some(dir) => CsvSink::to_dir(dir),
@@ -283,6 +382,190 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
     Ok(reports)
 }
 
+/// The profile ladder `--chaos campaign` sweeps, in intensity order.
+pub const CAMPAIGN_PROFILES: [&str; 4] = ["off", "light", "default", "heavy"];
+
+/// Builds the supervisor policy for one chaos profile, applying the
+/// CLI overrides.
+fn supervisor_for(args: &SweepArgs, profile: &str) -> Result<SupervisorConfig, String> {
+    let mut chaos = ChaosConfig::profile(profile)?;
+    if let Some(seed) = args.chaos_seed {
+        chaos.seed = seed;
+    }
+    let mut sup = SupervisorConfig { chaos, ..SupervisorConfig::default() };
+    if let Some(m) = args.max_revivals {
+        sup.max_revivals = m;
+    }
+    if let Some(d) = args.shard_deadline_ms {
+        sup.deadline_ms = d;
+    }
+    Ok(sup)
+}
+
+/// Runs the supervised chaos mode: one profile, or the whole campaign
+/// ladder. Prints a per-profile supervision table, optionally mirrors
+/// it to CSV/JSON, and enforces the `--assert-*` floors.
+///
+/// # Errors
+///
+/// Unknown profile names, unwritable output files, and violated
+/// assertion floors.
+fn run_chaos(args: &SweepArgs, name: &str) -> Result<Vec<FleetReport>, String> {
+    let profiles: Vec<&str> =
+        if name == "campaign" { CAMPAIGN_PROFILES.to_vec() } else { vec![name] };
+    let shards = *args.shard_counts.last().expect("parse_args rejects empty --shards");
+    println!(
+        "chaos {}: {} shards, {} requests/shard, scale 1/{}, traffic seed {:#x}",
+        name, shards, args.base.requests_per_shard, args.base.scale, args.base.seed
+    );
+    println!(
+        "{:>8} {:>8} {:>8} {:>6} {:>8} {:>11} {:>10} {:>13} {:>8} {:>8}",
+        "profile",
+        "revivals",
+        "crashes",
+        "hangs",
+        "harness",
+        "quarantined",
+        "abandoned",
+        "availability",
+        "mttr ms",
+        "served"
+    );
+
+    let sink = match &args.csv {
+        Some(dir) => CsvSink::to_dir(dir),
+        None => CsvSink::disabled(),
+    };
+    let mut reports = Vec::new();
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    let mut total_revivals = 0u64;
+    let mut worst_availability = 1.0f64;
+    for profile in profiles {
+        let mut cfg = FleetConfig { shards, ..args.base.clone() };
+        // Revival needs a durable store; conjure a scratch one when the
+        // caller did not provide theirs.
+        let scratch = if cfg.store_dir.is_none() {
+            let dir =
+                std::env::temp_dir().join(format!("indra-chaos-{}-{profile}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            cfg.store_dir = Some(dir.to_string_lossy().into_owned());
+            if cfg.checkpoint_every == 0 {
+                cfg.checkpoint_every = 3;
+            }
+            Some(dir)
+        } else {
+            None
+        };
+        let sup = supervisor_for(args, profile)?;
+        let report = run_fleet_supervised(&cfg, &sup);
+        if let Some(dir) = scratch {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let s = report.supervision.as_ref().expect("supervised runs carry supervision stats");
+        println!(
+            "{:>8} {:>8} {:>8} {:>6} {:>8} {:>11} {:>10} {:>13.4} {:>8.1} {:>8}",
+            profile,
+            s.revivals,
+            s.crashes,
+            s.hangs,
+            s.harness_errors,
+            s.quarantined_requests,
+            s.abandoned_shards,
+            s.availability,
+            s.mean_time_to_revive_ms,
+            report.stats.served,
+        );
+        if args.json {
+            println!("{}", report.to_json());
+        }
+        total_revivals += s.revivals;
+        worst_availability = worst_availability.min(s.availability);
+        rows.push(vec![
+            profile.to_string(),
+            s.revivals.to_string(),
+            s.crashes.to_string(),
+            s.hangs.to_string(),
+            s.harness_errors.to_string(),
+            s.chaos_host_events.to_string(),
+            s.quarantined_requests.to_string(),
+            s.abandoned_shards.to_string(),
+            format!("{:.6}", s.availability),
+            format!("{:.3}", s.mean_time_to_revive_ms),
+            report.stats.served.to_string(),
+            format!("{:.3}", report.wall_seconds),
+        ]);
+        entries.push(
+            JsonObject::new()
+                .str("profile", profile)
+                .u64("shards", shards as u64)
+                .u64("requests_per_shard", u64::from(cfg.requests_per_shard))
+                .u64("chaos_seed", sup.chaos.seed)
+                .raw("supervision", &s.to_json())
+                .raw("stats", &report.stats.to_json())
+                .f64("wall_seconds", report.wall_seconds)
+                .finish(),
+        );
+        reports.push(report);
+    }
+    sink.write(
+        "fleet_chaos",
+        &[
+            "profile",
+            "revivals",
+            "crashes",
+            "hangs",
+            "harness_errors",
+            "chaos_host_events",
+            "quarantined_requests",
+            "abandoned_shards",
+            "availability",
+            "mttr_ms",
+            "served",
+            "wall_seconds",
+        ],
+        &rows,
+    );
+    if sink.is_enabled() {
+        println!("csv: wrote fleet_chaos.csv");
+    }
+
+    let out_path = args
+        .chaos_out
+        .clone()
+        .or_else(|| (name == "campaign").then(|| "results/BENCH_chaos.json".to_string()));
+    if let Some(path) = out_path {
+        let doc = JsonObject::new()
+            .str("bench", "fleet_chaos")
+            .str("mode", name)
+            .raw("runs", &json_array(entries.iter().cloned()))
+            .finish();
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| format!("{path}: {e}"))?;
+            }
+        }
+        std::fs::write(&path, doc.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+        println!("chaos report: wrote {path}");
+    }
+
+    if let Some(min) = args.assert_revivals_min {
+        if total_revivals < min {
+            return Err(format!(
+                "assertion failed: {total_revivals} revivals < required minimum {min}"
+            ));
+        }
+    }
+    if let Some(min) = args.assert_availability_min {
+        if worst_availability < min {
+            return Err(format!(
+                "assertion failed: availability {worst_availability:.4} < required minimum {min}"
+            ));
+        }
+    }
+    Ok(reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,5 +606,40 @@ mod tests {
         assert!(parse(&["--attack-per-mille", "1001"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--seed"]).is_err());
+    }
+
+    #[test]
+    fn parses_chaos_flags() {
+        let a = parse(&[
+            "--chaos",
+            "default",
+            "--chaos-seed",
+            "99",
+            "--max-revivals",
+            "3",
+            "--shard-deadline-ms",
+            "750",
+            "--quick",
+            "--chaos-out",
+            "/tmp/chaos.json",
+            "--assert-revivals-min",
+            "1",
+            "--assert-availability-min",
+            "0.7",
+        ])
+        .unwrap();
+        assert_eq!(a.chaos.as_deref(), Some("default"));
+        assert_eq!(a.chaos_seed, Some(99));
+        assert_eq!(a.max_revivals, Some(3));
+        assert_eq!(a.shard_deadline_ms, Some(750));
+        assert!(a.quick);
+        assert_eq!(a.base.requests_per_shard, 12, "--quick shrinks the workload");
+        assert_eq!(a.chaos_out.as_deref(), Some("/tmp/chaos.json"));
+        assert_eq!(a.assert_revivals_min, Some(1));
+        assert_eq!(a.assert_availability_min, Some(0.7));
+        // campaign is accepted; unknown profiles and zero deadlines are not.
+        assert_eq!(parse(&["--chaos", "campaign"]).unwrap().chaos.as_deref(), Some("campaign"));
+        assert!(parse(&["--chaos", "frobnicate"]).is_err());
+        assert!(parse(&["--shard-deadline-ms", "0"]).is_err());
     }
 }

@@ -1096,6 +1096,10 @@ fn enc_report(w: &mut WireWriter, report: &RunReport) {
         w.usize(s.core);
         w.u64(s.completed_at);
     }
+    w.seq(report.quarantined.len());
+    for &idx in &report.quarantined {
+        w.u64(idx);
+    }
 }
 
 fn dec_report(r: &mut WireReader<'_>) -> WireResult<RunReport> {
@@ -1135,5 +1139,10 @@ fn dec_report(r: &mut WireReader<'_>) -> WireResult<RunReport> {
             completed_at: r.u64("sample completed")?,
         });
     }
-    Ok(RunReport { served, benign_served, detections, samples })
+    let n = r.seq(8, "quarantined")?;
+    let mut quarantined = Vec::with_capacity(n);
+    for _ in 0..n {
+        quarantined.push(r.u64("quarantined index")?);
+    }
+    Ok(RunReport { served, benign_served, detections, samples, quarantined })
 }

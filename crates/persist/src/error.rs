@@ -54,6 +54,16 @@ pub enum PersistError {
         /// What disagreed.
         context: String,
     },
+    /// `fleet.meta` promises a shard whose `shard-NNNN/` directory is
+    /// gone. Distinct from a shard that never checkpointed (its
+    /// directory exists but holds no base snapshot — a normal fresh
+    /// start): a missing directory means the store was externally
+    /// damaged, and resuming would silently replay that shard from
+    /// scratch.
+    MissingShard {
+        /// The shard whose directory is missing.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -82,6 +92,9 @@ impl fmt::Display for PersistError {
             }
             PersistError::Corrupt { context } => write!(f, "corrupt data: {context}"),
             PersistError::ConfigMismatch { context } => write!(f, "config mismatch: {context}"),
+            PersistError::MissingShard { shard } => {
+                write!(f, "shard {shard} directory is missing from the checkpoint store")
+            }
         }
     }
 }

@@ -165,12 +165,19 @@ impl SnapshotStore {
     ///
     /// # Errors
     ///
-    /// A damaged *base* snapshot is a hard error (it is written
-    /// atomically, so damage means real corruption, not a crash). A
-    /// torn or stale journal is not — replay simply stops at the last
-    /// valid record.
+    /// [`PersistError::MissingShard`] when the shard's directory does
+    /// not exist at all — every shard creates its directory at startup,
+    /// so a missing one means the store was externally damaged (a fresh
+    /// shard that never checkpointed has a directory with no base
+    /// snapshot, and loads as `Ok(None)`). A damaged *base* snapshot is
+    /// a hard error (it is written atomically, so damage means real
+    /// corruption, not a crash). A torn or stale journal is not —
+    /// replay simply stops at the last valid record.
     pub fn load_shard(&self, shard: usize) -> Result<Option<LoadedShard>, PersistError> {
         let dir = self.shard_dir(shard);
+        if !dir.is_dir() {
+            return Err(PersistError::MissingShard { shard });
+        }
         let base_path = dir.join(BASE_FILE);
         let base_bytes = match fs::read(&base_path) {
             Ok(b) => b,

@@ -745,7 +745,7 @@ mod tests {
         ]);
         // Revoke privilege; allow only the code page.
         rig.watchdog.set_privileged(0, false);
-        rig.watchdog.allow(0, crate::PhysRange::new(0x1000, 0x2000));
+        rig.watchdog.allow(0, crate::PhysRange::try_new(0x1000, 0x2000).unwrap());
         rig.step();
         let r = rig.step();
         assert!(matches!(r.outcome, StepOutcome::Fault(Fault::Watchdog { paddr: 0x2000, .. })));

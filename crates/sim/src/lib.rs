@@ -60,4 +60,6 @@ pub use machine::{CoreStep, LoadError, Machine, MachineState, SpaceState};
 pub use paging::{AddressSpace, Pte};
 pub use predecode::PredecodeCache;
 pub use trace::{EventBuf, StampedEvent, TraceEvent};
-pub use watchdog::{MemoryWatchdog, PhysRange, WatchdogCoreState, WatchdogState, WatchdogStats};
+pub use watchdog::{
+    EmptyPhysRange, MemoryWatchdog, PhysRange, WatchdogCoreState, WatchdogState, WatchdogStats,
+};

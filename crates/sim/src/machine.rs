@@ -194,7 +194,12 @@ impl Machine {
                 CoreRole::Resurrectee => {
                     self.watchdog.set_privileged(id, false);
                     self.watchdog.clear(id);
-                    self.watchdog.allow(id, PhysRange::new(service_base, service_end));
+                    // An empty service pool (misconfigured frame split)
+                    // grants the resurrectee nothing: its first access
+                    // trips the watchdog instead of panicking the host.
+                    if let Ok(range) = PhysRange::try_new(service_base, service_end) {
+                        self.watchdog.allow(id, range);
+                    }
                 }
             }
         }

@@ -19,12 +19,41 @@ pub struct PhysRange {
     pub end: u32,
 }
 
+/// The error of constructing an empty [`PhysRange`].
+///
+/// Construction is fallible rather than panicking so that supervised
+/// code (a fleet shard under `catch_unwind`) can never turn a
+/// configuration mistake into something indistinguishable from a
+/// chaos-injected crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyPhysRange {
+    /// The offending base.
+    pub base: u32,
+    /// The offending end.
+    pub end: u32,
+}
+
+impl std::fmt::Display for EmptyPhysRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "empty physical range [{:#x}, {:#x})", self.base, self.end)
+    }
+}
+
+impl std::error::Error for EmptyPhysRange {}
+
 impl PhysRange {
-    /// Creates a range; panics when `base >= end`.
-    #[must_use]
-    pub fn new(base: u32, end: u32) -> PhysRange {
-        assert!(base < end, "empty physical range");
-        PhysRange { base, end }
+    /// Creates a half-open range `[base, end)`.
+    ///
+    /// # Errors
+    ///
+    /// [`EmptyPhysRange`] when `base >= end` — an empty range can never
+    /// authorize an access, so asking for one is always a caller bug.
+    pub fn try_new(base: u32, end: u32) -> Result<PhysRange, EmptyPhysRange> {
+        if base < end {
+            Ok(PhysRange { base, end })
+        } else {
+            Err(EmptyPhysRange { base, end })
+        }
     }
 
     fn contains(&self, paddr: u32) -> bool {
@@ -177,7 +206,7 @@ mod tests {
     fn unprivileged_needs_a_range() {
         let mut w = MemoryWatchdog::new(2);
         assert!(w.check(1, 0x1000, AccessKind::Read).is_err());
-        w.allow(1, PhysRange::new(0x1000, 0x2000));
+        w.allow(1, PhysRange::try_new(0x1000, 0x2000).unwrap());
         assert!(w.check(1, 0x1000, AccessKind::Read).is_ok());
         assert!(w.check(1, 0x1FFF, AccessKind::Read).is_ok());
         assert!(w.check(1, 0x2000, AccessKind::Read).is_err(), "end is exclusive");
@@ -190,7 +219,7 @@ mod tests {
         // [0x10000, 0x20000).
         let mut w = MemoryWatchdog::new(2);
         w.set_privileged(0, true);
-        w.allow(1, PhysRange::new(0x10000, 0x20000));
+        w.allow(1, PhysRange::try_new(0x10000, 0x20000).unwrap());
         assert!(w.check(1, 0x08000, AccessKind::Read).is_err());
         assert!(w.check(1, 0x18000, AccessKind::Write).is_ok());
         assert!(w.check(0, 0x18000, AccessKind::Write).is_ok(), "resurrector sees all");
@@ -199,15 +228,18 @@ mod tests {
     #[test]
     fn clear_revokes() {
         let mut w = MemoryWatchdog::new(1);
-        w.allow(0, PhysRange::new(0, 0x1000));
+        w.allow(0, PhysRange::try_new(0, 0x1000).unwrap());
         assert!(w.check(0, 0, AccessKind::Read).is_ok());
         w.clear(0);
         assert!(w.check(0, 0, AccessKind::Read).is_err());
     }
 
     #[test]
-    #[should_panic(expected = "empty physical range")]
-    fn empty_range_panics() {
-        let _ = PhysRange::new(5, 5);
+    fn empty_range_is_a_typed_error() {
+        let err = PhysRange::try_new(5, 5).unwrap_err();
+        assert_eq!(err, EmptyPhysRange { base: 5, end: 5 });
+        assert!(err.to_string().contains("empty physical range"));
+        assert!(PhysRange::try_new(6, 5).is_err(), "inverted range is empty too");
+        assert!(PhysRange::try_new(5, 6).is_ok());
     }
 }

@@ -97,3 +97,29 @@ fn resume_of_a_missing_directory_is_a_typed_error() {
     // Any typed PersistError is acceptable; panicking is not.
     let _ = err.to_string();
 }
+
+#[test]
+fn resume_with_a_missing_shard_directory_is_a_typed_error() {
+    // A store whose fleet.meta promises N shards but whose shard-NNNN/
+    // directory was deleted (partial copy, botched cleanup) must fail
+    // with a typed, actionable error — not a panic, and not a silent
+    // from-scratch rerun of the amputated shard.
+    let dir = scratch("amputated-resume");
+    let killed = run_fleet(&FleetConfig {
+        checkpoint_every: 3,
+        store_dir: Some(dir.to_string_lossy().into_owned()),
+        halt_after_checkpoints: Some(1),
+        ..small_fleet()
+    });
+    assert!(killed.stats.served > 0);
+    std::fs::remove_dir_all(dir.join("shard-0001")).expect("amputate shard 1");
+
+    let err = resume_fleet(&dir).expect_err("a missing shard directory must be an error");
+    assert!(
+        matches!(err, indra_persist::PersistError::MissingShard { shard: 1 }),
+        "expected MissingShard for shard 1, got: {err}"
+    );
+    assert!(err.to_string().contains("shard 1"), "the message names the missing shard: {err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
