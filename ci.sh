@@ -55,4 +55,29 @@ for key in '"bench":"simcore"' '"quick":true' '"workloads"' \
   }
 done
 
+echo "== static analysis: benign workloads lint clean"
+# Every shipped service must pass the CFI lint with zero findings —
+# `lint` exits nonzero on any finding, and we pin the empty findings
+# array so a silently-degraded JSON shape can't fake a pass.
+for app in ftpd httpd bind sendmail imap nfs; do
+  LINT_JSON="$(./target/release/ir32 lint --app "$app" --scale 20 --json)"
+  echo "$LINT_JSON" | grep -qF '"findings":[]' || {
+    echo "ir32 lint --app $app reported findings: $LINT_JSON" >&2
+    exit 1
+  }
+done
+
+echo "== static analysis: fixtures trigger their expected findings"
+# results/ANALYZE_expected.json maps fixture name -> finding kind; the
+# analyzer must report exactly the advertised kind for each one.
+FIXTURES="$(tr ',{}' '\n' < results/ANALYZE_expected.json | sed 's/"//g; s/^ *//' | grep ':')"
+[ -n "$FIXTURES" ] || { echo "results/ANALYZE_expected.json parsed empty" >&2; exit 1; }
+while IFS=: read -r name kind; do
+  ./target/release/ir32 analyze --fixture "$name" --json \
+    | grep -qF "\"kind\":\"$kind\"" || {
+    echo "fixture $name did not report finding kind $kind" >&2
+    exit 1
+  }
+done <<< "$FIXTURES"
+
 echo "CI green."

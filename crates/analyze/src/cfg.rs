@@ -1,0 +1,331 @@
+//! Static disassembly and control-flow recovery from encoded bytes.
+//!
+//! Everything here works on the *encoded* words of an image's executable
+//! segments — never on the assembler's AST — so the analysis sees exactly
+//! what a resurrectee core would fetch, including hand-crafted attack
+//! images that no toolchain produced.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use indra_isa::{Image, Instruction, Reg};
+
+/// One decoded word of an executable segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeWord {
+    /// The raw little-endian word.
+    pub word: u32,
+    /// The decoded instruction, or `None` for an illegal encoding.
+    pub inst: Option<Instruction>,
+}
+
+/// Static disassembly of every *initialized* executable byte of an image.
+///
+/// Only initialized bytes (`Segment::data`) are decoded: the zero-filled
+/// tail of a text segment and dynamic-code regions hold no instructions
+/// until runtime, so decoding them would only drown real findings in
+/// all-zero "illegal word" noise.
+#[derive(Debug, Clone, Default)]
+pub struct Disassembly {
+    /// Address → decoded word for every word-aligned initialized word of
+    /// an executable segment.
+    pub words: BTreeMap<u32, CodeWord>,
+    /// Initialized executable byte runs that cannot hold an instruction:
+    /// unaligned segment heads and sub-word tails, as `(addr, len)`.
+    pub ragged: Vec<(u32, u32)>,
+}
+
+impl Disassembly {
+    /// Decodes the initialized part of every executable segment.
+    ///
+    /// Total for hostile input: misaligned bases, segments that wrap the
+    /// 32-bit address space, and sub-word tails are recorded in
+    /// [`Disassembly::ragged`] instead of being decoded (or panicking).
+    #[must_use]
+    pub fn of_image(image: &Image) -> Disassembly {
+        let mut d = Disassembly::default();
+        for seg in image.segments.iter().filter(|s| s.perms.execute) {
+            let base = u64::from(seg.vaddr);
+            let skip = (base.next_multiple_of(4) - base) as usize;
+            if skip > 0 {
+                d.ragged.push((seg.vaddr, skip.min(seg.data.len()) as u32));
+            }
+            if skip >= seg.data.len() {
+                continue;
+            }
+            let mut addr = base + skip as u64;
+            for chunk in seg.data[skip..].chunks(4) {
+                if chunk.len() < 4 || addr > u64::from(u32::MAX) {
+                    d.ragged.push((addr as u32, chunk.len() as u32));
+                    break;
+                }
+                let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                d.words
+                    .insert(addr as u32, CodeWord { word, inst: Instruction::decode(word).ok() });
+                addr += 4;
+            }
+        }
+        d
+    }
+}
+
+/// Static successors of the instruction at `addr`: the explicit transfer
+/// target (if the instruction encodes one) and whether execution can fall
+/// through to `addr + 4`.
+///
+/// Calls fall through to their return continuation; indirect transfers
+/// have no static target (their landing sites come from the address-taken
+/// analysis); `halt` stops the core.
+#[must_use]
+pub fn successors(addr: u32, inst: Instruction) -> (Option<u32>, bool) {
+    match inst {
+        Instruction::Halt => (None, false),
+        Instruction::Branch { offset, .. } => (Some(addr.wrapping_add(offset as u32)), true),
+        Instruction::Jal { rd, offset } => (Some(addr.wrapping_add(offset as u32)), rd == Reg::RA),
+        Instruction::Jalr { rd, .. } => (None, rd == Reg::RA),
+        _ => (None, true),
+    }
+}
+
+/// A recovered basic block: straight-line code with one entry and one exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: u32,
+    /// Number of instructions in the block.
+    pub insns: u32,
+    /// Static successor block addresses.
+    pub succs: Vec<u32>,
+}
+
+/// The control-flow graph reachable from a set of root addresses.
+#[derive(Debug, Clone, Default)]
+pub struct Cfg {
+    /// Every instruction address reachable from the roots.
+    pub reachable: BTreeSet<u32>,
+    /// Recovered basic blocks, ordered by start address.
+    pub blocks: Vec<BasicBlock>,
+    /// Total CFG edges (sum of block successor counts).
+    pub edges: u64,
+    /// Reachable direct-call sites as `(site, target)` pairs.
+    pub call_sites: Vec<(u32, u32)>,
+    /// Reachable indirect-call sites (`jalr ra, …`).
+    pub indirect_call_sites: Vec<u32>,
+    /// Reachable addresses holding an illegal encoding.
+    pub illegal: BTreeSet<u32>,
+    /// Reachable instructions whose fall-through leaves initialized code.
+    pub fallthrough_exits: BTreeSet<u32>,
+}
+
+impl Cfg {
+    /// Recovers the CFG reachable from `roots` (roots outside the decoded
+    /// words are ignored — they cannot execute).
+    #[must_use]
+    pub fn build(disasm: &Disassembly, roots: &BTreeSet<u32>) -> Cfg {
+        let mut cfg = Cfg::default();
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        let mut work: VecDeque<u32> =
+            roots.iter().copied().filter(|a| disasm.words.contains_key(a)).collect();
+        leaders.extend(work.iter().copied());
+
+        while let Some(addr) = work.pop_front() {
+            if !cfg.reachable.insert(addr) {
+                continue;
+            }
+            let cw = disasm.words[&addr];
+            let Some(inst) = cw.inst else {
+                cfg.illegal.insert(addr);
+                continue;
+            };
+            match inst {
+                Instruction::Jal { rd, offset } if rd == Reg::RA => {
+                    cfg.call_sites.push((addr, addr.wrapping_add(offset as u32)));
+                }
+                Instruction::Jalr { rd, .. } if rd == Reg::RA => {
+                    cfg.indirect_call_sites.push(addr);
+                }
+                _ => {}
+            }
+            let (target, falls) = successors(addr, inst);
+            if let Some(t) = target {
+                if disasm.words.contains_key(&t) {
+                    leaders.insert(t);
+                    work.push_back(t);
+                }
+            }
+            if falls {
+                let next = addr.wrapping_add(4);
+                if disasm.words.contains_key(&next) {
+                    if inst.is_control() {
+                        leaders.insert(next);
+                    }
+                    work.push_back(next);
+                } else {
+                    cfg.fallthrough_exits.insert(addr);
+                }
+            }
+        }
+        cfg.call_sites.sort_unstable();
+        cfg.indirect_call_sites.sort_unstable();
+
+        // Carve the reachable instructions into blocks at the leaders.
+        let reachable: Vec<u32> = cfg.reachable.iter().copied().collect();
+        let mut i = 0;
+        while i < reachable.len() {
+            let start = reachable[i];
+            let mut end = start;
+            let mut n = 1u32;
+            let mut last = disasm.words[&start];
+            while i + 1 < reachable.len() {
+                let next = reachable[i + 1];
+                if next != end.wrapping_add(4) || leaders.contains(&next) {
+                    break;
+                }
+                // A block ends at its first control transfer.
+                if last.inst.is_some_and(|ins| ins.is_control()) {
+                    break;
+                }
+                i += 1;
+                end = next;
+                n += 1;
+                last = disasm.words[&end];
+            }
+            let mut succs = Vec::new();
+            if let Some(inst) = last.inst {
+                let (target, falls) = successors(end, inst);
+                if let Some(t) = target {
+                    if cfg.reachable.contains(&t) {
+                        succs.push(t);
+                    }
+                }
+                if falls {
+                    let next = end.wrapping_add(4);
+                    if cfg.reachable.contains(&next) {
+                        succs.push(next);
+                    }
+                }
+            }
+            cfg.edges += succs.len() as u64;
+            cfg.blocks.push(BasicBlock { start, insns: n, succs });
+            i += 1;
+        }
+        cfg
+    }
+}
+
+/// The recovered call graph, plus the shadow-stack depth bound it implies.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Function-entry nodes.
+    pub nodes: BTreeSet<u32>,
+    /// Caller entry → callee entries.
+    pub edges: BTreeMap<u32, BTreeSet<u32>>,
+    /// Total call edges.
+    pub edge_count: u64,
+    /// Maximum statically-possible shadow-stack depth (frames), or `None`
+    /// when recursion makes the depth unbounded.
+    pub max_depth: Option<u32>,
+    /// A sample recursion cycle (function entries), when one exists.
+    pub cycle: Option<Vec<u32>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph over `entries` (function entry addresses).
+    ///
+    /// Direct edges come from reachable `jal ra` sites; every reachable
+    /// indirect-call site conservatively edges to every address-taken
+    /// code address (mapped to its containing function).
+    #[must_use]
+    pub fn build(cfg: &Cfg, entries: &BTreeSet<u32>, address_taken: &BTreeSet<u32>) -> CallGraph {
+        let mut g = CallGraph { nodes: entries.clone(), ..CallGraph::default() };
+        let containing = |addr: u32| entries.range(..=addr).next_back().copied();
+        let add = |g: &mut CallGraph, from: u32, to: u32| {
+            if g.edges.entry(from).or_default().insert(to) {
+                g.edge_count += 1;
+            }
+        };
+        for &(site, target) in &cfg.call_sites {
+            if let (Some(caller), Some(callee)) = (containing(site), containing(target)) {
+                if callee == target {
+                    add(&mut g, caller, callee);
+                }
+            }
+        }
+        let indirect_callees: BTreeSet<u32> =
+            address_taken.iter().filter_map(|&t| containing(t)).collect();
+        for &site in &cfg.indirect_call_sites {
+            if let Some(caller) = containing(site) {
+                for &callee in &indirect_callees {
+                    add(&mut g, caller, callee);
+                }
+            }
+        }
+        g.compute_depth();
+        g
+    }
+
+    /// Longest call chain via iterative DFS; detects recursion cycles.
+    fn compute_depth(&mut self) {
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut color: HashMap<u32, u8> = HashMap::new();
+        let mut depth: HashMap<u32, u32> = HashMap::new();
+        let mut best = 0u32;
+        for &root in &self.nodes {
+            if color.get(&root).copied().unwrap_or(WHITE) != WHITE {
+                continue;
+            }
+            // Stack of (node, callees, next callee index).
+            let mut stack: Vec<(u32, Vec<u32>, usize)> = Vec::new();
+            color.insert(root, GRAY);
+            stack.push((root, self.callees_of(root), 0));
+            while !stack.is_empty() {
+                let next = {
+                    let top = stack.last_mut().expect("stack nonempty");
+                    if top.2 < top.1.len() {
+                        top.2 += 1;
+                        Some(top.1[top.2 - 1])
+                    } else {
+                        None
+                    }
+                };
+                match next {
+                    Some(s) => match color.get(&s).copied().unwrap_or(WHITE) {
+                        WHITE => {
+                            color.insert(s, GRAY);
+                            stack.push((s, self.callees_of(s), 0));
+                        }
+                        GRAY => {
+                            // An active call chain reached itself: recursion.
+                            let from = stack.iter().position(|&(n, _, _)| n == s).unwrap_or(0);
+                            let mut cycle: Vec<u32> =
+                                stack[from..].iter().map(|&(n, _, _)| n).collect();
+                            cycle.push(s);
+                            self.cycle = Some(cycle);
+                            self.max_depth = None;
+                            return;
+                        }
+                        _ => {}
+                    },
+                    None => {
+                        let (node, succs, _) = stack.pop().expect("stack nonempty");
+                        // Frames pushed when `node` runs: one per nested call.
+                        let d = succs
+                            .iter()
+                            .map(|s| 1 + depth.get(s).copied().unwrap_or(0))
+                            .max()
+                            .unwrap_or(0);
+                        depth.insert(node, d);
+                        best = best.max(d);
+                        color.insert(node, BLACK);
+                    }
+                }
+            }
+        }
+        self.max_depth = Some(best);
+    }
+
+    fn callees_of(&self, node: u32) -> Vec<u32> {
+        self.edges.get(&node).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+}

@@ -1,0 +1,135 @@
+//! Misdeclared and hostile images exercising each finding kind.
+//!
+//! Each fixture is a small image whose *bytes* are valid input to the
+//! loader path but whose declared policy (or code) is wrong in exactly
+//! one way. They back the `ir32 analyze --fixture` CLI, the
+//! `results/ANALYZE_expected.json` allowlist stage in ci, and the
+//! static-policy integration tests.
+
+use indra_isa::{assemble, Image, Perms, Segment};
+
+use crate::policy::FindingKind;
+
+/// Names of every fixture, in a stable order.
+pub const FIXTURE_NAMES: [&str; 7] = [
+    "overdeclared",
+    "undeclared_table",
+    "wx_segment",
+    "unreachable",
+    "illegal_words",
+    "fallthrough",
+    "recursive",
+];
+
+/// The finding kind each fixture is built to trigger.
+#[must_use]
+pub fn expected_finding(name: &str) -> Option<FindingKind> {
+    Some(match name {
+        "overdeclared" => FindingKind::OverbroadDeclaration,
+        "undeclared_table" => FindingKind::UndeclaredIndirectTarget,
+        "wx_segment" => FindingKind::WxViolation,
+        "unreachable" => FindingKind::UnreachableCode,
+        "illegal_words" => FindingKind::IllegalEncoding,
+        "fallthrough" => FindingKind::FallthroughOffSegmentEnd,
+        "recursive" => FindingKind::CallGraphCycle,
+        _ => return None,
+    })
+}
+
+/// Builds the named fixture image, or `None` for an unknown name.
+#[must_use]
+pub fn fixture(name: &str) -> Option<Image> {
+    match name {
+        "overdeclared" => Some(overdeclared()),
+        "undeclared_table" => Some(undeclared_table()),
+        "wx_segment" => Some(wx_segment()),
+        "unreachable" => Some(unreachable()),
+        "illegal_words" => Some(illegal_words()),
+        "fallthrough" => Some(fallthrough()),
+        "recursive" => Some(recursive()),
+        _ => None,
+    }
+}
+
+fn asm(name: &str, src: &str) -> Image {
+    assemble(name, src).expect("fixture source must assemble")
+}
+
+/// Declares a mid-function address as an indirect target: dead policy
+/// surface an attacker can land on without tripping the monitor.
+fn overdeclared() -> Image {
+    let mut img = asm(
+        "overdeclared",
+        "main:\n    call work\n    halt\nwork:\n    addi a0, zero, 1\n    addi a0, a0, 2\n    ret\n",
+    );
+    let mid = img.addr_of("work").expect("work symbol") + 4;
+    img.indirect_targets.insert(mid);
+    img
+}
+
+/// Ships a function-pointer table whose second entry was never declared
+/// an indirect target — the dispatch through it would be flagged at
+/// runtime even though the program is "correct".
+fn undeclared_table() -> Image {
+    let mut img = asm(
+        "undeclared_table",
+        concat!(
+            "    .data\n",
+            "handlers:\n",
+            "    .target f, g\n",
+            "    .text\n",
+            "main:\n    halt\n",
+            "f:\n    ret\n",
+            "g:\n    ret\n",
+        ),
+    );
+    let g = img.addr_of("g").expect("g symbol");
+    img.indirect_targets.remove(&g);
+    img
+}
+
+/// Maps a writable+executable segment without declaring it a dynamic-code
+/// region — exactly what a shellcode stager needs.
+fn wx_segment() -> Image {
+    let mut img = asm("wx_segment", "main:\n    halt\n");
+    img.segments.push(Segment {
+        name: ".stage".into(),
+        vaddr: 0x2000_0000,
+        data: Vec::new(),
+        size: 4096,
+        perms: Perms::RWX,
+    });
+    img
+}
+
+/// Instructions after an unconditional `halt` with no label: unreachable
+/// from every entry, symbol, and landing site.
+fn unreachable() -> Image {
+    asm("unreachable", "main:\n    halt\n    addi a0, zero, 5\n    addi a0, a0, 1\n    ret\n")
+}
+
+/// A reachable word that decodes as nothing: the patched `halt` becomes
+/// 0xFFFF_FFFF, straight on main's execution path.
+fn illegal_words() -> Image {
+    let mut img = asm("illegal_words", "main:\n    nop\n    halt\n");
+    let halt_addr = img.entry + 4;
+    let seg = img
+        .segments
+        .iter_mut()
+        .find(|s| s.perms.execute && s.contains(halt_addr))
+        .expect("text segment");
+    let off = (halt_addr - seg.vaddr) as usize;
+    seg.data[off..off + 4].copy_from_slice(&0xFFFF_FFFFu32.to_le_bytes());
+    img
+}
+
+/// The last initialized instruction is a plain `addi`: execution falls
+/// off the end of the code into the zero-filled tail.
+fn fallthrough() -> Image {
+    asm("fallthrough", "main:\n    addi a0, zero, 1\n")
+}
+
+/// Direct self-recursion: the shadow-stack depth has no static bound.
+fn recursive() -> Image {
+    asm("recursive", "main:\n    call spin\n    halt\nspin:\n    call spin\n    ret\n")
+}

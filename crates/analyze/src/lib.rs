@@ -1,0 +1,134 @@
+#![warn(missing_docs)]
+//! # indra-analyze — static CFG recovery and CFI policy verification
+//!
+//! The paper's monitor enforces code-origin and control-transfer policies
+//! built from *statically derived* program information — symbol tables,
+//! export lists, page attributes (§3.2.2–3.2.3). This crate is that
+//! derivation, run over the **encoded bytes** of an assembled IR32 image
+//! rather than anything the toolchain claims: it disassembles every
+//! executable segment, recovers basic blocks, a control-flow graph and a
+//! call graph, derives the minimal CFI policy (executable pages,
+//! direct-call targets, computed landing sites, function entries), and
+//! cross-checks it against the image's *declared* [`AppMetadata`].
+//!
+//! Disagreements become typed [`Finding`]s; the agreement becomes
+//! [`tighten`] — the metadata a strict loader registers with the monitor:
+//! the intersection of what the image declares and what the analysis can
+//! justify. An image can over-declare all it wants; under
+//! `strict_policy` the monitor never hears about the excess, so a
+//! transfer there is flagged at runtime.
+//!
+//! ```
+//! use indra_analyze::{analyze_image, tighten};
+//!
+//! let img = indra_isa::assemble("demo", "main:\n    halt\n").unwrap();
+//! let report = analyze_image(&img);
+//! assert!(report.clean());
+//! assert_eq!(tighten(&img).indirect_targets, img.indirect_targets);
+//! ```
+
+mod cfg;
+pub mod fixtures;
+mod policy;
+
+pub use cfg::{successors, BasicBlock, CallGraph, Cfg, CodeWord, Disassembly};
+pub use policy::{
+    analyze_image, tighten, AppMetadata, Finding, FindingKind, PolicyReport, PolicyStats,
+};
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+
+    use indra_isa::assemble;
+
+    use super::*;
+
+    fn img(src: &str) -> indra_isa::Image {
+        assemble("t", src).expect("test source assembles")
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let i = img("main:\n    call f\n    halt\nf:\n    addi a0, zero, 1\n    ret\n");
+        let r = analyze_image(&i);
+        assert!(r.clean(), "unexpected findings: {:?}", r.findings);
+        assert_eq!(r.stats.declared_indirect, r.stats.registered_indirect);
+        assert_eq!(r.stats.max_call_depth, Some(1));
+        assert!(r.stats.blocks >= 2);
+    }
+
+    #[test]
+    fn tighten_matches_from_image_for_clean_declarations() {
+        let i = img("main:\n    call f\n    halt\nf:\n    ret\n");
+        let declared = AppMetadata::from_image(&i);
+        let tight = tighten(&i);
+        assert_eq!(tight.executable_pages, declared.executable_pages);
+        assert_eq!(tight.indirect_targets, declared.indirect_targets);
+    }
+
+    #[test]
+    fn tighten_drops_overdeclared_targets() {
+        let mut i = img("main:\n    call f\n    halt\nf:\n    addi a0, zero, 1\n    ret\n");
+        let mid = i.addr_of("f").unwrap() + 4;
+        i.indirect_targets.insert(mid);
+        let r = analyze_image(&i);
+        assert!(r.findings.iter().any(|f| f.kind == FindingKind::OverbroadDeclaration));
+        assert!(!r.tightened.indirect_targets.contains(&mid));
+        assert!(r.tightened.indirect_targets.contains(&i.addr_of("f").unwrap()));
+    }
+
+    #[test]
+    fn every_fixture_triggers_its_expected_finding() {
+        for name in fixtures::FIXTURE_NAMES {
+            let image = fixtures::fixture(name).expect("known fixture");
+            let expected = fixtures::expected_finding(name).expect("expected kind");
+            let r = analyze_image(&image);
+            assert!(
+                r.findings.iter().any(|f| f.kind == expected),
+                "{name}: expected {expected}, got {:?}",
+                r.findings
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_fixture_is_none() {
+        assert!(fixtures::fixture("nope").is_none());
+        assert!(fixtures::expected_finding("nope").is_none());
+    }
+
+    #[test]
+    fn recursion_unbounds_the_depth() {
+        let i = fixtures::fixture("recursive").unwrap();
+        let r = analyze_image(&i);
+        assert_eq!(r.stats.max_call_depth, None);
+    }
+
+    #[test]
+    fn hostile_bytes_never_panic() {
+        // Raw garbage image: misdeclared, misaligned, wrapping segments.
+        use indra_isa::{Image, Perms, Segment};
+        let mut i = Image::new("garbage");
+        i.entry = 3;
+        i.segments.push(Segment {
+            name: "a".into(),
+            vaddr: 1,
+            data: vec![0xFF; 11],
+            size: 11,
+            perms: Perms::RX,
+        });
+        i.segments.push(Segment {
+            name: "b".into(),
+            vaddr: u32::MAX - 5,
+            data: vec![0x13; 10],
+            size: 4096,
+            perms: Perms::RWX,
+        });
+        i.indirect_targets =
+            (0..64u32).map(|k| k.wrapping_mul(0x4001_0003)).collect::<BTreeSet<_>>();
+        let r = analyze_image(&i);
+        assert!(!r.clean());
+        assert!(tighten(&i).indirect_targets.is_subset(&i.indirect_targets));
+    }
+}

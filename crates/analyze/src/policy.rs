@@ -1,0 +1,485 @@
+//! CFI policy derivation, declared-vs-proven cross-checking, and the
+//! `tighten` entry point used by the OS loader.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use indra_isa::{AluOp, Image, Instruction, Reg, SymbolKind};
+use indra_mem::PAGE_SHIFT;
+
+use crate::cfg::{CallGraph, Cfg, Disassembly};
+
+/// Per-application metadata a service registers with the monitor when it
+/// starts (§3.2.3: symbol tables, export/import lists, page attributes).
+///
+/// Lives in the analysis crate because this *is* the static policy: the
+/// loader either copies it from the image's declarations
+/// ([`AppMetadata::from_image`]) or derives it by intersecting the
+/// declarations with what the analyzer can prove ([`crate::tighten`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AppMetadata {
+    /// Virtual page numbers holding executable code.
+    pub executable_pages: BTreeSet<u32>,
+    /// Legitimate targets of indirect calls/jumps.
+    pub indirect_targets: BTreeSet<u32>,
+    /// Legitimate longjmp resumption points (instruction after a setjmp).
+    pub longjmp_targets: BTreeSet<u32>,
+    /// Declared dynamic-code regions `(base, size)`.
+    pub dynamic_regions: Vec<(u32, u32)>,
+}
+
+impl AppMetadata {
+    /// Derives the metadata from a linked image, exactly as the OS process
+    /// manager would when loading the binary (§3.2.2) — trusting every
+    /// declaration the image carries.
+    #[must_use]
+    pub fn from_image(image: &Image) -> AppMetadata {
+        let mut meta = AppMetadata::default();
+        for seg in image.segments.iter().filter(|s| s.perms.execute && s.size > 0) {
+            let first = seg.vaddr >> PAGE_SHIFT;
+            let last = ((u64::from(seg.vaddr) + u64::from(seg.size) - 1) >> PAGE_SHIFT) as u32;
+            meta.executable_pages.extend(first..=last);
+        }
+        meta.indirect_targets = image.indirect_targets.clone();
+        meta.dynamic_regions = image.dynamic_code_regions.clone();
+        meta
+    }
+
+    /// Whether `addr` falls inside a declared dynamic-code region.
+    #[must_use]
+    pub fn in_dynamic_region(&self, addr: u32) -> bool {
+        self.dynamic_regions.iter().any(|&(base, size)| {
+            u64::from(addr) >= u64::from(base)
+                && u64::from(addr) < u64::from(base) + u64::from(size)
+        })
+    }
+}
+
+/// The typed classes of static policy findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// The binary takes the address of a code location it never declared
+    /// as an indirect target — an indirect transfer there would be flagged
+    /// at runtime even though the program itself computes the pointer.
+    UndeclaredIndirectTarget,
+    /// Declared indirect targets the analysis cannot justify (not a
+    /// function entry, never address-taken, never called) — dead policy
+    /// surface an attacker could hide a landing site in.
+    OverbroadDeclaration,
+    /// A writable+executable segment outside every declared dynamic-code
+    /// region.
+    WxViolation,
+    /// Decodable, non-padding instructions unreachable from every entry,
+    /// function symbol, or computed landing site.
+    UnreachableCode,
+    /// A reachable word that does not decode as any IR32 instruction.
+    IllegalEncoding,
+    /// A reachable instruction whose fall-through leaves the initialized
+    /// part of its segment (execution would run into zero-fill).
+    FallthroughOffSegmentEnd,
+    /// Recursion in the call graph: the shadow-stack depth cannot be
+    /// statically bounded.
+    CallGraphCycle,
+}
+
+impl FindingKind {
+    /// Stable snake_case name (used in `--json` output and allowlists).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FindingKind::UndeclaredIndirectTarget => "undeclared_indirect_target",
+            FindingKind::OverbroadDeclaration => "overbroad_declaration",
+            FindingKind::WxViolation => "wx_violation",
+            FindingKind::UnreachableCode => "unreachable_code",
+            FindingKind::IllegalEncoding => "illegal_encoding",
+            FindingKind::FallthroughOffSegmentEnd => "fallthrough_off_segment_end",
+            FindingKind::CallGraphCycle => "call_graph_cycle",
+        }
+    }
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One static policy finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The finding class.
+    pub kind: FindingKind,
+    /// The address the finding anchors to, when one exists.
+    pub addr: Option<u32>,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.addr {
+            Some(a) => write!(f, "[{}] {:#010x}: {}", self.kind, a, self.detail),
+            None => write!(f, "[{}] {}", self.kind, self.detail),
+        }
+    }
+}
+
+/// Per-image statistics from one analysis pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// Decodable instructions in initialized executable memory.
+    pub insns: u64,
+    /// Recovered basic blocks (reachable code only).
+    pub blocks: u64,
+    /// CFG edges between recovered blocks.
+    pub cfg_edges: u64,
+    /// Function entries (symbols, the entry point, direct-call targets).
+    pub functions: u64,
+    /// Call-graph edges.
+    pub call_edges: u64,
+    /// Indirect targets the image declares.
+    pub declared_indirect: u64,
+    /// Indirect targets the analysis proves plausible (function entries,
+    /// call targets, address-taken code addresses, the entry point).
+    pub proven_indirect: u64,
+    /// Indirect targets a strict loader registers: declared ∩ proven.
+    pub registered_indirect: u64,
+    /// Executable pages.
+    pub executable_pages: u64,
+    /// Shadow-stack frame bound, or `None` when recursion was found.
+    pub max_call_depth: Option<u32>,
+}
+
+/// The full result of statically analyzing one image.
+#[derive(Debug, Clone)]
+pub struct PolicyReport {
+    /// Image name, for diagnostics.
+    pub image: String,
+    /// Cross-check findings, ordered by kind then address.
+    pub findings: Vec<Finding>,
+    /// Summary statistics.
+    pub stats: PolicyStats,
+    /// The metadata a strict loader should register: declared policy
+    /// narrowed to what the analysis can justify.
+    pub tightened: AppMetadata,
+}
+
+impl PolicyReport {
+    /// `true` when the cross-check produced no findings.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Cap per finding kind: hostile blobs can make thousands of illegal or
+/// unreachable words, and one summary line serves the reader better.
+const MAX_PER_KIND: usize = 32;
+
+/// Statically analyzes an image: disassembles its executable segments,
+/// recovers CFG and call graph, derives the minimal CFI policy, and
+/// cross-checks it against the image's declarations.
+///
+/// Never panics, whatever the bytes: illegal encodings, misaligned or
+/// wrapping segments, and absurd declarations all become findings or are
+/// ignored, exactly because attack payload images are expected input.
+#[must_use]
+pub fn analyze_image(image: &Image) -> PolicyReport {
+    let disasm = Disassembly::of_image(image);
+    let meta = AppMetadata::from_image(image);
+    let declared = &image.indirect_targets;
+
+    // -- Derivation: function entries and address-taken code addresses.
+    let symbols: BTreeSet<u32> = image
+        .symbols
+        .iter()
+        .filter(|s| s.kind == SymbolKind::Function)
+        .map(|s| s.addr)
+        .filter(|a| disasm.words.contains_key(a))
+        .collect();
+    let address_taken = scan_address_taken(image, &disasm);
+
+    // Reachability roots: every address control can legitimately reach
+    // without a prior violation. Declared targets count — in permissive
+    // mode the monitor would accept transfers there.
+    let mut roots: BTreeSet<u32> = symbols.clone();
+    roots.insert(image.entry);
+    roots.extend(address_taken.keys().copied());
+    roots.extend(declared.iter().copied());
+    let cfg = Cfg::build(&disasm, &roots);
+
+    let call_targets: BTreeSet<u32> = cfg.call_sites.iter().map(|&(_, t)| t).collect();
+    let mut entries: BTreeSet<u32> = symbols.clone();
+    entries.extend(call_targets.iter().copied());
+    if disasm.words.contains_key(&image.entry) {
+        entries.insert(image.entry);
+    }
+
+    let mut proven: BTreeSet<u32> = entries.clone();
+    proven.extend(address_taken.keys().filter(|a| disasm.words.contains_key(a)));
+
+    let taken_set: BTreeSet<u32> = address_taken.keys().copied().collect();
+    let graph = CallGraph::build(&cfg, &entries, &taken_set);
+
+    // -- Cross-check: findings.
+    let mut findings = Vec::new();
+
+    for seg in image.segments.iter().filter(|s| s.perms.write && s.perms.execute) {
+        let covered = image.dynamic_code_regions.iter().any(|&(base, size)| {
+            u64::from(seg.vaddr) >= u64::from(base)
+                && u64::from(seg.vaddr) + u64::from(seg.size) <= u64::from(base) + u64::from(size)
+        });
+        if !covered {
+            findings.push(Finding {
+                kind: FindingKind::WxViolation,
+                addr: Some(seg.vaddr),
+                detail: format!(
+                    "segment {} ({} bytes) is writable+executable outside every declared dynamic-code region",
+                    seg.name, seg.size
+                ),
+            });
+        }
+    }
+
+    for (&addr, provenance) in &address_taken {
+        if !declared.contains(&addr) && !meta.in_dynamic_region(addr) {
+            findings.push(Finding {
+                kind: FindingKind::UndeclaredIndirectTarget,
+                addr: Some(addr),
+                detail: format!("{provenance}, but the image never declares it an indirect target"),
+            });
+        }
+    }
+
+    let unused: Vec<u32> = declared
+        .iter()
+        .copied()
+        .filter(|&t| !proven.contains(&t) && !meta.in_dynamic_region(t))
+        .collect();
+    if !unused.is_empty() {
+        let shown: Vec<String> = unused.iter().take(8).map(|t| format!("{t:#010x}")).collect();
+        let more =
+            if unused.len() > 8 { format!(" … ({} total)", unused.len()) } else { String::new() };
+        findings.push(Finding {
+            kind: FindingKind::OverbroadDeclaration,
+            addr: Some(unused[0]),
+            detail: format!(
+                "{} declared indirect target(s) the analysis cannot justify: {}{}",
+                unused.len(),
+                shown.join(", "),
+                more
+            ),
+        });
+    }
+
+    for &addr in cfg.illegal.iter().take(MAX_PER_KIND) {
+        let word = disasm.words[&addr].word;
+        findings.push(Finding {
+            kind: FindingKind::IllegalEncoding,
+            addr: Some(addr),
+            detail: format!("reachable word {word:#010x} is not a valid IR32 instruction"),
+        });
+    }
+    if cfg.illegal.len() > MAX_PER_KIND {
+        findings.push(Finding {
+            kind: FindingKind::IllegalEncoding,
+            addr: None,
+            detail: format!(
+                "… and {} more reachable illegal words",
+                cfg.illegal.len() - MAX_PER_KIND
+            ),
+        });
+    }
+
+    for &addr in cfg.fallthrough_exits.iter().take(MAX_PER_KIND) {
+        findings.push(Finding {
+            kind: FindingKind::FallthroughOffSegmentEnd,
+            addr: Some(addr),
+            detail: "execution falls through past the end of initialized code".to_owned(),
+        });
+    }
+
+    // Unreachable code: decodable non-padding instructions outside the
+    // reachable set, reported as maximal runs. `nop` runs are the
+    // toolchain's page padding, not code.
+    let mut run_start: Option<u32> = None;
+    let mut run_len = 0u32;
+    let mut prev: Option<u32> = None;
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    for (&addr, cw) in &disasm.words {
+        let is_dead =
+            cw.inst.is_some_and(|i| i != Instruction::Nop) && !cfg.reachable.contains(&addr);
+        let contiguous = prev == Some(addr.wrapping_sub(4));
+        if is_dead {
+            match run_start {
+                Some(_) if contiguous => run_len += 1,
+                _ => {
+                    if let Some(s) = run_start {
+                        runs.push((s, run_len));
+                    }
+                    run_start = Some(addr);
+                    run_len = 1;
+                }
+            }
+        } else if let Some(s) = run_start.take() {
+            runs.push((s, run_len));
+        }
+        prev = Some(addr);
+    }
+    if let Some(s) = run_start {
+        runs.push((s, run_len));
+    }
+    for &(start, len) in runs.iter().take(MAX_PER_KIND) {
+        findings.push(Finding {
+            kind: FindingKind::UnreachableCode,
+            addr: Some(start),
+            detail: format!(
+                "{len} instruction(s) unreachable from every entry, function, or landing site"
+            ),
+        });
+    }
+    if runs.len() > MAX_PER_KIND {
+        findings.push(Finding {
+            kind: FindingKind::UnreachableCode,
+            addr: None,
+            detail: format!("… and {} more unreachable runs", runs.len() - MAX_PER_KIND),
+        });
+    }
+
+    if let Some(cycle) = &graph.cycle {
+        let path: Vec<String> = cycle
+            .iter()
+            .map(|&a| match image.function_containing(a) {
+                Some(sym) => format!("{} ({a:#010x})", sym.name),
+                None => format!("{a:#010x}"),
+            })
+            .collect();
+        findings.push(Finding {
+            kind: FindingKind::CallGraphCycle,
+            addr: cycle.first().copied(),
+            detail: format!(
+                "recursive call chain {} — shadow-stack depth cannot be statically bounded",
+                path.join(" → ")
+            ),
+        });
+    }
+
+    // -- Tightened registration: declared ∩ (proven ∪ dynamic regions).
+    let tightened = AppMetadata {
+        executable_pages: meta.executable_pages.clone(),
+        indirect_targets: declared
+            .iter()
+            .copied()
+            .filter(|&t| proven.contains(&t) || meta.in_dynamic_region(t))
+            .collect(),
+        longjmp_targets: BTreeSet::new(),
+        dynamic_regions: meta.dynamic_regions.clone(),
+    };
+
+    let stats = PolicyStats {
+        insns: disasm.words.values().filter(|cw| cw.inst.is_some()).count() as u64,
+        blocks: cfg.blocks.len() as u64,
+        cfg_edges: cfg.edges,
+        functions: entries.len() as u64,
+        call_edges: graph.edge_count,
+        declared_indirect: declared.len() as u64,
+        proven_indirect: proven.len() as u64,
+        registered_indirect: tightened.indirect_targets.len() as u64,
+        executable_pages: meta.executable_pages.len() as u64,
+        max_call_depth: graph.max_depth,
+    };
+
+    findings.sort_by_key(|f| (f.kind.as_str(), f.addr));
+    PolicyReport { image: image.name.clone(), findings, stats, tightened }
+}
+
+/// Derives the metadata a *strict* loader registers with the monitor: the
+/// declared policy narrowed to what static analysis can justify. Never
+/// wider than [`AppMetadata::from_image`].
+#[must_use]
+pub fn tighten(image: &Image) -> AppMetadata {
+    analyze_image(image).tightened
+}
+
+/// Finds every code address the binary materializes: word-aligned
+/// executable addresses stored in initialized data (function-pointer
+/// tables) and `lui`+`ori` pairs in text (`la` of a text label). Returns
+/// address → provenance description.
+fn scan_address_taken(image: &Image, disasm: &Disassembly) -> BTreeMap<u32, String> {
+    let mut taken: BTreeMap<u32, String> = BTreeMap::new();
+    let candidate = |w: u32| w != 0 && w.is_multiple_of(4) && image.is_executable(w);
+
+    for seg in image.segments.iter().filter(|s| !s.perms.execute) {
+        let mut off = (4 - (seg.vaddr % 4) as usize) % 4;
+        while off + 4 <= seg.data.len() {
+            let w = u32::from_le_bytes([
+                seg.data[off],
+                seg.data[off + 1],
+                seg.data[off + 2],
+                seg.data[off + 3],
+            ]);
+            if candidate(w) {
+                let at = seg.vaddr.wrapping_add(off as u32);
+                taken.entry(w).or_insert_with(|| {
+                    format!("address-taken by data word at {at:#010x} in {}", seg.name)
+                });
+            }
+            off += 4;
+        }
+    }
+
+    // Linear `lui rd, hi` / `ori rd, rd, lo` pairing per contiguous run;
+    // any other write to rd, any control transfer, or a run break clears
+    // the pending upper half. (Deliberately no folding through `addi`:
+    // a longjmp pad computed as `label + 4` stays unproven and must be
+    // declared via the runtime registration path instead.)
+    let mut pending = [None::<u32>; 32];
+    let mut prev: Option<u32> = None;
+    for (&addr, cw) in &disasm.words {
+        if prev != Some(addr.wrapping_sub(4)) {
+            pending = [None; 32];
+        }
+        prev = Some(addr);
+        let Some(inst) = cw.inst else {
+            pending = [None; 32];
+            continue;
+        };
+        if inst.is_control() {
+            pending = [None; 32];
+            continue;
+        }
+        match inst {
+            Instruction::Lui { rd, imm } => pending[rd.index() as usize] = Some(imm << 16),
+            Instruction::AluImm { op: AluOp::Or, rd, rs1, imm } if rd == rs1 => {
+                if let Some(hi) = pending[rd.index() as usize] {
+                    let w = hi | (imm as u32 & 0xFFFF);
+                    if candidate(w) {
+                        taken
+                            .entry(w)
+                            .or_insert_with(|| format!("address-taken by lui+ori at {addr:#010x}"));
+                    }
+                }
+                pending[rd.index() as usize] = None;
+            }
+            _ => {
+                if let Some(rd) = dest_reg(inst) {
+                    pending[rd.index() as usize] = None;
+                }
+            }
+        }
+    }
+    taken
+}
+
+/// The register an instruction writes, if any.
+fn dest_reg(inst: Instruction) -> Option<Reg> {
+    match inst {
+        Instruction::Alu { rd, .. }
+        | Instruction::AluImm { rd, .. }
+        | Instruction::Lui { rd, .. }
+        | Instruction::Load { rd, .. }
+        | Instruction::Jal { rd, .. }
+        | Instruction::Jalr { rd, .. } => Some(rd),
+        _ => None,
+    }
+}

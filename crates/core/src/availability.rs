@@ -158,6 +158,7 @@ mod tests {
                 sample(1, 12_000, false),
             ],
             quarantined: vec![],
+            policy: Default::default(),
         };
         let a = AvailabilityReport::from_run(&report, 6);
         assert_eq!(a.benign_served, 4);
@@ -180,6 +181,7 @@ mod tests {
             detections: vec![],
             samples: vec![sample(1, 100, false); 3],
             quarantined: vec![],
+            policy: Default::default(),
         };
         let a = AvailabilityReport::from_run(&report, 3);
         assert_eq!(a.benign_lost, 0);

@@ -55,6 +55,6 @@ pub use recovery::{
 };
 pub use scheme::{NoBackup, Scheme, SchemeState, SchemeStats};
 pub use system::{
-    Detection, FailureCause, InFlightState, IndraSystem, RequestSample, RunReport, RunState,
-    SchemeKind, SystemConfig, SystemState,
+    Detection, FailureCause, InFlightState, IndraSystem, PolicyStats, RequestSample, RunReport,
+    RunState, SchemeKind, SystemConfig, SystemState,
 };

@@ -29,47 +29,17 @@
 //! the evaluation compute FIFO backpressure (Fig. 12) and monitoring
 //! overhead (Fig. 11).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
-use indra_isa::Image;
 use indra_mem::{PAGE_SHIFT, PAGE_SIZE};
 use indra_sim::{StampedEvent, TraceEvent};
 
-/// Per-application metadata the resurrectee registers with the monitor
-/// when a service starts (§3.2.3: symbol tables, export/import lists,
-/// page attributes).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct AppMetadata {
-    /// Virtual page numbers holding executable code.
-    pub executable_pages: BTreeSet<u32>,
-    /// Legitimate targets of indirect calls/jumps.
-    pub indirect_targets: BTreeSet<u32>,
-    /// Legitimate longjmp resumption points (instruction after a setjmp).
-    pub longjmp_targets: BTreeSet<u32>,
-    /// Declared dynamic-code regions `(base, size)`.
-    pub dynamic_regions: Vec<(u32, u32)>,
-}
-
-impl AppMetadata {
-    /// Derives the metadata from a linked image, exactly as the OS process
-    /// manager would when loading the binary (§3.2.2).
-    #[must_use]
-    pub fn from_image(image: &Image) -> AppMetadata {
-        let mut meta = AppMetadata::default();
-        for seg in image.segments.iter().filter(|s| s.perms.execute) {
-            let first = seg.vaddr >> PAGE_SHIFT;
-            let last = (seg.end() - 1) >> PAGE_SHIFT;
-            meta.executable_pages.extend(first..=last);
-        }
-        meta.indirect_targets = image.indirect_targets.clone();
-        meta.dynamic_regions = image.dynamic_code_regions.clone();
-        meta
-    }
-
-    fn in_dynamic_region(&self, addr: u32) -> bool {
-        self.dynamic_regions.iter().any(|&(base, size)| addr >= base && addr < base + size)
-    }
-}
+// The metadata type itself lives with the static analyzer: the loader
+// either copies it from the image's declarations (`from_image`) or
+// derives it by intersecting declarations with what analysis proves
+// (`indra_analyze::tighten`). Re-exported here so monitor-facing code
+// keeps its historical `indra_core::AppMetadata` path.
+pub use indra_analyze::AppMetadata;
 
 /// Per-event verification costs in resurrector cycles. The defaults model
 /// the tens-of-instructions software checks of §3.2.5.

@@ -36,10 +36,10 @@ use indra_sim::{CoreStep, Machine, MachineConfig};
 const MICRO_RECOVERY_BASE_CYCLES: u64 = 40_000;
 
 use crate::{
-    restore_macro_checkpoint, take_macro_checkpoint, AppMetadata, DeltaBackupEngine, DeltaConfig,
-    HybridConfig, HybridController, HybridControllerState, MacroCheckpoint, MacroCheckpointState,
-    Monitor, MonitorConfig, MonitorState, NoBackup, RecoveryLevel, Scheme, SchemeState,
-    SoftwareCheckpoint, UndoLog, ViolationKind, VirtualCheckpoint,
+    restore_macro_checkpoint, take_macro_checkpoint, DeltaBackupEngine, DeltaConfig, HybridConfig,
+    HybridController, HybridControllerState, MacroCheckpoint, MacroCheckpointState, Monitor,
+    MonitorConfig, MonitorState, NoBackup, RecoveryLevel, Scheme, SchemeState, SoftwareCheckpoint,
+    UndoLog, ViolationKind, VirtualCheckpoint,
 };
 use indra_os::OsState;
 use indra_sim::MachineState;
@@ -80,6 +80,11 @@ pub struct SystemConfig {
     /// The core [`IndraSystem::deploy`] targets first; additional
     /// deployments take the following resurrectee cores.
     pub service_core: usize,
+    /// Register the statically-tightened policy (declared ∩ proven) with
+    /// the monitor at deploy time instead of trusting the image's
+    /// declarations verbatim. Default on; turn off as the escape hatch
+    /// for images whose declarations must be taken at face value.
+    pub strict_policy: bool,
 }
 
 impl Default for SystemConfig {
@@ -93,6 +98,7 @@ impl Default for SystemConfig {
             monitoring: true,
             request_timeout_insns: 50_000_000,
             service_core: 1,
+            strict_policy: true,
         }
     }
 }
@@ -143,6 +149,41 @@ pub struct RequestSample {
     pub completed_at: u64,
 }
 
+/// Static-policy statistics aggregated over every deployed service
+/// (sums across deploys; the per-image numbers come from
+/// [`indra_analyze::PolicyReport`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// Services deployed.
+    pub services: u64,
+    /// Indirect targets the images declared.
+    pub declared_targets: u64,
+    /// Indirect targets static analysis proved plausible.
+    pub proven_targets: u64,
+    /// Indirect targets actually registered with the monitor (equals
+    /// `declared_targets` when `strict_policy` is off).
+    pub registered_targets: u64,
+    /// Executable pages registered.
+    pub executable_pages: u64,
+    /// Static findings across all deployed images.
+    pub static_findings: u64,
+}
+
+impl PolicyStats {
+    /// Fixed-field-order JSON (deterministic bytes).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        crate::json::JsonObject::new()
+            .u64("services", self.services)
+            .u64("declared_targets", self.declared_targets)
+            .u64("proven_targets", self.proven_targets)
+            .u64("registered_targets", self.registered_targets)
+            .u64("executable_pages", self.executable_pages)
+            .u64("static_findings", self.static_findings)
+            .finish()
+    }
+}
+
 /// Aggregate results of a run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunReport {
@@ -157,6 +198,8 @@ pub struct RunReport {
     /// Schedule indices the harness quarantined (poison requests never
     /// delivered to the service), in the order they were skipped.
     pub quarantined: Vec<u64>,
+    /// Static-policy statistics from deploy-time analysis.
+    pub policy: PolicyStats,
 }
 
 impl RunReport {
@@ -218,6 +261,7 @@ impl RunReport {
                 "quarantined",
                 &crate::json::json_array(self.quarantined.iter().map(u64::to_string)),
             )
+            .raw("policy", &self.policy.to_json())
             .finish()
     }
 }
@@ -467,10 +511,21 @@ impl IndraSystem {
     ///
     /// Propagates loader errors.
     pub fn deploy_on(&mut self, core: usize, image: &Image) -> Result<Pid, indra_sim::LoadError> {
-        let pid = self.os.spawn_service(&mut self.machine, core, image)?;
+        let (pid, meta, analysis) = self.os.spawn_service_checked(
+            &mut self.machine,
+            core,
+            image,
+            self.cfg.strict_policy,
+        )?;
+        self.report.policy.services += 1;
+        self.report.policy.declared_targets += analysis.stats.declared_indirect;
+        self.report.policy.proven_targets += analysis.stats.proven_indirect;
+        self.report.policy.registered_targets += meta.indirect_targets.len() as u64;
+        self.report.policy.executable_pages += meta.executable_pages.len() as u64;
+        self.report.policy.static_findings += analysis.findings.len() as u64;
         let asid = self.os.asid_of(pid);
         self.scheme.register(asid);
-        self.monitor.register_app(asid, AppMetadata::from_image(image));
+        self.monitor.register_app(asid, meta);
         self.services.insert(
             core,
             Service { pid, asid, core, entry: image.entry, initial_sp: image.initial_sp },

@@ -284,7 +284,13 @@ impl Assembler {
             "dyncode" => {
                 let pages = parse_imm(rest.trim())
                     .ok_or_else(|| Self::err(lineno, "expected page count"))?;
-                self.b.declare_dynamic_code_pages(pages as u32);
+                // Bounded so hostile sources cannot overflow the layout
+                // arithmetic or reserve the whole address space.
+                let pages = u32::try_from(pages)
+                    .ok()
+                    .filter(|&p| p > 0 && p <= 4096)
+                    .ok_or_else(|| Self::err(lineno, "page count must be between 1 and 4096"))?;
+                self.b.declare_dynamic_code_pages(pages);
                 Ok(())
             }
             "word" | "space" | "byte" | "ascii" | "asciz" | "target" => {
@@ -334,7 +340,13 @@ impl Assembler {
                 let n = self
                     .imm_value(rest.trim())
                     .ok_or_else(|| Self::err(lineno, "expected a size"))?;
-                self.b.data_zeroed(label.clone(), n as u32)
+                // A negative or absurd size is hostile input, not a layout
+                // request: `n as u32` would otherwise ask for gigabytes.
+                let n = u32::try_from(n)
+                    .ok()
+                    .filter(|&n| n <= (1 << 24))
+                    .ok_or_else(|| Self::err(lineno, "size must be between 0 and 16 MiB"))?;
+                self.b.data_zeroed(label.clone(), n)
             }
             "ascii" | "asciz" => {
                 let mut s = parse_string(rest.trim())

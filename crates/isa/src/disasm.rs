@@ -4,7 +4,9 @@
 //! monitor violation reports, and the examples when they show what an
 //! injected payload actually contained.
 
-use crate::{Image, Instruction};
+use std::fmt;
+
+use crate::{AluOp, Cond, Image, Instruction, Reg, Segment, Width};
 
 /// One line of a disassembly listing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,13 +34,16 @@ impl std::fmt::Display for DisasmLine {
 }
 
 /// Disassembles `words.len()` instructions starting at `base`.
+///
+/// Total for any input: addresses wrap rather than overflow, so even a
+/// hostile `base` near the top of the address space cannot panic.
 #[must_use]
 pub fn disassemble(base: u32, words: &[u32]) -> Vec<DisasmLine> {
     words
         .iter()
         .enumerate()
         .map(|(i, &word)| DisasmLine {
-            addr: base + i as u32 * 4,
+            addr: base.wrapping_add((i as u32).wrapping_mul(4)),
             word,
             inst: Instruction::decode(word).ok(),
             symbol: None,
@@ -46,17 +51,25 @@ pub fn disassemble(base: u32, words: &[u32]) -> Vec<DisasmLine> {
         .collect()
 }
 
+/// Disassembles one segment's *initialized* bytes (the encoded words the
+/// loader maps, not the zero-filled tail). Trailing bytes that do not fill
+/// a whole word are dropped — they can never execute as an instruction.
+///
+/// This is the iteration primitive the static analyzer builds on; it makes
+/// no assumption that the bytes came from the assembler.
+#[must_use]
+pub fn disassemble_segment(seg: &Segment) -> Vec<DisasmLine> {
+    let words: Vec<u32> =
+        seg.data.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+    disassemble(seg.vaddr, &words)
+}
+
 /// Disassembles an image's executable segments, annotating function starts.
 #[must_use]
 pub fn disassemble_image(image: &Image) -> Vec<DisasmLine> {
     let mut out = Vec::new();
     for seg in image.segments.iter().filter(|s| s.perms.execute) {
-        let words: Vec<u32> = seg
-            .data
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
-            .collect();
-        for mut line in disassemble(seg.vaddr, &words) {
+        for mut line in disassemble_segment(seg) {
             line.symbol = image
                 .symbols
                 .iter()
@@ -66,6 +79,166 @@ pub fn disassemble_image(image: &Image) -> Vec<DisasmLine> {
         }
     }
     out
+}
+
+/// Error from [`parse_instruction`]: the text is not a recognizable
+/// rendering of one IR32 instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseInstError {
+    /// The offending text.
+    pub text: String,
+}
+
+impl fmt::Display for ParseInstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unparsable instruction `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseInstError {}
+
+/// Parses the textual form produced by [`Instruction`]'s `Display` impl
+/// back into an instruction — numeric branch/jump offsets and all.
+///
+/// This is the inverse the disassembler round-trip property locks:
+/// `encode(parse(disasm(w))) == w` for every valid word `w`. (The full
+/// assembler is *not* this inverse: it takes labels, not offsets.)
+///
+/// # Errors
+///
+/// Returns [`ParseInstError`] when the text is not a rendering this
+/// parser recognizes.
+pub fn parse_instruction(text: &str) -> Result<Instruction, ParseInstError> {
+    let err = || ParseInstError { text: text.to_owned() };
+    let line = text.trim();
+    let (mn, rest) = match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i + 1..].trim()),
+        None => (line, ""),
+    };
+    let ops: Vec<&str> =
+        if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
+    let reg = |s: &str| s.parse::<Reg>().map_err(|_| err());
+    let imm = |s: &str| -> Result<i32, ParseInstError> {
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(d) => (true, d),
+            None => (false, s),
+        };
+        let v = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+            i64::from_str_radix(hex, 16).map_err(|_| err())?
+        } else {
+            digits.parse::<i64>().map_err(|_| err())?
+        };
+        let v = if neg { -v } else { v };
+        i32::try_from(v).map_err(|_| err())
+    };
+    // `offset(base)` memory operands.
+    let mem = |s: &str| -> Result<(i32, Reg), ParseInstError> {
+        let open = s.find('(').ok_or_else(err)?;
+        let close = s.rfind(')').ok_or_else(err)?;
+        Ok((imm(&s[..open])?, reg(&s[open + 1..close])?))
+    };
+    let nops = |n: usize| if ops.len() == n { Ok(()) } else { Err(err()) };
+
+    match mn {
+        "halt" => nops(0).map(|()| Instruction::Halt),
+        "nop" => nops(0).map(|()| Instruction::Nop),
+        "syscall" => {
+            nops(1)?;
+            Ok(Instruction::Syscall { code: u16::try_from(imm(ops[0])?).map_err(|_| err())? })
+        }
+        "lui" => {
+            nops(2)?;
+            Ok(Instruction::Lui { rd: reg(ops[0])?, imm: imm(ops[1])? as u32 })
+        }
+        "jal" => {
+            nops(2)?;
+            Ok(Instruction::Jal { rd: reg(ops[0])?, offset: imm(ops[1])? })
+        }
+        "jalr" => {
+            nops(2)?;
+            let (offset, rs1) = mem(ops[1])?;
+            Ok(Instruction::Jalr { rd: reg(ops[0])?, rs1, offset })
+        }
+        "lb" | "lbu" | "lh" | "lhu" | "lw" => {
+            nops(2)?;
+            let (width, signed) = match mn {
+                "lb" => (Width::Byte, true),
+                "lbu" => (Width::Byte, false),
+                "lh" => (Width::Half, true),
+                "lhu" => (Width::Half, false),
+                _ => (Width::Word, true),
+            };
+            let (offset, rs1) = mem(ops[1])?;
+            Ok(Instruction::Load { width, signed, rd: reg(ops[0])?, rs1, offset })
+        }
+        "sb" | "sh" | "sw" => {
+            nops(2)?;
+            let width = match mn {
+                "sb" => Width::Byte,
+                "sh" => Width::Half,
+                _ => Width::Word,
+            };
+            let (offset, rs1) = mem(ops[1])?;
+            Ok(Instruction::Store { width, rs2: reg(ops[0])?, rs1, offset })
+        }
+        _ => {
+            if let Some(cond) = parse_cond(mn) {
+                nops(3)?;
+                return Ok(Instruction::Branch {
+                    cond,
+                    rs1: reg(ops[0])?,
+                    rs2: reg(ops[1])?,
+                    offset: imm(ops[2])?,
+                });
+            }
+            if let Some(op) = parse_alu(mn) {
+                nops(3)?;
+                return Ok(Instruction::Alu {
+                    op,
+                    rd: reg(ops[0])?,
+                    rs1: reg(ops[1])?,
+                    rs2: reg(ops[2])?,
+                });
+            }
+            if let Some(op) = mn.strip_suffix('i').and_then(parse_alu) {
+                nops(3)?;
+                return Ok(Instruction::AluImm {
+                    op,
+                    rd: reg(ops[0])?,
+                    rs1: reg(ops[1])?,
+                    imm: imm(ops[2])?,
+                });
+            }
+            Err(err())
+        }
+    }
+}
+
+fn parse_cond(mn: &str) -> Option<Cond> {
+    let suffix = mn.strip_prefix('b')?;
+    [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu]
+        .into_iter()
+        .find(|c| c.mnemonic() == suffix)
+}
+
+fn parse_alu(mn: &str) -> Option<AluOp> {
+    [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Slt,
+        AluOp::Sltu,
+    ]
+    .into_iter()
+    .find(|op| op.mnemonic() == mn)
 }
 
 #[cfg(test)]

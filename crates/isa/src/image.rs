@@ -64,10 +64,14 @@ pub struct Segment {
 }
 
 impl Segment {
-    /// End virtual address (exclusive).
+    /// End virtual address (exclusive), saturating at the top of the
+    /// address space. Well-formed images never saturate —
+    /// [`Image::validate`] rejects segments that would overflow — but
+    /// hostile hand-built images reach this from the analyzer, which must
+    /// never panic.
     #[must_use]
     pub fn end(&self) -> u32 {
-        self.vaddr + self.size
+        self.vaddr.saturating_add(self.size)
     }
 
     /// Whether `addr` falls inside the segment.
@@ -194,6 +198,9 @@ impl Image {
     pub fn validate(&self) -> Result<(), String> {
         let mut last_end = 0u32;
         for seg in &self.segments {
+            if seg.vaddr.checked_add(seg.size).is_none() {
+                return Err(format!("segment {} extends past the address space", seg.name));
+            }
             if seg.data.len() as u32 > seg.size {
                 return Err(format!("segment {} data exceeds its mapped size", seg.name));
             }

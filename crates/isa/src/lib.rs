@@ -45,7 +45,10 @@ pub use asm::{assemble, AsmError};
 pub use builder::{
     BuildError, DataRef, Label, ProgramBuilder, DATA_BASE, STACK_SIZE, STACK_TOP, TEXT_BASE,
 };
-pub use disasm::{disassemble, disassemble_image, DisasmLine};
+pub use disasm::{
+    disassemble, disassemble_image, disassemble_segment, parse_instruction, DisasmLine,
+    ParseInstError,
+};
 pub use encode::{DecodeError, EncodeError};
 pub use image::{Image, Perms, Segment, Symbol, SymbolKind};
 pub use inst::{AluOp, Cond, ControlClass, Instruction, Width};

@@ -1,7 +1,7 @@
 //! Property tests for the IR32 encoding and toolchain (driven by the
 //! in-tree `indra_rng::forall` loop).
 
-use indra_isa::{disassemble, AluOp, Cond, Instruction, Reg, Width};
+use indra_isa::{assemble, disassemble, parse_instruction, AluOp, Cond, Instruction, Reg, Width};
 use indra_rng::{forall, Rng};
 
 const ALU_OPS: [AluOp; 13] = [
@@ -131,6 +131,128 @@ fn disassembly_total() {
             assert!(!line.to_string().is_empty());
         }
     });
+}
+
+/// Disassembler text round-trip: for every valid instruction word,
+/// rendering it as text and parsing the text back re-encodes to the same
+/// word — `encode(parse(disasm(w))) == w`. Locks the `Display`,
+/// `parse_instruction`, `encode` and `decode` quartet against drift.
+#[test]
+fn disasm_text_roundtrip() {
+    forall("disasm_text_roundtrip", 2000, |rng| {
+        let word = normalize_load(gen_instruction(rng)).encode().expect("generator output encodes");
+        let inst = Instruction::decode(word).expect("valid words decode");
+        let text = inst.to_string();
+        let parsed = parse_instruction(&text)
+            .unwrap_or_else(|e| panic!("disassembly `{text}` must re-parse: {e}"));
+        let re = parsed.encode().unwrap_or_else(|e| panic!("`{text}` must re-encode: {e}"));
+        assert_eq!(re, word, "text round-trip drifted for `{text}`");
+    });
+}
+
+/// Every opcode the assembler can emit is decodable: a kitchen-sink
+/// program covering the full mnemonic surface (real and pseudo) must
+/// produce only words `decode` accepts. Locks the assembler and decoder
+/// against encode/disasm drift when either grows a new instruction.
+#[test]
+fn every_assembler_opcode_decodes() {
+    let src = "
+    .data
+v:  .word 1, 2
+tab:
+    .target main, fn2
+    .text
+main:
+    add t0, t1, t2
+    sub t0, t1, t2
+    mul t0, t1, t2
+    div t0, t1, t2
+    rem t0, t1, t2
+    and t0, t1, t2
+    or t0, t1, t2
+    xor t0, t1, t2
+    sll t0, t1, t2
+    srl t0, t1, t2
+    sra t0, t1, t2
+    slt t0, t1, t2
+    sltu t0, t1, t2
+    addi t0, t1, -7
+    andi t0, t1, 255
+    ori t0, t1, 128
+    xori t0, t1, 64
+    slti t0, t1, 3
+    sltiu t0, t1, 3
+    slli t0, t1, 2
+    srli t0, t1, 2
+    srai t0, t1, 2
+    muli t0, t1, 3
+    subi t0, t1, 5
+    not t0, t1
+    neg t0, t1
+    seqz t0, t1
+    snez t0, t1
+    li t0, 0x12345678
+    la t0, v
+    la t0, fn2
+    mv t0, t1
+    lui t0, 0x1234
+    lb t0, 0(t1)
+    lbu t0, 1(t1)
+    lh t0, 2(t1)
+    lhu t0, 4(t1)
+    lw t0, 8(t1)
+    sb t0, 0(t1)
+    sh t0, 2(t1)
+    sw t0, 4(t1)
+    beq t0, t1, main
+    bne t0, t1, main
+    blt t0, t1, main
+    bge t0, t1, main
+    bltu t0, t1, main
+    bgeu t0, t1, main
+    ble t0, t1, main
+    bgt t0, t1, main
+    beqz t0, main
+    bnez t0, main
+    j main
+    jal fn2
+    call fn2
+    jalr t0
+    jr t0
+    syscall 3
+    halt
+fn2:
+    nop
+    ret
+";
+    let img = assemble("kitchen_sink", src).expect("kitchen-sink program assembles");
+    let text = img.segments.iter().find(|s| s.perms.execute).expect("text segment");
+    for (i, chunk) in text.data.chunks_exact(4).enumerate() {
+        let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        let addr = text.vaddr + (i as u32) * 4;
+        let inst = Instruction::decode(word).unwrap_or_else(|_| {
+            panic!("assembler emitted undecodable word {word:#010x} at {addr:#010x}")
+        });
+        // And the decoded form must survive the text round-trip too.
+        let reparsed = parse_instruction(&inst.to_string()).expect("listing re-parses");
+        assert_eq!(reparsed.encode().expect("re-encodes"), word);
+    }
+}
+
+/// Hostile sources fail with typed errors, never panics or absurd
+/// allocations (the PR 4 `PhysRange` audit, applied to the assembler).
+#[test]
+fn hostile_sources_fail_typed() {
+    let cases = [
+        "main:\n    halt\n    .data\nx:  .space -1\n",
+        "main:\n    halt\n    .data\nx:  .space 999999999999\n",
+        "main:\n    halt\n    .dyncode -3\n",
+        "main:\n    halt\n    .dyncode 4294967295\n",
+        "main:\n    addi t0, t1, 99999999\n",
+    ];
+    for src in cases {
+        assert!(assemble("hostile", src).is_err(), "must reject: {src}");
+    }
 }
 
 /// Word-width loads carry no signedness in the encoding; normalize the

@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use indra_analyze::{AppMetadata, PolicyReport};
 use indra_isa::Image;
 use indra_mem::{PAGE_SHIFT, PAGE_SIZE};
 use indra_sim::{LoadError, Machine};
@@ -145,6 +146,35 @@ impl Os {
         self.procs.insert(pid, proc);
         self.core_to_pid.insert(core, pid);
         Ok(pid)
+    }
+
+    /// Loads `image` like [`Os::spawn_service`], but first derives the
+    /// monitor-facing metadata the way the paper's process manager does at
+    /// load time (§3.2.2): run the static analyzer over the encoded
+    /// binary and, when `strict` is set, keep only the intersection of
+    /// the declared policy and what the analysis can justify. Permissive
+    /// mode (`strict = false`) trusts the declarations verbatim — the
+    /// escape hatch for attack images that must load so the monitor can
+    /// catch them dynamically.
+    ///
+    /// Returns the pid, the metadata to register with the monitor, and
+    /// the full static [`PolicyReport`] for the caller's bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LoadError`] from the machine's loader. Static
+    /// findings never fail the load: detection stays dynamic.
+    pub fn spawn_service_checked(
+        &mut self,
+        m: &mut Machine,
+        core: usize,
+        image: &Image,
+        strict: bool,
+    ) -> Result<(Pid, AppMetadata, PolicyReport), LoadError> {
+        let report = indra_analyze::analyze_image(image);
+        let meta = if strict { report.tightened.clone() } else { AppMetadata::from_image(image) };
+        let pid = self.spawn_service(m, core, image)?;
+        Ok((pid, meta, report))
     }
 
     /// Queues a request for `pid`, returning its id.

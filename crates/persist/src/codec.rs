@@ -18,9 +18,9 @@ use indra_core::AppMetadata;
 use indra_core::{
     DeltaPageState, DeltaProcState, DeltaState, Detection, FailureCause, HybridControllerState,
     HybridStats, InFlightState, MacroCheckpointState, MonitorAppState, MonitorState, MonitorStats,
-    PageCkptProcState, PageCkptState, RecoveryLevel, RequestSample, RunReport, SchemeState,
-    SchemeStats, ShadowFrameState, SystemState, UndoEntryState, UndoLogState, Violation,
-    ViolationKind,
+    PageCkptProcState, PageCkptState, PolicyStats, RecoveryLevel, RequestSample, RunReport,
+    SchemeState, SchemeStats, ShadowFrameState, SystemState, UndoEntryState, UndoLogState,
+    Violation, ViolationKind,
 };
 use indra_mem::{
     CacheLineState, CacheState, CacheStats, CoreMemState, DramState, DramStats,
@@ -1100,6 +1100,12 @@ fn enc_report(w: &mut WireWriter, report: &RunReport) {
     for &idx in &report.quarantined {
         w.u64(idx);
     }
+    w.u64(report.policy.services);
+    w.u64(report.policy.declared_targets);
+    w.u64(report.policy.proven_targets);
+    w.u64(report.policy.registered_targets);
+    w.u64(report.policy.executable_pages);
+    w.u64(report.policy.static_findings);
 }
 
 fn dec_report(r: &mut WireReader<'_>) -> WireResult<RunReport> {
@@ -1144,5 +1150,13 @@ fn dec_report(r: &mut WireReader<'_>) -> WireResult<RunReport> {
     for _ in 0..n {
         quarantined.push(r.u64("quarantined index")?);
     }
-    Ok(RunReport { served, benign_served, detections, samples, quarantined })
+    let policy = PolicyStats {
+        services: r.u64("policy services")?,
+        declared_targets: r.u64("policy declared")?,
+        proven_targets: r.u64("policy proven")?,
+        registered_targets: r.u64("policy registered")?,
+        executable_pages: r.u64("policy exec pages")?,
+        static_findings: r.u64("policy findings")?,
+    };
+    Ok(RunReport { served, benign_served, detections, samples, quarantined, policy })
 }

@@ -10,20 +10,31 @@
 //! ir32 run prog.s --req hello     queue request(s) for net_recv servers
 //! ir32 trace prog.s               run under the INDRA monitor and dump
 //!                                 the first trace events + verdicts
+//! ir32 analyze prog.s             static CFG recovery + CFI policy report
+//! ir32 lint --app httpd --json    same report, nonzero exit on findings;
+//!                                 images also come from --app/--fixture
 //! ```
 
 use std::process::ExitCode;
 
+use indra::analyze::{analyze_image, fixtures, PolicyReport};
+use indra::core::json::{json_array, JsonObject};
 use indra::isa::{assemble, disassemble_image, Image};
 use indra::os::{Os, SyscallEffect};
 use indra::sim::{CoreStep, Machine, MachineConfig, TraceEvent};
+use indra::workloads::{build_app_scaled, ServiceApp};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: ir32 <asm|disasm|run|trace> <file.s> [--req DATA]...");
+        eprintln!(
+            "usage: ir32 <asm|disasm|run|trace> <file.s> [--req DATA]...\n       ir32 <analyze|lint> (<file.s> | --app NAME [--scale N] | --fixture NAME) [--json]"
+        );
         return ExitCode::FAILURE;
     };
+    if cmd == "analyze" || cmd == "lint" {
+        return cmd_analyze(cmd, rest);
+    }
     let Some(path) = rest.first() else {
         eprintln!("ir32 {cmd}: missing input file");
         return ExitCode::FAILURE;
@@ -55,6 +66,115 @@ fn main() -> ExitCode {
         other => {
             eprintln!("ir32: unknown command `{other}`");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Resolves the image for `analyze`/`lint`: a `.s` file on disk, a built-in
+/// workload (`--app NAME [--scale N]`), or an analyzer fixture
+/// (`--fixture NAME`).
+fn analysis_image(args: &[String]) -> Result<Image, String> {
+    let flag = |name: &str| args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone());
+    if let Some(name) = flag("--app") {
+        let app =
+            ServiceApp::ALL.into_iter().find(|a| format!("{a}") == name).ok_or_else(|| {
+                format!("unknown app `{name}` (try ftpd, httpd, bind, sendmail, imap, nfs)")
+            })?;
+        let scale = match flag("--scale") {
+            Some(s) => s.parse::<u32>().map_err(|_| format!("bad --scale `{s}`"))?.max(1),
+            None => 1,
+        };
+        return Ok(build_app_scaled(app, scale));
+    }
+    if let Some(name) = flag("--fixture") {
+        return fixtures::fixture(&name).ok_or_else(|| {
+            format!("unknown fixture `{name}` (available: {})", fixtures::FIXTURE_NAMES.join(", "))
+        });
+    }
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        return Err("missing input: give a .s file, --app NAME, or --fixture NAME".to_owned());
+    };
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let name = path.rsplit('/').next().unwrap_or(path).trim_end_matches(".s");
+    assemble(name, &source).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `ir32 analyze` / `ir32 lint` — run the static pipeline and print the
+/// policy report. `lint` exits nonzero when there are findings.
+fn cmd_analyze(cmd: &str, args: &[String]) -> ExitCode {
+    let image = match analysis_image(args) {
+        Ok(img) => img,
+        Err(e) => {
+            eprintln!("ir32 {cmd}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = analyze_image(&image);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report_json(&report));
+    } else {
+        print_report(&report);
+    }
+    if cmd == "lint" && !report.clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn report_json(report: &PolicyReport) -> String {
+    let findings = json_array(report.findings.iter().map(|f| {
+        let mut o = JsonObject::new();
+        o.str("kind", f.kind.as_str());
+        match f.addr {
+            Some(a) => o.u64("addr", u64::from(a)),
+            None => o.raw("addr", "null"),
+        };
+        o.str("detail", &f.detail);
+        o.finish()
+    }));
+    let s = &report.stats;
+    let mut stats = JsonObject::new();
+    stats
+        .u64("insns", s.insns)
+        .u64("blocks", s.blocks)
+        .u64("cfg_edges", s.cfg_edges)
+        .u64("functions", s.functions)
+        .u64("call_edges", s.call_edges)
+        .u64("declared_indirect", s.declared_indirect)
+        .u64("proven_indirect", s.proven_indirect)
+        .u64("registered_indirect", s.registered_indirect)
+        .u64("executable_pages", s.executable_pages);
+    match s.max_call_depth {
+        Some(d) => stats.u64("max_call_depth", u64::from(d)),
+        None => stats.raw("max_call_depth", "null"),
+    };
+    let mut out = JsonObject::new();
+    out.str("image", &report.image).raw("findings", &findings).raw("stats", &stats.finish());
+    out.finish()
+}
+
+fn print_report(report: &PolicyReport) {
+    let s = &report.stats;
+    println!("image `{}`: static CFG + CFI policy report", report.image);
+    println!(
+        "  {} insns in {} blocks ({} cfg edges), {} functions ({} call edges)",
+        s.insns, s.blocks, s.cfg_edges, s.functions, s.call_edges
+    );
+    match s.max_call_depth {
+        Some(d) => println!("  max static call depth: {d} frames"),
+        None => println!("  max static call depth: unbounded (recursion)"),
+    }
+    println!(
+        "  indirect targets: {} declared, {} proven, {} registered under strict policy",
+        s.declared_indirect, s.proven_indirect, s.registered_indirect
+    );
+    println!("  executable pages: {}", s.executable_pages);
+    if report.findings.is_empty() {
+        println!("  findings: none");
+    } else {
+        println!("  findings ({}):", report.findings.len());
+        for f in &report.findings {
+            println!("    {f}");
         }
     }
 }

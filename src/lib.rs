@@ -17,6 +17,9 @@
 //! This facade crate re-exports the whole workspace:
 //!
 //! * [`isa`] — the IR32 instruction set, assembler and program builder.
+//! * [`analyze`] — static CFG recovery, CFI policy verification and the
+//!   guest-binary lint pass; [`analyze::tighten`] derives the
+//!   declared-∩-proven policy the loader registers with the monitor.
 //! * [`mem`] — caches, TLBs, SDRAM timing, physical memory.
 //! * [`sim`] — cycle-accounting cores, the asymmetric machine, trace FIFO,
 //!   CAM filter, memory watchdog.
@@ -47,6 +50,7 @@
 //! `examples/fleet_parallel.rs` for a six-app fleet surviving an attack
 //! wave.
 
+pub use indra_analyze as analyze;
 pub use indra_bench as bench;
 pub use indra_core as core;
 pub use indra_fleet as fleet;

@@ -1,0 +1,146 @@
+//! End-to-end proof that the static pipeline hardens the monitor: an
+//! over-declared indirect target that the declared-only policy would
+//! accept is dropped by [`indra::analyze::tighten`], so the strict
+//! (default) system flags the control transfer the relaxed system lets
+//! through. Plus the satellite regressions: tighten ≡ from_image on
+//! benign workloads, tighten never grows the declared set, and the
+//! fixture allowlist in `results/ANALYZE_expected.json` stays honest.
+
+use indra::analyze::{analyze_image, fixtures, AppMetadata};
+use indra::core::{FailureCause, IndraSystem, RunState, SystemConfig, ViolationKind};
+use indra::isa::assemble;
+use indra::workloads::{build_app_scaled, ServiceApp};
+
+/// A service with one real handler (`work`) whose metadata *over-declares*
+/// `work + 4` — a mid-function address — as a legitimate indirect target.
+/// A request starting with a nonzero byte makes the service jump there.
+const OVERDECLARED_SERVICE: &str = "
+main:
+    la  s0, buf
+loop:
+    mv  a0, s0
+    li  a1, 64
+    syscall 1            # net_recv
+    lw  t1, 0(s0)
+    beqz t1, benign
+    la  t0, work         # trigger: indirect call into the middle of work
+    addi t0, t0, 4
+    jalr t0
+    j respond
+benign:
+    call work
+respond:
+    mv  a0, s0
+    li  a1, 4
+    syscall 2            # net_send
+    j loop
+
+work:
+    addi a0, zero, 7
+    ret
+
+.data
+buf: .space 64
+";
+
+fn overdeclared_image() -> (indra::isa::Image, u32) {
+    let mut image = assemble("overd", OVERDECLARED_SERVICE).unwrap();
+    let mid = image.addr_of("work").unwrap() + 4;
+    image.indirect_targets.insert(mid);
+    (image, mid)
+}
+
+#[test]
+fn strict_policy_flags_the_overdeclared_target() {
+    let (image, mid) = overdeclared_image();
+
+    // The analyzer sees the over-declaration statically...
+    let report = analyze_image(&image);
+    assert!(!report.clean(), "over-declaration must produce a finding");
+    assert!(!report.tightened.indirect_targets.contains(&mid));
+    assert!(AppMetadata::from_image(&image).indirect_targets.contains(&mid));
+
+    // ...and the default (strict) system registers the tightened policy,
+    // so the runtime transfer to `work + 4` is an invalid indirect target.
+    let mut sys = IndraSystem::new(SystemConfig::default());
+    sys.deploy(&image).unwrap();
+    sys.push_request(vec![0; 4], false); // benign path: direct call
+    sys.push_request(vec![1; 4], true); // trigger: jalr to work + 4
+    let state = sys.run(10_000_000);
+    assert_ne!(state, RunState::BudgetExhausted);
+    assert!(
+        sys.report().detections.iter().any(|d| matches!(
+            d.cause,
+            FailureCause::Violation(ViolationKind::InvalidIndirectTarget)
+        )),
+        "strict policy must flag the mid-function indirect call: {:?}",
+        sys.report().detections
+    );
+    let policy = sys.report().policy;
+    assert_eq!(policy.services, 1);
+    assert!(policy.registered_targets < policy.declared_targets);
+    assert!(policy.static_findings >= 1);
+}
+
+#[test]
+fn relaxed_policy_accepts_the_declared_target() {
+    let (image, _) = overdeclared_image();
+    let cfg = SystemConfig { strict_policy: false, ..SystemConfig::default() };
+    let mut sys = IndraSystem::new(cfg);
+    sys.deploy(&image).unwrap();
+    sys.push_request(vec![0; 4], false);
+    sys.push_request(vec![1; 4], false);
+    let state = sys.run(10_000_000);
+    assert_eq!(state, RunState::Idle);
+    assert_eq!(sys.report().benign_served, 2);
+    assert!(
+        sys.report().detections.is_empty(),
+        "declared-only policy trusts the declaration: {:?}",
+        sys.report().detections
+    );
+    let policy = sys.report().policy;
+    assert_eq!(policy.registered_targets, policy.declared_targets);
+}
+
+/// Satellite 3: on every benign workload the tightened policy agrees with
+/// the trusting loader on executable pages and registers exactly the
+/// declared targets — and never invents new ones.
+#[test]
+fn tighten_agrees_with_from_image_on_benign_workloads() {
+    for app in ServiceApp::ALL {
+        let image = build_app_scaled(app, 20);
+        let report = analyze_image(&image);
+        assert!(report.clean(), "{app}: benign workload must lint clean: {:?}", report.findings);
+        let trusted = AppMetadata::from_image(&image);
+        let tight = &report.tightened;
+        assert_eq!(tight.executable_pages, trusted.executable_pages, "{app}: exec pages");
+        assert_eq!(tight.indirect_targets, trusted.indirect_targets, "{app}: targets");
+        assert_eq!(tight.dynamic_regions, trusted.dynamic_regions, "{app}: dyn regions");
+        assert!(
+            tight.indirect_targets.is_subset(&image.indirect_targets),
+            "{app}: tighten must never grow the declared set"
+        );
+    }
+}
+
+/// Satellite 4 support: the allowlist `ci.sh` greps against must match
+/// both the in-crate expectation table and the analyzer's real output.
+#[test]
+fn expected_findings_file_matches_the_fixtures() {
+    let path = format!("{}/results/ANALYZE_expected.json", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap();
+    for name in fixtures::FIXTURE_NAMES {
+        let kind = fixtures::expected_finding(name).unwrap();
+        let pair = format!("\"{}\":\"{}\"", name, kind.as_str());
+        assert!(text.contains(&pair), "{path} must contain {pair}");
+        let image = fixtures::fixture(name).unwrap();
+        let report = analyze_image(&image);
+        assert!(
+            report.findings.iter().any(|f| f.kind == kind),
+            "fixture {name} must trigger {kind:?}: {:?}",
+            report.findings
+        );
+    }
+    // No stale entries: the file lists exactly the shipped fixtures.
+    assert_eq!(text.matches("\":\"").count(), fixtures::FIXTURE_NAMES.len());
+}
