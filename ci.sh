@@ -12,6 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tier-1: cargo build --release"
 cargo build --release
+# Workspace-member bins the smokes below invoke (simbench lives in
+# crates/bench and is not built by the root-package build above).
+cargo build --release --workspace
 
 echo "== tier-1: cargo test -q"
 cargo test -q
@@ -38,6 +41,39 @@ timeout 300 ./target/release/fleetbench \
   --assert-revivals-min 1 --assert-availability-min 0.99
 grep -qF '"profile":"default"' "$CHAOS_JSON" || {
   echo "BENCH_chaos_smoke.json is missing the default profile run" >&2
+  exit 1
+}
+
+echo "== smoke: fleetd service loop + deterministic replay"
+# Boot the serve daemon on an ephemeral loopback port, drive it with the
+# open-loop load generator (which probes HEALTH and asserts at least one
+# live detection), shut it down gracefully over the wire, then replay
+# the ingress logs — the replayed stats must be byte-identical to the
+# FLEET_stats.json the live daemon wrote at shutdown.
+SERVE_STATE="$SMOKE_DIR/serve-state"
+SERVE_LOG="$SMOKE_DIR/fleetd.log"
+timeout 300 ./target/release/fleetd --quick --state "$SERVE_STATE" \
+  > "$SERVE_LOG" 2>&1 &
+FLEETD_PID=$!
+SERVE_ADDR=""
+for _ in $(seq 1 150); do
+  SERVE_ADDR="$(sed -n 's/^fleetd listening on //p' "$SERVE_LOG")"
+  [ -n "$SERVE_ADDR" ] && break
+  kill -0 "$FLEETD_PID" 2>/dev/null || {
+    echo "fleetd died before announcing its port:" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  }
+  sleep 0.2
+done
+[ -n "$SERVE_ADDR" ] || { echo "fleetd never announced its port" >&2; exit 1; }
+timeout 120 ./target/release/loadgen --quick --addr "$SERVE_ADDR" \
+  --assert-min-detections 1 --shutdown --out "$SMOKE_DIR/loadgen.json"
+wait "$FLEETD_PID"
+timeout 120 ./target/release/fleetd --replay "$SERVE_STATE" \
+  --out "$SMOKE_DIR/replay.json" > /dev/null
+cmp "$SERVE_STATE/FLEET_stats.json" "$SMOKE_DIR/replay.json" || {
+  echo "replay diverged from the live FLEET_stats.json" >&2
   exit 1
 }
 

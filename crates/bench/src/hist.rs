@@ -253,6 +253,37 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_order_invariant() {
+        // Property: folding any partition of a sample stream, in any
+        // order, yields the same histogram as recording the stream into
+        // one histogram — the fleet aggregator and the serve daemon
+        // both rely on this to make shard order irrelevant.
+        indra_rng::forall("hist merge order invariance", 64, |rng| {
+            let parts = rng.range_usize(2, 6);
+            let mut split: Vec<Histogram> = (0..parts).map(|_| Histogram::new()).collect();
+            let mut whole = Histogram::new();
+            for _ in 0..rng.range_usize(0, 400) {
+                // Span several octaves so sub-bucket boundaries get hit.
+                let octave = rng.range_u32(1, 40);
+                let v = rng.range_u64(0, 1 << octave);
+                let part = rng.range_usize(0, parts);
+                split[part].record(v);
+                whole.record(v);
+            }
+            // Fold in a random order, merging into a random accumulator.
+            while split.len() > 1 {
+                let take = rng.range_usize(0, split.len());
+                let part = split.swap_remove(take);
+                let into = rng.range_usize(0, split.len());
+                split[into].merge(&part);
+            }
+            assert_eq!(split[0], whole);
+            assert_eq!(split[0].summary(), whole.summary());
+            assert_eq!(split[0].summary().to_json(), whole.summary().to_json());
+        });
+    }
+
+    #[test]
     fn percentiles_order_and_tail() {
         let mut h = Histogram::new();
         for i in 1..=1000u64 {

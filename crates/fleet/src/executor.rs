@@ -93,7 +93,7 @@ pub(crate) fn run_fleet_with(
         .enumerate()
         .map(|(i, o)| o.unwrap_or_else(|| panic!("shard {i} never reported")))
         .collect();
-    let stats = aggregate(cfg, &outputs, latency);
+    let stats = aggregate_stats(&outputs, latency);
     let shard_host = outputs
         .iter()
         .map(|o| ShardHostPerf {
@@ -109,12 +109,12 @@ pub(crate) fn run_fleet_with(
     FleetReport { stats, wall_seconds, wall_req_per_sec, shard_host, supervision: None }
 }
 
-/// Folds shard outputs (already in shard order) into fleet-wide stats.
-pub(crate) fn aggregate(
-    cfg: &FleetConfig,
-    outputs: &[ShardOutput],
-    latency: Histogram,
-) -> FleetStats {
+/// Folds shard outputs (already in shard order) into fleet-wide
+/// [`FleetStats`]. Public because the service daemon (`indra-serve`)
+/// aggregates its live and replayed shards through the exact same fold
+/// — byte-identity of the two paths depends on sharing this code.
+#[must_use]
+pub fn aggregate_stats(outputs: &[ShardOutput], latency: Histogram) -> FleetStats {
     let per_shard: Vec<_> = outputs.iter().map(ShardOutput::summary).collect();
     let sum = |f: fn(&crate::ShardSummary) -> u64| per_shard.iter().map(f).sum::<u64>();
     let served = sum(|s| s.served);
@@ -122,7 +122,7 @@ pub(crate) fn aggregate(
     let benign_served = sum(|s| s.benign_served);
     let max_shard_cycles = per_shard.iter().map(|s| s.sim_cycles).max().unwrap_or(0);
     FleetStats {
-        shards: cfg.shards,
+        shards: outputs.len(),
         served,
         benign_sent,
         benign_served,

@@ -47,7 +47,7 @@ pub mod sweep;
 pub use chaos::{
     plan_for_shard, ChaosConfig, GuestBurst, HostEvent, HostEventKind, ShardChaosPlan,
 };
-pub use executor::run_fleet;
+pub use executor::{aggregate_stats, run_fleet};
 pub use persist::{resume_fleet, RestoredShard, ShardProgress};
 pub use report::{
     FleetReport, FleetStats, ShardHostPerf, ShardSummary, ShardSupervision, SupervisionStats,
@@ -118,6 +118,14 @@ pub struct FleetConfig {
     /// way; the flag exists so equivalence tests can force the slow
     /// reference path.
     pub fast_paths: bool,
+    /// Graceful-shutdown flag (e.g. raised by a SIGINT/SIGTERM handler).
+    /// Checked at every run-slice boundary — a checkpoint boundary — so
+    /// a shutdown drains cleanly: the store is never torn mid-write and
+    /// the run is resumable. The interrupted run reports `completed =
+    /// false` on unfinished shards. Never persisted to `fleet.meta`
+    /// (like `halt_after_checkpoints`, it describes this process, not
+    /// the run).
+    pub shutdown: Option<&'static std::sync::atomic::AtomicBool>,
 }
 
 impl Default for FleetConfig {
@@ -140,6 +148,7 @@ impl Default for FleetConfig {
             store_dir: None,
             halt_after_checkpoints: None,
             fast_paths: true,
+            shutdown: None,
         }
     }
 }

@@ -168,6 +168,7 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> Result<FleetConfig, PersistError> {
         store_dir: None,
         halt_after_checkpoints: None,
         fast_paths: r.bool("meta fast paths")?,
+        shutdown: None,
     };
     r.expect_exhausted("meta trailing bytes")?;
     Ok(cfg)

@@ -317,6 +317,16 @@ pub(crate) fn run_shard_inner(
             return Ok(());
         }
 
+        // Graceful shutdown (signal handler raised the flag): stop at
+        // this slice boundary. The boundary is also the checkpoint
+        // boundary, so everything durable is already consistent — the
+        // final checkpoint below (if due) or the last one written makes
+        // the store resumable with no torn state.
+        if cfg.shutdown.is_some_and(|f| f.load(Ordering::SeqCst)) {
+            completed = false;
+            break;
+        }
+
         // Heartbeat at every run-slice boundary.
         emit(ShardMsg::Beat(BeatMsg {
             shard: plan.shard,

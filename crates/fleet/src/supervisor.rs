@@ -47,7 +47,7 @@ use crate::chaos::{
     describe_panic, install_chaos_panic_hook, plan_for_shard, ChaosConfig, ChaosRuntime,
     ShardChaosPlan,
 };
-use crate::executor::aggregate;
+use crate::executor::aggregate_stats;
 use crate::persist::{decode_progress, encode_meta, RestoredShard};
 use crate::report::{ShardHostPerf, ShardSupervision, SupervisionStats};
 use crate::shard::{
@@ -500,7 +500,7 @@ fn assemble_report(
             latency.record(s.cycles);
         }
     }
-    let stats = aggregate(cfg, &outputs, latency);
+    let stats = aggregate_stats(&outputs, latency);
 
     let per_shard: Vec<ShardSupervision> = slots
         .iter()

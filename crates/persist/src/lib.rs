@@ -31,6 +31,7 @@
 mod codec;
 mod crc;
 mod error;
+mod ingress;
 mod journal;
 mod snapshot;
 mod store;
@@ -39,6 +40,10 @@ mod wire;
 pub use codec::{decode_small_state, encode_small_state};
 pub use crc::crc32;
 pub use error::PersistError;
+pub use ingress::{
+    encode_ingress_header, encode_ingress_record, read_ingress_log, IngressKind,
+    IngressLogContents, IngressRecord, IngressWriter, INGRESS_FILE, MAGIC_INGRESS,
+};
 pub use journal::{
     encode_journal_header, encode_record, read_journal, JournalRecord, MAGIC_JOURNAL,
 };

@@ -1,0 +1,620 @@
+//! The `fleetd` wire protocol: length-prefixed, CRC-protected binary
+//! frames over TCP.
+//!
+//! Framing mirrors the persist journal's hostile-input discipline:
+//!
+//! ```text
+//! u32 payload_len | u32 crc32(payload) | payload
+//! ```
+//!
+//! The length is validated against [`MAX_FRAME`] *before* any
+//! allocation, so a hostile peer can never trigger an absurd buffer;
+//! the CRC catches corruption; and every decode failure is a typed
+//! [`FrameError`], never a panic. The first payload byte is the frame
+//! kind; the rest is read with the length-checked
+//! [`indra_persist::WireReader`] primitives.
+
+use std::io::{Read, Write};
+
+use indra_persist::{crc32, PersistError, WireReader, WireWriter};
+
+/// Hard ceiling on one frame's payload size (1 MiB). Checked before
+/// allocating; an oversized length is a fatal protocol error.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Hard ceiling on one request's data payload — comfortably above any
+/// request the workload generator emits, far below [`MAX_FRAME`].
+pub const MAX_REQUEST_DATA: u32 = 1 << 16;
+
+/// Typed wire-protocol failure. Never a panic, never an unbounded
+/// allocation — the hostile-length discipline of `crates/persist`.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket/file I/O failed.
+    Io(std::io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized {
+        /// The claimed payload length.
+        len: u32,
+    },
+    /// The payload did not match its CRC.
+    BadCrc {
+        /// CRC stored in the frame header.
+        stored: u32,
+        /// CRC computed over the received payload.
+        computed: u32,
+    },
+    /// The frame kind byte is not one this protocol defines.
+    UnknownKind(u8),
+    /// The payload was shorter than its kind requires.
+    Truncated {
+        /// Which field ran out of bytes.
+        context: &'static str,
+    },
+    /// The payload decoded to something structurally invalid.
+    Malformed {
+        /// Which field was invalid.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::BadCrc { stored, computed } => {
+                write!(f, "frame crc mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::Truncated { context } => write!(f, "frame truncated at {context}"),
+            FrameError::Malformed { context } => write!(f, "frame malformed at {context}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+impl From<PersistError> for FrameError {
+    fn from(e: PersistError) -> FrameError {
+        match e {
+            PersistError::Truncated { context } => FrameError::Truncated { context },
+            PersistError::Corrupt { context } => FrameError::Malformed { context },
+            _ => FrameError::Malformed { context: "frame payload" },
+        }
+    }
+}
+
+/// The verdict a shard reached on one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Served normally (response produced).
+    Served,
+    /// Attack detected; micro rollback (per-request) recovered.
+    DetectedMicro,
+    /// Attack detected; macro (application checkpoint) recovery ran.
+    DetectedMacro,
+    /// The request proved poisonous (killed its shard twice) and was
+    /// quarantined — the shard revived without it.
+    Quarantined,
+}
+
+impl Verdict {
+    fn tag(self) -> u8 {
+        match self {
+            Verdict::Served => 0,
+            Verdict::DetectedMicro => 1,
+            Verdict::DetectedMacro => 2,
+            Verdict::Quarantined => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Verdict, FrameError> {
+        Ok(match tag {
+            0 => Verdict::Served,
+            1 => Verdict::DetectedMicro,
+            2 => Verdict::DetectedMacro,
+            3 => Verdict::Quarantined,
+            _ => return Err(FrameError::Malformed { context: "verdict tag" }),
+        })
+    }
+}
+
+/// Why a request was turned away at admission (the 429 of this
+/// protocol: typed, immediate, never a silent drop or unbounded queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Every live shard's ingress queue is at its depth watermark.
+    QueueFull,
+    /// No shard is live (all draining or drained).
+    NoShards,
+    /// The request payload exceeds [`MAX_REQUEST_DATA`].
+    TooLarge,
+}
+
+impl RejectReason {
+    fn tag(self) -> u8 {
+        match self {
+            RejectReason::QueueFull => 0,
+            RejectReason::NoShards => 1,
+            RejectReason::TooLarge => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<RejectReason, FrameError> {
+        Ok(match tag {
+            0 => RejectReason::QueueFull,
+            1 => RejectReason::NoShards,
+            2 => RejectReason::TooLarge,
+            _ => return Err(FrameError::Malformed { context: "reject reason tag" }),
+        })
+    }
+}
+
+/// Daemon health snapshot (the `HEALTH` control reply).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReply {
+    /// At least one shard is live and accepting requests.
+    pub ok: bool,
+    /// The service app every shard runs (clients build matching
+    /// payloads from this + `scale`).
+    pub app: String,
+    /// Work-scale divisor of the deployed service images.
+    pub scale: u32,
+    /// Shards currently accepting requests.
+    pub shards_live: u32,
+    /// Shards draining (checkpoint-backed scale-down in progress).
+    pub shards_draining: u32,
+    /// Requests served since startup.
+    pub served: u64,
+    /// Detections (recovery episodes) since startup.
+    pub detections: u64,
+    /// Worker revivals (engine rebuilds after a death) since startup.
+    pub revivals: u64,
+    /// Requests quarantined as poison since startup.
+    pub quarantined: u64,
+    /// Requests rejected at admission since startup.
+    pub rejected: u64,
+}
+
+/// One protocol frame, either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → daemon: one service request.
+    Request {
+        /// Client-chosen id, echoed on the response.
+        id: u64,
+        /// Ground-truth malicious tag (the load generator knows what it
+        /// sent; the daemon uses it only for accounting, never for
+        /// detection).
+        malicious: bool,
+        /// Raw request payload, handed to the simulated service.
+        data: Vec<u8>,
+    },
+    /// Client → daemon: request the service-level stats JSON.
+    Stats,
+    /// Client → daemon: request a health snapshot.
+    Health,
+    /// Client → daemon: drain one shard (checkpoint + stop accepting).
+    Drain {
+        /// Shard index to drain.
+        shard: u32,
+    },
+    /// Client → daemon: scale the live shard count up or down.
+    Scale {
+        /// Target live shard count.
+        shards: u32,
+    },
+    /// Client → daemon: drain everything and exit gracefully.
+    Shutdown,
+    /// Daemon → client: the shard's answer to a `Request`.
+    Response {
+        /// Echoed client id.
+        id: u64,
+        /// Shard that served it.
+        shard: u32,
+        /// What happened.
+        verdict: Verdict,
+        /// Delivery-to-response resurrectee cycles (0 unless `Served`).
+        latency_cycles: u64,
+    },
+    /// Daemon → client: the request was not admitted.
+    Rejected {
+        /// Echoed client id.
+        id: u64,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// Daemon → client: service-level stats as JSON.
+    StatsReply {
+        /// The stats document.
+        json: String,
+    },
+    /// Daemon → client: health snapshot.
+    HealthReply(HealthReply),
+    /// Daemon → client: a control frame succeeded.
+    ControlOk {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Daemon → client: a control frame failed.
+    ControlErr {
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+fn encode_payload(frame: &Frame) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    match frame {
+        Frame::Request { id, malicious, data } => {
+            w.u8(1);
+            w.u64(*id);
+            w.bool(*malicious);
+            w.bytes(data);
+        }
+        Frame::Stats => w.u8(2),
+        Frame::Health => w.u8(3),
+        Frame::Drain { shard } => {
+            w.u8(4);
+            w.u32(*shard);
+        }
+        Frame::Scale { shards } => {
+            w.u8(5);
+            w.u32(*shards);
+        }
+        Frame::Shutdown => w.u8(6),
+        Frame::Response { id, shard, verdict, latency_cycles } => {
+            w.u8(16);
+            w.u64(*id);
+            w.u32(*shard);
+            w.u8(verdict.tag());
+            w.u64(*latency_cycles);
+        }
+        Frame::Rejected { id, reason } => {
+            w.u8(17);
+            w.u64(*id);
+            w.u8(reason.tag());
+        }
+        Frame::StatsReply { json } => {
+            w.u8(18);
+            w.str(json);
+        }
+        Frame::HealthReply(h) => {
+            w.u8(19);
+            w.bool(h.ok);
+            w.str(&h.app);
+            w.u32(h.scale);
+            w.u32(h.shards_live);
+            w.u32(h.shards_draining);
+            w.u64(h.served);
+            w.u64(h.detections);
+            w.u64(h.revivals);
+            w.u64(h.quarantined);
+            w.u64(h.rejected);
+        }
+        Frame::ControlOk { detail } => {
+            w.u8(20);
+            w.str(detail);
+        }
+        Frame::ControlErr { msg } => {
+            w.u8(21);
+            w.str(msg);
+        }
+    }
+    w.finish()
+}
+
+/// Decodes one frame payload (the bytes *after* the length/CRC header).
+///
+/// # Errors
+///
+/// Typed [`FrameError`] on any structural problem; never panics.
+pub fn decode_payload(payload: &[u8]) -> Result<Frame, FrameError> {
+    let mut r = WireReader::new(payload);
+    let kind = r.u8("frame kind")?;
+    let frame = match kind {
+        1 => {
+            let id = r.u64("request id")?;
+            let malicious = r.bool("request malicious")?;
+            let data = r.bytes("request data")?;
+            if data.len() > MAX_REQUEST_DATA as usize {
+                return Err(FrameError::Malformed { context: "request data too large" });
+            }
+            Frame::Request { id, malicious, data: data.to_vec() }
+        }
+        2 => Frame::Stats,
+        3 => Frame::Health,
+        4 => Frame::Drain { shard: r.u32("drain shard")? },
+        5 => Frame::Scale { shards: r.u32("scale target")? },
+        6 => Frame::Shutdown,
+        16 => Frame::Response {
+            id: r.u64("response id")?,
+            shard: r.u32("response shard")?,
+            verdict: Verdict::from_tag(r.u8("response verdict")?)?,
+            latency_cycles: r.u64("response latency")?,
+        },
+        17 => Frame::Rejected {
+            id: r.u64("rejected id")?,
+            reason: RejectReason::from_tag(r.u8("rejected reason")?)?,
+        },
+        18 => Frame::StatsReply { json: r.str("stats json")? },
+        19 => Frame::HealthReply(HealthReply {
+            ok: r.bool("health ok")?,
+            app: r.str("health app")?,
+            scale: r.u32("health scale")?,
+            shards_live: r.u32("health live")?,
+            shards_draining: r.u32("health draining")?,
+            served: r.u64("health served")?,
+            detections: r.u64("health detections")?,
+            revivals: r.u64("health revivals")?,
+            quarantined: r.u64("health quarantined")?,
+            rejected: r.u64("health rejected")?,
+        }),
+        20 => Frame::ControlOk { detail: r.str("control detail")? },
+        21 => Frame::ControlErr { msg: r.str("control error")? },
+        other => return Err(FrameError::UnknownKind(other)),
+    };
+    r.expect_exhausted("frame trailing bytes")?;
+    Ok(frame)
+}
+
+/// Encodes a full wire frame (header + payload), ready to write.
+#[must_use]
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let payload = encode_payload(frame);
+    let len = u32::try_from(payload.len()).expect("frame payload fits u32");
+    assert!(len <= MAX_FRAME, "encoder produced an oversized frame");
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes one frame from the front of `buf`, returning it plus the
+/// bytes consumed. The length prefix is validated against [`MAX_FRAME`]
+/// and the bytes actually present *before* anything is allocated.
+///
+/// # Errors
+///
+/// [`FrameError::Truncated`] when the buffer holds less than one whole
+/// frame; other variants as the frame decodes.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+    if buf.len() < 8 {
+        return Err(FrameError::Truncated { context: "frame header" });
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("sized"));
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized { len });
+    }
+    let stored = u32::from_le_bytes(buf[4..8].try_into().expect("sized"));
+    let total = 8 + len as usize;
+    if buf.len() < total {
+        return Err(FrameError::Truncated { context: "frame payload" });
+    }
+    let payload = &buf[8..total];
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(FrameError::BadCrc { stored, computed });
+    }
+    Ok((decode_payload(payload)?, total))
+}
+
+/// Reads one frame from a stream. A clean EOF before any header byte is
+/// [`FrameError::Closed`]; EOF mid-frame is [`FrameError::Truncated`].
+///
+/// # Errors
+///
+/// Typed [`FrameError`] for I/O, framing and decode failures.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut header = [0u8; 8];
+    let mut got = 0usize;
+    while got < 8 {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Err(FrameError::Closed),
+            Ok(0) => return Err(FrameError::Truncated { context: "frame header" }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("sized"));
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized { len });
+    }
+    let stored = u32::from_le_bytes(header[4..8].try_into().expect("sized"));
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated { context: "frame payload" }
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    let computed = crc32(&payload);
+    if stored != computed {
+        return Err(FrameError::BadCrc { stored, computed });
+    }
+    decode_payload(&payload)
+}
+
+/// Writes one frame to a stream.
+///
+/// # Errors
+///
+/// I/O failure.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indra_rng::forall;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Request { id: 7, malicious: true, data: vec![1, 2, 3] },
+            Frame::Stats,
+            Frame::Health,
+            Frame::Drain { shard: 3 },
+            Frame::Scale { shards: 9 },
+            Frame::Shutdown,
+            Frame::Response {
+                id: 7,
+                shard: 1,
+                verdict: Verdict::DetectedMicro,
+                latency_cycles: 42,
+            },
+            Frame::Rejected { id: 8, reason: RejectReason::QueueFull },
+            Frame::StatsReply { json: "{\"served\":1}".into() },
+            Frame::HealthReply(HealthReply {
+                ok: true,
+                app: "httpd".into(),
+                scale: 40,
+                shards_live: 2,
+                shards_draining: 1,
+                served: 10,
+                detections: 2,
+                revivals: 1,
+                quarantined: 0,
+                rejected: 3,
+            }),
+            Frame::ControlOk { detail: "drained".into() },
+            Frame::ControlErr { msg: "no such shard".into() },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_kind() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            let (back, used) = decode_frame(&bytes).unwrap();
+            assert_eq!(back, frame);
+            assert_eq!(used, bytes.len());
+            // And through the stream reader.
+            let mut cursor = std::io::Cursor::new(bytes);
+            assert_eq!(read_frame(&mut cursor).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_cut_is_typed() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            for cut in 0..bytes.len() {
+                match decode_frame(&bytes[..cut]) {
+                    Err(FrameError::Truncated { .. }) => {}
+                    other => panic!("cut {cut} of {frame:?}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut bytes = vec![];
+        bytes.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(decode_frame(&bytes), Err(FrameError::Oversized { .. })));
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Oversized { .. })));
+    }
+
+    #[test]
+    fn oversized_request_data_is_rejected() {
+        let frame = Frame::Request {
+            id: 1,
+            malicious: false,
+            data: vec![0; MAX_REQUEST_DATA as usize + 1],
+        };
+        let bytes = encode_frame(&frame);
+        assert!(matches!(decode_frame(&bytes), Err(FrameError::Malformed { .. })));
+    }
+
+    #[test]
+    fn crc_flip_is_detected_everywhere() {
+        let frame = Frame::Request { id: 9, malicious: false, data: vec![5; 32] };
+        let bytes = encode_frame(&frame);
+        // Flip every payload byte in turn: always BadCrc (or, for the
+        // stored-CRC bytes themselves, BadCrc too).
+        for i in 4..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                matches!(decode_frame(&bad), Err(FrameError::BadCrc { .. })),
+                "flip at {i} was not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut empty), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn fuzz_random_bytes_never_panic() {
+        forall("proto random bytes", 500, |rng| {
+            let len = rng.range_u64(0, 160) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen_u8()).collect();
+            // Any result is fine; a panic or runaway allocation is not.
+            let _ = decode_frame(&bytes);
+            let mut cursor = std::io::Cursor::new(bytes);
+            let _ = read_frame(&mut cursor);
+        });
+    }
+
+    #[test]
+    fn fuzz_valid_frames_survive_mutation_typed() {
+        let frames = sample_frames();
+        forall("proto frame mutation", 300, |rng| {
+            let frame = &frames[rng.range_u64(0, frames.len() as u64) as usize];
+            let mut bytes = encode_frame(frame);
+            // Mutate 1–4 bytes anywhere in the frame.
+            for _ in 0..rng.range_u64(1, 5) {
+                let i = rng.range_u64(0, bytes.len() as u64) as usize;
+                bytes[i] ^= rng.gen_u8() | 1;
+            }
+            match decode_frame(&bytes) {
+                // Either it still decodes (mutation cancelled out /
+                // mutated into another valid frame) or the error is
+                // typed. Both fine; panics and hangs are not.
+                Ok(_) | Err(_) => {}
+            }
+        });
+    }
+
+    #[test]
+    fn fuzz_hostile_length_prefixes_never_allocate() {
+        forall("proto hostile lengths", 300, |rng| {
+            let claimed = rng.range_u64(0, u64::from(u32::MAX)) as u32;
+            let mut bytes = claimed.to_le_bytes().to_vec();
+            bytes.extend_from_slice(&rng.next_u64().to_le_bytes());
+            match decode_frame(&bytes) {
+                Err(
+                    FrameError::Oversized { .. }
+                    | FrameError::Truncated { .. }
+                    | FrameError::BadCrc { .. }
+                    | FrameError::Malformed { .. }
+                    | FrameError::UnknownKind(_),
+                ) => {}
+                Ok(_) => {} // tiny claimed length that happened to parse
+                Err(e) => panic!("unexpected error class: {e}"),
+            }
+        });
+    }
+}

@@ -1,21 +1,40 @@
 //! `fleetbench` — shard-count scaling sweep over the parallel fleet
 //! executor. All logic lives in [`indra_fleet::sweep`]; this wrapper
-//! only exists so `cargo run --release --bin fleetbench` works from the
-//! workspace root.
+//! installs the graceful-shutdown signal handlers and exists so `cargo
+//! run --release --bin fleetbench` works from the workspace root.
 
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
 
 use indra_fleet::sweep::{parse_args, run_sweep, USAGE};
+use indra_serve::install_shutdown_handler;
 
 fn main() -> ExitCode {
     match parse_args(std::env::args().skip(1)) {
-        Ok(args) => match run_sweep(&args) {
-            Ok(_) => ExitCode::SUCCESS,
-            Err(msg) => {
-                eprintln!("{msg}");
-                ExitCode::FAILURE
+        Ok(mut args) => {
+            // SIGINT/SIGTERM drain every shard at the next run-slice
+            // boundary and flush a final checkpoint, so an interrupted
+            // checkpointing run resumes byte-identically.
+            let shutdown = install_shutdown_handler();
+            args.base.shutdown = Some(shutdown);
+            match run_sweep(&args) {
+                Ok(_) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        if let Some(store) = &args.base.store_dir {
+                            eprintln!("fleetbench: interrupted; resume with --resume {store}");
+                        } else {
+                            eprintln!("fleetbench: interrupted (no --store, nothing to resume)");
+                        }
+                        return ExitCode::from(130);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
             }
-        },
+        }
         Err(msg) if msg == USAGE => {
             println!("{msg}");
             ExitCode::SUCCESS

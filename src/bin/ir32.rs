@@ -24,14 +24,51 @@ use indra::os::{Os, SyscallEffect};
 use indra::sim::{CoreStep, Machine, MachineConfig, TraceEvent};
 use indra::workloads::{build_app_scaled, ServiceApp};
 
+const USAGE: &str = "usage: ir32 <asm|disasm|run|trace> <file.s> [--req DATA]...\n       ir32 <analyze|lint> (<file.s> | --app NAME [--scale N] | --fixture NAME) [--json]";
+
+/// Rejects unknown `--flags` (previously silently ignored) and flags
+/// missing their value. Positional arguments pass through.
+fn check_flags(
+    cmd: &str,
+    args: &[String],
+    with_value: &[&str],
+    bare: &[&str],
+) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            if with_value.contains(&a) {
+                if i + 1 >= args.len() {
+                    return Err(format!("ir32 {cmd}: {a} needs a value\n{USAGE}"));
+                }
+                i += 2;
+                continue;
+            }
+            if !bare.contains(&a) {
+                return Err(format!("ir32 {cmd}: unknown option {a}\n{USAGE}"));
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!(
-            "usage: ir32 <asm|disasm|run|trace> <file.s> [--req DATA]...\n       ir32 <analyze|lint> (<file.s> | --app NAME [--scale N] | --fixture NAME) [--json]"
-        );
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    let flag_check = if cmd == "analyze" || cmd == "lint" {
+        check_flags(cmd, rest, &["--app", "--scale", "--fixture"], &["--json"])
+    } else {
+        check_flags(cmd, rest, &["--req"], &[])
+    };
+    if let Err(msg) = flag_check {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
     if cmd == "analyze" || cmd == "lint" {
         return cmd_analyze(cmd, rest);
     }

@@ -33,6 +33,10 @@
 //! * [`fleet`] — the sharded parallel fleet executor: many independent
 //!   INDRA cells across OS threads under deterministic open-loop
 //!   traffic, aggregated into one fleet-wide report.
+//! * [`serve`] — the live control plane: the `fleetd` daemon serving
+//!   fleet traffic over a real TCP socket (bounded admission, live
+//!   scale/drain, graceful shutdown) with deterministic record/replay
+//!   from per-shard ingress logs, plus the open-loop `loadgen`.
 //! * [`persist`] — the durable snapshot store and write-ahead delta
 //!   journal: crash-safe checkpointing of whole frozen systems, and
 //!   byte-identical fleet resume after a kill (see
@@ -59,5 +63,6 @@ pub use indra_mem as mem;
 pub use indra_os as os;
 pub use indra_persist as persist;
 pub use indra_rng as rng;
+pub use indra_serve as serve;
 pub use indra_sim as sim;
 pub use indra_workloads as workloads;

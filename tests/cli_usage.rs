@@ -1,0 +1,69 @@
+//! CLI hardening regression: every binary must reject unknown or
+//! malformed flags with a nonzero exit and a usage string on stderr —
+//! and `--help` must succeed. `ir32` used to silently ignore unknown
+//! `--flags`; these tests pin the hardened behavior.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(bin).args(args).output().expect("spawn binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn fleetbench_rejects_unknown_and_malformed_flags() {
+    let bin = env!("CARGO_BIN_EXE_fleetbench");
+    let (ok, _, err) = run(bin, &["--frobnicate"]);
+    assert!(!ok, "unknown flag must exit nonzero");
+    assert!(err.contains("unknown option --frobnicate") && err.contains("USAGE"), "{err}");
+    let (ok, _, err) = run(bin, &["--shards", "zero"]);
+    assert!(!ok && err.contains("--shards"), "{err}");
+    let (ok, out, _) = run(bin, &["--help"]);
+    assert!(ok && out.contains("USAGE"), "{out}");
+}
+
+#[test]
+fn fleetd_rejects_unknown_and_malformed_flags() {
+    let bin = env!("CARGO_BIN_EXE_fleetd");
+    let (ok, _, err) = run(bin, &["--state", "d", "--bogus"]);
+    assert!(!ok, "unknown flag must exit nonzero");
+    assert!(err.contains("unknown option --bogus") && err.contains("USAGE"), "{err}");
+    let (ok, _, err) = run(bin, &["--port", "1"]);
+    assert!(!ok && err.contains("--state"), "missing --state must fail: {err}");
+    let (ok, _, err) = run(bin, &["--state", "d", "--app", "notepad"]);
+    assert!(!ok && err.contains("unknown service"), "{err}");
+    let (ok, out, _) = run(bin, &["--help"]);
+    assert!(ok && out.contains("USAGE"), "{out}");
+}
+
+#[test]
+fn loadgen_rejects_unknown_and_malformed_flags() {
+    let bin = env!("CARGO_BIN_EXE_loadgen");
+    let (ok, _, err) = run(bin, &["--addr", "x", "--frobnicate"]);
+    assert!(!ok, "unknown flag must exit nonzero");
+    assert!(err.contains("unknown option --frobnicate") && err.contains("USAGE"), "{err}");
+    let (ok, _, err) = run(bin, &[]);
+    assert!(!ok && err.contains("--addr"), "missing --addr must fail: {err}");
+    let (ok, _, err) = run(bin, &["--addr", "x", "--rates", "0"]);
+    assert!(!ok && err.contains("--rates"), "{err}");
+    let (ok, out, _) = run(bin, &["--help"]);
+    assert!(ok && out.contains("USAGE"), "{out}");
+}
+
+#[test]
+fn ir32_rejects_unknown_flags_instead_of_ignoring_them() {
+    let bin = env!("CARGO_BIN_EXE_ir32");
+    let (ok, _, err) = run(bin, &["lint", "--app", "httpd", "--bogus"]);
+    assert!(!ok, "unknown flag must exit nonzero");
+    assert!(err.contains("unknown option --bogus") && err.contains("usage"), "{err}");
+    let (ok, _, err) = run(bin, &["run", "prog.s", "--req"]);
+    assert!(!ok && err.contains("--req needs a value"), "{err}");
+    let (ok, _, err) = run(bin, &["asm", "prog.s", "--json"]);
+    assert!(!ok && err.contains("unknown option --json"), "--json is lint-only: {err}");
+    let (ok, _, err) = run(bin, &[]);
+    assert!(!ok && err.contains("usage"), "{err}");
+}
