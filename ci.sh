@@ -44,6 +44,25 @@ grep -qF '"profile":"default"' "$CHAOS_JSON" || {
   exit 1
 }
 
+echo "== smoke: replica voting masks stealth corruption"
+# Three replicas per shard under the stealth profile: silent guest-memory
+# bit flips the monitor never sees. The run must catch at least one
+# divergence by voting, fire at least one scheduled rejuvenation, and —
+# the headline property — produce FleetStats byte-identical to the same
+# run with chaos off (the fault is masked, not merely reported).
+REPLICA_CLEAN="$SMOKE_DIR/replica_clean_stats.json"
+REPLICA_STEALTH="$SMOKE_DIR/replica_stealth_stats.json"
+timeout 300 ./target/release/fleetbench \
+  --quick --replicas 3 --rejuvenate-every 4 --chaos-out "$REPLICA_CLEAN"
+timeout 300 ./target/release/fleetbench \
+  --quick --replicas 3 --rejuvenate-every 4 --chaos stealth \
+  --chaos-out "$REPLICA_STEALTH" \
+  --assert-divergences-min 1 --assert-revivals-min 2
+cmp "$REPLICA_CLEAN" "$REPLICA_STEALTH" || {
+  echo "stealth run's FleetStats diverged from the chaos-free run" >&2
+  exit 1
+}
+
 echo "== smoke: fleetd service loop + deterministic replay"
 # Boot the serve daemon on an ephemeral loopback port, drive it with the
 # open-loop load generator (which probes HEALTH and asserts at least one

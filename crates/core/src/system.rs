@@ -963,12 +963,29 @@ impl IndraSystem {
     /// images, then injects this state via [`IndraSystem::restore_state`].
     #[must_use]
     pub fn freeze(&self) -> SystemState {
+        self.freeze_inner(true)
+    }
+
+    /// Like [`IndraSystem::freeze`] but with `machine.phys` left empty.
+    /// The replica layer digests physical frames incrementally (dirty
+    /// frames only), so per-vote captures must not clone every resident
+    /// frame. The result is **not** restorable — encode-only.
+    #[must_use]
+    pub fn freeze_sans_phys(&self) -> SystemState {
+        self.freeze_inner(false)
+    }
+
+    fn freeze_inner(&self, with_phys: bool) -> SystemState {
         fn sorted<T>(mut v: Vec<(usize, T)>) -> Vec<(usize, T)> {
             v.sort_unstable_by_key(|&(core, _)| core);
             v
         }
         SystemState {
-            machine: self.machine.save_state(),
+            machine: if with_phys {
+                self.machine.save_state()
+            } else {
+                self.machine.save_state_sans_phys()
+            },
             os: self.os.save_state(),
             monitor: self.monitor.save_state(),
             scheme: self.scheme.save_state(),

@@ -67,6 +67,13 @@ pub struct ChaosConfig {
     /// Plant one poison request (on shard 0) whose delivery kills the
     /// shard until the supervisor quarantines it.
     pub poison: bool,
+    /// Silent guest-memory corruptions per shard: a seeded bit flip in
+    /// a resident physical frame with **no monitor-visible event** — no
+    /// trace record, no fault injection, no panic. The trace monitor is
+    /// structurally blind to these; only the replica layer's divergence
+    /// voting detects them (the plain fleet path carries the events in
+    /// its plan but never applies them).
+    pub stealth: u32,
 }
 
 impl ChaosConfig {
@@ -83,6 +90,7 @@ impl ChaosConfig {
             guest_bursts: 0,
             burst_faults: 0,
             poison: false,
+            stealth: 0,
         }
     }
 
@@ -94,14 +102,16 @@ impl ChaosConfig {
             && self.wal_tears == 0
             && self.guest_bursts == 0
             && !self.poison
+            && self.stealth == 0
     }
 
     /// Resolves a named profile.
     ///
     /// Profiles: `off`, `light` (1 kill), `kills` (2 kills), `stalls`
     /// (1 stall), `wal` (1 journal tear), `poison` (1 poison request),
-    /// `default` (1 kill + 1 tear + 1 guest burst), `heavy` (2 kills +
-    /// 1 stall + 1 tear + 2 bursts + poison).
+    /// `stealth` (1 silent memory corruption — monitor-blind, replica
+    /// voting only), `default` (1 kill + 1 tear + 1 guest burst),
+    /// `heavy` (2 kills + 1 stall + 1 tear + 2 bursts + poison).
     ///
     /// # Errors
     ///
@@ -115,6 +125,7 @@ impl ChaosConfig {
             "stalls" => ChaosConfig { stalls: 1, ..base },
             "wal" => ChaosConfig { wal_tears: 1, ..base },
             "poison" => ChaosConfig { poison: true, ..base },
+            "stealth" => ChaosConfig { stealth: 1, ..base },
             "default" => {
                 ChaosConfig { kills: 1, wal_tears: 1, guest_bursts: 1, burst_faults: 2, ..base }
             }
@@ -130,7 +141,7 @@ impl ChaosConfig {
             other => {
                 return Err(format!(
                     "unknown chaos profile {other:?} (try off, light, kills, stalls, wal, \
-                     poison, default, heavy)"
+                     poison, stealth, default, heavy)"
                 ))
             }
         })
@@ -172,6 +183,27 @@ pub struct GuestBurst {
     pub faults: u32,
 }
 
+/// One silent memory corruption, fired by the *replica runner only*
+/// when the targeted replica's delivered count reaches `at_served`:
+/// a single bit flip in a seeded resident physical frame, with no trace
+/// event, no injected fault and no panic. The monitor never sees it —
+/// divergence voting is the only detector. Salts (not concrete targets)
+/// are planned so the choice adapts to whatever is resident at strike
+/// time while staying a pure function of the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealthEvent {
+    /// Delivered-request threshold on the victim replica.
+    pub at_served: u64,
+    /// Selects the victim replica (`replica_salt % K`).
+    pub replica_salt: u64,
+    /// Selects the resident frame (`frame_salt % resident count`).
+    pub frame_salt: u64,
+    /// Selects the byte offset within the frame (`byte_salt % 4096`).
+    pub byte_salt: u64,
+    /// Selects the bit to flip (`bit % 8`).
+    pub bit: u8,
+}
+
 /// A shard's complete chaos schedule — a pure function of
 /// `(chaos seed, fleet config, shard index)`.
 #[derive(Debug, Clone)]
@@ -182,6 +214,8 @@ pub struct ShardChaosPlan {
     pub bursts: Vec<GuestBurst>,
     /// Quarantinable schedule index whose delivery panics the shard.
     pub poison: Option<u64>,
+    /// Silent corruptions, sorted by threshold (replica runner only).
+    pub stealth: Vec<StealthEvent>,
 }
 
 /// Expands the chaos config into shard `shard`'s plan.
@@ -194,7 +228,12 @@ pub fn plan_for_shard(chaos: &ChaosConfig, cfg: &FleetConfig, shard: usize) -> S
     let mut rng = Rng::seed_from_u64(derive_seed(chaos.seed, shard as u64));
     let quota = u64::from(cfg.requests_per_shard);
     if quota < 4 || chaos.is_off() {
-        return ShardChaosPlan { events: Vec::new(), bursts: Vec::new(), poison: None };
+        return ShardChaosPlan {
+            events: Vec::new(),
+            bursts: Vec::new(),
+            poison: None,
+            stealth: Vec::new(),
+        };
     }
 
     // Candidate thresholds 1..quota-1, partially Fisher-Yates shuffled;
@@ -228,7 +267,20 @@ pub fn plan_for_shard(chaos: &ChaosConfig, cfg: &FleetConfig, shard: usize) -> S
     bursts.dedup_by_key(|b| b.at_served);
 
     let poison = (chaos.poison && shard == 0).then(|| rng.range_u64(quota / 3, 2 * quota / 3));
-    ShardChaosPlan { events, bursts, poison }
+
+    let mut stealth: Vec<StealthEvent> = (0..chaos.stealth)
+        .map(|_| StealthEvent {
+            at_served: rng.range_u64(1, quota),
+            replica_salt: rng.next_u64(),
+            frame_salt: rng.next_u64(),
+            byte_salt: rng.next_u64(),
+            bit: rng.gen_u8() % 8,
+        })
+        .collect();
+    stealth.sort_by_key(|s| s.at_served);
+    stealth.dedup_by_key(|s| s.at_served);
+
+    ShardChaosPlan { events, bursts, poison, stealth }
 }
 
 /// The panic payload of a chaos-injected death. The supervisor installs
@@ -413,11 +465,13 @@ mod tests {
 
     #[test]
     fn profiles_resolve_and_unknown_names_error() {
-        for name in ["off", "light", "kills", "stalls", "wal", "poison", "default", "heavy"] {
+        let names = ["off", "light", "kills", "stalls", "wal", "poison", "stealth", "default"];
+        for name in names.iter().chain(&["heavy"]) {
             assert!(ChaosConfig::profile(name).is_ok(), "profile {name}");
         }
         assert!(ChaosConfig::profile("off").unwrap().is_off());
         assert!(!ChaosConfig::profile("default").unwrap().is_off());
+        assert!(!ChaosConfig::profile("stealth").unwrap().is_off());
         let err = ChaosConfig::profile("frobnicate").unwrap_err();
         assert!(err.contains("unknown chaos profile"));
     }
@@ -428,6 +482,23 @@ mod tests {
         let tiny = FleetConfig { requests_per_shard: 2, ..FleetConfig::quick() };
         let plan = plan_for_shard(&chaos, &tiny, 0);
         assert!(plan.events.is_empty() && plan.bursts.is_empty() && plan.poison.is_none());
+        assert!(plan.stealth.is_empty());
+    }
+
+    #[test]
+    fn stealth_plans_are_interior_silent_and_deterministic() {
+        let chaos = ChaosConfig::profile("stealth").unwrap();
+        let quota = u64::from(cfg().requests_per_shard);
+        for shard in 0..4 {
+            let plan = plan_for_shard(&chaos, &cfg(), shard);
+            assert_eq!(plan.stealth.len(), 1);
+            let ev = plan.stealth[0];
+            assert!(ev.at_served >= 1 && ev.at_served < quota);
+            assert_eq!(ev.bit, ev.bit % 8);
+            // Stealth injects *nothing* the monitor or supervisor sees.
+            assert!(plan.events.is_empty() && plan.bursts.is_empty() && plan.poison.is_none());
+            assert_eq!(plan.stealth, plan_for_shard(&chaos, &cfg(), shard).stealth);
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod supervisor;
 pub mod sweep;
 
 pub use chaos::{
-    plan_for_shard, ChaosConfig, GuestBurst, HostEvent, HostEventKind, ShardChaosPlan,
+    plan_for_shard, ChaosConfig, GuestBurst, HostEvent, HostEventKind, ShardChaosPlan, StealthEvent,
 };
 pub use executor::{aggregate_stats, run_fleet};
 pub use persist::{resume_fleet, RestoredShard, ShardProgress};

@@ -194,6 +194,14 @@ pub struct ShardSupervision {
     /// Mean wall-clock milliseconds from death detection to respawn
     /// (includes drain wait and backoff); 0 if the shard never died.
     pub mean_time_to_revive_ms: f64,
+    /// Replica-vote divergences observed on this shard's group (0 when
+    /// the shard ran unreplicated).
+    pub divergences: u32,
+    /// Divergent replicas masked and revived from the majority
+    /// checkpoint.
+    pub divergent_masked: u32,
+    /// Scheduled proactive rejuvenations performed on this group.
+    pub rejuvenations: u32,
 }
 
 impl ShardSupervision {
@@ -209,6 +217,9 @@ impl ShardSupervision {
             .raw("quarantined", &json_array(self.quarantined.iter().map(u64::to_string)))
             .bool("abandoned", self.abandoned)
             .f64("mean_time_to_revive_ms", self.mean_time_to_revive_ms)
+            .u64("divergences", u64::from(self.divergences))
+            .u64("divergent_masked", u64::from(self.divergent_masked))
+            .u64("rejuvenations", u64::from(self.rejuvenations))
             .finish()
     }
 }
@@ -243,6 +254,14 @@ pub struct SupervisionStats {
     /// Mean time-to-revive over every revival in the run, in wall
     /// milliseconds (0 when nothing died).
     pub mean_time_to_revive_ms: f64,
+    /// Replica-vote divergences detected fleet-wide (0 unless the fleet
+    /// ran with `--replicas >= 2`).
+    pub divergences: u64,
+    /// Divergent replicas masked and revived from a majority checkpoint
+    /// (K >= 3 only; 2-way groups quarantine instead of masking).
+    pub divergent_masked: u64,
+    /// Scheduled proactive rejuvenations performed fleet-wide.
+    pub rejuvenations: u64,
     /// Per-shard supervision rows, in shard order.
     pub per_shard: Vec<ShardSupervision>,
 }
@@ -261,6 +280,9 @@ impl SupervisionStats {
             .u64("abandoned_shards", self.abandoned_shards)
             .f64("availability", self.availability)
             .f64("mean_time_to_revive_ms", self.mean_time_to_revive_ms)
+            .u64("divergences", self.divergences)
+            .u64("divergent_masked", self.divergent_masked)
+            .u64("rejuvenations", self.rejuvenations)
             .raw("per_shard", &json_array(self.per_shard.iter().map(ShardSupervision::to_json)))
             .finish()
     }
@@ -271,7 +293,8 @@ impl std::fmt::Display for SupervisionStats {
         write!(
             f,
             "supervision: {} revivals ({} crashes, {} hangs, {} harness errors), \
-             {} quarantined, {} abandoned; availability {:.4}, mean revive {:.1} ms",
+             {} quarantined, {} abandoned; availability {:.4}, mean revive {:.1} ms; \
+             {} divergences ({} masked), {} rejuvenations",
             self.revivals,
             self.crashes,
             self.hangs,
@@ -279,7 +302,10 @@ impl std::fmt::Display for SupervisionStats {
             self.quarantined_requests,
             self.abandoned_shards,
             self.availability,
-            self.mean_time_to_revive_ms
+            self.mean_time_to_revive_ms,
+            self.divergences,
+            self.divergent_masked,
+            self.rejuvenations
         )
     }
 }

@@ -514,6 +514,9 @@ fn assemble_report(
             quarantined: s.quarantined.iter().copied().collect(),
             abandoned: matches!(s.state, SlotState::Abandoned),
             mean_time_to_revive_ms: s.mean_revive_ms(),
+            divergences: 0,
+            divergent_masked: 0,
+            rejuvenations: 0,
         })
         .collect();
     let sum =
@@ -546,6 +549,9 @@ fn assemble_report(
         } else {
             all_revivals.iter().sum::<f64>() / all_revivals.len() as f64
         },
+        divergences: 0,
+        divergent_masked: 0,
+        rejuvenations: 0,
         per_shard,
     };
 

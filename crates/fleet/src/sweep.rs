@@ -53,6 +53,19 @@ pub struct SweepArgs {
     /// Fail unless every chaos run's availability reaches this floor
     /// (`--assert-availability-min F`).
     pub assert_availability_min: Option<f64>,
+    /// Replicas per shard (`--replicas K`, 1–3). Values above 1 switch
+    /// the run to the divergence-voting replica executor (dispatched by
+    /// the `fleetbench` binary — this crate only validates).
+    pub replicas: usize,
+    /// Proactive-rejuvenation cadence in admitted requests
+    /// (`--rejuvenate-every N`).
+    pub rejuvenate_every: Option<u64>,
+    /// Run the replica benchmark sweep and write
+    /// `results/BENCH_replica.json` (`--replica-bench`).
+    pub replica_bench: bool,
+    /// Fail a replicated run unless voting caught at least this many
+    /// divergences (`--assert-divergences-min N`).
+    pub assert_divergences_min: Option<u64>,
 }
 
 impl Default for SweepArgs {
@@ -71,6 +84,10 @@ impl Default for SweepArgs {
             chaos_out: None,
             assert_revivals_min: None,
             assert_availability_min: None,
+            replicas: 1,
+            rejuvenate_every: None,
+            replica_bench: false,
+            assert_divergences_min: None,
         }
     }
 }
@@ -195,6 +212,34 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<SweepArgs, Strin
                         .map_err(|e| format!("--assert-availability-min: {e}"))?,
                 );
             }
+            "--replicas" => {
+                let k: usize = value(&mut args, "--replicas")?
+                    .parse()
+                    .map_err(|e| format!("--replicas: {e}\n{USAGE}"))?;
+                if !(1..=3).contains(&k) {
+                    return Err(format!("--replicas needs 1, 2 or 3 (got {k})\n{USAGE}"));
+                }
+                out.replicas = k;
+            }
+            "--rejuvenate-every" => {
+                let n: u64 = value(&mut args, "--rejuvenate-every")?
+                    .parse()
+                    .map_err(|e| format!("--rejuvenate-every: {e}\n{USAGE}"))?;
+                if n == 0 || n > 1_000_000 {
+                    return Err(format!(
+                        "--rejuvenate-every needs a cadence in [1, 1000000] (got {n})\n{USAGE}"
+                    ));
+                }
+                out.rejuvenate_every = Some(n);
+            }
+            "--replica-bench" => out.replica_bench = true,
+            "--assert-divergences-min" => {
+                out.assert_divergences_min = Some(
+                    value(&mut args, "--assert-divergences-min")?
+                        .parse()
+                        .map_err(|e| format!("--assert-divergences-min: {e}"))?,
+                );
+            }
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
@@ -227,6 +272,8 @@ USAGE: fleetbench [--shards 1,2,4,6] [--requests N] [--scale N]
                   [--max-revivals N] [--shard-deadline-ms N]
                   [--chaos-out PATH] [--assert-revivals-min N]
                   [--assert-availability-min F]
+                  [--replicas K] [--rejuvenate-every N] [--replica-bench]
+                  [--assert-divergences-min N]
 
 --no-fast-paths disables the host-side predecode and translation
 caches (slow reference path); the deterministic stats are identical
@@ -246,7 +293,19 @@ runs the off/light/default/heavy ladder and writes
 results/BENCH_chaos.json. A checkpoint store is created automatically
 (in a temp dir) when --store is absent so revival really replays from
 disk. --assert-revivals-min / --assert-availability-min turn the run
-into a self-checking smoke test.";
+into a self-checking smoke test.
+
+Replication: --replicas K (2 or 3) runs K deterministic replicas of
+every shard with per-request divergence voting — a silently corrupted
+replica (--chaos stealth) votes apart, is masked and revived from the
+majority checkpoint; the deterministic stats stay byte-identical to an
+undisturbed run. --rejuvenate-every N proactively restarts each
+replica from its durable checkpoint every N admitted requests,
+staggered so the group keeps its voting quorum. --replica-bench runs
+the K=1/2/3 detection and overhead sweep and writes
+results/BENCH_replica.json. In replicated runs --chaos-out PATH saves
+the deterministic FleetStats JSON and --assert-divergences-min N fails
+the run unless voting caught at least N divergences.";
 
 /// Runs the sweep, printing the scaling table (and optional JSON) to
 /// stdout and mirroring it into `<csv>/fleet_scaling.csv`.
@@ -606,6 +665,35 @@ mod tests {
         assert!(parse(&["--attack-per-mille", "1001"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--seed"]).is_err());
+    }
+
+    #[test]
+    fn parses_and_validates_replica_flags() {
+        let a = parse(&[
+            "--replicas",
+            "3",
+            "--rejuvenate-every",
+            "8",
+            "--replica-bench",
+            "--assert-divergences-min",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(a.replicas, 3);
+        assert_eq!(a.rejuvenate_every, Some(8));
+        assert!(a.replica_bench);
+        assert_eq!(a.assert_divergences_min, Some(2));
+        assert_eq!(parse(&[]).unwrap().replicas, 1, "unreplicated by default");
+        // 0 and absurd values are rejected with the usage text.
+        for bad in [["--replicas", "0"], ["--replicas", "4"], ["--replicas", "-1"]] {
+            let err = parse(&bad).unwrap_err();
+            assert!(err.contains("--replicas"), "{err}");
+        }
+        for bad in [["--rejuvenate-every", "0"], ["--rejuvenate-every", "1000001"]] {
+            let err = parse(&bad).unwrap_err();
+            assert!(err.contains("--rejuvenate-every"), "{err}");
+            assert!(err.contains("USAGE"), "usage must ride along: {err}");
+        }
     }
 
     #[test]

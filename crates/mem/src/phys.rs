@@ -19,6 +19,14 @@ pub const PAGE_SHIFT: u32 = 12;
 #[derive(Debug, Default)]
 pub struct PhysicalMemory {
     frames: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+    /// When set, every frame touched for writing is appended to `dirty`
+    /// (with consecutive-duplicate suppression). Off by default so the
+    /// hot write path costs one branch for non-replicated runs.
+    track_dirty: bool,
+    dirty: Vec<u32>,
+    /// Bumped on wholesale replacement ([`PhysicalMemory::restore_state`])
+    /// so incremental-digest caches know their per-frame entries are stale.
+    generation: u64,
 }
 
 impl PhysicalMemory {
@@ -29,7 +37,51 @@ impl PhysicalMemory {
     }
 
     fn frame_mut(&mut self, ppn: u32) -> &mut [u8; PAGE_SIZE as usize] {
+        if self.track_dirty && self.dirty.last() != Some(&ppn) {
+            self.dirty.push(ppn);
+        }
         self.frames.entry(ppn).or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+    }
+
+    /// Turns on dirty-frame tracking (used by the replica layer's
+    /// incremental state digest). Tracking starts empty: frames written
+    /// *after* this call show up in [`PhysicalMemory::take_dirty`].
+    pub fn enable_dirty_tracking(&mut self) {
+        self.track_dirty = true;
+        self.dirty.clear();
+    }
+
+    /// Whether dirty-frame tracking is on.
+    #[must_use]
+    pub fn dirty_tracking(&self) -> bool {
+        self.track_dirty
+    }
+
+    /// Drains the set of frames written since the last call (may contain
+    /// non-consecutive duplicates; callers dedup as they fold).
+    pub fn take_dirty(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Restore generation: bumped whenever the whole memory image is
+    /// replaced, invalidating any per-frame digest cache.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Borrows one resident frame's contents, if materialized.
+    #[must_use]
+    pub fn frame(&self, ppn: u32) -> Option<&[u8; PAGE_SIZE as usize]> {
+        self.frames.get(&ppn).map(|f| &**f)
+    }
+
+    /// All resident physical page numbers in ascending order.
+    #[must_use]
+    pub fn resident_ppns(&self) -> Vec<u32> {
+        let mut ppns: Vec<u32> = self.frames.keys().copied().collect();
+        ppns.sort_unstable();
+        ppns
     }
 
     /// Reads one byte.
@@ -161,6 +213,8 @@ impl PhysicalMemory {
         for (ppn, data) in &state.frames {
             self.frames.insert(*ppn, data.clone());
         }
+        self.dirty.clear();
+        self.generation += 1;
     }
 }
 
@@ -308,6 +362,44 @@ mod tests {
         let mut out = [0u8; 11];
         m.read_bytes(0x2000, &mut out);
         assert_eq!(&out, b"hello world");
+    }
+
+    #[test]
+    fn dirty_tracking_records_written_frames_only() {
+        let mut m = PhysicalMemory::new();
+        m.write_u32(0x1000, 1); // before enabling: not tracked
+        m.enable_dirty_tracking();
+        assert!(m.take_dirty().is_empty());
+        m.write_u8(0x2000, 7);
+        m.write_u8(0x2001, 8); // same frame, consecutive: deduped
+        m.write_u32(PAGE_SIZE * 5, 9);
+        let _ = m.read_u32(0x9000); // reads never dirty
+        assert_eq!(m.take_dirty(), vec![2, 5]);
+        assert!(m.take_dirty().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn restore_bumps_generation_and_clears_dirty() {
+        let mut m = PhysicalMemory::new();
+        m.enable_dirty_tracking();
+        m.write_u8(0x3000, 1);
+        let snap = m.save_state();
+        let g0 = m.generation();
+        m.write_u8(0x4000, 2);
+        m.restore_state(&snap);
+        assert_eq!(m.generation(), g0 + 1);
+        assert!(m.take_dirty().is_empty());
+        assert!(m.dirty_tracking(), "restore keeps tracking enabled");
+    }
+
+    #[test]
+    fn frame_and_resident_ppns_expose_sorted_residents() {
+        let mut m = PhysicalMemory::new();
+        m.write_u8(PAGE_SIZE * 9, 0xAA);
+        m.write_u8(PAGE_SIZE * 3, 0xBB);
+        assert_eq!(m.resident_ppns(), vec![3, 9]);
+        assert_eq!(m.frame(3).unwrap()[0], 0xBB);
+        assert!(m.frame(4).is_none());
     }
 
     #[test]

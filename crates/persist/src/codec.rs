@@ -71,6 +71,70 @@ pub fn encode_small_state(state: &SystemState) -> Vec<u8> {
     w.finish()
 }
 
+/// Encodes the small state as named per-section byte blobs, in the same
+/// order and with the exact field walks of [`encode_small_state`]. The
+/// replica layer's `StateDigest` hashes each section independently so a
+/// divergence report can name *which* section disagreed; concatenating
+/// the blobs reproduces `encode_small_state`'s output byte for byte.
+#[must_use]
+pub fn encode_state_sections(state: &SystemState) -> Vec<(&'static str, Vec<u8>)> {
+    fn section(f: impl FnOnce(&mut WireWriter)) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        f(&mut w);
+        w.finish()
+    }
+    vec![
+        ("machine", section(|w| enc_machine(w, &state.machine))),
+        ("os", section(|w| enc_os(w, &state.os))),
+        ("monitor", section(|w| enc_monitor(w, &state.monitor))),
+        ("scheme", section(|w| enc_scheme(w, &state.scheme))),
+        (
+            "hybrids",
+            section(|w| {
+                w.seq(state.hybrids.len());
+                for (core, h) in &state.hybrids {
+                    w.usize(*core);
+                    enc_hybrid(w, h);
+                }
+            }),
+        ),
+        (
+            "macros",
+            section(|w| {
+                w.seq(state.macro_ckpts.len());
+                for (core, c) in &state.macro_ckpts {
+                    w.usize(*core);
+                    enc_macro_ckpt(w, c);
+                }
+            }),
+        ),
+        (
+            "in_flight",
+            section(|w| {
+                w.seq(state.in_flight.len());
+                for (core, i) in &state.in_flight {
+                    w.usize(*core);
+                    w.u64(i.request_id);
+                    w.bool(i.malicious);
+                    w.u64(i.start_cycles);
+                    w.u64(i.start_retired);
+                }
+            }),
+        ),
+        (
+            "blocked",
+            section(|w| {
+                w.seq(state.blocked.len());
+                for &(core, b) in &state.blocked {
+                    w.usize(core);
+                    w.bool(b);
+                }
+            }),
+        ),
+        ("report", section(|w| enc_report(w, &state.report))),
+    ]
+}
+
 /// Decodes a blob written by [`encode_small_state`]. The returned state
 /// has an **empty** physical frame table — the caller merges the frames
 /// it recovered from the snapshot + journal into

@@ -37,7 +37,7 @@ mod snapshot;
 mod store;
 mod wire;
 
-pub use codec::{decode_small_state, encode_small_state};
+pub use codec::{decode_small_state, encode_small_state, encode_state_sections};
 pub use crc::crc32;
 pub use error::PersistError;
 pub use ingress::{

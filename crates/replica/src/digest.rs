@@ -1,0 +1,157 @@
+//! Fast incremental state digests for divergence voting.
+//!
+//! Voting compares replicas after *every* request, so the digest must
+//! cost O(dirty state), not O(full freeze). Two pieces make that work:
+//!
+//! * **Small state** — everything except physical frames — is captured
+//!   with [`IndraSystem::freeze_sans_phys`] (no frame cloning) and
+//!   walked per section by [`indra_persist::encode_state_sections`],
+//!   reusing the persist codec's field walk so the digest covers
+//!   exactly what a checkpoint covers. Each section hashes
+//!   independently, which is what lets the property tests corrupt one
+//!   section and pin that the digest moves.
+//! * **Physical frames** are folded incrementally: the simulator's
+//!   [dirty tracking](indra_mem::PhysicalMemory::take_dirty) names the
+//!   frames written since the last digest, only those re-hash, and the
+//!   per-frame digests fold in PPN order from a sorted map. A
+//!   [restore](indra_mem::PhysicalMemory::restore_state) bumps the
+//!   phys generation, which invalidates the cache wholesale.
+//!
+//! The hash is FNV-1a/64. Its per-byte step `h = (h ^ b) * PRIME` is a
+//! bijection of the 64-bit state for fixed `b` (odd multiplier), so two
+//! inputs of equal length differing in one byte *always* produce
+//! different digests — single-byte-flip detection is a theorem, not a
+//! probabilistic claim, which keeps the forall property tests
+//! deterministic.
+
+use std::collections::BTreeMap;
+
+use indra_core::IndraSystem;
+use indra_persist::encode_state_sections;
+
+/// FNV-1a/64 offset basis — the seed every digest chain starts from.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into the running FNV-1a/64 state `h`.
+#[must_use]
+pub fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Folds a `u64` (little-endian) into the running digest.
+#[must_use]
+pub fn fnv1a_u64(h: u64, v: u64) -> u64 {
+    fnv1a(h, &v.to_le_bytes())
+}
+
+/// One replica's state digest: per-section digests for diagnosis, the
+/// folded physical-frame digest, and the single `value` ballots carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDigest {
+    /// Per-section digests over the persist codec's small-state walk,
+    /// in codec order (machine, os, monitor, scheme, hybrids, macros,
+    /// in_flight, blocked, report).
+    pub sections: Vec<(&'static str, u64)>,
+    /// Digest over every resident physical frame, folded in PPN order.
+    pub phys: u64,
+    /// The chained whole-state digest (sections then phys).
+    pub value: u64,
+}
+
+/// Incremental digest state for one replica cell.
+///
+/// Holds a per-frame digest per resident PPN plus the phys generation
+/// it was built against. `digest` re-hashes only the frames dirtied
+/// since the previous call; a generation bump (state restore) or first
+/// use triggers a full rebuild. Frames are never unmapped outside a
+/// restore, so the cache never holds a stale resident set.
+#[derive(Debug, Default)]
+pub struct DigestCache {
+    frames: BTreeMap<u32, u64>,
+    generation: u64,
+    primed: bool,
+}
+
+impl DigestCache {
+    /// An empty cache; the first `digest` call does a full build.
+    #[must_use]
+    pub fn new() -> DigestCache {
+        DigestCache::default()
+    }
+
+    /// Digests `sys` — O(small state + dirty frames) when the cache is
+    /// warm. Enables dirty tracking on the machine's physical memory if
+    /// it is not already on (the enable itself forces a full rebuild).
+    pub fn digest(&mut self, sys: &mut IndraSystem) -> StateDigest {
+        let phys = sys.machine_mut().phys_mut();
+        if !phys.dirty_tracking() {
+            phys.enable_dirty_tracking();
+            self.primed = false;
+        }
+        if !self.primed || phys.generation() != self.generation {
+            self.frames.clear();
+            let _ = phys.take_dirty();
+            for ppn in phys.resident_ppns() {
+                let frame = phys.frame(ppn).expect("listed frame is resident");
+                self.frames.insert(ppn, fnv1a(FNV_OFFSET, frame));
+            }
+            self.generation = phys.generation();
+            self.primed = true;
+        } else {
+            for ppn in phys.take_dirty() {
+                let frame = phys.frame(ppn).expect("dirty frame is resident");
+                self.frames.insert(ppn, fnv1a(FNV_OFFSET, frame));
+            }
+        }
+        let mut phys_digest = FNV_OFFSET;
+        for (&ppn, &d) in &self.frames {
+            phys_digest = fnv1a_u64(phys_digest, u64::from(ppn));
+            phys_digest = fnv1a_u64(phys_digest, d);
+        }
+
+        let state = sys.freeze_sans_phys();
+        let sections: Vec<(&'static str, u64)> = encode_state_sections(&state)
+            .iter()
+            .map(|(name, bytes)| (*name, fnv1a(FNV_OFFSET, bytes)))
+            .collect();
+        let mut value = FNV_OFFSET;
+        for &(name, d) in &sections {
+            value = fnv1a(value, name.as_bytes());
+            value = fnv1a_u64(value, d);
+        }
+        value = fnv1a_u64(value, phys_digest);
+        StateDigest { sections, phys: phys_digest, value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_byte_flip_always_changes_the_hash() {
+        // FNV-1a's per-byte step is a bijection for fixed input byte, so
+        // equal-length inputs differing in exactly one byte must hash
+        // apart. Exercise every position of a small buffer.
+        let base = [0x5au8; 64];
+        let h0 = fnv1a(FNV_OFFSET, &base);
+        for pos in 0..base.len() {
+            for bit in 0..8 {
+                let mut b = base;
+                b[pos] ^= 1 << bit;
+                assert_ne!(fnv1a(FNV_OFFSET, &b), h0, "flip at {pos}.{bit} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn u64_fold_is_order_sensitive() {
+        let a = fnv1a_u64(fnv1a_u64(FNV_OFFSET, 1), 2);
+        let b = fnv1a_u64(fnv1a_u64(FNV_OFFSET, 2), 1);
+        assert_ne!(a, b);
+    }
+}

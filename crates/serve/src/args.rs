@@ -32,8 +32,17 @@ loopback TCP, deterministic record/replay)
 
 USAGE: fleetd --state DIR [--port N] [--shards N] [--app NAME]
               [--scale N] [--queue-depth N] [--checkpoint-every N]
-              [--seed N] [--out PATH] [--quick]
+              [--seed N] [--replicas K] [--rejuvenate-every N]
+              [--out PATH] [--quick]
        fleetd --replay DIR [--out PATH]
+
+Replication: --replicas K (1-3, default 1) shadows every shard's
+authoritative primary with K-1 voting followers fed the identical
+admitted stream; a follower whose (disposition, state digest) diverges
+is masked and rebuilt from the durable checkpoint + ingress history.
+--rejuvenate-every N proactively rebuilds one follower per shard every
+N admitted requests, round-robin. HEALTH reports the divergence and
+rejuvenation counters. Replay output is byte-identical whatever K is.
 
 Serving: binds 127.0.0.1:<port> (0 = ephemeral; the chosen address is
 printed as `fleetd listening on ADDR`), spawns one worker per shard and
@@ -102,6 +111,26 @@ pub fn parse_fleetd_args(args: impl Iterator<Item = String>) -> Result<FleetdArg
             "--seed" => {
                 out.serve.engine.seed =
                     value(&mut args, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--replicas" => {
+                let k: usize = value(&mut args, "--replicas")?
+                    .parse()
+                    .map_err(|e| format!("--replicas: {e}\n{FLEETD_USAGE}"))?;
+                if !(1..=3).contains(&k) {
+                    return Err(format!("--replicas needs 1, 2 or 3 (got {k})\n{FLEETD_USAGE}"));
+                }
+                out.serve.replicas = k;
+            }
+            "--rejuvenate-every" => {
+                let n: u64 = value(&mut args, "--rejuvenate-every")?
+                    .parse()
+                    .map_err(|e| format!("--rejuvenate-every: {e}\n{FLEETD_USAGE}"))?;
+                if n == 0 || n > 1_000_000 {
+                    return Err(format!(
+                        "--rejuvenate-every is out of [1, 1000000] (got {n})\n{FLEETD_USAGE}"
+                    ));
+                }
+                out.serve.rejuvenate_every = Some(n);
             }
             "--replay" => out.replay = Some(PathBuf::from(value(&mut args, "--replay")?)),
             "--out" => out.out = Some(PathBuf::from(value(&mut args, "--out")?)),
@@ -311,6 +340,28 @@ mod tests {
         assert!(parse_fleetd_args(sv(&["--state", "d", "--shards", "0"])).is_err());
         assert!(parse_fleetd_args(sv(&["--state", "d", "--app", "notepad"])).is_err());
         assert!(parse_fleetd_args(sv(&["--state", "d", "--scale"])).is_err());
+    }
+
+    #[test]
+    fn fleetd_replica_flags_parse_and_validate() {
+        let a = parse_fleetd_args(sv(&["--state", "d"])).unwrap();
+        assert_eq!(a.serve.replicas, 1, "unreplicated by default");
+        assert_eq!(a.serve.rejuvenate_every, None);
+        let a =
+            parse_fleetd_args(sv(&["--state", "d", "--replicas", "3", "--rejuvenate-every", "16"]))
+                .unwrap();
+        assert_eq!(a.serve.replicas, 3);
+        assert_eq!(a.serve.rejuvenate_every, Some(16));
+        for bad in [["--replicas", "0"], ["--replicas", "4"], ["--replicas", "-1"]] {
+            let err = parse_fleetd_args(sv(&["--state", "d", bad[0], bad[1]])).unwrap_err();
+            assert!(err.contains("USAGE") || err.contains("--replicas"), "{err}");
+        }
+        for bad in [["--rejuvenate-every", "0"], ["--rejuvenate-every", "1000001"]] {
+            let err = parse_fleetd_args(sv(&["--state", "d", bad[0], bad[1]])).unwrap_err();
+            assert!(err.contains("[1, 1000000]"), "{err}");
+        }
+        assert!(FLEETD_USAGE.contains("--replicas K"));
+        assert!(FLEETD_USAGE.contains("--rejuvenate-every N"));
     }
 
     #[test]

@@ -39,6 +39,7 @@ use indra_persist::{
     IngressKind, IngressRecord, IngressWriter, PersistError, SnapshotStore, WireReader, WireWriter,
     INGRESS_FILE,
 };
+use indra_replica::DigestCache;
 
 use crate::engine::{
     decode_engine_meta, encode_engine_meta, Disposition, EngineConfig, ShardRunner,
@@ -66,6 +67,17 @@ pub struct ServeConfig {
     pub state_dir: PathBuf,
     /// TCP port to bind on loopback (0 = ephemeral).
     pub port: u16,
+    /// Replicas per shard (1 = unreplicated). The extra K-1 followers
+    /// shadow the authoritative primary from the same admitted stream
+    /// and vote on (disposition, state digest) after every request; a
+    /// divergent follower is masked and rebuilt from the primary's
+    /// durable checkpoint + ingress history. The primary alone owns the
+    /// log and the reply path, so `--replay` output stays byte-identical
+    /// whatever K is.
+    pub replicas: usize,
+    /// Proactively rebuild one follower every N admitted requests,
+    /// round-robin (None = never). A no-op at `replicas: 1`.
+    pub rejuvenate_every: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +89,8 @@ impl Default for ServeConfig {
             checkpoint_every: 8,
             state_dir: PathBuf::from("fleetd-state"),
             port: 0,
+            replicas: 1,
+            rejuvenate_every: None,
         }
     }
 }
@@ -158,6 +172,9 @@ struct ShardShared {
     detections: AtomicU64,
     revivals: AtomicU64,
     quarantined: AtomicU64,
+    divergences: AtomicU64,
+    divergent_masked: AtomicU64,
+    rejuvenations: AtomicU64,
     draining: AtomicBool,
 }
 
@@ -199,11 +216,17 @@ impl Inner {
         let mut detections = 0;
         let mut revivals = 0;
         let mut quarantined = 0;
+        let mut divergences = 0;
+        let mut divergent_masked = 0;
+        let mut rejuvenations = 0;
         for slot in &router.slots {
             served += slot.shared.served.load(Ordering::SeqCst);
             detections += slot.shared.detections.load(Ordering::SeqCst);
             revivals += slot.shared.revivals.load(Ordering::SeqCst);
             quarantined += slot.shared.quarantined.load(Ordering::SeqCst);
+            divergences += slot.shared.divergences.load(Ordering::SeqCst);
+            divergent_masked += slot.shared.divergent_masked.load(Ordering::SeqCst);
+            rejuvenations += slot.shared.rejuvenations.load(Ordering::SeqCst);
         }
         let live = router.live() as u32;
         HealthReply {
@@ -217,6 +240,10 @@ impl Inner {
             revivals,
             quarantined,
             rejected: self.rejected.load(Ordering::SeqCst),
+            replicas: self.cfg.replicas.max(1) as u32,
+            divergences,
+            divergent_masked,
+            rejuvenations,
         }
     }
 
@@ -232,6 +259,10 @@ impl Inner {
             .u64("revivals", h.revivals)
             .u64("quarantined", h.quarantined)
             .u64("rejected", h.rejected)
+            .u64("replicas", u64::from(h.replicas))
+            .u64("divergences", h.divergences)
+            .u64("divergent_masked", h.divergent_masked)
+            .u64("rejuvenations", h.rejuvenations)
             .finish()
     }
 
@@ -429,18 +460,31 @@ impl Daemon {
     }
 }
 
+/// Everything one shard worker needs that was decided at spawn time.
+struct WorkerCfg {
+    engine: EngineConfig,
+    root: PathBuf,
+    shard: usize,
+    checkpoint_every: u32,
+    replicas: usize,
+    rejuvenate_every: Option<u64>,
+}
+
 fn spawn_shard(cfg: &ServeConfig, shard: usize) -> Result<Slot, ServeError> {
     let (tx, rx) = mpsc::sync_channel::<WorkItem>(cfg.queue_depth.max(1));
     let shared = Arc::new(ShardShared::default());
     let worker_shared = Arc::clone(&shared);
-    let engine_cfg = cfg.engine.clone();
-    let root = cfg.state_dir.clone();
-    let checkpoint_every = cfg.checkpoint_every;
+    let worker_cfg = WorkerCfg {
+        engine: cfg.engine.clone(),
+        root: cfg.state_dir.clone(),
+        shard,
+        checkpoint_every: cfg.checkpoint_every,
+        replicas: cfg.replicas.max(1),
+        rejuvenate_every: cfg.rejuvenate_every,
+    };
     let handle = std::thread::Builder::new()
         .name(format!("shard-{shard:04}"))
-        .spawn(move || {
-            shard_worker(&engine_cfg, &root, shard, checkpoint_every, &worker_shared, &rx)
-        })
+        .spawn(move || shard_worker(&worker_cfg, &worker_shared, &rx))
         .map_err(ServeError::Io)?;
     Ok(Slot { shard, tx: Some(tx), shared, handle: Some(handle) })
 }
@@ -476,21 +520,60 @@ pub(crate) fn read_cursor(progress: &[u8]) -> Result<u64, PersistError> {
     Ok(cursor)
 }
 
+/// One shadow replica: a [`ShardRunner`] fed the identical admitted
+/// stream as the authoritative primary, plus the incremental digest
+/// cache it votes with.
+struct Follower {
+    runner: ShardRunner,
+    cache: DigestCache,
+}
+
+/// Builds (or rebuilds) one shadow follower from the shard's durable
+/// checkpoint plus the in-memory admitted history — exactly the state a
+/// crash-restart of the primary would recover, which the replay
+/// determinism contract makes byte-identical to the live primary.
+fn build_follower(
+    cfg: &WorkerCfg,
+    store: &SnapshotStore,
+    history: &[IngressRecord],
+) -> Result<Follower, ShardError> {
+    let checkpoint = match store.load_shard(cfg.shard).map_err(ShardError::Persist)? {
+        Some(loaded) => {
+            let cursor = read_cursor(&loaded.progress).map_err(ShardError::Persist)?;
+            Some((loaded.state, cursor))
+        }
+        None => None,
+    };
+    let (runner, _already_tombstoned) =
+        ShardRunner::from_log(cfg.engine.clone(), cfg.shard, history.to_vec(), checkpoint)?;
+    Ok(Follower { runner, cache: DigestCache::new() })
+}
+
 /// One shard worker: recover durable state, then serve the queue until
 /// every sender is gone, checkpointing as configured.
+///
+/// With `cfg.replicas > 1` the worker also runs K-1 shadow followers:
+/// each follower admits the same record right after the primary, then
+/// the worker compares (disposition, state digest). Any mismatch is a
+/// divergence — the follower is masked and rebuilt from the durable
+/// checkpoint + history. The primary stays authoritative for the log,
+/// the reply and the final stats, so replay identity is untouched.
 fn shard_worker(
-    engine_cfg: &EngineConfig,
-    root: &Path,
-    shard: usize,
-    checkpoint_every: u32,
+    cfg: &WorkerCfg,
     shared: &ShardShared,
     rx: &Receiver<WorkItem>,
 ) -> Result<ShardOutput, ShardError> {
-    let store = SnapshotStore::open(root).map_err(ShardError::Persist)?;
+    let shard = cfg.shard;
+    let store = SnapshotStore::open(&cfg.root).map_err(ShardError::Persist)?;
     let dir = store.shard_dir(shard);
     std::fs::create_dir_all(&dir).map_err(|e| ShardError::Persist(e.into()))?;
     let (mut log, records) = IngressWriter::recover(&dir.join(INGRESS_FILE), shard as u32)
         .map_err(ShardError::Persist)?;
+    let follower_count = cfg.replicas.saturating_sub(1);
+    // The in-memory mirror of the ingress log, maintained only when
+    // followers exist (it is what divergent followers rebuild from).
+    let mut history: Vec<IngressRecord> =
+        if follower_count > 0 { records.clone() } else { Vec::new() };
     let checkpoint = match store.load_shard(shard).map_err(ShardError::Persist)? {
         Some(loaded) => {
             let cursor = read_cursor(&loaded.progress).map_err(ShardError::Persist)?;
@@ -499,18 +582,29 @@ fn shard_worker(
         None => None,
     };
     let (mut runner, fresh) =
-        ShardRunner::from_log(engine_cfg.clone(), shard, records, checkpoint)?;
+        ShardRunner::from_log(cfg.engine.clone(), shard, records, checkpoint)?;
     // Recovery may have quarantined entries that killed the engine
     // deterministically; durably tombstone them before serving.
     for seq in fresh {
-        log.append(&quarantine_record(seq)).map_err(ShardError::Persist)?;
+        let q = quarantine_record(seq);
+        log.append(&q).map_err(ShardError::Persist)?;
+        if follower_count > 0 {
+            history.push(q);
+        }
     }
     log.sync().map_err(ShardError::Persist)?;
-    let mut writer = if checkpoint_every > 0 {
+    let mut writer = if cfg.checkpoint_every > 0 {
         Some(store.shard_writer(shard).map_err(ShardError::Persist)?)
     } else {
         None
     };
+    let mut followers = Vec::with_capacity(follower_count);
+    for _ in 0..follower_count {
+        followers.push(build_follower(cfg, &store, &history)?);
+    }
+    let mut primary_cache = DigestCache::new();
+    let mut admitted = 0u64;
+    let mut rejuvenate_rr = 0usize;
     publish(shared, &runner);
 
     let mut since_checkpoint = 0u32;
@@ -522,12 +616,41 @@ fn shard_worker(
             malicious: item.malicious,
             data: item.data,
         };
+        let shadow_rec = (follower_count > 0).then(|| rec.clone());
         // Write-ahead: log the admission before the sim sees it.
         log.append(&rec).map_err(ShardError::Persist)?;
+        if let Some(r) = &shadow_rec {
+            history.push(r.clone());
+        }
         let (disp, tombstones) = runner.admit(rec);
         for seq in tombstones {
-            log.append(&quarantine_record(seq)).map_err(ShardError::Persist)?;
+            let q = quarantine_record(seq);
+            log.append(&q).map_err(ShardError::Persist)?;
             log.sync().map_err(ShardError::Persist)?;
+            if follower_count > 0 {
+                history.push(q);
+            }
+        }
+        if let Some(shadow) = shadow_rec {
+            let primary_digest = primary_cache.digest(runner.system_mut()).value;
+            for f in &mut followers {
+                let (fdisp, _ftombstones) = f.runner.admit(shadow.clone());
+                let fdigest = f.cache.digest(f.runner.system_mut()).value;
+                if fdisp != disp || fdigest != primary_digest {
+                    shared.divergences.fetch_add(1, Ordering::SeqCst);
+                    *f = build_follower(cfg, &store, &history)?;
+                    shared.divergent_masked.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            admitted += 1;
+            if let Some(n) = cfg.rejuvenate_every {
+                if n > 0 && admitted.is_multiple_of(n) {
+                    let idx = rejuvenate_rr % followers.len();
+                    rejuvenate_rr += 1;
+                    followers[idx] = build_follower(cfg, &store, &history)?;
+                    shared.rejuvenations.fetch_add(1, Ordering::SeqCst);
+                }
+            }
         }
         let verdict = match disp {
             Disposition::Served { .. } => Verdict::Served,
@@ -546,7 +669,7 @@ fn shard_worker(
         publish(shared, &runner);
         since_checkpoint += 1;
         if let Some(w) = writer.as_mut() {
-            if since_checkpoint >= checkpoint_every {
+            if since_checkpoint >= cfg.checkpoint_every {
                 since_checkpoint = 0;
                 log.sync().map_err(ShardError::Persist)?;
                 let (state, cursor) = runner.freeze();

@@ -254,6 +254,13 @@ impl ShardEngine {
         self.sys.freeze()
     }
 
+    /// Mutable access to the simulated system — what the replica layer
+    /// digests for divergence voting. State-neutral reads only; the
+    /// drive discipline stays the engine's.
+    pub fn system_mut(&mut self) -> &mut IndraSystem {
+        &mut self.sys
+    }
+
     fn restore(&mut self, state: &SystemState) {
         self.sys.restore_state(state);
     }
@@ -349,6 +356,12 @@ impl ShardRunner {
     #[must_use]
     pub fn next_seq(&self) -> u64 {
         self.requests.len() as u64
+    }
+
+    /// Mutable access to the engine's simulated system, for the replica
+    /// layer's state digests.
+    pub fn system_mut(&mut self) -> &mut indra_core::IndraSystem {
+        self.engine.system_mut()
     }
 
     /// Admits one already-logged request record and processes it.

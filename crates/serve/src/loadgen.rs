@@ -353,6 +353,10 @@ mod tests {
                 revivals: 0,
                 quarantined: 0,
                 rejected: 0,
+                replicas: 1,
+                divergences: 0,
+                divergent_masked: 0,
+                rejuvenations: 0,
             },
             points: vec![SweepPoint {
                 offered_rps: 1.0,

@@ -186,6 +186,16 @@ pub struct HealthReply {
     pub quarantined: u64,
     /// Requests rejected at admission since startup.
     pub rejected: u64,
+    /// Replicas per shard (1 = unreplicated). Wire extension: absent on
+    /// frames from older daemons, decoded as 1.
+    pub replicas: u32,
+    /// Replica-vote divergences since startup (extension; default 0).
+    pub divergences: u64,
+    /// Divergent replicas masked and rebuilt from the primary's durable
+    /// history (extension; default 0).
+    pub divergent_masked: u64,
+    /// Scheduled proactive replica rejuvenations (extension; default 0).
+    pub rejuvenations: u64,
 }
 
 /// One protocol frame, either direction.
@@ -303,6 +313,13 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.u64(h.revivals);
             w.u64(h.quarantined);
             w.u64(h.rejected);
+            // Replica-group extension: appended after every legacy
+            // field; the decoder reads it only when bytes remain, so
+            // legacy payloads that end at `rejected` still decode.
+            w.u32(h.replicas);
+            w.u64(h.divergences);
+            w.u64(h.divergent_masked);
+            w.u64(h.rejuvenations);
         }
         Frame::ControlOk { detail } => {
             w.u8(20);
@@ -350,18 +367,35 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, FrameError> {
             reason: RejectReason::from_tag(r.u8("rejected reason")?)?,
         },
         18 => Frame::StatsReply { json: r.str("stats json")? },
-        19 => Frame::HealthReply(HealthReply {
-            ok: r.bool("health ok")?,
-            app: r.str("health app")?,
-            scale: r.u32("health scale")?,
-            shards_live: r.u32("health live")?,
-            shards_draining: r.u32("health draining")?,
-            served: r.u64("health served")?,
-            detections: r.u64("health detections")?,
-            revivals: r.u64("health revivals")?,
-            quarantined: r.u64("health quarantined")?,
-            rejected: r.u64("health rejected")?,
-        }),
+        19 => {
+            let mut h = HealthReply {
+                ok: r.bool("health ok")?,
+                app: r.str("health app")?,
+                scale: r.u32("health scale")?,
+                shards_live: r.u32("health live")?,
+                shards_draining: r.u32("health draining")?,
+                served: r.u64("health served")?,
+                detections: r.u64("health detections")?,
+                revivals: r.u64("health revivals")?,
+                quarantined: r.u64("health quarantined")?,
+                rejected: r.u64("health rejected")?,
+                replicas: 1,
+                divergences: 0,
+                divergent_masked: 0,
+                rejuvenations: 0,
+            };
+            // Replica-group extension: present only on frames from
+            // replica-aware daemons. A legacy payload ends here and
+            // keeps the defaults; a *partial* extension is typed
+            // truncation like any other short field.
+            if r.remaining() > 0 {
+                h.replicas = r.u32("health replicas")?;
+                h.divergences = r.u64("health divergences")?;
+                h.divergent_masked = r.u64("health divergent masked")?;
+                h.rejuvenations = r.u64("health rejuvenations")?;
+            }
+            Frame::HealthReply(h)
+        }
         20 => Frame::ControlOk { detail: r.str("control detail")? },
         21 => Frame::ControlErr { msg: r.str("control error")? },
         other => return Err(FrameError::UnknownKind(other)),
@@ -491,6 +525,10 @@ mod tests {
                 revivals: 1,
                 quarantined: 0,
                 rejected: 3,
+                replicas: 3,
+                divergences: 4,
+                divergent_masked: 2,
+                rejuvenations: 5,
             }),
             Frame::ControlOk { detail: "drained".into() },
             Frame::ControlErr { msg: "no such shard".into() },
@@ -594,6 +632,91 @@ mod tests {
                 // mutated into another valid frame) or the error is
                 // typed. Both fine; panics and hangs are not.
                 Ok(_) | Err(_) => {}
+            }
+        });
+    }
+
+    /// A pre-replica `HEALTH_REPLY` payload (ends at `rejected`) with
+    /// `tail` appended raw, wrapped in a valid frame header. `tail` is
+    /// how the extension-decoder tests forge partial or hostile
+    /// extensions without fighting the encoder.
+    fn legacy_health_frame(tail: &[u8]) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u8(19);
+        w.bool(true);
+        w.str("httpd");
+        w.u32(40);
+        w.u32(2);
+        w.u32(1);
+        w.u64(10);
+        w.u64(2);
+        w.u64(1);
+        w.u64(0);
+        w.u64(3);
+        let mut payload = w.finish();
+        payload.extend_from_slice(tail);
+        let len = u32::try_from(payload.len()).expect("test payload fits u32");
+        let mut out = len.to_le_bytes().to_vec();
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    #[test]
+    fn legacy_health_payload_decodes_with_replica_defaults() {
+        // A daemon that predates the replica extension ends its payload
+        // at `rejected`. The extended decoder must accept it and report
+        // one (unreplicated) replica with zeroed counters.
+        let bytes = legacy_health_frame(&[]);
+        let (frame, used) = decode_frame(&bytes).expect("legacy payload decodes");
+        assert_eq!(used, bytes.len());
+        let Frame::HealthReply(h) = frame else { panic!("wrong kind: {frame:?}") };
+        assert_eq!((h.replicas, h.divergences, h.divergent_masked, h.rejuvenations), (1, 0, 0, 0));
+        assert_eq!((h.served, h.detections, h.revivals, h.rejected), (10, 2, 1, 3));
+    }
+
+    #[test]
+    fn partial_health_extension_is_typed_truncation() {
+        // The extension is all-or-nothing: a payload that carries *some*
+        // extension bytes (the CRC is valid, so this is corruption above
+        // the framing layer) must be typed truncation, never a default.
+        let mut full = 3u32.to_le_bytes().to_vec();
+        for v in [4u64, 2, 5] {
+            full.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(full.len(), 28, "extension is u32 + 3 x u64");
+        for cut in 1..full.len() {
+            let bytes = legacy_health_frame(&full[..cut]);
+            match decode_frame(&bytes) {
+                Err(FrameError::Truncated { .. }) => {}
+                other => panic!("extension cut {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_health_extension_tail_is_typed() {
+        // Random bytes after a legacy payload: exactly 28 tail bytes is
+        // a complete extension and decodes; anything else is a typed
+        // error. No length may panic or mis-decode into defaults.
+        forall("proto health extension tail", 300, |rng| {
+            let len = rng.range_u64(0, 40) as usize;
+            let tail: Vec<u8> = (0..len).map(|_| rng.gen_u8()).collect();
+            let bytes = legacy_health_frame(&tail);
+            match decode_frame(&bytes) {
+                Ok((Frame::HealthReply(h), _)) => {
+                    if len == 0 {
+                        assert_eq!(h.replicas, 1, "legacy tail keeps defaults");
+                    } else {
+                        assert_eq!(len, 28, "only a whole 28-byte extension may decode");
+                    }
+                }
+                Ok((other, _)) => panic!("decoded into {other:?}"),
+                Err(FrameError::Truncated { .. } | FrameError::Malformed { .. }) => {
+                    assert_ne!(len, 0, "legacy payload must decode");
+                    assert_ne!(len, 28, "whole extension must decode");
+                }
+                Err(e) => panic!("unexpected error class: {e}"),
             }
         });
     }

@@ -712,6 +712,19 @@ impl Machine {
     /// timing (warm caches, open rows, issue-group position).
     #[must_use]
     pub fn save_state(&self) -> MachineState {
+        self.save_state_inner(true)
+    }
+
+    /// Like [`Machine::save_state`] but with `phys` left empty — for
+    /// callers (e.g. incremental state digests) that walk physical
+    /// memory separately and must not pay a full frame copy per capture.
+    /// The result is **not** restorable; it exists to be encoded.
+    #[must_use]
+    pub fn save_state_sans_phys(&self) -> MachineState {
+        self.save_state_inner(false)
+    }
+
+    fn save_state_inner(&self, with_phys: bool) -> MachineState {
         let mut spaces: Vec<SpaceState> = self
             .spaces
             .iter()
@@ -727,7 +740,7 @@ impl Machine {
             mems: self.mems.iter().map(CoreMemory::save_state).collect(),
             cams: self.cams.iter().map(CamFilter::save_state).collect(),
             dram: self.dram.save_state(),
-            phys: self.phys.save_state(),
+            phys: if with_phys { self.phys.save_state() } else { PhysMemState::default() },
             watchdog: self.watchdog.save_state(),
             fifo: self.fifo.save_state(),
             spaces,

@@ -1,12 +1,17 @@
 //! `fleetbench` — shard-count scaling sweep over the parallel fleet
 //! executor. All logic lives in [`indra_fleet::sweep`]; this wrapper
-//! installs the graceful-shutdown signal handlers and exists so `cargo
-//! run --release --bin fleetbench` works from the workspace root.
+//! installs the graceful-shutdown signal handlers, dispatches the
+//! replica modes (`--replicas`, `--rejuvenate-every`,
+//! `--replica-bench` — the voting executor lives above `indra-fleet`
+//! in `indra-replica`) and exists so `cargo run --release --bin
+//! fleetbench` works from the workspace root.
 
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
 
-use indra_fleet::sweep::{parse_args, run_sweep, USAGE};
+use indra_fleet::sweep::{parse_args, run_sweep, SweepArgs, USAGE};
+use indra_fleet::{ChaosConfig, FleetConfig};
+use indra_replica::{replica_bench_json, run_fleet_replicated, ReplicaOptions};
 use indra_serve::install_shutdown_handler;
 
 fn main() -> ExitCode {
@@ -17,8 +22,15 @@ fn main() -> ExitCode {
             // checkpointing run resumes byte-identically.
             let shutdown = install_shutdown_handler();
             args.base.shutdown = Some(shutdown);
-            match run_sweep(&args) {
-                Ok(_) => {
+            let outcome = if args.replica_bench {
+                run_replica_bench(&args)
+            } else if args.replicas > 1 || args.rejuvenate_every.is_some() {
+                run_replicated(&args)
+            } else {
+                run_sweep(&args).map(|_| ())
+            };
+            match outcome {
+                Ok(()) => {
                     if shutdown.load(Ordering::SeqCst) {
                         if let Some(store) = &args.base.store_dir {
                             eprintln!("fleetbench: interrupted; resume with --resume {store}");
@@ -44,4 +56,83 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// One replicated run at the largest `--shards` point, with the chosen
+/// chaos profile's stealth leg (host-level chaos belongs to the
+/// supervisor, not the voting executor).
+fn run_replicated(args: &SweepArgs) -> Result<(), String> {
+    let shards = *args.shard_counts.last().expect("parse_args rejects empty --shards");
+    let cfg = FleetConfig { shards, ..args.base.clone() };
+    let chaos = match &args.chaos {
+        Some(name) => ChaosConfig::profile(name).map_err(|e| format!("--chaos: {e}"))?,
+        None => ChaosConfig::off(),
+    };
+    let opts =
+        ReplicaOptions { replicas: args.replicas, rejuvenate_every: args.rejuvenate_every, chaos };
+    let report = run_fleet_replicated(&cfg, &opts)?;
+    let s = &report.stats;
+    let sup = report.supervision.as_ref().expect("replicated runs carry supervision stats");
+    println!(
+        "replicated fleet: {} shards x {} replicas, served {}, benign {:.1}%, \
+         detections {}, divergences {} ({} masked), rejuvenations {}, wall {:.2}s",
+        s.shards,
+        args.replicas,
+        s.served,
+        s.benign_service_ratio * 100.0,
+        s.true_detections,
+        sup.divergences,
+        sup.divergent_masked,
+        sup.rejuvenations,
+        report.wall_seconds,
+    );
+    if args.json {
+        println!("{}", report.to_json());
+    }
+    // --chaos-out in a replicated run saves the deterministic stats
+    // alone, so CI can `cmp` a stealth run against a chaos-free one.
+    if let Some(path) = &args.chaos_out {
+        std::fs::write(path, report.stats.to_json().as_bytes())
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(min) = args.assert_divergences_min {
+        if sup.divergences < min {
+            return Err(format!(
+                "assertion failed: {} divergences caught < required minimum {min}",
+                sup.divergences
+            ));
+        }
+    }
+    if let Some(min) = args.assert_revivals_min {
+        let revived = sup.divergent_masked + sup.rejuvenations;
+        if revived < min {
+            return Err(format!(
+                "assertion failed: {revived} replica revivals < required minimum {min}"
+            ));
+        }
+    }
+    if let Some(min) = args.assert_availability_min {
+        if sup.availability < min {
+            return Err(format!(
+                "assertion failed: availability {:.4} < required minimum {min}",
+                sup.availability
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The K=1/2/3 detection/overhead sweep; writes `--chaos-out PATH` or
+/// `results/BENCH_replica.json`.
+fn run_replica_bench(args: &SweepArgs) -> Result<(), String> {
+    let doc = replica_bench_json(args.quick)?;
+    let path = args.chaos_out.clone().unwrap_or_else(|| "results/BENCH_replica.json".to_string());
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    std::fs::write(&path, doc.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+    println!("replica bench: wrote {path}");
+    Ok(())
 }

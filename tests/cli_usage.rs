@@ -27,6 +27,40 @@ fn fleetbench_rejects_unknown_and_malformed_flags() {
 }
 
 #[test]
+fn fleetbench_validates_replica_flags() {
+    let bin = env!("CARGO_BIN_EXE_fleetbench");
+    for k in ["0", "4", "-1", "three"] {
+        let (ok, _, err) = run(bin, &["--replicas", k]);
+        assert!(!ok, "--replicas {k} must exit nonzero");
+        assert!(err.contains("--replicas") && err.contains("USAGE"), "{err}");
+    }
+    for n in ["0", "1000001", "soon"] {
+        let (ok, _, err) = run(bin, &["--rejuvenate-every", n]);
+        assert!(!ok, "--rejuvenate-every {n} must exit nonzero");
+        assert!(err.contains("--rejuvenate-every") && err.contains("USAGE"), "{err}");
+    }
+    let (ok, out, _) = run(bin, &["--help"]);
+    assert!(ok && out.contains("--replicas K"), "usage must document replication: {out}");
+}
+
+#[test]
+fn fleetd_validates_replica_flags() {
+    let bin = env!("CARGO_BIN_EXE_fleetd");
+    for k in ["0", "4", "-1"] {
+        let (ok, _, err) = run(bin, &["--state", "d", "--replicas", k]);
+        assert!(!ok, "--replicas {k} must exit nonzero");
+        assert!(err.contains("--replicas") && err.contains("USAGE"), "{err}");
+    }
+    for n in ["0", "1000001"] {
+        let (ok, _, err) = run(bin, &["--state", "d", "--rejuvenate-every", n]);
+        assert!(!ok, "--rejuvenate-every {n} must exit nonzero");
+        assert!(err.contains("[1, 1000000]") && err.contains("USAGE"), "{err}");
+    }
+    let (ok, out, _) = run(bin, &["--help"]);
+    assert!(ok && out.contains("--replicas K"), "usage must document replication: {out}");
+}
+
+#[test]
 fn fleetd_rejects_unknown_and_malformed_flags() {
     let bin = env!("CARGO_BIN_EXE_fleetd");
     let (ok, _, err) = run(bin, &["--state", "d", "--bogus"]);

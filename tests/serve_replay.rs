@@ -26,6 +26,8 @@ fn test_config(dir: &std::path::Path) -> ServeConfig {
         checkpoint_every: 3,
         state_dir: dir.to_path_buf(),
         port: 0,
+        replicas: 1,
+        rejuvenate_every: None,
     }
 }
 
@@ -140,6 +142,35 @@ fn live_served_fleet_replays_byte_identically() {
     let replayed2 = replay_state_dir(&dir).expect("replay grown history");
     assert_eq!(replayed2.stats.to_json(), report2.stats.to_json());
     assert_eq!(replayed2.requests_replayed, 23);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replicated_daemon_reports_replica_health_and_replays_identically() {
+    let dir = scratch("serve-replica");
+    let cfg = ServeConfig { replicas: 3, rejuvenate_every: Some(3), ..test_config(&dir) };
+    let daemon = Daemon::start(cfg).expect("start replicated daemon");
+    let mut conn = TcpStream::connect(daemon.addr()).expect("connect");
+
+    let h = health(&mut conn);
+    assert_eq!(h.replicas, 3, "health must carry the replica-group extension: {h:?}");
+
+    let (_, det) = drive(&mut conn, 0, 9);
+    assert!(det >= 2, "exploits detected through the replicated path, saw {det}");
+    let h = health(&mut conn);
+    assert_eq!(h.divergences, 0, "healthy followers never diverge: {h:?}");
+    assert!(h.rejuvenations >= 1, "cadence 3 over 9 requests must rejuvenate: {h:?}");
+    drop(conn);
+
+    let report = daemon.stop().expect("stop replicated daemon");
+    assert_eq!(report.stats.served + report.stats.detections, 9);
+
+    // Replication is invisible to durable history: replay (which knows
+    // nothing about replicas) reproduces the live bytes.
+    let replayed = replay_state_dir(&dir).expect("replay");
+    assert_eq!(replayed.stats.to_json(), report.stats.to_json());
+    assert_eq!(replayed.requests_replayed, 9);
 
     let _ = std::fs::remove_dir_all(&dir);
 }
