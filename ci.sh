@@ -98,10 +98,11 @@ cmp "$SERVE_STATE/FLEET_stats.json" "$SMOKE_DIR/replay.json" || {
 
 echo "== smoke: simbench host-MIPS floor"
 # Short deterministic workloads; --min-mips is a conservative regression
-# guard (the optimized loop runs well above it), not a tight gate.
+# guard (the superblock engine runs the compute workload several times
+# faster than this floor), not a tight gate.
 SIMBENCH_JSON="$SMOKE_DIR/BENCH_simcore.json"
-./target/release/simbench --quick --out "$SIMBENCH_JSON" --min-mips 4
-for key in '"bench":"simcore"' '"quick":true' '"workloads"' \
+./target/release/simbench --quick --out "$SIMBENCH_JSON" --min-mips 12
+for key in '"bench":"simcore"' '"quick":true' '"superblocks":true' '"workloads"' \
            '"name":"compute"' '"name":"memory"' '"name":"attack_mix"' \
            '"insns"' '"wall_seconds"' '"mips"'; do
   grep -qF "$key" "$SIMBENCH_JSON" || {
@@ -109,6 +110,20 @@ for key in '"bench":"simcore"' '"quick":true' '"workloads"' \
     exit 1
   }
 done
+
+echo "== smoke: superblocks off is byte-identical"
+# The superblock engine is a host-side optimization: the deterministic
+# FleetStats must not move by a single byte when it is disabled — even
+# under the K=3 voting executor. The reference is the replica-clean
+# stats written by the stage above (superblocks on, chaos off).
+SB_OFF="$SMOKE_DIR/sb_off_stats.json"
+timeout 300 ./target/release/fleetbench \
+  --quick --replicas 3 --rejuvenate-every 4 --no-superblocks \
+  --chaos-out "$SB_OFF"
+cmp "$REPLICA_CLEAN" "$SB_OFF" || {
+  echo "FleetStats changed when the superblock engine was disabled" >&2
+  exit 1
+}
 
 echo "== static analysis: benign workloads lint clean"
 # Every shipped service must pass the CFI lint with zero findings —

@@ -86,6 +86,20 @@ pub fn successors(addr: u32, inst: Instruction) -> (Option<u32>, bool) {
     }
 }
 
+/// Whether `inst` terminates a basic block — i.e. it is the last
+/// instruction of any block containing it. True for every control
+/// transfer (branch, jump, call, return, syscall) and for `halt`, which
+/// stops the core outright.
+///
+/// This is the boundary rule [`Cfg::build`] applies statically when
+/// carving reachable code into blocks; the simulator's superblock
+/// translator applies the same predicate dynamically, so its hot traces
+/// coincide with the static blocks the analyzer reasons about.
+#[must_use]
+pub fn ends_block(inst: Instruction) -> bool {
+    inst.is_control() || matches!(inst, Instruction::Halt)
+}
+
 /// A recovered basic block: straight-line code with one entry and one exit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BasicBlock {
@@ -180,8 +194,11 @@ impl Cfg {
                 if next != end.wrapping_add(4) || leaders.contains(&next) {
                     break;
                 }
-                // A block ends at its first control transfer.
-                if last.inst.is_some_and(|ins| ins.is_control()) {
+                // A block ends at its first terminator (`halt` never
+                // falls through, so the next word — if reachable at all —
+                // is necessarily a leader; including it here keeps the
+                // rule identical to the dynamic translator's).
+                if last.inst.is_some_and(ends_block) {
                     break;
                 }
                 i += 1;
@@ -327,5 +344,45 @@ impl CallGraph {
 
     fn callees_of(&self, node: u32) -> Vec<u32> {
         self.edges.get(&node).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use indra_isa::{AluOp, Cond, Instruction, Reg, Width};
+
+    use super::ends_block;
+
+    #[test]
+    fn ends_block_matches_the_carving_rule() {
+        let terminators = [
+            Instruction::Branch { cond: Cond::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, offset: 8 },
+            Instruction::Jal { rd: Reg::ZERO, offset: 16 },
+            Instruction::call(32),
+            Instruction::ret(),
+            Instruction::Jalr { rd: Reg::ZERO, rs1: Reg::T0, offset: 0 },
+            Instruction::Syscall { code: 3 },
+            Instruction::Halt,
+        ];
+        for inst in terminators {
+            assert!(ends_block(inst), "{inst} must end a block");
+        }
+        let straight_line = [
+            Instruction::Alu { op: AluOp::Add, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2 },
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::T0, rs1: Reg::T0, imm: 1 },
+            Instruction::Lui { rd: Reg::T0, imm: 0x1234 },
+            Instruction::Load {
+                width: Width::Word,
+                signed: false,
+                rd: Reg::T0,
+                rs1: Reg::SP,
+                offset: 0,
+            },
+            Instruction::Store { width: Width::Word, rs2: Reg::T0, rs1: Reg::SP, offset: 0 },
+            Instruction::Nop,
+        ];
+        for inst in straight_line {
+            assert!(!ends_block(inst), "{inst} must not end a block");
+        }
     }
 }

@@ -31,7 +31,7 @@ mod cfg;
 pub mod fixtures;
 mod policy;
 
-pub use cfg::{successors, BasicBlock, CallGraph, Cfg, CodeWord, Disassembly};
+pub use cfg::{ends_block, successors, BasicBlock, CallGraph, Cfg, CodeWord, Disassembly};
 pub use policy::{
     analyze_image, tighten, AppMetadata, Finding, FindingKind, PolicyReport, PolicyStats,
 };

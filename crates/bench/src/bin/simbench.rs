@@ -37,10 +37,18 @@ struct Args {
     out: String,
     /// Optional MIPS floor for the compute workload (CI gate).
     min_mips: Option<f64>,
+    /// Superblock execution engine (on by default; `--no-superblocks`
+    /// measures the one-instruction reference dispatch loop).
+    superblocks: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { quick: false, out: "results/BENCH_simcore.json".into(), min_mips: None };
+    let mut args = Args {
+        quick: false,
+        out: "results/BENCH_simcore.json".into(),
+        min_mips: None,
+        superblocks: true,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -50,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--min-mips needs a value")?;
                 args.min_mips = Some(v.parse().map_err(|e| format!("--min-mips: {e}"))?);
             }
+            "--no-superblocks" => args.superblocks = false,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -63,12 +72,14 @@ fn parse_args() -> Result<Args, String> {
 const USAGE: &str = "\
 simbench — INDRA host-side simulator MIPS benchmark
 
-USAGE: simbench [--quick] [--out PATH] [--min-mips X]
+USAGE: simbench [--quick] [--out PATH] [--min-mips X] [--no-superblocks]
 
 Runs the compute / memory / attack_mix workloads, prints a MIPS table
 and writes results/BENCH_simcore.json. --quick shrinks the iteration
 counts for CI smoke use; --min-mips X exits non-zero if the compute
-workload falls below the floor.";
+workload falls below the floor; --no-superblocks measures the
+one-instruction reference dispatch loop (the simulated instruction
+counts are identical either way).";
 
 /// One workload's measurement.
 struct Sample {
@@ -89,8 +100,8 @@ impl Sample {
 
 /// Builds a bare machine with one program on the resurrectee core and
 /// runs it to halt, returning (instructions, wall seconds).
-fn run_bare(src: &str, max_steps: u64) -> Sample {
-    let mut m = Machine::new(MachineConfig::default());
+fn run_bare(src: &str, max_steps: u64, superblocks: bool) -> Sample {
+    let mut m = Machine::new(MachineConfig { superblocks, ..MachineConfig::default() });
     m.boot_asymmetric();
     m.set_monitoring(false);
     let img = assemble("simbench", src).expect("simbench asm");
@@ -103,8 +114,11 @@ fn run_bare(src: &str, max_steps: u64) -> Sample {
 
     let start = Instant::now();
     let mut halted = false;
-    for _ in 0..max_steps {
-        match m.step_core_simple(1) {
+    let mut steps = 0u64;
+    while steps < max_steps {
+        let (step, executed) = m.step_core_batch_simple(1, max_steps - steps);
+        steps += executed.max(1);
+        match step {
             CoreStep::Executed => {}
             CoreStep::Halted => {
                 halted = true;
@@ -119,7 +133,7 @@ fn run_bare(src: &str, max_steps: u64) -> Sample {
 }
 
 /// Pure ALU/branch loop: the per-instruction stepping floor.
-fn compute_workload(iters: u32) -> Sample {
+fn compute_workload(iters: u32, superblocks: bool) -> Sample {
     let src = format!(
         "main:
     li   s0, {iters}
@@ -147,13 +161,13 @@ loop:
     halt
 "
     );
-    let mut s = run_bare(&src, u64::from(iters) * 24 + 1000);
+    let mut s = run_bare(&src, u64::from(iters) * 24 + 1000, superblocks);
     s.name = "compute";
     s
 }
 
 /// Strided load/store sweep over a 64 KiB buffer (misses the DL1).
-fn memory_workload(passes: u32) -> Sample {
+fn memory_workload(passes: u32, superblocks: bool) -> Sample {
     let src = format!(
         "main:
     li   s0, {passes}
@@ -177,16 +191,20 @@ fill:
 buf: .space 65600
 "
     );
-    let mut s = run_bare(&src, u64::from(passes) * 1024 * 12 + 1000);
+    let mut s = run_bare(&src, u64::from(passes) * 1024 * 12 + 1000, superblocks);
     s.name = "memory";
     s
 }
 
 /// Full INDRA cell under seeded traffic with an exploit mix — the
 /// fleet-shard hot path (monitor, FIFO, CAM, delta backup included).
-fn attack_mix_workload(requests: u32) -> Sample {
-    let cfg =
-        SystemConfig { scheme: SchemeKind::Delta, monitoring: true, ..SystemConfig::default() };
+fn attack_mix_workload(requests: u32, superblocks: bool) -> Sample {
+    let cfg = SystemConfig {
+        machine: MachineConfig { superblocks, ..MachineConfig::default() },
+        scheme: SchemeKind::Delta,
+        monitoring: true,
+        ..SystemConfig::default()
+    };
     let cores = cfg.machine.cores.len();
     let mut sys = IndraSystem::new(cfg);
     let image = build_app_scaled(ServiceApp::Httpd, 20);
@@ -241,19 +259,23 @@ fn main() {
     let (compute_iters, memory_passes, requests) =
         if args.quick { (40_000, 40, 12) } else { (400_000, 400, 60) };
 
-    println!("simbench: {} mode", if args.quick { "quick" } else { "full" });
+    println!(
+        "simbench: {} mode, superblocks {}",
+        if args.quick { "quick" } else { "full" },
+        if args.superblocks { "on" } else { "off" }
+    );
     println!("{:>12} {:>12} {:>10} {:>10}", "workload", "insns", "wall_s", "mips");
     let samples = [
-        compute_workload(compute_iters),
-        memory_workload(memory_passes),
-        attack_mix_workload(requests),
+        compute_workload(compute_iters, args.superblocks),
+        memory_workload(memory_passes, args.superblocks),
+        attack_mix_workload(requests, args.superblocks),
     ];
     for s in &samples {
         println!("{:>12} {:>12} {:>10.3} {:>10.3}", s.name, s.insns, s.wall_seconds, s.mips());
     }
 
     let mut obj = JsonObject::new();
-    obj.str("bench", "simcore").bool("quick", args.quick);
+    obj.str("bench", "simcore").bool("quick", args.quick).bool("superblocks", args.superblocks);
     let items = samples.iter().map(|s| {
         JsonObject::new()
             .str("name", s.name)

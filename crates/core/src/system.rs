@@ -598,6 +598,14 @@ impl IndraSystem {
         if cores.is_empty() {
             return RunState::Halted;
         }
+        // With several services, one instruction per pump keeps their
+        // clocks (and the shared DRAM/FIFO interleaving) exactly as the
+        // reference interpreter orders them; a lone service has no peer
+        // to interleave with and batches freely through the superblock
+        // engine. `steps` counts retired instructions plus one per
+        // non-executing pump, so budget consumption is identical whether
+        // or not batching is on.
+        let single = cores.len() == 1;
         let mut halted: Vec<bool> = vec![false; cores.len()];
         let mut steps = 0u64;
         loop {
@@ -607,12 +615,14 @@ impl IndraSystem {
                 if halted[i] {
                     continue;
                 }
-                match self.pump(core) {
+                let budget = if single { max_steps - steps } else { 1 };
+                let (pump, consumed) = self.pump(core, budget);
+                match pump {
                     Pump::Progress => any_progress = true,
                     Pump::Idle => any_idle = true,
                     Pump::Halted => halted[i] = true,
                 }
-                steps += 1;
+                steps += consumed;
                 if steps >= max_steps {
                     return RunState::BudgetExhausted;
                 }
@@ -628,8 +638,14 @@ impl IndraSystem {
         }
     }
 
-    /// One scheduling decision on one core.
-    fn pump(&mut self, core: usize) -> Pump {
+    /// One scheduling decision on one core: up to `max_insns`
+    /// instructions through the superblock engine (bounded so a request
+    /// can never batch past its DoS-timeout budget), or one of the
+    /// non-executing transitions. Returns the scheduling outcome and the
+    /// step budget consumed — instructions retired, plus one for the
+    /// pump itself when nothing retired (and one extra for a faulting
+    /// instruction, which occupies a pump without retiring).
+    fn pump(&mut self, core: usize, max_insns: u64) -> (Pump, u64) {
         let svc = self.services[&core];
 
         // A service blocked in net_recv only needs attention when a
@@ -640,19 +656,26 @@ impl IndraSystem {
                 Some(eff) => {
                     self.blocked.insert(core, false);
                     self.apply_effect(core, eff);
-                    Pump::Progress
+                    (Pump::Progress, 1)
                 }
-                None => Pump::Idle,
+                None => (Pump::Idle, 1),
             };
         }
 
         // DoS watchdog: a request that retires too much is declared hung.
+        // A batch may run at most up to the first instruction *past* the
+        // timeout budget, so the hang is declared at the same retired
+        // count the one-instruction reference loop would see.
+        let mut cap = max_insns;
         if let Some(inf) = self.in_flight.get(&core).copied() {
             let retired = self.machine.core(core).retired();
             if retired - inf.start_retired > self.cfg.request_timeout_insns {
                 self.recover(core, FailureCause::Timeout);
-                return Pump::Progress;
+                return (Pump::Progress, 1);
             }
+            cap = cap.min(
+                (inf.start_retired + self.cfg.request_timeout_insns + 1).saturating_sub(retired),
+            );
         }
 
         // The resurrector drains the FIFO concurrently: everything it
@@ -673,12 +696,29 @@ impl IndraSystem {
                     self.services.values().find(|s| s.asid == ev_asid).map(|s| s.core)
                 {
                     self.recover(owner, FailureCause::Violation(v.kind));
-                    return Pump::Progress;
+                    return (Pump::Progress, 1);
                 }
             }
         }
 
-        match self.machine.step_core(core, upcast(self.scheme.as_mut())) {
+        // Events still queued have completions in this core's future; a
+        // batch may run only up to the boundary where the oldest one
+        // falls due — the exact boundary where the reference loop's
+        // drain (and any violation recovery) would interleave.
+        let horizon = match self.machine.fifo().peek() {
+            Some(ev) => self.monitor.completion_preview(ev),
+            None => u64::MAX,
+        };
+        let (step, executed) =
+            self.machine.step_core_batch(core, upcast(self.scheme.as_mut()), cap, horizon);
+        // A faulting instruction occupies a pump without retiring, so it
+        // costs one step on top of whatever the batch retired before it —
+        // exactly what the one-instruction loop charges.
+        let consumed = match step {
+            CoreStep::Fault(_) => executed + 1,
+            _ => executed.max(1),
+        };
+        let pump = match step {
             CoreStep::Executed => Pump::Progress,
             CoreStep::Halted => Pump::Halted,
             CoreStep::Stalled => Pump::Halted, // cannot happen outside recovery
@@ -709,7 +749,7 @@ impl IndraSystem {
                 // before the kernel acts on the resurrectee's behalf.
                 if let Some((owner, kind)) = self.drain_fifo() {
                     self.recover(owner, FailureCause::Violation(kind));
-                    return Pump::Progress;
+                    return (Pump::Progress, consumed);
                 }
                 if self.machine.monitoring() {
                     let lag = self.monitor.clock().saturating_sub(self.machine.core(core).cycles());
@@ -734,7 +774,8 @@ impl IndraSystem {
                 }
                 Pump::Progress
             }
-        }
+        };
+        (pump, consumed)
     }
 
     /// Before the OS reads service memory on the app's behalf, pending

@@ -100,6 +100,8 @@ pub(crate) fn run_fleet_with(
             shard: o.plan.shard,
             insns: o.insns,
             wall_seconds: o.wall_seconds,
+            superblocks: o.superblocks,
+            predecode: o.predecode,
         })
         .collect();
 

@@ -118,6 +118,11 @@ pub struct FleetConfig {
     /// way; the flag exists so equivalence tests can force the slow
     /// reference path.
     pub fast_paths: bool,
+    /// Superblock execution engine in every shard machine: hot basic
+    /// blocks run as pre-validated micro-op traces with batched
+    /// accounting. Host-side only — [`FleetStats`] is byte-identical
+    /// either way; independent of `fast_paths`.
+    pub superblocks: bool,
     /// Graceful-shutdown flag (e.g. raised by a SIGINT/SIGTERM handler).
     /// Checked at every run-slice boundary — a checkpoint boundary — so
     /// a shutdown drains cleanly: the store is never torn mid-write and
@@ -148,6 +153,7 @@ impl Default for FleetConfig {
             store_dir: None,
             halt_after_checkpoints: None,
             fast_paths: true,
+            superblocks: true,
             shutdown: None,
         }
     }

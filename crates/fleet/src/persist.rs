@@ -134,6 +134,7 @@ pub(crate) fn encode_meta(cfg: &FleetConfig) -> Vec<u8> {
     w.bool(cfg.include_dormant_attacks);
     w.u32(cfg.checkpoint_every);
     w.bool(cfg.fast_paths);
+    w.bool(cfg.superblocks);
     w.finish()
 }
 
@@ -168,6 +169,7 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> Result<FleetConfig, PersistError> {
         store_dir: None,
         halt_after_checkpoints: None,
         fast_paths: r.bool("meta fast paths")?,
+        superblocks: r.bool("meta superblocks")?,
         shutdown: None,
     };
     r.expect_exhausted("meta trailing bytes")?;
@@ -228,6 +230,7 @@ mod tests {
             store_dir: Some("/tmp/x".into()),
             halt_after_checkpoints: Some(2),
             fast_paths: false,
+            superblocks: false,
             ..FleetConfig::quick()
         };
         let back = decode_meta(&encode_meta(&cfg)).unwrap();
@@ -238,6 +241,7 @@ mod tests {
         assert_eq!(back.seed, cfg.seed);
         assert_eq!(back.scheme, cfg.scheme);
         assert!(!back.fast_paths, "fast_paths must survive the meta roundtrip");
+        assert!(!back.superblocks, "superblocks must survive the meta roundtrip");
         // Resume-supplied fields never travel through the meta file.
         assert_eq!(back.store_dir, None);
         assert_eq!(back.halt_after_checkpoints, None);

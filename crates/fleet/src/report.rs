@@ -146,6 +146,12 @@ pub struct ShardHostPerf {
     pub insns: u64,
     /// Host wall-clock seconds the shard loop ran.
     pub wall_seconds: f64,
+    /// Superblock-engine counters (translations, hits, block
+    /// instructions, invalidations, fallback reasons) summed over the
+    /// shard machine's cores. Host-side observability only.
+    pub superblocks: indra_sim::SuperblockStats,
+    /// Predecode-cache counters summed over the shard machine's cores.
+    pub predecode: indra_sim::PredecodeStats,
 }
 
 impl ShardHostPerf {
@@ -159,14 +165,51 @@ impl ShardHostPerf {
         }
     }
 
+    /// Fraction of retired instructions executed inside superblocks, in
+    /// `[0, 1]` — the engine's coverage of the dynamic instruction
+    /// stream.
+    #[must_use]
+    pub fn superblock_coverage(&self) -> f64 {
+        if self.insns > 0 {
+            self.superblocks.block_insns as f64 / self.insns as f64
+        } else {
+            0.0
+        }
+    }
+
     /// JSON with fixed field order.
     #[must_use]
     pub fn to_json(&self) -> String {
+        let sb = &self.superblocks;
+        let pd = &self.predecode;
         JsonObject::new()
             .u64("shard", self.shard as u64)
             .u64("insns", self.insns)
             .f64("wall_seconds", self.wall_seconds)
             .f64("mips", self.mips())
+            .raw(
+                "superblocks",
+                &JsonObject::new()
+                    .u64("translations", sb.translations)
+                    .u64("hits", sb.hits)
+                    .u64("block_insns", sb.block_insns)
+                    .f64("coverage", self.superblock_coverage())
+                    .u64("stale", sb.stale)
+                    .u64("invalidations", sb.invalidations)
+                    .u64("exit_events", sb.exit_events)
+                    .u64("exit_self_modified", sb.exit_self_modified)
+                    .u64("exit_traps", sb.exit_traps)
+                    .u64("exit_faults", sb.exit_faults)
+                    .finish(),
+            )
+            .raw(
+                "predecode",
+                &JsonObject::new()
+                    .u64("hits", pd.hits)
+                    .u64("misses", pd.misses)
+                    .u64("invalidations", pd.invalidations)
+                    .finish(),
+            )
             .finish()
     }
 }
@@ -336,6 +379,19 @@ impl FleetReport {
         let insns: u64 = self.shard_host.iter().map(|h| h.insns).sum();
         if self.wall_seconds > 0.0 {
             insns as f64 / self.wall_seconds / 1.0e6
+        } else {
+            0.0
+        }
+    }
+
+    /// Fleet-wide superblock coverage: instructions executed inside
+    /// superblocks over all instructions retired, in `[0, 1]`.
+    #[must_use]
+    pub fn superblock_coverage(&self) -> f64 {
+        let insns: u64 = self.shard_host.iter().map(|h| h.insns).sum();
+        let block: u64 = self.shard_host.iter().map(|h| h.superblocks.block_insns).sum();
+        if insns > 0 {
+            block as f64 / insns as f64
         } else {
             0.0
         }

@@ -124,6 +124,11 @@ pub struct ShardOutput {
     /// Host wall-clock seconds this shard's loop ran. Wall-clock only —
     /// never folded into [`ShardSummary`] or [`crate::FleetStats`].
     pub wall_seconds: f64,
+    /// Superblock-engine counters summed over the shard machine's cores
+    /// (host-side observability — never folded into [`crate::FleetStats`]).
+    pub superblocks: indra_sim::SuperblockStats,
+    /// Predecode-cache counters summed over the shard machine's cores.
+    pub predecode: indra_sim::PredecodeStats,
 }
 
 impl ShardOutput {
@@ -259,6 +264,7 @@ pub(crate) fn run_shard_inner(
             fifo_entries: cfg.fifo_entries,
             cam_entries: cfg.cam_entries,
             fast_paths: cfg.fast_paths,
+            superblocks: cfg.superblocks,
             ..indra_sim::MachineConfig::default()
         },
         scheme: cfg.scheme,
@@ -458,6 +464,12 @@ pub(crate) fn run_shard_inner(
     let completed = completed && queue.peek().is_none();
     let machine = sys.machine();
     let insns = (0..machine.num_cores()).map(|c| machine.core(c).retired()).sum();
+    let mut superblocks = indra_sim::SuperblockStats::default();
+    let mut predecode = indra_sim::PredecodeStats::default();
+    for c in 0..machine.num_cores() {
+        superblocks += machine.superblock_stats(c);
+        predecode += machine.predecode_stats(c);
+    }
     let output = ShardOutput {
         sim_cycles: sys.service_cycles(),
         report: sys.report().clone(),
@@ -467,6 +479,8 @@ pub(crate) fn run_shard_inner(
         completed,
         insns,
         wall_seconds: started.elapsed().as_secs_f64(),
+        superblocks,
+        predecode,
         plan,
     };
     emit(ShardMsg::Done(Box::new(output)));

@@ -473,6 +473,8 @@ fn salvage_output(cfg: &FleetConfig, ctx: &Ctx<'_>, shard: usize) -> ShardOutput
         completed: false,
         insns: 0,
         wall_seconds: 0.0,
+        superblocks: indra_sim::SuperblockStats::default(),
+        predecode: indra_sim::PredecodeStats::default(),
     }
 }
 
@@ -561,6 +563,8 @@ fn assemble_report(
             shard: o.plan.shard,
             insns: o.insns,
             wall_seconds: o.wall_seconds,
+            superblocks: o.superblocks,
+            predecode: o.predecode,
         })
         .collect();
     let wall_seconds = started.elapsed().as_secs_f64();

@@ -166,6 +166,7 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<SweepArgs, Strin
             "--csv" => out.csv = Some(value(&mut args, "--csv")?),
             "--json" => out.json = true,
             "--no-fast-paths" => out.base.fast_paths = false,
+            "--no-superblocks" => out.base.superblocks = false,
             "--chaos" => {
                 let name = value(&mut args, "--chaos")?;
                 if name != "campaign" {
@@ -265,7 +266,7 @@ fleetbench — INDRA fleet shard-count scaling sweep
 USAGE: fleetbench [--shards 1,2,4,6] [--requests N] [--scale N]
                   [--attack-per-mille N] [--mean-gap CYCLES]
                   [--fault-every N] [--seed N] [--csv DIR] [--json]
-                  [--no-fast-paths] [--quick]
+                  [--no-fast-paths] [--no-superblocks] [--quick]
                   [--checkpoint-every N --store DIR [--halt-after N]]
                   [--resume DIR]
                   [--chaos PROFILE|campaign] [--chaos-seed N]
@@ -276,8 +277,10 @@ USAGE: fleetbench [--shards 1,2,4,6] [--requests N] [--scale N]
                   [--assert-divergences-min N]
 
 --no-fast-paths disables the host-side predecode and translation
-caches (slow reference path); the deterministic stats are identical
-either way — only the host mips column moves.
+caches (slow reference path); --no-superblocks disables the superblock
+execution engine (hot basic blocks batched into pre-validated micro-op
+traces). The deterministic stats are byte-identical either way — only
+the host mips and sb% columns move.
 
 Crash-safe checkpointing: --checkpoint-every N durably snapshots each
 shard to --store DIR after every N served requests; --halt-after K
@@ -347,7 +350,7 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
         args.base.requests_per_shard, args.base.scale, args.base.attack_per_mille, args.base.seed
     );
     println!(
-        "{:>6} {:>8} {:>8} {:>8} {:>7} {:>9} {:>11} {:>10} {:>7} {:>9} {:>8}",
+        "{:>6} {:>8} {:>8} {:>8} {:>7} {:>9} {:>11} {:>10} {:>7} {:>6} {:>9} {:>8}",
         "shards",
         "served",
         "benign%",
@@ -357,6 +360,7 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
         "wall req/s",
         "speedup",
         "mips",
+        "sb%",
         "p50 cyc",
         "p99 cyc"
     );
@@ -377,7 +381,7 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
         let speedup =
             if base_wall_rps > 0.0 { report.wall_req_per_sec / base_wall_rps } else { 0.0 };
         println!(
-            "{:>6} {:>8} {:>7.1}% {:>8} {:>7} {:>9.2} {:>11.1} {:>9.2}x {:>7.2} {:>9} {:>8}",
+            "{:>6} {:>8} {:>7.1}% {:>8} {:>7} {:>9.2} {:>11.1} {:>9.2}x {:>7.2} {:>5.1}% {:>9} {:>8}",
             shards,
             s.served,
             s.benign_service_ratio * 100.0,
@@ -387,6 +391,7 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
             report.wall_req_per_sec,
             speedup,
             report.host_mips(),
+            report.superblock_coverage() * 100.0,
             s.latency.p50,
             s.latency.p99,
         );
@@ -407,6 +412,10 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
             format!("{:.3}", speedup),
             format!("{:.3}", work),
             format!("{:.3}", report.host_mips()),
+            format!("{:.4}", report.superblock_coverage()),
+            report.shard_host.iter().map(|h| h.superblocks.translations).sum::<u64>().to_string(),
+            report.shard_host.iter().map(|h| h.superblocks.hits).sum::<u64>().to_string(),
+            report.shard_host.iter().map(|h| h.superblocks.invalidations).sum::<u64>().to_string(),
             s.latency.p50.to_string(),
             s.latency.p95.to_string(),
             s.latency.p99.to_string(),
@@ -429,6 +438,10 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
             "wall_speedup",
             "relative_work",
             "mips",
+            "sb_coverage",
+            "sb_translations",
+            "sb_hits",
+            "sb_invalidations",
             "p50_cycles",
             "p95_cycles",
             "p99_cycles",
@@ -648,6 +661,7 @@ mod tests {
             "7",
             "--json",
             "--no-fast-paths",
+            "--no-superblocks",
         ])
         .unwrap();
         assert_eq!(a.shard_counts, vec![2, 4]);
@@ -657,6 +671,9 @@ mod tests {
         assert_eq!(a.base.seed, 7);
         assert!(a.json);
         assert!(!a.base.fast_paths);
+        assert!(!a.base.superblocks);
+        let d = parse(&[]).unwrap();
+        assert!(d.base.fast_paths && d.base.superblocks, "both engines default on");
     }
 
     #[test]

@@ -166,6 +166,34 @@ impl Cache {
         (tag << self.tag_shift) | (set << self.line_shift)
     }
 
+    /// Applies the accounting of `n` consecutive read hits on the line
+    /// holding `addr` — bit-identical to calling
+    /// [`Cache::access`]`(addr, false)` `n` times when the line is
+    /// resident and nothing else touches this cache in between (each
+    /// call would bump the stamp and access count and leave the line's
+    /// LRU at the final stamp). Returns `false` without touching
+    /// anything when the line is *not* resident, so callers can fall
+    /// back to per-access calls.
+    pub fn note_read_hits(&mut self, addr: u32, n: u64) -> bool {
+        if n == 0 {
+            return true;
+        }
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let ways = self.cfg.ways as usize;
+        let base = set as usize * ways;
+        for i in base..base + ways {
+            let line = &mut self.lines[i];
+            if line.valid && line.tag == tag {
+                self.stamp += n;
+                self.stats.accesses += n;
+                line.lru = self.stamp;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Performs one access; `write` marks the line dirty.
     pub fn access(&mut self, addr: u32, write: bool) -> AccessOutcome {
         self.stamp += 1;

@@ -12,13 +12,23 @@ pub const PAGE_SIZE: u32 = 4096;
 /// log2 of [`PAGE_SIZE`].
 pub const PAGE_SHIFT: u32 = 12;
 
+/// One materialized frame: contents plus a host-side write epoch.
+#[derive(Debug)]
+struct Frame {
+    data: Box<[u8; PAGE_SIZE as usize]>,
+    /// Bumped on every mutable borrow of the frame. Host-visible
+    /// cache-validation data (translation-trace pinning), never part of
+    /// [`PhysMemState`].
+    epoch: u64,
+}
+
 /// Byte-addressable sparse physical memory.
 ///
 /// Reads from never-written frames return zeros, mirroring how the
 /// simulator's RAM powers up.
 #[derive(Debug, Default)]
 pub struct PhysicalMemory {
-    frames: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+    frames: HashMap<u32, Frame>,
     /// When set, every frame touched for writing is appended to `dirty`
     /// (with consecutive-duplicate suppression). Off by default so the
     /// hot write path costs one branch for non-replicated runs.
@@ -40,7 +50,12 @@ impl PhysicalMemory {
         if self.track_dirty && self.dirty.last() != Some(&ppn) {
             self.dirty.push(ppn);
         }
-        self.frames.entry(ppn).or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+        let f = self
+            .frames
+            .entry(ppn)
+            .or_insert_with(|| Frame { data: Box::new([0; PAGE_SIZE as usize]), epoch: 0 });
+        f.epoch += 1;
+        &mut f.data
     }
 
     /// Turns on dirty-frame tracking (used by the replica layer's
@@ -70,10 +85,35 @@ impl PhysicalMemory {
         self.generation
     }
 
+    /// Write epoch of frame `ppn`: bumped by every write that touches
+    /// the frame, `0` for never-materialized frames. Host-side
+    /// cache-validation data (the superblock engine pins code frames by
+    /// epoch), not simulated state. Epochs reset on
+    /// [`PhysicalMemory::restore_state`], so always pair them with
+    /// [`PhysicalMemory::generation`].
+    #[must_use]
+    pub fn frame_epoch(&self, ppn: u32) -> u64 {
+        self.frames.get(&ppn).map_or(0, |f| f.epoch)
+    }
+
+    /// Sum of [`PhysicalMemory::frame_epoch`] over every frame the byte
+    /// range `[paddr, paddr + len)` touches. Epochs are monotonic, so
+    /// any write anywhere in the range changes the sum — a cheap
+    /// range-dirty query for pinned code ranges.
+    #[must_use]
+    pub fn range_epoch(&self, paddr: u32, len: u32) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = paddr >> PAGE_SHIFT;
+        let last = paddr.saturating_add(len - 1) >> PAGE_SHIFT;
+        (first..=last).map(|ppn| self.frame_epoch(ppn)).sum()
+    }
+
     /// Borrows one resident frame's contents, if materialized.
     #[must_use]
     pub fn frame(&self, ppn: u32) -> Option<&[u8; PAGE_SIZE as usize]> {
-        self.frames.get(&ppn).map(|f| &**f)
+        self.frames.get(&ppn).map(|f| &*f.data)
     }
 
     /// All resident physical page numbers in ascending order.
@@ -88,7 +128,7 @@ impl PhysicalMemory {
     #[must_use]
     pub fn read_u8(&self, paddr: u32) -> u8 {
         match self.frames.get(&(paddr >> PAGE_SHIFT)) {
-            Some(f) => f[(paddr & (PAGE_SIZE - 1)) as usize],
+            Some(f) => f.data[(paddr & (PAGE_SIZE - 1)) as usize],
             None => 0,
         }
     }
@@ -105,7 +145,9 @@ impl PhysicalMemory {
         if off <= PAGE_SIZE as usize - 4 {
             // Single frame: one map lookup instead of four.
             match self.frames.get(&(paddr >> PAGE_SHIFT)) {
-                Some(f) => u32::from_le_bytes(f[off..off + 4].try_into().expect("4-byte slice")),
+                Some(f) => {
+                    u32::from_le_bytes(f.data[off..off + 4].try_into().expect("4-byte slice"))
+                }
                 None => 0,
             }
         } else {
@@ -161,7 +203,7 @@ impl PhysicalMemory {
             let off = (addr & (PAGE_SIZE - 1)) as usize;
             let room = (PAGE_SIZE as usize - off).min(out.len());
             match self.frames.get(&(addr >> PAGE_SHIFT)) {
-                Some(f) => out[..room].copy_from_slice(&f[off..off + room]),
+                Some(f) => out[..room].copy_from_slice(&f.data[off..off + room]),
                 None => out[..room].fill(0),
             }
             out = &mut out[room..];
@@ -201,17 +243,18 @@ impl PhysicalMemory {
     #[must_use]
     pub fn save_state(&self) -> PhysMemState {
         let mut frames: Vec<(u32, Box<[u8; PAGE_SIZE as usize]>)> =
-            self.frames.iter().map(|(&ppn, data)| (ppn, data.clone())).collect();
+            self.frames.iter().map(|(&ppn, f)| (ppn, f.data.clone())).collect();
         frames.sort_unstable_by_key(|&(ppn, _)| ppn);
         PhysMemState { frames }
     }
 
     /// Replaces all contents with the frames captured by
-    /// [`PhysicalMemory::save_state`].
+    /// [`PhysicalMemory::save_state`]. Frame write epochs restart from
+    /// zero; the generation bump keeps (generation, epoch) pairs unique.
     pub fn restore_state(&mut self, state: &PhysMemState) {
         self.frames.clear();
         for (ppn, data) in &state.frames {
-            self.frames.insert(*ppn, data.clone());
+            self.frames.insert(*ppn, Frame { data: data.clone(), epoch: 0 });
         }
         self.dirty.clear();
         self.generation += 1;
@@ -390,6 +433,30 @@ mod tests {
         assert_eq!(m.generation(), g0 + 1);
         assert!(m.take_dirty().is_empty());
         assert!(m.dirty_tracking(), "restore keeps tracking enabled");
+    }
+
+    #[test]
+    fn frame_epochs_observe_every_write_path() {
+        let mut m = PhysicalMemory::new();
+        assert_eq!(m.frame_epoch(1), 0, "never-materialized frame");
+        m.write_u8(0x1000, 1);
+        let e1 = m.frame_epoch(1);
+        assert!(e1 > 0);
+        m.write_u32(0x1004, 2);
+        assert!(m.frame_epoch(1) > e1, "write_u32 bumps");
+        let before = m.range_epoch(0x0FF0, 0x20); // spans frames 0 and 1
+        m.write_u16(0x0FFE, 3); // straddles the frame boundary
+        assert!(m.range_epoch(0x0FF0, 0x20) > before, "straddling write bumps range");
+        let r = m.range_epoch(0x1000, PAGE_SIZE);
+        m.copy(0x1800, 0x0F00, 8);
+        assert!(m.range_epoch(0x1000, PAGE_SIZE) > r, "copy dst bumps");
+        assert_eq!(m.range_epoch(0x1000, 0), 0, "empty range");
+        let _ = m.read_u32(0x1000);
+        let snap = m.save_state();
+        let g = m.generation();
+        m.restore_state(&snap);
+        assert_eq!(m.frame_epoch(1), 0, "restore resets epochs");
+        assert_eq!(m.generation(), g + 1, "…but bumps the generation");
     }
 
     #[test]

@@ -108,6 +108,27 @@ impl Tlb {
         set * ways..(set + 1) * ways
     }
 
+    /// Applies the accounting of `n` consecutive hits on `(asid, vpn)` —
+    /// bit-identical to calling [`Tlb::access`] `n` times when the entry
+    /// is resident and nothing else touches this TLB in between. Returns
+    /// `false` without touching anything when the entry is not resident,
+    /// so callers can fall back to per-access calls.
+    pub fn note_hits(&mut self, asid: u16, vpn: u32, n: u64) -> bool {
+        if n == 0 {
+            return true;
+        }
+        for i in self.set_range(vpn) {
+            let e = &mut self.entries[i];
+            if e.valid && e.vpn == vpn && e.asid == asid {
+                self.stamp += n;
+                self.stats.accesses += n;
+                e.lru = self.stamp;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Looks up `(asid, vpn)`, inserting it on a miss; returns the cycle
     /// cost (`0` on hit, `miss_penalty` on miss) and whether it missed.
     pub fn access(&mut self, asid: u16, vpn: u32) -> (u32, bool) {

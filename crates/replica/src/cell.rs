@@ -77,6 +77,7 @@ impl ReplicaCell {
                 fifo_entries: cfg.fifo_entries,
                 cam_entries: cfg.cam_entries,
                 fast_paths: cfg.fast_paths,
+                superblocks: cfg.superblocks,
                 ..indra_sim::MachineConfig::default()
             },
             scheme: cfg.scheme,
@@ -208,5 +209,27 @@ impl ReplicaCell {
     #[must_use]
     pub fn wall_seconds(&self) -> f64 {
         self.started.elapsed().as_secs_f64()
+    }
+
+    /// Superblock-engine counters summed over the cell machine's cores.
+    #[must_use]
+    pub fn superblock_stats(&self) -> indra_sim::SuperblockStats {
+        let machine = self.sys.machine();
+        let mut out = indra_sim::SuperblockStats::default();
+        for c in 0..machine.num_cores() {
+            out += machine.superblock_stats(c);
+        }
+        out
+    }
+
+    /// Predecode-cache counters summed over the cell machine's cores.
+    #[must_use]
+    pub fn predecode_stats(&self) -> indra_sim::PredecodeStats {
+        let machine = self.sys.machine();
+        let mut out = indra_sim::PredecodeStats::default();
+        for c in 0..machine.num_cores() {
+            out += machine.predecode_stats(c);
+        }
+        out
     }
 }

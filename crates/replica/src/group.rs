@@ -340,6 +340,8 @@ impl ReplicaGroup {
             completed,
             insns: leader.insns(),
             wall_seconds: leader.wall_seconds(),
+            superblocks: leader.superblock_stats(),
+            predecode: leader.predecode_stats(),
             plan: self.plan,
         };
         (output, self.counters)

@@ -130,6 +130,8 @@ pub fn run_fleet_replicated(
             shard: o.plan.shard,
             insns: o.insns,
             wall_seconds: o.wall_seconds,
+            superblocks: o.superblocks,
+            predecode: o.predecode,
         })
         .collect();
 
@@ -202,5 +204,7 @@ fn clone_output(out: &ShardOutput) -> ShardOutput {
         completed: out.completed,
         insns: out.insns,
         wall_seconds: out.wall_seconds,
+        superblocks: out.superblocks,
+        predecode: out.predecode,
     }
 }

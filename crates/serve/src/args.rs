@@ -33,8 +33,13 @@ loopback TCP, deterministic record/replay)
 USAGE: fleetd --state DIR [--port N] [--shards N] [--app NAME]
               [--scale N] [--queue-depth N] [--checkpoint-every N]
               [--seed N] [--replicas K] [--rejuvenate-every N]
-              [--out PATH] [--quick]
+              [--no-superblocks] [--out PATH] [--quick]
        fleetd --replay DIR [--out PATH]
+
+--no-superblocks disables the host-side superblock execution engine
+(hot basic blocks batched into pre-validated micro-op traces); the
+simulated stats are byte-identical either way. Persisted to
+`serve.meta`, so a resumed or replayed run keeps the setting.
 
 Replication: --replicas K (1-3, default 1) shadows every shard's
 authoritative primary with K-1 voting followers fed the identical
@@ -132,6 +137,7 @@ pub fn parse_fleetd_args(args: impl Iterator<Item = String>) -> Result<FleetdArg
                 }
                 out.serve.rejuvenate_every = Some(n);
             }
+            "--no-superblocks" => out.serve.engine.superblocks = false,
             "--replay" => out.replay = Some(PathBuf::from(value(&mut args, "--replay")?)),
             "--out" => out.out = Some(PathBuf::from(value(&mut args, "--out")?)),
             "--quick" => out.quick = true,
@@ -325,6 +331,10 @@ mod tests {
         assert_eq!(a.serve.checkpoint_every, 2);
         assert_eq!(a.serve.engine.seed, 9);
         assert!(a.replay.is_none());
+        assert!(a.serve.engine.superblocks, "superblocks default on");
+        let a = parse_fleetd_args(sv(&["--state", "d", "--no-superblocks"])).unwrap();
+        assert!(!a.serve.engine.superblocks);
+        assert!(FLEETD_USAGE.contains("--no-superblocks"));
     }
 
     #[test]

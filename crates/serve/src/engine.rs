@@ -54,6 +54,9 @@ pub struct EngineConfig {
     /// Master seed (only labels [`ShardPlan`]s — live traffic comes
     /// from clients, not from a seeded schedule).
     pub seed: u64,
+    /// Superblock execution engine (sim-identical either way, like
+    /// `fast_paths`; only the host's speed moves).
+    pub superblocks: bool,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +70,7 @@ impl Default for EngineConfig {
             fast_paths: true,
             run_slice_steps: 200_000,
             seed: 0x5e71_ce00,
+            superblocks: true,
         }
     }
 }
@@ -108,6 +112,7 @@ pub fn encode_engine_meta(cfg: &EngineConfig) -> Vec<u8> {
     w.bool(cfg.fast_paths);
     w.u64(cfg.run_slice_steps);
     w.u64(cfg.seed);
+    w.bool(cfg.superblocks);
     w.finish()
 }
 
@@ -130,6 +135,7 @@ pub fn decode_engine_meta(bytes: &[u8]) -> Result<EngineConfig, PersistError> {
         fast_paths: r.bool("serve meta fast paths")?,
         run_slice_steps: r.u64("serve meta slice")?,
         seed: r.u64("serve meta seed")?,
+        superblocks: r.bool("serve meta superblocks")?,
     };
     r.expect_exhausted("serve meta trailing bytes")?;
     Ok(cfg)
@@ -192,6 +198,7 @@ impl ShardEngine {
                 fifo_entries: cfg.fifo_entries,
                 cam_entries: cfg.cam_entries,
                 fast_paths: cfg.fast_paths,
+                superblocks: cfg.superblocks,
                 ..indra_sim::MachineConfig::default()
             },
             scheme: cfg.scheme,
@@ -475,6 +482,12 @@ impl ShardRunner {
         let attacks_sent = self.requests.len() as u64 - benign_sent;
         let machine = self.engine.sys.machine();
         let insns = (0..machine.num_cores()).map(|c| machine.core(c).retired()).sum();
+        let mut superblocks = indra_sim::SuperblockStats::default();
+        let mut predecode = indra_sim::PredecodeStats::default();
+        for c in 0..machine.num_cores() {
+            superblocks += machine.superblock_stats(c);
+            predecode += machine.predecode_stats(c);
+        }
         ShardOutput {
             plan: ShardPlan {
                 shard: self.shard,
@@ -489,6 +502,8 @@ impl ShardRunner {
             completed,
             insns,
             wall_seconds: self.engine.started.elapsed().as_secs_f64(),
+            superblocks,
+            predecode,
         }
     }
 }
@@ -514,6 +529,7 @@ mod tests {
             scale: 17,
             scheme: SchemeKind::UndoLog,
             fast_paths: false,
+            superblocks: false,
             ..EngineConfig::default()
         };
         assert_eq!(decode_engine_meta(&encode_engine_meta(&cfg)).unwrap(), cfg);

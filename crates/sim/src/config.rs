@@ -67,6 +67,13 @@ pub struct MachineConfig {
     /// off; the flag exists so equivalence tests can force the slow
     /// reference path. Defaults to `true`.
     pub fast_paths: bool,
+    /// Superblock execution engine: hot basic blocks are decoded into
+    /// pre-validated micro-op traces and executed with batched cycle-,
+    /// cache- and event-accounting (falling back to the interpreter at
+    /// block exits, faults, traps and monitor pressure). Host-side only:
+    /// simulated behavior is byte-identical with this off. Independent
+    /// of `fast_paths`. Defaults to `true`.
+    pub superblocks: bool,
 }
 
 impl Default for MachineConfig {
@@ -83,6 +90,7 @@ impl Default for MachineConfig {
             trace_push_cycles: 1,
             enforce_nx: false,
             fast_paths: true,
+            superblocks: true,
         }
     }
 }

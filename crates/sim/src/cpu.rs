@@ -11,9 +11,10 @@
 use indra_isa::{ControlClass, Instruction, Reg, Width};
 use indra_mem::{CoreMemory, PhysicalMemory, Sdram, PAGE_SIZE};
 
+use crate::superblock::Superblock;
 use crate::{
     AccessKind, AddressSpace, BackupHook, CoreConfig, EventBuf, Fault, MemoryWatchdog,
-    PredecodeCache, TraceEvent,
+    PredecodeCache, SuperblockCache, TraceEvent,
 };
 
 /// Architectural register state of one core.
@@ -88,8 +89,49 @@ pub struct StepEnv<'a> {
     pub hook: &'a mut dyn BackupHook,
     /// This core's predecoded-instruction cache.
     pub predecode: &'a mut PredecodeCache,
+    /// This core's superblock translation cache (the running block, if
+    /// any, is held *outside* the cache for the duration of its run).
+    pub superblocks: &'a mut SuperblockCache,
     /// This core's id (for watchdog tagging).
     pub core_id: usize,
+}
+
+/// Why [`Core::run_block`] stopped executing a superblock. Every variant
+/// returns control to the interpreter with fully consistent state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BlockExit {
+    /// The block's last instruction retired (normal exit).
+    End,
+    /// An instruction produced trace events; the machine must route them
+    /// before anything else executes.
+    Events,
+    /// The caller's instruction budget was exhausted.
+    Budget,
+    /// A store landed inside this block's own bytes; the rewritten code
+    /// must re-translate (and re-fetch through origin checks).
+    SelfModified,
+    /// A `syscall` retired; the PC is parked on it.
+    Syscall {
+        /// The syscall code.
+        code: u16,
+    },
+    /// A `halt` retired.
+    Halted,
+    /// An instruction faulted; the PC points at it.
+    Fault(Fault),
+}
+
+/// Outcome of executing one already-fetched, already-decoded instruction.
+enum ExecOutcome {
+    /// The instruction retired and the PC advanced; `store` records the
+    /// physical range a committed store wrote, if any.
+    Retired { store: Option<(u32, u32)> },
+    /// A `syscall` retired (PC parked on it).
+    Syscall { code: u16 },
+    /// A `halt` retired.
+    Halted,
+    /// The instruction faulted; the caller charges the pipeline flush.
+    Fault(Fault),
 }
 
 /// One processor core.
@@ -309,8 +351,28 @@ impl Core {
             },
         };
 
-        // --- execute ---------------------------------------------------------
+        match self.execute_decoded(inst, pc, env, &mut events) {
+            ExecOutcome::Retired { .. } => StepResult { outcome: StepOutcome::Executed, events },
+            ExecOutcome::Syscall { code } => {
+                StepResult { outcome: StepOutcome::Syscall { code }, events }
+            }
+            ExecOutcome::Halted => StepResult { outcome: StepOutcome::Halted, events },
+            ExecOutcome::Fault(f) => self.fault(f, events),
+        }
+    }
+
+    /// Executes one already-decoded instruction at `pc`: the execute half
+    /// of [`Core::step`], shared verbatim with the superblock engine so
+    /// batched and interpreted execution cannot diverge.
+    fn execute_decoded(
+        &mut self,
+        inst: Instruction,
+        pc: u32,
+        env: &mut StepEnv<'_>,
+        events: &mut EventBuf,
+    ) -> ExecOutcome {
         let mut next_pc = pc.wrapping_add(4);
+        let mut store = None;
         match inst {
             Instruction::Alu { op, rd, rs1, rs2 } => {
                 let v = op.apply(self.ctx.reg(rs1), self.ctx.reg(rs2));
@@ -330,10 +392,10 @@ impl Core {
                 let vaddr = self.ctx.reg(rs1).wrapping_add(offset as u32);
                 let dpaddr = match env.space.translate(vaddr, AccessKind::Read) {
                     Ok(p) => p,
-                    Err(f) => return self.fault(f, events),
+                    Err(f) => return ExecOutcome::Fault(f),
                 };
                 if let Err(f) = env.watchdog.check(env.core_id, dpaddr, AccessKind::Read) {
-                    return self.fault(f, events);
+                    return ExecOutcome::Fault(f);
                 }
                 let hook_cycles = env.hook.before_read(self.asid, vaddr, dpaddr, env.phys);
                 let mem_cycles = env.mem.data_access(self.asid, vaddr, dpaddr, false, env.dram);
@@ -357,10 +419,10 @@ impl Core {
                 let vaddr = self.ctx.reg(rs1).wrapping_add(offset as u32);
                 let dpaddr = match env.space.translate(vaddr, AccessKind::Write) {
                     Ok(p) => p,
-                    Err(f) => return self.fault(f, events),
+                    Err(f) => return ExecOutcome::Fault(f),
                 };
                 if let Err(f) = env.watchdog.check(env.core_id, dpaddr, AccessKind::Write) {
-                    return self.fault(f, events);
+                    return ExecOutcome::Fault(f);
                 }
                 let hook_cycles = env.hook.before_write(self.asid, vaddr, dpaddr, env.phys);
                 let mem_cycles = env.mem.data_access(self.asid, vaddr, dpaddr, true, env.dram);
@@ -383,8 +445,15 @@ impl Core {
                     }
                 };
                 // Store-hits-a-cached-line rule: self-modified code is
-                // re-decoded on its next fetch.
-                env.predecode.invalidate_range(dpaddr, bytes);
+                // re-decoded (and re-translated) on its next fetch. One
+                // shared call site covers both derived-code caches.
+                crate::superblock::invalidate_written_code(
+                    env.predecode,
+                    env.superblocks,
+                    dpaddr,
+                    bytes,
+                );
+                store = Some((dpaddr, bytes));
                 self.retire_simple();
             }
             Instruction::Branch { cond, rs1, rs2, offset } => {
@@ -442,18 +511,146 @@ impl Core {
                 events.push(TraceEvent::SyscallSync { pc, code });
                 self.retired += 1;
                 // PC intentionally not advanced; the OS resumes the core.
-                return StepResult { outcome: StepOutcome::Syscall { code }, events };
+                return ExecOutcome::Syscall { code };
             }
             Instruction::Halt => {
                 self.halted = true;
                 self.retired += 1;
-                return StepResult { outcome: StepOutcome::Halted, events };
+                return ExecOutcome::Halted;
             }
             Instruction::Nop => self.retire_simple(),
         }
 
         self.ctx.pc = next_pc;
-        StepResult { outcome: StepOutcome::Executed, events }
+        ExecOutcome::Retired { store }
+    }
+
+    /// Executes a pre-validated superblock starting at the current PC,
+    /// retiring up to `max_insns` instructions with batched accounting.
+    ///
+    /// Per-instruction work drops to: same-line fetch bookkeeping (a
+    /// counter bump, flushed through the hierarchy's hit-noting APIs at
+    /// line crossings and block exit) plus the shared
+    /// [`Core::execute_decoded`]. Translation, watchdog and decode checks
+    /// were proven at translation time and pinned; the hoisted watchdog
+    /// checks are re-accounted in one call at exit so watchdog statistics
+    /// stay byte-identical with interpretation.
+    ///
+    /// Returns instructions retired and the exit reason. On
+    /// [`BlockExit::Events`] the events are in `out_events` and nothing
+    /// executed after the producing instruction, so the machine routes
+    /// them at exactly the interpreter's cycle stamps.
+    ///
+    /// `cycle_horizon` ends the block at the first instruction boundary
+    /// where the core clock reaches it. The INDRA control loop sets it
+    /// to the monitor's completion preview of the oldest queued trace
+    /// event, so a batched core stops at exactly the boundary where the
+    /// reference one-instruction loop would have drained that event —
+    /// and any violation recovery lands on the identical core state.
+    pub(crate) fn run_block(
+        &mut self,
+        block: &Superblock,
+        env: &mut StepEnv<'_>,
+        out_events: &mut EventBuf,
+        max_insns: u64,
+        cycle_horizon: u64,
+    ) -> (u64, BlockExit) {
+        debug_assert!(!self.halted && !self.stalled, "machine must not step a stopped core");
+        debug_assert_eq!(self.ctx.pc, block.entry_vaddr, "block entered at its entry point");
+        debug_assert_eq!(self.asid, block.asid, "block entered under its own ASID");
+        let block_lo = u64::from(block.entry_paddr);
+        let block_hi = block_lo + u64::from(block.len_bytes());
+        let mut executed = 0u64;
+        let mut faulted = false;
+        // Deferred same-line fetch-hit accounting. Data accesses cannot
+        // touch the ITLB or IL1 (the hierarchy is non-inclusive), so a
+        // run of same-line fetches after a proven hit can never be
+        // refused when flushed.
+        let mut pending = 0u64;
+        let mut pend_vaddr = 0u32;
+        let mut pend_paddr = 0u32;
+        let mut exit = BlockExit::End;
+        for (i, &inst) in block.insts.iter().enumerate() {
+            let pc = block.entry_vaddr.wrapping_add(4 * i as u32);
+            let paddr = block.entry_paddr + 4 * i as u32;
+            let line = paddr & !31;
+            let mut events = EventBuf::new();
+            if self.last_fetch_line == Some(line) {
+                if pending == 0 {
+                    pend_vaddr = pc;
+                    pend_paddr = paddr;
+                }
+                pending += 1;
+            } else {
+                if pending > 0 {
+                    let ok = env.mem.note_fetch_hits(self.asid, pend_vaddr, pend_paddr, pending);
+                    debug_assert!(ok, "same-line fetches cannot miss mid-block");
+                    pending = 0;
+                }
+                let fetch = env.mem.fetch(self.asid, pc, paddr, env.dram);
+                // Crossing fetches always charge (the interpreter's
+                // `crossing || il1_fill` condition with crossing true).
+                self.charge(u64::from(fetch.cycles));
+                self.last_fetch_line = Some(line);
+                if fetch.il1_fill.is_some() {
+                    events.push(TraceEvent::CodeFill { page_vaddr: pc & !(PAGE_SIZE - 1), pc });
+                }
+            }
+            match self.execute_decoded(inst, pc, env, &mut events) {
+                ExecOutcome::Retired { store } => {
+                    executed += 1;
+                    if !events.is_empty() {
+                        *out_events = events;
+                    }
+                    if i + 1 == block.insts.len() {
+                        break; // BlockExit::End
+                    }
+                    if store.is_some_and(|(p, len)| {
+                        u64::from(p) < block_hi && u64::from(p) + u64::from(len) > block_lo
+                    }) {
+                        exit = BlockExit::SelfModified;
+                        break;
+                    }
+                    if !out_events.is_empty() {
+                        exit = BlockExit::Events;
+                        break;
+                    }
+                    if executed >= max_insns || self.cycles >= cycle_horizon {
+                        exit = BlockExit::Budget;
+                        break;
+                    }
+                }
+                ExecOutcome::Syscall { code } => {
+                    executed += 1;
+                    *out_events = events;
+                    exit = BlockExit::Syscall { code };
+                    break;
+                }
+                ExecOutcome::Halted => {
+                    executed += 1;
+                    *out_events = events;
+                    exit = BlockExit::Halted;
+                    break;
+                }
+                ExecOutcome::Fault(f) => {
+                    // The fault costs a pipeline flush, as in the
+                    // interpreter's fault path.
+                    self.charge(u64::from(self.cfg.redirect_penalty));
+                    faulted = true;
+                    *out_events = events;
+                    exit = BlockExit::Fault(f);
+                    break;
+                }
+            }
+        }
+        if pending > 0 {
+            let ok = env.mem.note_fetch_hits(self.asid, pend_vaddr, pend_paddr, pending);
+            debug_assert!(ok, "same-line fetches cannot miss mid-block");
+        }
+        // Hoisted per-fetch watchdog checks: one per *fetched*
+        // instruction (a faulting instruction fetched without retiring).
+        env.watchdog.note_passed_checks(env.core_id, executed + u64::from(faulted));
+        (executed, exit)
     }
 
     fn fault(&mut self, f: Fault, events: EventBuf) -> StepResult {
@@ -504,6 +701,7 @@ mod tests {
         watchdog: MemoryWatchdog,
         hook: NoopHook,
         predecode: PredecodeCache,
+        superblocks: SuperblockCache,
     }
 
     impl Rig {
@@ -530,6 +728,7 @@ mod tests {
                 watchdog,
                 hook: NoopHook,
                 predecode: PredecodeCache::new(true),
+                superblocks: SuperblockCache::new(true),
             }
         }
 
@@ -542,9 +741,31 @@ mod tests {
                 watchdog: &mut self.watchdog,
                 hook: &mut self.hook,
                 predecode: &mut self.predecode,
+                superblocks: &mut self.superblocks,
                 core_id: 0,
             };
             self.core.step(&mut env)
+        }
+
+        fn run_block(
+            &mut self,
+            block: &crate::superblock::Superblock,
+            max: u64,
+        ) -> (u64, BlockExit, EventBuf) {
+            let mut ev = EventBuf::new();
+            let mut env = StepEnv {
+                space: &self.space,
+                mem: &mut self.mem,
+                dram: &mut self.dram,
+                phys: &mut self.phys,
+                watchdog: &mut self.watchdog,
+                hook: &mut self.hook,
+                predecode: &mut self.predecode,
+                superblocks: &mut self.superblocks,
+                core_id: 0,
+            };
+            let (n, exit) = self.core.run_block(block, &mut env, &mut ev, max, u64::MAX);
+            (n, exit, ev)
         }
 
         fn run(&mut self, max: usize) -> StepOutcome {
@@ -770,6 +991,104 @@ mod tests {
         rig.step(); // jump back to 0x1000
         rig.step(); // must execute the patched instruction
         assert_eq!(rig.core.reg(Reg::A0), 99, "stale predecoded instruction executed");
+    }
+
+    /// A 6-instruction loop body ending in a backward `bne`, iterated
+    /// twice (t1 counts up to t2 = 2), then a `halt`.
+    fn loop_prog() -> [Instruction; 7] {
+        use indra_isa::Cond;
+        [
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::T2, rs1: Reg::ZERO, imm: 2 },
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::T1, rs1: Reg::T1, imm: 1 },
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 5 },
+            Instruction::Store { width: Width::Word, rs2: Reg::A0, rs1: Reg::ZERO, offset: 0x2000 },
+            Instruction::Load {
+                width: Width::Word,
+                signed: false,
+                rd: Reg::A1,
+                rs1: Reg::ZERO,
+                offset: 0x2000,
+            },
+            Instruction::Branch { cond: Cond::Ne, rs1: Reg::T1, rs2: Reg::T2, offset: -20 },
+            Instruction::Halt,
+        ]
+    }
+
+    fn open_watchdog(rig: &mut Rig) {
+        // Unprivileged with an allow-all range, so the watchdog *counts*
+        // checks and the hoisted accounting is exercised.
+        rig.watchdog.set_privileged(0, false);
+        rig.watchdog.allow(0, crate::PhysRange::try_new(0, u32::MAX).unwrap());
+    }
+
+    #[test]
+    fn run_block_matches_the_interpreter_cycle_for_cycle() {
+        let prog = loop_prog();
+        let mut a = Rig::new(&prog);
+        let mut b = Rig::new(&prog);
+        open_watchdog(&mut a);
+        open_watchdog(&mut b);
+        assert_eq!(a.run(64), StepOutcome::Halted);
+        // Rig B: iteration 1 interpreted (warming caches), iteration 2
+        // as a superblock, then the halt interpreted.
+        for _ in 0..6 {
+            assert_eq!(b.step().outcome, StepOutcome::Executed);
+        }
+        assert_eq!(b.core.pc(), 0x1000, "loop closed");
+        let block =
+            crate::superblock::translate(&b.space, &b.watchdog, &b.phys, 0, 0x1000).unwrap();
+        assert_eq!(block.insts.len(), 6, "block ends at the bne");
+        let (n, exit, ev) = b.run_block(&block, 1000);
+        assert_eq!((n, exit), (6, BlockExit::End));
+        assert!(ev.is_empty(), "warm code produces no events");
+        assert_eq!(b.step().outcome, StepOutcome::Halted);
+        // Batched and interpreted execution must be indistinguishable.
+        assert_eq!(a.core.cycles(), b.core.cycles());
+        assert_eq!(a.core.retired(), b.core.retired());
+        assert_eq!(a.core.context(), b.core.context());
+        assert_eq!(a.watchdog.stats(), b.watchdog.stats());
+    }
+
+    #[test]
+    fn store_into_own_block_exits_before_stale_micro_ops() {
+        use indra_isa::Cond;
+        let bne = Instruction::Branch { cond: Cond::Ne, rs1: Reg::T1, rs2: Reg::T2, offset: -16 };
+        let prog = [
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::T2, rs1: Reg::ZERO, imm: 2 },
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::T1, rs1: Reg::T1, imm: 1 },
+            Instruction::Load {
+                width: Width::Word,
+                signed: false,
+                rd: Reg::T0,
+                rs1: Reg::ZERO,
+                offset: 0x2000,
+            },
+            // Stores the bne's own encoding over itself: bytes unchanged,
+            // but the engine cannot know that and must bail out.
+            Instruction::Store { width: Width::Word, rs2: Reg::T0, rs1: Reg::ZERO, offset: 0x1010 },
+            bne,
+            Instruction::Halt,
+        ];
+        let mut a = Rig::new(&prog);
+        let mut b = Rig::new(&prog);
+        a.phys.write_u32(0x2000, bne.encode().unwrap());
+        b.phys.write_u32(0x2000, bne.encode().unwrap());
+        assert_eq!(a.run(64), StepOutcome::Halted);
+        for _ in 0..5 {
+            assert_eq!(b.step().outcome, StepOutcome::Executed);
+        }
+        assert_eq!(b.core.pc(), 0x1000, "loop closed");
+        let block =
+            crate::superblock::translate(&b.space, &b.watchdog, &b.phys, 0, 0x1000).unwrap();
+        assert_eq!(block.insts.len(), 5);
+        let (n, exit, _) = b.run_block(&block, 1000);
+        assert_eq!(exit, BlockExit::SelfModified);
+        assert_eq!(n, 4, "the store retires, nothing after it does");
+        assert_eq!(b.core.pc(), 0x1010, "pc parked on the (re-fetched) bne");
+        assert_eq!(b.run(5), StepOutcome::Halted);
+        assert_eq!(a.core.cycles(), b.core.cycles());
+        assert_eq!(a.core.retired(), b.core.retired());
+        assert_eq!(a.core.context(), b.core.context());
     }
 
     #[test]

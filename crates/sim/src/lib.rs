@@ -47,6 +47,7 @@ mod hook;
 mod machine;
 mod paging;
 mod predecode;
+mod superblock;
 mod trace;
 mod watchdog;
 
@@ -58,7 +59,8 @@ pub use fifo::{FifoState, FifoStats, TraceFifo};
 pub use hook::{BackupHook, NoopHook};
 pub use machine::{CoreStep, LoadError, Machine, MachineState, SpaceState};
 pub use paging::{AddressSpace, Pte};
-pub use predecode::PredecodeCache;
+pub use predecode::{PredecodeCache, PredecodeStats};
+pub use superblock::{SuperblockCache, SuperblockStats};
 pub use trace::{EventBuf, StampedEvent, TraceEvent};
 pub use watchdog::{
     EmptyPhysRange, MemoryWatchdog, PhysRange, WatchdogCoreState, WatchdogState, WatchdogStats,

@@ -14,10 +14,13 @@ use indra_mem::{
     PhysicalMemory, Sdram, PAGE_SHIFT, PAGE_SIZE,
 };
 
+use crate::cpu::BlockExit;
+use crate::superblock::{self, Enter};
 use crate::{
-    AddressSpace, BackupHook, CamFilter, CamState, Core, CoreRole, CoreState, Fault, FifoState,
-    MachineConfig, MemoryWatchdog, NoopHook, PhysRange, PredecodeCache, Pte, StepEnv, StepOutcome,
-    TraceEvent, TraceFifo, WatchdogState,
+    AddressSpace, BackupHook, CamFilter, CamState, Core, CoreRole, CoreState, EventBuf, Fault,
+    FifoState, MachineConfig, MemoryWatchdog, NoopHook, PhysRange, PredecodeCache, PredecodeStats,
+    Pte, StepEnv, StepOutcome, SuperblockCache, SuperblockStats, TraceEvent, TraceFifo,
+    WatchdogState,
 };
 
 /// Address-space registry indexed directly by ASID: the per-step
@@ -120,6 +123,7 @@ pub struct Machine {
     fifo: TraceFifo,
     spaces: SpaceTable,
     predecode: Vec<PredecodeCache>,
+    superblocks: Vec<SuperblockCache>,
     rts_frames: FrameAllocator,
     backup_frames: FrameAllocator,
     service_frames: FrameAllocator,
@@ -172,6 +176,7 @@ impl Machine {
             fifo: TraceFifo::new(cfg.fifo_entries),
             spaces: SpaceTable::default(),
             predecode: (0..n).map(|_| PredecodeCache::new(cfg.fast_paths)).collect(),
+            superblocks: (0..n).map(|_| SuperblockCache::new(cfg.superblocks)).collect(),
             rts_frames: FrameAllocator::new(0, RTS_FRAMES),
             backup_frames: FrameAllocator::new(RTS_FRAMES, RTS_FRAMES + BACKUP_FRAMES),
             service_frames: FrameAllocator::new(RTS_FRAMES + BACKUP_FRAMES, cfg.phys_frames),
@@ -323,6 +328,12 @@ impl Machine {
         let mut space = AddressSpace::new(asid);
         space.set_fast_paths(self.cfg.fast_paths);
         self.spaces.insert(asid, space);
+        // A fresh space restarts its generation counter, so a superblock
+        // pinned under a *previous* space with this ASID could validate
+        // falsely; ASID creation is rare enough to flush wholesale.
+        for s in &mut self.superblocks {
+            s.flush();
+        }
     }
 
     /// Destroys an address space.
@@ -495,13 +506,28 @@ impl Machine {
             watchdog: &mut self.watchdog,
             hook,
             predecode: &mut self.predecode[id],
+            superblocks: &mut self.superblocks[id],
             core_id: id,
         };
         let result = self.cores[id].step(&mut env);
-        let cycle = self.cores[id].cycles();
+        self.route_events(id, asid, monitored, &result.events);
 
+        match result.outcome {
+            StepOutcome::Executed => CoreStep::Executed,
+            StepOutcome::Halted => CoreStep::Halted,
+            StepOutcome::Syscall { code } => CoreStep::Syscall { code },
+            StepOutcome::Fault(f) => CoreStep::Fault(f),
+        }
+    }
+
+    /// Routes one instruction's trace events: through the core's CAM
+    /// filter (which mutates whether or not the core is monitored) and —
+    /// for monitored cores — into the trace FIFO at the core's current
+    /// cycle stamp, charging the per-event producer cost.
+    fn route_events(&mut self, id: usize, asid: u16, monitored: bool, events: &EventBuf) {
+        let cycle = self.cores[id].cycles();
         let mut pushed_events = 0u32;
-        for &event in result.events.iter() {
+        for &event in events.iter() {
             // The CAM filter squashes redundant code-origin checks in the
             // resurrectee before they consume FIFO slots (§3.2.2).
             if let TraceEvent::CodeFill { page_vaddr, .. } = event {
@@ -520,13 +546,152 @@ impl Machine {
             // shared FIFO) — per-event, producer side.
             self.cores[id].add_stall_cycles(u64::from(pushed_events * self.cfg.trace_push_cycles));
         }
+    }
 
-        match result.outcome {
-            StepOutcome::Executed => CoreStep::Executed,
-            StepOutcome::Halted => CoreStep::Halted,
-            StepOutcome::Syscall { code } => CoreStep::Syscall { code },
-            StepOutcome::Fault(f) => CoreStep::Fault(f),
+    /// Advances core `id` by *up to* `max_insns` instructions through the
+    /// superblock engine, falling back to exactly one [`Machine::step_core`]
+    /// when no valid block covers the PC (or batching is unsafe).
+    /// Returns the step outcome and how many instructions retired.
+    ///
+    /// Batching preserves the interpreter's observable order: a block
+    /// stops after the first event-producing instruction (events then
+    /// reach the FIFO at their exact interpreted cycle stamps), FIFO
+    /// occupancy is constant while a block runs (nothing pops at machine
+    /// level, and a pushing instruction is always the last), and
+    /// syscalls, faults and halts end the block where the interpreter
+    /// would have stopped.
+    ///
+    /// `cycle_horizon` additionally ends the block at the first
+    /// instruction boundary at or past that core-clock value. The INDRA
+    /// control loop passes the monitor's completion preview of the
+    /// oldest queued trace event so its between-instruction FIFO drain
+    /// (and any violation recovery) observes the same core state as the
+    /// one-instruction reference loop; pass `u64::MAX` when nothing
+    /// drains the FIFO concurrently.
+    pub fn step_core_batch(
+        &mut self,
+        id: usize,
+        hook: &mut dyn BackupHook,
+        max_insns: u64,
+        cycle_horizon: u64,
+    ) -> (CoreStep, u64) {
+        if self.cores[id].is_halted() {
+            return (CoreStep::Halted, 0);
         }
+        if self.cores[id].is_stalled() {
+            return (CoreStep::Stalled, 0);
+        }
+        let monitored = self.is_monitored(id);
+        if monitored && self.fifo.free() < 2 {
+            self.fifo.note_full_stall();
+            return (CoreStep::FifoStalled, 0);
+        }
+        let asid = self.cores[id].asid();
+        // Chained block dispatch: a clean block end whose instruction
+        // produced no trace events changes nothing any concurrent
+        // observer can see (FIFO occupancy is constant, the horizon
+        // check bounds the drain loop's view), so the next block starts
+        // without returning to the caller. Everything else — events,
+        // traps, faults, self-modification, budget, horizon — falls out
+        // of the loop at the interpreter-identical boundary.
+        let mut total = 0u64;
+        if self.cfg.superblocks && max_insns > 1 {
+            while let Some(space) = self.spaces.get(asid) {
+                let pc = self.cores[id].pc();
+                match self.superblocks[id].enter(
+                    pc,
+                    asid,
+                    space.generation(),
+                    self.watchdog.generation(),
+                    &self.phys,
+                ) {
+                    Enter::Run(block) => {
+                        let mut events = EventBuf::new();
+                        let (executed, exit) = {
+                            let mut env = StepEnv {
+                                space,
+                                mem: &mut self.mems[id],
+                                dram: &mut self.dram,
+                                phys: &mut self.phys,
+                                watchdog: &mut self.watchdog,
+                                hook,
+                                predecode: &mut self.predecode[id],
+                                superblocks: &mut self.superblocks[id],
+                                core_id: id,
+                            };
+                            self.cores[id].run_block(
+                                &block,
+                                &mut env,
+                                &mut events,
+                                max_insns - total,
+                                cycle_horizon,
+                            )
+                        };
+                        self.superblocks[id].note_block(executed, &exit);
+                        self.superblocks[id].restore(block);
+                        total += executed;
+                        let quiet = events.is_empty();
+                        self.route_events(id, asid, monitored, &events);
+                        match exit {
+                            BlockExit::Syscall { code } => {
+                                return (CoreStep::Syscall { code }, total);
+                            }
+                            BlockExit::Halted => return (CoreStep::Halted, total),
+                            BlockExit::Fault(f) => return (CoreStep::Fault(f), total),
+                            BlockExit::End
+                                if quiet
+                                    && total < max_insns
+                                    && self.cores[id].cycles() < cycle_horizon => {}
+                            _ => return (CoreStep::Executed, total),
+                        }
+                    }
+                    Enter::Translate => {
+                        match superblock::translate(space, &self.watchdog, &self.phys, id, pc) {
+                            Some(b) => self.superblocks[id].insert(Box::new(b)),
+                            None => break,
+                        }
+                    }
+                    Enter::Interpret => {
+                        // Cold code interprets inline under the same
+                        // continuation rules as a block: stop the moment
+                        // an event reaches the FIFO (the next boundary
+                        // may drain it), at the horizon, at budget, or at
+                        // any trap. One `enter` per interpreted
+                        // instruction keeps the heat dynamics identical
+                        // to one-instruction dispatch.
+                        let queued = self.fifo.len();
+                        let step = self.step_core(id, hook);
+                        match step {
+                            CoreStep::Executed => {
+                                total += 1;
+                                if total >= max_insns
+                                    || self.cores[id].cycles() >= cycle_horizon
+                                    || self.fifo.len() != queued
+                                {
+                                    return (CoreStep::Executed, total);
+                                }
+                            }
+                            CoreStep::Syscall { .. } | CoreStep::Halted => {
+                                return (step, total + 1);
+                            }
+                            other => return (other, total),
+                        }
+                    }
+                }
+            }
+            // Only reachable when the space vanished or translation
+            // refused the entry; the interpreter below reproduces the
+            // fault or makes one instruction of progress.
+            if total > 0 && self.cores[id].cycles() >= cycle_horizon {
+                return (CoreStep::Executed, total);
+            }
+        }
+        let step = self.step_core(id, hook);
+        let executed = match step {
+            CoreStep::Executed | CoreStep::Syscall { .. } | CoreStep::Halted => 1,
+            _ => 0,
+        };
+        (step, total + executed)
     }
 
     /// Steps an *unmonitored* core with no backup engine — convenience for
@@ -534,6 +699,12 @@ impl Machine {
     pub fn step_core_simple(&mut self, id: usize) -> CoreStep {
         let mut hook = NoopHook;
         self.step_core(id, &mut hook)
+    }
+
+    /// [`Machine::step_core_batch`] with no backup engine.
+    pub fn step_core_batch_simple(&mut self, id: usize, max_insns: u64) -> (CoreStep, u64) {
+        let mut hook = NoopHook;
+        self.step_core_batch(id, &mut hook, max_insns, u64::MAX)
     }
 
     /// Stalls/flushes a resurrectee for recovery: freezes the core, clears
@@ -551,6 +722,7 @@ impl Machine {
         // Rolled-back memory may hold different code at the same
         // physical addresses; drop every derived decode with the CAM.
         self.predecode[id].flush();
+        self.superblocks[id].flush();
     }
 
     /// Resumes a quiesced core after its context has been restored.
@@ -558,12 +730,27 @@ impl Machine {
         self.cores[id].set_stalled(false);
     }
 
-    /// Drops predecoded instructions overlapping a physically written
-    /// range on every core (machine-level write paths are not tied to
-    /// one core's store stream).
-    fn invalidate_predecode(&mut self, paddr: u32, len: u32) {
-        for p in &mut self.predecode {
-            p.invalidate_range(paddr, len);
+    /// Superblock-engine statistics for core `id` (host-side
+    /// observability; never part of simulated state).
+    #[must_use]
+    pub fn superblock_stats(&self, id: usize) -> SuperblockStats {
+        self.superblocks[id].stats()
+    }
+
+    /// Predecode-cache statistics for core `id` (host-side observability;
+    /// never part of simulated state).
+    #[must_use]
+    pub fn predecode_stats(&self, id: usize) -> PredecodeStats {
+        self.predecode[id].stats()
+    }
+
+    /// The store-tracking call site for machine-level write paths: drops
+    /// every derived decode — predecoded instructions *and* superblocks —
+    /// overlapping a physically written range, on every core (these
+    /// paths are not tied to one core's store stream).
+    fn invalidate_code(&mut self, paddr: u32, len: u32) {
+        for (p, s) in self.predecode.iter_mut().zip(&mut self.superblocks) {
+            superblock::invalidate_written_code(p, s, paddr, len);
         }
     }
 
@@ -583,7 +770,7 @@ impl Machine {
         match space.translate(vaddr, crate::AccessKind::Write) {
             Ok(paddr) => {
                 self.phys.write_u32(paddr, value);
-                self.invalidate_predecode(paddr, 4);
+                self.invalidate_code(paddr, 4);
                 true
             }
             Err(_) => false,
@@ -625,7 +812,7 @@ impl Machine {
             let (c, _) = self.dram.access(paddr, chunk as u32);
             cycles += u64::from(c);
             self.phys.write_bytes(paddr, &data[off..off + chunk]);
-            self.invalidate_predecode(paddr, chunk as u32);
+            self.invalidate_code(paddr, chunk as u32);
             off += chunk;
         }
         Ok(cycles)
@@ -687,18 +874,30 @@ impl Machine {
     /// Writes bytes through an address space (request delivery by the NIC
     /// model).
     pub fn write_virtual_bytes(&mut self, asid: u16, vaddr: u32, data: &[u8]) -> bool {
-        let Some(space) = self.spaces.get(asid) else { return false };
+        // Translation is still per byte (a partial write lands exactly as
+        // before on a mid-buffer fault), but store-tracking invalidation
+        // batches contiguous physical runs through the shared call site.
+        let mut run_start = 0u32;
+        let mut run_len = 0u32;
         for (i, &b) in data.iter().enumerate() {
-            match space.translate(vaddr + i as u32, crate::AccessKind::Write) {
-                Ok(paddr) => {
-                    self.phys.write_u8(paddr, b);
-                    for p in &mut self.predecode {
-                        p.invalidate_range(paddr, 1);
-                    }
+            let Some(space) = self.spaces.get(asid) else { return false };
+            let paddr = match space.translate(vaddr + i as u32, crate::AccessKind::Write) {
+                Ok(p) => p,
+                Err(_) => {
+                    self.invalidate_code(run_start, run_len);
+                    return false;
                 }
-                Err(_) => return false,
+            };
+            self.phys.write_u8(paddr, b);
+            if run_len > 0 && paddr == run_start + run_len {
+                run_len += 1;
+            } else {
+                self.invalidate_code(run_start, run_len);
+                run_start = paddr;
+                run_len = 1;
             }
         }
+        self.invalidate_code(run_start, run_len);
         true
     }
 
@@ -786,6 +985,9 @@ impl Machine {
         // decode may survive the thaw.
         for p in &mut self.predecode {
             p.flush();
+        }
+        for s in &mut self.superblocks {
+            s.flush();
         }
         self.rts_frames.restore_state(&state.rts_frames);
         self.backup_frames.restore_state(&state.backup_frames);
@@ -1100,5 +1302,158 @@ mod dma_tests {
         ));
         assert!(m.dma_read_virtual(10, 0xDEAD_0000, 4, None).is_err());
         assert!(m.dma_write_virtual(99, 0x1000, b"x", None).is_err(), "unknown asid");
+    }
+
+    // ---- superblock staleness audit, one test per write path -------------
+    //
+    // Each test gets a loop's superblock hot through the batch dispatch
+    // path, rewrites the loop body through one machine-level write path,
+    // reruns, and requires the *patched* semantics — a stale block (or
+    // stale predecode entry) surviving any of these paths would produce
+    // the old sum.
+
+    use indra_isa::{AluOp, Cond, Instruction, Reg};
+
+    const LOOP_BASE: u32 = 0x8000;
+    const BODY: u32 = LOOP_BASE + 4;
+
+    /// `a0 += step` fifty times, then halt. The loop body at [`BODY`] is
+    /// the superblock under test; `step` is the patched immediate.
+    fn loop_words(step: i32) -> Vec<u32> {
+        vec![
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::T0, rs1: Reg::ZERO, imm: 50 }
+                .encode()
+                .unwrap(),
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: step }
+                .encode()
+                .unwrap(),
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::T0, rs1: Reg::T0, imm: -1 }
+                .encode()
+                .unwrap(),
+            Instruction::Branch { cond: Cond::Ne, rs1: Reg::T0, rs2: Reg::ZERO, offset: -8 }
+                .encode()
+                .unwrap(),
+            Instruction::Halt.encode().unwrap(),
+        ]
+    }
+
+    /// Boots a machine with the `step = 1` loop on core 1 (monitoring off
+    /// so the batch path engages without a monitor draining the FIFO).
+    fn hot_loop_machine() -> Machine {
+        let mut m = booted();
+        m.set_monitoring(false);
+        m.create_space(7);
+        m.map_fresh_page(7, LOOP_BASE >> PAGE_SHIFT, true, true, true).unwrap();
+        for (i, w) in loop_words(1).iter().enumerate() {
+            assert!(m.write_virtual_u32(7, LOOP_BASE + 4 * i as u32, *w));
+        }
+        m.core_mut(1).set_asid(7);
+        m.core_mut(1).set_pc(LOOP_BASE);
+        m
+    }
+
+    fn run_to_halt_batched(m: &mut Machine) -> u32 {
+        for _ in 0..10_000 {
+            match m.step_core_batch_simple(1, u64::MAX).0 {
+                CoreStep::Halted => return m.core(1).reg(Reg::A0),
+                CoreStep::Executed => {}
+                other => panic!("unexpected step outcome {other:?}"),
+            }
+        }
+        panic!("loop did not halt");
+    }
+
+    fn rearm(m: &mut Machine) {
+        m.core_mut(1).clear_halt();
+        m.core_mut(1).set_reg(Reg::A0, 0);
+        m.core_mut(1).set_pc(LOOP_BASE);
+    }
+
+    #[test]
+    fn write_virtual_u32_invalidates_hot_superblocks() {
+        let mut m = hot_loop_machine();
+        assert_eq!(run_to_halt_batched(&mut m), 50);
+        assert!(m.superblock_stats(1).hits > 0, "loop must actually run batched");
+        assert!(m.write_virtual_u32(7, BODY, loop_words(2)[1]));
+        rearm(&mut m);
+        assert_eq!(run_to_halt_batched(&mut m), 100, "stale superblock served old code");
+    }
+
+    #[test]
+    fn write_virtual_bytes_invalidates_hot_superblocks() {
+        let mut m = hot_loop_machine();
+        assert_eq!(run_to_halt_batched(&mut m), 50);
+        assert!(m.superblock_stats(1).hits > 0, "loop must actually run batched");
+        assert!(m.write_virtual_bytes(7, BODY, &loop_words(3)[1].to_le_bytes()));
+        rearm(&mut m);
+        assert_eq!(run_to_halt_batched(&mut m), 150, "stale superblock served old code");
+    }
+
+    #[test]
+    fn dma_write_virtual_invalidates_hot_superblocks() {
+        let mut m = hot_loop_machine();
+        assert_eq!(run_to_halt_batched(&mut m), 50);
+        assert!(m.superblock_stats(1).hits > 0, "loop must actually run batched");
+        m.dma_write_virtual(7, BODY, &loop_words(4)[1].to_le_bytes(), None).unwrap();
+        rearm(&mut m);
+        assert_eq!(run_to_halt_batched(&mut m), 200, "stale superblock served old code");
+    }
+
+    #[test]
+    fn committed_stores_invalidate_hot_superblocks() {
+        // The in-pipeline path: the loop itself stores a patched immediate
+        // over its own body (via a second, straight-line patcher program),
+        // exercising the shared store-tracking call site from
+        // `execute_decoded` rather than a machine-level writer.
+        let mut m = hot_loop_machine();
+        assert_eq!(run_to_halt_batched(&mut m), 50);
+        assert!(m.superblock_stats(1).hits > 0, "loop must actually run batched");
+        // Patcher at a fresh page: lw the patched word from a data slot,
+        // sw it over the loop body, halt. (i16 offsets reach neither
+        // address from zero, so t2 is built up to LOOP_BASE first.)
+        let patch_base = 0x9000u32;
+        m.map_fresh_page(7, patch_base >> PAGE_SHIFT, true, true, true).unwrap();
+        let word = loop_words(5)[1];
+        let data_addr = patch_base + 0x100;
+        assert!(m.write_virtual_u32(7, data_addr, word));
+        let patcher = [
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::T2, rs1: Reg::ZERO, imm: 0x7FFF }
+                .encode()
+                .unwrap(),
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::T2, rs1: Reg::T2, imm: 1 }
+                .encode()
+                .unwrap(),
+            Instruction::Load {
+                width: indra_isa::Width::Word,
+                signed: false,
+                rd: Reg::T1,
+                rs1: Reg::T2,
+                offset: (data_addr - LOOP_BASE) as i32,
+            }
+            .encode()
+            .unwrap(),
+            Instruction::Store {
+                width: indra_isa::Width::Word,
+                rs2: Reg::T1,
+                rs1: Reg::T2,
+                offset: (BODY - LOOP_BASE) as i32,
+            }
+            .encode()
+            .unwrap(),
+            Instruction::Halt.encode().unwrap(),
+        ];
+        for (i, w) in patcher.iter().enumerate() {
+            assert!(m.write_virtual_u32(7, patch_base + 4 * i as u32, *w));
+        }
+        m.core_mut(1).clear_halt();
+        m.core_mut(1).set_pc(patch_base);
+        for _ in 0..100 {
+            if m.step_core_batch_simple(1, u64::MAX).0 == CoreStep::Halted {
+                break;
+            }
+        }
+        assert_eq!(m.read_virtual_u32(7, BODY), Some(word), "patcher must have landed");
+        rearm(&mut m);
+        assert_eq!(run_to_halt_batched(&mut m), 250, "stale superblock served old code");
     }
 }

@@ -105,6 +105,16 @@ impl AddressSpace {
         self.asid
     }
 
+    /// Current translation generation — bumped by every page-table
+    /// mutation ([`AddressSpace::map`]/[`AddressSpace::unmap`]/
+    /// [`AddressSpace::protect`]/[`AddressSpace::set_fast_paths`]).
+    /// Host-side caches that pin translations (the superblock engine)
+    /// record it and treat any change as wholesale invalidation.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
     /// Enables or disables the translation micro-cache (equivalence
     /// testing; simulated behavior is identical either way).
     pub fn set_fast_paths(&mut self, on: bool) {

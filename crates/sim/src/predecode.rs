@@ -42,11 +42,33 @@ impl Default for Slot {
     }
 }
 
+/// Predecode-cache statistics (host-side observability; exported to the
+/// fleet's per-shard host-performance report, never into simulated
+/// stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredecodeStats {
+    /// Lookups served from a validated slot.
+    pub hits: u64,
+    /// Lookups that decoded fresh (cold, conflicting or stale slot).
+    pub misses: u64,
+    /// Slots dropped by store-tracking invalidation.
+    pub invalidations: u64,
+}
+
+impl std::ops::AddAssign for PredecodeStats {
+    fn add_assign(&mut self, rhs: PredecodeStats) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.invalidations += rhs.invalidations;
+    }
+}
+
 /// A per-core direct-mapped cache of decoded instructions, tagged by
 /// physical address and self-validated against the current word.
 #[derive(Debug)]
 pub struct PredecodeCache {
     slots: Vec<Slot>,
+    stats: PredecodeStats,
     enabled: bool,
 }
 
@@ -55,7 +77,11 @@ impl PredecodeCache {
     /// stores (the `fast_paths = false` reference behavior).
     #[must_use]
     pub fn new(enabled: bool) -> PredecodeCache {
-        PredecodeCache { slots: vec![Slot::default(); PREDECODE_ENTRIES], enabled }
+        PredecodeCache {
+            slots: vec![Slot::default(); PREDECODE_ENTRIES],
+            stats: PredecodeStats::default(),
+            enabled,
+        }
     }
 
     fn index(paddr: u32) -> usize {
@@ -66,14 +92,16 @@ impl PredecodeCache {
     /// was filled from exactly `word`, the word read from physical
     /// memory *this* fetch.
     #[must_use]
-    pub fn lookup(&self, paddr: u32, word: u32) -> Option<Instruction> {
+    pub fn lookup(&mut self, paddr: u32, word: u32) -> Option<Instruction> {
         if !self.enabled {
             return None;
         }
         let s = &self.slots[PredecodeCache::index(paddr)];
         if s.valid && s.paddr == paddr && s.word == word {
+            self.stats.hits += 1;
             Some(s.inst)
         } else {
+            self.stats.misses += 1;
             None
         }
     }
@@ -100,6 +128,7 @@ impl PredecodeCache {
             let s = &mut self.slots[PredecodeCache::index(addr)];
             if s.valid && s.paddr >= first && s.paddr <= last {
                 s.valid = false;
+                self.stats.invalidations += 1;
             }
             if addr == last {
                 break;
@@ -112,6 +141,12 @@ impl PredecodeCache {
     /// restore).
     pub fn flush(&mut self) {
         self.slots.fill(Slot::default());
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> PredecodeStats {
+        self.stats
     }
 
     /// Whether the cache is participating in fetches.

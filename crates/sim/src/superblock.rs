@@ -1,0 +1,527 @@
+//! Superblock execution engine (host-side fast path).
+//!
+//! Instead of dispatching one instruction at a time — translate, watchdog
+//! check, physical read, predecode lookup, execute — the simulator batches
+//! hot basic blocks into *superblocks*: straight-line runs of pre-decoded
+//! instructions whose fetch-side checks were proven once, at translation
+//! time, and hoisted out of the per-instruction loop. A superblock entry
+//! that gets hot (a heat counter on the dispatch path crosses
+//! [`HOT_THRESHOLD`]) is decoded into a pinned micro-op array and executed
+//! by [`crate::Core::run_block`] with batched cycle-, cache- and
+//! event-accounting; the interpreter resumes at block exits, faults,
+//! traps, trace events and FIFO-monitor pressure.
+//!
+//! Block boundaries are exactly the analyzer's: translation stops at (and
+//! includes) the first instruction for which [`indra_analyze::ends_block`]
+//! holds — the same rule `indra_analyze::Cfg::build` applies statically —
+//! so dynamic traces coincide with the static blocks the CFI machinery
+//! reasons about.
+//!
+//! Like the predecode cache, a superblock holds **no simulated state**:
+//! cycle counts, cache/TLB statistics, watchdog statistics, trace events,
+//! faults and snapshots are byte-identical with the engine off
+//! (`MachineConfig::superblocks = false`). INDRA's threat model is
+//! *injected* code, so a stale block is a security hole; four pins make
+//! one unreachable:
+//!
+//! 1. **Address-space generation** — any page-table mutation (map, unmap,
+//!    protect) voids every translation the block baked in.
+//! 2. **Watchdog generation** — any policy edit voids the hoisted
+//!    per-fetch range checks.
+//! 3. **Physical-memory generation + code epoch** — every physical write
+//!    bumps its frame's epoch at the single `frame_mut` chokepoint, so
+//!    the pinned [`indra_mem::PhysicalMemory::range_epoch`] sum catches
+//!    *any* write path into the block's bytes: committed stores, DMA,
+//!    loaders, rollback engines. This is the superblock analogue of the
+//!    predecode cache's word self-validation, and it also covers writes
+//!    from *other* cores, whose caches the store path cannot reach.
+//! 4. **ASID + entry address** — context switches and conflicting entries
+//!    simply miss.
+//!
+//! Explicit invalidation piggybacks on the predecode cache's
+//! store-tracking: [`invalidate_written_code`] is the one call site both
+//! caches share, used by the committed-store path and by every
+//! machine-level write path (`write_virtual_*`, `dma_write_virtual`), and
+//! [`SuperblockCache::flush`] rides `quiesce_for_recovery`,
+//! `restore_state` and `create_space` exactly like the predecode flush.
+//! A store that lands *inside the currently running block* exits the
+//! block (`BlockExit::SelfModified`); the rewritten bytes re-translate on
+//! the next entry and still raise `CodeFill` origin checks on their IL1
+//! fill, so injected code cannot dodge detection by hiding in a trace.
+
+use indra_analyze::ends_block;
+use indra_isa::Instruction;
+use indra_mem::{PhysicalMemory, PAGE_SHIFT};
+
+use crate::{AccessKind, AddressSpace, MemoryWatchdog, PredecodeCache};
+
+/// Maximum instructions in one superblock.
+const MAX_BLOCK_INSNS: usize = 64;
+/// Direct-mapped block slots per core (power of two). Sized so the hot
+/// working set of a service (every basic-block entry) rarely conflicts:
+/// consecutive entries map to consecutive slots, so this is effectively
+/// a code-footprint budget in instructions.
+const BLOCK_SLOTS: usize = 4096;
+/// Direct-mapped entry-heat counters per core (power of two).
+const HEAT_SLOTS: usize = 4096;
+/// Dispatches through one entry before the translator runs.
+const HOT_THRESHOLD: u32 = 16;
+
+/// A translated basic block: straight-line pre-decoded instructions with
+/// every fetch-side check proven under the pinned generations.
+#[derive(Debug)]
+pub struct Superblock {
+    pub(crate) entry_vaddr: u32,
+    pub(crate) entry_paddr: u32,
+    pub(crate) asid: u16,
+    pub(crate) insts: Box<[Instruction]>,
+    space_gen: u64,
+    watchdog_gen: u64,
+    phys_gen: u64,
+    code_epoch: u64,
+}
+
+impl Superblock {
+    /// The block's byte length (4 bytes per instruction).
+    #[must_use]
+    pub fn len_bytes(&self) -> u32 {
+        4 * self.insts.len() as u32
+    }
+
+    /// Whether every pinned precondition still holds, so the block may
+    /// execute without re-running its per-instruction fetch checks.
+    fn valid(
+        &self,
+        vaddr: u32,
+        asid: u16,
+        space_gen: u64,
+        watchdog_gen: u64,
+        phys: &PhysicalMemory,
+    ) -> bool {
+        self.entry_vaddr == vaddr
+            && self.asid == asid
+            && self.space_gen == space_gen
+            && self.watchdog_gen == watchdog_gen
+            && self.phys_gen == phys.generation()
+            && self.code_epoch == phys.range_epoch(self.entry_paddr, self.len_bytes())
+    }
+}
+
+/// Decodes the basic block starting at `pc`, proving each fetch legal
+/// under the current translations and watchdog policy. Mutates **no**
+/// simulated state: translation is a read-only scan (the address-space
+/// micro-cache refills it may cause are host-side).
+///
+/// The block ends at the first [`ends_block`] terminator (included), at
+/// the page boundary (so `entry_paddr + 4i` stays the true translation of
+/// every slot), at the first undecodable word or watchdog-refused fetch
+/// (excluded — the interpreter reproduces the fault), or at
+/// [`MAX_BLOCK_INSNS`].
+pub(crate) fn translate(
+    space: &AddressSpace,
+    watchdog: &MemoryWatchdog,
+    phys: &PhysicalMemory,
+    core_id: usize,
+    pc: u32,
+) -> Option<Superblock> {
+    let entry_paddr = space.translate(pc, AccessKind::Execute).ok()?;
+    let page = pc >> PAGE_SHIFT;
+    let mut insts = Vec::new();
+    for i in 0..MAX_BLOCK_INSNS as u32 {
+        let vaddr = pc.wrapping_add(4 * i);
+        if vaddr >> PAGE_SHIFT != page || vaddr.wrapping_add(3) >> PAGE_SHIFT != page {
+            break;
+        }
+        let paddr = entry_paddr + 4 * i;
+        if !watchdog.peek(core_id, paddr, AccessKind::Execute) {
+            break;
+        }
+        let Ok(inst) = Instruction::decode(phys.read_u32(paddr)) else { break };
+        insts.push(inst);
+        if ends_block(inst) {
+            break;
+        }
+    }
+    if insts.is_empty() {
+        return None;
+    }
+    let len_bytes = 4 * insts.len() as u32;
+    Some(Superblock {
+        entry_vaddr: pc,
+        entry_paddr,
+        asid: space.asid(),
+        insts: insts.into_boxed_slice(),
+        space_gen: space.generation(),
+        watchdog_gen: watchdog.generation(),
+        phys_gen: phys.generation(),
+        code_epoch: phys.range_epoch(entry_paddr, len_bytes),
+    })
+}
+
+/// Superblock-engine statistics (host-side observability; exported to the
+/// fleet's per-shard host-performance report, never into simulated stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuperblockStats {
+    /// Blocks translated.
+    pub translations: u64,
+    /// Dispatches served by a valid block.
+    pub hits: u64,
+    /// Instructions retired inside blocks.
+    pub block_insns: u64,
+    /// Dispatches that found a block with stale pins (fallback reason:
+    /// page table, watchdog policy or code bytes changed underneath it).
+    pub stale: u64,
+    /// Blocks dropped by explicit store-tracking invalidation or flush.
+    pub invalidations: u64,
+    /// Block runs that stopped early to hand a trace event to the
+    /// monitor path (fallback reason: event ordering).
+    pub exit_events: u64,
+    /// Block runs that stopped because a store landed inside the running
+    /// block (fallback reason: self-modifying code).
+    pub exit_self_modified: u64,
+    /// Block runs that ended at a syscall or halt (fallback reason:
+    /// trap — the system layer takes over).
+    pub exit_traps: u64,
+    /// Block runs that ended at an architectural fault (fallback reason:
+    /// the interpreter's fault path takes over).
+    pub exit_faults: u64,
+}
+
+impl std::ops::AddAssign for SuperblockStats {
+    fn add_assign(&mut self, rhs: SuperblockStats) {
+        self.translations += rhs.translations;
+        self.hits += rhs.hits;
+        self.block_insns += rhs.block_insns;
+        self.stale += rhs.stale;
+        self.invalidations += rhs.invalidations;
+        self.exit_events += rhs.exit_events;
+        self.exit_self_modified += rhs.exit_self_modified;
+        self.exit_traps += rhs.exit_traps;
+        self.exit_faults += rhs.exit_faults;
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Heat {
+    vaddr: u32,
+    asid: u16,
+    count: u32,
+}
+
+/// What the dispatcher should do at this entry.
+#[derive(Debug)]
+pub(crate) enum Enter {
+    /// A valid block — taken out of the cache for execution; give it back
+    /// with [`SuperblockCache::restore`].
+    Run(Box<Superblock>),
+    /// The entry just crossed the heat threshold: translate it.
+    Translate,
+    /// Interpret one instruction.
+    Interpret,
+}
+
+/// A per-core cache of translated superblocks keyed by entry address,
+/// with a heat table deciding when translation pays for itself.
+#[derive(Debug)]
+pub struct SuperblockCache {
+    slots: Vec<Option<Box<Superblock>>>,
+    heat: Vec<Heat>,
+    stats: SuperblockStats,
+    enabled: bool,
+    live: u32,
+    /// Conservative physical span `[span_lo, span_hi)` of every block
+    /// inserted since the last flush — lets the committed-store path
+    /// reject non-code writes with two compares instead of a slot scan.
+    span_lo: u32,
+    span_hi: u32,
+}
+
+impl SuperblockCache {
+    /// Creates an empty cache; a disabled cache never translates and
+    /// every dispatch interprets (the `superblocks = false` reference
+    /// behavior).
+    #[must_use]
+    pub fn new(enabled: bool) -> SuperblockCache {
+        SuperblockCache {
+            slots: (0..BLOCK_SLOTS).map(|_| None).collect(),
+            heat: vec![Heat::default(); HEAT_SLOTS],
+            stats: SuperblockStats::default(),
+            enabled,
+            live: 0,
+            span_lo: 0,
+            span_hi: 0,
+        }
+    }
+
+    fn slot_index(vaddr: u32) -> usize {
+        (vaddr as usize >> 2) & (BLOCK_SLOTS - 1)
+    }
+
+    fn heat_index(vaddr: u32) -> usize {
+        (vaddr as usize >> 2) & (HEAT_SLOTS - 1)
+    }
+
+    /// Dispatch decision for the entry `(vaddr, asid)` under the current
+    /// generations: run a valid block, translate a hot entry, or
+    /// interpret.
+    pub(crate) fn enter(
+        &mut self,
+        vaddr: u32,
+        asid: u16,
+        space_gen: u64,
+        watchdog_gen: u64,
+        phys: &PhysicalMemory,
+    ) -> Enter {
+        if !self.enabled {
+            return Enter::Interpret;
+        }
+        let idx = SuperblockCache::slot_index(vaddr);
+        if let Some(b) = &self.slots[idx] {
+            if b.valid(vaddr, asid, space_gen, watchdog_gen, phys) {
+                self.stats.hits += 1;
+                // The block is checked out for the run; `live` tracks
+                // cached blocks only (restore() re-increments).
+                self.live -= 1;
+                return Enter::Run(self.slots[idx].take().expect("checked above"));
+            }
+            if b.entry_vaddr == vaddr && b.asid == asid {
+                // Same entry, stale pins: evict; the heat path below
+                // re-translates once the entry proves hot again.
+                self.stats.stale += 1;
+                self.slots[idx] = None;
+                self.live -= 1;
+            }
+        }
+        let h = &mut self.heat[SuperblockCache::heat_index(vaddr)];
+        if h.vaddr == vaddr && h.asid == asid {
+            h.count += 1;
+            if h.count >= HOT_THRESHOLD {
+                h.count = 0;
+                return Enter::Translate;
+            }
+        } else {
+            *h = Heat { vaddr, asid, count: 1 };
+        }
+        Enter::Interpret
+    }
+
+    /// Inserts a freshly translated block.
+    pub(crate) fn insert(&mut self, block: Box<Superblock>) {
+        self.stats.translations += 1;
+        self.restore(block);
+    }
+
+    /// Returns a block taken out by [`Enter::Run`] (or inserts a fresh
+    /// one). A block whose pins went stale during its own run is caught
+    /// by validation on the next dispatch.
+    pub(crate) fn restore(&mut self, block: Box<Superblock>) {
+        if !self.enabled {
+            return;
+        }
+        let end = block.entry_paddr + block.len_bytes();
+        if self.live == 0 && self.span_lo == self.span_hi {
+            self.span_lo = block.entry_paddr;
+            self.span_hi = end;
+        } else {
+            self.span_lo = self.span_lo.min(block.entry_paddr);
+            self.span_hi = self.span_hi.max(end);
+        }
+        let idx = SuperblockCache::slot_index(block.entry_vaddr);
+        if self.slots[idx].is_none() {
+            self.live += 1;
+        }
+        self.slots[idx] = Some(block);
+    }
+
+    /// Accounts one finished block run: `n` instructions executed in
+    /// block mode, ended by `exit`.
+    pub(crate) fn note_block(&mut self, n: u64, exit: &crate::cpu::BlockExit) {
+        use crate::cpu::BlockExit;
+        self.stats.block_insns += n;
+        match exit {
+            BlockExit::End | BlockExit::Budget => {}
+            BlockExit::Events => self.stats.exit_events += 1,
+            BlockExit::SelfModified => self.stats.exit_self_modified += 1,
+            BlockExit::Syscall { .. } | BlockExit::Halted => self.stats.exit_traps += 1,
+            BlockExit::Fault(_) => self.stats.exit_faults += 1,
+        }
+    }
+
+    /// Drops every block overlapping the written physical range
+    /// `[paddr, paddr + len)` — the store-tracking rule shared with
+    /// [`PredecodeCache::invalidate_range`]. The conservative span check
+    /// makes the common data-store case two compares.
+    pub fn invalidate_range(&mut self, paddr: u32, len: u32) {
+        if !self.enabled || len == 0 || self.live == 0 {
+            return;
+        }
+        let lo = u64::from(paddr);
+        let hi = lo + u64::from(len);
+        if hi <= u64::from(self.span_lo) || lo >= u64::from(self.span_hi) {
+            return;
+        }
+        for slot in &mut self.slots {
+            if let Some(b) = slot {
+                let b_lo = u64::from(b.entry_paddr);
+                if lo < b_lo + u64::from(b.len_bytes()) && hi > b_lo {
+                    *slot = None;
+                    self.live -= 1;
+                    self.stats.invalidations += 1;
+                }
+            }
+        }
+    }
+
+    /// Drops everything — blocks and heat (recovery quiesce, state
+    /// restore, address-space creation; ASID reuse restarts space
+    /// generations, so wholesale invalidation is the only safe answer).
+    pub fn flush(&mut self) {
+        self.stats.invalidations += u64::from(self.live);
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.heat.fill(Heat::default());
+        self.live = 0;
+        self.span_lo = 0;
+        self.span_hi = 0;
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> SuperblockStats {
+        self.stats
+    }
+
+    /// Whether the engine participates in dispatch.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+/// The one store-tracking call site shared by every write path: both
+/// derived-code caches drop entries overlapping the written bytes.
+/// (Blocks held by *other* cores are unreachable from a store — their
+/// staleness is caught by the code-epoch pin at their next dispatch.)
+pub(crate) fn invalidate_written_code(
+    predecode: &mut PredecodeCache,
+    superblocks: &mut SuperblockCache,
+    paddr: u32,
+    len: u32,
+) {
+    predecode.invalidate_range(paddr, len);
+    superblocks.invalidate_range(paddr, len);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pte;
+
+    fn rig() -> (AddressSpace, MemoryWatchdog, PhysicalMemory) {
+        let mut space = AddressSpace::new(3);
+        space.map(1, Pte { ppn: 1, read: true, write: true, execute: true });
+        space.map(2, Pte { ppn: 2, read: true, write: true, execute: true });
+        let mut watchdog = MemoryWatchdog::new(1);
+        watchdog.set_privileged(0, true);
+        let mut phys = PhysicalMemory::new();
+        // 6 ALU ops then a halt at 0x1000; pure straight line at 0x2000.
+        for i in 0..6 {
+            phys.write_u32(0x1000 + 4 * i, Instruction::Nop.encode().unwrap());
+        }
+        phys.write_u32(0x1018, Instruction::Halt.encode().unwrap());
+        (space, watchdog, phys)
+    }
+
+    #[test]
+    fn translation_stops_at_terminator_and_pins_generations() {
+        let (space, watchdog, phys) = rig();
+        let b = translate(&space, &watchdog, &phys, 0, 0x1000).unwrap();
+        assert_eq!(b.insts.len(), 7, "six nops + the halt terminator");
+        assert_eq!(b.entry_paddr, 0x1000);
+        assert!(b.valid(0x1000, 3, space.generation(), watchdog.generation(), &phys));
+        assert!(!b.valid(0x1000, 4, space.generation(), watchdog.generation(), &phys));
+    }
+
+    #[test]
+    fn every_pin_voids_the_block() {
+        let (mut space, mut watchdog, mut phys) = rig();
+        let b = translate(&space, &watchdog, &phys, 0, 0x1000).unwrap();
+        let (sg, wg) = (space.generation(), watchdog.generation());
+        assert!(b.valid(0x1000, 3, sg, wg, &phys));
+        // Code write → epoch mismatch.
+        phys.write_u32(0x1004, Instruction::Halt.encode().unwrap());
+        assert!(!b.valid(0x1000, 3, sg, wg, &phys), "code write must void the block");
+        // Page-table and watchdog edits → generation mismatch.
+        space.protect(1, true, false, true);
+        assert!(!b.valid(0x1000, 3, space.generation(), wg, &phys));
+        watchdog.set_privileged(0, false);
+        assert!(!b.valid(0x1000, 3, sg, watchdog.generation(), &phys));
+    }
+
+    #[test]
+    fn translation_respects_watchdog_and_page_bounds() {
+        let (space, mut watchdog, phys) = rig();
+        watchdog.set_privileged(0, false);
+        watchdog.allow(0, crate::PhysRange::try_new(0x1000, 0x1010).unwrap());
+        let b = translate(&space, &watchdog, &phys, 0, 0x1000).unwrap();
+        assert_eq!(b.insts.len(), 4, "fetches past the allowed range are excluded");
+        // A block starting near the page end must not cross into it.
+        let mut phys2 = PhysicalMemory::new();
+        for i in 0..8 {
+            phys2.write_u32(0x1FF0 + 4 * i, Instruction::Nop.encode().unwrap());
+        }
+        watchdog.set_privileged(0, true);
+        let b2 = translate(&space, &watchdog, &phys2, 0, 0x1FF0).unwrap();
+        assert_eq!(b2.insts.len(), 4, "block ends at the page boundary");
+    }
+
+    #[test]
+    fn cache_heats_translates_and_invalidates() {
+        let (space, watchdog, phys) = rig();
+        let mut cache = SuperblockCache::new(true);
+        let (sg, wg) = (space.generation(), watchdog.generation());
+        for _ in 0..HOT_THRESHOLD - 1 {
+            assert!(matches!(cache.enter(0x1000, 3, sg, wg, &phys), Enter::Interpret));
+        }
+        assert!(matches!(cache.enter(0x1000, 3, sg, wg, &phys), Enter::Translate));
+        let b = translate(&space, &watchdog, &phys, 0, 0x1000).unwrap();
+        cache.insert(Box::new(b));
+        assert_eq!(cache.stats().translations, 1);
+        let Enter::Run(b) = cache.enter(0x1000, 3, sg, wg, &phys) else {
+            panic!("hot entry must run");
+        };
+        cache.restore(b);
+        assert_eq!(cache.stats().hits, 1);
+        // A write outside the code span is rejected by the span check;
+        // a write into the block drops it.
+        cache.invalidate_range(0x8000, 4);
+        assert_eq!(cache.stats().invalidations, 0);
+        cache.invalidate_range(0x1008, 1);
+        assert_eq!(cache.stats().invalidations, 1);
+        assert!(matches!(cache.enter(0x1000, 3, sg, wg, &phys), Enter::Interpret));
+    }
+
+    #[test]
+    fn stale_pins_evict_on_dispatch() {
+        let (space, watchdog, mut phys) = rig();
+        let mut cache = SuperblockCache::new(true);
+        let (sg, wg) = (space.generation(), watchdog.generation());
+        cache.insert(Box::new(translate(&space, &watchdog, &phys, 0, 0x1000).unwrap()));
+        phys.write_u32(0x1000, Instruction::Halt.encode().unwrap());
+        assert!(matches!(cache.enter(0x1000, 3, sg, wg, &phys), Enter::Interpret));
+        assert_eq!(cache.stats().stale, 1);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn disabled_cache_always_interprets() {
+        let (space, watchdog, phys) = rig();
+        let mut cache = SuperblockCache::new(false);
+        let (sg, wg) = (space.generation(), watchdog.generation());
+        for _ in 0..10 * HOT_THRESHOLD {
+            assert!(matches!(cache.enter(0x1000, 3, sg, wg, &phys), Enter::Interpret));
+        }
+        assert!(!cache.is_enabled());
+    }
+}

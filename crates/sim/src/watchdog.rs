@@ -82,6 +82,10 @@ pub struct WatchdogStats {
 pub struct MemoryWatchdog {
     cores: Vec<CorePolicy>,
     stats: WatchdogStats,
+    /// Policy generation — bumped by every policy mutation so host-side
+    /// caches that pre-validate accesses (the superblock engine hoists
+    /// per-fetch range scans) can pin the policy they validated against.
+    gen: u64,
 }
 
 impl MemoryWatchdog {
@@ -92,11 +96,13 @@ impl MemoryWatchdog {
         MemoryWatchdog {
             cores: vec![CorePolicy::default(); n_cores],
             stats: WatchdogStats::default(),
+            gen: 1,
         }
     }
 
     /// Grants a core privileged (unchecked) access — the resurrector.
     pub fn set_privileged(&mut self, core: usize, privileged: bool) {
+        self.gen += 1;
         self.cores[core].privileged = privileged;
     }
 
@@ -108,13 +114,43 @@ impl MemoryWatchdog {
 
     /// Adds an allowed physical range to an unprivileged core.
     pub fn allow(&mut self, core: usize, range: PhysRange) {
+        self.gen += 1;
         self.cores[core].ranges.push(range);
     }
 
     /// Removes all allowed ranges from a core (used when re-assigning
     /// memory after recovery).
     pub fn clear(&mut self, core: usize) {
+        self.gen += 1;
         self.cores[core].ranges.clear();
+    }
+
+    /// Current policy generation (see the field docs). Any change means
+    /// previously hoisted/pre-validated checks are void.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Whether an access by `core` to `paddr` would pass, without
+    /// touching statistics — used when *translating* a superblock, where
+    /// the simulated check has not happened yet.
+    #[must_use]
+    pub fn peek(&self, core: usize, paddr: u32, _kind: AccessKind) -> bool {
+        let policy = &self.cores[core];
+        policy.privileged || policy.ranges.iter().any(|r| r.contains(paddr))
+    }
+
+    /// Accounts for `n` fetch checks that were hoisted out of the hot
+    /// loop: the superblock translator proved (under a pinned
+    /// generation) that every fetch in the block passes, so execution
+    /// only needs the statistics side effect [`MemoryWatchdog::check`]
+    /// would have had — one `checks` tick per unprivileged access,
+    /// nothing for privileged cores.
+    pub fn note_passed_checks(&mut self, core: usize, n: u64) {
+        if !self.cores[core].privileged {
+            self.stats.checks += n;
+        }
     }
 
     /// Checks an access by `core` to `paddr`.
@@ -163,6 +199,7 @@ impl MemoryWatchdog {
     /// Panics when the saved core count does not match.
     pub fn restore_state(&mut self, state: &WatchdogState) {
         assert_eq!(state.cores.len(), self.cores.len(), "watchdog state core-count mismatch");
+        self.gen += 1;
         for (core, s) in self.cores.iter_mut().zip(&state.cores) {
             core.privileged = s.privileged;
             core.ranges.clone_from(&s.ranges);
@@ -232,6 +269,27 @@ mod tests {
         assert!(w.check(0, 0, AccessKind::Read).is_ok());
         w.clear(0);
         assert!(w.check(0, 0, AccessKind::Read).is_err());
+    }
+
+    #[test]
+    fn peek_matches_check_without_stats_and_generation_tracks_policy() {
+        let mut w = MemoryWatchdog::new(2);
+        let g0 = w.generation();
+        w.set_privileged(0, true);
+        w.allow(1, PhysRange::try_new(0x1000, 0x2000).unwrap());
+        assert!(w.generation() > g0, "policy edits bump the generation");
+        assert!(w.peek(0, 0xFFFF_0000, AccessKind::Write), "privileged passes");
+        assert!(w.peek(1, 0x1800, AccessKind::Execute));
+        assert!(!w.peek(1, 0x3000, AccessKind::Execute));
+        assert_eq!(w.stats(), WatchdogStats::default(), "peek never touches stats");
+        // Hoisted accounting matches what per-access checks would record.
+        w.note_passed_checks(1, 5);
+        w.note_passed_checks(0, 5); // privileged: no ticks
+        assert_eq!(w.stats().checks, 5);
+        let g1 = w.generation();
+        let snap = w.save_state();
+        w.restore_state(&snap);
+        assert!(w.generation() > g1, "restore voids hoisted validations");
     }
 
     #[test]

@@ -60,6 +60,24 @@ fn fleetd_validates_replica_flags() {
     assert!(ok && out.contains("--replicas K"), "usage must document replication: {out}");
 }
 
+/// `--no-superblocks` must parse on both fleet CLIs and be documented
+/// in their usage strings (it is persisted to the run metadata, so a
+/// typo silently running the wrong engine would poison replay).
+#[test]
+fn fleet_clis_accept_no_superblocks() {
+    let bin = env!("CARGO_BIN_EXE_fleetbench");
+    let (ok, out, _) = run(bin, &["--help"]);
+    assert!(ok && out.contains("--no-superblocks"), "fleetbench usage must document it: {out}");
+    let (ok, _, err) = run(bin, &["--no-superblocks", "--shards", "zero"]);
+    assert!(!ok && err.contains("--shards"), "flag must parse, later error still trips: {err}");
+
+    let bin = env!("CARGO_BIN_EXE_fleetd");
+    let (ok, out, _) = run(bin, &["--help"]);
+    assert!(ok && out.contains("--no-superblocks"), "fleetd usage must document it: {out}");
+    let (ok, _, err) = run(bin, &["--no-superblocks", "--port", "1"]);
+    assert!(!ok && err.contains("--state"), "flag must parse, later error still trips: {err}");
+}
+
 #[test]
 fn fleetd_rejects_unknown_and_malformed_flags() {
     let bin = env!("CARGO_BIN_EXE_fleetd");

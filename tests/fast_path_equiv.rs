@@ -1,8 +1,9 @@
-//! The host fast paths (predecode cache, translation micro-cache) must
-//! be *invisible*: simulated semantics, detection behaviour and the
-//! deterministic fleet stats are byte-identical with them on or off,
-//! and no stale predecoded instruction ever executes after the code
-//! bytes underneath it change.
+//! The host fast paths (predecode cache, translation micro-cache) and
+//! the superblock execution engine must be *invisible*: simulated
+//! semantics, detection behaviour and the deterministic fleet stats are
+//! byte-identical across every combination of the two engines, and no
+//! stale predecoded instruction or translated block ever executes after
+//! the code bytes underneath it change.
 //!
 //! The security-critical case is code injection onto a page that was
 //! already executed (and therefore already sits decoded in the
@@ -129,13 +130,85 @@ fn injection_on_previously_executed_page_still_trips_the_monitor() {
     assert_eq!(injections, 2, "both waves tripped the code-origin check: {:?}", report.detections);
 }
 
-/// Forcing the slow reference path (no predecode cache, no translation
-/// micro-cache) on a mixed fleet workload — attacks and fault injection
-/// included — must leave the deterministic stats JSON byte-identical.
+/// A superblock translated over a hot writable page must die with the
+/// bytes underneath it: after the store, batched dispatch re-translates
+/// and the call executes the *new* semantics — never the pinned decode
+/// of the old bytes.
 #[test]
-fn fast_paths_off_is_byte_identical() {
+fn overwritten_block_retranslates_under_batch_dispatch() {
+    let set = |imm: i32| {
+        Instruction::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm }
+            .encode()
+            .expect("encodes")
+    };
+    let jr_ra =
+        Instruction::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }.encode().expect("encodes");
+
+    // Call `buf` far past the heat threshold so the superblock engine
+    // translates and repeatedly hits a block over its bytes, then
+    // overwrite the first word and call once more.
+    let src = format!(
+        "main:
+    li s2, 40
+warm:
+    la s0, buf
+    jalr s0
+    mv s1, a0
+    subi s2, s2, 1
+    bnez s2, warm
+    la t0, v2
+    lw t1, 0(t0)
+    sw t1, 0(s0)
+    jalr s0
+    halt
+.data
+buf: .word {v1_set:#010x}
+    .word {jr_ra:#010x}
+v2: .word {v2_set:#010x}
+",
+        v1_set = set(11),
+        v2_set = set(22),
+    );
+
+    let mut m = Machine::new(MachineConfig::default());
+    m.boot_asymmetric();
+    m.set_monitoring(false);
+    let img = assemble("selfmod-batch", &src).expect("assembles");
+    m.create_space(7);
+    m.load_image(7, &img).expect("loads");
+    m.core_mut(1).set_asid(7);
+    m.core_mut(1).set_pc(img.entry);
+    let mut steps = 0u64;
+    loop {
+        let (step, executed) = m.step_core_batch_simple(1, u64::MAX);
+        match step {
+            CoreStep::Executed => {}
+            CoreStep::Halted => break,
+            other => panic!("program must run to halt, got {other:?}"),
+        }
+        steps += executed.max(1);
+        assert!(steps < 10_000, "program must halt");
+    }
+
+    assert_eq!(m.core(1).reg(Reg::S1), 11, "warm calls run the original bytes");
+    assert_eq!(m.core(1).reg(Reg::A0), 22, "the post-store call must execute the new bytes");
+    let sb = m.superblock_stats(1);
+    assert!(sb.translations > 0, "the warm loop must have translated blocks");
+    assert!(
+        sb.invalidations > 0 || sb.exit_self_modified > 0,
+        "the store into translated code must invalidate or exit the block: {sb:?}"
+    );
+}
+
+/// Forcing the slow reference paths on a mixed fleet workload — attacks
+/// and fault injection included — must leave the deterministic stats
+/// JSON byte-identical across the full 2x2 engine matrix (predecode /
+/// translation fast paths x superblock batching). Six shards pick up
+/// every service app round-robin, so all six workloads are covered.
+#[test]
+fn engine_matrix_is_byte_identical() {
     let base = FleetConfig {
-        shards: 3,
+        shards: 6,
         requests_per_shard: 10,
         scale: 40,
         attack_per_mille: 250,
@@ -143,13 +216,18 @@ fn fast_paths_off_is_byte_identical() {
         seed: 0xFA57_BEEF,
         ..FleetConfig::default()
     };
-    let on = run_fleet(&FleetConfig { fast_paths: true, ..base.clone() });
-    let off = run_fleet(&FleetConfig { fast_paths: false, ..base });
-
-    assert_eq!(on.stats, off.stats);
-    assert_eq!(
-        on.stats.to_json(),
-        off.stats.to_json(),
-        "fast paths must be invisible to the deterministic stats"
-    );
+    let reference =
+        run_fleet(&FleetConfig { fast_paths: false, superblocks: false, ..base.clone() });
+    for (fast_paths, superblocks) in [(false, true), (true, false), (true, true)] {
+        let run = run_fleet(&FleetConfig { fast_paths, superblocks, ..base.clone() });
+        assert_eq!(
+            run.stats, reference.stats,
+            "fast_paths={fast_paths} superblocks={superblocks} diverged from the reference"
+        );
+        assert_eq!(
+            run.stats.to_json(),
+            reference.stats.to_json(),
+            "stats JSON must be byte-identical (fast_paths={fast_paths} superblocks={superblocks})"
+        );
+    }
 }
