@@ -125,6 +125,38 @@ cmp "$REPLICA_CLEAN" "$SB_OFF" || {
   exit 1
 }
 
+echo "== smoke: compartment rewind-and-discard"
+# An attack mix over every Table 2 family must fire at least one
+# compartment discard (the dormant family's sealed-planter heal) while
+# losing zero benign requests — the tentpole's requests-lost bar.
+COMPART_JSON="$SMOKE_DIR/BENCH_compartment.json"
+timeout 300 ./target/release/compartmentbench --quick \
+  --out "$COMPART_JSON" --assert-discards-min 1 --assert-benign-lost-max 0
+for key in '"bench":"compartment"' '"family":"dormant"' '"benign_lost_on":0' \
+           '"discards_on"' '"wal_bytes"' '"wal_pages"'; do
+  grep -qF "$key" "$COMPART_JSON" || {
+    echo "BENCH_compartment.json is missing $key" >&2
+    exit 1
+  }
+done
+
+echo "== smoke: compartments off is byte-identical when attack-free"
+# Compartment tracking is free on the hot path: with no attacks and no
+# faults the deterministic FleetStats must not move by a single byte
+# when the feature is disabled. (Under attack it changes outcomes by
+# design, so the equivalence leg pins attack-per-mille 0.)
+CMP_ON="$SMOKE_DIR/compartments_on_stats.json"
+CMP_OFF="$SMOKE_DIR/compartments_off_stats.json"
+timeout 300 ./target/release/fleetbench \
+  --quick --replicas 3 --attack-per-mille 0 --chaos-out "$CMP_ON"
+timeout 300 ./target/release/fleetbench \
+  --quick --replicas 3 --attack-per-mille 0 --no-compartments \
+  --chaos-out "$CMP_OFF"
+cmp "$CMP_ON" "$CMP_OFF" || {
+  echo "FleetStats changed when compartments were disabled on attack-free traffic" >&2
+  exit 1
+}
+
 echo "== static analysis: benign workloads lint clean"
 # Every shipped service must pass the CFI lint with zero findings —
 # `lint` exits nonzero on any finding, and we pin the empty findings

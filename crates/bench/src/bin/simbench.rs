@@ -40,6 +40,9 @@ struct Args {
     /// Superblock execution engine (on by default; `--no-superblocks`
     /// measures the one-instruction reference dispatch loop).
     superblocks: bool,
+    /// Per-request compartments (on by default; `--no-compartments`
+    /// measures the global-rollback baseline in attack_mix).
+    compartments: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         out: "results/BENCH_simcore.json".into(),
         min_mips: None,
         superblocks: true,
+        compartments: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -59,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
                 args.min_mips = Some(v.parse().map_err(|e| format!("--min-mips: {e}"))?);
             }
             "--no-superblocks" => args.superblocks = false,
+            "--no-compartments" => args.compartments = false,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -73,13 +78,15 @@ const USAGE: &str = "\
 simbench — INDRA host-side simulator MIPS benchmark
 
 USAGE: simbench [--quick] [--out PATH] [--min-mips X] [--no-superblocks]
+                [--no-compartments]
 
 Runs the compute / memory / attack_mix workloads, prints a MIPS table
 and writes results/BENCH_simcore.json. --quick shrinks the iteration
 counts for CI smoke use; --min-mips X exits non-zero if the compute
 workload falls below the floor; --no-superblocks measures the
 one-instruction reference dispatch loop (the simulated instruction
-counts are identical either way).";
+counts are identical either way); --no-compartments measures the
+attack_mix workload without per-request compartment tracking.";
 
 /// One workload's measurement.
 struct Sample {
@@ -198,11 +205,12 @@ buf: .space 65600
 
 /// Full INDRA cell under seeded traffic with an exploit mix — the
 /// fleet-shard hot path (monitor, FIFO, CAM, delta backup included).
-fn attack_mix_workload(requests: u32, superblocks: bool) -> Sample {
+fn attack_mix_workload(requests: u32, superblocks: bool, compartments: bool) -> Sample {
     let cfg = SystemConfig {
         machine: MachineConfig { superblocks, ..MachineConfig::default() },
         scheme: SchemeKind::Delta,
         monitoring: true,
+        compartments,
         ..SystemConfig::default()
     };
     let cores = cfg.machine.cores.len();
@@ -268,14 +276,17 @@ fn main() {
     let samples = [
         compute_workload(compute_iters, args.superblocks),
         memory_workload(memory_passes, args.superblocks),
-        attack_mix_workload(requests, args.superblocks),
+        attack_mix_workload(requests, args.superblocks, args.compartments),
     ];
     for s in &samples {
         println!("{:>12} {:>12} {:>10.3} {:>10.3}", s.name, s.insns, s.wall_seconds, s.mips());
     }
 
     let mut obj = JsonObject::new();
-    obj.str("bench", "simcore").bool("quick", args.quick).bool("superblocks", args.superblocks);
+    obj.str("bench", "simcore")
+        .bool("quick", args.quick)
+        .bool("superblocks", args.superblocks)
+        .bool("compartments", args.compartments);
     let items = samples.iter().map(|s| {
         JsonObject::new()
             .str("name", s.name)

@@ -139,6 +139,9 @@ mod tests {
             level,
             at_cycle: at,
             core,
+            retried: false,
+            discarded: None,
+            discarded_was_malicious: false,
         }
     }
 

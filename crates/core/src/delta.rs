@@ -13,7 +13,7 @@
 //! `GTS > LTS` on a write means the page's dirty bits belong to an
 //! already-committed request and can be cleared wholesale.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use indra_mem::{FrameAllocator, PhysicalMemory, PAGE_SHIFT, PAGE_SIZE};
 use indra_sim::{AccessKind, AddressSpace, BackupHook};
@@ -36,6 +36,14 @@ pub struct DeltaConfig {
     pub alloc_page_cycles: u32,
     /// Cycles per backup page to merge bitvectors at rollback time.
     pub rollback_mark_cycles: u32,
+    /// Per-request compartment tracking: tag every dirtied line with the
+    /// compartment (GTS interval) that wrote it, so a *committed* guilty
+    /// request can later be rewound-and-discarded without touching any
+    /// other request's state. Tracking costs zero modelled cycles.
+    pub compartments: bool,
+    /// How many sealed (committed) compartments stay discardable per
+    /// service before the oldest is evicted and its tags pruned.
+    pub compartment_window: u32,
 }
 
 impl Default for DeltaConfig {
@@ -46,19 +54,89 @@ impl Default for DeltaConfig {
             restore_line_cycles: 28,
             alloc_page_cycles: 400,
             rollback_mark_cycles: 4,
+            compartments: true,
+            compartment_window: 16,
         }
     }
+}
+
+/// Why a [`DeltaConfig`] is unusable (the typed counterpart of the
+/// assertions in [`DeltaBackupEngine::new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaConfigError {
+    /// `line_size` is zero, not a power of two, or does not divide the
+    /// page size.
+    BadLineSize(u32),
+    /// `line_size` implies more than 128 lines per page (the bitvector
+    /// width).
+    TooManyLines(u32),
+    /// `compartment_window` is zero while compartments are enabled — a
+    /// sealed request could never be discarded.
+    EmptyWindow,
+}
+
+impl std::fmt::Display for DeltaConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaConfigError::BadLineSize(n) => {
+                write!(f, "line size {n} must be a power of two dividing the page size")
+            }
+            DeltaConfigError::TooManyLines(n) => {
+                write!(f, "line size {n} implies more than 128 lines per page")
+            }
+            DeltaConfigError::EmptyWindow => {
+                write!(f, "compartment window must be nonzero when compartments are on")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaConfigError {}
+
+impl DeltaConfig {
+    /// Checks the invariants [`DeltaBackupEngine::new`] would panic on.
+    pub fn validate(&self) -> Result<(), DeltaConfigError> {
+        if !(self.line_size.is_power_of_two() && PAGE_SIZE.is_multiple_of(self.line_size)) {
+            return Err(DeltaConfigError::BadLineSize(self.line_size));
+        }
+        if PAGE_SIZE / self.line_size > 128 {
+            return Err(DeltaConfigError::TooManyLines(self.line_size));
+        }
+        if self.compartments && self.compartment_window == 0 {
+            return Err(DeltaConfigError::EmptyWindow);
+        }
+        Ok(())
+    }
+}
+
+/// One committed request still held discardable: its compartment id (the
+/// GTS interval it ran under) plus the attribution the monitor needs when
+/// it is later found guilty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SealedCompartment {
+    /// Compartment id — the GTS the request ran under.
+    pub gts: u64,
+    /// The request id, for the audit record.
+    pub request_id: u64,
+    /// Whether the driver tagged the request as malicious (ground truth
+    /// for evaluation; the engine never acts on it).
+    pub malicious: bool,
 }
 
 /// Per-page backup record (Fig. 3): the backup frame, the LTS and the two
 /// bitvectors. In hardware this rides in the extended TLB entry; here it
 /// is the architectural model of that state.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct BackupRecord {
     backup_ppn: u32,
     lts: u64,
     dirty: u128,
     rollback: u128,
+    /// Compartment tags: which lines each recent request dirtied, as
+    /// `(gts, line bitvector)` in strictly ascending gts order. Every
+    /// entry's gts is either a sealed compartment or the current one;
+    /// bounded by the compartment window.
+    hist: Vec<(u64, u128)>,
 }
 
 #[derive(Debug, Default)]
@@ -67,6 +145,12 @@ struct ProcBackup {
     pages: HashMap<u32, BackupRecord>,
     /// Pages with any rollback bit set (the RollbackVld quick check).
     rollback_pending: u64,
+    /// The last line the service *loaded* (vpn, line) — the provenance
+    /// hint for attributing a fault to the sealed compartment that
+    /// planted the value being consumed.
+    last_load: Option<(u32, u32)>,
+    /// Committed requests still discardable, oldest first.
+    seals: VecDeque<SealedCompartment>,
 }
 
 /// The delta-page backup engine.
@@ -87,12 +171,20 @@ impl DeltaBackupEngine {
     /// more than 128 lines per page (the bitvector width).
     #[must_use]
     pub fn new(cfg: DeltaConfig, frames: FrameAllocator) -> DeltaBackupEngine {
-        assert!(
-            cfg.line_size.is_power_of_two() && PAGE_SIZE.is_multiple_of(cfg.line_size),
-            "line size must be a power of two dividing the page size"
-        );
-        assert!(PAGE_SIZE / cfg.line_size <= 128, "at most 128 lines per page");
-        DeltaBackupEngine { cfg, frames, procs: HashMap::new(), stats: SchemeStats::default() }
+        match DeltaBackupEngine::try_new(cfg, frames) {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking constructor: the typed-error counterpart of
+    /// [`DeltaBackupEngine::new`].
+    pub fn try_new(
+        cfg: DeltaConfig,
+        frames: FrameAllocator,
+    ) -> Result<DeltaBackupEngine, DeltaConfigError> {
+        cfg.validate()?;
+        Ok(DeltaBackupEngine { cfg, frames, procs: HashMap::new(), stats: SchemeStats::default() })
     }
 
     /// The engine's configuration.
@@ -120,6 +212,20 @@ impl DeltaBackupEngine {
         self.procs.get(&asid).map_or(0, |p| p.rollback_pending)
     }
 
+    /// Sealed (committed, still-discardable) compartments for `asid`,
+    /// oldest first.
+    #[must_use]
+    pub fn sealed_compartments(&self, asid: u16) -> Vec<SealedCompartment> {
+        self.procs.get(&asid).map_or_else(Vec::new, |p| p.seals.iter().copied().collect())
+    }
+
+    /// Total compartment tags held across all pages of `asid` (test and
+    /// leak-audit hook: must stay bounded by the window).
+    #[must_use]
+    pub fn compartment_tags(&self, asid: u16) -> usize {
+        self.procs.get(&asid).map_or(0, |p| p.pages.values().map(|r| r.hist.len()).sum())
+    }
+
     /// Captures the engine's complete mutable state (per-service GTS,
     /// per-page records and bitvectors, the frame pool). The
     /// [`DeltaConfig`] is not captured — it comes from construction.
@@ -138,10 +244,18 @@ impl DeltaBackupEngine {
                         lts: r.lts,
                         dirty: r.dirty,
                         rollback: r.rollback,
+                        hist: r.hist.clone(),
                     })
                     .collect();
                 pages.sort_unstable_by_key(|pg| pg.vpn);
-                DeltaProcState { asid, gts: p.gts, rollback_pending: p.rollback_pending, pages }
+                DeltaProcState {
+                    asid,
+                    gts: p.gts,
+                    rollback_pending: p.rollback_pending,
+                    pages,
+                    last_load: p.last_load,
+                    seals: p.seals.iter().copied().collect(),
+                }
             })
             .collect();
         procs.sort_unstable_by_key(|p| p.asid);
@@ -164,13 +278,20 @@ impl DeltaBackupEngine {
                             lts: pg.lts,
                             dirty: pg.dirty,
                             rollback: pg.rollback,
+                            hist: pg.hist.clone(),
                         },
                     )
                 })
                 .collect();
             self.procs.insert(
                 p.asid,
-                ProcBackup { gts: p.gts, pages, rollback_pending: p.rollback_pending },
+                ProcBackup {
+                    gts: p.gts,
+                    pages,
+                    rollback_pending: p.rollback_pending,
+                    last_load: p.last_load,
+                    seals: p.seals.iter().copied().collect(),
+                },
             );
         }
         self.stats = state.stats;
@@ -178,7 +299,7 @@ impl DeltaBackupEngine {
 }
 
 /// One backup page's durable state: the Fig. 3 record keyed by its vpn.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeltaPageState {
     /// Virtual page number this record backs.
     pub vpn: u32,
@@ -190,6 +311,8 @@ pub struct DeltaPageState {
     pub dirty: u128,
     /// Pending-rollback bitvector.
     pub rollback: u128,
+    /// Compartment tags, `(gts, lines)` in ascending gts order.
+    pub hist: Vec<(u64, u128)>,
 }
 
 /// One service's durable delta-engine state.
@@ -203,6 +326,10 @@ pub struct DeltaProcState {
     pub rollback_pending: u64,
     /// Per-page records, sorted by vpn.
     pub pages: Vec<DeltaPageState>,
+    /// Last line the service loaded (vpn, line), if any.
+    pub last_load: Option<(u32, u32)>,
+    /// Sealed compartments, oldest first.
+    pub seals: Vec<SealedCompartment>,
 }
 
 /// Complete mutable state of a [`DeltaBackupEngine`], captured by
@@ -223,10 +350,16 @@ impl BackupHook for DeltaBackupEngine {
     /// the line from the backup page.
     fn before_read(&mut self, asid: u16, vaddr: u32, paddr: u32, phys: &mut PhysicalMemory) -> u32 {
         let Some(proc) = self.procs.get_mut(&asid) else { return 0 };
+        let vpn = vaddr >> PAGE_SHIFT;
+        if self.cfg.compartments {
+            // Provenance for fault attribution: remember the identity of
+            // the last value the service consumed. Zero modelled cycles,
+            // and it must be recorded *before* the fast path below.
+            proc.last_load = Some((vpn, (vaddr & (PAGE_SIZE - 1)) / self.cfg.line_size));
+        }
         if proc.rollback_pending == 0 {
             return 0; // RollbackVld fast path
         }
-        let vpn = vaddr >> PAGE_SHIFT;
         let Some(rec) = proc.pages.get_mut(&vpn) else { return 0 };
         let line = (vaddr & (PAGE_SIZE - 1)) / self.cfg.line_size;
         let bit = 1u128 << line;
@@ -270,8 +403,16 @@ impl BackupHook for DeltaBackupEngine {
                     return 0;
                 };
                 cycles += self.cfg.alloc_page_cycles;
-                proc.pages
-                    .insert(vpn, BackupRecord { backup_ppn: ppn, lts: gts, dirty: 0, rollback: 0 });
+                proc.pages.insert(
+                    vpn,
+                    BackupRecord {
+                        backup_ppn: ppn,
+                        lts: gts,
+                        dirty: 0,
+                        rollback: 0,
+                        hist: Vec::new(),
+                    },
+                );
                 proc.pages.get_mut(&vpn).expect("just inserted")
             }
         };
@@ -297,6 +438,9 @@ impl BackupHook for DeltaBackupEngine {
             phys.copy(active_base + off, backup_base + off, self.cfg.line_size);
             rec.rollback &= !bit;
             rec.dirty |= bit;
+            if self.cfg.compartments && gts > 0 {
+                push_tag(&mut rec.hist, gts, bit);
+            }
             if rec.rollback == 0 {
                 proc.rollback_pending -= 1;
             }
@@ -305,10 +449,22 @@ impl BackupHook for DeltaBackupEngine {
         } else if rec.dirty & bit == 0 {
             phys.copy(backup_base + off, active_base + off, self.cfg.line_size);
             rec.dirty |= bit;
+            if self.cfg.compartments && gts > 0 {
+                push_tag(&mut rec.hist, gts, bit);
+            }
             self.stats.line_copies += 1;
             cycles += self.cfg.backup_line_cycles;
         }
         cycles
+    }
+}
+
+/// Tags `line_bits` as written under `gts`. History entries are kept in
+/// strictly ascending gts order, so a same-gts write merges into the tail.
+fn push_tag(hist: &mut Vec<(u64, u128)>, gts: u64, line_bits: u128) {
+    match hist.last_mut() {
+        Some((g, bits)) if *g == gts => *bits |= line_bits,
+        _ => hist.push((gts, line_bits)),
     }
 }
 
@@ -326,6 +482,9 @@ impl Scheme for DeltaBackupEngine {
     fn begin_request(&mut self, asid: u16, _: &mut AddressSpace, _: &mut PhysicalMemory) -> u64 {
         if let Some(p) = self.procs.get_mut(&asid) {
             p.gts += 1;
+            if self.cfg.compartments {
+                p.last_load = None;
+            }
         }
         self.stats.boundary_cycles += 1;
         1
@@ -353,8 +512,96 @@ impl Scheme for DeltaBackupEngine {
                 rec.dirty = 0;
                 cycles += u64::from(self.cfg.rollback_mark_cycles);
             }
+            // The failed request's compartment dies with it: drop its
+            // tags so it can never be named as a later fault's suspect
+            // (its lines now carry rollback bits instead).
+            if self.cfg.compartments {
+                if let Some(&(g, _)) = rec.hist.last() {
+                    if g == proc.gts {
+                        rec.hist.pop();
+                    }
+                }
+            }
         }
         self.stats.rollbacks += 1;
+        self.stats.recovery_cycles += cycles;
+        cycles
+    }
+
+    /// Commits the current request's compartment: it stays discardable
+    /// until it falls out of the window. Zero modelled cycles — sealing
+    /// is a ring-buffer push in the monitor.
+    fn seal_compartment(&mut self, asid: u16, request_id: u64, malicious: bool) {
+        if !self.cfg.compartments {
+            return;
+        }
+        let Some(proc) = self.procs.get_mut(&asid) else { return };
+        if proc.gts == 0 {
+            return;
+        }
+        proc.seals.push_back(SealedCompartment { gts: proc.gts, request_id, malicious });
+        while proc.seals.len() > self.cfg.compartment_window as usize {
+            let Some(evicted) = proc.seals.pop_front() else { break };
+            for rec in proc.pages.values_mut() {
+                if rec.hist.first().map(|&(g, _)| g) == Some(evicted.gts) {
+                    rec.hist.remove(0);
+                }
+            }
+        }
+    }
+
+    /// Names the sealed compartment that last wrote the line the failed
+    /// request was consuming when it died — the rewind-and-discard
+    /// suspect for a planted-pointer (dormant) fault.
+    fn fault_suspect(&self, asid: u16) -> Option<SealedCompartment> {
+        if !self.cfg.compartments {
+            return None;
+        }
+        let proc = self.procs.get(&asid)?;
+        let (vpn, line) = proc.last_load?;
+        let rec = proc.pages.get(&vpn)?;
+        let bit = 1u128 << line;
+        let writer = rec.hist.iter().rev().find(|&&(_, bits)| bits & bit != 0)?.0;
+        proc.seals.iter().find(|s| s.gts == writer).copied()
+    }
+
+    /// Rewinds exactly one sealed compartment: every line it wrote whose
+    /// backup still holds the pre-compartment value is marked for lazy
+    /// restore; lines later requests overwrote (or that are already
+    /// pending rollback) are left untouched — zero collateral damage.
+    fn discard_compartment(&mut self, asid: u16, compartment: u64) -> u64 {
+        if !self.cfg.compartments {
+            return 0;
+        }
+        let Some(proc) = self.procs.get_mut(&asid) else { return 0 };
+        let Some(pos) = proc.seals.iter().position(|s| s.gts == compartment) else { return 0 };
+        proc.seals.remove(pos);
+        let mut cycles = 0u64;
+        for rec in proc.pages.values_mut() {
+            let Some(idx) = rec.hist.iter().position(|&(g, _)| g == compartment) else { continue };
+            let (_, bits) = rec.hist.remove(idx);
+            // A later writer re-copied the line into the backup page, so
+            // the backup no longer holds the pre-compartment value; the
+            // same holds for lines already pending rollback. Only lines
+            // whose most recent writer was this compartment can be — and
+            // are — restored exactly.
+            let later: u128 = rec.hist[idx..].iter().map(|&(_, b)| b).fold(0, |a, b| a | b);
+            let mut mask = bits & !later & !rec.rollback;
+            if rec.lts != compartment {
+                mask &= !rec.dirty;
+            }
+            if mask == 0 {
+                continue;
+            }
+            if rec.rollback == 0 {
+                proc.rollback_pending += 1;
+            }
+            rec.rollback |= mask;
+            if rec.lts == compartment {
+                rec.dirty &= !mask;
+            }
+            cycles += u64::from(self.cfg.rollback_mark_cycles);
+        }
         self.stats.recovery_cycles += cycles;
         cycles
     }
@@ -373,8 +620,10 @@ impl Scheme for DeltaBackupEngine {
         if proc.rollback_pending == 0 || len == 0 {
             return;
         }
+        // Hostile guests can hand the kernel a buffer ending past the top
+        // of the address space; saturate instead of overflowing.
         let first_vpn = vaddr >> PAGE_SHIFT;
-        let last_vpn = (vaddr + len - 1) >> PAGE_SHIFT;
+        let last_vpn = vaddr.saturating_add(len - 1) >> PAGE_SHIFT;
         for vpn in first_vpn..=last_vpn {
             let Some(rec) = proc.pages.get_mut(&vpn) else { continue };
             if rec.rollback == 0 {
@@ -403,6 +652,19 @@ impl Scheme for DeltaBackupEngine {
                 self.frames.release(rec.backup_ppn);
             }
             proc.rollback_pending = 0;
+            proc.last_load = None;
+            proc.seals.clear();
+        }
+    }
+
+    fn forget_page(&mut self, asid: u16, vpn: u32) {
+        if let Some(proc) = self.procs.get_mut(&asid) {
+            if let Some(rec) = proc.pages.remove(&vpn) {
+                if rec.rollback != 0 {
+                    proc.rollback_pending -= 1;
+                }
+                self.frames.release(rec.backup_ppn);
+            }
         }
     }
 
@@ -608,6 +870,217 @@ mod tests {
             DeltaConfig { line_size: 48, ..DeltaConfig::default() },
             FrameAllocator::new(0, 1),
         );
+    }
+}
+
+#[cfg(test)]
+mod compartment_tests {
+    use super::*;
+    use crate::Scheme;
+    use indra_sim::Pte;
+
+    fn rig() -> (DeltaBackupEngine, AddressSpace, PhysicalMemory) {
+        let mut engine =
+            DeltaBackupEngine::new(DeltaConfig::default(), FrameAllocator::new(0x100, 0x200));
+        engine.register(7);
+        let mut space = AddressSpace::new(7);
+        space.map(0x10, Pte { ppn: 0x5, read: true, write: true, execute: false });
+        (engine, space, PhysicalMemory::new())
+    }
+
+    fn store(
+        e: &mut DeltaBackupEngine,
+        phys: &mut PhysicalMemory,
+        vaddr: u32,
+        paddr: u32,
+        value: u32,
+    ) {
+        e.before_write(7, vaddr, paddr, phys);
+        phys.write_u32(paddr, value);
+    }
+
+    fn load(e: &mut DeltaBackupEngine, phys: &mut PhysicalMemory, vaddr: u32, paddr: u32) -> u32 {
+        e.before_read(7, vaddr, paddr, phys);
+        phys.read_u32(paddr)
+    }
+
+    #[test]
+    fn discard_restores_only_the_guilty_compartment() {
+        let (mut e, mut space, mut phys) = rig();
+        phys.write_u32(0x5000, 0xA);
+        phys.write_u32(0x5040, 0xB);
+        e.begin_request(7, &mut space, &mut phys); // gts 1: the (guilty) planter
+        store(&mut e, &mut phys, 0x10000, 0x5000, 0x111);
+        e.seal_compartment(7, 101, true);
+        e.begin_request(7, &mut space, &mut phys); // gts 2: an innocent bystander
+        store(&mut e, &mut phys, 0x10040, 0x5040, 0x222);
+        e.seal_compartment(7, 102, false);
+
+        let cycles = e.discard_compartment(7, 1);
+        assert!(cycles > 0, "discard touches the planted page");
+        assert_eq!(load(&mut e, &mut phys, 0x10000, 0x5000), 0xA, "planted line rewound");
+        assert_eq!(load(&mut e, &mut phys, 0x10040, 0x5040), 0x222, "bystander untouched");
+        assert_eq!(e.sealed_compartments(7).len(), 1, "only the guilty seal is spent");
+    }
+
+    #[test]
+    fn discard_skips_lines_a_later_request_overwrote() {
+        let (mut e, mut space, mut phys) = rig();
+        phys.write_u32(0x5000, 0xA);
+        e.begin_request(7, &mut space, &mut phys); // gts 1
+        store(&mut e, &mut phys, 0x10000, 0x5000, 0x111);
+        e.seal_compartment(7, 101, true);
+        e.begin_request(7, &mut space, &mut phys); // gts 2 overwrites the same line
+        store(&mut e, &mut phys, 0x10000, 0x5000, 0x222);
+        e.seal_compartment(7, 102, false);
+
+        // The backup now holds gts-2's boundary value, not gts-1's: the
+        // line must NOT be rewound (that would revert the later commit).
+        e.discard_compartment(7, 1);
+        assert_eq!(load(&mut e, &mut phys, 0x10000, 0x5000), 0x222);
+        // Discarding the *latest* writer is exact, though:
+        e.discard_compartment(7, 2);
+        assert_eq!(load(&mut e, &mut phys, 0x10000, 0x5000), 0x111);
+    }
+
+    #[test]
+    fn discard_is_exact_alongside_a_failed_request() {
+        let (mut e, mut space, mut phys) = rig();
+        phys.write_u32(0x5000, 0xA);
+        phys.write_u32(0x5040, 0xB);
+        e.begin_request(7, &mut space, &mut phys); // gts 1 writes two lines
+        store(&mut e, &mut phys, 0x10000, 0x5000, 0x111);
+        store(&mut e, &mut phys, 0x10040, 0x5040, 0x222);
+        e.seal_compartment(7, 101, true);
+        e.begin_request(7, &mut space, &mut phys); // gts 2 rewrites line 1, then dies
+        store(&mut e, &mut phys, 0x10040, 0x5040, 0x333);
+        e.fail_and_rollback(7, &mut space, &mut phys);
+
+        e.discard_compartment(7, 1);
+        assert_eq!(load(&mut e, &mut phys, 0x10000, 0x5000), 0xA, "untouched line rewound");
+        // Line 1's backup belongs to gts 2's boundary (post-gts-1); the
+        // pending rollback must win and gts 1's value survive there.
+        assert_eq!(load(&mut e, &mut phys, 0x10040, 0x5040), 0x222);
+    }
+
+    #[test]
+    fn fault_suspect_names_the_writer_of_the_last_load() {
+        let (mut e, mut space, mut phys) = rig();
+        e.begin_request(7, &mut space, &mut phys); // gts 1 plants a value
+        store(&mut e, &mut phys, 0x10000, 0x5000, 0xBAD);
+        e.seal_compartment(7, 55, true);
+        e.begin_request(7, &mut space, &mut phys); // gts 2 consumes it and faults
+        load(&mut e, &mut phys, 0x10000, 0x5000);
+        e.fail_and_rollback(7, &mut space, &mut phys);
+
+        let s = e.fault_suspect(7).expect("planter identified");
+        assert_eq!((s.gts, s.request_id, s.malicious), (1, 55, true));
+    }
+
+    #[test]
+    fn failed_request_is_never_a_suspect() {
+        // A wild-write that plants and faults in the same request: its
+        // tags die with the rollback, so there is nothing to discard.
+        let (mut e, mut space, mut phys) = rig();
+        e.begin_request(7, &mut space, &mut phys);
+        store(&mut e, &mut phys, 0x10000, 0x5000, 0xBAD);
+        load(&mut e, &mut phys, 0x10000, 0x5000);
+        e.fail_and_rollback(7, &mut space, &mut phys);
+        assert!(e.fault_suspect(7).is_none());
+        assert_eq!(e.compartment_tags(7), 0);
+    }
+
+    #[test]
+    fn seal_window_evicts_and_prunes_oldest_tags() {
+        let cfg = DeltaConfig { compartment_window: 2, ..DeltaConfig::default() };
+        let mut e = DeltaBackupEngine::new(cfg, FrameAllocator::new(0x100, 0x200));
+        e.register(7);
+        let mut space = AddressSpace::new(7);
+        space.map(0x10, Pte { ppn: 0x5, read: true, write: true, execute: false });
+        let mut phys = PhysicalMemory::new();
+        for i in 0u32..3 {
+            e.begin_request(7, &mut space, &mut phys);
+            store(&mut e, &mut phys, 0x10000 + i * 64, 0x5000 + i * 64, i);
+            e.seal_compartment(7, u64::from(100 + i), false);
+        }
+        assert_eq!(e.sealed_compartments(7).len(), 2, "window holds two seals");
+        assert_eq!(e.compartment_tags(7), 2, "evicted compartment's tags pruned");
+        assert_eq!(e.discard_compartment(7, 1), 0, "evicted compartment undiscardable");
+    }
+
+    #[test]
+    fn compartments_off_is_inert() {
+        let cfg = DeltaConfig { compartments: false, ..DeltaConfig::default() };
+        let mut e = DeltaBackupEngine::new(cfg, FrameAllocator::new(0x100, 0x200));
+        e.register(7);
+        let mut space = AddressSpace::new(7);
+        space.map(0x10, Pte { ppn: 0x5, read: true, write: true, execute: false });
+        let mut phys = PhysicalMemory::new();
+        e.begin_request(7, &mut space, &mut phys);
+        store(&mut e, &mut phys, 0x10000, 0x5000, 1);
+        load(&mut e, &mut phys, 0x10000, 0x5000);
+        e.seal_compartment(7, 9, false);
+        assert!(e.sealed_compartments(7).is_empty());
+        assert_eq!(e.compartment_tags(7), 0);
+        assert!(e.fault_suspect(7).is_none());
+        assert_eq!(e.discard_compartment(7, 1), 0);
+        let state = e.save_state();
+        assert_eq!(state.procs[0].last_load, None, "no provenance tracked when off");
+    }
+
+    #[test]
+    fn forget_page_releases_backup_and_pending_count() {
+        let (mut e, mut space, mut phys) = rig();
+        e.begin_request(7, &mut space, &mut phys);
+        store(&mut e, &mut phys, 0x10000, 0x5000, 1);
+        e.fail_and_rollback(7, &mut space, &mut phys);
+        assert_eq!(e.pages_pending_rollback(7), 1);
+        assert_eq!(e.live_backup_frames(), 1);
+        e.forget_page(7, 0x10);
+        assert_eq!(e.pages_pending_rollback(7), 0);
+        assert_eq!(e.live_backup_frames(), 0);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_compartments() {
+        let (mut e, mut space, mut phys) = rig();
+        e.begin_request(7, &mut space, &mut phys);
+        store(&mut e, &mut phys, 0x10000, 0x5000, 1);
+        e.seal_compartment(7, 42, true);
+        e.begin_request(7, &mut space, &mut phys);
+        load(&mut e, &mut phys, 0x10040, 0x5040);
+        let state = e.save_state();
+        let mut e2 =
+            DeltaBackupEngine::new(DeltaConfig::default(), FrameAllocator::new(0x100, 0x200));
+        e2.restore_state(&state);
+        assert_eq!(e2.save_state(), state);
+        assert_eq!(e2.sealed_compartments(7), e.sealed_compartments(7));
+    }
+
+    #[test]
+    fn config_validation_is_typed() {
+        let bad = DeltaConfig { line_size: 48, ..DeltaConfig::default() };
+        assert_eq!(bad.validate(), Err(DeltaConfigError::BadLineSize(48)));
+        assert!(DeltaBackupEngine::try_new(bad, FrameAllocator::new(0, 1)).is_err());
+        let tiny = DeltaConfig { line_size: 16, ..DeltaConfig::default() };
+        assert_eq!(tiny.validate(), Err(DeltaConfigError::TooManyLines(16)));
+        let no_window = DeltaConfig { compartment_window: 0, ..DeltaConfig::default() };
+        assert_eq!(no_window.validate(), Err(DeltaConfigError::EmptyWindow));
+        assert!(DeltaConfig { compartments: false, compartment_window: 0, ..Default::default() }
+            .validate()
+            .is_ok());
+        assert!(DeltaConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn ensure_clean_saturates_at_the_address_top() {
+        let (mut e, mut space, mut phys) = rig();
+        e.begin_request(7, &mut space, &mut phys);
+        store(&mut e, &mut phys, 0x10000, 0x5000, 1);
+        e.fail_and_rollback(7, &mut space, &mut phys);
+        // A hostile buffer ending past u32::MAX must not panic.
+        e.ensure_clean(7, u32::MAX - 7, 64, &space, &mut phys);
+        assert_eq!(e.pages_pending_rollback(7), 1, "unrelated page still pending");
     }
 }
 

@@ -44,14 +44,18 @@ pub use baselines::{
     VirtualCheckpoint, LOG_APPEND_CYCLES, LOG_UNDO_CYCLES, PAGE_COPY_CYCLES, REMAP_CYCLES,
     SW_TRAP_CYCLES, VC_TRAP_CYCLES,
 };
-pub use delta::{DeltaBackupEngine, DeltaConfig, DeltaPageState, DeltaProcState, DeltaState};
+pub use delta::{
+    DeltaBackupEngine, DeltaConfig, DeltaConfigError, DeltaPageState, DeltaProcState, DeltaState,
+    SealedCompartment,
+};
 pub use monitor::{
     AppMetadata, InspectionPolicy, Monitor, MonitorAppState, MonitorConfig, MonitorState,
     MonitorStats, ShadowFrameState, SyscallSitePolicy, Violation, ViolationKind,
 };
 pub use recovery::{
     restore_macro_checkpoint, take_macro_checkpoint, HybridConfig, HybridController,
-    HybridControllerState, HybridStats, MacroCheckpoint, MacroCheckpointState, RecoveryLevel,
+    HybridControllerState, HybridStats, MacroCheckpoint, MacroCheckpointState, MacroStateError,
+    RecoveryLevel,
 };
 pub use scheme::{NoBackup, Scheme, SchemeState, SchemeStats};
 pub use system::{

@@ -73,6 +73,53 @@ pub struct MacroCheckpointState {
     pub request_seq: u64,
 }
 
+/// Why a [`MacroCheckpointState`] is unusable as a restore source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacroStateError {
+    /// A captured page's contents are not exactly one page long.
+    BadPageLength {
+        /// The offending vpn.
+        vpn: u32,
+        /// The length found.
+        len: usize,
+    },
+    /// The same vpn appears more than once.
+    DuplicatePage(u32),
+}
+
+impl std::fmt::Display for MacroStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MacroStateError::BadPageLength { vpn, len } => {
+                write!(f, "macro checkpoint page {vpn:#x} has {len} bytes, expected {PAGE_SIZE}")
+            }
+            MacroStateError::DuplicatePage(vpn) => {
+                write!(f, "macro checkpoint captures page {vpn:#x} twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MacroStateError {}
+
+impl MacroCheckpointState {
+    /// Checks the invariants a restore relies on. Snapshot decode rejects
+    /// a state that fails this, so a truncated or hostile page vector can
+    /// never scribble a short page over live memory.
+    pub fn validate(&self) -> Result<(), MacroStateError> {
+        let mut seen = std::collections::HashSet::new();
+        for (vpn, contents) in &self.pages {
+            if contents.len() != PAGE_SIZE as usize {
+                return Err(MacroStateError::BadPageLength { vpn: *vpn, len: contents.len() });
+            }
+            if !seen.insert(*vpn) {
+                return Err(MacroStateError::DuplicatePage(*vpn));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Captures a macro checkpoint of `asid`. `context` should be the
 /// request-boundary context (PC parked on `net_recv`) so a restored
 /// service immediately fetches the next request instead of replaying a
@@ -112,6 +159,12 @@ pub fn restore_macro_checkpoint(
 ) -> u64 {
     let mut restored = 0u64;
     for (vpn, contents) in &ckpt.pages {
+        // Defensive: a malformed (truncated/oversized) captured page must
+        // not scribble a partial page — or a neighbour's frame — into
+        // live memory. Well-formed checkpoints never hit this.
+        if contents.len() != PAGE_SIZE as usize {
+            continue;
+        }
         let Some(pte) = machine.space(asid).and_then(|s| s.pte(*vpn)) else {
             continue;
         };
@@ -276,6 +329,28 @@ mod tests {
     use super::*;
 
     #[test]
+    fn hostile_macro_state_is_rejected_typed() {
+        let good = MacroCheckpointState {
+            pages: vec![(0x10, vec![0u8; PAGE_SIZE as usize])],
+            ..MacroCheckpointState::default()
+        };
+        assert!(good.validate().is_ok());
+        let short = MacroCheckpointState {
+            pages: vec![(0x10, vec![0u8; 12])],
+            ..MacroCheckpointState::default()
+        };
+        assert_eq!(short.validate(), Err(MacroStateError::BadPageLength { vpn: 0x10, len: 12 }));
+        let dup = MacroCheckpointState {
+            pages: vec![
+                (0x10, vec![0u8; PAGE_SIZE as usize]),
+                (0x10, vec![0u8; PAGE_SIZE as usize]),
+            ],
+            ..MacroCheckpointState::default()
+        };
+        assert_eq!(dup.validate(), Err(MacroStateError::DuplicatePage(0x10)));
+    }
+
+    #[test]
     fn macro_checkpoint_cadence() {
         let mut h = HybridController::new(HybridConfig { macro_interval: 3, failure_threshold: 2 });
         assert!(!h.on_request_boundary());
@@ -351,6 +426,33 @@ mod tests {
             assert!(restore_cycles > 0);
             assert_eq!(m.read_virtual_u32(5, buf), Some(0x1111));
             assert_eq!(m.core(1).pc(), ckpt.context.pc);
+        }
+
+        #[test]
+        fn truncated_page_is_skipped_not_scribbled() {
+            let mut m = Machine::new(MachineConfig::default());
+            m.boot_asymmetric();
+            let img = assemble("t", "main:\n halt\n.data\nbuf: .word 0x1111\n").unwrap();
+            m.create_space(5);
+            m.load_image(5, &img).unwrap();
+            m.core_mut(1).set_asid(5);
+            m.core_mut(1).set_pc(img.entry);
+            while let CoreStep::Executed = m.step_core_simple(1) {}
+
+            let ctx = m.core(1).context();
+            let (ckpt, _) = take_macro_checkpoint(&m, 5, ctx, 1);
+            // Hostile state: truncate every captured page to 4 bytes of
+            // 0xFF. The restore must leave memory alone.
+            let mut state = ckpt.save_state();
+            for (_, contents) in &mut state.pages {
+                *contents = vec![0xFF; 4];
+            }
+            assert!(state.validate().is_err());
+            let hostile = MacroCheckpoint::from_state(&state);
+            let buf = img.addr_of("buf").unwrap();
+            let restored = restore_macro_checkpoint(&mut m, 5, 1, &hostile);
+            assert_eq!(restored, 0, "no page may be partially restored");
+            assert_eq!(m.read_virtual_u32(5, buf), Some(0x1111), "memory untouched");
         }
     }
 }

@@ -18,7 +18,7 @@
 use indra_mem::PhysicalMemory;
 use indra_sim::{AddressSpace, BackupHook};
 
-use crate::{DeltaState, PageCkptState, UndoLogState};
+use crate::{DeltaState, PageCkptState, SealedCompartment, UndoLogState};
 
 /// Cumulative counters common to all schemes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -105,6 +105,31 @@ pub trait Scheme: BackupHook + Send {
     /// without restoring anything — used when a macro checkpoint restore
     /// supersedes the per-request state.
     fn forget(&mut self, asid: u16);
+
+    /// Drops backup state for one page of `asid` without restoring it —
+    /// used when the OS tears a page out of the address space (a
+    /// per-request arena page being released), so stale rollback bits can
+    /// never bleed into whatever is mapped at that vpn next. A no-op for
+    /// schemes without per-page state.
+    fn forget_page(&mut self, _asid: u16, _vpn: u32) {}
+
+    /// Commits the current request interval as a *sealed compartment*
+    /// that stays individually discardable for a bounded window. No-op
+    /// for schemes without compartment support.
+    fn seal_compartment(&mut self, _asid: u16, _request_id: u64, _malicious: bool) {}
+
+    /// After a fault, names the sealed compartment whose writes the
+    /// failed request was consuming, if the scheme can attribute one.
+    fn fault_suspect(&self, _asid: u16) -> Option<SealedCompartment> {
+        None
+    }
+
+    /// Rewinds-and-discards one sealed compartment's surviving writes,
+    /// leaving every other request's state untouched. Returns the cycle
+    /// cost (zero when unsupported or unknown).
+    fn discard_compartment(&mut self, _asid: u16, _compartment: u64) -> u64 {
+        0
+    }
 
     /// Backup frames currently live (the paper's space-overhead metric;
     /// zero for schemes that keep no frame pool).

@@ -85,6 +85,12 @@ pub struct SystemConfig {
     /// declarations verbatim. Default on; turn off as the escape hatch
     /// for images whose declarations must be taken at face value.
     pub strict_policy: bool,
+    /// Per-request compartments: tag dirtied pages by request, seal the
+    /// tag set when the response goes out, and on a fault caused by an
+    /// earlier request's dormant corruption discard only the guilty
+    /// compartment's lines and retry the victim — instead of dropping
+    /// it. ANDed into [`DeltaConfig::compartments`]; default on.
+    pub compartments: bool,
 }
 
 impl Default for SystemConfig {
@@ -99,6 +105,7 @@ impl Default for SystemConfig {
             request_timeout_insns: 50_000_000,
             service_core: 1,
             strict_policy: true,
+            compartments: true,
         }
     }
 }
@@ -129,6 +136,14 @@ pub struct Detection {
     pub at_cycle: u64,
     /// The core the recovery ran on.
     pub core: usize,
+    /// Whether the failed request was requeued for a retry (compartment
+    /// path: the fault was attributed to an earlier request's sealed
+    /// compartment, which was discarded).
+    pub retried: bool,
+    /// Id of the sealed request whose compartment was discarded, if any.
+    pub discarded: Option<u64>,
+    /// Ground truth for the discarded compartment's request.
+    pub discarded_was_malicious: bool,
 }
 
 /// Timing sample for one served request.
@@ -291,7 +306,12 @@ impl Detection {
             )
             .u64("at_cycle", self.at_cycle)
             .u64("core", self.core as u64)
-            .finish()
+            .bool("retried", self.retried);
+        match self.discarded {
+            Some(id) => obj.u64("discarded", id),
+            None => obj.raw("discarded", "null"),
+        };
+        obj.bool("discarded_was_malicious", self.discarded_was_malicious).finish()
     }
 }
 
@@ -379,9 +399,11 @@ impl IndraSystem {
         machine.set_monitoring(cfg.monitoring);
         let (pool_base, pool_end) = machine.backup_pool_ppns();
         let frames = || FrameAllocator::new(pool_base, pool_end);
+        let mut delta = cfg.delta;
+        delta.compartments = delta.compartments && cfg.compartments;
         let scheme: Box<dyn Scheme> = match cfg.scheme {
             SchemeKind::None => Box::new(NoBackup::new()),
-            SchemeKind::Delta => Box::new(DeltaBackupEngine::new(cfg.delta, frames())),
+            SchemeKind::Delta => Box::new(DeltaBackupEngine::new(delta, frames())),
             SchemeKind::VirtualCheckpoint => Box::new(VirtualCheckpoint::new(frames())),
             SchemeKind::SoftwareCheckpoint => Box::new(SoftwareCheckpoint::new(frames())),
             SchemeKind::UndoLog => Box::new(UndoLog::new()),
@@ -818,7 +840,18 @@ impl IndraSystem {
                 if let Some(h) = self.hybrids.get_mut(&core) {
                     h.on_success();
                 }
+                // The request's private arena dies with its request;
+                // forgetting the pages in the scheme keeps stale backup
+                // and rollback state from bleeding into whatever maps
+                // those vpns next.
+                for (vpn, _) in self.os.release_arena(&mut self.machine, svc.pid) {
+                    self.scheme.forget_page(svc.asid, vpn);
+                }
                 if let Some(inf) = self.in_flight.remove(&core) {
+                    // Seal this request's compartment: its page tags are
+                    // now a discardable unit should a later request fault
+                    // on state it poisoned.
+                    self.scheme.seal_compartment(svc.asid, request_id, inf.malicious);
                     let c = self.machine.core(core);
                     self.report.samples.push(RequestSample {
                         request_id,
@@ -900,10 +933,37 @@ impl IndraSystem {
             RecoveryLevel::Micro => RecoveryLevel::Micro,
         };
 
+        // The failed request's private arena is torn down in every
+        // recovery flavor, before memory rollback, so no lazily-pending
+        // restore ever targets a freed frame.
+        for (vpn, _) in self.os.release_arena(&mut self.machine, svc.pid) {
+            self.scheme.forget_page(svc.asid, vpn);
+        }
+
+        let mut retried = false;
+        let mut discarded = None;
+        let mut discarded_was_malicious = false;
         match effective_level {
             RecoveryLevel::Micro => {
                 if let Some((space, phys)) = self.machine.space_and_phys_mut(svc.asid) {
                     cycles += self.scheme.fail_and_rollback(svc.asid, space, phys);
+                }
+                // Rewind-and-discard (compartment path): a *fault* in a
+                // request means either its own bug — or a dereference of
+                // state poisoned by an earlier, already-answered request.
+                // `fail_and_rollback` above has purged the failed
+                // request's own tags, so if the faulting load's line was
+                // last written by a *sealed* compartment, that compartment
+                // is the culprit: discard exactly its lines and requeue
+                // the victim, which retries on healed state. Everyone
+                // else's pages are untouched.
+                if matches!(cause, FailureCause::Fault) && inf.is_some() {
+                    if let Some(suspect) = self.scheme.fault_suspect(svc.asid) {
+                        cycles += self.scheme.discard_compartment(svc.asid, suspect.gts);
+                        discarded = Some(suspect.request_id);
+                        discarded_was_malicious = suspect.malicious;
+                        retried = self.os.requeue_front(svc.pid);
+                    }
                 }
                 let had_mark = self.os.rollback_resources(&mut self.machine, svc.pid);
                 self.monitor.rollback_shadow(svc.asid);
@@ -931,6 +991,9 @@ impl IndraSystem {
             level: effective_level,
             at_cycle: self.machine.core(core).cycles(),
             core,
+            retried,
+            discarded,
+            discarded_was_malicious,
         });
 
         self.machine.core_mut(core).add_stall_cycles(cycles + MICRO_RECOVERY_BASE_CYCLES);

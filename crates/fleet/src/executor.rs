@@ -102,6 +102,8 @@ pub(crate) fn run_fleet_with(
             wall_seconds: o.wall_seconds,
             superblocks: o.superblocks,
             predecode: o.predecode,
+            wal_bytes: o.wal.bytes,
+            wal_pages: o.wal.pages,
         })
         .collect();
 

@@ -123,6 +123,13 @@ pub struct FleetConfig {
     /// accounting. Host-side only — [`FleetStats`] is byte-identical
     /// either way; independent of `fast_paths`.
     pub superblocks: bool,
+    /// Per-request compartments in every shard system: page-group
+    /// tagging by request, sealed-compartment discard on attributed
+    /// faults, and victim-request retry. [`FleetStats`] is
+    /// byte-identical either way on attack-free, fault-free runs; under
+    /// attack the compartment path *changes* outcomes (that is its
+    /// job — benign requests that would be dropped are retried).
+    pub compartments: bool,
     /// Graceful-shutdown flag (e.g. raised by a SIGINT/SIGTERM handler).
     /// Checked at every run-slice boundary — a checkpoint boundary — so
     /// a shutdown drains cleanly: the store is never torn mid-write and
@@ -154,6 +161,7 @@ impl Default for FleetConfig {
             halt_after_checkpoints: None,
             fast_paths: true,
             superblocks: true,
+            compartments: true,
             shutdown: None,
         }
     }

@@ -135,6 +135,7 @@ pub(crate) fn encode_meta(cfg: &FleetConfig) -> Vec<u8> {
     w.u32(cfg.checkpoint_every);
     w.bool(cfg.fast_paths);
     w.bool(cfg.superblocks);
+    w.bool(cfg.compartments);
     w.finish()
 }
 
@@ -170,6 +171,7 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> Result<FleetConfig, PersistError> {
         halt_after_checkpoints: None,
         fast_paths: r.bool("meta fast paths")?,
         superblocks: r.bool("meta superblocks")?,
+        compartments: r.bool("meta compartments")?,
         shutdown: None,
     };
     r.expect_exhausted("meta trailing bytes")?;
@@ -231,6 +233,7 @@ mod tests {
             halt_after_checkpoints: Some(2),
             fast_paths: false,
             superblocks: false,
+            compartments: false,
             ..FleetConfig::quick()
         };
         let back = decode_meta(&encode_meta(&cfg)).unwrap();
@@ -242,6 +245,7 @@ mod tests {
         assert_eq!(back.scheme, cfg.scheme);
         assert!(!back.fast_paths, "fast_paths must survive the meta roundtrip");
         assert!(!back.superblocks, "superblocks must survive the meta roundtrip");
+        assert!(!back.compartments, "compartments must survive the meta roundtrip");
         // Resume-supplied fields never travel through the meta file.
         assert_eq!(back.store_dir, None);
         assert_eq!(back.halt_after_checkpoints, None);

@@ -152,6 +152,13 @@ pub struct ShardHostPerf {
     pub superblocks: indra_sim::SuperblockStats,
     /// Predecode-cache counters summed over the shard machine's cores.
     pub predecode: indra_sim::PredecodeStats,
+    /// WAL-delta bytes this shard's durable checkpoints wrote (0 when
+    /// checkpointing is off). Host-side observability only.
+    pub wal_bytes: u64,
+    /// Page frames serialized across this shard's checkpoints — with
+    /// compartment-scoped deltas upstream, only pages dirtied since the
+    /// previous cut.
+    pub wal_pages: u64,
 }
 
 impl ShardHostPerf {
@@ -208,6 +215,13 @@ impl ShardHostPerf {
                     .u64("hits", pd.hits)
                     .u64("misses", pd.misses)
                     .u64("invalidations", pd.invalidations)
+                    .finish(),
+            )
+            .raw(
+                "wal",
+                &JsonObject::new()
+                    .u64("bytes", self.wal_bytes)
+                    .u64("pages", self.wal_pages)
                     .finish(),
             )
             .finish()

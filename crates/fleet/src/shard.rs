@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use indra_core::{IndraSystem, RunReport, RunState, SystemConfig};
-use indra_persist::{PersistError, SnapshotStore};
+use indra_persist::{CheckpointReceipt, PersistError, SnapshotStore};
 use indra_workloads::{
     build_app_scaled, detectable_attack_suite, standard_attack_suite, OpenLoopTraffic,
     ScheduleCursor, ServiceApp, TimedRequest, WorkloadSpec,
@@ -129,6 +129,10 @@ pub struct ShardOutput {
     pub superblocks: indra_sim::SuperblockStats,
     /// Predecode-cache counters summed over the shard machine's cores.
     pub predecode: indra_sim::PredecodeStats,
+    /// Accumulated WAL-delta cost of every durable checkpoint this shard
+    /// wrote (zero when checkpointing is off). Host-side observability —
+    /// never folded into [`crate::FleetStats`].
+    pub wal: CheckpointReceipt,
 }
 
 impl ShardOutput {
@@ -269,6 +273,7 @@ pub(crate) fn run_shard_inner(
         },
         scheme: cfg.scheme,
         monitoring: true,
+        compartments: cfg.compartments,
         ..SystemConfig::default()
     };
     let mut sys = IndraSystem::new(sys_cfg);
@@ -307,6 +312,7 @@ pub(crate) fn run_shard_inner(
         _ => None,
     };
     let mut ckpts_written = 0u64;
+    let mut wal = CheckpointReceipt::default();
 
     // Starts at zero even when restored: samples already in the thawed
     // report are re-streamed so a fresh aggregator sees the complete
@@ -387,7 +393,7 @@ pub(crate) fn run_shard_inner(
                     served_at_last_ckpt,
                     chaos_cursor,
                 };
-                w.checkpoint(&sys.freeze(), &encode_progress(&progress))?;
+                wal.absorb(w.checkpoint(&sys.freeze(), &encode_progress(&progress))?);
                 ckpts_written += 1;
                 if cfg.halt_after_checkpoints.is_some_and(|halt| ckpts_written >= halt) {
                     // Simulated crash: die between two slices, exactly
@@ -481,6 +487,7 @@ pub(crate) fn run_shard_inner(
         wall_seconds: started.elapsed().as_secs_f64(),
         superblocks,
         predecode,
+        wal,
         plan,
     };
     emit(ShardMsg::Done(Box::new(output)));

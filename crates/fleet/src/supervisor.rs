@@ -475,6 +475,7 @@ fn salvage_output(cfg: &FleetConfig, ctx: &Ctx<'_>, shard: usize) -> ShardOutput
         wall_seconds: 0.0,
         superblocks: indra_sim::SuperblockStats::default(),
         predecode: indra_sim::PredecodeStats::default(),
+        wal: indra_persist::CheckpointReceipt::default(),
     }
 }
 
@@ -565,6 +566,8 @@ fn assemble_report(
             wall_seconds: o.wall_seconds,
             superblocks: o.superblocks,
             predecode: o.predecode,
+            wal_bytes: o.wal.bytes,
+            wal_pages: o.wal.pages,
         })
         .collect();
     let wall_seconds = started.elapsed().as_secs_f64();

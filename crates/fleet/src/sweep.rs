@@ -167,6 +167,7 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<SweepArgs, Strin
             "--json" => out.json = true,
             "--no-fast-paths" => out.base.fast_paths = false,
             "--no-superblocks" => out.base.superblocks = false,
+            "--no-compartments" => out.base.compartments = false,
             "--chaos" => {
                 let name = value(&mut args, "--chaos")?;
                 if name != "campaign" {
@@ -266,7 +267,8 @@ fleetbench — INDRA fleet shard-count scaling sweep
 USAGE: fleetbench [--shards 1,2,4,6] [--requests N] [--scale N]
                   [--attack-per-mille N] [--mean-gap CYCLES]
                   [--fault-every N] [--seed N] [--csv DIR] [--json]
-                  [--no-fast-paths] [--no-superblocks] [--quick]
+                  [--no-fast-paths] [--no-superblocks]
+                  [--no-compartments] [--quick]
                   [--checkpoint-every N --store DIR [--halt-after N]]
                   [--resume DIR]
                   [--chaos PROFILE|campaign] [--chaos-seed N]
@@ -281,6 +283,13 @@ caches (slow reference path); --no-superblocks disables the superblock
 execution engine (hot basic blocks batched into pre-validated micro-op
 traces). The deterministic stats are byte-identical either way — only
 the host mips and sb% columns move.
+
+--no-compartments disables per-request compartments (fine-grained
+rewind-and-discard of only the guilty request's pages and heap arena
+on detection). Attack-free fault-free stats are byte-identical either
+way; under attack, compartments retry benign requests instead of
+losing them, so outcomes differ by design. Compartments also shrink
+WAL deltas — the wal KB/pages columns report checkpoint volume.
 
 Crash-safe checkpointing: --checkpoint-every N durably snapshots each
 shard to --store DIR after every N served requests; --halt-after K
@@ -350,7 +359,7 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
         args.base.requests_per_shard, args.base.scale, args.base.attack_per_mille, args.base.seed
     );
     println!(
-        "{:>6} {:>8} {:>8} {:>8} {:>7} {:>9} {:>11} {:>10} {:>7} {:>6} {:>9} {:>8}",
+        "{:>6} {:>8} {:>8} {:>8} {:>7} {:>9} {:>11} {:>10} {:>7} {:>6} {:>8} {:>7} {:>9} {:>8}",
         "shards",
         "served",
         "benign%",
@@ -361,6 +370,8 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
         "speedup",
         "mips",
         "sb%",
+        "wal KB",
+        "wal pg",
         "p50 cyc",
         "p99 cyc"
     );
@@ -380,8 +391,10 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
         let work = shards as f64 / args.shard_counts[0] as f64;
         let speedup =
             if base_wall_rps > 0.0 { report.wall_req_per_sec / base_wall_rps } else { 0.0 };
+        let wal_bytes: u64 = report.shard_host.iter().map(|h| h.wal_bytes).sum();
+        let wal_pages: u64 = report.shard_host.iter().map(|h| h.wal_pages).sum();
         println!(
-            "{:>6} {:>8} {:>7.1}% {:>8} {:>7} {:>9.2} {:>11.1} {:>9.2}x {:>7.2} {:>5.1}% {:>9} {:>8}",
+            "{:>6} {:>8} {:>7.1}% {:>8} {:>7} {:>9.2} {:>11.1} {:>9.2}x {:>7.2} {:>5.1}% {:>8.1} {:>7} {:>9} {:>8}",
             shards,
             s.served,
             s.benign_service_ratio * 100.0,
@@ -392,6 +405,8 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
             speedup,
             report.host_mips(),
             report.superblock_coverage() * 100.0,
+            wal_bytes as f64 / 1024.0,
+            wal_pages,
             s.latency.p50,
             s.latency.p99,
         );
@@ -416,6 +431,8 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
             report.shard_host.iter().map(|h| h.superblocks.translations).sum::<u64>().to_string(),
             report.shard_host.iter().map(|h| h.superblocks.hits).sum::<u64>().to_string(),
             report.shard_host.iter().map(|h| h.superblocks.invalidations).sum::<u64>().to_string(),
+            wal_bytes.to_string(),
+            wal_pages.to_string(),
             s.latency.p50.to_string(),
             s.latency.p95.to_string(),
             s.latency.p99.to_string(),
@@ -442,6 +459,8 @@ pub fn run_sweep(args: &SweepArgs) -> Result<Vec<FleetReport>, String> {
             "sb_translations",
             "sb_hits",
             "sb_invalidations",
+            "wal_bytes",
+            "wal_pages",
             "p50_cycles",
             "p95_cycles",
             "p99_cycles",
@@ -662,6 +681,7 @@ mod tests {
             "--json",
             "--no-fast-paths",
             "--no-superblocks",
+            "--no-compartments",
         ])
         .unwrap();
         assert_eq!(a.shard_counts, vec![2, 4]);
@@ -672,8 +692,10 @@ mod tests {
         assert!(a.json);
         assert!(!a.base.fast_paths);
         assert!(!a.base.superblocks);
+        assert!(!a.base.compartments);
         let d = parse(&[]).unwrap();
         assert!(d.base.fast_paths && d.base.superblocks, "both engines default on");
+        assert!(d.base.compartments, "compartments default on");
     }
 
     #[test]

@@ -23,4 +23,4 @@ pub mod syscall;
 pub use fs::{FsState, InMemoryFs};
 pub use net::{Endpoint, EndpointState, Request, Response};
 pub use os::{Os, OsState, SyscallEffect, OS_PAGE_SIZE};
-pub use process::{FileHandle, Pid, Process, ProcessState, ResourceMark};
+pub use process::{FileHandle, Pid, Process, ProcessState, ResourceMark, ARENA_BASE};

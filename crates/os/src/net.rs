@@ -53,6 +53,13 @@ impl Endpoint {
         self.inbox.push_back(req);
     }
 
+    /// Requeues a request at the *front* of the inbox — used to retry a
+    /// benign request that faulted on poisoned state after the poisoning
+    /// compartment was discarded; it must run again before anything newer.
+    pub fn push_front(&mut self, req: Request) {
+        self.inbox.push_front(req);
+    }
+
     /// Number of requests waiting.
     #[must_use]
     pub fn pending(&self) -> usize {

@@ -288,6 +288,11 @@ impl Os {
                 m.core_mut(core).finish_syscall(Some(ret));
                 SyscallEffect::Continue
             }
+            SYS_ARENA => {
+                let ret = self.arena_alloc(m, pid, a0);
+                m.core_mut(core).finish_syscall(Some(ret));
+                SyscallEffect::Continue
+            }
             SYS_FORK => {
                 let child = self.next_pid;
                 self.next_pid += 1;
@@ -367,6 +372,9 @@ impl Os {
         let core = self.process(pid)?.core;
 
         let req = self.process_mut(pid).endpoint.next_request()?;
+        // Kept so the request can be requeued for a retry if it later
+        // faults on another compartment's poisoned state.
+        self.process_mut(pid).last_delivered = Some(req.clone());
         self.process_mut(pid).waiting_recv = None;
 
         // Snapshot context *before* completing the syscall: a rollback
@@ -429,10 +437,62 @@ impl Os {
         true
     }
 
+    /// Requeues the most recently delivered request at the *front* of
+    /// `pid`'s inbox, so the next `net_recv` picks it up again. Used after
+    /// a compartment discard healed the state a benign request faulted
+    /// on. Returns `false` when there is nothing to requeue.
+    pub fn requeue_front(&mut self, pid: Pid) -> bool {
+        let p = self.process_mut(pid);
+        match p.last_delivered.take() {
+            Some(req) => {
+                p.endpoint.push_front(req);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Tears down `pid`'s per-request arena: unmaps every arena page,
+    /// returns its frame to the pool and resets the bump cursor. Returns
+    /// the released `(vpn, ppn)` pairs so the caller can drop any backup
+    /// state keyed by those pages. Called at every request end — response
+    /// sent or rollback — because the arena never outlives its request.
+    pub fn release_arena(&mut self, m: &mut Machine, pid: Pid) -> Vec<(u32, u32)> {
+        let asid = self.asid_of(pid);
+        let p = self.process_mut(pid);
+        let released = std::mem::take(&mut p.arena_pages);
+        p.arena_brk = crate::ARENA_BASE;
+        for &(vpn, ppn) in &released {
+            if let Some(space) = m.space_mut(asid) {
+                space.unmap(vpn);
+            }
+            m.release_service_frame(ppn);
+        }
+        released
+    }
+
     /// ASID of `pid`.
     #[must_use]
     pub fn asid_of(&self, pid: Pid) -> u16 {
         self.procs.get(&pid).map(|p| p.asid).expect("no such pid")
+    }
+
+    fn arena_alloc(&mut self, m: &mut Machine, pid: Pid, bytes: u32) -> u32 {
+        let base = self.process(pid).expect("pid").arena_brk;
+        if bytes == 0 {
+            return base;
+        }
+        let asid = self.asid_of(pid);
+        let pages = bytes.div_ceil(PAGE_SIZE);
+        for i in 0..pages {
+            let vpn = (base >> PAGE_SHIFT) + i;
+            match m.map_fresh_page(asid, vpn, true, true, false) {
+                Ok(ppn) => self.process_mut(pid).arena_pages.push((vpn, ppn)),
+                Err(_) => return SYS_ERR,
+            }
+        }
+        self.process_mut(pid).arena_brk = base + pages * PAGE_SIZE;
+        base
     }
 
     fn sbrk(&mut self, m: &mut Machine, pid: Pid, bytes: u32) -> u32 {
@@ -690,6 +750,88 @@ mod tests {
         // The restored PC re-executes net_recv.
         let code = run_to_syscall(&mut m).unwrap();
         assert_eq!(code, SYS_NET_RECV);
+    }
+
+    #[test]
+    fn arena_is_usable_and_torn_down_per_request() {
+        let mut m = machine();
+        let mut os = Os::new();
+        let img = assemble(
+            "arena",
+            "
+        main:
+            la a0, buf
+            li a1, 16
+            syscall 1          # net_recv (request boundary)
+            li a0, 100
+            syscall 17         # arena(100) -> page-aligned base
+            mv s0, a0
+            li t0, 0x77
+            sb t0, 0(s0)       # the arena is real memory
+            lbu s1, 0(s0)
+            li a0, 0
+            syscall 17         # arena(0): query cursor = base + 4096
+            sub a0, a0, s0
+            add a0, a0, s1     # 4096 + 0x77
+        spin:
+            j spin
+        .data
+        buf: .space 16
+        ",
+        )
+        .unwrap();
+        let pid = os.spawn_service(&mut m, 1, &img).unwrap();
+        let code = run_to_syscall(&mut m).unwrap();
+        os.handle_syscall(&mut m, 1, code); // blocks on recv
+        os.push_request(pid, b"x".to_vec(), false);
+        os.try_deliver(&mut m, pid).unwrap();
+        for _ in 0..2 {
+            let code = run_to_syscall(&mut m).unwrap();
+            assert_eq!(code, SYS_ARENA);
+            os.handle_syscall(&mut m, 1, code);
+        }
+        // Let the arithmetic run; the program then spins.
+        for _ in 0..64 {
+            m.step_core_simple(1);
+        }
+        assert_eq!(
+            m.core(1).reg(indra_isa::Reg::A0),
+            4096 + 0x77,
+            "arena block is mapped, writable and page-granular"
+        );
+        assert_eq!(os.process(pid).unwrap().arena_pages.len(), 1);
+
+        let released = os.release_arena(&mut m, pid);
+        assert_eq!(released.len(), 1);
+        let p = os.process(pid).unwrap();
+        assert!(p.arena_pages.is_empty(), "arena dies with the request");
+        assert_eq!(p.arena_brk, crate::ARENA_BASE, "cursor reset");
+        let (vpn, _) = released[0];
+        assert!(
+            m.read_virtual_bytes(p.asid, vpn << PAGE_SHIFT, 1).is_none(),
+            "released arena page unmapped"
+        );
+    }
+
+    #[test]
+    fn requeue_front_retries_the_last_delivered_request() {
+        let mut m = machine();
+        let mut os = Os::new();
+        let img = assemble("echo", ECHO).unwrap();
+        let pid = os.spawn_service(&mut m, 1, &img).unwrap();
+        let code = run_to_syscall(&mut m).unwrap();
+        os.handle_syscall(&mut m, 1, code);
+        let first = os.push_request(pid, b"one".to_vec(), false);
+        os.push_request(pid, b"two".to_vec(), false);
+        os.try_deliver(&mut m, pid).unwrap();
+
+        assert!(os.requeue_front(pid), "delivered request requeued");
+        assert!(!os.requeue_front(pid), "only once per delivery");
+        // The requeued request is first in line again, ahead of "two".
+        let p = os.process_mut(pid);
+        let next = p.endpoint.next_request().unwrap();
+        assert_eq!(next.id, first);
+        assert_eq!(next.data, b"one");
     }
 
     #[test]

@@ -12,10 +12,15 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use indra_sim::CpuContext;
 
-use crate::Endpoint;
+use crate::{Endpoint, Request};
 
 /// Process identifier.
 pub type Pid = u32;
+
+/// Base virtual address of the per-request arena — between the heap
+/// (which grows up from the image's break) and the stack (which sits
+/// just under [`indra_isa::STACK_TOP`]).
+pub const ARENA_BASE: u32 = 0x5000_0000;
 
 /// An open-file handle (flat offset cursor).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +84,15 @@ pub struct Process {
     pub served: u64,
     /// Times this process was rolled back.
     pub rollbacks: u64,
+    /// Copy of the most recently delivered request, kept so a benign
+    /// request that faulted on poisoned state can be requeued for a
+    /// retry after the poisoning compartment is discarded.
+    pub last_delivered: Option<Request>,
+    /// Per-request arena pages mapped via `sys_arena`, in mapping order:
+    /// `(vpn, ppn)`. Torn down at every request boundary.
+    pub arena_pages: Vec<(u32, u32)>,
+    /// Arena bump cursor (next allocation's base virtual address).
+    pub arena_brk: u32,
 }
 
 impl Process {
@@ -102,6 +116,9 @@ impl Process {
             endpoint: Endpoint::new(),
             served: 0,
             rollbacks: 0,
+            last_delivered: None,
+            arena_pages: Vec::new(),
+            arena_brk: ARENA_BASE,
         }
     }
 
@@ -160,6 +177,9 @@ impl Process {
             endpoint: self.endpoint.save_state(),
             served: self.served,
             rollbacks: self.rollbacks,
+            last_delivered: self.last_delivered.clone(),
+            arena_pages: self.arena_pages.clone(),
+            arena_brk: self.arena_brk,
         }
     }
 
@@ -185,6 +205,9 @@ impl Process {
             endpoint,
             served: state.served,
             rollbacks: state.rollbacks,
+            last_delivered: state.last_delivered.clone(),
+            arena_pages: state.arena_pages.clone(),
+            arena_brk: state.arena_brk,
         }
     }
 }
@@ -225,6 +248,12 @@ pub struct ProcessState {
     pub served: u64,
     /// Times this process was rolled back.
     pub rollbacks: u64,
+    /// Copy of the most recently delivered request.
+    pub last_delivered: Option<Request>,
+    /// Per-request arena pages: `(vpn, ppn)` in mapping order.
+    pub arena_pages: Vec<(u32, u32)>,
+    /// Arena bump cursor.
+    pub arena_brk: u32,
 }
 
 #[cfg(test)]

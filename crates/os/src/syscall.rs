@@ -45,6 +45,11 @@ pub const SYS_EXIT: u16 = 14;
 pub const SYS_SEEK: u16 = 15;
 /// `a0 = fsize(fd: a0)` → file length in bytes, or `u32::MAX`.
 pub const SYS_FSIZE: u16 = 16;
+/// `a0 = arena(bytes: a0)` → base address of a fresh per-request arena
+/// block (whole pages), `arena(0)` queries the cursor, `u32::MAX` when
+/// out of memory. The whole arena is torn down at the end of the request
+/// (response sent *or* rollback) — it is the compartment-private heap.
+pub const SYS_ARENA: u16 = 17;
 
 /// Fixed kernel-entry overhead charged to the core per syscall, in cycles
 /// (mode switch, dispatch). Data-movement costs are charged separately.
@@ -73,6 +78,7 @@ pub fn syscall_name(code: u16) -> &'static str {
         SYS_EXIT => "exit",
         SYS_SEEK => "seek",
         SYS_FSIZE => "fsize",
+        SYS_ARENA => "arena",
         _ => "unknown",
     }
 }
@@ -83,7 +89,7 @@ mod tests {
 
     #[test]
     fn names_cover_all_codes() {
-        for code in 1..=16 {
+        for code in 1..=17 {
             assert_ne!(syscall_name(code), "unknown", "code {code} unnamed");
         }
         assert_eq!(syscall_name(999), "unknown");

@@ -19,8 +19,8 @@ use indra_core::{
     DeltaPageState, DeltaProcState, DeltaState, Detection, FailureCause, HybridControllerState,
     HybridStats, InFlightState, MacroCheckpointState, MonitorAppState, MonitorState, MonitorStats,
     PageCkptProcState, PageCkptState, PolicyStats, RecoveryLevel, RequestSample, RunReport,
-    SchemeState, SchemeStats, ShadowFrameState, SystemState, UndoEntryState, UndoLogState,
-    Violation, ViolationKind,
+    SchemeState, SchemeStats, SealedCompartment, ShadowFrameState, SystemState, UndoEntryState,
+    UndoLogState, Violation, ViolationKind,
 };
 use indra_mem::{
     CacheLineState, CacheState, CacheStats, CoreMemState, DramState, DramStats,
@@ -713,6 +713,21 @@ fn enc_process(w: &mut WireWriter, p: &ProcessState) {
     w.u64(p.endpoint.delivered);
     w.u64(p.served);
     w.u64(p.rollbacks);
+    match &p.last_delivered {
+        Some(req) => {
+            w.bool(true);
+            w.u64(req.id);
+            w.bytes(&req.data);
+            w.bool(req.malicious);
+        }
+        None => w.bool(false),
+    }
+    w.seq(p.arena_pages.len());
+    for &(vpn, ppn) in &p.arena_pages {
+        w.u32(vpn);
+        w.u32(ppn);
+    }
+    w.u32(p.arena_brk);
 }
 
 fn dec_process(r: &mut WireReader<'_>) -> WireResult<ProcessState> {
@@ -782,6 +797,20 @@ fn dec_process(r: &mut WireReader<'_>) -> WireResult<ProcessState> {
         outbox.push(Response { request_id, data: r.bytes("response data")?.to_vec() });
     }
     let endpoint = EndpointState { inbox, outbox, delivered: r.u64("delivered")? };
+    let served = r.u64("process served")?;
+    let rollbacks = r.u64("process rollbacks")?;
+    let last_delivered = if r.bool("last delivered present")? {
+        let id = r.u64("last delivered id")?;
+        let data = r.bytes("last delivered data")?.to_vec();
+        Some(Request { id, data, malicious: r.bool("last delivered tag")? })
+    } else {
+        None
+    };
+    let n = r.seq(8, "arena pages")?;
+    let mut arena_pages = Vec::with_capacity(n);
+    for _ in 0..n {
+        arena_pages.push((r.u32("arena vpn")?, r.u32("arena ppn")?));
+    }
     Ok(ProcessState {
         pid,
         name,
@@ -797,8 +826,11 @@ fn dec_process(r: &mut WireReader<'_>) -> WireResult<ProcessState> {
         current_request,
         mark,
         endpoint,
-        served: r.u64("process served")?,
-        rollbacks: r.u64("process rollbacks")?,
+        served,
+        rollbacks,
+        last_delivered,
+        arena_pages,
+        arena_brk: r.u32("arena brk")?,
     })
 }
 
@@ -988,6 +1020,25 @@ fn enc_scheme(w: &mut WireWriter, s: &SchemeState) {
                     w.u64(pg.lts);
                     w.u128(pg.dirty);
                     w.u128(pg.rollback);
+                    w.seq(pg.hist.len());
+                    for &(gts, bits) in &pg.hist {
+                        w.u64(gts);
+                        w.u128(bits);
+                    }
+                }
+                match p.last_load {
+                    Some((vpn, line)) => {
+                        w.bool(true);
+                        w.u32(vpn);
+                        w.u32(line);
+                    }
+                    None => w.bool(false),
+                }
+                w.seq(p.seals.len());
+                for s in &p.seals {
+                    w.u64(s.gts);
+                    w.u64(s.request_id);
+                    w.bool(s.malicious);
                 }
             }
             enc_scheme_stats(w, &d.stats);
@@ -1036,15 +1087,33 @@ fn dec_scheme(r: &mut WireReader<'_>) -> WireResult<SchemeState> {
                 let m = r.seq(48, "delta pages")?;
                 let mut pages = Vec::with_capacity(m);
                 for _ in 0..m {
-                    pages.push(DeltaPageState {
-                        vpn: r.u32("delta vpn")?,
-                        backup_ppn: r.u32("delta backup ppn")?,
-                        lts: r.u64("delta lts")?,
-                        dirty: r.u128("delta dirty")?,
-                        rollback: r.u128("delta rollback")?,
+                    let vpn = r.u32("delta vpn")?;
+                    let backup_ppn = r.u32("delta backup ppn")?;
+                    let lts = r.u64("delta lts")?;
+                    let dirty = r.u128("delta dirty")?;
+                    let rollback = r.u128("delta rollback")?;
+                    let h = r.seq(17, "delta hist")?;
+                    let mut hist = Vec::with_capacity(h);
+                    for _ in 0..h {
+                        hist.push((r.u64("hist gts")?, r.u128("hist bits")?));
+                    }
+                    pages.push(DeltaPageState { vpn, backup_ppn, lts, dirty, rollback, hist });
+                }
+                let last_load = if r.bool("last load present")? {
+                    Some((r.u32("last load vpn")?, r.u32("last load line")?))
+                } else {
+                    None
+                };
+                let s = r.seq(17, "delta seals")?;
+                let mut seals = Vec::with_capacity(s);
+                for _ in 0..s {
+                    seals.push(SealedCompartment {
+                        gts: r.u64("seal gts")?,
+                        request_id: r.u64("seal request")?,
+                        malicious: r.bool("seal tag")?,
                     });
                 }
-                procs.push(DeltaProcState { asid, gts, rollback_pending, pages });
+                procs.push(DeltaProcState { asid, gts, rollback_pending, pages, last_load, seals });
             }
             SchemeState::Delta(DeltaState { frames, procs, stats: dec_scheme_stats(r)? })
         }
@@ -1123,7 +1192,13 @@ fn dec_macro_ckpt(r: &mut WireReader<'_>) -> WireResult<MacroCheckpointState> {
     let mut pages = Vec::with_capacity(n);
     for _ in 0..n {
         let vpn = r.u32("macro vpn")?;
-        pages.push((vpn, r.bytes("macro page contents")?.to_vec()));
+        let contents = r.bytes("macro page contents")?.to_vec();
+        // A checkpoint page that is not exactly one page would scribble
+        // over the restore target; reject the blob instead.
+        if contents.len() != 4096 {
+            return Err(PersistError::Corrupt { context: "macro page length" });
+        }
+        pages.push((vpn, contents));
     }
     let context = dec_context(r)?;
     Ok(MacroCheckpointState { pages, context, request_seq: r.u64("macro seq")? })
@@ -1150,6 +1225,9 @@ fn enc_report(w: &mut WireWriter, report: &RunReport) {
         });
         w.u64(d.at_cycle);
         w.usize(d.core);
+        w.bool(d.retried);
+        w.opt_u64(d.discarded);
+        w.bool(d.discarded_was_malicious);
     }
     w.seq(report.samples.len());
     for s in &report.samples {
@@ -1195,6 +1273,9 @@ fn dec_report(r: &mut WireReader<'_>) -> WireResult<RunReport> {
             },
             at_cycle: r.u64("detection cycle")?,
             core: r.usize("detection core")?,
+            retried: r.bool("detection retried")?,
+            discarded: r.opt_u64("detection discarded")?,
+            discarded_was_malicious: r.bool("detection discarded tag")?,
         });
     }
     let n = r.seq(34, "samples")?;

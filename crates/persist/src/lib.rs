@@ -49,7 +49,7 @@ pub use journal::{
 };
 pub use snapshot::{decode_snapshot, encode_snapshot, Frame, FORMAT_VERSION, MAGIC_SNAPSHOT};
 pub use store::{
-    LoadedShard, ShardCheckpointWriter, SnapshotStore, BASE_FILE, JOURNAL_FILE, MAGIC_META,
-    META_FILE,
+    CheckpointReceipt, LoadedShard, ShardCheckpointWriter, SnapshotStore, BASE_FILE, JOURNAL_FILE,
+    MAGIC_META, META_FILE,
 };
 pub use wire::{WireReader, WireResult, WireWriter};

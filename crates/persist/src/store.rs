@@ -216,6 +216,26 @@ impl SnapshotStore {
     }
 }
 
+/// What one durable checkpoint cost: page frames serialized and bytes
+/// written to disk. Host-side accounting only — it feeds the operator
+/// report (`FleetReport`), never deterministic guest state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointReceipt {
+    /// Bytes this checkpoint added to the store.
+    pub bytes: u64,
+    /// Page frames serialized (base: all resident; delta: only pages
+    /// dirtied since the previous cut).
+    pub pages: u64,
+}
+
+impl CheckpointReceipt {
+    /// Accumulates another checkpoint's cost.
+    pub fn absorb(&mut self, other: CheckpointReceipt) {
+        self.bytes += other.bytes;
+        self.pages += other.pages;
+    }
+}
+
 /// Incremental checkpoint writer for one shard.
 ///
 /// Keeps an in-memory copy of the frames as last written, so each
@@ -239,12 +259,19 @@ impl ShardCheckpointWriter {
 
     /// Durably records `state` + `progress`. The first call writes a
     /// fresh `base.snap` (atomic replace) and resets the journal; every
-    /// later call appends one delta record and syncs it.
+    /// later call appends one delta record and syncs it. Returns what
+    /// the cut cost — with per-request compartment tagging upstream the
+    /// delta records shrink to the pages actually dirtied since the
+    /// last cut, and the receipt is how that shows up in reports.
     ///
     /// # Errors
     ///
     /// I/O failure; on error the previous checkpoint remains recoverable.
-    pub fn checkpoint(&mut self, state: &SystemState, progress: &[u8]) -> Result<(), PersistError> {
+    pub fn checkpoint(
+        &mut self,
+        state: &SystemState,
+        progress: &[u8],
+    ) -> Result<CheckpointReceipt, PersistError> {
         if let Some(journal) = self.journal.as_mut() {
             self.seq += 1;
             let mut changed: Vec<Frame> = Vec::new();
@@ -264,7 +291,10 @@ impl ShardCheckpointWriter {
                 removed,
                 progress: progress.to_vec(),
             };
-            journal.write_all(&encode_record(&rec))?;
+            let encoded = encode_record(&rec);
+            let receipt =
+                CheckpointReceipt { bytes: encoded.len() as u64, pages: rec.changed.len() as u64 };
+            journal.write_all(&encoded)?;
             journal.sync_all()?;
             for (ppn, data) in rec.changed {
                 self.cache.insert(ppn, data);
@@ -272,18 +302,23 @@ impl ShardCheckpointWriter {
             for ppn in rec.removed {
                 self.cache.remove(&ppn);
             }
+            Ok(receipt)
         } else {
             // First checkpoint: full base snapshot, then a fresh journal
             // bound to it. Order matters — see the module docs.
             let bytes = encode_snapshot(state, progress);
             let base_id = crc32(&bytes);
+            let receipt = CheckpointReceipt {
+                bytes: bytes.len() as u64,
+                pages: state.machine.phys.frames.len() as u64,
+            };
             write_atomic(&self.dir.join(BASE_FILE), &bytes)?;
             write_atomic(&self.dir.join(JOURNAL_FILE), &encode_journal_header(base_id))?;
             let journal = OpenOptions::new().append(true).open(self.dir.join(JOURNAL_FILE))?;
             self.journal = Some(journal);
             self.seq = 0;
             self.cache = state.machine.phys.frames.iter().map(|(p, d)| (*p, d.clone())).collect();
+            Ok(receipt)
         }
-        Ok(())
     }
 }

@@ -28,7 +28,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use indra_fleet::{shard_schedule, FleetConfig, ShardOutput, ShardPlan, StealthEvent};
-use indra_persist::{PersistError, ShardCheckpointWriter, SnapshotStore};
+use indra_persist::{CheckpointReceipt, PersistError, ShardCheckpointWriter, SnapshotStore};
 
 use crate::cell::{ReplicaCell, TAG_DEAD, TAG_QUARANTINED};
 
@@ -97,6 +97,7 @@ pub struct ReplicaGroup {
     rejuvenate_every: Option<u64>,
     stealth: Vec<StealthEvent>,
     stealth_next: usize,
+    wal: CheckpointReceipt,
     /// Counters the runner folds into [`indra_fleet::SupervisionStats`].
     pub counters: GroupCounters,
 }
@@ -137,6 +138,7 @@ impl ReplicaGroup {
             rejuvenate_every,
             stealth,
             stealth_next: 0,
+            wal: CheckpointReceipt::default(),
             counters: GroupCounters::default(),
         })
     }
@@ -304,7 +306,7 @@ impl ReplicaGroup {
             return Ok(());
         }
         let state = self.cells[0].freeze();
-        self.writer.checkpoint(&state, &self.cursor.to_le_bytes())?;
+        self.wal.absorb(self.writer.checkpoint(&state, &self.cursor.to_le_bytes())?);
         Ok(())
     }
 
@@ -342,6 +344,7 @@ impl ReplicaGroup {
             wall_seconds: leader.wall_seconds(),
             superblocks: leader.superblock_stats(),
             predecode: leader.predecode_stats(),
+            wal: self.wal,
             plan: self.plan,
         };
         (output, self.counters)

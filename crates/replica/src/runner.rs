@@ -132,6 +132,8 @@ pub fn run_fleet_replicated(
             wall_seconds: o.wall_seconds,
             superblocks: o.superblocks,
             predecode: o.predecode,
+            wal_bytes: o.wal.bytes,
+            wal_pages: o.wal.pages,
         })
         .collect();
 
@@ -206,5 +208,6 @@ fn clone_output(out: &ShardOutput) -> ShardOutput {
         wall_seconds: out.wall_seconds,
         superblocks: out.superblocks,
         predecode: out.predecode,
+        wal: out.wal,
     }
 }

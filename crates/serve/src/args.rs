@@ -33,13 +33,20 @@ loopback TCP, deterministic record/replay)
 USAGE: fleetd --state DIR [--port N] [--shards N] [--app NAME]
               [--scale N] [--queue-depth N] [--checkpoint-every N]
               [--seed N] [--replicas K] [--rejuvenate-every N]
-              [--no-superblocks] [--out PATH] [--quick]
+              [--no-superblocks] [--no-compartments] [--out PATH]
+              [--quick]
        fleetd --replay DIR [--out PATH]
 
 --no-superblocks disables the host-side superblock execution engine
 (hot basic blocks batched into pre-validated micro-op traces); the
 simulated stats are byte-identical either way. Persisted to
 `serve.meta`, so a resumed or replayed run keeps the setting.
+
+--no-compartments disables per-request compartments (fine-grained
+rewind-and-discard of only the guilty request's pages and heap arena
+on detection). Attack-free stats are byte-identical either way; under
+attack, compartments retry benign requests instead of losing them.
+Persisted to `serve.meta` like the other sim knobs.
 
 Replication: --replicas K (1-3, default 1) shadows every shard's
 authoritative primary with K-1 voting followers fed the identical
@@ -138,6 +145,7 @@ pub fn parse_fleetd_args(args: impl Iterator<Item = String>) -> Result<FleetdArg
                 out.serve.rejuvenate_every = Some(n);
             }
             "--no-superblocks" => out.serve.engine.superblocks = false,
+            "--no-compartments" => out.serve.engine.compartments = false,
             "--replay" => out.replay = Some(PathBuf::from(value(&mut args, "--replay")?)),
             "--out" => out.out = Some(PathBuf::from(value(&mut args, "--out")?)),
             "--quick" => out.quick = true,
@@ -335,6 +343,10 @@ mod tests {
         let a = parse_fleetd_args(sv(&["--state", "d", "--no-superblocks"])).unwrap();
         assert!(!a.serve.engine.superblocks);
         assert!(FLEETD_USAGE.contains("--no-superblocks"));
+        assert!(a.serve.engine.compartments, "compartments default on");
+        let a = parse_fleetd_args(sv(&["--state", "d", "--no-compartments"])).unwrap();
+        assert!(!a.serve.engine.compartments);
+        assert!(FLEETD_USAGE.contains("--no-compartments"));
     }
 
     #[test]

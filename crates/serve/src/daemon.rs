@@ -673,7 +673,9 @@ fn shard_worker(
                 since_checkpoint = 0;
                 log.sync().map_err(ShardError::Persist)?;
                 let (state, cursor) = runner.freeze();
-                w.checkpoint(&state, &cursor_blob(cursor)).map_err(ShardError::Persist)?;
+                let receipt =
+                    w.checkpoint(&state, &cursor_blob(cursor)).map_err(ShardError::Persist)?;
+                runner.wal.absorb(receipt);
             }
         }
     }
@@ -682,7 +684,8 @@ fn shard_worker(
     log.sync().map_err(ShardError::Persist)?;
     if let Some(w) = writer.as_mut() {
         let (state, cursor) = runner.freeze();
-        w.checkpoint(&state, &cursor_blob(cursor)).map_err(ShardError::Persist)?;
+        let receipt = w.checkpoint(&state, &cursor_blob(cursor)).map_err(ShardError::Persist)?;
+        runner.wal.absorb(receipt);
     }
     shared.draining.store(true, Ordering::SeqCst);
     Ok(runner.finish(true))

@@ -24,7 +24,9 @@ use std::time::Instant;
 
 use indra_core::{IndraSystem, RecoveryLevel, SchemeKind, SystemConfig, SystemState};
 use indra_fleet::{ShardError, ShardOutput, ShardPlan};
-use indra_persist::{IngressKind, IngressRecord, PersistError, WireReader, WireWriter};
+use indra_persist::{
+    CheckpointReceipt, IngressKind, IngressRecord, PersistError, WireReader, WireWriter,
+};
 use indra_rng::derive_seed;
 use indra_workloads::{build_app_scaled, ServiceApp, WorkloadSpec};
 
@@ -57,6 +59,11 @@ pub struct EngineConfig {
     /// Superblock execution engine (sim-identical either way, like
     /// `fast_paths`; only the host's speed moves).
     pub superblocks: bool,
+    /// Per-request compartments: fine-grained rewind-and-discard on
+    /// detection. Sim-identical on attack-free fault-free traffic; under
+    /// attack it changes recovery outcomes by design, so it is a
+    /// deterministic knob and must travel through `serve.meta`.
+    pub compartments: bool,
 }
 
 impl Default for EngineConfig {
@@ -71,6 +78,7 @@ impl Default for EngineConfig {
             run_slice_steps: 200_000,
             seed: 0x5e71_ce00,
             superblocks: true,
+            compartments: true,
         }
     }
 }
@@ -113,6 +121,7 @@ pub fn encode_engine_meta(cfg: &EngineConfig) -> Vec<u8> {
     w.u64(cfg.run_slice_steps);
     w.u64(cfg.seed);
     w.bool(cfg.superblocks);
+    w.bool(cfg.compartments);
     w.finish()
 }
 
@@ -136,6 +145,7 @@ pub fn decode_engine_meta(bytes: &[u8]) -> Result<EngineConfig, PersistError> {
         run_slice_steps: r.u64("serve meta slice")?,
         seed: r.u64("serve meta seed")?,
         superblocks: r.bool("serve meta superblocks")?,
+        compartments: r.bool("serve meta compartments")?,
     };
     r.expect_exhausted("serve meta trailing bytes")?;
     Ok(cfg)
@@ -203,6 +213,7 @@ impl ShardEngine {
             },
             scheme: cfg.scheme,
             monitoring: true,
+            compartments: cfg.compartments,
             ..SystemConfig::default()
         };
         let mut sys = IndraSystem::new(sys_cfg);
@@ -287,6 +298,11 @@ pub struct ShardRunner {
     cursor: u64,
     /// Engine rebuilds performed (each is one revival).
     pub revivals: u64,
+    /// WAL-delta volume the daemon's checkpoints wrote for this shard.
+    /// Host-side observation: the daemon absorbs each checkpoint's
+    /// receipt here, and it flows to [`ShardOutput::wal`] — never into
+    /// the deterministic stats.
+    pub wal: CheckpointReceipt,
 }
 
 impl ShardRunner {
@@ -305,6 +321,7 @@ impl ShardRunner {
             tombstones: BTreeSet::new(),
             cursor: 0,
             revivals: 0,
+            wal: CheckpointReceipt::default(),
         })
     }
 
@@ -504,6 +521,7 @@ impl ShardRunner {
             wall_seconds: self.engine.started.elapsed().as_secs_f64(),
             superblocks,
             predecode,
+            wal: self.wal,
         }
     }
 }
@@ -530,6 +548,7 @@ mod tests {
             scheme: SchemeKind::UndoLog,
             fast_paths: false,
             superblocks: false,
+            compartments: false,
             ..EngineConfig::default()
         };
         assert_eq!(decode_engine_meta(&encode_engine_meta(&cfg)).unwrap(), cfg);

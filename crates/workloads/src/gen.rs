@@ -71,8 +71,11 @@ pub fn build_service(spec: &WorkloadSpec) -> Image {
     // ---- data ----------------------------------------------------------
     let rxbuf = b.data_zeroed("rxbuf", RX_CAPACITY);
     let txbuf = b.data_zeroed("txbuf", 1024);
-    let latch = b.data_zeroed("latch", 8);
-    let wildflag = b.data_zeroed("wildflag", 8);
+    // Each flag word gets its own 64-byte cache line: compartment tagging
+    // attributes writers per line, and the latch must not share a line
+    // with the wild-write flag or `reqcopy` or provenance would alias.
+    let latch = b.data_zeroed("latch", 64);
+    let wildflag = b.data_zeroed("wildflag", 64);
     let reqcopy = b.data_zeroed("reqcopy", VULN_BUF_LEN);
     // `handlers` is emitted immediately after `reqcopy`: the adjacency IS
     // vulnerability 2 (an over-long ingest overwrites handlers[0]).

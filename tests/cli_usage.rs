@@ -78,6 +78,37 @@ fn fleet_clis_accept_no_superblocks() {
     assert!(!ok && err.contains("--state"), "flag must parse, later error still trips: {err}");
 }
 
+/// `--no-compartments` must parse on every CLI that persists or
+/// measures the compartment setting: the flag travels through run
+/// metadata (fleetbench/fleetd) and labels benchmark output
+/// (compartmentbench), so all three must know it.
+#[test]
+fn fleet_clis_accept_no_compartments() {
+    let bin = env!("CARGO_BIN_EXE_fleetbench");
+    let (ok, out, _) = run(bin, &["--help"]);
+    assert!(ok && out.contains("--no-compartments"), "fleetbench usage must document it: {out}");
+    let (ok, _, err) = run(bin, &["--no-compartments", "--shards", "zero"]);
+    assert!(!ok && err.contains("--shards"), "flag must parse, later error still trips: {err}");
+
+    let bin = env!("CARGO_BIN_EXE_fleetd");
+    let (ok, out, _) = run(bin, &["--help"]);
+    assert!(ok && out.contains("--no-compartments"), "fleetd usage must document it: {out}");
+    let (ok, _, err) = run(bin, &["--no-compartments", "--port", "1"]);
+    assert!(!ok && err.contains("--state"), "flag must parse, later error still trips: {err}");
+}
+
+#[test]
+fn compartmentbench_rejects_unknown_and_malformed_flags() {
+    let bin = env!("CARGO_BIN_EXE_compartmentbench");
+    let (ok, _, err) = run(bin, &["--frobnicate"]);
+    assert!(!ok, "unknown flag must exit nonzero");
+    assert!(err.contains("unknown option --frobnicate") && err.contains("USAGE"), "{err}");
+    let (ok, _, err) = run(bin, &["--assert-discards-min", "lots"]);
+    assert!(!ok && err.contains("--assert-discards-min"), "{err}");
+    let (ok, out, _) = run(bin, &["--help"]);
+    assert!(ok && out.contains("USAGE") && out.contains("--assert-benign-lost-max"), "{out}");
+}
+
 #[test]
 fn fleetd_rejects_unknown_and_malformed_flags() {
     let bin = env!("CARGO_BIN_EXE_fleetd");

@@ -162,6 +162,10 @@ fn dormant_attack_defeats_micro_but_hybrid_recovers() {
     let mut cfg = SystemConfig::default();
     cfg.hybrid.macro_interval = 2;
     cfg.hybrid.failure_threshold = 2;
+    // Compartments would attribute the very first victim fault to the
+    // planter's sealed compartment and heal at micro level — this test
+    // exercises the macro-escalation path, so turn them off.
+    cfg.compartments = false;
     let mut sys = IndraSystem::new(cfg);
     sys.deploy(&image).unwrap();
 
