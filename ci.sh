@@ -170,10 +170,13 @@ for app in ftpd httpd bind sendmail imap nfs; do
 done
 
 echo "== static analysis: fixtures trigger their expected findings"
-# results/ANALYZE_expected.json maps fixture name -> finding kind; the
-# analyzer must report exactly the advertised kind for each one.
-FIXTURES="$(tr ',{}' '\n' < results/ANALYZE_expected.json | sed 's/"//g; s/^ *//' | grep ':')"
-[ -n "$FIXTURES" ] || { echo "results/ANALYZE_expected.json parsed empty" >&2; exit 1; }
+# results/ANALYZE_expected.json carries two sections: "fixtures" maps
+# fixture name -> finding kind (the analyzer must report exactly the
+# advertised kind for each), and "surface" locks every stock app's
+# attack-surface score (gated below).
+FIXTURES="$(sed -n 's/.*"fixtures":{\([^}]*\)}.*/\1/p' results/ANALYZE_expected.json \
+  | tr ',' '\n' | tr -d '"')"
+[ -n "$FIXTURES" ] || { echo "ANALYZE_expected.json: fixtures section parsed empty" >&2; exit 1; }
 while IFS=: read -r name kind; do
   ./target/release/ir32 analyze --fixture "$name" --json \
     | grep -qF "\"kind\":\"$kind\"" || {
@@ -181,5 +184,48 @@ while IFS=: read -r name kind; do
     exit 1
   }
 done <<< "$FIXTURES"
+
+echo "== static analysis: benign attack-surface scores are locked"
+# `ir32 gadgets` prices the residual in-policy surface of every stock
+# workload; the committed scores are a regression lock — a new dispatch
+# site, writable slot or registered target moves the number and must be
+# acknowledged by updating results/ANALYZE_expected.json.
+SURFACE="$(sed -n 's/.*"surface":{\([^}]*\)}.*/\1/p' results/ANALYZE_expected.json \
+  | tr ',' '\n' | tr -d '"')"
+[ -n "$SURFACE" ] || { echo "ANALYZE_expected.json: surface section parsed empty" >&2; exit 1; }
+while IFS=: read -r app score; do
+  GADGET_JSON="$(./target/release/ir32 gadgets --app "$app" --scale 20 --json || true)"
+  echo "$GADGET_JSON" | grep -qF "\"attack_surface\":$score" || {
+    echo "ir32 gadgets --app $app surface moved off the locked score $score" >&2
+    echo "$GADGET_JSON" >&2
+    exit 1
+  }
+done <<< "$SURFACE"
+
+echo "== smoke: red-team campaign is deterministic and scores detections"
+# Two quick campaigns from the same seed must produce byte-identical
+# JSON (no wall-clock leaks into the report), exercise all four attack
+# families, score at least one detection — and keep at least one
+# payload that runs undetected (the in-policy JOP plant the gadget
+# finder predicts).
+RT_A="$SMOKE_DIR/BENCH_redteam_a.json"
+RT_B="$SMOKE_DIR/BENCH_redteam_b.json"
+timeout 300 ./target/release/redteambench --quick --seed 7 --out "$RT_A" \
+  --assert-families-min 4 --assert-detections-min 1 --assert-undetected-min 1
+timeout 300 ./target/release/redteambench --quick --seed 7 --out "$RT_B" > /dev/null
+cmp "$RT_A" "$RT_B" || {
+  echo "redteambench output is not byte-deterministic for a fixed seed" >&2
+  exit 1
+}
+for key in '"bench":"redteam"' '"family":"jop_chain"' '"family":"rop_ret"' \
+           '"family":"dormant_span"' '"family":"exhaust"' '"latency"'; do
+  grep -qF "$key" "$RT_A" || {
+    echo "BENCH_redteam json is missing $key" >&2
+    exit 1
+  }
+done
+
+echo "== red-team corpus replays to its pinned outcomes"
+cargo test -q --test redteam_corpus
 
 echo "CI green."

@@ -47,6 +47,10 @@ pub fn fixture(name: &str) -> Option<Image> {
         "illegal_words" => Some(illegal_words()),
         "fallthrough" => Some(fallthrough()),
         "recursive" => Some(recursive()),
+        // Not in FIXTURE_NAMES (its declarations are clean); resolvable
+        // here so `ir32 gadgets --fixture gadget_chain` can demo the
+        // offensive pass.
+        "gadget_chain" => Some(gadget_chain()),
         _ => None,
     }
 }
@@ -132,4 +136,45 @@ fn fallthrough() -> Image {
 /// Direct self-recursion: the shadow-stack depth has no static bound.
 fn recursive() -> Image {
     asm("recursive", "main:\n    call spin\n    halt\nspin:\n    call spin\n    ret\n")
+}
+
+/// A dispatch table of two registered handlers whose bodies are short
+/// store gadgets ending in further indirect transfers: the canonical
+/// CFI-respecting gadget chain, with writable code-pointer slots an
+/// attacker overwrites to steer it.
+///
+/// Not in [`FIXTURE_NAMES`]: its declared policy is *correct* (the
+/// analyzer reports no misdeclaration), so it backs the offensive
+/// [`crate::enumerate_gadgets`] pass and the `ir32 gadgets` CLI rather
+/// than the `analyze` cross-check.
+#[must_use]
+pub fn gadget_chain() -> Image {
+    asm(
+        "gadget_chain",
+        concat!(
+            "    .data\n",
+            "handlers:\n",
+            "    .target store_a, store_b\n",
+            "scratch:\n",
+            "    .space 16\n",
+            "    .text\n",
+            "main:\n",
+            "    la t0, handlers\n",
+            "    lw t1, 0(t0)\n",
+            "    jalr t1\n",
+            "    halt\n",
+            "store_a:\n",
+            "    la s0, scratch\n",
+            "    sw a0, 0(s0)\n",
+            "    la t2, handlers\n",
+            "    lw t2, 4(t2)\n",
+            "    jr t2\n",
+            "store_b:\n",
+            "    addi a1, zero, 7\n",
+            "    la t3, handlers\n",
+            "    lw t3, 0(t3)\n",
+            "    jalr t3\n",
+            "    halt\n",
+        ),
+    )
 }

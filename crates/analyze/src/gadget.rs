@@ -1,0 +1,480 @@
+//! CFI-aware gadget enumeration: the *offensive* reading of a tightened
+//! policy.
+//!
+//! [`crate::tighten`] narrows an image's declared indirect targets to
+//! what the analysis can justify; the monitor then flags any indirect
+//! transfer elsewhere. This module asks the attacker's follow-up
+//! question: **what remains reachable without tripping that policy?**
+//! Every registered target is a legal landing site, so the straight-line
+//! suffix from a registered target to its first control transfer is a
+//! *gadget* — code an attacker who controls a code pointer can run
+//! in-policy. Gadgets ending in another indirect transfer chain: the
+//! next hop may land on any registered target, and the monitor approves
+//! every step.
+//!
+//! The output is a [`SurfaceReport`]: the gadget catalog with per-gadget
+//! effect summaries (registers clobbered, memory written, syscalls
+//! reachable), writable memory slots already holding registered targets
+//! (one overwrite away from redirecting an in-policy dispatch), a
+//! representative gadget chain, typed findings, and a scalar
+//! `attack_surface` score the CI locks per stock workload.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use indra_isa::{Image, Instruction, Reg};
+
+use crate::cfg::{ends_block, Cfg, Disassembly};
+use crate::policy::{analyze_image, dest_reg, Finding, FindingKind, MAX_PER_KIND};
+
+/// Longest straight-line suffix considered a gadget. Beyond this an
+/// attacker is just running the program; the interesting primitives are
+/// short.
+const MAX_GADGET_LEN: u32 = 32;
+
+/// How a gadget's terminating indirect transfer is checked at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GadgetKind {
+    /// `jalr ra, …` — checked against the registered indirect targets;
+    /// any registered target is a legal next hop.
+    IndirectCall,
+    /// `jalr` writing neither `ra` nor reading it — a computed jump,
+    /// checked against the registered targets like a call.
+    IndirectJump,
+    /// `jalr …, ra` — a return, constrained by the shadow stack to the
+    /// recorded call site; not attacker-steerable under the monitor.
+    Return,
+}
+
+impl GadgetKind {
+    /// Stable snake_case name used in `--json` output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GadgetKind::IndirectCall => "indirect_call",
+            GadgetKind::IndirectJump => "indirect_jump",
+            GadgetKind::Return => "return",
+        }
+    }
+}
+
+/// What executing one gadget does to machine state, from a linear
+/// abstract interpretation of its straight-line body.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GadgetEffects {
+    /// Bitmask of register indices the gadget writes (bit `i` =
+    /// register index `i`, including the terminator's link register).
+    pub regs_clobbered: u32,
+    /// Stores executed by the straight-line body.
+    pub mem_writes: u32,
+    /// Loads executed by the straight-line body.
+    pub mem_reads: u32,
+    /// A `syscall` instruction is reachable in the CFG from the gadget
+    /// entry without leaving the registered policy.
+    pub syscall_reachable: bool,
+}
+
+/// One CFI-respecting gadget: the straight-line suffix from a registered
+/// indirect target to its first control transfer, when that transfer is
+/// itself indirect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gadget {
+    /// The registered indirect target the gadget starts at — a legal
+    /// landing site under the tightened policy.
+    pub entry: u32,
+    /// Instructions from entry to the terminator, inclusive.
+    pub insns: u32,
+    /// Address of the terminating indirect transfer.
+    pub transfer_at: u32,
+    /// How the terminator is checked at runtime.
+    pub kind: GadgetKind,
+    /// In-policy targets the terminator may reach: the full registered
+    /// set for calls/jumps, empty for shadow-stack-constrained returns.
+    pub targets: Vec<u32>,
+    /// Effect summary of the straight-line body.
+    pub effects: GadgetEffects,
+}
+
+/// One writable data word already holding a registered indirect target —
+/// a code-pointer slot an attacker overwrites to redirect an in-policy
+/// dispatch without ever leaving the registered target set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WritableSlot {
+    /// Address of the writable word.
+    pub addr: u32,
+    /// The registered target it holds.
+    pub target: u32,
+    /// Name of the segment the slot lives in.
+    pub segment: String,
+}
+
+/// Attack-surface statistics from one enumeration pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SurfaceStats {
+    /// Indirect targets the tightened policy registers.
+    pub registered_targets: u64,
+    /// Reachable indirect call/jump sites (returns excluded — the
+    /// shadow stack pins them).
+    pub dispatch_sites: u64,
+    /// `dispatch_sites × registered_targets`: transfer pairs the
+    /// monitor approves.
+    pub in_policy_pairs: u64,
+    /// Gadgets cataloged (all kinds).
+    pub gadgets: u64,
+    /// Gadgets whose terminator can steer to another gadget entry.
+    pub chainable_gadgets: u64,
+    /// Writable data words holding registered targets.
+    pub writable_slots: u64,
+    /// Registered targets from which a `syscall` is reachable.
+    pub syscall_reachable_targets: u64,
+    /// Scalar attack-surface score:
+    /// `in_policy_pairs + 16·writable_slots + 8·syscall_reachable_targets`.
+    pub attack_surface: u64,
+}
+
+/// The full result of enumerating an image's residual attack surface.
+#[derive(Debug, Clone)]
+pub struct SurfaceReport {
+    /// Image name, for diagnostics.
+    pub image: String,
+    /// Cataloged gadgets, ordered by entry address.
+    pub gadgets: Vec<Gadget>,
+    /// Writable code-pointer slots, ordered by address.
+    pub writable_slots: Vec<WritableSlot>,
+    /// A representative in-policy gadget chain (entry addresses, every
+    /// hop approved by the monitor), empty when fewer than two gadgets
+    /// chain.
+    pub chain: Vec<u32>,
+    /// Typed offensive findings, ordered by kind then address.
+    pub findings: Vec<Finding>,
+    /// Finding kinds whose occurrences exceeded the per-kind cap:
+    /// kind name → total occurrences found.
+    pub truncated: BTreeMap<&'static str, u64>,
+    /// Summary statistics, including the `attack_surface` score.
+    pub stats: SurfaceStats,
+}
+
+impl SurfaceReport {
+    /// `true` when the enumeration produced no findings — no gadget
+    /// chains, no writable slots, no residual dispatch surface.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Classifies a `jalr` terminator.
+fn classify(rd: Reg, rs1: Reg) -> GadgetKind {
+    if rd == Reg::RA {
+        GadgetKind::IndirectCall
+    } else if rs1 == Reg::RA {
+        GadgetKind::Return
+    } else {
+        GadgetKind::IndirectJump
+    }
+}
+
+/// Walks the straight-line suffix from `entry`; `Some` when it ends in
+/// an indirect transfer within [`MAX_GADGET_LEN`] cleanly-decoding
+/// instructions.
+fn walk_gadget(disasm: &Disassembly, entry: u32, registered: &BTreeSet<u32>) -> Option<Gadget> {
+    let mut addr = entry;
+    let mut effects = GadgetEffects::default();
+    for n in 1..=MAX_GADGET_LEN {
+        let inst = disasm.words.get(&addr)?.inst?;
+        if let Some(rd) = dest_reg(inst) {
+            effects.regs_clobbered |= 1 << rd.index();
+        }
+        match inst {
+            Instruction::Store { .. } => effects.mem_writes += 1,
+            Instruction::Load { .. } => effects.mem_reads += 1,
+            _ => {}
+        }
+        if ends_block(inst) {
+            let Instruction::Jalr { rd, rs1, .. } = inst else { return None };
+            let kind = classify(rd, rs1);
+            let targets = match kind {
+                GadgetKind::Return => Vec::new(),
+                _ => registered.iter().copied().collect(),
+            };
+            return Some(Gadget { entry, insns: n, transfer_at: addr, kind, targets, effects });
+        }
+        addr = addr.wrapping_add(4);
+    }
+    None
+}
+
+/// Block-level fixed point: the set of block starts from which a
+/// `syscall` instruction is reachable, following fall-through/branch
+/// edges, direct-call edges, and dispatch edges to every registered
+/// block (an indirect transfer may legally land on any of them).
+fn syscall_reaching_blocks(
+    disasm: &Disassembly,
+    cfg: &Cfg,
+    registered: &BTreeSet<u32>,
+) -> BTreeSet<u32> {
+    // Address → containing block start, and the per-block facts.
+    let mut block_of: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut has_syscall: BTreeSet<u32> = BTreeSet::new();
+    let mut dispatches: BTreeSet<u32> = BTreeSet::new();
+    for b in &cfg.blocks {
+        for i in 0..b.insns {
+            let a = b.start.wrapping_add(4 * i);
+            block_of.insert(a, b.start);
+            match disasm.words.get(&a).and_then(|cw| cw.inst) {
+                Some(Instruction::Syscall { .. }) => {
+                    has_syscall.insert(b.start);
+                }
+                Some(Instruction::Jalr { rd, rs1, .. })
+                    if classify(rd, rs1) != GadgetKind::Return =>
+                {
+                    dispatches.insert(b.start);
+                }
+                _ => {}
+            }
+        }
+    }
+    let registered_blocks: Vec<u32> =
+        registered.iter().filter_map(|t| block_of.get(t).copied()).collect();
+
+    let mut edges: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    for b in &cfg.blocks {
+        let out = edges.entry(b.start).or_default();
+        out.extend(b.succs.iter().copied());
+        if dispatches.contains(&b.start) {
+            out.extend(registered_blocks.iter().copied());
+        }
+    }
+    for &(site, target) in &cfg.call_sites {
+        if let (Some(&from), Some(&to)) = (block_of.get(&site), block_of.get(&target)) {
+            edges.entry(from).or_default().insert(to);
+        }
+    }
+
+    let mut can = has_syscall;
+    loop {
+        let mut grew = false;
+        for (&from, out) in &edges {
+            if !can.contains(&from) && out.iter().any(|t| can.contains(t)) {
+                can.insert(from);
+                grew = true;
+            }
+        }
+        if !grew {
+            return can;
+        }
+    }
+}
+
+/// Enumerates the residual attack surface of an image under its own
+/// tightened policy: every CFI-respecting gadget, every writable
+/// code-pointer slot, and the in-policy transfer pairs that survive
+/// [`crate::tighten`].
+///
+/// Never panics, whatever the bytes — hostile images degrade to an
+/// empty or partial catalog, exactly like [`analyze_image`].
+#[must_use]
+pub fn enumerate_gadgets(image: &Image) -> SurfaceReport {
+    let policy = analyze_image(image);
+    let registered = &policy.tightened.indirect_targets;
+    let disasm = Disassembly::of_image(image);
+
+    // Attacker-relevant reachability: what control can touch starting
+    // from the program entry or any registered landing site.
+    let mut roots: BTreeSet<u32> = registered.clone();
+    roots.insert(image.entry);
+    let cfg = Cfg::build(&disasm, &roots);
+
+    let gadgets: Vec<Gadget> =
+        registered.iter().filter_map(|&t| walk_gadget(&disasm, t, registered)).collect();
+
+    // Writable code-pointer slots: aligned words of writable,
+    // non-executable initialized data holding a registered target.
+    let mut writable_slots = Vec::new();
+    for seg in image.segments.iter().filter(|s| s.perms.write && !s.perms.execute) {
+        let mut off = (4 - (seg.vaddr % 4) as usize) % 4;
+        while off + 4 <= seg.data.len() {
+            let w = u32::from_le_bytes([
+                seg.data[off],
+                seg.data[off + 1],
+                seg.data[off + 2],
+                seg.data[off + 3],
+            ]);
+            if registered.contains(&w) {
+                writable_slots.push(WritableSlot {
+                    addr: seg.vaddr.wrapping_add(off as u32),
+                    target: w,
+                    segment: seg.name.clone(),
+                });
+            }
+            off += 4;
+        }
+    }
+
+    // Representative chain: chainable gadgets (steerable terminator)
+    // linked in address order — each hop lands on the next gadget's
+    // entry, which its predecessor's target set contains by
+    // construction, so the monitor approves every transfer.
+    let chainable: Vec<u32> = gadgets
+        .iter()
+        .filter(|g| g.kind != GadgetKind::Return && !g.targets.is_empty())
+        .map(|g| g.entry)
+        .collect();
+    let chain: Vec<u32> =
+        if chainable.len() >= 2 { chainable.iter().take(8).copied().collect() } else { Vec::new() };
+
+    // Dispatch sites: reachable indirect transfers the registered set
+    // (not the shadow stack) constrains.
+    let dispatch_sites = cfg
+        .reachable
+        .iter()
+        .filter_map(|a| disasm.words.get(a).and_then(|cw| cw.inst))
+        .filter(|i| {
+            matches!(i, Instruction::Jalr { rd, rs1, .. }
+                if classify(*rd, *rs1) != GadgetKind::Return)
+        })
+        .count() as u64;
+
+    let reaching = syscall_reaching_blocks(&disasm, &cfg, registered);
+    let syscall_reachable_targets =
+        registered.iter().filter(|t| reaching.contains(t)).count() as u64;
+    let gadgets: Vec<Gadget> = gadgets
+        .into_iter()
+        .map(|mut g| {
+            g.effects.syscall_reachable = reaching.contains(&g.entry);
+            g
+        })
+        .collect();
+
+    let in_policy_pairs = dispatch_sites * registered.len() as u64;
+    let stats = SurfaceStats {
+        registered_targets: registered.len() as u64,
+        dispatch_sites,
+        in_policy_pairs,
+        gadgets: gadgets.len() as u64,
+        chainable_gadgets: chainable.len() as u64,
+        writable_slots: writable_slots.len() as u64,
+        syscall_reachable_targets,
+        attack_surface: in_policy_pairs
+            + 16 * writable_slots.len() as u64
+            + 8 * syscall_reachable_targets,
+    };
+
+    // -- Findings.
+    let mut findings = Vec::new();
+    let mut truncated: BTreeMap<&'static str, u64> = BTreeMap::new();
+
+    if in_policy_pairs > 0 {
+        findings.push(Finding {
+            kind: FindingKind::PolicyResidualSurface,
+            addr: None,
+            detail: format!(
+                "{dispatch_sites} reachable dispatch site(s) × {} registered target(s) = \
+                 {in_policy_pairs} in-policy transfer pair(s) survive tightening",
+                registered.len()
+            ),
+        });
+    }
+    for slot in writable_slots.iter().take(MAX_PER_KIND) {
+        findings.push(Finding {
+            kind: FindingKind::WritableCodePointerSlot,
+            addr: Some(slot.addr),
+            detail: format!(
+                "writable word in {} holds registered target {:#010x} — one overwrite \
+                 redirects an in-policy dispatch",
+                slot.segment, slot.target
+            ),
+        });
+    }
+    if writable_slots.len() > MAX_PER_KIND {
+        truncated
+            .insert(FindingKind::WritableCodePointerSlot.as_str(), writable_slots.len() as u64);
+    }
+    if chain.len() >= 2 {
+        let path: Vec<String> = chain.iter().map(|a| format!("{a:#010x}")).collect();
+        findings.push(Finding {
+            kind: FindingKind::ReachableGadgetChain,
+            addr: chain.first().copied(),
+            detail: format!(
+                "{} chainable gadget(s) link under the registered policy: {} — every hop \
+                 is a monitor-approved transfer",
+                chainable.len(),
+                path.join(" → ")
+            ),
+        });
+    }
+
+    findings.sort_by_key(|f| (f.kind.as_str(), f.addr));
+    SurfaceReport {
+        image: image.name.clone(),
+        gadgets,
+        writable_slots,
+        chain,
+        findings,
+        truncated,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use indra_isa::assemble;
+
+    use super::*;
+
+    #[test]
+    fn straight_line_program_has_no_gadgets() {
+        let img = assemble("t", "main:\n    halt\n").unwrap();
+        let r = enumerate_gadgets(&img);
+        assert!(r.gadgets.is_empty());
+        assert_eq!(r.stats.attack_surface, 0);
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn dispatch_table_yields_chainable_gadgets_and_slots() {
+        let img = crate::fixtures::gadget_chain();
+        let r = enumerate_gadgets(&img);
+        assert!(r.stats.gadgets >= 2, "gadgets: {:?}", r.gadgets);
+        assert!(r.chain.len() >= 2, "chain: {:?}", r.chain);
+        assert!(r.stats.writable_slots >= 2, "slots: {:?}", r.writable_slots);
+        assert!(r.stats.attack_surface > 0);
+        for kind in [
+            FindingKind::ReachableGadgetChain,
+            FindingKind::WritableCodePointerSlot,
+            FindingKind::PolicyResidualSurface,
+        ] {
+            assert!(r.findings.iter().any(|f| f.kind == kind), "missing {kind}: {:?}", r.findings);
+        }
+    }
+
+    #[test]
+    fn return_gadgets_have_no_steerable_targets() {
+        let img = assemble(
+            "t",
+            ".data\ntable:\n    .target f\n.text\nmain:\n    call f\n    halt\nf:\n    ret\n",
+        )
+        .unwrap();
+        let r = enumerate_gadgets(&img);
+        for g in &r.gadgets {
+            if g.kind == GadgetKind::Return {
+                assert!(g.targets.is_empty(), "return gadget must not be steerable");
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_bytes_never_panic() {
+        use indra_isa::{Image, Perms, Segment};
+        let mut img = Image::new("garbage");
+        img.entry = 3;
+        img.segments.push(Segment {
+            name: "a".into(),
+            vaddr: 1,
+            data: vec![0xFF; 11],
+            size: 11,
+            perms: Perms::RX,
+        });
+        img.indirect_targets = (0..64u32).map(|k| k.wrapping_mul(0x4001_0003)).collect();
+        let _ = enumerate_gadgets(&img);
+    }
+}

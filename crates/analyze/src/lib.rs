@@ -29,9 +29,13 @@
 
 mod cfg;
 pub mod fixtures;
+mod gadget;
 mod policy;
 
 pub use cfg::{ends_block, successors, BasicBlock, CallGraph, Cfg, CodeWord, Disassembly};
+pub use gadget::{
+    enumerate_gadgets, Gadget, GadgetEffects, GadgetKind, SurfaceReport, SurfaceStats, WritableSlot,
+};
 pub use policy::{
     analyze_image, tighten, AppMetadata, Finding, FindingKind, PolicyReport, PolicyStats,
 };
@@ -103,6 +107,42 @@ mod tests {
         let i = fixtures::fixture("recursive").unwrap();
         let r = analyze_image(&i);
         assert_eq!(r.stats.max_call_depth, None);
+    }
+
+    #[test]
+    fn capped_kinds_surface_in_truncated_map() {
+        // 40 declared targets each landing on an illegal word: more
+        // occurrences than the per-kind cap. The list holds the first
+        // 32; the machine-readable `truncated` map carries the total —
+        // no prose-tail pseudo-findings.
+        use indra_isa::{Perms, Segment};
+        let mut i = img("main:\n    halt\n");
+        let base = 0x3000_0000u32;
+        i.segments.push(Segment {
+            name: ".junk".into(),
+            vaddr: base,
+            data: vec![0xFF; 40 * 4],
+            size: 40 * 4,
+            perms: Perms::RX,
+        });
+        for k in 0..40 {
+            i.indirect_targets.insert(base + 4 * k);
+        }
+        let r = analyze_image(&i);
+        let shown = r.findings.iter().filter(|f| f.kind == FindingKind::IllegalEncoding).count();
+        assert_eq!(shown, 32, "list capped at MAX_PER_KIND");
+        assert_eq!(r.truncated.get("illegal_encoding"), Some(&40));
+        assert!(
+            r.findings.iter().all(|f| f.addr.is_some()),
+            "no prose-tail findings without an address: {:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn uncapped_reports_have_empty_truncated_map() {
+        let i = img("main:\n    call f\n    halt\nf:\n    ret\n");
+        assert!(analyze_image(&i).truncated.is_empty());
     }
 
     #[test]

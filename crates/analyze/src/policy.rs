@@ -80,6 +80,17 @@ pub enum FindingKind {
     /// Recursion in the call graph: the shadow-stack depth cannot be
     /// statically bounded.
     CallGraphCycle,
+    /// Two or more CFI-respecting gadgets link into a chain every hop of
+    /// which the monitor approves (emitted by
+    /// [`crate::enumerate_gadgets`], never by [`analyze_image`]).
+    ReachableGadgetChain,
+    /// A writable data word already holds a registered indirect target —
+    /// one overwrite redirects an in-policy dispatch (emitted by
+    /// [`crate::enumerate_gadgets`]).
+    WritableCodePointerSlot,
+    /// Dispatch sites × registered targets pairs the tightened policy
+    /// still permits (emitted by [`crate::enumerate_gadgets`]).
+    PolicyResidualSurface,
 }
 
 impl FindingKind {
@@ -94,6 +105,9 @@ impl FindingKind {
             FindingKind::IllegalEncoding => "illegal_encoding",
             FindingKind::FallthroughOffSegmentEnd => "fallthrough_off_segment_end",
             FindingKind::CallGraphCycle => "call_graph_cycle",
+            FindingKind::ReachableGadgetChain => "reachable_gadget_chain",
+            FindingKind::WritableCodePointerSlot => "writable_code_pointer_slot",
+            FindingKind::PolicyResidualSurface => "policy_residual_surface",
         }
     }
 }
@@ -162,6 +176,11 @@ pub struct PolicyReport {
     /// The metadata a strict loader should register: declared policy
     /// narrowed to what the analysis can justify.
     pub tightened: AppMetadata,
+    /// Finding kinds whose occurrences exceeded the per-kind cap:
+    /// kind name → **total** occurrences found (of which only the first
+    /// [`MAX_PER_KIND`] appear in `findings`). Empty when nothing was
+    /// capped.
+    pub truncated: BTreeMap<&'static str, u64>,
 }
 
 impl PolicyReport {
@@ -173,8 +192,9 @@ impl PolicyReport {
 }
 
 /// Cap per finding kind: hostile blobs can make thousands of illegal or
-/// unreachable words, and one summary line serves the reader better.
-const MAX_PER_KIND: usize = 32;
+/// unreachable words; the excess is summarized in the report's
+/// `truncated` map instead of drowning the list.
+pub(crate) const MAX_PER_KIND: usize = 32;
 
 /// Statically analyzes an image: disassembles its executable segments,
 /// recovers CFG and call graph, derives the minimal CFI policy, and
@@ -223,6 +243,7 @@ pub fn analyze_image(image: &Image) -> PolicyReport {
 
     // -- Cross-check: findings.
     let mut findings = Vec::new();
+    let mut truncated: BTreeMap<&'static str, u64> = BTreeMap::new();
 
     for seg in image.segments.iter().filter(|s| s.perms.write && s.perms.execute) {
         let covered = image.dynamic_code_regions.iter().any(|&(base, size)| {
@@ -281,14 +302,7 @@ pub fn analyze_image(image: &Image) -> PolicyReport {
         });
     }
     if cfg.illegal.len() > MAX_PER_KIND {
-        findings.push(Finding {
-            kind: FindingKind::IllegalEncoding,
-            addr: None,
-            detail: format!(
-                "… and {} more reachable illegal words",
-                cfg.illegal.len() - MAX_PER_KIND
-            ),
-        });
+        truncated.insert(FindingKind::IllegalEncoding.as_str(), cfg.illegal.len() as u64);
     }
 
     for &addr in cfg.fallthrough_exits.iter().take(MAX_PER_KIND) {
@@ -339,11 +353,7 @@ pub fn analyze_image(image: &Image) -> PolicyReport {
         });
     }
     if runs.len() > MAX_PER_KIND {
-        findings.push(Finding {
-            kind: FindingKind::UnreachableCode,
-            addr: None,
-            detail: format!("… and {} more unreachable runs", runs.len() - MAX_PER_KIND),
-        });
+        truncated.insert(FindingKind::UnreachableCode.as_str(), runs.len() as u64);
     }
 
     if let Some(cycle) = &graph.cycle {
@@ -390,7 +400,7 @@ pub fn analyze_image(image: &Image) -> PolicyReport {
     };
 
     findings.sort_by_key(|f| (f.kind.as_str(), f.addr));
-    PolicyReport { image: image.name.clone(), findings, stats, tightened }
+    PolicyReport { image: image.name.clone(), findings, stats, tightened, truncated }
 }
 
 /// Derives the metadata a *strict* loader registers with the monitor: the
@@ -472,7 +482,7 @@ fn scan_address_taken(image: &Image, disasm: &Disassembly) -> BTreeMap<u32, Stri
 }
 
 /// The register an instruction writes, if any.
-fn dest_reg(inst: Instruction) -> Option<Reg> {
+pub(crate) fn dest_reg(inst: Instruction) -> Option<Reg> {
     match inst {
         Instruction::Alu { rd, .. }
         | Instruction::AluImm { rd, .. }

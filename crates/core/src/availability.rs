@@ -138,6 +138,7 @@ mod tests {
             was_malicious: true,
             level,
             at_cycle: at,
+            insns_into_request: 0,
             core,
             retried: false,
             discarded: None,

@@ -134,6 +134,11 @@ pub struct Detection {
     pub level: RecoveryLevel,
     /// Resurrectee cycle time of the recovery.
     pub at_cycle: u64,
+    /// Instructions the in-flight request had retired when the failure
+    /// was detected (0 when no request was in flight) — the detection
+    /// latency the red-team campaign scores payloads by: how much work
+    /// an attack got done before the monitor or watchdog stopped it.
+    pub insns_into_request: u64,
     /// The core the recovery ran on.
     pub core: usize,
     /// Whether the failed request was requeued for a retry (compartment
@@ -305,6 +310,7 @@ impl Detection {
                 },
             )
             .u64("at_cycle", self.at_cycle)
+            .u64("insns_into_request", self.insns_into_request)
             .u64("core", self.core as u64)
             .bool("retried", self.retried);
         match self.discarded {
@@ -923,6 +929,11 @@ impl IndraSystem {
         self.blocked.insert(core, false);
 
         let inf = self.in_flight.remove(&core);
+        // Detection latency: how far into the in-flight request the core
+        // got before the failure surfaced. Read before any rollback below
+        // can touch core state.
+        let insns_into_request =
+            inf.map_or(0, |i| self.machine.core(core).retired().saturating_sub(i.start_retired));
         let level =
             self.hybrids.get_mut(&core).map_or(RecoveryLevel::Micro, HybridController::on_failure);
         let mut cycles = 0u64;
@@ -990,6 +1001,7 @@ impl IndraSystem {
             was_malicious: inf.is_some_and(|i| i.malicious),
             level: effective_level,
             at_cycle: self.machine.core(core).cycles(),
+            insns_into_request,
             core,
             retried,
             discarded,

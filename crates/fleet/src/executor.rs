@@ -133,6 +133,7 @@ pub fn aggregate_stats(outputs: &[ShardOutput], latency: Histogram) -> FleetStat
         attacks_sent: sum(|s| s.attacks_sent),
         detections: sum(|s| s.detections),
         true_detections: sum(|s| s.true_detections),
+        detection_latency_insns: sum(|s| s.detection_latency_insns),
         micro_recoveries: sum(|s| s.micro_recoveries),
         macro_recoveries: sum(|s| s.macro_recoveries),
         faults_injected: sum(|s| s.faults_injected),

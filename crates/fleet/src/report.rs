@@ -31,6 +31,11 @@ pub struct ShardSummary {
     pub detections: u64,
     /// Detections whose in-flight request was genuinely malicious.
     pub true_detections: u64,
+    /// Instructions attackers got retired before detection, summed over
+    /// this shard's recovery episodes (per-detection
+    /// `insns_into_request`) — the fleet-level detection-latency
+    /// scoring counter the red-team campaign drives down.
+    pub detection_latency_insns: u64,
     /// Micro (per-request rollback) recoveries.
     pub micro_recoveries: u64,
     /// Macro (application checkpoint) recoveries.
@@ -60,6 +65,7 @@ impl ShardSummary {
             .u64("attacks_sent", self.attacks_sent)
             .u64("detections", self.detections)
             .u64("true_detections", self.true_detections)
+            .u64("detection_latency_insns", self.detection_latency_insns)
             .u64("micro_recoveries", self.micro_recoveries)
             .u64("macro_recoveries", self.macro_recoveries)
             .u64("faults_injected", self.faults_injected)
@@ -89,6 +95,9 @@ pub struct FleetStats {
     pub detections: u64,
     /// Detections that hit genuinely malicious requests.
     pub true_detections: u64,
+    /// Instructions attackers retired before detection, fleet-wide (sum
+    /// of per-detection `insns_into_request`).
+    pub detection_latency_insns: u64,
     /// Micro recoveries, fleet-wide.
     pub micro_recoveries: u64,
     /// Macro recoveries, fleet-wide.
@@ -122,6 +131,7 @@ impl FleetStats {
             .u64("attacks_sent", self.attacks_sent)
             .u64("detections", self.detections)
             .u64("true_detections", self.true_detections)
+            .u64("detection_latency_insns", self.detection_latency_insns)
             .u64("micro_recoveries", self.micro_recoveries)
             .u64("macro_recoveries", self.macro_recoveries)
             .u64("faults_injected", self.faults_injected)

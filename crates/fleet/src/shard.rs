@@ -149,6 +149,12 @@ impl ShardOutput {
             attacks_sent: self.attacks_sent,
             detections: self.report.detections.len() as u64,
             true_detections: self.report.true_detections() as u64,
+            detection_latency_insns: self
+                .report
+                .detections
+                .iter()
+                .map(|d| d.insns_into_request)
+                .sum(),
             micro_recoveries: self
                 .report
                 .detections

@@ -1224,6 +1224,7 @@ fn enc_report(w: &mut WireWriter, report: &RunReport) {
             RecoveryLevel::Macro => 1,
         });
         w.u64(d.at_cycle);
+        w.u64(d.insns_into_request);
         w.usize(d.core);
         w.bool(d.retried);
         w.opt_u64(d.discarded);
@@ -1272,6 +1273,7 @@ fn dec_report(r: &mut WireReader<'_>) -> WireResult<RunReport> {
                 _ => return Err(PersistError::Corrupt { context: "unknown recovery level" }),
             },
             at_cycle: r.u64("detection cycle")?,
+            insns_into_request: r.u64("detection insns")?,
             core: r.usize("detection core")?,
             retried: r.bool("detection retried")?,
             discarded: r.opt_u64("detection discarded")?,

@@ -27,7 +27,8 @@ use crate::{crc32, PersistError, WireReader, WireResult, WireWriter};
 /// Magic bytes opening every snapshot file.
 pub const MAGIC_SNAPSHOT: &[u8; 8] = b"INDRASNP";
 /// Format version written (and the only one read) by this build.
-pub const FORMAT_VERSION: u32 = 4;
+/// v5 added the per-detection `insns_into_request` scoring counter.
+pub const FORMAT_VERSION: u32 = 5;
 
 /// One physical page frame: page number + contents.
 pub type Frame = (u32, Box<[u8; PAGE_SIZE as usize]>);

@@ -1,0 +1,538 @@
+//! Coverage-guided campaign: evaluate, evolve and minimize payloads.
+//!
+//! Each candidate [`Genome`] runs against a *fresh* [`IndraSystem`]
+//! (deterministic — no state leaks between candidates): a benign warmup,
+//! the payload request(s), then trailing benign traffic so dormant
+//! corruption can express. The [`Score`] measures how far the attack got
+//! before detection — instructions retired into the failing request,
+//! writes that actually landed (read back through the MMU after the run,
+//! so post-recovery memory is what counts), policy checks the monitor
+//! approved, and benign requests served afterwards. Undetected payloads
+//! score highest; within a detected family, later detection wins.
+//!
+//! [`run_campaign`] does a small seeded evolutionary loop per family
+//! (random cohort → keep the fittest → mutate it), then greedily
+//! [`minimize`]s the best payload while preserving its *outcome class*
+//! (detected? same cause? writes still landing?) — the shrunken genomes
+//! become the regression corpus.
+
+use indra_core::{FailureCause, IndraSystem, RunState, SystemConfig, ViolationKind};
+use indra_isa::Image;
+use indra_rng::{derive_seed, Rng};
+use indra_workloads::{benign_request, build_app_scaled, ServiceApp};
+
+use crate::genome::{AttackFamily, Genome};
+
+/// How a run ended, collapsed to the classes the corpus pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CauseClass {
+    /// No detection at all.
+    None,
+    /// Monitor inspection fired (any [`ViolationKind`]).
+    Violation,
+    /// Hardware fault (page fault, illegal instruction, …).
+    Fault,
+    /// Watchdog instruction-budget timeout.
+    Timeout,
+}
+
+impl CauseClass {
+    /// Stable name for fixtures and JSON.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CauseClass::None => "none",
+            CauseClass::Violation => "violation",
+            CauseClass::Fault => "fault",
+            CauseClass::Timeout => "timeout",
+        }
+    }
+
+    /// Inverse of [`CauseClass::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<CauseClass> {
+        [CauseClass::None, CauseClass::Violation, CauseClass::Fault, CauseClass::Timeout]
+            .into_iter()
+            .find(|c| c.as_str() == s)
+    }
+
+    fn from_cause(c: FailureCause) -> CauseClass {
+        match c {
+            FailureCause::Violation(_) => CauseClass::Violation,
+            FailureCause::Fault => CauseClass::Fault,
+            FailureCause::Timeout => CauseClass::Timeout,
+        }
+    }
+}
+
+impl std::fmt::Display for CauseClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How far one payload got before the framework stopped it (or didn't).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Score {
+    /// Whether any detection fired after the warmup.
+    pub detected: bool,
+    /// The detection's cause class ([`CauseClass::None`] if undetected).
+    pub cause: CauseClass,
+    /// The precise violation kind, when the cause was a violation.
+    pub violation: Option<ViolationKind>,
+    /// Detection latency: instructions the failing request had retired
+    /// at detection. For undetected payloads, the instructions the
+    /// payload request retired end-to-end (its full budget of damage).
+    pub insns_into_request: u64,
+    /// Attack writes that *survived* the run (read back post-recovery).
+    pub writes_landed: u32,
+    /// Indirect-target checks the monitor approved during the run —
+    /// every one a policy gate the payload passed.
+    pub policy_checks_passed: u64,
+    /// Benign requests served after the payload went in.
+    pub requests_survived: u32,
+    /// Scalar fitness: undetected ≫ late-detected ≫ early-detected,
+    /// with landed writes and surviving traffic as tiebreakers.
+    pub fitness: u64,
+}
+
+/// Evaluation harness configuration.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Which generated service to attack.
+    pub app: ServiceApp,
+    /// Workload scale factor. Scaling *divides* per-request work, so a
+    /// larger factor keeps per-candidate cost down (httpd at 8 retires
+    /// ≈ 135 K instructions per benign request).
+    pub scale: u32,
+    /// Watchdog budget per request. Must comfortably exceed a benign
+    /// request's instruction count at `scale`, while keeping exhaustion
+    /// attacks from running forever.
+    pub request_timeout_insns: u64,
+    /// Benign requests after the payload (floor; dormant genomes may ask
+    /// for more via [`Genome::trailing`]).
+    pub trailing: u32,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { app: ServiceApp::Httpd, scale: 8, request_timeout_insns: 400_000, trailing: 3 }
+    }
+}
+
+/// Reusable evaluator: builds the target image once, runs each candidate
+/// in a fresh system.
+pub struct Evaluator {
+    cfg: EvalConfig,
+    image: Image,
+}
+
+/// Warmup traffic before the payload (establishes the benign baseline).
+const WARMUP: u32 = 2;
+
+impl Evaluator {
+    /// Builds the target service for `cfg`.
+    #[must_use]
+    pub fn new(cfg: EvalConfig) -> Evaluator {
+        let image = build_app_scaled(cfg.app, cfg.scale);
+        Evaluator { cfg, image }
+    }
+
+    /// The image under attack (for symbol lookups in validation tests).
+    #[must_use]
+    pub fn image(&self) -> &Image {
+        &self.image
+    }
+
+    /// The harness configuration.
+    #[must_use]
+    pub fn config(&self) -> &EvalConfig {
+        &self.cfg
+    }
+
+    /// Runs `genome` once and scores it. Deterministic: same genome,
+    /// same score, always.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service image fails to deploy (a harness bug, not
+    /// an attack outcome).
+    #[must_use]
+    pub fn evaluate(&self, genome: &Genome) -> Score {
+        let sys_cfg = SystemConfig {
+            request_timeout_insns: self.cfg.request_timeout_insns,
+            ..SystemConfig::default()
+        };
+        let mut sys = IndraSystem::new(sys_cfg);
+        let pid = sys.deploy(&self.image).expect("service image deploys");
+        let asid = sys.os().asid_of(pid);
+
+        for i in 0..WARMUP {
+            sys.push_request(benign_request((i % 4) as u8, 0x11), false);
+            settle(&mut sys);
+        }
+        let warm_detections = sys.report().detections.len();
+        assert_eq!(warm_detections, 0, "benign warmup must not trip detection");
+        let warm_benign = sys.report().benign_served;
+
+        let mut payload_ids = Vec::new();
+        for data in genome.requests(&self.image) {
+            payload_ids.push(sys.push_request(data, true));
+            settle(&mut sys);
+        }
+        let trailing = self.cfg.trailing.max(genome.trailing());
+        for i in 0..trailing {
+            sys.push_request(benign_request((i % 4) as u8, 0x22), false);
+            settle(&mut sys);
+        }
+        drop(sys.take_responses());
+
+        let report = sys.report();
+        let detection = report.detections.get(warm_detections).copied();
+        let detected = detection.is_some();
+        let (cause, violation) = match detection.map(|d| d.cause) {
+            Some(FailureCause::Violation(v)) => (CauseClass::Violation, Some(v)),
+            Some(c) => (CauseClass::from_cause(c), None),
+            None => (CauseClass::None, None),
+        };
+        let insns_into_request = match detection {
+            Some(d) => d.insns_into_request,
+            // Undetected: the payload ran to completion — its full
+            // instruction count is how much work the monitor approved.
+            None => report
+                .samples
+                .iter()
+                .filter(|s| payload_ids.contains(&s.request_id))
+                .map(|s| s.instructions)
+                .sum(),
+        };
+        let writes_landed = writes_landed(genome, &sys, asid, &self.image);
+        let requests_survived = (sys.report().benign_served - warm_benign) as u32;
+        let policy_checks_passed =
+            sys.monitor().stats().indirect_checks.saturating_sub(sys.monitor().stats().violations);
+
+        let fitness = if detected { 0 } else { 1_000_000 }
+            + insns_into_request
+            + 50_000 * u64::from(writes_landed)
+            + 10_000 * u64::from(requests_survived);
+
+        Score {
+            detected,
+            cause,
+            violation,
+            insns_into_request,
+            writes_landed,
+            policy_checks_passed,
+            requests_survived,
+            fitness,
+        }
+    }
+}
+
+/// Runs the system until the request queue drains (bounded).
+fn settle(sys: &mut IndraSystem) {
+    for _ in 0..64 {
+        match sys.run(100_000) {
+            RunState::BudgetExhausted => continue,
+            _ => break,
+        }
+    }
+}
+
+/// Counts attack writes that survived the run, by reading the planted
+/// locations back through the MMU (post-recovery memory — rolled-back
+/// writes do *not* count as landed).
+fn writes_landed(genome: &Genome, sys: &IndraSystem, asid: u16, image: &Image) -> u32 {
+    match genome {
+        Genome::JopChain { slots, target, .. } => {
+            let handlers = image.addr_of("handlers").expect("service symbol `handlers`");
+            let planted =
+                image.addr_of(&format!("handler_{}", target & 3)).expect("service handler symbol");
+            slots
+                .iter()
+                .filter(|&&s| {
+                    sys.machine().read_virtual_u32(asid, handlers + 4 * u32::from(s & 3))
+                        == Some(planted)
+                })
+                .count() as u32
+        }
+        Genome::DormantSpan { mapped, .. } => {
+            let latch = image.addr_of("latch").expect("service symbol `latch`");
+            let expect = if *mapped {
+                image.addr_of("workset").expect("service symbol `workset`") + 256
+            } else {
+                crate::genome::UNMAPPED_ADDR
+            };
+            u32::from(sys.machine().read_virtual_u32(asid, latch) == Some(expect))
+        }
+        // Stack and scan families leave nothing durable behind.
+        Genome::RopRet { .. } | Genome::Exhaust { .. } => 0,
+    }
+}
+
+/// The outcome class minimization must preserve: a shrunken payload that
+/// changes any of these is a *different* attack, not a smaller one.
+#[must_use]
+pub fn outcome_class(score: &Score) -> (bool, CauseClass, bool) {
+    (score.detected, score.cause, score.writes_landed > 0)
+}
+
+/// Greedy genome minimization: try family-specific shrink steps, keep
+/// each one that preserves [`outcome_class`]. Returns the smallest
+/// genome found and its score.
+#[must_use]
+pub fn minimize(eval: &Evaluator, genome: &Genome, score: &Score) -> (Genome, Score) {
+    let class = outcome_class(score);
+    let mut best = genome.clone();
+    let mut best_score = *score;
+    loop {
+        let mut improved = false;
+        for candidate in shrink_steps(&best) {
+            let s = eval.evaluate(&candidate);
+            if outcome_class(&s) == class {
+                best = candidate;
+                best_score = s;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (best, best_score);
+        }
+    }
+}
+
+/// Strictly-smaller candidates, most aggressive first.
+fn shrink_steps(genome: &Genome) -> Vec<Genome> {
+    let mut out = Vec::new();
+    match genome {
+        Genome::JopChain { slots, target, pad } => {
+            if slots.len() > 1 {
+                out.push(Genome::JopChain {
+                    slots: slots[..1].to_vec(),
+                    target: *target,
+                    pad: *pad,
+                });
+                out.push(Genome::JopChain {
+                    slots: slots[..slots.len() - 1].to_vec(),
+                    target: *target,
+                    pad: *pad,
+                });
+            }
+            if *pad > 0 {
+                out.push(Genome::JopChain { slots: slots.clone(), target: *target, pad: 0 });
+                out.push(Genome::JopChain { slots: slots.clone(), target: *target, pad: pad / 2 });
+            }
+        }
+        Genome::RopRet { off } => {
+            if *off > 1 {
+                out.push(Genome::RopRet { off: 1 });
+                out.push(Genome::RopRet { off: off / 2 });
+            }
+        }
+        Genome::DormantSpan { mapped, span } => {
+            if *span > 1 {
+                out.push(Genome::DormantSpan { mapped: *mapped, span: 1 });
+                out.push(Genome::DormantSpan { mapped: *mapped, span: span / 2 });
+            }
+        }
+        Genome::Exhaust { scan_len } => {
+            if *scan_len > 100 {
+                out.push(Genome::Exhaust { scan_len: scan_len / 2 });
+                out.push(Genome::Exhaust { scan_len: scan_len - scan_len / 4 });
+            }
+        }
+    }
+    out.retain(|g| g != genome);
+    out
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The payload.
+    pub genome: Genome,
+    /// Its score.
+    pub score: Score,
+}
+
+/// Per-family campaign results.
+#[derive(Debug, Clone)]
+pub struct FamilyReport {
+    /// The family.
+    pub family: AttackFamily,
+    /// Every candidate evaluated, in evaluation order.
+    pub evaluated: Vec<Candidate>,
+    /// The fittest candidate, minimized.
+    pub best: Candidate,
+}
+
+impl FamilyReport {
+    /// Detection latencies (sorted) over the detected candidates.
+    #[must_use]
+    pub fn latencies(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .evaluated
+            .iter()
+            .filter(|c| c.score.detected)
+            .map(|c| c.score.insns_into_request)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Candidates that were never detected.
+    #[must_use]
+    pub fn undetected(&self) -> usize {
+        self.evaluated.iter().filter(|c| !c.score.detected).count()
+    }
+}
+
+/// Campaign knobs.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Evaluation harness settings.
+    pub eval: EvalConfig,
+    /// Master seed; everything downstream derives from it.
+    pub seed: u64,
+    /// Random candidates per family in the seeding cohort.
+    pub cohort: u32,
+    /// Mutation steps applied to the running best after the cohort.
+    pub mutations: u32,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { eval: EvalConfig::default(), seed: 1, cohort: 4, mutations: 4 }
+    }
+}
+
+/// Full campaign output.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The seed the run derived from.
+    pub seed: u64,
+    /// One report per family, in [`AttackFamily::ALL`] order.
+    pub families: Vec<FamilyReport>,
+}
+
+impl CampaignReport {
+    /// Total candidates evaluated.
+    #[must_use]
+    pub fn evaluated(&self) -> usize {
+        self.families.iter().map(|f| f.evaluated.len()).sum()
+    }
+
+    /// Total detections across families.
+    #[must_use]
+    pub fn detections(&self) -> usize {
+        self.families.iter().map(|f| f.latencies().len()).sum()
+    }
+}
+
+/// Runs the full seeded campaign: per family, a random cohort, then
+/// hill-climbing mutations of the fittest, then greedy minimization of
+/// the winner. Byte-deterministic for a given `cfg`.
+#[must_use]
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let eval = Evaluator::new(cfg.eval.clone());
+    let mut families = Vec::new();
+    for (fi, family) in AttackFamily::ALL.into_iter().enumerate() {
+        let mut rng = Rng::seed_from_u64(derive_seed(cfg.seed, fi as u64));
+        let mut evaluated: Vec<Candidate> = Vec::new();
+        for _ in 0..cfg.cohort {
+            let genome = Genome::random(family, &mut rng);
+            let score = eval.evaluate(&genome);
+            evaluated.push(Candidate { genome, score });
+        }
+        let mut best =
+            evaluated.iter().max_by_key(|c| c.score.fitness).expect("cohort is non-empty").clone();
+        for _ in 0..cfg.mutations {
+            let genome = best.genome.mutate(&mut rng);
+            let score = eval.evaluate(&genome);
+            let better = score.fitness > best.score.fitness;
+            evaluated.push(Candidate { genome: genome.clone(), score });
+            if better {
+                best = Candidate { genome, score };
+            }
+        }
+        let (genome, score) = minimize(&eval, &best.genome, &best.score);
+        families.push(FamilyReport { family, evaluated, best: Candidate { genome, score } });
+    }
+    CampaignReport { seed: cfg.seed, families }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evaluator() -> Evaluator {
+        Evaluator::new(EvalConfig::default())
+    }
+
+    #[test]
+    fn jop_chain_lands_writes_undetected() {
+        // The headline result: planting a *registered* target into the
+        // dispatch table via format writes passes every inspection. The
+        // hijack is monitor-approved — that's the residual surface.
+        let eval = evaluator();
+        let g = Genome::JopChain { slots: vec![3], target: 2, pad: 4 };
+        let s = eval.evaluate(&g);
+        assert!(!s.detected, "in-policy plant must not be detected: {s:?}");
+        assert_eq!(s.writes_landed, 1, "the planted slot survives: {s:?}");
+        assert!(s.policy_checks_passed > 0);
+        assert!(s.requests_survived >= 3, "service keeps serving: {s:?}");
+    }
+
+    #[test]
+    fn rop_ret_is_detected_early_by_the_shadow_stack() {
+        let eval = evaluator();
+        let s = eval.evaluate(&Genome::RopRet { off: 2 });
+        assert!(s.detected);
+        assert_eq!(s.cause, CauseClass::Violation);
+        assert_eq!(s.violation, Some(ViolationKind::ReturnMismatch));
+        assert_eq!(s.writes_landed, 0, "smashed stack is rolled back");
+    }
+
+    #[test]
+    fn dormant_unmapped_fells_a_later_benign_request() {
+        let eval = evaluator();
+        let s = eval.evaluate(&Genome::DormantSpan { mapped: false, span: 3 });
+        assert!(s.detected, "the planted pointer faults a victim: {s:?}");
+        assert_eq!(s.cause, CauseClass::Fault);
+    }
+
+    #[test]
+    fn dormant_mapped_plant_is_never_detected() {
+        let eval = evaluator();
+        let s = eval.evaluate(&Genome::DormantSpan { mapped: true, span: 3 });
+        assert!(!s.detected, "mapped plant never faults: {s:?}");
+        assert_eq!(s.writes_landed, 1, "the latch survives: {s:?}");
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let eval = evaluator();
+        for g in [
+            Genome::JopChain { slots: vec![1, 3], target: 0, pad: 16 },
+            Genome::Exhaust { scan_len: 30_000 },
+        ] {
+            assert_eq!(eval.evaluate(&g), eval.evaluate(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn minimize_preserves_the_outcome_class() {
+        let eval = evaluator();
+        let g = Genome::JopChain { slots: vec![1, 1, 3], target: 2, pad: 64 };
+        let s = eval.evaluate(&g);
+        let (small, ss) = minimize(&eval, &g, &s);
+        assert_eq!(outcome_class(&ss), outcome_class(&s));
+        if let Genome::JopChain { slots, pad, .. } = &small {
+            assert_eq!(slots.len(), 1, "minimizer drops redundant slots: {small:?}");
+            assert_eq!(*pad, 0, "minimizer drops the pad: {small:?}");
+        } else {
+            panic!("minimization stays in-family");
+        }
+    }
+}

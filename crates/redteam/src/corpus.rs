@@ -1,0 +1,258 @@
+//! Regression corpus: minimized payloads committed as text fixtures.
+//!
+//! Each fixture file under `corpus/redteam/` pins one minimized payload
+//! and the outcome class it must keep producing — the red-team analogue
+//! of a regression test. The format is deliberately dumb
+//! (`key=value` lines, `#` comments) so fixtures diff cleanly and can be
+//! hand-audited:
+//!
+//! ```text
+//! # minimized by the seeded campaign; see crates/redteam
+//! version=1
+//! app=httpd
+//! scale=8
+//! timeout=400000
+//! trailing=3
+//! genome=jop_chain;slots=3;target=2;pad=0
+//! expect_detected=false
+//! expect_cause=none
+//! expect_writes_min=1
+//! expect_survived_min=3
+//! ```
+//!
+//! [`replay`] re-evaluates the genome in a fresh harness and checks
+//! every expectation; `tests/redteam_corpus.rs` runs it over the whole
+//! committed corpus.
+
+use indra_workloads::ServiceApp;
+
+use crate::campaign::{CauseClass, EvalConfig, Evaluator, Score};
+use crate::genome::Genome;
+
+/// Current fixture format version.
+pub const FIXTURE_VERSION: u32 = 1;
+
+/// The outcome a fixture pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expectation {
+    /// Must (not) be detected.
+    pub detected: bool,
+    /// Required cause class.
+    pub cause: CauseClass,
+    /// Minimum writes that must land.
+    pub writes_min: u32,
+    /// Minimum benign requests that must still be served afterwards.
+    pub survived_min: u32,
+}
+
+/// One corpus fixture: harness settings + genome + pinned outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fixture {
+    /// Target service.
+    pub app: ServiceApp,
+    /// Workload scale.
+    pub scale: u32,
+    /// Watchdog budget used at minimization time.
+    pub timeout: u64,
+    /// Trailing benign floor used at minimization time.
+    pub trailing: u32,
+    /// The minimized payload.
+    pub genome: Genome,
+    /// What replay must observe.
+    pub expect: Expectation,
+}
+
+impl Fixture {
+    /// Serializes to the committed text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        format!(
+            "# minimized by the seeded campaign; see crates/redteam\n\
+             version={FIXTURE_VERSION}\n\
+             app={}\n\
+             scale={}\n\
+             timeout={}\n\
+             trailing={}\n\
+             genome={}\n\
+             expect_detected={}\n\
+             expect_cause={}\n\
+             expect_writes_min={}\n\
+             expect_survived_min={}\n",
+            self.app,
+            self.scale,
+            self.timeout,
+            self.trailing,
+            self.genome.serialize(),
+            self.expect.detected,
+            self.expect.cause,
+            self.expect.writes_min,
+            self.expect.survived_min,
+        )
+    }
+
+    /// Parses the text format. Returns `Err` with a line-anchored
+    /// message on any malformed content (hostile fixtures must not
+    /// panic the test harness).
+    pub fn parse(text: &str) -> Result<Fixture, String> {
+        let get = |key: &str| -> Result<&str, String> {
+            text.lines()
+                .filter(|l| !l.trim_start().starts_with('#'))
+                .find_map(|l| l.strip_prefix(key)?.strip_prefix('='))
+                .map(str::trim)
+                .ok_or_else(|| format!("missing `{key}=` line"))
+        };
+        let version: u32 = get("version")?.parse().map_err(|e| format!("bad version: {e}"))?;
+        if version != FIXTURE_VERSION {
+            return Err(format!("unsupported fixture version {version}"));
+        }
+        let app_name = get("app")?;
+        let app = ServiceApp::ALL
+            .into_iter()
+            .find(|a| a.name() == app_name)
+            .ok_or_else(|| format!("unknown app `{app_name}`"))?;
+        let genome_text = get("genome")?;
+        let genome = Genome::parse(genome_text)
+            .ok_or_else(|| format!("malformed genome `{genome_text}`"))?;
+        let cause_name = get("expect_cause")?;
+        let cause =
+            CauseClass::parse(cause_name).ok_or_else(|| format!("unknown cause `{cause_name}`"))?;
+        Ok(Fixture {
+            app,
+            scale: get("scale")?.parse().map_err(|e| format!("bad scale: {e}"))?,
+            timeout: get("timeout")?.parse().map_err(|e| format!("bad timeout: {e}"))?,
+            trailing: get("trailing")?.parse().map_err(|e| format!("bad trailing: {e}"))?,
+            genome,
+            expect: Expectation {
+                detected: get("expect_detected")?
+                    .parse()
+                    .map_err(|e| format!("bad expect_detected: {e}"))?,
+                cause,
+                writes_min: get("expect_writes_min")?
+                    .parse()
+                    .map_err(|e| format!("bad expect_writes_min: {e}"))?,
+                survived_min: get("expect_survived_min")?
+                    .parse()
+                    .map_err(|e| format!("bad expect_survived_min: {e}"))?,
+            },
+        })
+    }
+
+    /// The evaluation harness this fixture was minimized under.
+    #[must_use]
+    pub fn eval_config(&self) -> EvalConfig {
+        EvalConfig {
+            app: self.app,
+            scale: self.scale,
+            request_timeout_insns: self.timeout,
+            trailing: self.trailing,
+        }
+    }
+}
+
+/// Re-evaluates `fixture` and checks every pinned expectation. Returns
+/// the fresh score and the list of violated expectations (empty = pass).
+#[must_use]
+pub fn replay(fixture: &Fixture) -> (Score, Vec<String>) {
+    let eval = Evaluator::new(fixture.eval_config());
+    let score = eval.evaluate(&fixture.genome);
+    let mut failures = Vec::new();
+    let e = &fixture.expect;
+    if score.detected != e.detected {
+        failures.push(format!("detected: expected {}, got {}", e.detected, score.detected));
+    }
+    if score.cause != e.cause {
+        failures.push(format!("cause: expected {}, got {}", e.cause, score.cause));
+    }
+    if score.writes_landed < e.writes_min {
+        failures.push(format!(
+            "writes_landed: expected ≥ {}, got {}",
+            e.writes_min, score.writes_landed
+        ));
+    }
+    if score.requests_survived < e.survived_min {
+        failures.push(format!(
+            "requests_survived: expected ≥ {}, got {}",
+            e.survived_min, score.requests_survived
+        ));
+    }
+    (score, failures)
+}
+
+/// Builds the fixture pinning `genome`'s observed outcome under `cfg`.
+#[must_use]
+pub fn pin(cfg: &EvalConfig, genome: &Genome, score: &Score) -> Fixture {
+    Fixture {
+        app: cfg.app,
+        scale: cfg.scale,
+        timeout: cfg.request_timeout_insns,
+        trailing: cfg.trailing,
+        genome: genome.clone(),
+        expect: Expectation {
+            detected: score.detected,
+            cause: score.cause,
+            writes_min: score.writes_landed,
+            survived_min: score.requests_survived,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Fixture {
+        Fixture {
+            app: ServiceApp::Httpd,
+            scale: 8,
+            timeout: 400_000,
+            trailing: 3,
+            genome: Genome::JopChain { slots: vec![3], target: 2, pad: 0 },
+            expect: Expectation {
+                detected: false,
+                cause: CauseClass::None,
+                writes_min: 1,
+                survived_min: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn fixture_text_round_trips() {
+        let f = sample();
+        assert_eq!(Fixture::parse(&f.to_text()), Ok(f));
+    }
+
+    #[test]
+    fn hostile_fixture_text_is_a_typed_error() {
+        for (bad, needle) in [
+            ("", "missing `version=`"),
+            ("version=2\n", "unsupported fixture version"),
+            ("version=1\napp=skynet\n", "unknown app"),
+            (
+                "version=1\napp=httpd\nscale=2\ntimeout=1\ntrailing=1\ngenome=warp\n",
+                "malformed genome",
+            ),
+        ] {
+            let err = Fixture::parse(bad).expect_err(bad);
+            assert!(err.contains(needle), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn replay_pins_the_jop_fixture() {
+        let (score, failures) = replay(&sample());
+        assert!(failures.is_empty(), "{failures:?} (score {score:?})");
+        assert!(!score.detected);
+    }
+
+    #[test]
+    fn pin_then_replay_is_self_consistent() {
+        let cfg = EvalConfig::default();
+        let eval = Evaluator::new(cfg.clone());
+        let g = Genome::RopRet { off: 1 };
+        let s = eval.evaluate(&g);
+        let f = pin(&cfg, &g, &s);
+        let (_, failures) = replay(&f);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+}

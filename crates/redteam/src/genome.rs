@@ -1,0 +1,343 @@
+//! Attack genomes: the heritable payload shapes the campaign evolves.
+//!
+//! A [`Genome`] is a small, fully deterministic description of one attack
+//! payload against a generated service. Families cover the offensive
+//! surface the static analysis maps (`indra-analyze`'s gadget finder):
+//!
+//! * [`AttackFamily::JopChain`] — the CFI-*respecting* hijack: the
+//!   opcode-9 formatter's write directives plant *registered* indirect
+//!   targets (other handler entries, straight out of the tightened
+//!   policy) into the `handlers` dispatch table. Every subsequent
+//!   dispatch through a planted slot passes indirect-target inspection,
+//!   so the monitor approves the hijacked control flow — the residual
+//!   surface `ir32 gadgets` scores as `in_policy_pairs`.
+//! * [`AttackFamily::RopRet`] — the classic smashed return address. The
+//!   shadow stack makes this the *early-detected* contrast case
+//!   (`ReturnMismatch` on the very next `ret`).
+//! * [`AttackFamily::DormantSpan`] — opcode-8 latch plant: corruption
+//!   that sleeps across requests. A *mapped* pointer never faults
+//!   (undetected forever); an unmapped one fells a later benign victim
+//!   (late detection, wrong request blamed — the compartment case).
+//! * [`AttackFamily::Exhaust`] — opcode-9 overscan: the declared format
+//!   length overshoots the payload, so the formatter walks the data
+//!   segment burning instructions until the watchdog times it out or a
+//!   segment-end fault lands (late detection either way; small scans
+//!   complete undetected as pure resource waste).
+
+use indra_isa::Image;
+use indra_rng::Rng;
+use indra_workloads::{attack_request, format_overscan_request, format_writes_request, Attack};
+
+/// The four attack families the campaign evolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackFamily {
+    /// Format-write plant of registered targets into the dispatch table.
+    JopChain,
+    /// Smashed saved return address (early-detected contrast).
+    RopRet,
+    /// Dormant pointer corruption spanning requests.
+    DormantSpan,
+    /// Format-scan resource exhaustion.
+    Exhaust,
+}
+
+impl AttackFamily {
+    /// All four, in reporting order.
+    pub const ALL: [AttackFamily; 4] = [
+        AttackFamily::JopChain,
+        AttackFamily::RopRet,
+        AttackFamily::DormantSpan,
+        AttackFamily::Exhaust,
+    ];
+
+    /// Stable snake_case name (JSON keys, corpus fixtures).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AttackFamily::JopChain => "jop_chain",
+            AttackFamily::RopRet => "rop_ret",
+            AttackFamily::DormantSpan => "dormant_span",
+            AttackFamily::Exhaust => "exhaust",
+        }
+    }
+
+    /// Inverse of [`AttackFamily::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<AttackFamily> {
+        AttackFamily::ALL.into_iter().find(|f| f.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for AttackFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An address mapped for no service (the dormant family's faulting gene).
+pub const UNMAPPED_ADDR: u32 = indra_workloads::UNMAPPED_ADDR;
+
+/// One heritable attack payload. Everything is plain data so that
+/// serialization, mutation and replay are trivially deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Genome {
+    /// Plant `handler_{target}`'s (registered) entry address into each
+    /// listed `handlers` slot via opcode-9 write directives, after `pad`
+    /// benign format bytes. The same request then dispatches through
+    /// `handlers[1]` — possibly already the planted slot.
+    JopChain {
+        /// Dispatch-table slots to overwrite (taken mod 4).
+        slots: Vec<u8>,
+        /// Which handler entry to plant (mod 4).
+        target: u8,
+        /// Benign format bytes before the first directive.
+        pad: u16,
+    },
+    /// Smash `parse`'s saved return address; the target lands mid-handler
+    /// (`handler_0 + 4·off`), never on a registered entry.
+    RopRet {
+        /// Instruction offset into `handler_0` the smashed return jumps to.
+        off: u8,
+    },
+    /// Opcode-8 latch plant followed by a span of benign requests.
+    DormantSpan {
+        /// Mapped pointer (silent, never faults) vs [`UNMAPPED_ADDR`]
+        /// (fells a later benign request).
+        mapped: bool,
+        /// Benign requests to send after the plant.
+        span: u8,
+    },
+    /// Opcode-9 format scan declaring `scan_len` bytes over a 16-byte
+    /// payload.
+    Exhaust {
+        /// Declared scan length in bytes.
+        scan_len: u32,
+    },
+}
+
+impl Genome {
+    /// The family this genome belongs to.
+    #[must_use]
+    pub fn family(&self) -> AttackFamily {
+        match self {
+            Genome::JopChain { .. } => AttackFamily::JopChain,
+            Genome::RopRet { .. } => AttackFamily::RopRet,
+            Genome::DormantSpan { .. } => AttackFamily::DormantSpan,
+            Genome::Exhaust { .. } => AttackFamily::Exhaust,
+        }
+    }
+
+    /// A random genome of `family`, drawn deterministically from `rng`.
+    #[must_use]
+    pub fn random(family: AttackFamily, rng: &mut Rng) -> Genome {
+        match family {
+            AttackFamily::JopChain => {
+                let n = 1 + rng.range_usize(0, 3);
+                let slots = (0..n).map(|_| rng.gen_u8() & 3).collect();
+                Genome::JopChain {
+                    slots,
+                    target: rng.gen_u8() & 3,
+                    pad: rng.range_u32(0, 96) as u16,
+                }
+            }
+            AttackFamily::RopRet => Genome::RopRet { off: 1 + (rng.gen_u8() % 6) },
+            AttackFamily::DormantSpan => {
+                Genome::DormantSpan { mapped: rng.gen_bool(), span: 1 + (rng.gen_u8() % 5) }
+            }
+            AttackFamily::Exhaust => Genome::Exhaust { scan_len: rng.range_u32(1_000, 80_000) },
+        }
+    }
+
+    /// One mutation step: tweak a single gene, staying in-family.
+    #[must_use]
+    pub fn mutate(&self, rng: &mut Rng) -> Genome {
+        let mut g = self.clone();
+        match &mut g {
+            Genome::JopChain { slots, target, pad } => match rng.gen_u8() % 4 {
+                0 => {
+                    if slots.len() < 4 {
+                        slots.push(rng.gen_u8() & 3);
+                    }
+                }
+                1 => {
+                    if slots.len() > 1 {
+                        let k = rng.range_usize(0, slots.len());
+                        slots.remove(k);
+                    }
+                }
+                2 => *target = rng.gen_u8() & 3,
+                _ => *pad = rng.range_u32(0, 96) as u16,
+            },
+            Genome::RopRet { off } => *off = 1 + (rng.gen_u8() % 6),
+            Genome::DormantSpan { mapped, span } => {
+                if rng.gen_bool() {
+                    *mapped = !*mapped;
+                } else {
+                    *span = 1 + (rng.gen_u8() % 5);
+                }
+            }
+            Genome::Exhaust { scan_len } => {
+                *scan_len = if rng.gen_bool() {
+                    (*scan_len / 2).max(100)
+                } else {
+                    (*scan_len).saturating_mul(2).min(200_000)
+                };
+            }
+        }
+        g
+    }
+
+    /// The malicious request(s) this genome delivers against `image`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` lacks the standard service symbols (it must come
+    /// from [`indra_workloads::build_app_scaled`]).
+    #[must_use]
+    pub fn requests(&self, image: &Image) -> Vec<Vec<u8>> {
+        match self {
+            Genome::JopChain { slots, target, pad } => {
+                let handlers = image.addr_of("handlers").expect("service symbol `handlers`");
+                let planted = image
+                    .addr_of(&format!("handler_{}", target & 3))
+                    .expect("service handler symbol");
+                let writes: Vec<(u32, u32)> =
+                    slots.iter().map(|&s| (handlers + 4 * u32::from(s & 3), planted)).collect();
+                vec![format_writes_request(&writes, usize::from(*pad))]
+            }
+            Genome::RopRet { off } => {
+                let target = image.addr_of("handler_0").expect("service symbol `handler_0`")
+                    + 4 * u32::from(*off);
+                vec![attack_request(Attack::StackSmash { target }, image)]
+            }
+            Genome::DormantSpan { mapped, .. } => {
+                let addr = if *mapped {
+                    // Deep inside `workset`: mapped, data-only, harmless
+                    // to read — the plant that never trips anything.
+                    image.addr_of("workset").expect("service symbol `workset`") + 256
+                } else {
+                    UNMAPPED_ADDR
+                };
+                vec![attack_request(Attack::Dormant { addr }, image)]
+            }
+            Genome::Exhaust { scan_len } => vec![format_overscan_request(*scan_len)],
+        }
+    }
+
+    /// Benign requests the evaluator must send *after* the payload for
+    /// the attack to express (dormant corruption needs victims).
+    #[must_use]
+    pub fn trailing(&self) -> u32 {
+        match self {
+            Genome::DormantSpan { span, .. } => u32::from(*span),
+            _ => 0,
+        }
+    }
+
+    /// Compact one-line serialization (corpus fixtures, JSON `genome`
+    /// strings). Inverse of [`Genome::parse`].
+    #[must_use]
+    pub fn serialize(&self) -> String {
+        match self {
+            Genome::JopChain { slots, target, pad } => {
+                let s: Vec<String> = slots.iter().map(u8::to_string).collect();
+                format!("jop_chain;slots={};target={target};pad={pad}", s.join(","))
+            }
+            Genome::RopRet { off } => format!("rop_ret;off={off}"),
+            Genome::DormantSpan { mapped, span } => {
+                format!("dormant_span;mapped={mapped};span={span}")
+            }
+            Genome::Exhaust { scan_len } => format!("exhaust;scan_len={scan_len}"),
+        }
+    }
+
+    /// Parses [`Genome::serialize`] output. Returns `None` on any
+    /// malformed field (no panics on hostile fixture files).
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Genome> {
+        let mut parts = text.trim().split(';');
+        let family = parts.next()?;
+        let mut field =
+            |name: &str| -> Option<&str> { parts.next()?.strip_prefix(name)?.strip_prefix('=') };
+        match family {
+            "jop_chain" => {
+                let slots: Vec<u8> =
+                    field("slots")?.split(',').map(|s| s.parse().ok()).collect::<Option<_>>()?;
+                if slots.is_empty() || slots.len() > 8 {
+                    return None;
+                }
+                Some(Genome::JopChain {
+                    slots,
+                    target: field("target")?.parse().ok()?,
+                    pad: field("pad")?.parse().ok()?,
+                })
+            }
+            "rop_ret" => Some(Genome::RopRet { off: field("off")?.parse().ok()? }),
+            "dormant_span" => Some(Genome::DormantSpan {
+                mapped: field("mapped")?.parse().ok()?,
+                span: field("span")?.parse().ok()?,
+            }),
+            "exhaust" => Some(Genome::Exhaust { scan_len: field("scan_len")?.parse().ok()? }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialize_parse_round_trips_every_family() {
+        let mut rng = Rng::seed_from_u64(7);
+        for family in AttackFamily::ALL {
+            for _ in 0..32 {
+                let g = Genome::random(family, &mut rng);
+                let text = g.serialize();
+                assert_eq!(Genome::parse(&text), Some(g.clone()), "round trip of {text}");
+                let m = g.mutate(&mut rng);
+                assert_eq!(m.family(), family, "mutation stays in-family");
+                assert_eq!(Genome::parse(&m.serialize()), Some(m));
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_fixture_lines_parse_to_none() {
+        for bad in [
+            "",
+            "jop_chain",
+            "jop_chain;slots=;target=1;pad=0",
+            "jop_chain;slots=1,2,3,4,5,6,7,8,9;target=1;pad=0",
+            "rop_ret;off=banana",
+            "dormant_span;mapped=maybe;span=1",
+            "exhaust;scan_len=-4",
+            "warp_core;breach=1",
+        ] {
+            assert_eq!(Genome::parse(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for f in AttackFamily::ALL {
+            assert_eq!(AttackFamily::parse(f.as_str()), Some(f));
+        }
+        assert_eq!(AttackFamily::parse("nope"), None);
+    }
+
+    #[test]
+    fn jop_requests_write_registered_targets_only() {
+        let image = indra_workloads::build_app_scaled(indra_workloads::ServiceApp::Httpd, 2);
+        let registered = indra_analyze::tighten(&image).indirect_targets;
+        let g = Genome::JopChain { slots: vec![1, 3], target: 2, pad: 8 };
+        let req = &g.requests(&image)[0];
+        // Every 9-byte directive in the payload plants a value that is a
+        // *registered* indirect target — the CFI-respecting property.
+        let planted = image.addr_of("handler_2").unwrap();
+        assert!(registered.contains(&planted), "planted value is in the tightened policy");
+        let payload = &req[10..];
+        let directives = payload.iter().filter(|&&b| b == 0xFF).count();
+        assert_eq!(directives, 2, "one directive per slot");
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # indra-redteam — coverage-guided offensive campaign
+//!
+//! The defensive complement to `indra-analyze`'s gadget finder: where
+//! the static pass *maps* the residual attack surface a tightened CFI
+//! policy still leaves open (registered indirect targets × dispatch
+//! sites), this crate *probes* it. A deterministic, seeded mutation
+//! engine ([`Genome`], four [`AttackFamily`]s) evolves real payloads
+//! against the generated services and scores each by how far it gets
+//! before the framework stops it ([`Score`]): instructions retired into
+//! the failing request, writes that survive recovery, policy checks
+//! passed, benign requests served afterwards.
+//!
+//! The headline adversary is the **in-policy JOP plant**: format-string
+//! write directives copy one *registered* handler entry over another
+//! dispatch-table slot. Every subsequent dispatch passes indirect-target
+//! inspection — the monitor approves the hijacked control flow, exactly
+//! the residual surface `ir32 gadgets` prices as `in_policy_pairs`.
+//! Detected families (smashed returns, dormant faults, exhaustion
+//! timeouts) calibrate the detection-latency distribution the
+//! `redteambench` binary reports.
+//!
+//! Undetected or late-detected winners are [`minimize`]d — greedy
+//! shrinking that preserves the outcome class — and committed as text
+//! fixtures ([`Fixture`]) under `corpus/redteam/`, replayed forever
+//! after by `tests/redteam_corpus.rs`.
+//!
+//! ```
+//! use indra_redteam::{CampaignConfig, run_campaign};
+//!
+//! let mut cfg = CampaignConfig::default();
+//! cfg.cohort = 1;
+//! cfg.mutations = 0;
+//! let report = run_campaign(&cfg);
+//! assert_eq!(report.families.len(), 4);
+//! assert!(report.detections() >= 1, "some family is caught");
+//! ```
+
+mod campaign;
+mod corpus;
+mod genome;
+
+pub use campaign::{
+    minimize, outcome_class, run_campaign, CampaignConfig, CampaignReport, Candidate, CauseClass,
+    EvalConfig, Evaluator, FamilyReport, Score,
+};
+pub use corpus::{pin, replay, Expectation, Fixture, FIXTURE_VERSION};
+pub use genome::{AttackFamily, Genome, UNMAPPED_ADDR};

@@ -175,6 +175,7 @@ struct ShardShared {
     divergences: AtomicU64,
     divergent_masked: AtomicU64,
     rejuvenations: AtomicU64,
+    detection_insns: AtomicU64,
     draining: AtomicBool,
 }
 
@@ -219,6 +220,7 @@ impl Inner {
         let mut divergences = 0;
         let mut divergent_masked = 0;
         let mut rejuvenations = 0;
+        let mut detection_insns = 0;
         for slot in &router.slots {
             served += slot.shared.served.load(Ordering::SeqCst);
             detections += slot.shared.detections.load(Ordering::SeqCst);
@@ -227,6 +229,7 @@ impl Inner {
             divergences += slot.shared.divergences.load(Ordering::SeqCst);
             divergent_masked += slot.shared.divergent_masked.load(Ordering::SeqCst);
             rejuvenations += slot.shared.rejuvenations.load(Ordering::SeqCst);
+            detection_insns += slot.shared.detection_insns.load(Ordering::SeqCst);
         }
         let live = router.live() as u32;
         HealthReply {
@@ -244,6 +247,7 @@ impl Inner {
             divergences,
             divergent_masked,
             rejuvenations,
+            detection_insns,
         }
     }
 
@@ -263,6 +267,7 @@ impl Inner {
             .u64("divergences", h.divergences)
             .u64("divergent_masked", h.divergent_masked)
             .u64("rejuvenations", h.rejuvenations)
+            .u64("detection_insns", h.detection_insns)
             .finish()
     }
 
@@ -493,6 +498,9 @@ fn publish(shared: &ShardShared, runner: &ShardRunner) {
     let report = runner.report();
     shared.served.store(report.served, Ordering::SeqCst);
     shared.detections.store(report.detections.len() as u64, Ordering::SeqCst);
+    shared
+        .detection_insns
+        .store(report.detections.iter().map(|d| d.insns_into_request).sum(), Ordering::SeqCst);
     shared.revivals.store(runner.revivals, Ordering::SeqCst);
     shared.quarantined.store(runner.quarantined(), Ordering::SeqCst);
 }

@@ -357,6 +357,7 @@ mod tests {
                 divergences: 0,
                 divergent_masked: 0,
                 rejuvenations: 0,
+                detection_insns: 0,
             },
             points: vec![SweepPoint {
                 offered_rps: 1.0,

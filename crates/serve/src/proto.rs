@@ -196,6 +196,10 @@ pub struct HealthReply {
     pub divergent_masked: u64,
     /// Scheduled proactive replica rejuvenations (extension; default 0).
     pub rejuvenations: u64,
+    /// Instructions attackers got retired before detection, summed over
+    /// recovery episodes — the fleet-wide detection-latency counter the
+    /// red-team campaign scores against (extension; default 0).
+    pub detection_insns: u64,
 }
 
 /// One protocol frame, either direction.
@@ -320,6 +324,9 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.u64(h.divergences);
             w.u64(h.divergent_masked);
             w.u64(h.rejuvenations);
+            // Detection-latency extension: a second tier appended after
+            // the replica block, read only when bytes remain past it.
+            w.u64(h.detection_insns);
         }
         Frame::ControlOk { detail } => {
             w.u8(20);
@@ -383,6 +390,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, FrameError> {
                 divergences: 0,
                 divergent_masked: 0,
                 rejuvenations: 0,
+                detection_insns: 0,
             };
             // Replica-group extension: present only on frames from
             // replica-aware daemons. A legacy payload ends here and
@@ -393,6 +401,12 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, FrameError> {
                 h.divergences = r.u64("health divergences")?;
                 h.divergent_masked = r.u64("health divergent masked")?;
                 h.rejuvenations = r.u64("health rejuvenations")?;
+            }
+            // Detection-latency extension: replica-era daemons end at
+            // `rejuvenations` and keep the default; partial bytes are
+            // typed truncation like any other short field.
+            if r.remaining() > 0 {
+                h.detection_insns = r.u64("health detection insns")?;
             }
             Frame::HealthReply(h)
         }
@@ -529,6 +543,7 @@ mod tests {
                 divergences: 4,
                 divergent_masked: 2,
                 rejuvenations: 5,
+                detection_insns: 480,
             }),
             Frame::ControlOk { detail: "drained".into() },
             Frame::ControlErr { msg: "no such shard".into() },
@@ -696,11 +711,12 @@ mod tests {
 
     #[test]
     fn fuzz_health_extension_tail_is_typed() {
-        // Random bytes after a legacy payload: exactly 28 tail bytes is
-        // a complete extension and decodes; anything else is a typed
-        // error. No length may panic or mis-decode into defaults.
+        // Random bytes after a legacy payload: a whole extension tier
+        // (28 bytes replica, 36 bytes replica + detection latency)
+        // decodes; anything else is a typed error. No length may panic
+        // or mis-decode into defaults.
         forall("proto health extension tail", 300, |rng| {
-            let len = rng.range_u64(0, 40) as usize;
+            let len = rng.range_u64(0, 44) as usize;
             let tail: Vec<u8> = (0..len).map(|_| rng.gen_u8()).collect();
             let bytes = legacy_health_frame(&tail);
             match decode_frame(&bytes) {
@@ -708,13 +724,17 @@ mod tests {
                     if len == 0 {
                         assert_eq!(h.replicas, 1, "legacy tail keeps defaults");
                     } else {
-                        assert_eq!(len, 28, "only a whole 28-byte extension may decode");
+                        assert!(
+                            len == 28 || len == 36,
+                            "only whole extension tiers may decode, got {len}"
+                        );
                     }
                 }
                 Ok((other, _)) => panic!("decoded into {other:?}"),
                 Err(FrameError::Truncated { .. } | FrameError::Malformed { .. }) => {
                     assert_ne!(len, 0, "legacy payload must decode");
-                    assert_ne!(len, 28, "whole extension must decode");
+                    assert_ne!(len, 28, "whole replica extension must decode");
+                    assert_ne!(len, 36, "whole two-tier extension must decode");
                 }
                 Err(e) => panic!("unexpected error class: {e}"),
             }

@@ -192,6 +192,33 @@ pub fn detectable_attack_suite(image: &Image) -> Vec<Attack> {
     ]
 }
 
+/// Encodes an opcode-9 format request carrying several write directives
+/// — `(addr, value)` pairs, each landing one arbitrary 32-bit store via
+/// the formatter's `%n`-analogue — after `pad` benign filler bytes that
+/// stretch the scan (the red-team campaign's detection-latency knob).
+/// This is the multi-write generalization of [`Attack::FormatString`]:
+/// one request can rewrite several code-pointer slots before its own
+/// dispatch runs.
+#[must_use]
+pub fn format_writes_request(writes: &[(u32, u32)], pad: usize) -> Vec<u8> {
+    let mut payload = vec![0x2Eu8; pad];
+    for &(addr, value) in writes {
+        payload.push(0xFF);
+        payload.extend_from_slice(&addr.to_le_bytes());
+        payload.extend_from_slice(&value.to_le_bytes());
+    }
+    encode_request(9, 0, 0, payload.len() as u32, &payload)
+}
+
+/// An opcode-9 request whose declared format length far exceeds its
+/// payload: the formatter scans adjacent service data byte by byte
+/// (interpreting any `0xFF` it meets as a write directive) until the
+/// watchdog or a fault stops it — the resource-exhaustion shape.
+#[must_use]
+pub fn format_overscan_request(scan_len: u32) -> Vec<u8> {
+    encode_request(9, 0, 0, scan_len, &[0x2E; 16])
+}
+
 /// The address injected code lands at for [`Attack::CodeInjection`] and
 /// [`Attack::InjectedHandler`] against `image`: payload offset 74 keeps
 /// it word-aligned (used by tests to confirm detection coordinates).
@@ -280,6 +307,28 @@ mod tests {
         assert_eq!(addr, img.addr_of("handlers").unwrap() + 4, "aims at handlers[1]");
         let val = u32::from_le_bytes(req[p + 5..p + 9].try_into().unwrap());
         assert_eq!(val, 0x4455_6677);
+    }
+
+    #[test]
+    fn format_writes_encodes_every_directive_after_the_pad() {
+        let req = format_writes_request(&[(0x1000, 7), (0x2000, 9)], 5);
+        assert_eq!(req[0], 9);
+        let p = PAYLOAD_OFFSET as usize;
+        let arg = u32::from_le_bytes(req[6..10].try_into().unwrap());
+        assert_eq!(arg as usize, 5 + 2 * 9, "scan length covers pad + directives");
+        assert_eq!(req[p + 5], 0xFF);
+        assert_eq!(u32::from_le_bytes(req[p + 6..p + 10].try_into().unwrap()), 0x1000);
+        assert_eq!(u32::from_le_bytes(req[p + 10..p + 14].try_into().unwrap()), 7);
+        assert_eq!(req[p + 14], 0xFF);
+        assert_eq!(u32::from_le_bytes(req[p + 15..p + 19].try_into().unwrap()), 0x2000);
+    }
+
+    #[test]
+    fn overscan_declares_more_than_it_carries() {
+        let req = format_overscan_request(100_000);
+        assert_eq!(req[0], 9);
+        let arg = u32::from_le_bytes(req[6..10].try_into().unwrap());
+        assert!(arg as usize > req.len());
     }
 
     #[test]

@@ -31,8 +31,9 @@ mod spec;
 mod traffic;
 
 pub use attack::{
-    attack_request, benign_request, detectable_attack_suite, encode_request, injected_code_addr,
-    shellcode_words, standard_attack_suite, Attack, UNMAPPED_ADDR,
+    attack_request, benign_request, detectable_attack_suite, encode_request,
+    format_overscan_request, format_writes_request, injected_code_addr, shellcode_words,
+    standard_attack_suite, Attack, UNMAPPED_ADDR,
 };
 pub use gen::{
     build_app, build_app_scaled, build_service, PAYLOAD_OFFSET, RX_CAPACITY, VULN_BUF_LEN,

@@ -13,18 +13,32 @@
 //! ir32 analyze prog.s             static CFG recovery + CFI policy report
 //! ir32 lint --app httpd --json    same report, nonzero exit on findings;
 //!                                 images also come from --app/--fixture
+//! ir32 gadgets --app httpd        CFI-aware gadget catalog + attack
+//!                                 surface score under the tightened policy
 //! ```
+//!
+//! Exit codes for `lint` and `gadgets`: 0 clean, 1 findings present,
+//! 2 usage error, 3 analysis error (unreadable, unassemblable, unknown
+//! app/fixture). `analyze` reports without judging: findings exit 0.
 
 use std::process::ExitCode;
 
-use indra::analyze::{analyze_image, fixtures, PolicyReport};
+use indra::analyze::{analyze_image, enumerate_gadgets, fixtures, PolicyReport, SurfaceReport};
 use indra::core::json::{json_array, JsonObject};
 use indra::isa::{assemble, disassemble_image, Image};
 use indra::os::{Os, SyscallEffect};
 use indra::sim::{CoreStep, Machine, MachineConfig, TraceEvent};
 use indra::workloads::{build_app_scaled, ServiceApp};
 
-const USAGE: &str = "usage: ir32 <asm|disasm|run|trace> <file.s> [--req DATA]...\n       ir32 <analyze|lint> (<file.s> | --app NAME [--scale N] | --fixture NAME) [--json]";
+const USAGE: &str = "usage: ir32 <asm|disasm|run|trace> <file.s> [--req DATA]...\n       ir32 <analyze|lint|gadgets> (<file.s> | --app NAME [--scale N] | --fixture NAME) [--json]";
+
+/// Findings present (`lint`/`gadgets` only).
+const EXIT_FINDINGS: u8 = 1;
+/// Bad invocation: unknown command/option, missing value or input.
+const EXIT_USAGE: u8 = 2;
+/// The input could not be analyzed: unreadable file, assembly error,
+/// unknown app or fixture.
+const EXIT_ANALYSIS: u8 = 3;
 
 /// Rejects unknown `--flags` (previously silently ignored) and flags
 /// missing their value. Positional arguments pass through.
@@ -58,29 +72,30 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
-    let flag_check = if cmd == "analyze" || cmd == "lint" {
+    let analysis_cmd = cmd == "analyze" || cmd == "lint" || cmd == "gadgets";
+    let flag_check = if analysis_cmd {
         check_flags(cmd, rest, &["--app", "--scale", "--fixture"], &["--json"])
     } else {
         check_flags(cmd, rest, &["--req"], &[])
     };
     if let Err(msg) = flag_check {
         eprintln!("{msg}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     }
-    if cmd == "analyze" || cmd == "lint" {
+    if analysis_cmd {
         return cmd_analyze(cmd, rest);
     }
     let Some(path) = rest.first() else {
         eprintln!("ir32 {cmd}: missing input file");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("ir32: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ANALYSIS);
         }
     };
     let name = path.rsplit('/').next().unwrap_or(path).trim_end_matches(".s");
@@ -88,7 +103,7 @@ fn main() -> ExitCode {
         Ok(img) => img,
         Err(e) => {
             eprintln!("ir32: {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ANALYSIS);
         }
     };
 
@@ -102,64 +117,96 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&image, &requests),
         other => {
             eprintln!("ir32: unknown command `{other}`");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }
 
-/// Resolves the image for `analyze`/`lint`: a `.s` file on disk, a built-in
-/// workload (`--app NAME [--scale N]`), or an analyzer fixture
-/// (`--fixture NAME`).
-fn analysis_image(args: &[String]) -> Result<Image, String> {
+/// Resolves the image for `analyze`/`lint`/`gadgets`: a `.s` file on
+/// disk, a built-in workload (`--app NAME [--scale N]`), or an analyzer
+/// fixture (`--fixture NAME`). The error carries the exit code: missing
+/// input entirely is a usage error, everything else an analysis error.
+fn analysis_image(args: &[String]) -> Result<Image, (u8, String)> {
+    let fail = |msg: String| (EXIT_ANALYSIS, msg);
     let flag = |name: &str| args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone());
     if let Some(name) = flag("--app") {
         let app =
             ServiceApp::ALL.into_iter().find(|a| format!("{a}") == name).ok_or_else(|| {
-                format!("unknown app `{name}` (try ftpd, httpd, bind, sendmail, imap, nfs)")
+                fail(format!("unknown app `{name}` (try ftpd, httpd, bind, sendmail, imap, nfs)"))
             })?;
         let scale = match flag("--scale") {
-            Some(s) => s.parse::<u32>().map_err(|_| format!("bad --scale `{s}`"))?.max(1),
+            Some(s) => s.parse::<u32>().map_err(|_| fail(format!("bad --scale `{s}`")))?.max(1),
             None => 1,
         };
         return Ok(build_app_scaled(app, scale));
     }
     if let Some(name) = flag("--fixture") {
         return fixtures::fixture(&name).ok_or_else(|| {
-            format!("unknown fixture `{name}` (available: {})", fixtures::FIXTURE_NAMES.join(", "))
+            fail(format!(
+                "unknown fixture `{name}` (available: {})",
+                fixtures::FIXTURE_NAMES.join(", ")
+            ))
         });
     }
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        return Err("missing input: give a .s file, --app NAME, or --fixture NAME".to_owned());
+        return Err((
+            EXIT_USAGE,
+            "missing input: give a .s file, --app NAME, or --fixture NAME".to_owned(),
+        ));
     };
-    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
     let name = path.rsplit('/').next().unwrap_or(path).trim_end_matches(".s");
-    assemble(name, &source).map_err(|e| format!("{path}: {e}"))
+    assemble(name, &source).map_err(|e| fail(format!("{path}: {e}")))
 }
 
-/// `ir32 analyze` / `ir32 lint` — run the static pipeline and print the
-/// policy report. `lint` exits nonzero when there are findings.
+/// `ir32 analyze` / `ir32 lint` / `ir32 gadgets` — run the static
+/// pipeline and print the report. `lint` and `gadgets` exit
+/// [`EXIT_FINDINGS`] when there are findings.
 fn cmd_analyze(cmd: &str, args: &[String]) -> ExitCode {
     let image = match analysis_image(args) {
         Ok(img) => img,
-        Err(e) => {
+        Err((code, e)) => {
             eprintln!("ir32 {cmd}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(code);
         }
     };
-    let report = analyze_image(&image);
-    if args.iter().any(|a| a == "--json") {
-        println!("{}", report_json(&report));
+    let json = args.iter().any(|a| a == "--json");
+    let clean = if cmd == "gadgets" {
+        let report = enumerate_gadgets(&image);
+        if json {
+            println!("{}", surface_json(&report));
+        } else {
+            print_surface(&report);
+        }
+        report.clean()
     } else {
-        print_report(&report);
-    }
-    if cmd == "lint" && !report.clean() {
-        return ExitCode::FAILURE;
+        let report = analyze_image(&image);
+        if json {
+            println!("{}", report_json(&report));
+        } else {
+            print_report(&report);
+        }
+        report.clean()
+    };
+    if cmd != "analyze" && !clean {
+        return ExitCode::from(EXIT_FINDINGS);
     }
     ExitCode::SUCCESS
 }
 
-fn report_json(report: &PolicyReport) -> String {
-    let findings = json_array(report.findings.iter().map(|f| {
+/// Renders a `truncated` map (`kind → total occurrences`) as a JSON
+/// object; `{}` when nothing was capped.
+fn truncated_json(truncated: &std::collections::BTreeMap<&'static str, u64>) -> String {
+    let mut o = JsonObject::new();
+    for (&kind, &total) in truncated {
+        o.u64(kind, total);
+    }
+    o.finish()
+}
+
+fn findings_json(findings: &[indra::analyze::Finding]) -> String {
+    json_array(findings.iter().map(|f| {
         let mut o = JsonObject::new();
         o.str("kind", f.kind.as_str());
         match f.addr {
@@ -168,7 +215,11 @@ fn report_json(report: &PolicyReport) -> String {
         };
         o.str("detail", &f.detail);
         o.finish()
-    }));
+    }))
+}
+
+fn report_json(report: &PolicyReport) -> String {
+    let findings = findings_json(&report.findings);
     let s = &report.stats;
     let mut stats = JsonObject::new();
     stats
@@ -186,8 +237,93 @@ fn report_json(report: &PolicyReport) -> String {
         None => stats.raw("max_call_depth", "null"),
     };
     let mut out = JsonObject::new();
-    out.str("image", &report.image).raw("findings", &findings).raw("stats", &stats.finish());
+    out.str("image", &report.image)
+        .raw("findings", &findings)
+        .raw("truncated", &truncated_json(&report.truncated))
+        .raw("stats", &stats.finish());
     out.finish()
+}
+
+fn surface_json(report: &SurfaceReport) -> String {
+    let gadgets = json_array(report.gadgets.iter().map(|g| {
+        let mut o = JsonObject::new();
+        o.u64("entry", u64::from(g.entry))
+            .u64("insns", u64::from(g.insns))
+            .u64("transfer_at", u64::from(g.transfer_at))
+            .str("kind", g.kind.as_str())
+            .raw("targets", &json_array(g.targets.iter().map(|t| u64::from(*t).to_string())))
+            .u64("regs_clobbered", u64::from(g.effects.regs_clobbered))
+            .u64("mem_writes", u64::from(g.effects.mem_writes))
+            .u64("mem_reads", u64::from(g.effects.mem_reads))
+            .bool("syscall_reachable", g.effects.syscall_reachable);
+        o.finish()
+    }));
+    let slots = json_array(report.writable_slots.iter().map(|s| {
+        let mut o = JsonObject::new();
+        o.u64("addr", u64::from(s.addr))
+            .u64("target", u64::from(s.target))
+            .str("segment", &s.segment);
+        o.finish()
+    }));
+    let chain = json_array(report.chain.iter().map(|a| u64::from(*a).to_string()));
+    let s = &report.stats;
+    let mut stats = JsonObject::new();
+    stats
+        .u64("registered_targets", s.registered_targets)
+        .u64("dispatch_sites", s.dispatch_sites)
+        .u64("in_policy_pairs", s.in_policy_pairs)
+        .u64("gadgets", s.gadgets)
+        .u64("chainable_gadgets", s.chainable_gadgets)
+        .u64("writable_slots", s.writable_slots)
+        .u64("syscall_reachable_targets", s.syscall_reachable_targets)
+        .u64("attack_surface", s.attack_surface);
+    let mut out = JsonObject::new();
+    out.str("image", &report.image)
+        .raw("gadgets", &gadgets)
+        .raw("writable_slots", &slots)
+        .raw("chain", &chain)
+        .raw("findings", &findings_json(&report.findings))
+        .raw("truncated", &truncated_json(&report.truncated))
+        .raw("stats", &stats.finish());
+    out.finish()
+}
+
+fn print_surface(report: &SurfaceReport) {
+    let s = &report.stats;
+    println!("image `{}`: CFI-aware gadget catalog (tightened policy)", report.image);
+    println!(
+        "  {} registered target(s), {} dispatch site(s), {} in-policy transfer pair(s)",
+        s.registered_targets, s.dispatch_sites, s.in_policy_pairs
+    );
+    println!(
+        "  {} gadget(s) ({} chainable), {} writable code-pointer slot(s), {} syscall-reachable target(s)",
+        s.gadgets, s.chainable_gadgets, s.writable_slots, s.syscall_reachable_targets
+    );
+    println!("  attack surface score: {}", s.attack_surface);
+    for g in &report.gadgets {
+        println!(
+            "    gadget {:#010x}: {} insn(s) to {} at {:#010x} ({} target(s), {} write(s), {} read(s){})",
+            g.entry,
+            g.insns,
+            g.kind.as_str(),
+            g.transfer_at,
+            g.targets.len(),
+            g.effects.mem_writes,
+            g.effects.mem_reads,
+            if g.effects.syscall_reachable { ", syscall reachable" } else { "" }
+        );
+    }
+    if report.findings.is_empty() {
+        println!("  findings: none");
+    } else {
+        println!("  findings ({}):", report.findings.len());
+        for f in &report.findings {
+            println!("    {f}");
+        }
+    }
+    for (kind, total) in &report.truncated {
+        println!("  (capped: {total} {kind} occurrence(s) total, first 32 listed)");
+    }
 }
 
 fn print_report(report: &PolicyReport) {
@@ -213,6 +349,9 @@ fn print_report(report: &PolicyReport) {
         for f in &report.findings {
             println!("    {f}");
         }
+    }
+    for (kind, total) in &report.truncated {
+        println!("  (capped: {total} {kind} occurrence(s) total, first 32 listed)");
     }
 }
 

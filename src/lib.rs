@@ -30,6 +30,11 @@
 //!   top-level driver.
 //! * [`workloads`] — the six synthetic network services and the exploit
 //!   generators used by the evaluation.
+//! * [`redteam`] — the coverage-guided offensive campaign: seeded
+//!   mutation of CFI-respecting attack payloads (JOP plants, smashed
+//!   returns, dormant corruption, exhaustion) scored by detection
+//!   latency, with minimized winners pinned as the regression corpus
+//!   under `corpus/redteam/`.
 //! * [`fleet`] — the sharded parallel fleet executor: many independent
 //!   INDRA cells across OS threads under deterministic open-loop
 //!   traffic, aggregated into one fleet-wide report.
@@ -62,6 +67,7 @@ pub use indra_isa as isa;
 pub use indra_mem as mem;
 pub use indra_os as os;
 pub use indra_persist as persist;
+pub use indra_redteam as redteam;
 pub use indra_rng as rng;
 pub use indra_serve as serve;
 pub use indra_sim as sim;

@@ -150,3 +150,49 @@ fn ir32_rejects_unknown_flags_instead_of_ignoring_them() {
     let (ok, _, err) = run(bin, &[]);
     assert!(!ok && err.contains("usage"), "{err}");
 }
+
+/// Raw exit code of `bin args…` (None if killed by a signal).
+fn code(bin: &str, args: &[&str]) -> Option<i32> {
+    Command::new(bin).args(args).output().expect("spawn binary").status.code()
+}
+
+#[test]
+fn ir32_exit_codes_distinguish_findings_errors_and_usage() {
+    // The audited contract: 0 = clean, 1 = findings present (lint /
+    // gadgets only), 2 = usage error, 3 = analysis error. Scripts gate
+    // on these; renumbering is a breaking change.
+    let bin = env!("CARGO_BIN_EXE_ir32");
+    // Usage errors: no args, unknown command, unknown flag, missing input.
+    assert_eq!(code(bin, &[]), Some(2));
+    assert_eq!(code(bin, &["frobnicate"]), Some(2));
+    assert_eq!(code(bin, &["lint", "--bogus"]), Some(2));
+    assert_eq!(code(bin, &["gadgets"]), Some(2));
+    // Analysis errors: unreadable file, unknown app / fixture, bad scale.
+    assert_eq!(code(bin, &["lint", "/nonexistent/prog.s"]), Some(3));
+    assert_eq!(code(bin, &["lint", "--app", "warpcored"]), Some(3));
+    assert_eq!(code(bin, &["gadgets", "--fixture", "nope"]), Some(3));
+    assert_eq!(code(bin, &["gadgets", "--app", "httpd", "--scale", "lots"]), Some(3));
+    // Findings present: lint and gadgets report via exit 1…
+    assert_eq!(code(bin, &["lint", "--fixture", "recursive"]), Some(1));
+    assert_eq!(code(bin, &["gadgets", "--fixture", "gadget_chain"]), Some(1));
+    assert_eq!(code(bin, &["gadgets", "--app", "httpd", "--scale", "20"]), Some(1));
+    // …while `analyze` always reports cleanly (exit 0), and a
+    // surface-free image is a clean gadgets run.
+    assert_eq!(code(bin, &["analyze", "--fixture", "recursive"]), Some(0));
+    assert_eq!(code(bin, &["gadgets", "--fixture", "recursive"]), Some(0));
+}
+
+#[test]
+fn redteambench_rejects_unknown_and_malformed_flags() {
+    let bin = env!("CARGO_BIN_EXE_redteambench");
+    let (ok, _, err) = run(bin, &["--frobnicate"]);
+    assert!(!ok, "unknown flag must exit nonzero");
+    assert!(err.contains("unknown option --frobnicate") && err.contains("USAGE"), "{err}");
+    assert_eq!(code(bin, &["--frobnicate"]), Some(2), "usage errors exit 2");
+    let (ok, _, err) = run(bin, &["--seed", "entropy"]);
+    assert!(!ok && err.contains("--seed"), "{err}");
+    let (ok, _, err) = run(bin, &["--assert-detections-min"]);
+    assert!(!ok && err.contains("--assert-detections-min needs a value"), "{err}");
+    let (ok, out, _) = run(bin, &["--help"]);
+    assert!(ok && out.contains("USAGE") && out.contains("--seed"), "{out}");
+}

@@ -1,0 +1,105 @@
+//! Red-team regression corpus replay.
+//!
+//! Every fixture under `corpus/redteam/` is a payload the campaign
+//! minimized, committed together with the outcome class it produced.
+//! This gate re-evaluates each one in a fresh harness and fails if the
+//! framework's behavior drifted — a detection getting *slower* (or an
+//! undetected payload getting caught) is a regression either way, in
+//! opposite directions.
+
+use indra::redteam::{replay, AttackFamily, CauseClass, Evaluator, Fixture, Genome};
+
+fn corpus() -> Vec<(String, Fixture)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus/redteam");
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("corpus/redteam exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "committed corpus must not be empty");
+    entries
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).expect("readable fixture");
+            let fixture =
+                Fixture::parse(&text).unwrap_or_else(|e| panic!("{name}: malformed: {e}"));
+            (name, fixture)
+        })
+        .collect()
+}
+
+#[test]
+fn every_committed_fixture_replays_to_its_pinned_outcome() {
+    for (name, fixture) in corpus() {
+        let (score, failures) = replay(&fixture);
+        assert!(failures.is_empty(), "{name}: {failures:?} (score {score:?})");
+    }
+}
+
+#[test]
+fn corpus_keeps_an_undetected_or_late_detected_payload() {
+    // The campaign's reason to exist: at least one committed payload
+    // must defeat or outrun detection — undetected outright, or caught
+    // only after substantial work (≥ 10 K instructions into the
+    // request, far beyond the shadow stack's few-hundred-insn
+    // reaction).
+    let fixtures = corpus();
+    let qualifying = fixtures.iter().filter(|(name, f)| {
+        let (score, _) = replay(f);
+        let late = score.detected && score.insns_into_request >= 10_000;
+        let never = !score.detected;
+        if never || late {
+            println!(
+                "{name}: {} ({} insns)",
+                if never { "undetected" } else { "late-detected" },
+                score.insns_into_request
+            );
+        }
+        never || late
+    });
+    assert!(qualifying.count() >= 1, "no undetected or late-detected payload in the corpus");
+}
+
+#[test]
+fn corpus_spans_multiple_attack_families() {
+    let families: std::collections::BTreeSet<&'static str> =
+        corpus().iter().map(|(_, f)| f.genome.family().as_str()).collect();
+    assert!(families.len() >= 3, "corpus must cover ≥ 3 attack families, has {families:?}");
+    for must in [AttackFamily::JopChain, AttackFamily::RopRet] {
+        assert!(families.contains(must.as_str()), "missing {must} fixture");
+    }
+}
+
+#[test]
+fn jop_plant_is_a_validated_in_policy_hijack() {
+    // The dynamic validation the gadget finder's static claim rests on:
+    // the planted dispatch executes under the *tightened* policy with
+    // zero monitor violations — the hijack is monitor-approved, and the
+    // planted slot provably holds a registered target afterwards.
+    let (_, fixture) = corpus()
+        .into_iter()
+        .find(|(_, f)| f.genome.family() == AttackFamily::JopChain)
+        .expect("a jop_chain fixture is committed");
+    let Genome::JopChain { ref slots, target, .. } = fixture.genome else {
+        unreachable!("family filter");
+    };
+
+    let eval = Evaluator::new(fixture.eval_config());
+    let registered = indra::analyze::tighten(eval.image()).indirect_targets;
+    let planted =
+        eval.image().addr_of(&format!("handler_{}", target & 3)).expect("service handler symbol");
+    assert!(registered.contains(&planted), "the planted value is in the tightened policy");
+    assert!(!slots.is_empty());
+
+    let (score, failures) = replay(&fixture);
+    assert!(failures.is_empty(), "{failures:?}");
+    assert!(!score.detected, "in-policy plant must pass every inspection: {score:?}");
+    assert_eq!(score.cause, CauseClass::None);
+    assert!(score.writes_landed >= 1, "the dispatch-table overwrite survived recovery: {score:?}");
+    assert!(
+        score.policy_checks_passed >= 1,
+        "the hijacked dispatch was checked and approved: {score:?}"
+    );
+}
